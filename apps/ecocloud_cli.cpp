@@ -1,0 +1,270 @@
+// ecocloud_cli — command-line driver for the ecoCloud simulation suite.
+//
+//   ecocloud_cli run-daily [--config FILE] [--csv FILE]
+//   ecocloud_cli run-consolidation [--config FILE] [--csv FILE]
+//   ecocloud_cli gen-traces --out DIR [--vms N] [--hours H] [--seed S]
+//   ecocloud_cli functions [--ta X] [--p X] [--tl X] [--th X]
+//                          [--alpha X] [--beta X]
+//   ecocloud_cli help-config
+//
+// Experiments are configured with `key = value` files (see help-config);
+// absent keys keep the paper's defaults, unknown keys are rejected.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "ecocloud/core/probability.hpp"
+#include "ecocloud/metrics/episode_summary.hpp"
+#include "ecocloud/metrics/event_log.hpp"
+#include "ecocloud/scenario/config_io.hpp"
+#include "ecocloud/trace/planetlab_io.hpp"
+#include "ecocloud/util/csv.hpp"
+#include "ecocloud/util/string_util.hpp"
+#include "ecocloud/util/validation.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+/// Minimal --key value parser; every option takes exactly one argument.
+class Options {
+ public:
+  Options(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        throw std::invalid_argument("bad option or missing value: " + key);
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    used_.insert(key);
+    return it->second;
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) {
+    const auto value = get(key);
+    return value ? util::parse_double(*value) : fallback;
+  }
+
+  void reject_unknown() const {
+    for (const auto& [key, value] : values_) {
+      if (used_.count(key) == 0) {
+        throw std::invalid_argument("unknown option --" + key);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+int usage() {
+  std::puts(
+      "usage: ecocloud_cli <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run-daily          48-hour trace-driven experiment (paper Sec. III)\n"
+      "    --config FILE    key=value configuration (default: paper setup)\n"
+      "    --csv FILE       also write the 30-minute series as CSV\n"
+      "    --events FILE    also write the full decision event log as CSV\n"
+      "  run-consolidation  assignment-only experiment (paper Sec. IV)\n"
+      "    --config FILE, --csv FILE as above\n"
+      "  gen-traces         write a synthetic PlanetLab-format trace directory\n"
+      "    --out DIR [--vms N] [--hours H] [--seed S]\n"
+      "  functions          print f_a / f_l / f_h tables\n"
+      "    [--ta X] [--p X] [--tl X] [--th X] [--alpha X] [--beta X]\n"
+      "  help-config        list every configuration key");
+  return 2;
+}
+
+void write_series_csv(const std::string& path,
+                      const metrics::MetricsCollector& collector) {
+  std::ofstream out(path);
+  util::require(out.good(), "cannot open " + path);
+  util::CsvWriter csv(out);
+  csv.header({"time_s", "active_servers", "booting", "overall_load", "power_w",
+              "overload_percent", "window_energy_j"});
+  for (const auto& s : collector.samples()) {
+    csv.row(std::vector<double>{s.time, static_cast<double>(s.active_servers),
+                                static_cast<double>(s.booting_servers),
+                                s.overall_load, s.power_w, s.overload_percent,
+                                s.window_energy_j});
+  }
+  std::printf("series written to %s (%zu samples)\n", path.c_str(),
+              collector.samples().size());
+}
+
+template <typename LoadFn>
+auto load_config(Options& options, LoadFn load) {
+  if (const auto path = options.get("config")) {
+    std::ifstream in(*path);
+    util::require(in.good(), "cannot open config file " + *path);
+    return load(in);
+  }
+  std::istringstream empty;
+  return load(empty);
+}
+
+int run_daily(Options& options) {
+  auto config = load_config(options, scenario::load_daily_config);
+  const auto csv_path = options.get("csv");
+  const auto events_path = options.get("events");
+  options.reject_unknown();
+
+  std::printf("daily run: %zu servers, %zu VMs, %.0f h (+%.0f h warm-up)\n",
+              config.fleet.num_servers, config.num_vms,
+              (config.horizon_s - config.warmup_s) / sim::kHour,
+              config.warmup_s / sim::kHour);
+  scenario::DailyScenario daily(config);
+  metrics::EventLog event_log;
+  if (events_path) event_log.attach(*daily.ecocloud());
+  daily.run();
+
+  const auto& d = daily.datacenter();
+  const auto episodes = metrics::summarize_episodes(d.overload_episodes());
+  std::printf("energy            %.1f kWh\n", d.energy_joules() / 3.6e6);
+  std::printf("migrations        %llu (%llu low / %llu high), max %zu in flight\n",
+              static_cast<unsigned long long>(d.total_migrations()),
+              static_cast<unsigned long long>(daily.ecocloud()->low_migrations()),
+              static_cast<unsigned long long>(daily.ecocloud()->high_migrations()),
+              d.max_inflight_migrations());
+  std::printf("switches          %llu on / %llu off\n",
+              static_cast<unsigned long long>(d.total_activations()),
+              static_cast<unsigned long long>(d.total_hibernations()));
+  std::printf("over-demand       %.4f%% of VM-time; %zu violations, %.1f%% <30 s\n",
+              d.vm_seconds() > 0.0
+                  ? 100.0 * d.overload_vm_seconds() / d.vm_seconds()
+                  : 0.0,
+              episodes.count, 100.0 * episodes.fraction_under_30s);
+  std::printf("control plane     %llu messages (%llu invitations)\n",
+              static_cast<unsigned long long>(daily.ecocloud()->messages().total()),
+              static_cast<unsigned long long>(
+                  daily.ecocloud()->messages().invitations_sent));
+  if (csv_path) write_series_csv(*csv_path, daily.collector());
+  if (events_path) {
+    std::ofstream out(*events_path);
+    util::require(out.good(), "cannot open " + *events_path);
+    event_log.write_csv(out);
+    std::printf("event log written to %s (%zu events)\n", events_path->c_str(),
+                event_log.size());
+  }
+  return 0;
+}
+
+int run_consolidation(Options& options) {
+  auto config = load_config(options, scenario::load_consolidation_config);
+  const auto csv_path = options.get("csv");
+  options.reject_unknown();
+
+  std::printf("consolidation run: %zu servers, %zu initial VMs, %.0f h\n",
+              config.num_servers, config.initial_vms,
+              config.horizon_s / sim::kHour);
+  scenario::ConsolidationScenario cons(config);
+  cons.run();
+  const auto& d = cons.datacenter();
+  std::printf("final: %zu active / %zu hibernated; arrivals=%llu departures=%llu "
+              "rejections=%llu\n",
+              d.active_server_count(),
+              d.num_servers() - d.active_server_count() - d.booting_server_count(),
+              static_cast<unsigned long long>(cons.open_system().total_arrivals()),
+              static_cast<unsigned long long>(cons.open_system().total_departures()),
+              static_cast<unsigned long long>(cons.open_system().total_rejections()));
+  if (csv_path) write_series_csv(*csv_path, cons.collector());
+  return 0;
+}
+
+int gen_traces(Options& options) {
+  const auto out_dir = options.get("out");
+  util::require(out_dir.has_value(), "gen-traces requires --out DIR");
+  const double hours = options.get_double("hours", 48.0);
+  const auto vms = static_cast<std::size_t>(options.get_double("vms", 6000.0));
+  const auto seed = static_cast<std::uint64_t>(options.get_double("seed", 1.0));
+  options.reject_unknown();
+
+  trace::WorkloadModel model;
+  util::Rng rng(seed);
+  const auto steps = static_cast<std::size_t>(hours * 3600.0 / 300.0) + 1;
+  const auto set = trace::TraceSet::generate(model, vms, steps, rng);
+  trace::write_planetlab_dir(set, *out_dir);
+  std::printf("wrote %zu traces x %zu samples (5-min cadence) to %s\n", vms,
+              steps, out_dir->c_str());
+  return 0;
+}
+
+int functions(Options& options) {
+  const double ta = options.get_double("ta", 0.9);
+  const double p = options.get_double("p", 3.0);
+  const double tl = options.get_double("tl", 0.5);
+  const double th = options.get_double("th", 0.95);
+  const double alpha = options.get_double("alpha", 0.25);
+  const double beta = options.get_double("beta", 0.25);
+  options.reject_unknown();
+
+  const core::AssignmentFunction fa(ta, p);
+  const core::LowMigrationFunction fl(tl, alpha);
+  const core::HighMigrationFunction fh(th, beta);
+  std::printf("u,fa,fl,fh   (Ta=%.2f p=%.1f Tl=%.2f Th=%.2f a=%.2f b=%.2f; "
+              "fa peaks at u=%.3f)\n", ta, p, tl, th, alpha, beta, fa.argmax());
+  for (int i = 0; i <= 50; ++i) {
+    const double u = i / 50.0;
+    std::printf("%.2f,%.4f,%.4f,%.4f\n", u, fa(u), fl(u), fh(u));
+  }
+  return 0;
+}
+
+int help_config() {
+  std::puts(
+      "daily config keys (key = value, '#' comments, defaults = paper):\n"
+      "  fleet:     servers, core_mhz, core_mix (e.g. 4,6,8), ram_per_core_mb\n"
+      "  workload:  vms, reference_mhz, sample_period_s, diurnal_amplitude,\n"
+      "             diurnal_peak_hour, ar1_rho, dev_base, dev_slope\n"
+      "  run:       horizon_hours, warmup_hours, seed\n"
+      "  algorithm: ta, p, tl, th, alpha, beta, high_dest_factor,\n"
+      "             monitor_period_s, migration_cooldown_s,\n"
+      "             migration_latency_s, boot_time_s, grace_period_s,\n"
+      "             hibernate_delay_s, require_fit, enable_migrations,\n"
+      "             invite_group_size\n"
+      "\n"
+      "consolidation config keys:\n"
+      "  servers, cores_per_server, core_mhz, initial_vms, horizon_hours,\n"
+      "  mean_lifetime_hours, metrics_period_s, seed + algorithm/workload "
+      "keys");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    Options options(argc, argv, 2);
+    if (command == "run-daily") return run_daily(options);
+    if (command == "run-consolidation") return run_consolidation(options);
+    if (command == "gen-traces") return gen_traces(options);
+    if (command == "functions") return functions(options);
+    if (command == "help-config") return help_config();
+    if (command == "help" || command == "--help" || command == "-h") {
+      usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,61 @@
+// Ablation (paper Sec. II): the shape parameter p moves the assignment
+// sweet-spot toward Ta (argmax = p/(p+1) * Ta) and thereby tunes the
+// consolidation effort. Sweep p and report the headline metrics.
+
+#include "bench_common.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+scenario::DailyConfig sweep_config() {
+  // Half-scale run per point keeps the whole sweep fast while preserving
+  // the dynamics.
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 200;
+  config.num_vms = 3000;
+  config.warmup_s = bench::kWarmup;
+  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  return config;
+}
+
+void emit_series() {
+  bench::banner("Ablation", "assignment shape p (Sec. II: argmax = p/(p+1)*Ta)");
+  std::printf(
+      "p,argmax_u,energy_kwh,mean_active,migrations,switches,overload_pct\n");
+  for (double p : {1.0, 2.0, 3.0, 5.0, 8.0}) {
+    scenario::DailyConfig config = sweep_config();
+    config.params.p = p;
+    scenario::DailyScenario daily(config);
+    daily.run();
+    const auto s = bench::summarize_daily(daily);
+    const core::AssignmentFunction fa(config.params.ta, p);
+    std::printf("%.0f,%.3f,%.1f,%.1f,%llu,%llu,%.4f\n", p, fa.argmax(),
+                s.energy_kwh, s.mean_active,
+                static_cast<unsigned long long>(s.migrations),
+                static_cast<unsigned long long>(s.switches), s.overload_percent);
+  }
+  std::printf(
+      "# expected: larger p -> servers accept closer to Ta -> fewer active "
+      "servers / lower energy, at the cost of more overload pressure\n");
+}
+
+void BM_SweepPoint(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::DailyConfig config = sweep_config();
+    config.fleet.num_servers = 50;
+    config.num_vms = 750;
+    config.horizon_s = config.warmup_s + 6.0 * sim::kHour;
+    scenario::DailyScenario daily(config);
+    daily.run();
+    benchmark::DoNotOptimize(daily.datacenter().energy_joules());
+  }
+}
+BENCHMARK(BM_SweepPoint)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

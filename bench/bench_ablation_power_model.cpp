@@ -1,0 +1,77 @@
+// Ablation (paper Sec. I): the value of consolidation hinges on servers
+// NOT being energy-proportional — "an active but idle server consumes
+// approximately 65-70% of the power consumed when it is fully utilized".
+// Sweep the idle fraction and compare ecoCloud against the no-consolidation
+// static spread: the more disproportional the hardware, the larger the
+// saving.
+
+#include "bench_common.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+double run_energy(double idle_fraction, scenario::Algorithm algorithm) {
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 120;
+  config.num_vms = 1800;
+  config.warmup_s = bench::kWarmup;
+  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  scenario::DailyScenario daily(config, algorithm);
+  // Rebuild the data center's power model via a fresh scenario is not
+  // possible post-hoc; instead scale using a custom fleet. The power model
+  // lives in the DataCenter, so we rebuild with a tweaked scenario: the
+  // DailyScenario constructs the DataCenter internally with the default
+  // model, so for this sweep we recompute energy from the utilization
+  // samples, which the linear model makes exact:
+  //   P(u) = peak * (f + (1-f) * u) for active servers (+ sleepers).
+  daily.run();
+  (void)idle_fraction;
+
+  // Exact re-integration under the requested idle fraction using the
+  // recorded per-server snapshots (piecewise-constant between samples).
+  const auto& snaps = daily.collector().utilization_snapshots();
+  const auto& samples = daily.collector().samples();
+  const dc::PowerModel reference;  // for peak watts per class
+  double joules = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (!bench::in_report_window(samples[i].time)) continue;
+    double watts = 0.0;
+    for (std::size_t s = 0; s < snaps[i].size(); ++s) {
+      const auto& server = daily.datacenter().server(static_cast<dc::ServerId>(s));
+      const double peak = reference.peak_w(server.num_cores());
+      if (snaps[i][s] > 0.0) {
+        watts += peak * (idle_fraction + (1.0 - idle_fraction) * snaps[i][s]);
+      } else {
+        // A zero snapshot is hibernated or (rare, transient) active-empty;
+        // treating both as sleeping slightly favours ecoCloud, by less
+        // than the hibernate-delay share of the horizon.
+        watts += 3.0;
+      }
+    }
+    joules += watts * 1800.0;
+  }
+  return joules / 3.6e6;
+}
+
+void emit_series() {
+  bench::banner("Ablation",
+                "energy-proportionality: idle power fraction vs saving (Sec. I)");
+  std::printf("idle_fraction,ecocloud_kwh,static_kwh,saving_pct\n");
+  for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const double eco = run_energy(f, scenario::Algorithm::kEcoCloud);
+    const double flat = run_energy(f, scenario::Algorithm::kStatic);
+    std::printf("%.1f,%.1f,%.1f,%.1f\n", f, eco, flat, 100.0 * (1.0 - eco / flat));
+  }
+  std::printf(
+      "# expected: savings grow with the idle fraction — with perfectly "
+      "proportional servers (f=0) consolidation would barely matter, at the "
+      "paper's f=0.7 it is decisive\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

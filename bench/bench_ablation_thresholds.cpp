@@ -1,0 +1,53 @@
+// Ablation (paper Sec. III sensitivity discussion): Th must exceed Ta or
+// migrations prevent the CPU from being exploited up to Ta; Tl should keep
+// servers from idling under ~40-50%. Sweep both thresholds.
+
+#include "bench_common.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+scenario::DailyConfig sweep_config() {
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 200;
+  config.num_vms = 3000;
+  config.warmup_s = bench::kWarmup;
+  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  return config;
+}
+
+void run_point(const char* label, double tl, double th) {
+  scenario::DailyConfig config = sweep_config();
+  config.params.tl = tl;
+  config.params.th = th;
+  scenario::DailyScenario daily(config);
+  daily.run();
+  const auto s = bench::summarize_daily(daily);
+  std::printf("%s,%.2f,%.2f,%.1f,%.1f,%llu,%llu,%.4f\n", label, tl, th,
+              s.energy_kwh, s.mean_active,
+              static_cast<unsigned long long>(s.migrations),
+              static_cast<unsigned long long>(s.switches), s.overload_percent);
+}
+
+void emit_series() {
+  bench::banner("Ablation", "migration thresholds Tl / Th (Sec. III sensitivity)");
+  std::printf(
+      "sweep,tl,th,energy_kwh,mean_active,migrations,switches,overload_pct\n");
+  for (double tl : {0.3, 0.4, 0.5, 0.6}) {
+    run_point("tl", tl, 0.95);
+  }
+  for (double th : {0.92, 0.95, 0.98}) {
+    run_point("th", 0.5, th);
+  }
+  std::printf(
+      "# expected: higher Tl drains more aggressively (fewer active, more "
+      "migrations); Th close to Ta floods the system with high migrations\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

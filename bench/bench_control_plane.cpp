@@ -1,0 +1,72 @@
+// Control-plane overhead (paper Fig. 1 / footnote 1): invitations can be
+// broadcast to all active servers or to a random group of them in very
+// large data centers. Measure the message traffic of a daily run as a
+// function of the invitation group size: the consolidation quality must
+// hold while the per-decision message count drops from O(N) to O(G).
+
+#include "bench_common.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void run_point(std::size_t group_size) {
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 200;
+  config.num_vms = 3000;
+  config.warmup_s = bench::kWarmup;
+  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  config.params.invite_group_size = group_size;
+  scenario::DailyScenario daily(config);
+  daily.run();
+  const auto s = bench::summarize_daily(daily);
+  const core::MessageLog& messages = daily.ecocloud()->messages();
+  const double hours = 24.0;
+  std::printf("%zu,%.0f,%.1f,%.1f,%.1f,%.1f,%.4f\n",
+              group_size,
+              static_cast<double>(messages.invitation_rounds) / hours,
+              static_cast<double>(messages.invitations_sent) / hours,
+              static_cast<double>(messages.volunteer_replies) / hours,
+              static_cast<double>(messages.total()) / hours,
+              s.energy_kwh, s.overload_percent);
+}
+
+void emit_series() {
+  bench::banner("Control plane",
+                "message traffic vs invitation group size (footnote 1)");
+  std::printf(
+      "invite_group_size,rounds_per_hour,invitations_per_hour,"
+      "replies_per_hour,total_messages_per_hour,energy_kwh,overload_pct\n");
+  run_point(0);  // broadcast to all active servers
+  for (std::size_t g : {16u, 32u, 64u, 128u}) run_point(g);
+  std::printf(
+      "# expected: invitations/hour drop roughly as G/N_active while energy "
+      "and overload stay flat — the basis of the scalability claim\n");
+}
+
+void BM_InvitationRoundBroadcastVsGroup(benchmark::State& state) {
+  dc::DataCenter d;
+  for (int i = 0; i < 2000; ++i) {
+    const auto s = d.add_server(6, 2000.0);
+    d.start_booting(0.0, s);
+    d.finish_booting(0.0, s);
+    const auto v = d.create_vm(0.6 * 12000.0);
+    d.place_vm(0.0, v, s);
+  }
+  core::EcoCloudParams params;
+  params.invite_group_size = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  core::AssignmentProcedure proc(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proc.invite(d, 0.0, 300.0));
+  }
+}
+BENCHMARK(BM_InvitationRoundBroadcastVsGroup)
+    ->Arg(0)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,50 @@
+// Figure 2: assignment probability function f_a(u) for p = 2, 3, 5 and
+// Ta = 0.9 (paper Sec. II, Eq. 1).
+
+#include "bench_common.hpp"
+
+#include "ecocloud/core/probability.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void emit_series() {
+  bench::banner("Fig. 2", "assignment probability function f_a(u), Ta=0.9");
+  const core::AssignmentFunction fa2(0.9, 2.0);
+  const core::AssignmentFunction fa3(0.9, 3.0);
+  const core::AssignmentFunction fa5(0.9, 5.0);
+  std::printf("u,fa_p2,fa_p3,fa_p5\n");
+  for (int i = 0; i <= 100; ++i) {
+    const double u = i / 100.0;
+    std::printf("%.2f,%.6f,%.6f,%.6f\n", u, fa2(u), fa3(u), fa5(u));
+  }
+  std::printf("# argmax: p2=%.4f p3=%.4f p5=%.4f (paper: p/(p+1)*Ta)\n",
+              fa2.argmax(), fa3.argmax(), fa5.argmax());
+}
+
+void BM_AssignmentFunctionEval(benchmark::State& state) {
+  const core::AssignmentFunction fa(0.9, static_cast<double>(state.range(0)));
+  double u = 0.0;
+  for (auto _ : state) {
+    u += 1e-6;
+    if (u > 1.0) u = 0.0;
+    benchmark::DoNotOptimize(fa(u));
+  }
+}
+BENCHMARK(BM_AssignmentFunctionEval)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_AssignmentFunctionConstruct(benchmark::State& state) {
+  for (auto _ : state) {
+    core::AssignmentFunction fa(0.9, 3.0);
+    benchmark::DoNotOptimize(fa.normalizer());
+  }
+}
+BENCHMARK(BM_AssignmentFunctionConstruct);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,43 @@
+// Figure 3: migration probability functions f_l and f_h for alpha, beta in
+// {1, 0.25}, Tl = 0.3, Th = 0.8 (paper Sec. II, Eqs. 3-4).
+
+#include "bench_common.hpp"
+
+#include "ecocloud/core/probability.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void emit_series() {
+  bench::banner("Fig. 3", "migration probability functions, Tl=0.3 Th=0.8");
+  const core::LowMigrationFunction fl1(0.3, 1.0);
+  const core::LowMigrationFunction fl025(0.3, 0.25);
+  const core::HighMigrationFunction fh1(0.8, 1.0);
+  const core::HighMigrationFunction fh025(0.8, 0.25);
+  std::printf("u,fl_alpha1,fl_alpha025,fh_beta1,fh_beta025\n");
+  for (int i = 0; i <= 100; ++i) {
+    const double u = i / 100.0;
+    std::printf("%.2f,%.6f,%.6f,%.6f,%.6f\n", u, fl1(u), fl025(u), fh1(u), fh025(u));
+  }
+}
+
+void BM_MigrationFunctionEval(benchmark::State& state) {
+  const core::LowMigrationFunction fl(0.3, 0.25);
+  const core::HighMigrationFunction fh(0.8, 0.25);
+  double u = 0.0;
+  for (auto _ : state) {
+    u += 1e-6;
+    if (u > 1.0) u = 0.0;
+    benchmark::DoNotOptimize(fl(u));
+    benchmark::DoNotOptimize(fh(u));
+  }
+}
+BENCHMARK(BM_MigrationFunctionEval);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

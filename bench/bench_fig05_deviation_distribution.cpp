@@ -1,0 +1,55 @@
+// Figure 5: distribution of the deviation between punctual and average CPU
+// utilization of the same VM (paper Sec. III: ~94% of deviations < 10
+// percentage points).
+
+#include "bench_common.hpp"
+
+#include "ecocloud/stats/histogram.hpp"
+#include "ecocloud/trace/trace_set.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void emit_series() {
+  bench::banner("Fig. 5", "distribution of punctual-minus-average CPU deviation");
+  trace::WorkloadModel model;
+  util::Rng rng(20130521);
+  // 48 hours of 5-minute samples for 2,000 VMs is plenty for the marginal.
+  const std::size_t steps = 576;
+  stats::Histogram hist(-40.0, 40.0, 32);  // 2.5-point bins as in the figure
+  double within10 = 0.0, total = 0.0;
+  for (int vm = 0; vm < 2000; ++vm) {
+    const double avg = model.sample_average_percent(rng);
+    const auto series = model.generate_series(rng, avg, steps);
+    for (float x : series) {
+      const double deviation = static_cast<double>(x) - avg;
+      hist.add(deviation);
+      total += 1.0;
+      if (deviation > -10.0 && deviation < 10.0) within10 += 1.0;
+    }
+  }
+  std::printf("deviation_bin_center,freq\n");
+  for (std::size_t i = 0; i < hist.num_bins(); ++i) {
+    std::printf("%.2f,%.5f\n", hist.bin_center(i), hist.frequency(i));
+  }
+  std::printf("# within +-10 points: %.1f%% (paper: ~94%%)\n",
+              100.0 * within10 / total);
+}
+
+void BM_GenerateSeries48h(benchmark::State& state) {
+  trace::WorkloadModel model;
+  util::Rng rng(3);
+  for (auto _ : state) {
+    auto series = model.generate_series(rng, 15.0, 576);
+    benchmark::DoNotOptimize(series.data());
+  }
+}
+BENCHMARK(BM_GenerateSeries48h);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

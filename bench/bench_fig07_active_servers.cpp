@@ -1,0 +1,68 @@
+// Figure 7: number of active servers during two consecutive days. The
+// count must track the overall load (servers are switched on when needed
+// and hibernated when the load allows).
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void emit_series() {
+  bench::banner("Fig. 7", "number of active servers over 48 h");
+  scenario::DailyScenario daily(bench::paper_daily_config());
+  daily.run();
+
+  std::printf("hour,active_servers,booting,overall_load\n");
+  double min_active = 1e9, max_active = 0.0;
+  double load_corr_num = 0.0, load_var = 0.0, act_var = 0.0;
+  double mean_load = 0.0, mean_act = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : daily.collector().samples()) {
+    if (!bench::in_report_window(s.time)) continue;
+    mean_load += s.overall_load;
+    mean_act += static_cast<double>(s.active_servers);
+    ++n;
+  }
+  mean_load /= static_cast<double>(n);
+  mean_act /= static_cast<double>(n);
+  for (const auto& s : daily.collector().samples()) {
+    if (!bench::in_report_window(s.time)) continue;
+    std::printf("%.1f,%zu,%zu,%.4f\n", bench::report_hour(s.time),
+                s.active_servers, s.booting_servers, s.overall_load);
+    const double a = static_cast<double>(s.active_servers);
+    min_active = std::min(min_active, a);
+    max_active = std::max(max_active, a);
+    load_corr_num += (s.overall_load - mean_load) * (a - mean_act);
+    load_var += (s.overall_load - mean_load) * (s.overall_load - mean_load);
+    act_var += (a - mean_act) * (a - mean_act);
+  }
+  const double corr = load_corr_num / std::sqrt(load_var * act_var);
+  std::printf(
+      "# range: %.0f..%.0f of 400; corr(active, load)=%.3f (paper: nearly "
+      "proportional, ~120..180)\n",
+      min_active, max_active, corr);
+}
+
+void BM_ActiveUtilizationSnapshot(benchmark::State& state) {
+  dc::DataCenter d;
+  for (int i = 0; i < 400; ++i) {
+    const auto s = d.add_server(6, 2000.0);
+    d.start_booting(0.0, s);
+    d.finish_booting(0.0, s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.active_utilizations());
+  }
+}
+BENCHMARK(BM_ActiveUtilizationSnapshot);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,67 @@
+// Figure 8: power consumed by the data center over two days. The power
+// must follow the load smoothly, with no peaks or sudden variations
+// (paper Sec. III).
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void emit_series() {
+  bench::banner("Fig. 8", "data-center power (W) over 48 h");
+  scenario::DailyScenario daily(bench::paper_daily_config());
+  daily.run();
+
+  std::printf("hour,power_w,window_energy_kwh,overall_load\n");
+  double max_step = 0.0;
+  double previous = -1.0;
+  double energy_kwh = 0.0;
+  for (const auto& s : daily.collector().samples()) {
+    if (!bench::in_report_window(s.time)) continue;
+    std::printf("%.1f,%.0f,%.3f,%.4f\n", bench::report_hour(s.time), s.power_w,
+                s.window_energy_j / 3.6e6, s.overall_load);
+    if (previous >= 0.0) {
+      max_step = std::max(max_step, std::fabs(s.power_w - previous) / previous);
+    }
+    previous = s.power_w;
+    energy_kwh += s.window_energy_j / 3.6e6;
+  }
+  std::printf(
+      "# 48 h energy: %.0f kWh; max half-hour power step: %.1f%% (paper: "
+      "smooth adaptation, 25-40 kW band)\n",
+      energy_kwh, 100.0 * max_step);
+}
+
+void BM_PowerModelEval(benchmark::State& state) {
+  dc::PowerModel pm;
+  dc::Server server(0, 6, 2000.0);
+  server.set_state(dc::ServerState::kActive);
+  server.host_vm(0, 6000.0, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.power_w(server));
+  }
+}
+BENCHMARK(BM_PowerModelEval);
+
+void BM_EnergyAccountingAdvance(benchmark::State& state) {
+  dc::DataCenter d;
+  for (int i = 0; i < 400; ++i) d.add_server(6, 2000.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    d.advance_to(t);
+    benchmark::DoNotOptimize(d.energy_joules());
+  }
+}
+BENCHMARK(BM_EnergyAccountingAdvance);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

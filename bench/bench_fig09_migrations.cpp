@@ -1,0 +1,68 @@
+// Figure 9: number of low and high migrations per hour. High migrations
+// concentrate in the load ramps, low migrations in the descents; the total
+// stays in the low hundreds per hour for the whole 400-server data center.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void emit_series() {
+  bench::banner("Fig. 9", "low/high migrations per hour over 48 h");
+  scenario::DailyScenario daily(bench::paper_daily_config());
+  daily.run();
+
+  const auto& collector = daily.collector();
+  std::printf("hour,low_per_hour,high_per_hour\n");
+  double max_total = 0.0;
+  std::uint64_t total = 0;
+  for (const auto& s : collector.samples()) {
+    if (!bench::in_report_window(s.time)) continue;
+    const auto w = static_cast<std::size_t>(s.time / collector.sample_period_s()) - 1;
+    const double low = collector.low_migrations().hourly_rate(w);
+    const double high = collector.high_migrations().hourly_rate(w);
+    std::printf("%.1f,%.0f,%.0f\n", bench::report_hour(s.time), low, high);
+    max_total = std::max(max_total, low + high);
+    total += collector.low_migrations().count_in_window(w) +
+             collector.high_migrations().count_in_window(w);
+  }
+  const double per_server_hours =
+      static_cast<double>(total) / 48.0 / 400.0;
+  std::printf(
+      "# peak total: %.0f/h; mean per server: one migration every %.1f h "
+      "(paper: <200-250/h total, one per server every ~2 h)\n",
+      max_total, per_server_hours > 0 ? 1.0 / per_server_hours : 0.0);
+}
+
+void BM_MigrationCheck(benchmark::State& state) {
+  dc::DataCenter d;
+  core::EcoCloudParams params;
+  util::Rng rng(5);
+  core::AssignmentProcedure assignment(params, rng);
+  core::MigrationProcedure migration(params, assignment, rng);
+  // 100 active servers at mixed utilizations; one source below Tl.
+  for (int i = 0; i < 100; ++i) {
+    const auto s = d.add_server(6, 2000.0);
+    d.start_booting(0.0, s);
+    d.finish_booting(0.0, s);
+    const auto v = d.create_vm((i == 0 ? 0.2 : 0.7) * 12000.0);
+    d.place_vm(0.0, v, s);
+  }
+  for (auto _ : state) {
+    d.server_mutable(0).set_migration_cooldown_until(-1.0);
+    bool fired = false;
+    benchmark::DoNotOptimize(migration.check(d, 0, 0.0, &fired));
+  }
+}
+BENCHMARK(BM_MigrationCheck);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,59 @@
+// Figure 10: number of server switches (activations and hibernations) per
+// hour. Switches happen only when needed: activations in ascending load
+// phases, hibernations in descending phases.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void emit_series() {
+  bench::banner("Fig. 10", "server activations/hibernations per hour over 48 h");
+  scenario::DailyScenario daily(bench::paper_daily_config());
+  daily.run();
+
+  const auto& collector = daily.collector();
+  std::printf("hour,activations_per_hour,hibernations_per_hour,overall_load\n");
+  double max_rate = 0.0;
+  double mixed_windows = 0.0, switch_windows = 0.0;
+  for (const auto& s : collector.samples()) {
+    if (!bench::in_report_window(s.time)) continue;
+    const auto w = static_cast<std::size_t>(s.time / collector.sample_period_s()) - 1;
+    const double act = collector.activations().hourly_rate(w);
+    const double hib = collector.hibernations().hourly_rate(w);
+    std::printf("%.1f,%.0f,%.0f,%.4f\n", bench::report_hour(s.time), act, hib,
+                s.overall_load);
+    max_rate = std::max(max_rate, std::max(act, hib));
+    if (act > 0.0 || hib > 0.0) {
+      switch_windows += 1.0;
+      if (act > 0.0 && hib > 0.0) mixed_windows += 1.0;
+    }
+  }
+  std::printf(
+      "# peak rate: %.0f/h; windows with both kinds: %.0f%% (paper: phases "
+      "are one-sided, peak <~10/h)\n",
+      max_rate, switch_windows > 0 ? 100.0 * mixed_windows / switch_windows : 0.0);
+}
+
+void BM_WakeHibernateCycle(benchmark::State& state) {
+  dc::DataCenter d;
+  const auto s = d.add_server(6, 2000.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    d.start_booting(t, s);
+    d.finish_booting(t, s);
+    d.hibernate(t, s);
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_WakeHibernateCycle);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,66 @@
+// Figure 12: CPU utilization of 100 servers under the assignment procedure
+// alone (migrations disabled), obtained by simulation. Starting from a
+// non-consolidated state (all servers at 10-30%), the system stratifies
+// within hours: part of the fleet drains and hibernates, the rest climbs
+// toward Ta; from ~8:30 the morning ramp re-activates servers. The paper
+// ends with 45 active / 55 hibernated.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void emit_series() {
+  bench::banner("Fig. 12", "consolidation transient, simulation (100 servers)");
+  scenario::ConsolidationScenario cons{scenario::ConsolidationConfig{}};
+  cons.run();
+
+  const auto& samples = cons.collector().samples();
+  const auto& snaps = cons.collector().utilization_snapshots();
+  std::printf("hour,active,overall_load,u_p10,u_p50,u_p90,population\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    std::vector<double> u;
+    for (double x : snaps[i]) {
+      if (x > 0.0) u.push_back(x);
+    }
+    std::sort(u.begin(), u.end());
+    const auto q = [&](double p) {
+      return u.empty() ? 0.0 : u[static_cast<std::size_t>(p * (u.size() - 1))];
+    };
+    std::printf("%.2f,%zu,%.4f,%.3f,%.3f,%.3f,%zu\n", s.time / sim::kHour,
+                s.active_servers, s.overall_load, q(0.10), q(0.50), q(0.90),
+                cons.open_system().population());
+  }
+  const auto& d = cons.datacenter();
+  std::printf(
+      "# final: %zu active / %zu hibernated of %zu (paper: 45 / 55); "
+      "migrations=%llu (must be 0)\n",
+      d.active_server_count(),
+      d.num_servers() - d.active_server_count() - d.booting_server_count(),
+      d.num_servers(),
+      static_cast<unsigned long long>(d.total_migrations()));
+}
+
+void BM_ConsolidationRun(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::ConsolidationConfig config;
+    config.num_servers = 50;
+    config.initial_vms = 750;
+    config.horizon_s = 6.0 * sim::kHour;
+    scenario::ConsolidationScenario cons(config);
+    cons.run();
+    benchmark::DoNotOptimize(cons.datacenter().active_server_count());
+  }
+}
+BENCHMARK(BM_ConsolidationRun)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

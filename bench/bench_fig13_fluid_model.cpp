@@ -1,0 +1,97 @@
+// Figure 13: the same consolidation transient as Fig. 12, obtained with
+// the fluid model (Eq. 11). Exactly as the paper does, lambda(t) is
+// estimated from the (simulated) trace of arrivals, the initial conditions
+// u_s(0) are copied from the simulation, and the differential equations
+// are integrated numerically. The paper finds the model consolidates on 43
+// servers where the simulation used 45.
+
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+#include "ecocloud/ode/fluid_model.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+void emit_series() {
+  bench::banner("Fig. 13", "consolidation transient, fluid model (Eq. 11)");
+
+  // Step 1: run the Fig.-12 simulation to harvest lambda(t) and u_s(0).
+  scenario::ConsolidationConfig sim_config;
+  scenario::ConsolidationScenario cons(sim_config);
+  cons.run();
+  const auto& first_snapshot = cons.collector().utilization_snapshots().front();
+
+  // Step 2: build the fluid model with the same inputs.
+  ode::FluidModelConfig config;
+  config.num_servers = sim_config.num_servers;
+  config.ta = sim_config.params.ta;
+  config.p = sim_config.params.p;
+  config.lambda = cons.rates().lambda_fn();  // "computed from the traces"
+  const double nu = cons.nu();
+  config.nu = [nu](double) { return nu; };
+  config.vm_share.assign(sim_config.num_servers, cons.mean_vm_share());
+  config.exact = false;  // Eq. (11), the simplified model
+  ode::FluidModel model(config);
+
+  // Step 3: integrate and report on the Fig.-12 cadence.
+  std::printf("hour,active,mean_u,u_p10,u_p50,u_p90\n");
+  const double sample_every = sim_config.sample_period_s;
+  double next_sample = 0.0;
+  const auto observe = [&](double t, const std::vector<double>& u) {
+    if (t + 1e-9 < next_sample) return;
+    next_sample += sample_every;
+    std::vector<double> sorted;
+    double total = 0.0;
+    for (double x : u) {
+      total += x;
+      if (x > 0.01) sorted.push_back(x);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    const auto q = [&](double p) {
+      return sorted.empty()
+                 ? 0.0
+                 : sorted[static_cast<std::size_t>(p * (sorted.size() - 1))];
+    };
+    std::printf("%.2f,%zu,%.4f,%.3f,%.3f,%.3f\n", t / sim::kHour,
+                ode::FluidModel::count_active(u), total / u.size(), q(0.10),
+                q(0.50), q(0.90));
+  };
+
+  const auto final_u = ode::integrate_rk4(
+      model.rhs(), first_snapshot, 0.0, sim_config.horizon_s, 10.0, observe);
+
+  const std::size_t ode_active = ode::FluidModel::count_active(final_u);
+  const std::size_t sim_active = cons.datacenter().active_server_count();
+  std::printf(
+      "# final active: fluid model=%zu vs simulation=%zu (paper: 43 vs 45); "
+      "|diff|=%zu\n",
+      ode_active, sim_active,
+      ode_active > sim_active ? ode_active - sim_active : sim_active - ode_active);
+}
+
+void BM_SimplifiedRhs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ode::FluidModelConfig config;
+  config.num_servers = n;
+  config.lambda = [](double) { return 0.1; };
+  config.nu = [](double) { return 1e-4; };
+  config.vm_share.assign(n, 0.02);
+  ode::FluidModel model(config);
+  std::vector<double> u(n), dudt(n);
+  for (std::size_t i = 0; i < n; ++i) u[i] = 0.1 + 0.8 * (i % 10) / 10.0;
+  for (auto _ : state) {
+    model.derivative(0.0, u, dudt);
+    benchmark::DoNotOptimize(dudt.data());
+  }
+}
+BENCHMARK(BM_SimplifiedRhs)->Arg(100)->Arg(400);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

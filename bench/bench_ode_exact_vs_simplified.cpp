@@ -1,0 +1,94 @@
+// Paper Sec. IV: "we also propose a simplified model. The results of this
+// model proved to be very close to those of the exact model." Quantify
+// that: integrate both models from identical states and report the maximum
+// per-server divergence and the cost ratio.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "ecocloud/ode/fluid_model.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+ode::FluidModelConfig make_config(std::size_t n, bool exact) {
+  ode::FluidModelConfig config;
+  config.num_servers = n;
+  // Balanced open system around total utilization = n/4.
+  const double nu = 1e-4;
+  const double share = 0.02;
+  const double lambda = nu * (static_cast<double>(n) / 4.0) / share;
+  config.lambda = [lambda](double) { return lambda; };
+  config.nu = [nu](double) { return nu; };
+  config.vm_share.assign(n, share);
+  config.exact = exact;
+  return config;
+}
+
+std::vector<double> initial_state(std::size_t n) {
+  util::Rng rng(777);
+  std::vector<double> u(n);
+  for (auto& x : u) x = rng.uniform(0.10, 0.35);
+  return u;
+}
+
+void emit_series() {
+  bench::banner("Model check", "exact (Eqs. 5-9) vs simplified (Eq. 11) fluid model");
+  std::printf("num_servers,max_abs_diff,mean_abs_diff,active_exact,active_simpl\n");
+  for (std::size_t n : {10u, 20u, 50u, 100u}) {
+    ode::FluidModel exact(make_config(n, true));
+    ode::FluidModel simplified(make_config(n, false));
+    const auto u0 = initial_state(n);
+    const double horizon = 6.0 * sim::kHour;
+    const auto ue = ode::integrate_rk4(exact.rhs(), u0, 0.0, horizon, 10.0);
+    const auto us = ode::integrate_rk4(simplified.rhs(), u0, 0.0, horizon, 10.0);
+    double max_diff = 0.0, mean_diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double diff = std::fabs(ue[i] - us[i]);
+      max_diff = std::max(max_diff, diff);
+      mean_diff += diff;
+    }
+    mean_diff /= static_cast<double>(n);
+    std::printf("%zu,%.4f,%.4f,%zu,%zu\n", n, max_diff, mean_diff,
+                ode::FluidModel::count_active(ue),
+                ode::FluidModel::count_active(us));
+  }
+  std::printf(
+      "# expected: small divergence and identical active counts — the "
+      "paper's justification for using Eq. (11)\n");
+}
+
+void BM_ExactRhs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ode::FluidModel model(make_config(n, true));
+  const auto u = initial_state(n);
+  std::vector<double> dudt(n);
+  for (auto _ : state) {
+    model.derivative(0.0, u, dudt);
+    benchmark::DoNotOptimize(dudt.data());
+  }
+}
+BENCHMARK(BM_ExactRhs)->Arg(10)->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+void BM_SimplifiedRhs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ode::FluidModel model(make_config(n, false));
+  const auto u = initial_state(n);
+  std::vector<double> dudt(n);
+  for (auto _ : state) {
+    model.derivative(0.0, u, dudt);
+    benchmark::DoNotOptimize(dudt.data());
+  }
+}
+BENCHMARK(BM_SimplifiedRhs)->Arg(10)->Arg(100)->Arg(400)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,113 @@
+// Paper Secs. I & V: ecoCloud "is naturally scalable, thanks to its
+// probabilistic nature", while "deterministic and centralized algorithms'
+// efficiency deteriorates as the size of the data center grows". Measure
+// the per-decision cost of each approach as the fleet grows. The point is
+// not that one invitation round is cheap (it is O(N) for the manager) but
+// that each *server's* work is O(1) and a centralized reoptimization pass
+// is O(N^2)-ish and must touch global state.
+
+#include "bench_common.hpp"
+
+#include "ecocloud/baseline/centralized_controller.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+dc::DataCenter make_fleet(std::size_t n) {
+  dc::DataCenter d;
+  util::Rng rng(31);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = d.add_server(6, 2000.0);
+    d.start_booting(0.0, s);
+    d.finish_booting(0.0, s);
+    const auto v = d.create_vm(rng.uniform(0.3, 0.85) * 12000.0);
+    d.place_vm(0.0, v, s);
+  }
+  return d;
+}
+
+void emit_series() {
+  bench::banner("Scalability", "per-decision cost vs fleet size");
+  std::printf(
+      "# measured below by google-benchmark: ecoCloud invitation round "
+      "(manager O(N), per-server O(1)), single server Bernoulli answer "
+      "(O(1)), MBFD placement scan (O(N)), centralized reoptimization pass "
+      "(O(N) scans + O(N) placements)\n");
+  std::printf(
+      "# with invite_group_size=G (footnote 1), the invitation round is "
+      "O(G) regardless of N\n");
+}
+
+void BM_EcoCloudInvitationRound(benchmark::State& state) {
+  auto d = make_fleet(static_cast<std::size_t>(state.range(0)));
+  core::EcoCloudParams params;
+  util::Rng rng(1);
+  core::AssignmentProcedure proc(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proc.invite(d, 0.0, 300.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EcoCloudInvitationRound)
+    ->Arg(100)->Arg(400)->Arg(1000)->Arg(4000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oN);
+
+void BM_EcoCloudInvitationRoundGrouped(benchmark::State& state) {
+  auto d = make_fleet(static_cast<std::size_t>(state.range(0)));
+  core::EcoCloudParams params;
+  params.invite_group_size = 64;  // footnote-1 group broadcast
+  util::Rng rng(1);
+  core::AssignmentProcedure proc(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proc.invite(d, 0.0, 300.0));
+  }
+}
+BENCHMARK(BM_EcoCloudInvitationRoundGrouped)
+    ->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_SingleServerAnswer(benchmark::State& state) {
+  auto d = make_fleet(4);
+  core::EcoCloudParams params;
+  util::Rng rng(2);
+  core::AssignmentProcedure proc(params, rng);
+  const core::AssignmentFunction fa(params.ta, params.p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proc.server_accepts(d.server(0), 0.0, 300.0, 0.0, fa));
+  }
+}
+BENCHMARK(BM_SingleServerAnswer);
+
+void BM_MbfdPlacement(benchmark::State& state) {
+  auto d = make_fleet(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::choose_server(
+        d, 300.0, 0.9, baseline::PlacementPolicy::kBestFitDecreasing));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MbfdPlacement)
+    ->Arg(100)->Arg(400)->Arg(1000)->Arg(4000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oN);
+
+void BM_CentralizedReoptimize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator simulator;
+  auto d = make_fleet(n);
+  baseline::CentralizedParams params;
+  baseline::CentralizedController controller(simulator, d, params, util::Rng(3));
+  for (auto _ : state) {
+    controller.reoptimize();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CentralizedReoptimize)
+    ->Arg(100)->Arg(400)->Arg(1000)->Arg(4000)
+    ->Unit(benchmark::kMicrosecond)->Complexity(benchmark::oNSquared);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_series();
+  return bench::run_benchmarks(argc, argv);
+}

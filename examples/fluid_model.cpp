@@ -1,0 +1,73 @@
+// Fluid-model example: the paper's Sec. IV analysis pipeline — run the
+// migration-free consolidation simulation, estimate lambda(t) from its
+// arrival log, feed the differential equations (exact and simplified) with
+// the same inputs and compare the transients.
+//
+//   $ ./fluid_model
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "ecocloud/ode/fluid_model.hpp"
+#include "ecocloud/scenario/scenario.hpp"
+
+using namespace ecocloud;
+
+int main() {
+  // --- the simulation side (Fig. 12) ---
+  scenario::ConsolidationConfig sim_config;
+  sim_config.num_servers = 100;
+  sim_config.initial_vms = 1500;
+  sim_config.horizon_s = 18.0 * sim::kHour;
+  scenario::ConsolidationScenario cons(sim_config);
+  cons.run();
+  std::printf("simulation: %zu servers, %zu initial VMs, %.0f h, migrations off\n",
+              sim_config.num_servers, sim_config.initial_vms,
+              sim_config.horizon_s / sim::kHour);
+  std::printf("  final active servers: %zu\n\n",
+              cons.datacenter().active_server_count());
+
+  // --- the analytical side (Fig. 13) ---
+  const auto& u0 = cons.collector().utilization_snapshots().front();
+  ode::FluidModelConfig config;
+  config.num_servers = sim_config.num_servers;
+  config.ta = sim_config.params.ta;
+  config.p = sim_config.params.p;
+  config.lambda = cons.rates().lambda_fn();  // estimated from the sim's log
+  const double nu = cons.nu();
+  config.nu = [nu](double) { return nu; };
+  config.vm_share.assign(sim_config.num_servers, cons.mean_vm_share());
+
+  std::printf("fluid model inputs: nu=%.2e /s, mean vm share=%.4f, "
+              "lambda(0)=%.4f /s\n\n", nu, cons.mean_vm_share(),
+              config.lambda(0.0));
+
+  for (bool exact : {false, true}) {
+    config.exact = exact;
+    ode::FluidModel model(config);
+    std::printf("%s model (Eq. %s):\n", exact ? "exact" : "simplified",
+                exact ? "5-9" : "11");
+    std::printf("  hour  active  mean_u  max_u\n");
+    const auto observe = [&](double t, const std::vector<double>& u) {
+      const double h = t / sim::kHour;
+      if (std::fabs(h - std::round(h)) > 1e-9 ||
+          static_cast<int>(std::round(h)) % 3 != 0) {
+        return;
+      }
+      double total = 0.0, max_u = 0.0;
+      for (double x : u) {
+        total += x;
+        max_u = std::max(max_u, x);
+      }
+      std::printf("  %4.0f  %6zu  %.4f  %.4f\n", h,
+                  ode::FluidModel::count_active(u), total / u.size(), max_u);
+    };
+    const auto final_u = ode::integrate_rk4(model.rhs(), u0, 0.0,
+                                            sim_config.horizon_s, 10.0, observe);
+    std::printf("  -> final active: %zu (simulation: %zu; paper: 43 vs 45)\n\n",
+                ode::FluidModel::count_active(final_u),
+                cons.datacenter().active_server_count());
+  }
+  return 0;
+}

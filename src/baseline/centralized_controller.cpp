@@ -1,0 +1,202 @@
+#include "ecocloud/baseline/centralized_controller.hpp"
+
+#include <algorithm>
+
+#include "ecocloud/baseline/mm_selection.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::baseline {
+
+void CentralizedParams::validate() const {
+  util::require(utilization_cap > 0.0 && utilization_cap <= 1.0,
+                "CentralizedParams: utilization_cap must be in (0,1]");
+  util::require(lower_threshold > 0.0 && lower_threshold < upper_threshold,
+                "CentralizedParams: need 0 < lower < upper");
+  util::require(upper_threshold <= 1.0, "CentralizedParams: upper must be <= 1");
+  util::require(reopt_period_s > 0.0, "CentralizedParams: reopt period must be > 0");
+  util::require(boot_time_s >= 0.0, "CentralizedParams: boot time must be >= 0");
+  util::require(migration_latency_s >= 0.0,
+                "CentralizedParams: migration latency must be >= 0");
+}
+
+CentralizedController::CentralizedController(sim::Simulator& simulator,
+                                             dc::DataCenter& datacenter,
+                                             CentralizedParams params, util::Rng rng)
+    : sim_(simulator), dc_(datacenter), params_(params), rng_(rng) {
+  params_.validate();
+}
+
+void CentralizedController::start() {
+  util::ensure(!started_, "CentralizedController::start called twice");
+  started_ = true;
+  sim_.schedule_periodic(params_.reopt_period_s, [this] { reoptimize(); },
+                         params_.reopt_period_s);
+}
+
+std::optional<dc::ServerId> CentralizedController::wake_one_server() {
+  const auto sleeping = dc_.servers_in_state(dc::ServerState::kHibernated);
+  if (sleeping.empty()) return std::nullopt;
+  // Deterministic: wake the largest sleeping server (fastest way to add
+  // capacity); ties by id.
+  dc::ServerId best = sleeping.front();
+  for (dc::ServerId s : sleeping) {
+    if (dc_.server(s).capacity_mhz() > dc_.server(best).capacity_mhz()) best = s;
+  }
+  dc_.start_booting(sim_.now(), best);
+  boot_queues_[best];
+  sim_.schedule_after(params_.boot_time_s, [this, best] {
+    dc_.finish_booting(sim_.now(), best);
+    auto it = boot_queues_.find(best);
+    if (it == boot_queues_.end()) return;
+    const std::vector<dc::VmId> queued = std::move(it->second);
+    boot_queues_.erase(it);
+    for (dc::VmId vm : queued) {
+      // A queued VM may have departed while the server booted.
+      if (!dc_.vm(vm).placed() && dc_.vm(vm).demand_mhz >= 0.0) {
+        dc_.place_vm(sim_.now(), vm, best);
+      }
+    }
+  });
+  return best;
+}
+
+bool CentralizedController::deploy_vm(dc::VmId vm) {
+  const dc::Vm& machine = dc_.vm(vm);
+  util::require(!machine.placed(), "CentralizedController::deploy_vm: already placed");
+  const auto chosen = choose_server(dc_, machine.demand_mhz, params_.utilization_cap,
+                                    params_.policy, rng_());
+  if (chosen) {
+    dc_.place_vm(sim_.now(), vm, *chosen);
+    return true;
+  }
+  // Queue on a booting server if one exists, else wake one.
+  for (auto& [server_id, queue] : boot_queues_) {
+    if (dc_.server(server_id).booting()) {
+      queue.push_back(vm);
+      return true;
+    }
+  }
+  if (auto woken = wake_one_server()) {
+    boot_queues_[*woken].push_back(vm);
+    return true;
+  }
+  ++assignment_failures_;
+  return false;
+}
+
+void CentralizedController::depart_vm(dc::VmId vm) {
+  const dc::Vm& machine = dc_.vm(vm);
+  // Remove from any boot queue.
+  for (auto& [server_id, queue] : boot_queues_) {
+    const auto it = std::find(queue.begin(), queue.end(), vm);
+    if (it != queue.end()) {
+      queue.erase(it);
+      return;
+    }
+  }
+  if (machine.migrating()) dc_.cancel_migration(sim_.now(), vm);
+  if (machine.placed()) {
+    const dc::ServerId host = machine.host;
+    dc_.unplace_vm(sim_.now(), vm);
+    hibernate_if_empty(host);
+  }
+}
+
+void CentralizedController::migrate(dc::VmId vm, dc::ServerId dest) {
+  const sim::SimTime now = sim_.now();
+  dc_.begin_migration(now, vm, dest);
+  sim_.schedule_after(params_.migration_latency_s, [this, vm, dest] {
+    const dc::Vm& machine = dc_.vm(vm);
+    if (!machine.migrating() || machine.migrating_to != dest) return;
+    const dc::ServerId source = machine.host;
+    dc_.complete_migration(sim_.now(), vm);
+    ++migrations_;
+    hibernate_if_empty(source);
+  });
+}
+
+void CentralizedController::hibernate_if_empty(dc::ServerId s) {
+  const dc::Server& server = dc_.server(s);
+  if (server.active() && server.empty() && server.reserved_mhz() == 0.0) {
+    dc_.hibernate(sim_.now(), s);
+  }
+}
+
+void CentralizedController::reoptimize() {
+  const sim::SimTime now = sim_.now();
+
+  // Pass 1: relieve overloaded servers (upper threshold), MM selection.
+  for (const dc::Server& server : dc_.servers()) {
+    if (!server.active()) continue;
+    if (server.demand_ratio() <= params_.upper_threshold) continue;
+    const auto evict = select_vms_mm(dc_, server.id(), params_.upper_threshold);
+    for (dc::VmId vm : evict) {
+      auto dest = choose_server(dc_, dc_.vm(vm).demand_mhz, params_.utilization_cap,
+                                params_.policy, rng_());
+      if (dest && *dest != server.id()) {
+        migrate(vm, *dest);
+      } else if (!dest) {
+        // Overload with nowhere to go: add capacity (and retry next pass).
+        wake_one_server();
+        break;
+      }
+    }
+  }
+
+  // Pass 2: evacuate under-utilized servers, least-loaded first.
+  std::vector<dc::ServerId> underloaded;
+  for (const dc::Server& server : dc_.servers()) {
+    if (server.active() && !server.empty() &&
+        server.demand_ratio() < params_.lower_threshold &&
+        server.reserved_mhz() == 0.0) {
+      underloaded.push_back(server.id());
+    }
+  }
+  std::sort(underloaded.begin(), underloaded.end(), [&](dc::ServerId a, dc::ServerId b) {
+    return dc_.server(a).demand_ratio() < dc_.server(b).demand_ratio();
+  });
+
+  for (dc::ServerId s : underloaded) {
+    const dc::Server& server = dc_.server(s);
+    // Tentatively find a destination for every VM; commit only if all fit.
+    // Reservations made by earlier commits in this pass are visible through
+    // Server::reserved_mhz(), so commitments do not oversubscribe.
+    std::vector<std::pair<dc::VmId, dc::ServerId>> moves;
+    std::unordered_map<dc::ServerId, double> extra;  // planned additions
+    bool all_fit = true;
+    for (dc::VmId vm : server.vms()) {
+      if (dc_.vm(vm).migrating()) {
+        all_fit = false;
+        break;
+      }
+      const double demand = dc_.vm(vm).demand_mhz;
+      // Choose among active servers accounting for planned additions.
+      std::optional<dc::ServerId> best;
+      double best_metric = -1.0;
+      for (const dc::Server& cand : dc_.servers()) {
+        if (!cand.active() || cand.id() == s) continue;
+        const double committed =
+            cand.demand_mhz() + cand.reserved_mhz() + extra[cand.id()];
+        const double u_after = (committed + demand) / cand.capacity_mhz();
+        if (u_after > params_.utilization_cap) continue;
+        // Best-fit: tightest remaining space after placement.
+        if (u_after > best_metric) {
+          best_metric = u_after;
+          best = cand.id();
+        }
+      }
+      if (!best) {
+        all_fit = false;
+        break;
+      }
+      moves.emplace_back(vm, *best);
+      extra[*best] += demand;
+    }
+    if (all_fit && !moves.empty()) {
+      for (const auto& [vm, dest] : moves) migrate(vm, dest);
+    }
+  }
+  (void)now;
+}
+
+}  // namespace ecocloud::baseline

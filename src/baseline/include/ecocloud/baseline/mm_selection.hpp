@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file mm_selection.hpp
+/// \brief Minimization-of-Migrations VM selection (Beloglazov & Buyya).
+///
+/// Given an overloaded server, MM chooses the smallest set of VMs whose
+/// removal brings utilization back under the upper threshold, preferring —
+/// among VMs that individually suffice — the one with the least demand
+/// above the required reduction (migrating it is cheapest). When no single
+/// VM suffices, the largest VM is evicted and the selection repeats.
+
+#include <vector>
+
+#include "ecocloud/dc/datacenter.hpp"
+
+namespace ecocloud::baseline {
+
+/// VMs to evict from \p server so that its post-eviction utilization is
+/// <= \p upper_threshold. Returns an empty vector when the server is not
+/// above the threshold. VMs already migrating are not considered.
+[[nodiscard]] std::vector<dc::VmId> select_vms_mm(const dc::DataCenter& datacenter,
+                                                  dc::ServerId server,
+                                                  double upper_threshold);
+
+}  // namespace ecocloud::baseline

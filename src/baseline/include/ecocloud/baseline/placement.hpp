@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file placement.hpp
+/// \brief Centralized single-VM placement heuristics.
+///
+/// Implements the comparators the paper cites (Sec. V): the Modified
+/// Best-Fit-Decreasing family of Beloglazov & Buyya (CCGrid'10) and the
+/// First-Fit-Decreasing variant of Quan et al. (ISCIS'11), plus a
+/// random-fit strawman. All of them are *centralized*: they inspect every
+/// server's state to make one globally informed decision — exactly the
+/// coupling ecoCloud avoids.
+
+#include <optional>
+#include <vector>
+
+#include "ecocloud/dc/datacenter.hpp"
+
+namespace ecocloud::baseline {
+
+enum class PlacementPolicy {
+  kBestFitDecreasing,   ///< minimize power increase (MBFD)
+  kFirstFitDecreasing,  ///< first active server that fits
+  kRandomFit,           ///< uniformly random among servers that fit
+};
+
+[[nodiscard]] const char* to_string(PlacementPolicy policy);
+
+/// Find a server for a VM of the given demand among *active* servers whose
+/// post-placement utilization stays <= \p utilization_cap.
+///
+/// kBestFitDecreasing picks the server whose power draw increases least
+/// (Beloglazov & Buyya's MBFD criterion); ties break toward the higher
+/// utilization (tighter packing). Returns std::nullopt when no active
+/// server fits.
+[[nodiscard]] std::optional<dc::ServerId> choose_server(
+    const dc::DataCenter& datacenter, double vm_demand_mhz, double utilization_cap,
+    PlacementPolicy policy, std::uint64_t random_tiebreak = 0);
+
+/// Sort VM ids by decreasing demand (the "decreasing" half of BFD/FFD).
+[[nodiscard]] std::vector<dc::VmId> sort_by_demand_decreasing(
+    const dc::DataCenter& datacenter, std::vector<dc::VmId> vms);
+
+}  // namespace ecocloud::baseline

@@ -1,0 +1,55 @@
+#include "ecocloud/baseline/mm_selection.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::baseline {
+
+std::vector<dc::VmId> select_vms_mm(const dc::DataCenter& datacenter,
+                                    dc::ServerId server_id, double upper_threshold) {
+  util::require(upper_threshold > 0.0 && upper_threshold <= 1.0,
+                "select_vms_mm: threshold must be in (0,1]");
+  const dc::Server& server = datacenter.server(server_id);
+
+  // Working copy of (vm, demand) for the iterative selection. The excess is
+  // measured against the server's *total* hosted demand; only non-migrating
+  // VMs are candidates for eviction.
+  std::vector<std::pair<dc::VmId, double>> pool;
+  double demand = server.demand_mhz();
+  for (dc::VmId v : server.vms()) {
+    const dc::Vm& vm = datacenter.vm(v);
+    if (vm.migrating()) continue;
+    pool.emplace_back(v, vm.demand_mhz);
+  }
+
+  const double capacity = server.capacity_mhz();
+  std::vector<dc::VmId> selected;
+  while (demand / capacity > upper_threshold && !pool.empty()) {
+    const double needed = demand - upper_threshold * capacity;
+
+    // Cheapest single VM that covers the excess, if any.
+    std::size_t best = pool.size();
+    double best_overshoot = std::numeric_limits<double>::infinity();
+    std::size_t largest = 0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (pool[i].second > pool[largest].second) largest = i;
+      if (pool[i].second >= needed) {
+        const double overshoot = pool[i].second - needed;
+        if (overshoot < best_overshoot) {
+          best_overshoot = overshoot;
+          best = i;
+        }
+      }
+    }
+    const std::size_t pick = best < pool.size() ? best : largest;
+    selected.push_back(pool[pick].first);
+    demand -= pool[pick].second;
+    pool[pick] = pool.back();
+    pool.pop_back();
+  }
+  return selected;
+}
+
+}  // namespace ecocloud::baseline

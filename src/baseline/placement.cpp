@@ -1,0 +1,84 @@
+#include "ecocloud/baseline/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ecocloud/util/rng.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::baseline {
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kBestFitDecreasing: return "MBFD";
+    case PlacementPolicy::kFirstFitDecreasing: return "FFD";
+    case PlacementPolicy::kRandomFit: return "RandomFit";
+  }
+  return "unknown";
+}
+
+std::optional<dc::ServerId> choose_server(const dc::DataCenter& datacenter,
+                                          double vm_demand_mhz, double utilization_cap,
+                                          PlacementPolicy policy,
+                                          std::uint64_t random_tiebreak) {
+  util::require(vm_demand_mhz >= 0.0, "choose_server: negative demand");
+  util::require(utilization_cap > 0.0 && utilization_cap <= 1.0,
+                "choose_server: utilization_cap must be in (0,1]");
+
+  const auto fits = [&](const dc::Server& server) {
+    if (!server.active()) return false;
+    const double committed = server.demand_mhz() + server.reserved_mhz();
+    return (committed + vm_demand_mhz) / server.capacity_mhz() <= utilization_cap;
+  };
+
+  switch (policy) {
+    case PlacementPolicy::kFirstFitDecreasing: {
+      for (const dc::Server& server : datacenter.servers()) {
+        if (fits(server)) return server.id();
+      }
+      return std::nullopt;
+    }
+    case PlacementPolicy::kRandomFit: {
+      std::vector<dc::ServerId> candidates;
+      for (const dc::Server& server : datacenter.servers()) {
+        if (fits(server)) candidates.push_back(server.id());
+      }
+      if (candidates.empty()) return std::nullopt;
+      util::Rng rng(random_tiebreak);
+      return candidates[rng.index(candidates.size())];
+    }
+    case PlacementPolicy::kBestFitDecreasing: {
+      // MBFD: minimize the increase in power draw caused by hosting the VM.
+      const dc::PowerModel& power = datacenter.power_model();
+      std::optional<dc::ServerId> best;
+      double best_delta = std::numeric_limits<double>::infinity();
+      double best_util = -1.0;
+      for (const dc::Server& server : datacenter.servers()) {
+        if (!fits(server)) continue;
+        const double committed = server.demand_mhz() + server.reserved_mhz();
+        const double u_before = committed / server.capacity_mhz();
+        const double u_after = (committed + vm_demand_mhz) / server.capacity_mhz();
+        const double delta = power.active_power_w(server.num_cores(), u_after) -
+                             power.active_power_w(server.num_cores(), u_before);
+        if (delta < best_delta - 1e-12 ||
+            (delta < best_delta + 1e-12 && u_before > best_util)) {
+          best = server.id();
+          best_delta = delta;
+          best_util = u_before;
+        }
+      }
+      return best;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<dc::VmId> sort_by_demand_decreasing(const dc::DataCenter& datacenter,
+                                                std::vector<dc::VmId> vms) {
+  std::stable_sort(vms.begin(), vms.end(), [&](dc::VmId a, dc::VmId b) {
+    return datacenter.vm(a).demand_mhz > datacenter.vm(b).demand_mhz;
+  });
+  return vms;
+}
+
+}  // namespace ecocloud::baseline

@@ -1,0 +1,96 @@
+#include "ecocloud/core/assignment.hpp"
+
+#include <algorithm>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::core {
+
+AssignmentProcedure::AssignmentProcedure(const EcoCloudParams& params, util::Rng& rng)
+    : params_(params), rng_(rng), fa_(params.ta, params.p) {
+  params.validate();
+}
+
+bool AssignmentProcedure::server_accepts(const dc::Server& server, sim::SimTime now,
+                                         double vm_demand_mhz, double vm_ram_mb,
+                                         const AssignmentFunction& fa) const {
+  if (!server.active()) return false;
+
+  const double capacity = server.capacity_mhz();
+  const double committed = server.demand_mhz() + server.reserved_mhz();
+
+  // The paper's procedure considers CPU only; RAM-aware volunteering lives
+  // in the multires extension (Sec. V), not here.
+  (void)vm_ram_mb;
+  if (params_.require_fit && committed + vm_demand_mhz > capacity) return false;
+
+  // Post-boot grace: answer positively while the VM still fits under Ta,
+  // so freshly woken servers reach critical mass (paper Sec. IV).
+  if (server.in_grace(now)) {
+    return (committed + vm_demand_mhz) / capacity <= fa.ta();
+  }
+
+  return rng_.bernoulli(fa(server.decision_utilization()));
+}
+
+AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,
+                                             sim::SimTime now, double vm_demand_mhz,
+                                             double vm_ram_mb, double ta_override,
+                                             dc::ServerId exclude,
+                                             const std::vector<dc::ServerId>* subset) const {
+  util::require(vm_demand_mhz >= 0.0, "AssignmentProcedure::invite: negative demand");
+
+  const AssignmentFunction fa =
+      ta_override >= 0.0 ? fa_.with_threshold(std::min(ta_override, 1.0)) : fa_;
+
+  // Collect the servers to contact: the given group, or all active ones,
+  // optionally thinned to a random invite_group_size-sized subset.
+  std::vector<dc::ServerId> contacted;
+  if (subset) {
+    contacted.reserve(subset->size());
+    for (dc::ServerId id : *subset) {
+      if (datacenter.server(id).active() && id != exclude) {
+        contacted.push_back(id);
+      }
+    }
+  } else {
+    contacted.reserve(datacenter.active_server_count());
+    for (const dc::Server& server : datacenter.servers()) {
+      if (server.active() && server.id() != exclude) {
+        contacted.push_back(server.id());
+      }
+    }
+  }
+  if (params_.invite_group_size > 0 && contacted.size() > params_.invite_group_size) {
+    // Partial Fisher-Yates: the first invite_group_size entries become a
+    // uniformly random subset.
+    for (std::size_t i = 0; i < params_.invite_group_size; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng_.uniform_int(contacted.size() - i));
+      std::swap(contacted[i], contacted[j]);
+    }
+    contacted.resize(params_.invite_group_size);
+  }
+
+  AssignmentResult result;
+  result.contacted = contacted.size();
+
+  std::vector<dc::ServerId> volunteers;
+  for (dc::ServerId id : contacted) {
+    if (server_accepts(datacenter.server(id), now, vm_demand_mhz, vm_ram_mb, fa)) {
+      volunteers.push_back(id);
+    }
+  }
+  result.volunteers = volunteers.size();
+  if (!volunteers.empty()) {
+    result.server = volunteers[rng_.index(volunteers.size())];
+  }
+  if (log_) {
+    ++log_->invitation_rounds;
+    log_->invitations_sent += result.contacted;
+    log_->volunteer_replies += result.volunteers;
+  }
+  return result;
+}
+
+}  // namespace ecocloud::core

@@ -1,0 +1,293 @@
+#include "ecocloud/core/controller.hpp"
+
+#include <algorithm>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::core {
+
+EcoCloudController::EcoCloudController(sim::Simulator& simulator,
+                                       dc::DataCenter& datacenter,
+                                       EcoCloudParams params, util::Rng rng)
+    : sim_(simulator),
+      dc_(datacenter),
+      params_(params),
+      rng_(rng),
+      assignment_(params_, rng_),
+      migration_(params_, assignment_, rng_) {
+  params_.validate();
+  assignment_.set_message_log(&messages_);
+}
+
+void EcoCloudController::start() {
+  util::ensure(!started_, "EcoCloudController::start called twice");
+  started_ = true;
+  if (!params_.enable_migrations) return;
+  const auto n = dc_.num_servers();
+  for (std::size_t s = 0; s < n; ++s) {
+    // Stagger monitors so server checks are spread over a period, as truly
+    // asynchronous per-server daemons would be.
+    const sim::SimTime phase =
+        params_.monitor_period_s * static_cast<double>(s) / static_cast<double>(n);
+    const auto id = static_cast<dc::ServerId>(s);
+    sim_.schedule_periodic(params_.monitor_period_s,
+                           [this, id] { monitor_server(id); }, phase);
+  }
+}
+
+void EcoCloudController::reset_counters() {
+  low_migrations_ = 0;
+  high_migrations_ = 0;
+  assignment_failures_ = 0;
+  wake_ups_ = 0;
+  messages_.reset();
+}
+
+bool EcoCloudController::deploy_vm(dc::VmId vm) {
+  const sim::SimTime now = sim_.now();
+  const dc::Vm& machine = dc_.vm(vm);
+  util::require(!machine.placed(), "deploy_vm: VM already placed");
+  util::require(queued_on_.find(vm) == queued_on_.end(), "deploy_vm: VM already queued");
+
+  // With a topology, the manager broadcasts to one random rack only
+  // (footnote 1); otherwise to every active server.
+  const std::vector<dc::ServerId>* subset =
+      topology_ ? &topology_->servers_in_rack(rng_.index(topology_->num_racks()))
+                : nullptr;
+  const AssignmentResult result =
+      assignment_.invite(dc_, now, machine.demand_mhz, machine.ram_mb,
+                         /*ta_override=*/-1.0, dc::kNoServer, subset);
+  if (result.server) {
+    dc_.place_vm(now, vm, *result.server);
+    ++messages_.placement_commands;
+    if (events_.on_assignment) events_.on_assignment(now, vm, *result.server);
+    return true;
+  }
+
+  // Every active server declined: the load is outgrowing the active set.
+  // Prefer a server that is already booting; otherwise wake one.
+  if (queue_on_booting(vm)) return true;
+
+  if (auto woken = wake_one_server()) {
+    queue_vm(*woken, vm);
+    return true;
+  }
+
+  ++assignment_failures_;
+  if (events_.on_assignment_failure) events_.on_assignment_failure(now, vm);
+  return false;
+}
+
+bool EcoCloudController::queue_on_booting(dc::VmId vm) {
+  const dc::Vm& machine = dc_.vm(vm);
+  for (auto& [server_id, queue] : boot_queues_) {
+    const dc::Server& server = dc_.server(server_id);
+    if (!server.booting()) continue;
+    if ((queue.queued_mhz + machine.demand_mhz) / server.capacity_mhz() <= params_.ta) {
+      queue_vm(server_id, vm);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<dc::ServerId> EcoCloudController::wake_one_server() {
+  std::vector<dc::ServerId> sleeping = dc_.servers_in_state(dc::ServerState::kHibernated);
+  if (sleeping.empty()) return std::nullopt;
+  const dc::ServerId chosen = sleeping[rng_.index(sleeping.size())];
+  const sim::SimTime now = sim_.now();
+  dc_.start_booting(now, chosen);
+  ++wake_ups_;
+  ++messages_.wake_commands;
+  boot_queues_[chosen].finish_at = now + params_.boot_time_s;
+  sim_.schedule_after(params_.boot_time_s, [this, chosen] { on_boot_finished(chosen); });
+  return chosen;
+}
+
+std::optional<dc::ServerId> EcoCloudController::booting_with_room(
+    double demand_mhz) const {
+  for (const auto& [server_id, queue] : boot_queues_) {
+    const dc::Server& server = dc_.server(server_id);
+    if (!server.booting()) continue;
+    const double committed = queue.queued_mhz + server.reserved_mhz() + demand_mhz;
+    if (committed / server.capacity_mhz() <= params_.ta) return server_id;
+  }
+  return std::nullopt;
+}
+
+void EcoCloudController::queue_vm(dc::ServerId booting_server, dc::VmId vm) {
+  BootQueue& queue = boot_queues_[booting_server];
+  queue.vms.push_back(vm);
+  queue.queued_mhz += dc_.vm(vm).demand_mhz;
+  queued_on_[vm] = booting_server;
+}
+
+void EcoCloudController::on_boot_finished(dc::ServerId s) {
+  const sim::SimTime now = sim_.now();
+  dc_.finish_booting(now, s);
+  dc_.server_mutable(s).set_grace_until(now + params_.grace_period_s);
+  if (events_.on_activation) events_.on_activation(now, s);
+
+  auto it = boot_queues_.find(s);
+  if (it != boot_queues_.end()) {
+    const std::vector<dc::VmId> queued = std::move(it->second.vms);
+    boot_queues_.erase(it);
+    for (dc::VmId vm : queued) {
+      queued_on_.erase(vm);
+      dc_.place_vm(now, vm, s);
+      ++messages_.placement_commands;
+      if (events_.on_assignment) events_.on_assignment(now, vm, s);
+    }
+  }
+  // A server woken for a single small VM may stay nearly empty; once its
+  // grace expires the normal low-migration path will drain it if needed.
+  if (dc_.server(s).empty()) schedule_hibernation_check(s);
+}
+
+void EcoCloudController::depart_vm(dc::VmId vm) {
+  const sim::SimTime now = sim_.now();
+  const dc::Vm& machine = dc_.vm(vm);
+
+  if (auto it = queued_on_.find(vm); it != queued_on_.end()) {
+    BootQueue& queue = boot_queues_[it->second];
+    queue.vms.erase(std::find(queue.vms.begin(), queue.vms.end(), vm));
+    queue.queued_mhz -= machine.demand_mhz;
+    queued_on_.erase(it);
+    return;
+  }
+
+  if (machine.migrating()) dc_.cancel_migration(now, vm);
+  if (machine.placed()) {
+    const dc::ServerId host = machine.host;
+    dc_.unplace_vm(now, vm);
+    if (dc_.server(host).empty()) schedule_hibernation_check(host);
+  }
+}
+
+void EcoCloudController::force_activate(dc::ServerId server, bool with_grace) {
+  const sim::SimTime now = sim_.now();
+  dc_.start_booting(now, server);
+  dc_.finish_booting(now, server);
+  if (with_grace) {
+    dc_.server_mutable(server).set_grace_until(now + params_.grace_period_s);
+  }
+}
+
+void EcoCloudController::monitor_server(dc::ServerId s) {
+  const sim::SimTime now = sim_.now();
+  bool fired = false;
+  auto plan = migration_.check(dc_, s, now, &fired);
+  if (fired) {
+    dc_.server_mutable(s).set_migration_cooldown_until(now +
+                                                       params_.migration_cooldown_s);
+  }
+  if (plan) execute_plan(*plan, s);
+}
+
+void EcoCloudController::execute_plan(const MigrationPlan& plan, dc::ServerId source) {
+  const sim::SimTime now = sim_.now();
+
+  if (plan.dest) {
+    start_migration(plan.vm, *plan.dest, plan.is_high,
+                    now + migration_duration(plan.vm, source, *plan.dest));
+  } else if (plan.wake && plan.is_high) {
+    // Prefer a server that is already booting (load ramps overload many
+    // servers at once; one wake can absorb several sheddings). Otherwise
+    // wake a fresh one. Either way the migration completes only after the
+    // destination finished booting (+1 s keeps event order unambiguous).
+    const dc::Vm& vm = dc_.vm(plan.vm);
+    std::optional<dc::ServerId> dest = booting_with_room(vm.demand_mhz);
+    if (!dest) {
+      dest = wake_one_server();
+      if (dest) {
+        dc_.server_mutable(*dest).set_grace_until(now + params_.boot_time_s +
+                                                  params_.grace_period_s);
+      }
+    }
+    if (dest) {
+      const sim::SimTime boot_done = boot_queues_[*dest].finish_at;
+      const sim::SimTime complete_at = std::max(
+          now + migration_duration(plan.vm, source, *dest), boot_done + 1.0);
+      start_migration(plan.vm, *dest, plan.is_high, complete_at);
+    }
+    // With no hibernated server left the overload must be ridden out.
+  }
+
+  if (plan.recheck_suggested) {
+    // Footnote 3: the largest VM alone does not clear the threshold, so the
+    // server immediately runs another trial for a further migration.
+    bool fired = false;
+    auto next = migration_.check(dc_, source, now, &fired);
+    if (next) execute_plan(*next, source);
+  }
+}
+
+void EcoCloudController::set_topology(const net::Topology* topology) {
+  if (topology) {
+    util::require(topology->num_servers() >= dc_.num_servers(),
+                  "set_topology: topology does not cover every server");
+  }
+  topology_ = topology;
+  migration_.set_topology(topology);
+}
+
+sim::SimTime EcoCloudController::migration_duration(dc::VmId vm, dc::ServerId source,
+                                                    dc::ServerId dest) const {
+  sim::SimTime duration = params_.migration_latency_s;
+  if (topology_) {
+    duration += topology_->transfer_time_s(source, dest, dc_.vm(vm).ram_mb);
+  }
+  return duration;
+}
+
+void EcoCloudController::start_migration(dc::VmId vm, dc::ServerId dest, bool is_high,
+                                         sim::SimTime complete_at) {
+  const sim::SimTime now = sim_.now();
+  dc_.begin_migration(now, vm, dest);
+  ++messages_.migration_commands;
+  if (events_.on_migration_start) events_.on_migration_start(now, vm, is_high);
+  sim_.schedule_at(complete_at,
+                   [this, vm, dest, is_high] { finish_migration(vm, dest, is_high); });
+}
+
+void EcoCloudController::finish_migration(dc::VmId vm, dc::ServerId expected_dest,
+                                          bool is_high) {
+  const dc::Vm& machine = dc_.vm(vm);
+  // The VM may have departed (migration cancelled) in the meantime.
+  if (!machine.migrating() || machine.migrating_to != expected_dest) return;
+
+  const sim::SimTime now = sim_.now();
+  const dc::ServerId source = machine.host;
+  dc_.complete_migration(now, vm);
+  if (is_high) {
+    ++high_migrations_;
+  } else {
+    ++low_migrations_;
+  }
+  if (events_.on_migration_complete) events_.on_migration_complete(now, vm, is_high);
+  if (dc_.server(source).empty()) schedule_hibernation_check(source);
+}
+
+void EcoCloudController::schedule_hibernation_check(dc::ServerId s) {
+  sim_.schedule_after(params_.hibernate_delay_s, [this, s] {
+    const dc::Server& server = dc_.server(s);
+    const sim::SimTime now = sim_.now();
+    if (!server.active() || !server.empty()) return;
+    if (server.reserved_mhz() > 0.0) {
+      // An inbound migration is in flight; re-check once it should be done.
+      schedule_hibernation_check(s);
+      return;
+    }
+    if (server.in_grace(now)) {
+      // Still in its post-boot grace window; try again once it expires.
+      sim_.schedule_at(server.grace_until(), [this, s] {
+        if (dc_.server(s).empty()) schedule_hibernation_check(s);
+      });
+      return;
+    }
+    dc_.hibernate(now, s);
+    if (events_.on_hibernation) events_.on_hibernation(now, s);
+  });
+}
+
+}  // namespace ecocloud::core

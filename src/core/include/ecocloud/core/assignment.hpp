@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file assignment.hpp
+/// \brief The decentralized assignment procedure (paper Sec. II).
+///
+/// The data-center manager broadcasts an invitation carrying the VM's
+/// resource demand; each *active* server answers with an independent
+/// Bernoulli trial whose success probability is f_a evaluated on its local
+/// utilization. The manager then picks uniformly among the volunteers.
+/// No global optimization happens anywhere — that is the point.
+
+#include <optional>
+#include <vector>
+
+#include "ecocloud/core/message_log.hpp"
+#include "ecocloud/core/params.hpp"
+#include "ecocloud/core/probability.hpp"
+#include "ecocloud/dc/datacenter.hpp"
+#include "ecocloud/util/rng.hpp"
+
+namespace ecocloud::core {
+
+/// Outcome of one invitation round.
+struct AssignmentResult {
+  /// Chosen server, or empty when every contacted server declined.
+  std::optional<dc::ServerId> server;
+
+  /// Number of servers that volunteered.
+  std::size_t volunteers = 0;
+
+  /// Number of servers contacted.
+  std::size_t contacted = 0;
+};
+
+/// Stateless engine for invitation rounds; all state lives in DataCenter.
+class AssignmentProcedure {
+ public:
+  AssignmentProcedure(const EcoCloudParams& params, util::Rng& rng);
+
+  /// Run one invitation round for a VM of the given demand.
+  ///
+  /// \param now          current simulation time (for grace periods).
+  /// \param ta_override  replaces Ta in f_a when >= 0 (the high-migration
+  ///                     destination variant uses Ta' = 0.9 * u_source).
+  /// \param exclude      a server that must not volunteer (migration source).
+  /// \param subset       when non-null, only these servers are contacted
+  ///                     (footnote 1's group broadcast; inactive entries
+  ///                     are skipped).
+  AssignmentResult invite(const dc::DataCenter& datacenter, sim::SimTime now,
+                          double vm_demand_mhz, double vm_ram_mb = 0.0,
+                          double ta_override = -1.0,
+                          dc::ServerId exclude = dc::kNoServer,
+                          const std::vector<dc::ServerId>* subset = nullptr) const;
+
+  /// One server's answer to an invitation (exposed for tests and for the
+  /// multi-resource extension, which wraps it with extra trials).
+  [[nodiscard]] bool server_accepts(const dc::Server& server, sim::SimTime now,
+                                    double vm_demand_mhz, double vm_ram_mb,
+                                    const AssignmentFunction& fa) const;
+
+  [[nodiscard]] const AssignmentFunction& fa() const { return fa_; }
+
+  /// Attach a control-plane message counter (nullptr to detach). Not
+  /// owned; must outlive the procedure while attached.
+  void set_message_log(MessageLog* log) { log_ = log; }
+
+ private:
+  const EcoCloudParams& params_;
+  util::Rng& rng_;
+  AssignmentFunction fa_;
+  MessageLog* log_ = nullptr;
+};
+
+}  // namespace ecocloud::core

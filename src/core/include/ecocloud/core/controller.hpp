@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file controller.hpp
+/// \brief Event-driven orchestration of the ecoCloud procedures.
+///
+/// EcoCloudController plays both roles of the paper's architecture:
+///  * the thin data-center manager (broadcasting invitations, picking among
+///    volunteers, waking servers); and
+///  * the per-server monitor loop that runs the migration procedure on
+///    local information every few seconds.
+///
+/// It owns no placement state — that lives in DataCenter — and reports
+/// everything observable through optional event callbacks, which the
+/// metrics module subscribes to.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ecocloud/core/assignment.hpp"
+#include "ecocloud/core/migration.hpp"
+#include "ecocloud/core/params.hpp"
+#include "ecocloud/dc/datacenter.hpp"
+#include "ecocloud/sim/simulator.hpp"
+#include "ecocloud/util/rng.hpp"
+
+namespace ecocloud::core {
+
+class EcoCloudController {
+ public:
+  /// Observable events; any callback may be left empty.
+  struct Events {
+    std::function<void(sim::SimTime, dc::VmId, dc::ServerId)> on_assignment;
+    /// Fired when no server volunteered, none was booting, and none could
+    /// be woken (the "buy more servers" signal of Sec. II).
+    std::function<void(sim::SimTime, dc::VmId)> on_assignment_failure;
+    std::function<void(sim::SimTime, dc::VmId, bool is_high)> on_migration_start;
+    std::function<void(sim::SimTime, dc::VmId, bool is_high)> on_migration_complete;
+    std::function<void(sim::SimTime, dc::ServerId)> on_activation;
+    std::function<void(sim::SimTime, dc::ServerId)> on_hibernation;
+  };
+
+  EcoCloudController(sim::Simulator& simulator, dc::DataCenter& datacenter,
+                     EcoCloudParams params, util::Rng rng);
+
+  /// Schedule the per-server monitor loops (staggered phases). Call once.
+  void start();
+
+  /// Run the assignment procedure for an unplaced VM. May place it
+  /// immediately, queue it on a booting server, or wake a hibernated
+  /// server. Returns false only when the whole data center is saturated.
+  bool deploy_vm(dc::VmId vm);
+
+  /// Remove a VM from the system (departure). Handles in-flight migrations
+  /// and boot queues; triggers hibernation checks.
+  void depart_vm(dc::VmId vm);
+
+  /// Activate a hibernated server instantly (experiment setup helper; does
+  /// not grant the post-boot grace period unless \p with_grace).
+  void force_activate(dc::ServerId server, bool with_grace = false);
+
+  [[nodiscard]] const EcoCloudParams& params() const { return params_; }
+  [[nodiscard]] Events& events() { return events_; }
+
+  // --- Lifetime counters ---
+  [[nodiscard]] std::uint64_t low_migrations() const { return low_migrations_; }
+  [[nodiscard]] std::uint64_t high_migrations() const { return high_migrations_; }
+  [[nodiscard]] std::uint64_t assignment_failures() const {
+    return assignment_failures_;
+  }
+  [[nodiscard]] std::uint64_t wake_ups() const { return wake_ups_; }
+  void reset_counters();
+
+  /// Exposed for tests and extensions.
+  [[nodiscard]] AssignmentProcedure& assignment() { return assignment_; }
+  [[nodiscard]] MigrationProcedure& migration() { return migration_; }
+
+  /// Control-plane traffic accumulated so far (paper Fig. 1 / footnote 1).
+  [[nodiscard]] const MessageLog& messages() const { return messages_; }
+
+  /// Attach a rack topology (footnote 1): invitations are broadcast to one
+  /// random rack instead of the whole fleet, migration destinations are
+  /// searched in the source's rack, and migration completion times include
+  /// the RAM transfer over intra-/inter-rack bandwidth. The topology must
+  /// cover every server and outlive the controller. Call before start().
+  void set_topology(const net::Topology* topology);
+
+ private:
+  void monitor_server(dc::ServerId s);
+  void execute_plan(const MigrationPlan& plan, dc::ServerId source);
+  /// Wall time a live migration takes: the fixed latency plus, with a
+  /// topology attached, the RAM transfer over the available bandwidth.
+  [[nodiscard]] sim::SimTime migration_duration(dc::VmId vm, dc::ServerId source,
+                                                dc::ServerId dest) const;
+  void start_migration(dc::VmId vm, dc::ServerId dest, bool is_high,
+                       sim::SimTime complete_at);
+  void finish_migration(dc::VmId vm, dc::ServerId expected_dest, bool is_high);
+  /// Pick a hibernated server and start booting it; returns its id.
+  std::optional<dc::ServerId> wake_one_server();
+  /// Try to queue \p vm on an already-booting server with room under Ta.
+  bool queue_on_booting(dc::VmId vm);
+  void queue_vm(dc::ServerId booting_server, dc::VmId vm);
+  void on_boot_finished(dc::ServerId s);
+  void schedule_hibernation_check(dc::ServerId s);
+
+  sim::Simulator& sim_;
+  dc::DataCenter& dc_;
+  EcoCloudParams params_;
+  util::Rng rng_;
+  AssignmentProcedure assignment_;
+  MigrationProcedure migration_;
+  Events events_;
+  MessageLog messages_;
+  const net::Topology* topology_ = nullptr;
+
+  /// VMs waiting for a booting server, per server, plus their total demand.
+  struct BootQueue {
+    std::vector<dc::VmId> vms;
+    double queued_mhz = 0.0;
+    sim::SimTime finish_at = 0.0;
+  };
+
+  /// Booting server with room for an inbound migration of \p demand_mhz.
+  std::optional<dc::ServerId> booting_with_room(double demand_mhz) const;
+  std::unordered_map<dc::ServerId, BootQueue> boot_queues_;
+  std::unordered_map<dc::VmId, dc::ServerId> queued_on_;
+
+  std::uint64_t low_migrations_ = 0;
+  std::uint64_t high_migrations_ = 0;
+  std::uint64_t assignment_failures_ = 0;
+  std::uint64_t wake_ups_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ecocloud::core

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file message_log.hpp
+/// \brief Control-plane message accounting.
+///
+/// ecoCloud's manager talks to servers over the data-center network:
+/// invitation broadcasts, yes/no answers, wake-up commands, migration
+/// commands (paper Fig. 1 and footnote 1). MessageLog counts them so the
+/// control-plane overhead can be quantified — in particular how footnote
+/// 1's group invitations cap the per-decision message cost in very large
+/// data centers.
+
+#include <cstdint>
+
+namespace ecocloud::core {
+
+struct MessageLog {
+  /// Invitation rounds initiated by the manager (assignment + migration
+  /// destination searches).
+  std::uint64_t invitation_rounds = 0;
+
+  /// Individual invitation messages sent to servers.
+  std::uint64_t invitations_sent = 0;
+
+  /// Positive answers (volunteer replies). Servers that decline stay
+  /// silent in the paper's protocol, so only these cost a message.
+  std::uint64_t volunteer_replies = 0;
+
+  /// VM-placement commands (manager -> chosen server).
+  std::uint64_t placement_commands = 0;
+
+  /// Wake-up commands (manager -> hibernated server).
+  std::uint64_t wake_commands = 0;
+
+  /// Migration commands (manager -> source server, after a destination
+  /// was found).
+  std::uint64_t migration_commands = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return invitations_sent + volunteer_replies + placement_commands +
+           wake_commands + migration_commands;
+  }
+
+  void reset() { *this = MessageLog{}; }
+};
+
+}  // namespace ecocloud::core

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file migration.hpp
+/// \brief The two-step migration procedure (paper Sec. II).
+///
+/// Each server periodically checks its CPU utilization. Outside the
+/// [Tl, Th] band it runs a Bernoulli trial (f_l below, f_h above); on
+/// success it requests the migration of one local VM. The destination is
+/// found with a variant of the assignment procedure:
+///  * high migrations use Ta' = 0.9 * u_source (prevents ping-pong) and may
+///    wake a hibernated server when nobody volunteers;
+///  * low migrations never wake a server (activating one server to
+///    hibernate another would be self-defeating) — with no volunteer the
+///    VM simply stays put.
+///
+/// VM selection for high migrations follows the paper: among VMs whose
+/// utilization share exceeds (u - Th), pick uniformly; if none qualifies,
+/// pick the largest VM (footnote 3) and suggest an immediate re-check for
+/// a further migration.
+
+#include <optional>
+
+#include "ecocloud/core/assignment.hpp"
+#include "ecocloud/core/params.hpp"
+#include "ecocloud/core/probability.hpp"
+#include "ecocloud/dc/datacenter.hpp"
+#include "ecocloud/net/topology.hpp"
+#include "ecocloud/util/rng.hpp"
+
+namespace ecocloud::core {
+
+/// A migration the server decided to request.
+struct MigrationPlan {
+  dc::VmId vm = dc::kNoVm;
+
+  /// Destination server; empty when no server volunteered but a wake-up is
+  /// requested instead (high migrations only).
+  std::optional<dc::ServerId> dest;
+
+  bool is_high = false;
+
+  /// True when the manager should wake a hibernated server for this VM.
+  bool wake = false;
+
+  /// True when the largest-VM fallback fired and the paper prescribes an
+  /// immediate further Bernoulli trial on the same server (footnote 3).
+  bool recheck_suggested = false;
+};
+
+class MigrationProcedure {
+ public:
+  MigrationProcedure(const EcoCloudParams& params, AssignmentProcedure& assignment,
+                     util::Rng& rng);
+
+  /// One monitor tick for \p server_id. Returns a plan when the Bernoulli
+  /// trial succeeded and a VM was selected; std::nullopt otherwise. The
+  /// trial having succeeded is reported through \p trial_fired (when
+  /// non-null) even if no destination exists, so the controller can apply
+  /// the request cooldown.
+  [[nodiscard]] std::optional<MigrationPlan> check(const dc::DataCenter& datacenter,
+                                                   dc::ServerId server_id,
+                                                   sim::SimTime now,
+                                                   bool* trial_fired = nullptr);
+
+  /// Effective utilization used for migration decisions: hosted demand
+  /// minus VMs already migrating out, over capacity, clamped to [0,1].
+  [[nodiscard]] static double effective_utilization(const dc::DataCenter& datacenter,
+                                                    const dc::Server& server);
+
+  [[nodiscard]] const LowMigrationFunction& fl() const { return fl_; }
+  [[nodiscard]] const HighMigrationFunction& fh() const { return fh_; }
+
+  /// With a topology attached, destination searches are scoped to the
+  /// source server's rack (footnote 1). Pass nullptr to detach.
+  void set_topology(const net::Topology* topology) { topology_ = topology; }
+
+ private:
+  /// Pick the VM to shed from an over-utilized server.
+  [[nodiscard]] std::optional<MigrationPlan> plan_high(const dc::DataCenter& datacenter,
+                                                       const dc::Server& server,
+                                                       sim::SimTime now, double u_eff);
+
+  /// Pick the VM to drain from an under-utilized server.
+  [[nodiscard]] std::optional<MigrationPlan> plan_low(const dc::DataCenter& datacenter,
+                                                      const dc::Server& server,
+                                                      sim::SimTime now);
+
+  const EcoCloudParams& params_;
+  AssignmentProcedure& assignment_;
+  util::Rng& rng_;
+  LowMigrationFunction fl_;
+  HighMigrationFunction fh_;
+  const net::Topology* topology_ = nullptr;
+};
+
+}  // namespace ecocloud::core

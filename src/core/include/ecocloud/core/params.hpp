@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file params.hpp
+/// \brief ecoCloud algorithm and operational parameters.
+///
+/// Defaults reproduce the paper's 48-hour experiment (Sec. III):
+/// Ta = 0.90, p = 3, Tl = 0.50, Th = 0.95, alpha = beta = 0.25.
+/// Operational timings (monitor period, boot time, migration latency,
+/// cooldowns) are not pinned down by the paper; DESIGN.md Sec. 5 documents
+/// the choices.
+
+#include <cstddef>
+
+#include "ecocloud/sim/time.hpp"
+
+namespace ecocloud::core {
+
+struct EcoCloudParams {
+  // --- Probability-function parameters (paper Sec. II/III) ---
+  double ta = 0.90;    ///< assignment threshold Ta
+  double p = 3.0;      ///< assignment shape p
+  double tl = 0.50;    ///< low-migration threshold Tl
+  double th = 0.95;    ///< high-migration threshold Th
+  double alpha = 0.25; ///< low-migration shape
+  double beta = 0.25;  ///< high-migration shape
+
+  /// High-migration destination variant: Ta' = high_dest_factor * u_source
+  /// (paper Sec. II: 0.9, preventing ping-pong migrations).
+  double high_dest_factor = 0.9;
+
+  // --- Operational parameters ---
+  /// Period of each server's local utilization check ("every few seconds").
+  sim::SimTime monitor_period_s = 10.0;
+
+  /// Per-server cooldown after a successful migration trial, limiting
+  /// request storms while a server drains.
+  sim::SimTime migration_cooldown_s = 60.0;
+
+  /// Live-migration completion latency. The traced VMs are small (a few
+  /// hundred MHz / a few hundred MB dirty pages), so LAN live migration
+  /// completes in seconds.
+  sim::SimTime migration_latency_s = 10.0;
+
+  /// Server wake-up (boot) latency; peak power is drawn while booting.
+  sim::SimTime boot_time_s = 120.0;
+
+  /// Post-boot grace period during which a server answers invitations
+  /// positively (subject to fit) so it reaches critical mass (Sec. IV).
+  sim::SimTime grace_period_s = 1800.0;
+
+  /// How long a server must stay empty before it hibernates.
+  sim::SimTime hibernate_delay_s = 300.0;
+
+  /// Volunteers must also actually fit the VM (u_after <= 1) to answer yes.
+  bool require_fit = true;
+
+  /// Enable the migration procedure (disabled for the Sec. IV experiment).
+  bool enable_migrations = true;
+
+  /// Invitation fan-out: 0 = broadcast to all active servers (paper
+  /// footnote 1); otherwise a uniformly random subset of this size.
+  std::size_t invite_group_size = 0;
+
+  /// Throws std::invalid_argument if any parameter is out of range or the
+  /// thresholds are inconsistent (requires Tl < Ta < Th, per Sec. III's
+  /// sensitivity discussion).
+  void validate() const;
+};
+
+}  // namespace ecocloud::core

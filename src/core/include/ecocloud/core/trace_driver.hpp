@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file trace_driver.hpp
+/// \brief Replays a TraceSet onto DataCenter VMs every sampling period.
+///
+/// Each mapped VM's demand is refreshed from its trace series at every
+/// 5-minute tick (the CoMon sampling period), exactly as the paper's
+/// trace-driven simulations do.
+
+#include <unordered_map>
+
+#include "ecocloud/dc/datacenter.hpp"
+#include "ecocloud/sim/simulator.hpp"
+#include "ecocloud/trace/trace_set.hpp"
+
+namespace ecocloud::core {
+
+class TraceDriver {
+ public:
+  TraceDriver(sim::Simulator& simulator, dc::DataCenter& datacenter,
+              const trace::TraceSet& traces);
+
+  /// Bind DataCenter VM \p vm to trace row \p trace_index and set its
+  /// demand to the current sample.
+  void map_vm(std::size_t trace_index, dc::VmId vm);
+
+  /// Stop driving \p vm (on departure).
+  void unmap_vm(dc::VmId vm);
+
+  /// Schedule the periodic demand refresh. Call once.
+  void start();
+
+  /// Demand (MHz) that trace row \p trace_index prescribes right now.
+  [[nodiscard]] double current_demand_mhz(std::size_t trace_index) const;
+
+  [[nodiscard]] std::size_t mapped_count() const { return vm_to_trace_.size(); }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  dc::DataCenter& dc_;
+  const trace::TraceSet& traces_;
+  std::unordered_map<dc::VmId, std::size_t> vm_to_trace_;
+  bool started_ = false;
+};
+
+}  // namespace ecocloud::core

@@ -1,0 +1,129 @@
+#include "ecocloud/core/migration.hpp"
+
+#include <algorithm>
+
+#include "ecocloud/util/math.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::core {
+
+MigrationProcedure::MigrationProcedure(const EcoCloudParams& params,
+                                       AssignmentProcedure& assignment,
+                                       util::Rng& rng)
+    : params_(params),
+      assignment_(assignment),
+      rng_(rng),
+      fl_(params.tl, params.alpha),
+      fh_(params.th, params.beta) {}
+
+double MigrationProcedure::effective_utilization(const dc::DataCenter& datacenter,
+                                                 const dc::Server& server) {
+  double outbound = 0.0;
+  for (dc::VmId v : server.vms()) {
+    if (datacenter.vm(v).migrating()) outbound += datacenter.vm(v).demand_mhz;
+  }
+  return util::clamp01((server.demand_mhz() - outbound) / server.capacity_mhz());
+}
+
+std::optional<MigrationPlan> MigrationProcedure::check(
+    const dc::DataCenter& datacenter, dc::ServerId server_id, sim::SimTime now,
+    bool* trial_fired) {
+  if (trial_fired) *trial_fired = false;
+  const dc::Server& server = datacenter.server(server_id);
+
+  if (!server.active() || server.empty()) return std::nullopt;
+  if (server.in_grace(now)) return std::nullopt;  // still filling up
+  if (now < server.migration_cooldown_until()) return std::nullopt;
+
+  const double u_eff = effective_utilization(datacenter, server);
+
+  if (u_eff > params_.th) {
+    if (!rng_.bernoulli(fh_(u_eff))) return std::nullopt;
+    if (trial_fired) *trial_fired = true;
+    return plan_high(datacenter, server, now, u_eff);
+  }
+  if (u_eff < params_.tl) {
+    if (!rng_.bernoulli(fl_(u_eff))) return std::nullopt;
+    if (trial_fired) *trial_fired = true;
+    return plan_low(datacenter, server, now);
+  }
+  return std::nullopt;
+}
+
+std::optional<MigrationPlan> MigrationProcedure::plan_high(
+    const dc::DataCenter& datacenter, const dc::Server& server, sim::SimTime now,
+    double u_eff) {
+  // Candidates: non-migrating VMs whose share exceeds (u - Th), so moving
+  // one of them alone brings the server back under the threshold.
+  const double share_needed = u_eff - params_.th;
+  std::vector<dc::VmId> candidates;
+  dc::VmId largest = dc::kNoVm;
+  double largest_demand = -1.0;
+  for (dc::VmId v : server.vms()) {
+    const dc::Vm& vm = datacenter.vm(v);
+    if (vm.migrating()) continue;
+    const double share = vm.demand_mhz / server.capacity_mhz();
+    if (share > share_needed) candidates.push_back(v);
+    if (vm.demand_mhz > largest_demand) {
+      largest_demand = vm.demand_mhz;
+      largest = v;
+    }
+  }
+  if (largest == dc::kNoVm) return std::nullopt;  // everything already leaving
+
+  MigrationPlan plan;
+  plan.is_high = true;
+  if (!candidates.empty()) {
+    plan.vm = candidates[rng_.index(candidates.size())];
+  } else {
+    plan.vm = largest;  // footnote 3: largest VM + suggest another trial
+    plan.recheck_suggested = true;
+  }
+
+  const dc::Vm& vm = datacenter.vm(plan.vm);
+  const double ta_override =
+      std::min(1.0, params_.high_dest_factor * server.utilization());
+  const std::vector<dc::ServerId>* subset =
+      topology_ ? &topology_->servers_in_rack(topology_->rack_of(server.id()))
+                : nullptr;
+  const AssignmentResult result =
+      assignment_.invite(datacenter, now, vm.demand_mhz, vm.ram_mb, ta_override,
+                         server.id(), subset);
+  if (result.server) {
+    plan.dest = *result.server;
+  } else {
+    // Nobody volunteered: relieve the overload by waking a server.
+    plan.wake = true;
+  }
+  return plan;
+}
+
+std::optional<MigrationPlan> MigrationProcedure::plan_low(
+    const dc::DataCenter& datacenter, const dc::Server& server, sim::SimTime now) {
+  std::vector<dc::VmId> movable;
+  for (dc::VmId v : server.vms()) {
+    if (!datacenter.vm(v).migrating()) movable.push_back(v);
+  }
+  if (movable.empty()) return std::nullopt;
+
+  MigrationPlan plan;
+  plan.is_high = false;
+  plan.vm = movable[rng_.index(movable.size())];
+
+  const dc::Vm& vm = datacenter.vm(plan.vm);
+  const std::vector<dc::ServerId>* subset =
+      topology_ ? &topology_->servers_in_rack(topology_->rack_of(server.id()))
+                : nullptr;
+  const AssignmentResult result =
+      assignment_.invite(datacenter, now, vm.demand_mhz, vm.ram_mb,
+                         /*ta_override=*/-1.0, server.id(), subset);
+  if (!result.server) {
+    // Never wake a server to empty another one (paper Sec. II): no
+    // volunteer means no migration.
+    return std::nullopt;
+  }
+  plan.dest = *result.server;
+  return plan;
+}
+
+}  // namespace ecocloud::core

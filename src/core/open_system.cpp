@@ -1,0 +1,81 @@
+#include "ecocloud/core/open_system.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::core {
+
+OpenSystemDriver::OpenSystemDriver(sim::Simulator& simulator,
+                                   dc::DataCenter& datacenter,
+                                   EcoCloudController& controller,
+                                   TraceDriver& trace_driver,
+                                   const trace::TraceSet& traces, util::Rng rng,
+                                   trace::RateFn lambda, double lambda_max, double nu)
+    : sim_(simulator),
+      dc_(datacenter),
+      controller_(controller),
+      trace_driver_(trace_driver),
+      traces_(traces),
+      rng_(rng),
+      arrivals_(std::move(lambda), lambda_max),
+      nu_(nu) {
+  util::require(nu > 0.0, "OpenSystemDriver: nu must be > 0");
+}
+
+dc::VmId OpenSystemDriver::spawn_vm() {
+  const std::size_t trace_index = rng_.index(traces_.num_vms());
+  const dc::VmId vm = dc_.create_vm(0.0, traces_.ram_mb(trace_index));
+  trace_driver_.map_vm(trace_index, vm);
+  return vm;
+}
+
+void OpenSystemDriver::schedule_departure(dc::VmId vm) {
+  const sim::SimTime lifetime = trace::exponential_lifetime(nu_, rng_);
+  sim_.schedule_after(lifetime, [this, vm] {
+    controller_.depart_vm(vm);
+    trace_driver_.unmap_vm(vm);
+    if (estimator_) estimator_->record_departure(sim_.now(), population_);
+    --population_;
+    ++total_departures_;
+  });
+}
+
+void OpenSystemDriver::seed_initial_population(std::size_t count) {
+  const sim::SimTime now = sim_.now();
+  const auto active = dc_.servers_in_state(dc::ServerState::kActive);
+  util::require(!active.empty(),
+                "OpenSystemDriver::seed_initial_population: no active servers");
+  for (std::size_t i = 0; i < count; ++i) {
+    const dc::VmId vm = spawn_vm();
+    dc_.place_vm(now, vm, active[rng_.index(active.size())]);
+    ++population_;
+    schedule_departure(vm);
+  }
+}
+
+void OpenSystemDriver::start() {
+  util::ensure(!started_, "OpenSystemDriver::start called twice");
+  started_ = true;
+  schedule_next_arrival();
+}
+
+void OpenSystemDriver::schedule_next_arrival() {
+  const sim::SimTime next = arrivals_.next_after(sim_.now(), rng_);
+  sim_.schedule_at(next, [this] { on_arrival(); });
+}
+
+void OpenSystemDriver::on_arrival() {
+  const dc::VmId vm = spawn_vm();
+  ++total_arrivals_;
+  if (estimator_) estimator_->record_arrival(sim_.now());
+  if (controller_.deploy_vm(vm)) {
+    ++population_;
+    schedule_departure(vm);
+  } else {
+    // Data center saturated: the request is rejected (VM never enters).
+    ++total_rejections_;
+    trace_driver_.unmap_vm(vm);
+  }
+  schedule_next_arrival();
+}
+
+}  // namespace ecocloud::core

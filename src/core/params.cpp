@@ -1,0 +1,29 @@
+#include "ecocloud/core/params.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::core {
+
+void EcoCloudParams::validate() const {
+  util::require(ta > 0.0 && ta <= 1.0, "EcoCloudParams: Ta must be in (0,1]");
+  util::require(p > 0.0, "EcoCloudParams: p must be > 0");
+  util::require(tl > 0.0 && tl < 1.0, "EcoCloudParams: Tl must be in (0,1)");
+  util::require(th > 0.0 && th < 1.0, "EcoCloudParams: Th must be in (0,1)");
+  util::require(alpha > 0.0, "EcoCloudParams: alpha must be > 0");
+  util::require(beta > 0.0, "EcoCloudParams: beta must be > 0");
+  util::require(tl < ta, "EcoCloudParams: Tl must be < Ta");
+  util::require(th > ta, "EcoCloudParams: Th must be > Ta (Sec. III sensitivity)");
+  util::require(high_dest_factor > 0.0 && high_dest_factor <= 1.0,
+                "EcoCloudParams: high_dest_factor must be in (0,1]");
+  util::require(monitor_period_s > 0.0, "EcoCloudParams: monitor period must be > 0");
+  util::require(migration_cooldown_s >= 0.0,
+                "EcoCloudParams: migration cooldown must be >= 0");
+  util::require(migration_latency_s >= 0.0,
+                "EcoCloudParams: migration latency must be >= 0");
+  util::require(boot_time_s >= 0.0, "EcoCloudParams: boot time must be >= 0");
+  util::require(grace_period_s >= 0.0, "EcoCloudParams: grace period must be >= 0");
+  util::require(hibernate_delay_s >= 0.0,
+                "EcoCloudParams: hibernate delay must be >= 0");
+}
+
+}  // namespace ecocloud::core

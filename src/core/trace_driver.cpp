@@ -1,0 +1,38 @@
+#include "ecocloud/core/trace_driver.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::core {
+
+TraceDriver::TraceDriver(sim::Simulator& simulator, dc::DataCenter& datacenter,
+                         const trace::TraceSet& traces)
+    : sim_(simulator), dc_(datacenter), traces_(traces) {}
+
+void TraceDriver::map_vm(std::size_t trace_index, dc::VmId vm) {
+  util::require(trace_index < traces_.num_vms(), "TraceDriver::map_vm: bad trace index");
+  vm_to_trace_[vm] = trace_index;
+  dc_.set_vm_demand(sim_.now(), vm, current_demand_mhz(trace_index));
+}
+
+void TraceDriver::unmap_vm(dc::VmId vm) { vm_to_trace_.erase(vm); }
+
+double TraceDriver::current_demand_mhz(std::size_t trace_index) const {
+  return traces_.demand_mhz_at(trace_index, traces_.step_at(sim_.now()));
+}
+
+void TraceDriver::start() {
+  util::ensure(!started_, "TraceDriver::start called twice");
+  started_ = true;
+  sim_.schedule_periodic(traces_.sample_period_s(), [this] { tick(); },
+                         traces_.sample_period_s());
+}
+
+void TraceDriver::tick() {
+  const sim::SimTime now = sim_.now();
+  const std::size_t step = traces_.step_at(now);
+  for (const auto& [vm, trace_index] : vm_to_trace_) {
+    dc_.set_vm_demand(now, vm, traces_.demand_mhz_at(trace_index, step));
+  }
+}
+
+}  // namespace ecocloud::core

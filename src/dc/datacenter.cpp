@@ -1,0 +1,257 @@
+#include "ecocloud/dc/datacenter.hpp"
+
+#include <algorithm>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::dc {
+
+DataCenter::DataCenter(PowerModel power_model) : power_model_(power_model) {}
+
+ServerId DataCenter::add_server(unsigned num_cores, double core_mhz, double ram_mb) {
+  const auto id = static_cast<ServerId>(servers_.size());
+  servers_.emplace_back(id, num_cores, core_mhz, ram_mb);
+  total_capacity_mhz_ += servers_.back().capacity_mhz();
+  power_contrib_w_.push_back(power_model_.power_w(servers_.back()));
+  total_power_w_ += power_contrib_w_.back();
+  overload_vm_contrib_.push_back(0);
+  overload_since_.push_back(-1.0);
+  overload_min_granted_.push_back(1.0);
+  overload_accum_s_.push_back(0.0);
+  return id;
+}
+
+VmId DataCenter::create_vm(double demand_mhz, double ram_mb) {
+  util::require(demand_mhz >= 0.0, "DataCenter::create_vm: demand must be >= 0");
+  util::require(ram_mb >= 0.0, "DataCenter::create_vm: ram must be >= 0");
+  const auto id = static_cast<VmId>(vms_.size());
+  Vm v;
+  v.id = id;
+  v.demand_mhz = demand_mhz;
+  v.ram_mb = ram_mb;
+  vms_.push_back(v);
+  return id;
+}
+
+double DataCenter::overall_load() const {
+  return total_capacity_mhz_ > 0.0 ? total_demand_mhz_ / total_capacity_mhz_ : 0.0;
+}
+
+std::vector<ServerId> DataCenter::servers_in_state(ServerState state) const {
+  std::vector<ServerId> out;
+  for (const Server& s : servers_) {
+    if (s.state() == state) out.push_back(s.id());
+  }
+  return out;
+}
+
+std::vector<double> DataCenter::active_utilizations() const {
+  std::vector<double> out;
+  out.reserve(active_count_);
+  for (const Server& s : servers_) {
+    if (s.active()) out.push_back(s.utilization());
+  }
+  return out;
+}
+
+void DataCenter::advance_to(sim::SimTime t) {
+  util::require(t >= last_time_, "DataCenter::advance_to: time went backwards");
+  const double dt = t - last_time_;
+  if (dt > 0.0) {
+    energy_j_ += total_power_w_ * dt;
+    overload_vm_seconds_ += static_cast<double>(overloaded_vm_count_) * dt;
+    vm_seconds_ += static_cast<double>(placed_vm_count_) * dt;
+    last_time_ = t;
+  }
+}
+
+void DataCenter::reset_accounting(sim::SimTime t) {
+  advance_to(t);
+  energy_j_ = 0.0;
+  overload_vm_seconds_ = 0.0;
+  vm_seconds_ = 0.0;
+  overload_episodes_.clear();
+  activations_ = 0;
+  hibernations_ = 0;
+  migrations_ = 0;
+  max_inflight_ = inflight_;
+}
+
+void DataCenter::refresh_server(sim::SimTime t, ServerId s) {
+  Server& srv = servers_.at(s);
+
+  const double new_power = power_model_.power_w(srv);
+  total_power_w_ += new_power - power_contrib_w_[s];
+  power_contrib_w_[s] = new_power;
+
+  const std::size_t new_overload_vms = srv.overloaded() ? srv.vm_count() : 0;
+  overloaded_vm_count_ += new_overload_vms;
+  overloaded_vm_count_ -= overload_vm_contrib_[s];
+  overload_vm_contrib_[s] = new_overload_vms;
+
+  // Overload-episode bookkeeping.
+  if (srv.overloaded()) {
+    if (overload_since_[s] < 0.0) {
+      overload_since_[s] = t;
+      overload_min_granted_[s] = srv.granted_fraction();
+    } else {
+      overload_min_granted_[s] =
+          std::min(overload_min_granted_[s], srv.granted_fraction());
+    }
+  } else if (overload_since_[s] >= 0.0) {
+    overload_episodes_.push_back(OverloadEpisode{
+        s, overload_since_[s], t - overload_since_[s], overload_min_granted_[s]});
+    overload_accum_s_[s] += t - overload_since_[s];
+    overload_since_[s] = -1.0;
+    overload_min_granted_[s] = 1.0;
+  }
+}
+
+double DataCenter::server_overload_seconds(ServerId s, sim::SimTime t) const {
+  util::require(s < servers_.size(), "server_overload_seconds: unknown server");
+  const double open =
+      overload_since_[s] >= 0.0 ? t - overload_since_[s] : 0.0;
+  return overload_accum_s_[s] + open;
+}
+
+double DataCenter::vm_overload_seconds(VmId v, sim::SimTime t) const {
+  const Vm& machine = vms_.at(v);
+  if (!machine.placed()) return machine.overload_total_s;
+  return machine.overload_total_s +
+         server_overload_seconds(machine.host, t) - machine.overload_baseline_s;
+}
+
+void DataCenter::place_vm(sim::SimTime t, VmId v, ServerId s) {
+  advance_to(t);
+  Vm& machine = vms_.at(v);
+  Server& srv = servers_.at(s);
+  util::require(!machine.placed(), "DataCenter::place_vm: VM already placed");
+  util::require(srv.active(), "DataCenter::place_vm: server not active");
+  machine.host = s;
+  srv.host_vm(v, machine.demand_mhz, machine.ram_mb);
+  total_demand_mhz_ += machine.demand_mhz;
+  ++placed_vm_count_;
+  refresh_server(t, s);
+  machine.overload_baseline_s = server_overload_seconds(s, t);
+}
+
+void DataCenter::unplace_vm(sim::SimTime t, VmId v) {
+  advance_to(t);
+  Vm& machine = vms_.at(v);
+  util::require(machine.placed(), "DataCenter::unplace_vm: VM not placed");
+  util::require(!machine.migrating(),
+                "DataCenter::unplace_vm: cancel the migration first");
+  const ServerId s = machine.host;
+  machine.overload_total_s +=
+      server_overload_seconds(s, t) - machine.overload_baseline_s;
+  servers_.at(s).unhost_vm(v, machine.demand_mhz, machine.ram_mb);
+  machine.host = kNoServer;
+  total_demand_mhz_ -= machine.demand_mhz;
+  --placed_vm_count_;
+  refresh_server(t, s);
+}
+
+void DataCenter::set_vm_demand(sim::SimTime t, VmId v, double demand_mhz) {
+  util::require(demand_mhz >= 0.0, "DataCenter::set_vm_demand: demand must be >= 0");
+  advance_to(t);
+  Vm& machine = vms_.at(v);
+  const double delta = demand_mhz - machine.demand_mhz;
+  machine.demand_mhz = demand_mhz;
+  if (machine.placed()) {
+    servers_.at(machine.host).change_demand(delta);
+    total_demand_mhz_ += delta;
+    refresh_server(t, machine.host);
+  }
+  if (machine.migrating()) {
+    // Keep the destination reservation in sync with the new demand.
+    Server& target = servers_.at(machine.migrating_to);
+    target.remove_reservation(machine.reserved_at_dest_mhz);
+    machine.reserved_at_dest_mhz = demand_mhz;
+    target.add_reservation(demand_mhz);
+  }
+}
+
+void DataCenter::begin_migration(sim::SimTime t, VmId v, ServerId dest) {
+  advance_to(t);
+  Vm& machine = vms_.at(v);
+  util::require(machine.placed(), "DataCenter::begin_migration: VM not placed");
+  util::require(!machine.migrating(), "DataCenter::begin_migration: already migrating");
+  util::require(dest != machine.host, "DataCenter::begin_migration: dest == source");
+  Server& target = servers_.at(dest);
+  util::require(target.active() || target.booting(),
+                "DataCenter::begin_migration: destination is hibernated");
+  machine.migrating_to = dest;
+  machine.reserved_at_dest_mhz = machine.demand_mhz;
+  target.add_reservation(machine.reserved_at_dest_mhz);
+  ++inflight_;
+  max_inflight_ = std::max(max_inflight_, inflight_);
+}
+
+void DataCenter::complete_migration(sim::SimTime t, VmId v) {
+  advance_to(t);
+  Vm& machine = vms_.at(v);
+  util::require(machine.migrating(), "DataCenter::complete_migration: not migrating");
+  const ServerId src = machine.host;
+  const ServerId dest = machine.migrating_to;
+  Server& target = servers_.at(dest);
+  util::require(target.active(), "DataCenter::complete_migration: dest not active");
+
+  target.remove_reservation(machine.reserved_at_dest_mhz);
+  machine.reserved_at_dest_mhz = 0.0;
+  machine.overload_total_s +=
+      server_overload_seconds(src, t) - machine.overload_baseline_s;
+  servers_.at(src).unhost_vm(v, machine.demand_mhz, machine.ram_mb);
+  target.host_vm(v, machine.demand_mhz, machine.ram_mb);
+  machine.host = dest;
+  machine.migrating_to = kNoServer;
+  --inflight_;
+  ++migrations_;
+  refresh_server(t, src);
+  refresh_server(t, dest);
+  machine.overload_baseline_s = server_overload_seconds(dest, t);
+}
+
+void DataCenter::cancel_migration(sim::SimTime t, VmId v) {
+  advance_to(t);
+  Vm& machine = vms_.at(v);
+  util::require(machine.migrating(), "DataCenter::cancel_migration: not migrating");
+  servers_.at(machine.migrating_to).remove_reservation(machine.reserved_at_dest_mhz);
+  machine.reserved_at_dest_mhz = 0.0;
+  machine.migrating_to = kNoServer;
+  --inflight_;
+}
+
+void DataCenter::start_booting(sim::SimTime t, ServerId s) {
+  advance_to(t);
+  Server& srv = servers_.at(s);
+  util::require(srv.hibernated(), "DataCenter::start_booting: server not hibernated");
+  srv.set_state(ServerState::kBooting);
+  ++booting_count_;
+  refresh_server(t, s);
+}
+
+void DataCenter::finish_booting(sim::SimTime t, ServerId s) {
+  advance_to(t);
+  Server& srv = servers_.at(s);
+  util::require(srv.booting(), "DataCenter::finish_booting: server not booting");
+  srv.set_state(ServerState::kActive);
+  --booting_count_;
+  ++active_count_;
+  ++activations_;
+  refresh_server(t, s);
+}
+
+void DataCenter::hibernate(sim::SimTime t, ServerId s) {
+  advance_to(t);
+  Server& srv = servers_.at(s);
+  util::require(srv.active(), "DataCenter::hibernate: server not active");
+  util::require(srv.empty(), "DataCenter::hibernate: server still hosts VMs");
+  util::require(srv.reserved_mhz() == 0.0,
+                "DataCenter::hibernate: inbound migration reservation pending");
+  srv.set_state(ServerState::kHibernated);
+  --active_count_;
+  ++hibernations_;
+  refresh_server(t, s);
+}
+
+}  // namespace ecocloud::dc

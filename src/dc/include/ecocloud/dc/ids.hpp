@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file ids.hpp
+/// \brief Identifier types for servers and virtual machines.
+
+#include <cstdint>
+#include <limits>
+
+namespace ecocloud::dc {
+
+using ServerId = std::uint32_t;
+using VmId = std::uint32_t;
+
+/// Sentinel for "no server" (e.g. an unplaced VM).
+inline constexpr ServerId kNoServer = std::numeric_limits<ServerId>::max();
+
+/// Sentinel for "no VM".
+inline constexpr VmId kNoVm = std::numeric_limits<VmId>::max();
+
+}  // namespace ecocloud::dc

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file power.hpp
+/// \brief Linear server power model.
+///
+/// Active power grows linearly with utilization between an idle floor and a
+/// peak: P(u) = P_idle + (P_peak - P_idle) * u. The paper (Sec. I, citing
+/// Greenberg et al.) notes an active-but-idle server draws 65-70% of peak;
+/// the default idle fraction is 0.70. Booting servers draw peak power,
+/// hibernated servers a small standby wattage.
+
+#include "ecocloud/dc/server.hpp"
+
+namespace ecocloud::dc {
+
+class PowerModel {
+ public:
+  /// \param idle_fraction  P_idle / P_peak, in [0, 1].
+  /// \param sleep_w        standby draw of a hibernated server (>= 0).
+  /// \param peak_w_per_core  peak watts contributed per core; a server's
+  ///        P_peak = base_w + peak_w_per_core * cores.
+  /// \param base_w         per-server fixed component of P_peak (>= 0).
+  explicit PowerModel(double idle_fraction = 0.70, double sleep_w = 3.0,
+                      double peak_w_per_core = 20.0, double base_w = 100.0);
+
+  [[nodiscard]] double idle_fraction() const { return idle_fraction_; }
+  [[nodiscard]] double sleep_w() const { return sleep_w_; }
+
+  /// Peak power of a server with the given core count.
+  [[nodiscard]] double peak_w(unsigned num_cores) const;
+
+  /// Idle power of a server with the given core count.
+  [[nodiscard]] double idle_w(unsigned num_cores) const;
+
+  /// Instantaneous power of \p server given its state and utilization.
+  [[nodiscard]] double power_w(const Server& server) const;
+
+  /// Power of an active server with \p num_cores at utilization \p u.
+  [[nodiscard]] double active_power_w(unsigned num_cores, double u) const;
+
+ private:
+  double idle_fraction_;
+  double sleep_w_;
+  double peak_w_per_core_;
+  double base_w_;
+};
+
+}  // namespace ecocloud::dc

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file server.hpp
+/// \brief Physical server model: capacity, power state, hosted VMs.
+///
+/// Utilization is total hosted CPU demand divided by capacity; the *demand
+/// ratio* may exceed 1 (overload), in which case the hypervisor grants CPU
+/// proportionally (see DataCenter overload accounting). Decision-time
+/// utilization additionally counts capacity reserved for in-flight inbound
+/// migrations so concurrent decisions do not oversubscribe a server.
+
+#include <vector>
+
+#include "ecocloud/dc/ids.hpp"
+#include "ecocloud/sim/time.hpp"
+
+namespace ecocloud::dc {
+
+/// Power state of a server.
+enum class ServerState {
+  kHibernated,  ///< Low-power sleep; hosts nothing.
+  kBooting,     ///< Waking up; draws peak power, cannot host yet.
+  kActive,      ///< Running; hosts VMs.
+};
+
+[[nodiscard]] const char* to_string(ServerState state);
+
+class Server {
+ public:
+  /// \param id        server identifier.
+  /// \param num_cores number of CPU cores (> 0).
+  /// \param core_mhz  per-core frequency in MHz (> 0).
+  /// \param ram_mb    RAM capacity in MB (>= 0; multi-resource extension).
+  Server(ServerId id, unsigned num_cores, double core_mhz, double ram_mb = 0.0);
+
+  [[nodiscard]] ServerId id() const { return id_; }
+  [[nodiscard]] unsigned num_cores() const { return num_cores_; }
+  [[nodiscard]] double core_mhz() const { return core_mhz_; }
+  [[nodiscard]] double capacity_mhz() const { return capacity_mhz_; }
+  [[nodiscard]] double ram_capacity_mb() const { return ram_mb_; }
+
+  [[nodiscard]] ServerState state() const { return state_; }
+  [[nodiscard]] bool active() const { return state_ == ServerState::kActive; }
+  [[nodiscard]] bool hibernated() const { return state_ == ServerState::kHibernated; }
+  [[nodiscard]] bool booting() const { return state_ == ServerState::kBooting; }
+
+  /// Total CPU demand of hosted VMs, in MHz.
+  [[nodiscard]] double demand_mhz() const { return demand_mhz_; }
+
+  /// Total RAM of hosted VMs, in MB.
+  [[nodiscard]] double ram_used_mb() const { return ram_used_mb_; }
+
+  /// CPU demand reserved for in-flight inbound migrations, in MHz.
+  [[nodiscard]] double reserved_mhz() const { return reserved_mhz_; }
+
+  /// Demand ratio: hosted demand / capacity; may exceed 1 under overload.
+  [[nodiscard]] double demand_ratio() const { return demand_mhz_ / capacity_mhz_; }
+
+  /// CPU utilization u in [0, 1]: demand ratio clamped to 1. This is the
+  /// quantity the paper's probability functions take as input.
+  [[nodiscard]] double utilization() const;
+
+  /// Utilization including reservations, used for admission decisions.
+  [[nodiscard]] double decision_utilization() const;
+
+  /// True when hosted demand exceeds capacity.
+  [[nodiscard]] bool overloaded() const { return demand_mhz_ > capacity_mhz_; }
+
+  /// Fraction of demanded CPU actually granted (1 when not overloaded).
+  [[nodiscard]] double granted_fraction() const;
+
+  /// Hosted VM ids (unordered).
+  [[nodiscard]] const std::vector<VmId>& vms() const { return vms_; }
+  [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
+  [[nodiscard]] bool empty() const { return vms_.empty(); }
+
+  /// End of the post-boot grace period during which the server accepts all
+  /// assignment invitations unconditionally (paper Sec. IV); -inf when none.
+  [[nodiscard]] sim::SimTime grace_until() const { return grace_until_; }
+  void set_grace_until(sim::SimTime t) { grace_until_ = t; }
+  [[nodiscard]] bool in_grace(sim::SimTime now) const { return now < grace_until_; }
+
+  /// Earliest time this server may issue another migration request
+  /// (request-storm cooldown); -inf when unrestricted.
+  [[nodiscard]] sim::SimTime migration_cooldown_until() const {
+    return migration_cooldown_until_;
+  }
+  void set_migration_cooldown_until(sim::SimTime t) { migration_cooldown_until_ = t; }
+
+  // --- Mutators used by DataCenter (keep aggregates in sync there) ---
+
+  void set_state(ServerState state) { state_ = state; }
+  void host_vm(VmId vm, double demand_mhz, double ram_mb);
+  void unhost_vm(VmId vm, double demand_mhz, double ram_mb);
+  void change_demand(double delta_mhz);
+  void add_reservation(double mhz) { reserved_mhz_ += mhz; }
+  void remove_reservation(double mhz);
+
+ private:
+  ServerId id_;
+  unsigned num_cores_;
+  double core_mhz_;
+  double capacity_mhz_;
+  double ram_mb_;
+  ServerState state_ = ServerState::kHibernated;
+  double demand_mhz_ = 0.0;
+  double ram_used_mb_ = 0.0;
+  double reserved_mhz_ = 0.0;
+  std::vector<VmId> vms_;
+  sim::SimTime grace_until_ = -1.0;
+  sim::SimTime migration_cooldown_until_ = -1.0;
+};
+
+}  // namespace ecocloud::dc

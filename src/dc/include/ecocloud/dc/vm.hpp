@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file vm.hpp
+/// \brief Virtual machine record.
+///
+/// A VM is characterised by its instantaneous CPU demand in MHz (updated
+/// from the workload trace every sampling period) and an optional RAM
+/// footprint used by the multi-resource extension. Placement state is owned
+/// by the DataCenter, which keeps these records consistent.
+
+#include <cstdint>
+
+#include "ecocloud/dc/ids.hpp"
+
+namespace ecocloud::dc {
+
+struct Vm {
+  VmId id = kNoVm;
+
+  /// Instantaneous CPU demand in MHz (>= 0).
+  double demand_mhz = 0.0;
+
+  /// RAM footprint in MB (used by the multi-resource extension; the core
+  /// CPU-only algorithm ignores it).
+  double ram_mb = 0.0;
+
+  /// Hosting server, or kNoServer when unplaced.
+  ServerId host = kNoServer;
+
+  /// Destination server while a live migration is in flight, else kNoServer.
+  ServerId migrating_to = kNoServer;
+
+  /// Capacity currently reserved at the migration destination (tracked so
+  /// the exact amount is released even if demand changes mid-flight).
+  double reserved_at_dest_mhz = 0.0;
+
+  /// Per-VM SLA attribution (maintained by DataCenter): seconds this VM
+  /// spent on overloaded servers across past placements, plus the host's
+  /// cumulative-overload baseline at the current placement.
+  double overload_total_s = 0.0;
+  double overload_baseline_s = 0.0;
+
+  [[nodiscard]] bool placed() const { return host != kNoServer; }
+  [[nodiscard]] bool migrating() const { return migrating_to != kNoServer; }
+};
+
+}  // namespace ecocloud::dc

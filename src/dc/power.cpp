@@ -1,0 +1,47 @@
+#include "ecocloud/dc/power.hpp"
+
+#include "ecocloud/util/math.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::dc {
+
+PowerModel::PowerModel(double idle_fraction, double sleep_w,
+                       double peak_w_per_core, double base_w)
+    : idle_fraction_(idle_fraction),
+      sleep_w_(sleep_w),
+      peak_w_per_core_(peak_w_per_core),
+      base_w_(base_w) {
+  util::require(idle_fraction >= 0.0 && idle_fraction <= 1.0,
+                "PowerModel: idle_fraction must be in [0,1]");
+  util::require(sleep_w >= 0.0, "PowerModel: sleep_w must be >= 0");
+  util::require(peak_w_per_core >= 0.0, "PowerModel: peak_w_per_core must be >= 0");
+  util::require(base_w >= 0.0, "PowerModel: base_w must be >= 0");
+}
+
+double PowerModel::peak_w(unsigned num_cores) const {
+  return base_w_ + peak_w_per_core_ * static_cast<double>(num_cores);
+}
+
+double PowerModel::idle_w(unsigned num_cores) const {
+  return idle_fraction_ * peak_w(num_cores);
+}
+
+double PowerModel::active_power_w(unsigned num_cores, double u) const {
+  const double peak = peak_w(num_cores);
+  const double idle = idle_fraction_ * peak;
+  return idle + (peak - idle) * util::clamp01(u);
+}
+
+double PowerModel::power_w(const Server& server) const {
+  switch (server.state()) {
+    case ServerState::kHibernated:
+      return sleep_w_;
+    case ServerState::kBooting:
+      return peak_w(server.num_cores());
+    case ServerState::kActive:
+      return active_power_w(server.num_cores(), server.utilization());
+  }
+  return 0.0;
+}
+
+}  // namespace ecocloud::dc

@@ -1,0 +1,71 @@
+#include "ecocloud/dc/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecocloud/util/math.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::dc {
+
+const char* to_string(ServerState state) {
+  switch (state) {
+    case ServerState::kHibernated: return "hibernated";
+    case ServerState::kBooting: return "booting";
+    case ServerState::kActive: return "active";
+  }
+  return "unknown";
+}
+
+Server::Server(ServerId id, unsigned num_cores, double core_mhz, double ram_mb)
+    : id_(id),
+      num_cores_(num_cores),
+      core_mhz_(core_mhz),
+      capacity_mhz_(static_cast<double>(num_cores) * core_mhz),
+      ram_mb_(ram_mb) {
+  util::require(num_cores > 0, "Server: num_cores must be > 0");
+  util::require(core_mhz > 0.0, "Server: core_mhz must be > 0");
+  util::require(ram_mb >= 0.0, "Server: ram_mb must be >= 0");
+}
+
+double Server::utilization() const { return util::clamp01(demand_ratio()); }
+
+double Server::decision_utilization() const {
+  return util::clamp01((demand_mhz_ + reserved_mhz_) / capacity_mhz_);
+}
+
+double Server::granted_fraction() const {
+  return overloaded() ? capacity_mhz_ / demand_mhz_ : 1.0;
+}
+
+void Server::host_vm(VmId vm, double demand_mhz, double ram_mb) {
+  vms_.push_back(vm);
+  demand_mhz_ += demand_mhz;
+  ram_used_mb_ += ram_mb;
+}
+
+void Server::unhost_vm(VmId vm, double demand_mhz, double ram_mb) {
+  const auto it = std::find(vms_.begin(), vms_.end(), vm);
+  util::ensure(it != vms_.end(), "Server::unhost_vm: VM not hosted here");
+  *it = vms_.back();
+  vms_.pop_back();
+  demand_mhz_ -= demand_mhz;
+  ram_used_mb_ -= ram_mb;
+  // Cancel accumulated floating-point drift near zero.
+  if (vms_.empty() || demand_mhz_ < 0.0) demand_mhz_ = std::max(0.0, demand_mhz_);
+  if (vms_.empty()) demand_mhz_ = 0.0;
+  if (vms_.empty() || ram_used_mb_ < 0.0) ram_used_mb_ = std::max(0.0, ram_used_mb_);
+  if (vms_.empty()) ram_used_mb_ = 0.0;
+}
+
+void Server::change_demand(double delta_mhz) {
+  demand_mhz_ += delta_mhz;
+  if (demand_mhz_ < 0.0) demand_mhz_ = 0.0;
+}
+
+void Server::remove_reservation(double mhz) {
+  reserved_mhz_ -= mhz;
+  if (reserved_mhz_ < 0.0) reserved_mhz_ = 0.0;
+}
+
+}  // namespace ecocloud::dc

@@ -1,0 +1,82 @@
+#include "ecocloud/metrics/collector.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::metrics {
+
+MetricsCollector::MetricsCollector(sim::Simulator& simulator,
+                                   dc::DataCenter& datacenter, CollectorConfig config)
+    : sim_(simulator),
+      dc_(datacenter),
+      config_(config),
+      low_mig_(config.sample_period_s),
+      high_mig_(config.sample_period_s),
+      activations_(config.sample_period_s),
+      hibernations_(config.sample_period_s) {
+  util::require(config.sample_period_s > 0.0,
+                "MetricsCollector: sample period must be > 0");
+}
+
+void MetricsCollector::attach(core::EcoCloudController& controller) {
+  core::EcoCloudController::Events& events = controller.events();
+  events.on_migration_complete = [this](sim::SimTime t, dc::VmId, bool is_high) {
+    (is_high ? high_mig_ : low_mig_).record(t);
+  };
+  events.on_activation = [this](sim::SimTime t, dc::ServerId) {
+    activations_.record(t);
+  };
+  events.on_hibernation = [this](sim::SimTime t, dc::ServerId) {
+    hibernations_.record(t);
+  };
+}
+
+void MetricsCollector::start() {
+  util::ensure(!started_, "MetricsCollector::start called twice");
+  started_ = true;
+  sim_.schedule_periodic(config_.sample_period_s, [this] { sample_now(); },
+                         config_.sample_period_s);
+}
+
+void MetricsCollector::rebase() {
+  last_overload_vm_seconds_ = dc_.overload_vm_seconds();
+  last_vm_seconds_ = dc_.vm_seconds();
+  last_energy_j_ = dc_.energy_joules();
+}
+
+void MetricsCollector::sample_now() {
+  const sim::SimTime now = sim_.now();
+  dc_.advance_to(now);
+
+  Sample sample;
+  sample.time = now;
+  sample.active_servers = dc_.active_server_count();
+  sample.booting_servers = dc_.booting_server_count();
+  sample.overall_load = dc_.overall_load();
+  sample.power_w = dc_.total_power_w();
+
+  const double d_overload = dc_.overload_vm_seconds() - last_overload_vm_seconds_;
+  const double d_vmsec = dc_.vm_seconds() - last_vm_seconds_;
+  sample.overload_percent = d_vmsec > 0.0 ? 100.0 * d_overload / d_vmsec : 0.0;
+  last_overload_vm_seconds_ = dc_.overload_vm_seconds();
+  last_vm_seconds_ = dc_.vm_seconds();
+
+  sample.window_energy_j = dc_.energy_joules() - last_energy_j_;
+  last_energy_j_ = dc_.energy_joules();
+
+  samples_.push_back(sample);
+
+  if (config_.keep_utilization_snapshots) {
+    std::vector<double> snapshot;
+    snapshot.reserve(dc_.num_servers());
+    for (const dc::Server& server : dc_.servers()) {
+      snapshot.push_back(server.active() ? server.utilization() : 0.0);
+    }
+    snapshots_.push_back(std::move(snapshot));
+  }
+}
+
+double MetricsCollector::total_energy_kwh() const {
+  return dc_.energy_joules() / 3.6e6;
+}
+
+}  // namespace ecocloud::metrics

@@ -1,0 +1,31 @@
+#include "ecocloud/metrics/episode_summary.hpp"
+
+#include <algorithm>
+
+namespace ecocloud::metrics {
+
+EpisodeSummary summarize_episodes(const std::vector<dc::OverloadEpisode>& episodes,
+                                  double short_threshold_s) {
+  EpisodeSummary summary;
+  summary.count = episodes.size();
+  if (episodes.empty()) return summary;
+
+  double total_duration = 0.0;
+  double total_min_granted = 0.0;
+  std::size_t short_count = 0;
+  for (const dc::OverloadEpisode& ep : episodes) {
+    total_duration += ep.duration_s;
+    summary.max_duration_s = std::max(summary.max_duration_s, ep.duration_s);
+    if (ep.duration_s < short_threshold_s) ++short_count;
+    total_min_granted += ep.min_granted_fraction;
+    summary.worst_granted_fraction =
+        std::min(summary.worst_granted_fraction, ep.min_granted_fraction);
+  }
+  const auto n = static_cast<double>(episodes.size());
+  summary.mean_duration_s = total_duration / n;
+  summary.fraction_under_30s = static_cast<double>(short_count) / n;
+  summary.mean_min_granted_fraction = total_min_granted / n;
+  return summary;
+}
+
+}  // namespace ecocloud::metrics

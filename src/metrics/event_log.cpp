@@ -1,0 +1,86 @@
+#include "ecocloud/metrics/event_log.hpp"
+
+#include <ostream>
+
+#include "ecocloud/util/csv.hpp"
+
+namespace ecocloud::metrics {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAssignment: return "assignment";
+    case EventKind::kAssignmentFailure: return "assignment_failure";
+    case EventKind::kMigrationStart: return "migration_start";
+    case EventKind::kMigrationComplete: return "migration_complete";
+    case EventKind::kActivation: return "activation";
+    case EventKind::kHibernation: return "hibernation";
+  }
+  return "unknown";
+}
+
+void EventLog::attach(core::EcoCloudController& controller) {
+  core::EcoCloudController::Events& hooks = controller.events();
+
+  hooks.on_assignment = [this, chained = std::move(hooks.on_assignment)](
+                            sim::SimTime t, dc::VmId vm, dc::ServerId server) {
+    events_.push_back({t, EventKind::kAssignment, vm, server, false});
+    if (chained) chained(t, vm, server);
+  };
+  hooks.on_assignment_failure =
+      [this, chained = std::move(hooks.on_assignment_failure)](sim::SimTime t,
+                                                               dc::VmId vm) {
+        events_.push_back({t, EventKind::kAssignmentFailure, vm, dc::kNoServer,
+                           false});
+        if (chained) chained(t, vm);
+      };
+  hooks.on_migration_start =
+      [this, chained = std::move(hooks.on_migration_start)](
+          sim::SimTime t, dc::VmId vm, bool is_high) {
+        events_.push_back({t, EventKind::kMigrationStart, vm, dc::kNoServer,
+                           is_high});
+        if (chained) chained(t, vm, is_high);
+      };
+  hooks.on_migration_complete =
+      [this, chained = std::move(hooks.on_migration_complete)](
+          sim::SimTime t, dc::VmId vm, bool is_high) {
+        events_.push_back({t, EventKind::kMigrationComplete, vm, dc::kNoServer,
+                           is_high});
+        if (chained) chained(t, vm, is_high);
+      };
+  hooks.on_activation = [this, chained = std::move(hooks.on_activation)](
+                            sim::SimTime t, dc::ServerId server) {
+    events_.push_back({t, EventKind::kActivation, dc::kNoVm, server, false});
+    if (chained) chained(t, server);
+  };
+  hooks.on_hibernation = [this, chained = std::move(hooks.on_hibernation)](
+                             sim::SimTime t, dc::ServerId server) {
+    events_.push_back({t, EventKind::kHibernation, dc::kNoVm, server, false});
+    if (chained) chained(t, server);
+  };
+}
+
+std::size_t EventLog::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const Event& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+void EventLog::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out, 10);
+  csv.header({"time_s", "kind", "vm", "server", "is_high"});
+  for (const Event& event : events_) {
+    csv.field(event.time)
+        .field(to_string(event.kind))
+        .field(static_cast<long long>(
+            event.vm == dc::kNoVm ? -1 : static_cast<long long>(event.vm)))
+        .field(static_cast<long long>(
+            event.server == dc::kNoServer ? -1
+                                          : static_cast<long long>(event.server)))
+        .field(static_cast<long long>(event.is_high ? 1 : 0));
+    csv.end_row();
+  }
+}
+
+}  // namespace ecocloud::metrics

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file episode_summary.hpp
+/// \brief Aggregate statistics over overload episodes (paper Sec. III).
+///
+/// The paper reports that, thanks to high migrations, "more than 98% of
+/// violations are shorter than 30 seconds, and even in those time
+/// intervals the VMs are granted no less than 98% of the demanded CPU".
+/// EpisodeSummary computes exactly those statistics from the exact
+/// episodes recorded by the DataCenter.
+
+#include <vector>
+
+#include "ecocloud/dc/datacenter.hpp"
+
+namespace ecocloud::metrics {
+
+struct EpisodeSummary {
+  std::size_t count = 0;
+  double mean_duration_s = 0.0;
+  double max_duration_s = 0.0;
+  /// Fraction of episodes shorter than 30 s.
+  double fraction_under_30s = 1.0;
+  /// Minimum granted CPU fraction over all episodes.
+  double worst_granted_fraction = 1.0;
+  /// Mean of per-episode minimum granted fraction.
+  double mean_min_granted_fraction = 1.0;
+};
+
+[[nodiscard]] EpisodeSummary summarize_episodes(
+    const std::vector<dc::OverloadEpisode>& episodes, double short_threshold_s = 30.0);
+
+}  // namespace ecocloud::metrics

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file event_log.hpp
+/// \brief Structured audit trail of controller decisions.
+///
+/// Records every observable ecoCloud event — placements, migration
+/// start/completion, activations, hibernations, refused deployments — as
+/// timestamped rows, for post-run analysis or export. Purely an observer:
+/// attaching it changes nothing about the simulation. It chains any
+/// callbacks already installed (e.g. the MetricsCollector's), so both see
+/// every event.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ecocloud/core/controller.hpp"
+
+namespace ecocloud::metrics {
+
+enum class EventKind : std::uint8_t {
+  kAssignment,
+  kAssignmentFailure,
+  kMigrationStart,
+  kMigrationComplete,
+  kActivation,
+  kHibernation,
+};
+
+[[nodiscard]] const char* to_string(EventKind kind);
+
+struct Event {
+  sim::SimTime time = 0.0;
+  EventKind kind = EventKind::kAssignment;
+  dc::VmId vm = dc::kNoVm;          // kNoVm for server-only events
+  dc::ServerId server = dc::kNoServer;
+  bool is_high = false;             // migration events only
+};
+
+class EventLog {
+ public:
+  /// Subscribe to \p controller's events, chaining existing callbacks.
+  void attach(core::EcoCloudController& controller);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Number of recorded events of one kind.
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+
+  /// Write all events as CSV: time_s,kind,vm,server,is_high.
+  void write_csv(std::ostream& out) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace ecocloud::metrics

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file multi_resource.hpp
+/// \brief Multi-resource extension of the assignment procedure.
+///
+/// The paper's Sec. V sketches two ways to extend the Bernoulli approach
+/// beyond CPU (e.g. to RAM), both implemented here:
+///  * kAllTrials     — run one Bernoulli trial per resource (f_a on each
+///    resource's utilization) and volunteer only when *all* succeed;
+///  * kCriticalTrial — run a single trial on the most utilized (critical)
+///    resource and treat the others as hard feasibility constraints
+///    (u_after <= Ta per resource).
+///
+/// Only CPU and RAM are modelled (the two resources DataCenter tracks),
+/// which is enough to reproduce the trade-off the paper hypothesizes:
+/// kAllTrials consolidates more cautiously (product of probabilities),
+/// kCriticalTrial packs tighter but leans on the constraints.
+
+#include <optional>
+
+#include "ecocloud/core/params.hpp"
+#include "ecocloud/core/probability.hpp"
+#include "ecocloud/dc/datacenter.hpp"
+#include "ecocloud/util/rng.hpp"
+
+namespace ecocloud::multires {
+
+enum class Strategy {
+  kAllTrials,      ///< one Bernoulli trial per resource, AND-ed
+  kCriticalTrial,  ///< single trial on the critical resource + constraints
+};
+
+[[nodiscard]] const char* to_string(Strategy strategy);
+
+struct MultiResourceResult {
+  std::optional<dc::ServerId> server;
+  std::size_t volunteers = 0;
+  std::size_t contacted = 0;
+};
+
+/// Invitation round where servers consider both CPU and RAM.
+class MultiResourceAssignment {
+ public:
+  MultiResourceAssignment(const core::EcoCloudParams& params, Strategy strategy,
+                          util::Rng& rng);
+
+  [[nodiscard]] Strategy strategy() const { return strategy_; }
+
+  /// One server's answer for a VM demanding (cpu_mhz, ram_mb).
+  [[nodiscard]] bool server_accepts(const dc::Server& server, double vm_cpu_mhz,
+                                    double vm_ram_mb) const;
+
+  /// Full invitation round over all active servers.
+  [[nodiscard]] MultiResourceResult invite(const dc::DataCenter& datacenter,
+                                           double vm_cpu_mhz, double vm_ram_mb) const;
+
+ private:
+  /// RAM utilization of a server (0 when it has no RAM configured).
+  [[nodiscard]] static double ram_utilization(const dc::Server& server);
+
+  const core::EcoCloudParams& params_;
+  Strategy strategy_;
+  util::Rng& rng_;
+  core::AssignmentFunction fa_;
+};
+
+}  // namespace ecocloud::multires

@@ -1,0 +1,84 @@
+#include "ecocloud/multires/multi_resource.hpp"
+
+#include <vector>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::multires {
+
+const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kAllTrials: return "all-trials";
+    case Strategy::kCriticalTrial: return "critical-trial";
+  }
+  return "unknown";
+}
+
+MultiResourceAssignment::MultiResourceAssignment(const core::EcoCloudParams& params,
+                                                 Strategy strategy, util::Rng& rng)
+    : params_(params), strategy_(strategy), rng_(rng), fa_(params.ta, params.p) {
+  params.validate();
+}
+
+double MultiResourceAssignment::ram_utilization(const dc::Server& server) {
+  return server.ram_capacity_mb() > 0.0
+             ? server.ram_used_mb() / server.ram_capacity_mb()
+             : 0.0;
+}
+
+bool MultiResourceAssignment::server_accepts(const dc::Server& server,
+                                             double vm_cpu_mhz,
+                                             double vm_ram_mb) const {
+  if (!server.active()) return false;
+
+  const double cpu_after =
+      (server.demand_mhz() + server.reserved_mhz() + vm_cpu_mhz) /
+      server.capacity_mhz();
+  const double ram_capacity = server.ram_capacity_mb();
+  const double ram_after = ram_capacity > 0.0
+                               ? (server.ram_used_mb() + vm_ram_mb) / ram_capacity
+                               : 0.0;
+
+  // Hard feasibility: the VM must physically fit either way.
+  if (cpu_after > 1.0 || ram_after > 1.0) return false;
+
+  const double u_cpu = server.decision_utilization();
+  const double u_ram = ram_utilization(server);
+
+  switch (strategy_) {
+    case Strategy::kAllTrials:
+      // Independent trials, all must succeed (Sec. V, first avenue).
+      return rng_.bernoulli(fa_(u_cpu)) && rng_.bernoulli(fa_(u_ram));
+    case Strategy::kCriticalTrial: {
+      // Single trial on the most utilized resource; the other resource is
+      // only a constraint (Sec. V, second avenue).
+      const double u_critical = u_cpu >= u_ram ? u_cpu : u_ram;
+      if (cpu_after > params_.ta || ram_after > params_.ta) return false;
+      return rng_.bernoulli(fa_(u_critical));
+    }
+  }
+  return false;
+}
+
+MultiResourceResult MultiResourceAssignment::invite(const dc::DataCenter& datacenter,
+                                                    double vm_cpu_mhz,
+                                                    double vm_ram_mb) const {
+  util::require(vm_cpu_mhz >= 0.0 && vm_ram_mb >= 0.0,
+                "MultiResourceAssignment::invite: negative demand");
+  MultiResourceResult result;
+  std::vector<dc::ServerId> volunteers;
+  for (const dc::Server& server : datacenter.servers()) {
+    if (!server.active()) continue;
+    ++result.contacted;
+    if (server_accepts(server, vm_cpu_mhz, vm_ram_mb)) {
+      volunteers.push_back(server.id());
+    }
+  }
+  result.volunteers = volunteers.size();
+  if (!volunteers.empty()) {
+    result.server = volunteers[rng_.index(volunteers.size())];
+  }
+  return result;
+}
+
+}  // namespace ecocloud::multires

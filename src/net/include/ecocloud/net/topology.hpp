@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file topology.hpp
+/// \brief Rack-level data-center network topology.
+///
+/// The paper's footnote 1: "Data centers are equipped with high-bandwidth
+/// networks that naturally support broadcast messaging. In very large data
+/// centers, the servers may be distributed among several groups of
+/// servers: in this case, the invitation message may be broadcast to one
+/// of such groups only." Topology models those groups as racks behind
+/// top-of-rack switches with oversubscribed uplinks: invitations can be
+/// scoped to one rack, and live-migration transfer time depends on whether
+/// source and destination share a rack.
+
+#include <cstddef>
+#include <vector>
+
+#include "ecocloud/dc/ids.hpp"
+
+namespace ecocloud::net {
+
+struct TopologyConfig {
+  /// Number of racks (> 0); servers are assigned round-robin.
+  std::size_t num_racks = 8;
+
+  /// Server NIC / intra-rack bandwidth (through the ToR switch), Gbit/s.
+  double intra_rack_gbps = 10.0;
+
+  /// Effective per-flow bandwidth across the aggregation layer, Gbit/s
+  /// (lower than intra-rack: uplinks are oversubscribed).
+  double inter_rack_gbps = 4.0;
+};
+
+class Topology {
+ public:
+  /// Lay out \p num_servers across the configured racks, round-robin (the
+  /// same order build_fleet assigns core counts, so every rack gets the
+  /// same capacity mix).
+  Topology(std::size_t num_servers, TopologyConfig config = TopologyConfig{});
+
+  [[nodiscard]] std::size_t num_servers() const { return rack_of_.size(); }
+  [[nodiscard]] std::size_t num_racks() const { return racks_.size(); }
+  [[nodiscard]] const TopologyConfig& config() const { return config_; }
+
+  [[nodiscard]] std::size_t rack_of(dc::ServerId server) const;
+  [[nodiscard]] const std::vector<dc::ServerId>& servers_in_rack(
+      std::size_t rack) const;
+  [[nodiscard]] bool same_rack(dc::ServerId a, dc::ServerId b) const;
+
+  /// Per-flow bandwidth between two servers, MB/s.
+  [[nodiscard]] double bandwidth_mb_per_s(dc::ServerId src, dc::ServerId dest) const;
+
+  /// Time to copy \p ram_mb of VM state from \p src to \p dest (seconds).
+  /// Pre-copy rounds and dirtying are folded into the controller's fixed
+  /// latency floor; this is the bulk-transfer component.
+  [[nodiscard]] double transfer_time_s(dc::ServerId src, dc::ServerId dest,
+                                       double ram_mb) const;
+
+ private:
+  TopologyConfig config_;
+  std::vector<std::size_t> rack_of_;
+  std::vector<std::vector<dc::ServerId>> racks_;
+};
+
+}  // namespace ecocloud::net

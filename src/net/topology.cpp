@@ -1,0 +1,50 @@
+#include "ecocloud/net/topology.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::net {
+
+Topology::Topology(std::size_t num_servers, TopologyConfig config)
+    : config_(config) {
+  util::require(num_servers > 0, "Topology: need at least one server");
+  util::require(config.num_racks > 0, "Topology: need at least one rack");
+  util::require(config.intra_rack_gbps > 0.0 && config.inter_rack_gbps > 0.0,
+                "Topology: bandwidths must be > 0");
+
+  const std::size_t racks = std::min(config.num_racks, num_servers);
+  racks_.resize(racks);
+  rack_of_.resize(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    const std::size_t rack = s % racks;
+    rack_of_[s] = rack;
+    racks_[rack].push_back(static_cast<dc::ServerId>(s));
+  }
+}
+
+std::size_t Topology::rack_of(dc::ServerId server) const {
+  util::require(server < rack_of_.size(), "Topology::rack_of: unknown server");
+  return rack_of_[server];
+}
+
+const std::vector<dc::ServerId>& Topology::servers_in_rack(std::size_t rack) const {
+  util::require(rack < racks_.size(), "Topology::servers_in_rack: bad rack");
+  return racks_[rack];
+}
+
+bool Topology::same_rack(dc::ServerId a, dc::ServerId b) const {
+  return rack_of(a) == rack_of(b);
+}
+
+double Topology::bandwidth_mb_per_s(dc::ServerId src, dc::ServerId dest) const {
+  const double gbps =
+      same_rack(src, dest) ? config_.intra_rack_gbps : config_.inter_rack_gbps;
+  return gbps * 1000.0 / 8.0;  // Gbit/s -> MB/s
+}
+
+double Topology::transfer_time_s(dc::ServerId src, dc::ServerId dest,
+                                 double ram_mb) const {
+  util::require(ram_mb >= 0.0, "Topology::transfer_time_s: negative size");
+  return ram_mb / bandwidth_mb_per_s(src, dest);
+}
+
+}  // namespace ecocloud::net

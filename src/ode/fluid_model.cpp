@@ -1,0 +1,95 @@
+#include "ecocloud/ode/fluid_model.hpp"
+
+#include <cmath>
+
+#include "ecocloud/ode/poisson_binomial.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::ode {
+
+FluidModel::FluidModel(FluidModelConfig config)
+    : config_(std::move(config)), fa_(config_.ta, config_.p) {
+  util::require(config_.num_servers > 0, "FluidModel: num_servers must be > 0");
+  util::require(static_cast<bool>(config_.lambda), "FluidModel: lambda is empty");
+  util::require(static_cast<bool>(config_.nu), "FluidModel: nu is empty");
+  util::require(config_.vm_share.size() == config_.num_servers,
+                "FluidModel: vm_share must have one entry per server");
+  for (double share : config_.vm_share) {
+    util::require(share > 0.0, "FluidModel: vm_share entries must be > 0");
+  }
+}
+
+std::vector<double> FluidModel::shares_simplified(
+    const std::vector<double>& fa_values) const {
+  double total = 0.0;
+  for (double f : fa_values) total += f;
+  std::vector<double> shares(fa_values.size(), 0.0);
+  if (total <= 0.0) return shares;  // nobody accepts: arrivals are refused
+  for (std::size_t s = 0; s < fa_values.size(); ++s) {
+    shares[s] = fa_values[s] / total;
+  }
+  return shares;
+}
+
+std::vector<double> FluidModel::shares_exact(
+    const std::vector<double>& fa_values) const {
+  const std::size_t n = fa_values.size();
+  std::vector<double> shares(n, 0.0);
+
+  const std::vector<double> full_pmf = poisson_binomial_pmf(fa_values);
+  // P(nobody accepts) is the k = 0 coefficient of the full product.
+  const double p_none = full_pmf[0];
+  const double p_some = 1.0 - p_none;
+  if (p_some <= 1e-300) return shares;
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (fa_values[s] <= 0.0) continue;
+    // Distribution of the number of rivals that also accept.
+    const std::vector<double> rivals = remove_factor(full_pmf, fa_values[s]);
+    shares[s] = fa_values[s] * expected_inverse_one_plus(rivals) / p_some;
+  }
+  return shares;
+}
+
+std::vector<double> FluidModel::assignment_shares(const std::vector<double>& u) const {
+  util::require(u.size() == config_.num_servers,
+                "FluidModel::assignment_shares: state size mismatch");
+  std::vector<double> fa_values(u.size());
+  for (std::size_t s = 0; s < u.size(); ++s) fa_values[s] = fa_(u[s]);
+  return config_.exact ? shares_exact(fa_values) : shares_simplified(fa_values);
+}
+
+void FluidModel::derivative(double t, const std::vector<double>& u,
+                            std::vector<double>& dudt) const {
+  util::require(u.size() == config_.num_servers,
+                "FluidModel::derivative: state size mismatch");
+  dudt.resize(u.size());
+
+  const double lambda = config_.lambda(t);
+  const double nu = config_.nu(t);
+  const std::vector<double> shares = assignment_shares(u);
+
+  for (std::size_t s = 0; s < u.size(); ++s) {
+    // Clamp the fluid at the boundaries: utilization cannot go negative,
+    // and f_a already prevents growth above Ta.
+    const double us = std::max(0.0, u[s]);
+    dudt[s] = -nu * us + lambda * shares[s] * config_.vm_share[s];
+    if (u[s] <= 0.0 && dudt[s] < 0.0) dudt[s] = 0.0;
+  }
+}
+
+Rhs FluidModel::rhs() const {
+  return [this](double t, const std::vector<double>& y, std::vector<double>& dydt) {
+    derivative(t, y, dydt);
+  };
+}
+
+std::size_t FluidModel::count_active(const std::vector<double>& u, double threshold) {
+  std::size_t count = 0;
+  for (double x : u) {
+    if (x > threshold) ++count;
+  }
+  return count;
+}
+
+}  // namespace ecocloud::ode

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file fluid_model.hpp
+/// \brief The paper's differential-equation model of the assignment
+///        procedure (Sec. IV, Eqs. (5)-(11)).
+///
+/// State: u_s(t), the utilization of each server, treated as a fluid.
+///
+///   du_s/dt = -Nc * mu(t) * u_s + lambda(t) * share_s(t) * vm_share_s
+///
+/// where share_s is the probability that an arriving VM lands on server s:
+///  * exact model (Eqs. 5-9):
+///      share_s = f_a(u_s) * E[1/(1+K_s)] / (1 - prod_i (1 - f_a(u_i)))
+///    with K_s ~ PoissonBinomial(f_a(u_i), i != s), computed in O(Ns^2)
+///    per evaluation via polynomial deconvolution;
+///  * simplified model (Eq. 11):
+///      share_s = f_a(u_s) / sum_i f_a(u_i).
+///
+/// vm_share_s converts "one VM" into utilization on server s: the mean VM
+/// demand divided by the server's capacity (the paper's fluid assumption
+/// that VM load is constant). The -Nc*mu*u term matches a per-VM
+/// departure rate nu = Nc * mu (each VM leaves independently).
+///
+/// Note on Eq. (6): the paper's sum runs to Ns-2 although a server has
+/// Ns-1 potential rivals; we sum over the full support k = 0..Ns-1, which
+/// is the mathematically consistent reading (Eq. (9)'s "all rivals accept"
+/// term is the k = Ns-1 case).
+
+#include <vector>
+
+#include "ecocloud/core/probability.hpp"
+#include "ecocloud/ode/solver.hpp"
+#include "ecocloud/trace/arrivals.hpp"
+
+namespace ecocloud::ode {
+
+struct FluidModelConfig {
+  /// Number of servers Ns (> 0).
+  std::size_t num_servers = 100;
+
+  /// Assignment function parameters (paper: Ta = 0.9, p = 3).
+  double ta = 0.9;
+  double p = 3.0;
+
+  /// VM arrival rate lambda(t), VMs per second.
+  trace::RateFn lambda;
+
+  /// Per-VM departure rate nu(t) = Nc * mu(t), 1/seconds.
+  trace::RateFn nu;
+
+  /// Utilization one VM adds to server s (mean demand / capacity_s).
+  std::vector<double> vm_share;
+
+  /// Use the exact assignment share (Eqs. 5-9) instead of Eq. (11).
+  bool exact = false;
+};
+
+class FluidModel {
+ public:
+  explicit FluidModel(FluidModelConfig config);
+
+  [[nodiscard]] const FluidModelConfig& config() const { return config_; }
+
+  /// Per-server VM-landing shares at the given utilizations (sums to 1
+  /// when anyone accepts). Exposed for validation against simulation.
+  [[nodiscard]] std::vector<double> assignment_shares(
+      const std::vector<double>& u) const;
+
+  /// ODE right-hand side (adapts to solver.hpp's Rhs signature).
+  void derivative(double t, const std::vector<double>& u,
+                  std::vector<double>& dudt) const;
+
+  /// Convenience: an Rhs bound to this model (model must outlive it).
+  [[nodiscard]] Rhs rhs() const;
+
+  /// Servers with utilization above \p threshold (the ODE analogue of
+  /// "active"; fluid servers never hibernate exactly).
+  [[nodiscard]] static std::size_t count_active(const std::vector<double>& u,
+                                                double threshold = 0.01);
+
+ private:
+  std::vector<double> shares_exact(const std::vector<double>& fa_values) const;
+  std::vector<double> shares_simplified(const std::vector<double>& fa_values) const;
+
+  FluidModelConfig config_;
+  core::AssignmentFunction fa_;
+};
+
+}  // namespace ecocloud::ode

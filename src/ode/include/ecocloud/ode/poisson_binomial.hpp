@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file poisson_binomial.hpp
+/// \brief Poisson-binomial distribution machinery for the exact fluid model.
+///
+/// Equations (7)-(9) of the paper define P_s^(k): the probability that
+/// exactly k of the *other* servers volunteer for a VM, where server i
+/// volunteers independently with probability f_i = f_a(u_i). That is a
+/// Poisson-binomial distribution. The naive combinatorial evaluation is
+/// exponential; here it is computed exactly in polynomial time:
+///  * pmf(probs)   — O(n^2) convolution DP over (1 - f_i + f_i x) factors;
+///  * remove_factor(pmf, f) — O(n) stable deconvolution of one factor, so
+///    all Ns leave-one-out distributions cost O(Ns^2) total per RHS
+///    evaluation instead of O(Ns^3).
+
+#include <vector>
+
+namespace ecocloud::ode {
+
+/// Probability mass function of the number of successes among independent
+/// Bernoulli trials with the given probabilities. Result has size
+/// probs.size() + 1.
+[[nodiscard]] std::vector<double> poisson_binomial_pmf(const std::vector<double>& probs);
+
+/// Given the pmf of sum of n trials, return the pmf with the trial of
+/// probability \p f removed (size shrinks by one). Uses the forward
+/// recurrence when f < 0.5 and the backward recurrence otherwise, which
+/// keeps the deconvolution numerically stable for f near 0 or 1.
+/// Precondition: \p f was genuinely one of the factors.
+[[nodiscard]] std::vector<double> remove_factor(const std::vector<double>& pmf, double f);
+
+/// E[1/(1+K)] for a pmf of K: sum pmf[k] / (k+1). This is the expected
+/// share of a VM granted to a volunteering server when K rivals also
+/// volunteered (Eq. 6).
+[[nodiscard]] double expected_inverse_one_plus(const std::vector<double>& pmf);
+
+}  // namespace ecocloud::ode

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file solver.hpp
+/// \brief Explicit ODE integrators: fixed-step RK4 and adaptive RKF45.
+///
+/// Both integrate y' = f(t, y) for a vector state. The right-hand side is
+/// a callable writing the derivative in place (no per-step allocation).
+
+#include <functional>
+#include <vector>
+
+namespace ecocloud::ode {
+
+/// Right-hand side: fills dydt (same size as y).
+using Rhs =
+    std::function<void(double t, const std::vector<double>& y, std::vector<double>& dydt)>;
+
+/// Observer invoked after each accepted step with (t, y). May be empty.
+using Observer = std::function<void(double t, const std::vector<double>& y)>;
+
+/// Classic fourth-order Runge-Kutta with fixed step.
+///
+/// Integrates from t0 to t1 with step dt (the final step is shortened to
+/// land exactly on t1). Returns the final state.
+std::vector<double> integrate_rk4(const Rhs& rhs, std::vector<double> y0, double t0,
+                                  double t1, double dt, const Observer& observe = {});
+
+/// Runge-Kutta-Fehlberg 4(5) with adaptive step-size control.
+struct Rkf45Options {
+  double abs_tol = 1e-8;
+  double rel_tol = 1e-6;
+  double dt_init = 1.0;
+  double dt_min = 1e-8;
+  double dt_max = 1e9;
+  /// Safety factor for step-size updates.
+  double safety = 0.9;
+};
+
+struct Rkf45Stats {
+  std::size_t accepted_steps = 0;
+  std::size_t rejected_steps = 0;
+};
+
+std::vector<double> integrate_rkf45(const Rhs& rhs, std::vector<double> y0, double t0,
+                                    double t1, const Rkf45Options& options = {},
+                                    const Observer& observe = {},
+                                    Rkf45Stats* stats = nullptr);
+
+}  // namespace ecocloud::ode

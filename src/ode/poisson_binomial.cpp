@@ -1,0 +1,61 @@
+#include "ecocloud/ode/poisson_binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::ode {
+
+std::vector<double> poisson_binomial_pmf(const std::vector<double>& probs) {
+  std::vector<double> pmf{1.0};
+  pmf.reserve(probs.size() + 1);
+  for (double f : probs) {
+    util::require(f >= 0.0 && f <= 1.0,
+                  "poisson_binomial_pmf: probabilities must be in [0,1]");
+    pmf.push_back(0.0);
+    // In-place convolution with (1-f, f), highest coefficient first.
+    for (std::size_t k = pmf.size(); k-- > 0;) {
+      const double lower = k > 0 ? pmf[k - 1] : 0.0;
+      pmf[k] = pmf[k] * (1.0 - f) + lower * f;
+    }
+  }
+  return pmf;
+}
+
+std::vector<double> remove_factor(const std::vector<double>& pmf, double f) {
+  util::require(pmf.size() >= 2, "remove_factor: pmf must have >= 2 entries");
+  util::require(f >= 0.0 && f <= 1.0, "remove_factor: f must be in [0,1]");
+  const std::size_t n = pmf.size() - 1;  // number of factors in pmf
+  std::vector<double> out(n, 0.0);
+
+  if (f < 0.5) {
+    // Forward: pmf[k] = (1-f) out[k] + f out[k-1]  =>  out[k] from below.
+    const double q = 1.0 - f;
+    out[0] = pmf[0] / q;
+    for (std::size_t k = 1; k < n; ++k) {
+      out[k] = (pmf[k] - f * out[k - 1]) / q;
+    }
+  } else {
+    // Backward: pmf[k] = (1-f) out[k] + f out[k-1]  =>  out[k-1] from top.
+    out[n - 1] = pmf[n] / f;
+    for (std::size_t k = n - 1; k-- > 0;) {
+      out[k] = (pmf[k + 1] - (1.0 - f) * out[k + 1]) / f;
+    }
+  }
+  // Clean tiny negative values produced by cancellation.
+  for (double& x : out) {
+    if (x < 0.0 && x > -1e-9) x = 0.0;
+  }
+  return out;
+}
+
+double expected_inverse_one_plus(const std::vector<double>& pmf) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < pmf.size(); ++k) {
+    acc += pmf[k] / static_cast<double>(k + 1);
+  }
+  return acc;
+}
+
+}  // namespace ecocloud::ode

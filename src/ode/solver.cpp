@@ -1,0 +1,128 @@
+#include "ecocloud/ode/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::ode {
+
+namespace {
+
+void axpy(std::vector<double>& out, const std::vector<double>& y, double a,
+          const std::vector<double>& k) {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = y[i] + a * k[i];
+}
+
+}  // namespace
+
+std::vector<double> integrate_rk4(const Rhs& rhs, std::vector<double> y0, double t0,
+                                  double t1, double dt, const Observer& observe) {
+  util::require(dt > 0.0, "integrate_rk4: dt must be > 0");
+  util::require(t1 >= t0, "integrate_rk4: t1 must be >= t0");
+
+  const std::size_t n = y0.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), tmp(n);
+  std::vector<double> y = std::move(y0);
+
+  double t = t0;
+  if (observe) observe(t, y);
+  while (t < t1) {
+    const double h = std::min(dt, t1 - t);
+    rhs(t, y, k1);
+    axpy(tmp, y, 0.5 * h, k1);
+    rhs(t + 0.5 * h, tmp, k2);
+    axpy(tmp, y, 0.5 * h, k2);
+    rhs(t + 0.5 * h, tmp, k3);
+    axpy(tmp, y, h, k3);
+    rhs(t + h, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    t += h;
+    if (observe) observe(t, y);
+  }
+  return y;
+}
+
+std::vector<double> integrate_rkf45(const Rhs& rhs, std::vector<double> y0, double t0,
+                                    double t1, const Rkf45Options& options,
+                                    const Observer& observe, Rkf45Stats* stats) {
+  util::require(t1 >= t0, "integrate_rkf45: t1 must be >= t0");
+  util::require(options.dt_init > 0.0 && options.dt_min > 0.0,
+                "integrate_rkf45: step sizes must be > 0");
+
+  // Fehlberg coefficients.
+  constexpr double a2 = 1.0 / 4, a3 = 3.0 / 8, a4 = 12.0 / 13, a5 = 1.0, a6 = 1.0 / 2;
+  constexpr double b21 = 1.0 / 4;
+  constexpr double b31 = 3.0 / 32, b32 = 9.0 / 32;
+  constexpr double b41 = 1932.0 / 2197, b42 = -7200.0 / 2197, b43 = 7296.0 / 2197;
+  constexpr double b51 = 439.0 / 216, b52 = -8.0, b53 = 3680.0 / 513,
+                   b54 = -845.0 / 4104;
+  constexpr double b61 = -8.0 / 27, b62 = 2.0, b63 = -3544.0 / 2565,
+                   b64 = 1859.0 / 4104, b65 = -11.0 / 40;
+  // 5th-order solution weights.
+  constexpr double c1 = 16.0 / 135, c3 = 6656.0 / 12825, c4 = 28561.0 / 56430,
+                   c5 = -9.0 / 50, c6 = 2.0 / 55;
+  // Error weights (5th minus 4th).
+  constexpr double e1 = 16.0 / 135 - 25.0 / 216, e3 = 6656.0 / 12825 - 1408.0 / 2565,
+                   e4 = 28561.0 / 56430 - 2197.0 / 4104, e5 = -9.0 / 50 + 1.0 / 5,
+                   e6 = 2.0 / 55;
+
+  const std::size_t n = y0.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), tmp(n), ynew(n);
+  std::vector<double> y = std::move(y0);
+
+  double t = t0;
+  double h = std::min(options.dt_init, std::max(t1 - t0, options.dt_min));
+  if (observe) observe(t, y);
+
+  while (t < t1) {
+    h = std::min(h, t1 - t);
+    rhs(t, y, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * b21 * k1[i];
+    rhs(t + a2 * h, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * (b31 * k1[i] + b32 * k2[i]);
+    rhs(t + a3 * h, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + h * (b41 * k1[i] + b42 * k2[i] + b43 * k3[i]);
+    }
+    rhs(t + a4 * h, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + h * (b51 * k1[i] + b52 * k2[i] + b53 * k3[i] + b54 * k4[i]);
+    }
+    rhs(t + a5 * h, tmp, k5);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp[i] = y[i] + h * (b61 * k1[i] + b62 * k2[i] + b63 * k3[i] + b64 * k4[i] +
+                           b65 * k5[i]);
+    }
+    rhs(t + a6 * h, tmp, k6);
+
+    double err_norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ynew[i] = y[i] + h * (c1 * k1[i] + c3 * k3[i] + c4 * k4[i] + c5 * k5[i] +
+                            c6 * k6[i]);
+      const double err = h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] + e5 * k5[i] +
+                              e6 * k6[i]);
+      const double scale =
+          options.abs_tol + options.rel_tol * std::max(std::fabs(y[i]), std::fabs(ynew[i]));
+      err_norm = std::max(err_norm, std::fabs(err) / scale);
+    }
+
+    if (err_norm <= 1.0 || h <= options.dt_min) {
+      t += h;
+      y.swap(ynew);
+      if (stats) ++stats->accepted_steps;
+      if (observe) observe(t, y);
+    } else if (stats) {
+      ++stats->rejected_steps;
+    }
+
+    const double factor =
+        err_norm > 0.0 ? options.safety * std::pow(err_norm, -0.2) : 2.0;
+    h = std::clamp(h * std::clamp(factor, 0.2, 5.0), options.dt_min, options.dt_max);
+  }
+  return y;
+}
+
+}  // namespace ecocloud::ode

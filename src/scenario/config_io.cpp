@@ -1,0 +1,133 @@
+#include "ecocloud/scenario/config_io.hpp"
+
+#include <istream>
+
+#include "ecocloud/util/key_value.hpp"
+#include "ecocloud/util/string_util.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::scenario {
+
+namespace {
+
+void load_params(const util::KeyValueConfig& kv, core::EcoCloudParams& params) {
+  params.ta = kv.get_double("ta", params.ta);
+  params.p = kv.get_double("p", params.p);
+  params.tl = kv.get_double("tl", params.tl);
+  params.th = kv.get_double("th", params.th);
+  params.alpha = kv.get_double("alpha", params.alpha);
+  params.beta = kv.get_double("beta", params.beta);
+  params.high_dest_factor = kv.get_double("high_dest_factor", params.high_dest_factor);
+  params.monitor_period_s = kv.get_double("monitor_period_s", params.monitor_period_s);
+  params.migration_cooldown_s =
+      kv.get_double("migration_cooldown_s", params.migration_cooldown_s);
+  params.migration_latency_s =
+      kv.get_double("migration_latency_s", params.migration_latency_s);
+  params.boot_time_s = kv.get_double("boot_time_s", params.boot_time_s);
+  params.grace_period_s = kv.get_double("grace_period_s", params.grace_period_s);
+  params.hibernate_delay_s =
+      kv.get_double("hibernate_delay_s", params.hibernate_delay_s);
+  params.require_fit = kv.get_bool("require_fit", params.require_fit);
+  params.enable_migrations =
+      kv.get_bool("enable_migrations", params.enable_migrations);
+  params.invite_group_size = static_cast<std::size_t>(
+      kv.get_int("invite_group_size",
+                 static_cast<long long>(params.invite_group_size)));
+}
+
+void load_workload(const util::KeyValueConfig& kv, trace::WorkloadConfig& workload) {
+  workload.reference_mhz = kv.get_double("reference_mhz", workload.reference_mhz);
+  workload.sample_period_s =
+      kv.get_double("sample_period_s", workload.sample_period_s);
+  const double amplitude =
+      kv.get_double("diurnal_amplitude", workload.diurnal.amplitude());
+  const double peak_hour =
+      kv.get_double("diurnal_peak_hour", workload.diurnal.peak_hour());
+  workload.diurnal = trace::DiurnalPattern(amplitude, peak_hour);
+  workload.ar1_rho = kv.get_double("ar1_rho", workload.ar1_rho);
+  workload.dev_base = kv.get_double("dev_base", workload.dev_base);
+  workload.dev_slope = kv.get_double("dev_slope", workload.dev_slope);
+}
+
+}  // namespace
+
+DailyConfig load_daily_config(std::istream& in) {
+  const auto kv = util::KeyValueConfig::parse(in);
+  DailyConfig config;
+
+  config.fleet.num_servers = static_cast<std::size_t>(
+      kv.get_int("servers", static_cast<long long>(config.fleet.num_servers)));
+  config.fleet.core_mhz = kv.get_double("core_mhz", config.fleet.core_mhz);
+  config.fleet.ram_per_core_mb =
+      kv.get_double("ram_per_core_mb", config.fleet.ram_per_core_mb);
+  const std::string mix = kv.get_string("core_mix", "");
+  if (!mix.empty()) {
+    config.fleet.core_mix.clear();
+    for (const std::string& part : util::split(mix, ',')) {
+      const long long cores = util::parse_int(part);
+      util::require(cores > 0, "core_mix entries must be positive");
+      config.fleet.core_mix.push_back(static_cast<unsigned>(cores));
+    }
+  }
+
+  config.num_vms = static_cast<std::size_t>(
+      kv.get_int("vms", static_cast<long long>(config.num_vms)));
+  config.horizon_s =
+      kv.get_double("horizon_hours", config.horizon_s / sim::kHour) * sim::kHour;
+  config.warmup_s =
+      kv.get_double("warmup_hours", config.warmup_s / sim::kHour) * sim::kHour;
+  config.seed = static_cast<std::uint64_t>(
+      kv.get_int("seed", static_cast<long long>(config.seed)));
+
+  const auto racks = kv.get_int("racks", 0);
+  if (racks > 0) {
+    net::TopologyConfig topology;
+    topology.num_racks = static_cast<std::size_t>(racks);
+    topology.intra_rack_gbps =
+        kv.get_double("intra_rack_gbps", topology.intra_rack_gbps);
+    topology.inter_rack_gbps =
+        kv.get_double("inter_rack_gbps", topology.inter_rack_gbps);
+    config.topology = topology;
+  } else {
+    // Consume the bandwidth keys even without racks, for typo detection.
+    (void)kv.get_double("intra_rack_gbps", 0.0);
+    (void)kv.get_double("inter_rack_gbps", 0.0);
+  }
+
+  load_params(kv, config.params);
+  load_workload(kv, config.workload);
+  kv.require_all_used();
+  config.params.validate();
+  return config;
+}
+
+ConsolidationConfig load_consolidation_config(std::istream& in) {
+  const auto kv = util::KeyValueConfig::parse(in);
+  ConsolidationConfig config;
+
+  config.num_servers = static_cast<std::size_t>(
+      kv.get_int("servers", static_cast<long long>(config.num_servers)));
+  config.cores_per_server = static_cast<unsigned>(
+      kv.get_int("cores_per_server", config.cores_per_server));
+  config.core_mhz = kv.get_double("core_mhz", config.core_mhz);
+  config.initial_vms = static_cast<std::size_t>(
+      kv.get_int("initial_vms", static_cast<long long>(config.initial_vms)));
+  config.horizon_s =
+      kv.get_double("horizon_hours", config.horizon_s / sim::kHour) * sim::kHour;
+  config.mean_lifetime_s =
+      kv.get_double("mean_lifetime_hours", config.mean_lifetime_s / sim::kHour) *
+      sim::kHour;
+  // "sample_period_s" configures the workload cadence; the metrics window
+  // has its own key to avoid the collision.
+  config.sample_period_s =
+      kv.get_double("metrics_period_s", config.sample_period_s);
+  config.seed = static_cast<std::uint64_t>(
+      kv.get_int("seed", static_cast<long long>(config.seed)));
+
+  load_params(kv, config.params);
+  load_workload(kv, config.workload);
+  kv.require_all_used();
+  return config;
+}
+
+}  // namespace ecocloud::scenario

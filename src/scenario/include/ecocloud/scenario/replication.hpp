@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file replication.hpp
+/// \brief Multi-seed replication runner with confidence intervals.
+///
+/// Single simulation runs answer "what happened under seed S"; claims like
+/// "ecoCloud's energy is comparable to MBFD's" need replication. The
+/// runner executes K independent copies of a daily scenario (seeds
+/// base_seed, base_seed+1, ...) across a thread pool — each replication is
+/// a self-contained object, so they parallelize embarrassingly — and
+/// reports every headline metric as mean +- 95% half-width.
+
+#include <cstddef>
+
+#include "ecocloud/scenario/scenario.hpp"
+#include "ecocloud/stats/confidence.hpp"
+#include "ecocloud/util/thread_pool.hpp"
+
+namespace ecocloud::scenario {
+
+/// Headline metrics of one completed daily run.
+struct RunMetrics {
+  double energy_kwh = 0.0;
+  double mean_active_servers = 0.0;
+  double migrations = 0.0;
+  double switches = 0.0;
+  double overload_percent = 0.0;
+};
+
+/// Extract RunMetrics from a finished DailyScenario (post-warm-up window).
+[[nodiscard]] RunMetrics collect_metrics(DailyScenario& daily);
+
+/// Per-metric confidence intervals over the replications.
+struct ReplicatedMetrics {
+  stats::MeanCI energy_kwh;
+  stats::MeanCI mean_active_servers;
+  stats::MeanCI migrations;
+  stats::MeanCI switches;
+  stats::MeanCI overload_percent;
+  std::size_t replications = 0;
+};
+
+/// Run \p replications copies of the scenario (seeds config.seed + k) under
+/// the given algorithm and aggregate. Runs on \p pool when provided
+/// (nullptr = sequential).
+[[nodiscard]] ReplicatedMetrics run_replicated(
+    const DailyConfig& config, Algorithm algorithm, std::size_t replications,
+    util::ThreadPool* pool = nullptr,
+    baseline::CentralizedParams centralized_params = {});
+
+}  // namespace ecocloud::scenario

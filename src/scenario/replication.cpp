@@ -1,0 +1,65 @@
+#include "ecocloud/scenario/replication.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::scenario {
+
+RunMetrics collect_metrics(DailyScenario& daily) {
+  RunMetrics out;
+  const dc::DataCenter& d = daily.datacenter();
+  out.energy_kwh = d.energy_joules() / 3.6e6;
+  out.migrations = static_cast<double>(d.total_migrations());
+  out.switches =
+      static_cast<double>(d.total_activations() + d.total_hibernations());
+  out.overload_percent =
+      d.vm_seconds() > 0.0 ? 100.0 * d.overload_vm_seconds() / d.vm_seconds()
+                           : 0.0;
+  double active = 0.0;
+  std::size_t n = 0;
+  for (const auto& sample : daily.collector().samples()) {
+    if (sample.time <= daily.config().warmup_s + 1e-9) continue;
+    active += static_cast<double>(sample.active_servers);
+    ++n;
+  }
+  out.mean_active_servers = n ? active / static_cast<double>(n) : 0.0;
+  return out;
+}
+
+ReplicatedMetrics run_replicated(const DailyConfig& config, Algorithm algorithm,
+                                 std::size_t replications, util::ThreadPool* pool,
+                                 baseline::CentralizedParams centralized_params) {
+  util::require(replications >= 1, "run_replicated: need at least 1 replication");
+
+  std::vector<RunMetrics> runs(replications);
+  const auto one = [&](std::size_t k) {
+    DailyConfig replica = config;
+    replica.seed = config.seed + k;
+    DailyScenario daily(replica, algorithm, centralized_params);
+    daily.run();
+    runs[k] = collect_metrics(daily);
+  };
+
+  if (pool) {
+    pool->parallel_for(0, replications, one);
+  } else {
+    for (std::size_t k = 0; k < replications; ++k) one(k);
+  }
+
+  const auto gather = [&](double RunMetrics::* field) {
+    std::vector<double> values;
+    values.reserve(replications);
+    for (const RunMetrics& run : runs) values.push_back(run.*field);
+    return stats::mean_ci_95(values);
+  };
+
+  ReplicatedMetrics out;
+  out.replications = replications;
+  out.energy_kwh = gather(&RunMetrics::energy_kwh);
+  out.mean_active_servers = gather(&RunMetrics::mean_active_servers);
+  out.migrations = gather(&RunMetrics::migrations);
+  out.switches = gather(&RunMetrics::switches);
+  out.overload_percent = gather(&RunMetrics::overload_percent);
+  return out;
+}
+
+}  // namespace ecocloud::scenario

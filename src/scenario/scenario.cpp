@@ -1,0 +1,184 @@
+#include "ecocloud/scenario/scenario.hpp"
+
+#include <algorithm>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::scenario {
+
+void build_fleet(dc::DataCenter& datacenter, const FleetConfig& fleet) {
+  util::require(!fleet.core_mix.empty(), "build_fleet: empty core mix");
+  for (std::size_t i = 0; i < fleet.num_servers; ++i) {
+    const unsigned cores = fleet.core_mix[i % fleet.core_mix.size()];
+    datacenter.add_server(cores, fleet.core_mhz,
+                          fleet.ram_per_core_mb * static_cast<double>(cores));
+  }
+}
+
+DailyScenario::DailyScenario(DailyConfig config, Algorithm algorithm,
+                             baseline::CentralizedParams centralized_params)
+    : DailyScenario(
+          [&config] {
+            config.params.validate();
+            util::Rng rng(config.seed);
+            const auto num_steps = static_cast<std::size_t>(
+                                       config.horizon_s /
+                                       config.workload.sample_period_s) +
+                                   2;
+            trace::WorkloadModel model(config.workload);
+            return trace::TraceSet::generate(model, config.num_vms, num_steps,
+                                             rng);
+          }(),
+          config, algorithm, centralized_params) {}
+
+DailyScenario::DailyScenario(DailyConfig config, trace::TraceSet traces,
+                             Algorithm algorithm,
+                             baseline::CentralizedParams centralized_params)
+    : DailyScenario(std::move(traces), config, algorithm, centralized_params) {}
+
+DailyScenario::DailyScenario(trace::TraceSet traces, DailyConfig config,
+                             Algorithm algorithm,
+                             baseline::CentralizedParams centralized_params)
+    : config_(std::move(config)), algorithm_(algorithm) {
+  config_.params.validate();
+  config_.num_vms = traces.num_vms();
+
+  dc_ = std::make_unique<dc::DataCenter>();
+  build_fleet(*dc_, config_.fleet);
+
+  traces_ = std::make_unique<trace::TraceSet>(std::move(traces));
+  trace_driver_ = std::make_unique<core::TraceDriver>(sim_, *dc_, *traces_);
+
+  util::Rng rng(config_.seed);
+  if (algorithm_ == Algorithm::kEcoCloud) {
+    eco_ = std::make_unique<core::EcoCloudController>(sim_, *dc_, config_.params,
+                                                      rng.split(1));
+    if (config_.topology) {
+      topology_ =
+          std::make_unique<net::Topology>(dc_->num_servers(), *config_.topology);
+      eco_->set_topology(topology_.get());
+    }
+  } else if (algorithm_ == Algorithm::kCentralized) {
+    central_ = std::make_unique<baseline::CentralizedController>(
+        sim_, *dc_, centralized_params, rng.split(1));
+  }
+  // kStatic needs no controller at all.
+
+  collector_ = std::make_unique<metrics::MetricsCollector>(sim_, *dc_);
+  if (eco_) collector_->attach(*eco_);
+}
+
+void DailyScenario::run() {
+  if (algorithm_ == Algorithm::kStatic) {
+    // No consolidation: the whole fleet runs and VMs are spread
+    // round-robin, as in a data center without any placement policy.
+    for (std::size_t s = 0; s < dc_->num_servers(); ++s) {
+      dc_->start_booting(0.0, static_cast<dc::ServerId>(s));
+      dc_->finish_booting(0.0, static_cast<dc::ServerId>(s));
+    }
+  }
+
+  // Create all VMs with their t=0 demand and deploy them; the controllers
+  // wake servers and queue VMs as boots complete.
+  for (std::size_t i = 0; i < config_.num_vms; ++i) {
+    const dc::VmId vm = dc_->create_vm(0.0, traces_->ram_mb(i));
+    trace_driver_->map_vm(i, vm);
+    if (eco_) {
+      eco_->deploy_vm(vm);
+    } else if (central_) {
+      central_->deploy_vm(vm);
+    } else {
+      dc_->place_vm(0.0, vm, static_cast<dc::ServerId>(i % dc_->num_servers()));
+    }
+  }
+
+  trace_driver_->start();
+  if (eco_) eco_->start();
+  if (central_) central_->start();
+  collector_->start();
+
+  if (config_.warmup_s > 0.0) {
+    sim_.run_until(config_.warmup_s);
+    dc_->reset_accounting(sim_.now());
+    collector_->rebase();
+    if (eco_) eco_->reset_counters();
+  }
+  sim_.run_until(config_.horizon_s);
+  dc_->advance_to(config_.horizon_s);
+}
+
+ConsolidationScenario::ConsolidationScenario(ConsolidationConfig config)
+    : config_(std::move(config)) {
+  // The Sec. IV experiment studies the assignment procedure in isolation.
+  config_.params.enable_migrations = false;
+  config_.params.validate();
+
+  dc_ = std::make_unique<dc::DataCenter>();
+  for (std::size_t i = 0; i < config_.num_servers; ++i) {
+    dc_->add_server(config_.cores_per_server, config_.core_mhz);
+  }
+
+  util::Rng rng(config_.seed);
+  const auto num_steps =
+      static_cast<std::size_t>(config_.horizon_s / config_.workload.sample_period_s) + 2;
+  trace::WorkloadModel model(config_.workload);
+  traces_ = std::make_unique<trace::TraceSet>(
+      trace::TraceSet::generate(model, 6000, num_steps, rng));
+
+  trace_driver_ = std::make_unique<core::TraceDriver>(sim_, *dc_, *traces_);
+  eco_ = std::make_unique<core::EcoCloudController>(sim_, *dc_, config_.params,
+                                                    rng.split(1));
+  rates_ = std::make_unique<trace::RateEstimator>(1800.0);
+
+  const double nu_rate = nu();
+  const std::size_t target = config_.initial_vms;
+  const trace::DiurnalPattern diurnal = config_.workload.diurnal;
+  auto lambda_fn = [target, nu_rate, diurnal](sim::SimTime t) {
+    return static_cast<double>(target) * nu_rate * diurnal.value(t);
+  };
+  const double lambda_max =
+      static_cast<double>(target) * nu_rate * diurnal.max() * 1.001;
+
+  open_ = std::make_unique<core::OpenSystemDriver>(sim_, *dc_, *eco_, *trace_driver_,
+                                                   *traces_, rng.split(2), lambda_fn,
+                                                   lambda_max, nu_rate);
+  open_->set_rate_estimator(rates_.get());
+
+  metrics::CollectorConfig mc;
+  mc.sample_period_s = config_.sample_period_s;
+  collector_ = std::make_unique<metrics::MetricsCollector>(sim_, *dc_, mc);
+  collector_->attach(*eco_);
+}
+
+double ConsolidationScenario::lambda(sim::SimTime t) const {
+  return static_cast<double>(config_.initial_vms) * nu() *
+         config_.workload.diurnal.value(t);
+}
+
+double ConsolidationScenario::mean_vm_share() const {
+  const double mean_mhz = trace::WorkloadModel::expected_average_percent() / 100.0 *
+                          config_.workload.reference_mhz;
+  const double capacity =
+      static_cast<double>(config_.cores_per_server) * config_.core_mhz;
+  return mean_mhz / capacity;
+}
+
+void ConsolidationScenario::run() {
+  // Non-consolidated start: every server active, VMs spread uniformly.
+  for (std::size_t s = 0; s < config_.num_servers; ++s) {
+    eco_->force_activate(static_cast<dc::ServerId>(s));
+  }
+  open_->seed_initial_population(config_.initial_vms);
+  dc_->reset_accounting(sim_.now());
+
+  trace_driver_->start();
+  eco_->start();  // no-op with migrations disabled, kept for symmetry
+  open_->start();
+  collector_->sample_now();
+  collector_->start();
+
+  sim_.run_until(config_.horizon_s);
+  dc_->advance_to(config_.horizon_s);
+}
+
+}  // namespace ecocloud::scenario

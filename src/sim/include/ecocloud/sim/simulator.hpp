@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file simulator.hpp
+/// \brief Deterministic discrete-event simulation kernel.
+///
+/// The kernel is a classic event-calendar design: callbacks scheduled at
+/// future timestamps, executed in (time, insertion-sequence) order so that
+/// simultaneous events fire deterministically in scheduling order. Events
+/// can be cancelled through their handle; cancelled entries are dropped
+/// lazily when they reach the top of the heap.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "ecocloud/sim/time.hpp"
+
+namespace ecocloud::sim {
+
+class Simulator;
+
+/// Handle to a scheduled event; allows cancellation and liveness queries.
+/// Handles are cheap to copy and remain valid after the event fires (they
+/// simply report inactive).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not fired, not cancelled).
+  [[nodiscard]] bool pending() const;
+
+  /// Cancel the event if still pending; returns true if it was cancelled.
+  bool cancel();
+
+ private:
+  friend class Simulator;
+  struct Record;
+  explicit EventHandle(std::shared_ptr<Record> record);
+  std::shared_ptr<Record> record_;
+};
+
+/// Single-threaded discrete-event simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time (seconds). Starts at 0.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule \p fn at absolute time \p at (must be >= now()).
+  EventHandle schedule_at(SimTime at, Callback fn);
+
+  /// Schedule \p fn after a non-negative \p delay from now().
+  EventHandle schedule_after(SimTime delay, Callback fn);
+
+  /// Schedule \p fn every \p period seconds starting at now() + phase.
+  /// The returned handle cancels the *whole* periodic chain.
+  EventHandle schedule_periodic(SimTime period, Callback fn, SimTime phase = 0.0);
+
+  /// Execute the next pending event; returns false if none remain.
+  bool step();
+
+  /// Run until the event calendar is empty.
+  void run();
+
+  /// Run all events with time <= \p end, then advance the clock to \p end.
+  void run_until(SimTime end);
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct QueueEntry;
+  struct Compare {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const;
+  };
+
+  void push(SimTime at, std::shared_ptr<EventHandle::Record> record);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Compare> queue_;
+};
+
+struct EventHandle::Record {
+  Simulator::Callback fn;
+  bool cancelled = false;
+  bool fired = false;
+};
+
+struct Simulator::QueueEntry {
+  SimTime time;
+  std::uint64_t seq;
+  std::shared_ptr<EventHandle::Record> record;
+};
+
+}  // namespace ecocloud::sim

@@ -1,0 +1,102 @@
+#include "ecocloud/sim/simulator.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::sim {
+
+EventHandle::EventHandle(std::shared_ptr<Record> record)
+    : record_(std::move(record)) {}
+
+bool EventHandle::pending() const {
+  return record_ && !record_->cancelled && !record_->fired;
+}
+
+bool EventHandle::cancel() {
+  if (!pending()) return false;
+  record_->cancelled = true;
+  return true;
+}
+
+bool Simulator::Compare::operator()(const QueueEntry& a, const QueueEntry& b) const {
+  if (a.time != b.time) return a.time > b.time;  // min-heap on time
+  return a.seq > b.seq;                          // FIFO among simultaneous
+}
+
+void Simulator::push(SimTime at, std::shared_ptr<EventHandle::Record> record) {
+  queue_.push(QueueEntry{at, next_seq_++, std::move(record)});
+  ++live_events_;
+}
+
+EventHandle Simulator::schedule_at(SimTime at, Callback fn) {
+  util::require(at >= now_, "Simulator::schedule_at: cannot schedule in the past");
+  util::require(static_cast<bool>(fn), "Simulator::schedule_at: empty callback");
+  auto record = std::make_shared<EventHandle::Record>();
+  record->fn = std::move(fn);
+  push(at, record);
+  return EventHandle(std::move(record));
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
+  util::require(delay >= 0.0, "Simulator::schedule_after: delay must be >= 0");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_periodic(SimTime period, Callback fn, SimTime phase) {
+  util::require(period > 0.0, "Simulator::schedule_periodic: period must be > 0");
+  util::require(phase >= 0.0, "Simulator::schedule_periodic: phase must be >= 0");
+  util::require(static_cast<bool>(fn), "Simulator::schedule_periodic: empty callback");
+
+  auto record = std::make_shared<EventHandle::Record>();
+  // The periodic callback reschedules its own record; the single handle
+  // cancels the whole chain because all occurrences share the record.
+  // Re-arm BEFORE invoking the user callback so the handle stays pending
+  // during the callback and cancel() from inside it stops the chain (the
+  // already-pushed next occurrence is lazily dropped).
+  record->fn = [this, record_weak = std::weak_ptr<EventHandle::Record>(record),
+                period, user_fn = std::move(fn)]() {
+    if (auto rec = record_weak.lock(); rec && !rec->cancelled) {
+      rec->fired = false;  // re-arm the shared record
+      push(now_ + period, rec);
+    }
+    user_fn();
+  };
+  push(now_ + phase, record);
+  return EventHandle(std::move(record));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    --live_events_;
+    if (entry.record->cancelled) continue;  // lazily drop cancelled entries
+    now_ = entry.time;
+    entry.record->fired = true;
+    ++executed_;
+    entry.record->fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime end) {
+  util::require(end >= now_, "Simulator::run_until: end precedes current time");
+  while (!queue_.empty()) {
+    const QueueEntry& top = queue_.top();
+    if (top.record->cancelled) {
+      queue_.pop();
+      --live_events_;
+      continue;
+    }
+    if (top.time > end) break;
+    step();
+  }
+  now_ = end;
+}
+
+}  // namespace ecocloud::sim

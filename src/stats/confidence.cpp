@@ -1,0 +1,39 @@
+#include "ecocloud/stats/confidence.hpp"
+
+#include <cmath>
+
+#include "ecocloud/stats/welford.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::stats {
+
+double student_t_95(std::size_t degrees_of_freedom) {
+  util::require(degrees_of_freedom >= 1, "student_t_95: df must be >= 1");
+  // Two-sided 95% (alpha/2 = 0.025) critical values, df = 1..30.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (degrees_of_freedom <= 30) return kTable[degrees_of_freedom - 1];
+  return 1.96;
+}
+
+bool MeanCI::separated_from(const MeanCI& other) const {
+  return lower() > other.upper() || upper() < other.lower();
+}
+
+MeanCI mean_ci_95(const std::vector<double>& samples) {
+  util::require(!samples.empty(), "mean_ci_95: no samples");
+  Welford acc;
+  for (double x : samples) acc.add(x);
+  MeanCI ci;
+  ci.n = samples.size();
+  ci.mean = acc.mean();
+  if (samples.size() < 2) return ci;  // half_width stays 0
+  const double standard_error =
+      std::sqrt(acc.sample_variance() / static_cast<double>(samples.size()));
+  ci.half_width = student_t_95(samples.size() - 1) * standard_error;
+  return ci;
+}
+
+}  // namespace ecocloud::stats

@@ -1,0 +1,72 @@
+#include "ecocloud/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(num_bins)),
+      counts_(num_bins, 0.0) {
+  util::require(num_bins > 0, "Histogram: num_bins must be > 0");
+  util::require(lo < hi, "Histogram: lo must be < hi");
+}
+
+void Histogram::add(double x, double weight) {
+  util::require(weight >= 0.0, "Histogram::add: weight must be >= 0");
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  // Guard against x == hi_ - epsilon rounding up.
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  counts_[idx] += weight;
+}
+
+double Histogram::bin_left(std::size_t i) const {
+  util::require(i < counts_.size(), "Histogram::bin_left: index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return bin_left(i) + 0.5 * width_;
+}
+
+double Histogram::count(std::size_t i) const {
+  util::require(i < counts_.size(), "Histogram::count: index out of range");
+  return counts_[i];
+}
+
+double Histogram::frequency(std::size_t i) const {
+  return total_ > 0.0 ? count(i) / total_ : 0.0;
+}
+
+std::vector<double> Histogram::frequencies() const {
+  std::vector<double> freq(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) freq[i] = frequency(i);
+  return freq;
+}
+
+double Histogram::fraction_within(double lo_bound, double hi_bound) const {
+  if (total_ <= 0.0 || lo_bound >= hi_bound) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double left = bin_left(i);
+    const double right = left + width_;
+    const double overlap = std::min(right, hi_bound) - std::max(left, lo_bound);
+    if (overlap > 0.0) {
+      acc += counts_[i] * (overlap / width_);
+    }
+  }
+  return acc / total_;
+}
+
+}  // namespace ecocloud::stats

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file confidence.hpp
+/// \brief Student-t confidence intervals for replicated experiments.
+///
+/// Simulation results in this project are reported as mean +- half-width
+/// over independent replications (different seeds). With the small
+/// replication counts typical here (3-20), the Student-t quantile matters;
+/// the normal approximation takes over past 30 degrees of freedom.
+
+#include <cstddef>
+#include <vector>
+
+namespace ecocloud::stats {
+
+/// Two-sided 95% Student-t critical value for the given degrees of
+/// freedom (>= 1). Exact table for df <= 30, 1.96 beyond.
+[[nodiscard]] double student_t_95(std::size_t degrees_of_freedom);
+
+/// A mean with its 95% confidence half-width.
+struct MeanCI {
+  double mean = 0.0;
+  double half_width = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double lower() const { return mean - half_width; }
+  [[nodiscard]] double upper() const { return mean + half_width; }
+
+  /// True when the two intervals do not overlap (a conservative
+  /// significance check for comparing policies).
+  [[nodiscard]] bool separated_from(const MeanCI& other) const;
+};
+
+/// 95% CI of the mean of \p samples. One sample yields half_width = 0
+/// (there is nothing to estimate spread from); empty input throws.
+[[nodiscard]] MeanCI mean_ci_95(const std::vector<double>& samples);
+
+}  // namespace ecocloud::stats

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file histogram.hpp
+/// \brief Fixed-bin histogram used to reproduce the paper's Figs. 4 and 5.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecocloud::stats {
+
+/// Equal-width histogram over [lo, hi) with explicit under/overflow bins.
+class Histogram {
+ public:
+  /// \param lo,hi    range covered by the regular bins (lo < hi).
+  /// \param num_bins number of regular bins (> 0).
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  /// Record one observation (optionally weighted).
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t num_bins() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const { return width_; }
+
+  /// Left edge / center of regular bin \p i.
+  [[nodiscard]] double bin_left(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+
+  /// Raw (weighted) count of regular bin \p i.
+  [[nodiscard]] double count(std::size_t i) const;
+  [[nodiscard]] double underflow() const { return underflow_; }
+  [[nodiscard]] double overflow() const { return overflow_; }
+
+  /// Total weight including under/overflow.
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Relative frequency of regular bin \p i (count / total); 0 if empty.
+  [[nodiscard]] double frequency(std::size_t i) const;
+
+  /// All relative frequencies (regular bins only).
+  [[nodiscard]] std::vector<double> frequencies() const;
+
+  /// Fraction of total weight with |x| <= bound (uses exact recorded values
+  /// is impossible from bins; this sums bins fully inside the bound and
+  /// linearly interpolates the partial bins).
+  [[nodiscard]] double fraction_within(double lo_bound, double hi_bound) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace ecocloud::stats

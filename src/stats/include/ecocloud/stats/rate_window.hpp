@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file rate_window.hpp
+/// \brief Windowed event-rate counter (events per hour, per figure window).
+///
+/// Figures 9 and 10 of the paper report migrations/switches *per hour*,
+/// sampled every 30 minutes. RateWindow counts timestamped events and
+/// reports per-window counts scaled to an hourly rate.
+
+#include <cstddef>
+#include <vector>
+
+namespace ecocloud::stats {
+
+/// Counts timestamped events and bins them into fixed windows.
+class RateWindow {
+ public:
+  /// \param window_seconds width of each reporting window (> 0).
+  explicit RateWindow(double window_seconds);
+
+  /// Record one event at simulation time \p t (seconds, >= 0).
+  void record(double t);
+
+  /// Number of events in window \p i ([i*w, (i+1)*w)).
+  [[nodiscard]] std::size_t count_in_window(std::size_t i) const;
+
+  /// Events-per-hour rate for window \p i.
+  [[nodiscard]] double hourly_rate(std::size_t i) const;
+
+  /// Number of windows touched so far (highest event window + 1).
+  [[nodiscard]] std::size_t num_windows() const { return counts_.size(); }
+
+  /// Total number of recorded events.
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  [[nodiscard]] double window_seconds() const { return window_; }
+
+ private:
+  double window_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ecocloud::stats

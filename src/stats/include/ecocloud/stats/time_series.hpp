@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file time_series.hpp
+/// \brief Append-only (time, value) series with resampling helpers.
+///
+/// Metrics in the paper are reported every 30 minutes over 48 hours; the
+/// collector records raw samples here and benches resample/aggregate them.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecocloud::stats {
+
+/// A named sequence of (time, value) samples with non-decreasing times.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name = "");
+
+  /// Append a sample; \p time must be >= the last appended time.
+  void add(double time, double value);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] double time(std::size_t i) const { return times_.at(i); }
+  [[nodiscard]] double value(std::size_t i) const { return values_.at(i); }
+
+  /// Value at time t by zero-order hold (last sample with time <= t);
+  /// \p fallback if the series is empty or t precedes the first sample.
+  [[nodiscard]] double sample_hold(double t, double fallback = 0.0) const;
+
+  /// Piecewise-linear interpolation at t, clamped to the end values.
+  [[nodiscard]] double interpolate(double t) const;
+
+  /// Time integral over [t0, t1] treating the series as zero-order hold.
+  [[nodiscard]] double integrate_hold(double t0, double t1) const;
+
+  /// Mean of samples with time in [t0, t1].
+  [[nodiscard]] double mean_in(double t0, double t1) const;
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+
+ private:
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace ecocloud::stats

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file welford.hpp
+/// \brief Numerically stable online mean/variance (Welford's algorithm).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace ecocloud::stats {
+
+/// Online accumulator for count, mean, variance, min, max.
+class Welford {
+ public:
+  /// Incorporate one observation.
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merge another accumulator (parallel reduction; Chan et al.).
+  void merge(const Welford& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+
+  /// Population variance (divide by n); 0 with fewer than 1 sample.
+  [[nodiscard]] double variance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Sample variance (divide by n-1); 0 with fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Minimum observed value; +inf if empty.
+  [[nodiscard]] double min() const { return min_; }
+  /// Maximum observed value; -inf if empty.
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ecocloud::stats

@@ -1,0 +1,53 @@
+#include "ecocloud/stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::stats {
+
+void QuantileSketch::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void QuantileSketch::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void QuantileSketch::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  util::require(!samples_.empty(), "QuantileSketch::quantile on empty sketch");
+  util::require(q >= 0.0 && q <= 1.0, "QuantileSketch::quantile: q must be in [0,1]");
+  sort_if_needed();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  if (lo == hi) return samples_[lo];
+  const double w = pos - static_cast<double>(lo);
+  return samples_[lo] + w * (samples_[hi] - samples_[lo]);
+}
+
+double QuantileSketch::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double quantile_of(std::vector<double> values, double q) {
+  QuantileSketch sketch;
+  sketch.add_all(values);
+  return sketch.quantile(q);
+}
+
+}  // namespace ecocloud::stats

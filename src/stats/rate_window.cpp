@@ -1,0 +1,27 @@
+#include "ecocloud/stats/rate_window.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::stats {
+
+RateWindow::RateWindow(double window_seconds) : window_(window_seconds) {
+  util::require(window_seconds > 0.0, "RateWindow: window must be > 0");
+}
+
+void RateWindow::record(double t) {
+  util::require(t >= 0.0, "RateWindow::record: time must be >= 0");
+  const auto idx = static_cast<std::size_t>(t / window_);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+  ++total_;
+}
+
+std::size_t RateWindow::count_in_window(std::size_t i) const {
+  return i < counts_.size() ? counts_[i] : 0;
+}
+
+double RateWindow::hourly_rate(std::size_t i) const {
+  return static_cast<double>(count_in_window(i)) * (3600.0 / window_);
+}
+
+}  // namespace ecocloud::stats

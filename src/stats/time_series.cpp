@@ -1,0 +1,79 @@
+#include "ecocloud/stats/time_series.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::stats {
+
+TimeSeries::TimeSeries(std::string name) : name_(std::move(name)) {}
+
+void TimeSeries::add(double time, double value) {
+  util::require(times_.empty() || time >= times_.back(),
+                "TimeSeries::add: times must be non-decreasing");
+  times_.push_back(time);
+  values_.push_back(value);
+}
+
+double TimeSeries::sample_hold(double t, double fallback) const {
+  if (times_.empty() || t < times_.front()) return fallback;
+  // Last index with time <= t.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - times_.begin()) - 1;
+  return values_[idx];
+}
+
+double TimeSeries::interpolate(double t) const {
+  util::require(!times_.empty(), "TimeSeries::interpolate on empty series");
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times_.begin());
+  const auto lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  if (span <= 0.0) return values_[hi];
+  const double w = (t - times_[lo]) / span;
+  return values_[lo] + w * (values_[hi] - values_[lo]);
+}
+
+double TimeSeries::integrate_hold(double t0, double t1) const {
+  if (times_.empty() || t1 <= t0) return 0.0;
+  double acc = 0.0;
+  // Contribution of segment [times_[i], times_[i+1]) holding values_[i].
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    const double seg_begin = times_[i];
+    const double seg_end =
+        (i + 1 < times_.size()) ? times_[i + 1] : std::max(t1, seg_begin);
+    const double lo = std::max(seg_begin, t0);
+    const double hi = std::min(seg_end, t1);
+    if (hi > lo) acc += values_[i] * (hi - lo);
+  }
+  return acc;
+}
+
+double TimeSeries::mean_in(double t0, double t1) const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= t0 && times_[i] <= t1) {
+      acc += values_[i];
+      ++n;
+    }
+  }
+  return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::min_value() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (double v : values_) best = std::min(best, v);
+  return best;
+}
+
+double TimeSeries::max_value() const {
+  double best = -std::numeric_limits<double>::infinity();
+  for (double v : values_) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace ecocloud::stats

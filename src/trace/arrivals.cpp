@@ -1,0 +1,31 @@
+#include "ecocloud/trace/arrivals.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::trace {
+
+PoissonArrivals::PoissonArrivals(RateFn rate, double rate_max)
+    : rate_(std::move(rate)), rate_max_(rate_max) {
+  util::require(static_cast<bool>(rate_), "PoissonArrivals: empty rate function");
+  util::require(rate_max > 0.0, "PoissonArrivals: rate_max must be > 0");
+}
+
+sim::SimTime PoissonArrivals::next_after(sim::SimTime after, util::Rng& rng) const {
+  sim::SimTime t = after;
+  for (;;) {
+    t += rng.exponential(rate_max_);
+    const double lambda = rate_(t);
+    util::require(lambda <= rate_max_ * (1.0 + 1e-12),
+                  "PoissonArrivals: rate exceeds declared rate_max");
+    if (lambda > 0.0 && rng.uniform() * rate_max_ < lambda) {
+      return t;
+    }
+  }
+}
+
+sim::SimTime exponential_lifetime(double nu, util::Rng& rng) {
+  util::require(nu > 0.0, "exponential_lifetime: rate must be > 0");
+  return rng.exponential(nu);
+}
+
+}  // namespace ecocloud::trace

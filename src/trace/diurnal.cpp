@@ -1,0 +1,25 @@
+#include "ecocloud/trace/diurnal.hpp"
+
+#include <cmath>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::trace {
+
+DiurnalPattern::DiurnalPattern(double amplitude, double peak_hour)
+    : amplitude_(amplitude), peak_hour_(peak_hour) {
+  util::require(amplitude >= 0.0 && amplitude < 1.0,
+                "DiurnalPattern: amplitude must be in [0,1)");
+  util::require(peak_hour >= 0.0 && peak_hour < 24.0,
+                "DiurnalPattern: peak_hour must be in [0,24)");
+}
+
+double DiurnalPattern::value(sim::SimTime t) const {
+  const double hours = t / sim::kHour;
+  // sin is maximal when its argument is pi/2; shift so that happens at
+  // peak_hour_ (mod 24).
+  const double phase = 2.0 * M_PI * (hours - peak_hour_) / 24.0 + M_PI / 2.0;
+  return 1.0 + amplitude_ * std::sin(phase);
+}
+
+}  // namespace ecocloud::trace

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file diurnal.hpp
+/// \brief Daily load modulation shared by all VMs.
+///
+/// The paper's 48-hour experiment follows "the normal daily pattern, with
+/// increasing load in the morning and decreasing load in the evening"
+/// (Sec. III). We model this as a sinusoid with a 24-hour period:
+///   g(t) = 1 + amplitude * sin(2*pi*(t - peak_offset)/24h)
+/// phased so the minimum falls in the small hours and the peak in the
+/// early afternoon.
+
+#include "ecocloud/sim/time.hpp"
+
+namespace ecocloud::trace {
+
+class DiurnalPattern {
+ public:
+  /// \param amplitude  relative swing around 1 (in [0, 1)).
+  /// \param peak_hour  hour of day at which g is maximal (default 14:00).
+  explicit DiurnalPattern(double amplitude = 0.22, double peak_hour = 14.0);
+
+  /// Modulation factor at simulation time \p t (seconds since midnight of
+  /// day 0). Mean over a full day is exactly 1.
+  [[nodiscard]] double value(sim::SimTime t) const;
+
+  [[nodiscard]] double amplitude() const { return amplitude_; }
+  [[nodiscard]] double peak_hour() const { return peak_hour_; }
+
+  /// Minimum / maximum over a day.
+  [[nodiscard]] double min() const { return 1.0 - amplitude_; }
+  [[nodiscard]] double max() const { return 1.0 + amplitude_; }
+
+ private:
+  double amplitude_;
+  double peak_hour_;
+};
+
+}  // namespace ecocloud::trace

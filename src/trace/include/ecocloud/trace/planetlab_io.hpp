@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file planetlab_io.hpp
+/// \brief Import/export of PlanetLab/CoMon-style trace directories.
+///
+/// The paper's traces come from the CoMon monitoring of PlanetLab
+/// (Sec. III). The widely circulated form of that dataset — also shipped
+/// with CloudSim — is a directory with one plain-text file per VM, holding
+/// one integer CPU-utilization percentage per line, sampled every 5
+/// minutes. These helpers read such a directory into a TraceSet (so users
+/// who do have the real logs can replay them through every experiment in
+/// this repository) and write a TraceSet back out in the same format.
+
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "ecocloud/trace/trace_set.hpp"
+
+namespace ecocloud::trace {
+
+/// Parse one per-VM file: one utilization percentage per line (integers or
+/// decimals; blank lines ignored). Values are clamped to [0, 100].
+/// Throws std::invalid_argument on non-numeric content.
+[[nodiscard]] std::vector<float> parse_planetlab_file(std::istream& in);
+
+/// Read every regular file in \p dir (sorted by filename for determinism)
+/// as one VM trace. Files shorter than the longest one are extended by
+/// wrapping around, mirroring how finite logs are replayed.
+///
+/// \param sample_period_s  sampling period of the logs (CoMon: 300 s).
+/// \param reference_mhz    capacity the percentages refer to.
+[[nodiscard]] TraceSet read_planetlab_dir(const std::filesystem::path& dir,
+                                          double sample_period_s = 300.0,
+                                          double reference_mhz = 2000.0);
+
+/// Write \p set as a PlanetLab-style directory: one file per VM named
+/// vm_00000, vm_00001, ... (created if needed; existing files overwritten).
+void write_planetlab_dir(const TraceSet& set, const std::filesystem::path& dir);
+
+}  // namespace ecocloud::trace

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file rate_estimator.hpp
+/// \brief Estimate lambda(t) and the per-VM departure rate from event logs.
+///
+/// The paper (Sec. IV) computes lambda(t) and mu(t) "from the traces" and
+/// feeds them to the differential equations. RateEstimator performs the
+/// same step on simulated arrival/departure events: it bins events into
+/// fixed windows and exposes piecewise-constant rate functions.
+
+#include <vector>
+
+#include "ecocloud/sim/time.hpp"
+#include "ecocloud/trace/arrivals.hpp"
+
+namespace ecocloud::trace {
+
+class RateEstimator {
+ public:
+  /// \param window_s  estimation window width in seconds (> 0).
+  explicit RateEstimator(double window_s);
+
+  /// Record a VM arrival at time \p t.
+  void record_arrival(sim::SimTime t);
+
+  /// Record a VM departure at time \p t while \p population VMs were in the
+  /// system (population before the departure, >= 1).
+  void record_departure(sim::SimTime t, std::size_t population);
+
+  /// Arrivals per second in the window containing \p t (0 outside data).
+  [[nodiscard]] double lambda(sim::SimTime t) const;
+
+  /// Per-VM departure rate in the window containing \p t: departures in the
+  /// window divided by the integral of the population (approximated by the
+  /// mean population at departure instants times the window length).
+  [[nodiscard]] double nu(sim::SimTime t) const;
+
+  /// Piecewise-constant rate functions for feeding PoissonArrivals / ODEs.
+  [[nodiscard]] RateFn lambda_fn() const;
+  [[nodiscard]] RateFn nu_fn() const;
+
+  /// Upper bound on lambda over all windows (for thinning).
+  [[nodiscard]] double lambda_max() const;
+
+  [[nodiscard]] double window_s() const { return window_; }
+  [[nodiscard]] std::size_t num_windows() const { return arrivals_.size(); }
+
+ private:
+  void grow_to(std::size_t idx);
+
+  double window_;
+  std::vector<std::size_t> arrivals_;
+  std::vector<std::size_t> departures_;
+  std::vector<double> population_sum_;  // sum of populations at departures
+};
+
+}  // namespace ecocloud::trace

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file trace_set.hpp
+/// \brief A generated (or loaded) set of per-VM CPU utilization traces.
+///
+/// Mirrors the paper's data: N VMs, each a series of utilization
+/// percentages sampled every 5 minutes. The set can be synthesised from a
+/// WorkloadModel or round-tripped through CSV (header row, then one row
+/// per VM: id, avg, ram_mb, sample_0, sample_1, ...).
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "ecocloud/sim/time.hpp"
+#include "ecocloud/trace/workload_model.hpp"
+#include "ecocloud/util/rng.hpp"
+
+namespace ecocloud::trace {
+
+class TraceSet {
+ public:
+  /// Synthesize \p num_vms traces of \p num_steps samples each.
+  static TraceSet generate(const WorkloadModel& model, std::size_t num_vms,
+                           std::size_t num_steps, util::Rng& rng);
+
+  /// Load from CSV previously written by write_csv().
+  static TraceSet read_csv(std::istream& in);
+
+  /// Build a set from raw per-VM utilization series (percent). Averages
+  /// are computed from the data; RAM footprints default to \p ram_mb.
+  /// All series must have the same non-zero length.
+  static TraceSet from_series(std::vector<std::vector<float>> series,
+                              double sample_period_s, double reference_mhz,
+                              double ram_mb = 0.0);
+
+  void write_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t num_vms() const { return series_.size(); }
+  [[nodiscard]] std::size_t num_steps() const { return num_steps_; }
+  [[nodiscard]] sim::SimTime sample_period_s() const { return sample_period_s_; }
+  [[nodiscard]] double reference_mhz() const { return reference_mhz_; }
+
+  /// Average utilization (percent) declared for VM \p v.
+  [[nodiscard]] double average_percent(std::size_t v) const;
+
+  /// RAM footprint of VM \p v (MB).
+  [[nodiscard]] double ram_mb(std::size_t v) const;
+
+  /// Punctual utilization (percent) of VM \p v at step \p k; steps beyond
+  /// the series length wrap around (traces repeat), matching how finite
+  /// logs are replayed over longer horizons.
+  [[nodiscard]] double percent_at(std::size_t v, std::size_t k) const;
+
+  /// Demand in MHz of VM \p v at step \p k.
+  [[nodiscard]] double demand_mhz_at(std::size_t v, std::size_t k) const;
+
+  /// Step index active at simulation time \p t (floor(t / period)).
+  [[nodiscard]] std::size_t step_at(sim::SimTime t) const;
+
+  /// Mean demand (MHz) over all VMs at step \p k.
+  [[nodiscard]] double total_demand_mhz_at(std::size_t k) const;
+
+ private:
+  TraceSet() = default;
+
+  std::size_t num_steps_ = 0;
+  sim::SimTime sample_period_s_ = 300.0;
+  double reference_mhz_ = 2000.0;
+  std::vector<double> averages_;
+  std::vector<double> ram_mb_;
+  std::vector<std::vector<float>> series_;
+};
+
+}  // namespace ecocloud::trace

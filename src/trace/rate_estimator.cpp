@@ -1,0 +1,70 @@
+#include "ecocloud/trace/rate_estimator.hpp"
+
+#include <algorithm>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::trace {
+
+RateEstimator::RateEstimator(double window_s) : window_(window_s) {
+  util::require(window_s > 0.0, "RateEstimator: window must be > 0");
+}
+
+void RateEstimator::grow_to(std::size_t idx) {
+  if (idx >= arrivals_.size()) {
+    arrivals_.resize(idx + 1, 0);
+    departures_.resize(idx + 1, 0);
+    population_sum_.resize(idx + 1, 0.0);
+  }
+}
+
+void RateEstimator::record_arrival(sim::SimTime t) {
+  util::require(t >= 0.0, "RateEstimator::record_arrival: negative time");
+  const auto idx = static_cast<std::size_t>(t / window_);
+  grow_to(idx);
+  ++arrivals_[idx];
+}
+
+void RateEstimator::record_departure(sim::SimTime t, std::size_t population) {
+  util::require(t >= 0.0, "RateEstimator::record_departure: negative time");
+  util::require(population >= 1, "RateEstimator::record_departure: empty system");
+  const auto idx = static_cast<std::size_t>(t / window_);
+  grow_to(idx);
+  ++departures_[idx];
+  population_sum_[idx] += static_cast<double>(population);
+}
+
+double RateEstimator::lambda(sim::SimTime t) const {
+  if (t < 0.0 || arrivals_.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(t / window_);
+  if (idx >= arrivals_.size()) return 0.0;
+  return static_cast<double>(arrivals_[idx]) / window_;
+}
+
+double RateEstimator::nu(sim::SimTime t) const {
+  if (t < 0.0 || departures_.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(t / window_);
+  if (idx >= departures_.size() || departures_[idx] == 0) return 0.0;
+  const double mean_population =
+      population_sum_[idx] / static_cast<double>(departures_[idx]);
+  if (mean_population <= 0.0) return 0.0;
+  return static_cast<double>(departures_[idx]) / (window_ * mean_population);
+}
+
+RateFn RateEstimator::lambda_fn() const {
+  return [copy = *this](sim::SimTime t) { return copy.lambda(t); };
+}
+
+RateFn RateEstimator::nu_fn() const {
+  return [copy = *this](sim::SimTime t) { return copy.nu(t); };
+}
+
+double RateEstimator::lambda_max() const {
+  double best = 0.0;
+  for (std::size_t n : arrivals_) {
+    best = std::max(best, static_cast<double>(n) / window_);
+  }
+  return best;
+}
+
+}  // namespace ecocloud::trace

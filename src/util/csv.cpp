@@ -1,0 +1,95 @@
+#include "ecocloud/util/csv.hpp"
+
+#include <ostream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ecocloud/util/string_util.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::util {
+
+CsvWriter::CsvWriter(std::ostream& out, int precision)
+    : out_(out), precision_(precision) {
+  require(precision > 0 && precision <= 17, "CsvWriter: precision must be in [1,17]");
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { row(names); }
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  ensure(!row_open_, "CsvWriter::row called while an incremental row is open");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& fields) {
+  ensure(!row_open_, "CsvWriter::row called while an incremental row is open");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << format(fields[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter& CsvWriter::field(const std::string& value) {
+  if (row_open_) out_ << ',';
+  out_ << value;
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) { return field(format(value)); }
+
+CsvWriter& CsvWriter::field(long long value) { return field(std::to_string(value)); }
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_open_ = false;
+}
+
+void CsvWriter::comment(const std::string& text) {
+  ensure(!row_open_, "CsvWriter::comment called while an incremental row is open");
+  out_ << "# " << text << '\n';
+}
+
+std::string CsvWriter::format(double value) const {
+  std::ostringstream oss;
+  oss.precision(precision_);
+  oss << value;
+  return oss.str();
+}
+
+CsvRow split_csv_line(const std::string& line) {
+  CsvRow fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(trim(current));
+  return fields;
+}
+
+std::vector<CsvRow> read_csv(std::istream& in) {
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    rows.push_back(split_csv_line(trimmed));
+  }
+  if (in.bad()) {
+    throw std::runtime_error("read_csv: stream read failure");
+  }
+  return rows;
+}
+
+}  // namespace ecocloud::util

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file csv.hpp
+/// \brief Minimal CSV emission/parsing used by benches and trace IO.
+///
+/// The format is deliberately simple: comma-separated, no quoting (fields in
+/// this project are numeric or simple identifiers), '#' starts a comment
+/// line. CsvWriter formats doubles with enough digits to round-trip.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecocloud::util {
+
+/// Streaming CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  /// \param out   destination stream; must outlive the writer.
+  /// \param precision  significant digits for floating-point fields.
+  explicit CsvWriter(std::ostream& out, int precision = 10);
+
+  /// Write a header row (also just a row; provided for readability).
+  void header(const std::vector<std::string>& names);
+
+  /// Write one row of mixed fields; overloads convert to text.
+  void row(const std::vector<std::string>& fields);
+  void row(const std::vector<double>& fields);
+
+  /// Begin an incremental row: field(...) then end_row().
+  CsvWriter& field(const std::string& value);
+  CsvWriter& field(double value);
+  CsvWriter& field(long long value);
+  void end_row();
+
+  /// Write a '#'-prefixed comment line.
+  void comment(const std::string& text);
+
+  /// Format a double with this writer's precision (shared with row()).
+  [[nodiscard]] std::string format(double value) const;
+
+ private:
+  std::ostream& out_;
+  int precision_;
+  bool row_open_ = false;
+};
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parse CSV text from a stream: splits on commas, trims spaces, skips blank
+/// lines and '#' comments. Throws std::runtime_error on stream failure.
+[[nodiscard]] std::vector<CsvRow> read_csv(std::istream& in);
+
+/// Parse a single CSV line (no comment/blank handling).
+[[nodiscard]] CsvRow split_csv_line(const std::string& line);
+
+}  // namespace ecocloud::util

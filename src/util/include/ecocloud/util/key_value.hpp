@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file key_value.hpp
+/// \brief Simple `key = value` configuration files.
+///
+/// Format: one assignment per line, `#` or `;` starts a comment, blank
+/// lines ignored, keys are case-sensitive. Typed getters validate and
+/// convert; consumed keys are tracked so a final check can reject typos
+/// (unknown keys are configuration bugs, not data).
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ecocloud::util {
+
+class KeyValueConfig {
+ public:
+  /// Parse from a stream; throws std::invalid_argument on malformed lines
+  /// or duplicate keys.
+  static KeyValueConfig parse(std::istream& in);
+
+  /// Parse from a string (convenience for tests).
+  static KeyValueConfig parse_string(const std::string& text);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; a present key must parse or they throw.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+
+  /// Keys present in the file but never requested by any getter.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+  /// Throws std::invalid_argument listing unused keys, if any. Call after
+  /// reading every expected field to reject misspelled options.
+  void require_all_used() const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace ecocloud::util

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file math.hpp
+/// \brief Small numeric helpers shared by the simulation and the fluid model.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ecocloud::util {
+
+/// Clamp \p x to the closed interval [0, 1].
+[[nodiscard]] constexpr double clamp01(double x) {
+  return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+}
+
+/// Linear interpolation between \p a and \p b with parameter \p t in [0,1].
+[[nodiscard]] constexpr double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+/// Approximate floating-point equality with absolute and relative tolerance.
+[[nodiscard]] inline bool almost_equal(double a, double b, double abs_tol = 1e-12,
+                                       double rel_tol = 1e-9) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// Evaluate a polynomial with coefficients c[0] + c[1] x + ... (Horner).
+[[nodiscard]] inline double polyval(const std::vector<double>& coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+/// Trapezoidal integral of regularly sampled values with spacing \p dx.
+[[nodiscard]] inline double trapz(const std::vector<double>& y, double dx) {
+  if (y.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < y.size(); ++i) {
+    acc += 0.5 * (y[i] + y[i + 1]);
+  }
+  return acc * dx;
+}
+
+/// Arithmetic mean; returns 0 for an empty range.
+[[nodiscard]] inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+}  // namespace ecocloud::util

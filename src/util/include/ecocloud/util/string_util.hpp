@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file string_util.hpp
+/// \brief String helpers for parsing configuration and trace files.
+
+#include <string>
+#include <vector>
+
+namespace ecocloud::util {
+
+/// Remove leading/trailing whitespace.
+[[nodiscard]] std::string trim(const std::string& s);
+
+/// Split on a delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char delim);
+
+/// Parse a double; throws std::invalid_argument with context on failure.
+[[nodiscard]] double parse_double(const std::string& s);
+
+/// Parse a non-negative integer; throws std::invalid_argument on failure.
+[[nodiscard]] long long parse_int(const std::string& s);
+
+/// True if \p s starts with \p prefix.
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace ecocloud::util

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// \brief Fixed-size worker pool for embarrassingly parallel sweeps.
+///
+/// The simulator itself is single-threaded and deterministic; parallelism in
+/// this project lives at the replication level (independent seeds, parameter
+/// sweeps, per-figure benches). ThreadPool provides submit()/futures and a
+/// blocking parallel_for over an index range with static chunking.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ecocloud::util {
+
+class ThreadPool {
+ public:
+  /// Create a pool with \p num_threads workers (0 -> hardware_concurrency,
+  /// at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains the queue and joins workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Submit a callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::submit after shutdown");
+      }
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run fn(i) for every i in [begin, end) across the pool; blocks until all
+  /// complete. Exceptions from fn propagate (the first one encountered).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ecocloud::util

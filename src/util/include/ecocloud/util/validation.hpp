@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file validation.hpp
+/// \brief Precondition checking helpers used across the library.
+///
+/// Library entry points validate their inputs with require(); violations
+/// throw std::invalid_argument so misconfiguration is reported eagerly
+/// instead of corrupting a long simulation run.
+
+#include <stdexcept>
+#include <string>
+
+namespace ecocloud::util {
+
+/// Throw std::invalid_argument with \p message unless \p condition holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
+/// Throw std::logic_error with \p message unless \p condition holds.
+/// Used for internal invariants (bugs), as opposed to caller errors.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::logic_error(message);
+  }
+}
+
+}  // namespace ecocloud::util

@@ -1,0 +1,98 @@
+#include "ecocloud/util/key_value.hpp"
+
+#include <istream>
+#include <sstream>
+
+#include "ecocloud/util/string_util.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::util {
+
+KeyValueConfig KeyValueConfig::parse(std::istream& in) {
+  KeyValueConfig config;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments.
+    for (char marker : {'#', ';'}) {
+      const auto pos = line.find(marker);
+      if (pos != std::string::npos) line.erase(pos);
+    }
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    require(eq != std::string::npos, "KeyValueConfig: missing '=' on line " +
+                                         std::to_string(line_number));
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    require(!key.empty(),
+            "KeyValueConfig: empty key on line " + std::to_string(line_number));
+    require(config.values_.emplace(key, value).second,
+            "KeyValueConfig: duplicate key '" + key + "'");
+  }
+  return config;
+}
+
+KeyValueConfig KeyValueConfig::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+bool KeyValueConfig::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+double KeyValueConfig::get_double(const std::string& key, double fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return parse_double(it->second);
+}
+
+long long KeyValueConfig::get_int(const std::string& key, long long fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return parse_int(it->second);
+}
+
+bool KeyValueConfig::get_bool(const std::string& key, bool fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& value = it->second;
+  if (value == "true" || value == "1" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  throw std::invalid_argument("KeyValueConfig: '" + key +
+                              "' is not a boolean: " + value);
+}
+
+std::string KeyValueConfig::get_string(const std::string& key,
+                                       const std::string& fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::vector<std::string> KeyValueConfig::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (used_.count(key) == 0) unused.push_back(key);
+  }
+  return unused;
+}
+
+void KeyValueConfig::require_all_used() const {
+  const auto unused = unused_keys();
+  if (unused.empty()) return;
+  std::string message = "KeyValueConfig: unknown keys:";
+  for (const auto& key : unused) message += " " + key;
+  throw std::invalid_argument(message);
+}
+
+}  // namespace ecocloud::util

@@ -1,0 +1,201 @@
+// Tests for the decentralized assignment procedure (invitation rounds).
+
+#include <gtest/gtest.h>
+
+#include "ecocloud/core/assignment.hpp"
+
+namespace core = ecocloud::core;
+namespace dc = ecocloud::dc;
+using ecocloud::util::Rng;
+
+namespace {
+
+struct Fixture {
+  dc::DataCenter datacenter;
+  core::EcoCloudParams params;
+  Rng rng{123};
+
+  Fixture() { params.validate(); }
+
+  dc::ServerId add_active_server(double utilization, unsigned cores = 6) {
+    const auto s = datacenter.add_server(cores, 2000.0);
+    datacenter.start_booting(0.0, s);
+    datacenter.finish_booting(0.0, s);
+    if (utilization > 0.0) {
+      const auto v = datacenter.create_vm(
+          utilization * datacenter.server(s).capacity_mhz());
+      datacenter.place_vm(0.0, v, s);
+    }
+    return s;
+  }
+};
+
+}  // namespace
+
+TEST(Assignment, NoActiveServersMeansNoVolunteers) {
+  Fixture f;
+  f.datacenter.add_server(6, 2000.0);  // hibernated
+  core::AssignmentProcedure proc(f.params, f.rng);
+  const auto result = proc.invite(f.datacenter, 0.0, 100.0);
+  EXPECT_FALSE(result.server.has_value());
+  EXPECT_EQ(result.contacted, 0u);
+}
+
+TEST(Assignment, ServerAtArgmaxAlmostAlwaysVolunteers) {
+  Fixture f;
+  core::AssignmentProcedure proc(f.params, f.rng);
+  const auto s = f.add_active_server(proc.fa().argmax());
+  int accepted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (proc.invite(f.datacenter, 0.0, 10.0).server.has_value()) ++accepted;
+  }
+  // f_a(argmax) = 1, so only the fit check could refuse (it does not here).
+  EXPECT_EQ(accepted, 1000);
+  (void)s;
+}
+
+TEST(Assignment, EmptyServerNeverVolunteers) {
+  Fixture f;
+  f.add_active_server(0.0);
+  core::AssignmentProcedure proc(f.params, f.rng);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(proc.invite(f.datacenter, 0.0, 10.0).server.has_value());
+  }
+}
+
+TEST(Assignment, ServerAboveTaNeverVolunteers) {
+  Fixture f;
+  f.add_active_server(0.95);
+  core::AssignmentProcedure proc(f.params, f.rng);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(proc.invite(f.datacenter, 0.0, 10.0).server.has_value());
+  }
+}
+
+TEST(Assignment, AcceptanceFrequencyTracksFa) {
+  Fixture f;
+  const double u = 0.4;
+  f.add_active_server(u);
+  core::AssignmentProcedure proc(f.params, f.rng);
+  const double expected = proc.fa()(u);
+  int accepted = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (proc.invite(f.datacenter, 0.0, 1.0).server.has_value()) ++accepted;
+  }
+  EXPECT_NEAR(static_cast<double>(accepted) / n, expected, 0.02);
+}
+
+TEST(Assignment, FitCheckRejectsOversizedVm) {
+  Fixture f;
+  f.add_active_server(0.675);  // argmax for Ta=0.9, p=3: fa = 1
+  core::AssignmentProcedure proc(f.params, f.rng);
+  // Remaining capacity is 0.325 * 12000 = 3900 MHz; a 5000 MHz VM cannot fit.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(proc.invite(f.datacenter, 0.0, 5000.0).server.has_value());
+  }
+  // With require_fit disabled the same server volunteers.
+  Fixture f2;
+  f2.params.require_fit = false;
+  f2.add_active_server(0.675);
+  core::AssignmentProcedure proc2(f2.params, f2.rng);
+  EXPECT_TRUE(proc2.invite(f2.datacenter, 0.0, 5000.0).server.has_value());
+}
+
+TEST(Assignment, GraceServerAcceptsDeterministically) {
+  Fixture f;
+  const auto s = f.add_active_server(0.0);  // empty: fa = 0
+  f.datacenter.server_mutable(s).set_grace_until(1000.0);
+  core::AssignmentProcedure proc(f.params, f.rng);
+  // During grace it accepts every VM that keeps it under Ta...
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(proc.invite(f.datacenter, 500.0, 100.0).server.has_value());
+  }
+  // ...but not one that would push it over Ta.
+  EXPECT_FALSE(
+      proc.invite(f.datacenter, 500.0, 0.95 * 12000.0).server.has_value());
+  // After grace expiry the empty server refuses again.
+  EXPECT_FALSE(proc.invite(f.datacenter, 1000.0, 100.0).server.has_value());
+}
+
+TEST(Assignment, TaOverrideRestrictsVolunteers) {
+  Fixture f;
+  f.add_active_server(0.7);
+  core::AssignmentProcedure proc(f.params, f.rng);
+  // With default Ta = 0.9 the 0.7 server can volunteer.
+  int base_accepts = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (proc.invite(f.datacenter, 0.0, 1.0).server.has_value()) ++base_accepts;
+  }
+  EXPECT_GT(base_accepts, 0);
+  // With Ta' = 0.6 < u it never volunteers (the high-migration variant).
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(proc.invite(f.datacenter, 0.0, 1.0, 0.0, 0.6).server.has_value());
+  }
+}
+
+TEST(Assignment, ExcludedServerIsNotContacted) {
+  Fixture f;
+  const auto s = f.add_active_server(0.675);
+  core::AssignmentProcedure proc(f.params, f.rng);
+  const auto result = proc.invite(f.datacenter, 0.0, 1.0, 0.0, -1.0, s);
+  EXPECT_EQ(result.contacted, 0u);
+  EXPECT_FALSE(result.server.has_value());
+}
+
+TEST(Assignment, PicksUniformlyAmongVolunteers) {
+  Fixture f;
+  std::vector<dc::ServerId> servers;
+  for (int i = 0; i < 4; ++i) servers.push_back(f.add_active_server(0.675));
+  core::AssignmentProcedure proc(f.params, f.rng);
+  std::vector<int> hits(4, 0);
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const auto result = proc.invite(f.datacenter, 0.0, 1.0);
+    ASSERT_TRUE(result.server.has_value());
+    ++hits[*result.server];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / n, 0.25, 0.03);
+  }
+}
+
+TEST(Assignment, HigherFaServersChosenMoreOften) {
+  Fixture f;
+  const auto mid = f.add_active_server(0.675);  // fa = 1
+  const auto low = f.add_active_server(0.20);   // fa ~ 0.08
+  core::AssignmentProcedure proc(f.params, f.rng);
+  int mid_hits = 0, low_hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto result = proc.invite(f.datacenter, 0.0, 1.0);
+    if (result.server == mid) ++mid_hits;
+    if (result.server == low) ++low_hits;
+  }
+  EXPECT_GT(mid_hits, 5 * low_hits);
+}
+
+TEST(Assignment, InviteGroupSizeLimitsContacts) {
+  Fixture f;
+  for (int i = 0; i < 20; ++i) f.add_active_server(0.675);
+  f.params.invite_group_size = 5;
+  core::AssignmentProcedure proc(f.params, f.rng);
+  const auto result = proc.invite(f.datacenter, 0.0, 1.0);
+  EXPECT_EQ(result.contacted, 5u);
+  EXPECT_LE(result.volunteers, 5u);
+  EXPECT_TRUE(result.server.has_value());
+}
+
+TEST(Assignment, VolunteerCountReported) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) f.add_active_server(0.675);  // all fa = 1
+  core::AssignmentProcedure proc(f.params, f.rng);
+  const auto result = proc.invite(f.datacenter, 0.0, 1.0);
+  EXPECT_EQ(result.volunteers, 10u);
+  EXPECT_EQ(result.contacted, 10u);
+}
+
+TEST(Assignment, NegativeDemandRejected) {
+  Fixture f;
+  core::AssignmentProcedure proc(f.params, f.rng);
+  EXPECT_THROW(proc.invite(f.datacenter, 0.0, -1.0), std::invalid_argument);
+}

@@ -1,0 +1,262 @@
+// Tests for the centralized baselines: placement heuristics, MM selection,
+// double-threshold controller.
+
+#include <gtest/gtest.h>
+
+#include "ecocloud/baseline/centralized_controller.hpp"
+#include "ecocloud/baseline/mm_selection.hpp"
+#include "ecocloud/baseline/placement.hpp"
+
+namespace baseline = ecocloud::baseline;
+namespace dc = ecocloud::dc;
+namespace sim = ecocloud::sim;
+using ecocloud::util::Rng;
+
+namespace {
+
+dc::ServerId add_active(dc::DataCenter& d, unsigned cores, double utilization) {
+  const auto s = d.add_server(cores, 2000.0);
+  d.start_booting(0.0, s);
+  d.finish_booting(0.0, s);
+  if (utilization > 0.0) {
+    const auto v = d.create_vm(utilization * d.server(s).capacity_mhz());
+    d.place_vm(0.0, v, s);
+  }
+  return s;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- placement
+
+TEST(Placement, FfdPicksFirstFitting) {
+  dc::DataCenter d;
+  add_active(d, 4, 0.89);  // cannot take anything meaningful under cap 0.9
+  const auto second = add_active(d, 4, 0.3);
+  add_active(d, 4, 0.1);
+  const auto chosen = baseline::choose_server(
+      d, 2000.0, 0.9, baseline::PlacementPolicy::kFirstFitDecreasing);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, second);
+}
+
+TEST(Placement, BfdMinimizesPowerIncrease) {
+  dc::DataCenter d;
+  // Equal idle fraction: power increase = (peak-idle) * delta_u. A VM adds
+  // less utilization on a bigger server, but the bigger server also has a
+  // larger dynamic range; with peak = 100 + 20*cores:
+  //  8-core: delta_u = 2000/16000 = 0.125, range 78 -> dP = 9.75 W
+  //  4-core: delta_u = 2000/8000 = 0.25, range 54  -> dP = 13.5 W
+  add_active(d, 4, 0.3);
+  const auto big = add_active(d, 8, 0.3);
+  const auto chosen = baseline::choose_server(
+      d, 2000.0, 0.9, baseline::PlacementPolicy::kBestFitDecreasing);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, big);
+}
+
+TEST(Placement, BfdTieBreaksTowardHigherUtilization) {
+  dc::DataCenter d;
+  add_active(d, 4, 0.2);
+  const auto fuller = add_active(d, 4, 0.6);
+  const auto chosen = baseline::choose_server(
+      d, 800.0, 0.9, baseline::PlacementPolicy::kBestFitDecreasing);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(*chosen, fuller);  // identical power delta, tighter packing wins
+}
+
+TEST(Placement, RespectsUtilizationCap) {
+  dc::DataCenter d;
+  add_active(d, 4, 0.85);
+  for (auto policy : {baseline::PlacementPolicy::kBestFitDecreasing,
+                      baseline::PlacementPolicy::kFirstFitDecreasing,
+                      baseline::PlacementPolicy::kRandomFit}) {
+    const auto chosen = baseline::choose_server(d, 1000.0, 0.9, policy);
+    EXPECT_FALSE(chosen.has_value()) << baseline::to_string(policy);
+  }
+}
+
+TEST(Placement, IgnoresInactiveServers) {
+  dc::DataCenter d;
+  d.add_server(8, 2000.0);  // hibernated
+  const auto chosen = baseline::choose_server(
+      d, 100.0, 0.9, baseline::PlacementPolicy::kFirstFitDecreasing);
+  EXPECT_FALSE(chosen.has_value());
+}
+
+TEST(Placement, RandomFitIsAFit) {
+  dc::DataCenter d;
+  add_active(d, 4, 0.89);
+  const auto ok = add_active(d, 4, 0.2);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto chosen = baseline::choose_server(
+        d, 2000.0, 0.9, baseline::PlacementPolicy::kRandomFit, seed);
+    ASSERT_TRUE(chosen.has_value());
+    EXPECT_EQ(*chosen, ok);
+  }
+}
+
+TEST(Placement, SortByDemandDecreasing) {
+  dc::DataCenter d;
+  const auto a = d.create_vm(100.0);
+  const auto b = d.create_vm(300.0);
+  const auto c = d.create_vm(200.0);
+  const auto sorted = baseline::sort_by_demand_decreasing(d, {a, b, c});
+  EXPECT_EQ(sorted, (std::vector<dc::VmId>{b, c, a}));
+}
+
+TEST(Placement, PolicyNames) {
+  EXPECT_STREQ(baseline::to_string(baseline::PlacementPolicy::kBestFitDecreasing),
+               "MBFD");
+  EXPECT_STREQ(baseline::to_string(baseline::PlacementPolicy::kFirstFitDecreasing),
+               "FFD");
+}
+
+// -------------------------------------------------------------- MM selection
+
+TEST(MmSelection, EmptyWhenNotOverThreshold) {
+  dc::DataCenter d;
+  const auto s = add_active(d, 4, 0.5);
+  EXPECT_TRUE(baseline::select_vms_mm(d, s, 0.9).empty());
+}
+
+TEST(MmSelection, PicksCheapestSufficientVm) {
+  dc::DataCenter d;
+  const auto s = add_active(d, 4, 0.0);  // capacity 8000
+  const auto small = d.create_vm(900.0);
+  const auto medium = d.create_vm(1500.0);
+  const auto large = d.create_vm(5500.0);
+  for (auto v : {small, medium, large}) d.place_vm(0.0, v, s);
+  // demand 7900, threshold 0.9 -> excess 700. Cheapest sufficient VM is
+  // `small` (900 >= 700, overshoot 200 < medium's 800 < large's 4800).
+  const auto picked = baseline::select_vms_mm(d, s, 0.9);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], small);
+}
+
+TEST(MmSelection, EvictsLargestWhenNoSingleSuffices) {
+  dc::DataCenter d;
+  const auto s = add_active(d, 4, 0.0);
+  // 10 x 1000 = 10000: ratio 1.25, excess vs 0.8 cap = 3600.
+  std::vector<dc::VmId> vms;
+  for (int i = 0; i < 10; ++i) {
+    vms.push_back(d.create_vm(1000.0));
+    d.place_vm(0.0, vms.back(), s);
+  }
+  const auto picked = baseline::select_vms_mm(d, s, 0.8);
+  // Needs 4 evictions of 1000 to reach 6400 <= 6400.
+  EXPECT_EQ(picked.size(), 4u);
+}
+
+TEST(MmSelection, SkipsMigratingVms) {
+  dc::DataCenter d;
+  const auto s = add_active(d, 4, 0.0);
+  const auto other = add_active(d, 4, 0.0);
+  const auto big = d.create_vm(7000.0);
+  const auto small = d.create_vm(900.0);
+  d.place_vm(0.0, big, s);
+  d.place_vm(0.0, small, s);
+  d.begin_migration(0.0, big, other);
+  const auto picked = baseline::select_vms_mm(d, s, 0.9);
+  // Only `small` is selectable; the remaining pool cannot reach the
+  // threshold so it evicts everything movable.
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], small);
+}
+
+TEST(MmSelection, ValidatesThreshold) {
+  dc::DataCenter d;
+  const auto s = add_active(d, 4, 0.5);
+  EXPECT_THROW(baseline::select_vms_mm(d, s, 0.0), std::invalid_argument);
+  EXPECT_THROW(baseline::select_vms_mm(d, s, 1.5), std::invalid_argument);
+}
+
+// ------------------------------------------------------ centralized control
+
+TEST(Centralized, ParamsValidation) {
+  baseline::CentralizedParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.lower_threshold = 0.99;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Centralized, DeployUsesPolicyAndWakes) {
+  sim::Simulator simulator;
+  dc::DataCenter d;
+  d.add_server(6, 2000.0);
+  baseline::CentralizedParams p;
+  baseline::CentralizedController controller(simulator, d, p, Rng(1));
+  const auto vm = d.create_vm(1000.0);
+  EXPECT_TRUE(controller.deploy_vm(vm));  // wakes the sleeper and queues
+  EXPECT_EQ(d.booting_server_count(), 1u);
+  simulator.run_until(p.boot_time_s + 1.0);
+  EXPECT_TRUE(d.vm(vm).placed());
+}
+
+TEST(Centralized, ReoptimizeRelievesOverload) {
+  sim::Simulator simulator;
+  dc::DataCenter d;
+  const auto hot = add_active(d, 6, 0.0);
+  add_active(d, 6, 0.3);
+  baseline::CentralizedParams p;
+  baseline::CentralizedController controller(simulator, d, p, Rng(2));
+  for (int i = 0; i < 12; ++i) {
+    const auto vm = d.create_vm(1000.0);
+    d.place_vm(0.0, vm, hot);  // ratio 1.0 > upper 0.95
+  }
+  controller.reoptimize();
+  simulator.run_until(p.migration_latency_s + 1.0);
+  EXPECT_LE(d.server(hot).demand_ratio(), 0.95 + 1e-9);
+  EXPECT_GT(controller.migrations(), 0u);
+}
+
+TEST(Centralized, ReoptimizeEvacuatesUnderloaded) {
+  sim::Simulator simulator;
+  dc::DataCenter d;
+  const auto lightly = add_active(d, 6, 0.2);
+  add_active(d, 6, 0.6);
+  baseline::CentralizedParams p;
+  baseline::CentralizedController controller(simulator, d, p, Rng(3));
+  controller.reoptimize();
+  simulator.run_until(p.migration_latency_s + 1.0);
+  EXPECT_TRUE(d.server(lightly).hibernated());
+}
+
+TEST(Centralized, EvacuationAbortsWhenVmsDoNotFit) {
+  sim::Simulator simulator;
+  dc::DataCenter d;
+  const auto lightly = add_active(d, 6, 0.4);  // 4800 MHz in one VM
+  add_active(d, 6, 0.8);                       // cannot absorb 4800 under 0.9
+  baseline::CentralizedParams p;
+  baseline::CentralizedController controller(simulator, d, p, Rng(4));
+  controller.reoptimize();
+  simulator.run_until(p.migration_latency_s + 1.0);
+  EXPECT_TRUE(d.server(lightly).active());
+  EXPECT_EQ(controller.migrations(), 0u);
+}
+
+TEST(Centralized, PeriodicReoptimizationConsolidates) {
+  sim::Simulator simulator;
+  dc::DataCenter d;
+  // Four servers each at 20%: everything fits on one.
+  std::vector<dc::ServerId> servers;
+  for (int i = 0; i < 4; ++i) servers.push_back(add_active(d, 6, 0.2));
+  baseline::CentralizedParams p;
+  baseline::CentralizedController controller(simulator, d, p, Rng(5));
+  controller.start();
+  simulator.run_until(2.0 * sim::kHour);
+  EXPECT_LE(d.active_server_count(), 2u);
+}
+
+TEST(Centralized, DepartVmAndHibernate) {
+  sim::Simulator simulator;
+  dc::DataCenter d;
+  const auto s = add_active(d, 6, 0.0);
+  baseline::CentralizedParams p;
+  baseline::CentralizedController controller(simulator, d, p, Rng(6));
+  const auto vm = d.create_vm(1000.0);
+  d.place_vm(0.0, vm, s);
+  controller.depart_vm(vm);
+  EXPECT_FALSE(d.vm(vm).placed());
+  EXPECT_TRUE(d.server(s).hibernated());
+}

@@ -1,0 +1,357 @@
+// Tests for the event-driven ecoCloud controller: deployment, wake-up and
+// boot queues, migration execution, hibernation, departures.
+
+#include <gtest/gtest.h>
+
+#include "ecocloud/core/controller.hpp"
+
+namespace core = ecocloud::core;
+namespace dc = ecocloud::dc;
+namespace sim = ecocloud::sim;
+using ecocloud::util::Rng;
+
+namespace {
+
+struct Fixture {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  core::EcoCloudParams params;
+  std::unique_ptr<core::EcoCloudController> controller;
+
+  void build(std::uint64_t seed = 9) {
+    controller = std::make_unique<core::EcoCloudController>(simulator, datacenter,
+                                                            params, Rng(seed));
+  }
+
+  dc::ServerId add_server(unsigned cores = 6) {
+    return datacenter.add_server(cores, 2000.0);
+  }
+};
+
+}  // namespace
+
+TEST(Controller, DeployPlacesOnVolunteeringServer) {
+  Fixture f;
+  const auto s = f.add_server();
+  f.build();
+  f.controller->force_activate(s);
+  const auto seed_vm = f.datacenter.create_vm(0.675 * 12000.0);
+  f.datacenter.place_vm(0.0, seed_vm, s);  // fa(0.675) = 1
+
+  const auto vm = f.datacenter.create_vm(100.0);
+  EXPECT_TRUE(f.controller->deploy_vm(vm));
+  EXPECT_EQ(f.datacenter.vm(vm).host, s);
+}
+
+TEST(Controller, DeployWakesServerWhenNobodyVolunteers) {
+  Fixture f;
+  f.add_server();
+  f.build();
+  const auto vm = f.datacenter.create_vm(100.0);
+  EXPECT_TRUE(f.controller->deploy_vm(vm));  // queued on the waking server
+  EXPECT_EQ(f.datacenter.booting_server_count(), 1u);
+  EXPECT_FALSE(f.datacenter.vm(vm).placed());
+  f.simulator.run_until(f.params.boot_time_s + 1.0);
+  EXPECT_EQ(f.datacenter.active_server_count(), 1u);
+  EXPECT_TRUE(f.datacenter.vm(vm).placed());
+  EXPECT_EQ(f.controller->wake_ups(), 1u);
+}
+
+TEST(Controller, WokenServerGetsGracePeriod) {
+  Fixture f;
+  const auto s = f.add_server();
+  f.build();
+  const auto vm = f.datacenter.create_vm(100.0);
+  f.controller->deploy_vm(vm);
+  f.simulator.run_until(f.params.boot_time_s + 1.0);
+  EXPECT_TRUE(f.datacenter.server(s).in_grace(f.simulator.now()));
+  EXPECT_NEAR(f.datacenter.server(s).grace_until(),
+              f.params.boot_time_s + f.params.grace_period_s, 1e-9);
+}
+
+TEST(Controller, MultipleVmsShareOneBootingServer) {
+  Fixture f;
+  f.add_server(8);  // 16000 MHz capacity
+  f.add_server(8);
+  f.build();
+  std::vector<dc::VmId> vms;
+  for (int i = 0; i < 10; ++i) {
+    vms.push_back(f.datacenter.create_vm(1000.0));
+    EXPECT_TRUE(f.controller->deploy_vm(vms.back()));
+  }
+  // 10 * 1000 = 10000 MHz < Ta * 16000 = 14400: one boot suffices.
+  EXPECT_EQ(f.controller->wake_ups(), 1u);
+  f.simulator.run_until(f.params.boot_time_s + 1.0);
+  for (auto vm : vms) {
+    EXPECT_TRUE(f.datacenter.vm(vm).placed());
+  }
+}
+
+TEST(Controller, QueueOverflowWakesSecondServer) {
+  Fixture f;
+  f.add_server(4);  // 8000 MHz, Ta cap 7200
+  f.add_server(4);
+  f.build();
+  for (int i = 0; i < 4; ++i) {
+    const auto vm = f.datacenter.create_vm(2000.0);
+    EXPECT_TRUE(f.controller->deploy_vm(vm));
+  }
+  // 4 * 2000 = 8000 > 7200: needs a second server.
+  EXPECT_EQ(f.controller->wake_ups(), 2u);
+}
+
+TEST(Controller, DeployFailsWhenSaturated) {
+  Fixture f;
+  f.add_server(4);
+  f.build();
+  // Fill the only server's boot queue beyond Ta, then exhaust sleepers.
+  for (int i = 0; i < 3; ++i) {
+    const auto vm = f.datacenter.create_vm(2400.0);
+    EXPECT_TRUE(f.controller->deploy_vm(vm));
+  }
+  const auto overflow = f.datacenter.create_vm(2400.0);
+  EXPECT_FALSE(f.controller->deploy_vm(overflow));
+  EXPECT_EQ(f.controller->assignment_failures(), 1u);
+}
+
+TEST(Controller, AssignmentFailureEventFires) {
+  Fixture f;
+  f.build();
+  bool fired = false;
+  f.controller->events().on_assignment_failure = [&](sim::SimTime, dc::VmId) {
+    fired = true;
+  };
+  const auto vm = f.datacenter.create_vm(100.0);
+  EXPECT_FALSE(f.controller->deploy_vm(vm));  // zero servers at all
+  EXPECT_TRUE(fired);
+}
+
+TEST(Controller, AssignmentEventReportsPlacement) {
+  Fixture f;
+  const auto s = f.add_server();
+  f.build();
+  f.controller->force_activate(s);
+  const auto seed_vm = f.datacenter.create_vm(0.675 * 12000.0);
+  f.datacenter.place_vm(0.0, seed_vm, s);
+  dc::ServerId reported = dc::kNoServer;
+  f.controller->events().on_assignment = [&](sim::SimTime, dc::VmId, dc::ServerId sid) {
+    reported = sid;
+  };
+  const auto vm = f.datacenter.create_vm(50.0);
+  f.controller->deploy_vm(vm);
+  EXPECT_EQ(reported, s);
+}
+
+TEST(Controller, DepartedQueuedVmIsNotPlaced) {
+  Fixture f;
+  f.add_server();
+  f.build();
+  const auto vm = f.datacenter.create_vm(100.0);
+  f.controller->deploy_vm(vm);  // queued on booting server
+  f.controller->depart_vm(vm);
+  f.simulator.run_until(f.params.boot_time_s + 1.0);
+  EXPECT_FALSE(f.datacenter.vm(vm).placed());
+  EXPECT_EQ(f.datacenter.placed_vm_count(), 0u);
+}
+
+TEST(Controller, DepartPlacedVmTriggersHibernation) {
+  Fixture f;
+  const auto s = f.add_server();
+  f.build();
+  f.controller->force_activate(s);
+  const auto vm = f.datacenter.create_vm(100.0);
+  f.datacenter.place_vm(0.0, vm, s);
+  std::size_t hibernated = 0;
+  f.controller->events().on_hibernation = [&](sim::SimTime, dc::ServerId) {
+    ++hibernated;
+  };
+  f.controller->depart_vm(vm);
+  f.simulator.run_until(f.params.hibernate_delay_s + 1.0);
+  EXPECT_TRUE(f.datacenter.server(s).hibernated());
+  EXPECT_EQ(hibernated, 1u);
+}
+
+TEST(Controller, HibernationSkippedIfServerRefilled) {
+  Fixture f;
+  const auto s = f.add_server();
+  f.build();
+  f.controller->force_activate(s);
+  const auto vm = f.datacenter.create_vm(100.0);
+  f.datacenter.place_vm(0.0, vm, s);
+  f.controller->depart_vm(vm);
+  // Refill before the hibernate delay expires.
+  const auto vm2 = f.datacenter.create_vm(100.0);
+  f.simulator.schedule_at(f.params.hibernate_delay_s / 2.0,
+                          [&] { f.datacenter.place_vm(f.simulator.now(), vm2, s); });
+  f.simulator.run_until(f.params.hibernate_delay_s * 2.0);
+  EXPECT_TRUE(f.datacenter.server(s).active());
+}
+
+TEST(Controller, LowMigrationDrainsAndHibernatesSource) {
+  Fixture f;
+  const auto source = f.add_server();
+  const auto dest = f.add_server();
+  f.params.monitor_period_s = 5.0;
+  f.params.migration_cooldown_s = 10.0;
+  f.build();
+  f.controller->force_activate(source);
+  f.controller->force_activate(dest);
+  // Source holds one small VM (u ~ 0.08 < Tl); dest is a perfect acceptor.
+  const auto small = f.datacenter.create_vm(1000.0);
+  f.datacenter.place_vm(0.0, small, source);
+  const auto anchor = f.datacenter.create_vm(0.675 * 12000.0);
+  f.datacenter.place_vm(0.0, anchor, dest);
+  std::size_t low = 0;
+  f.controller->events().on_migration_complete = [&](sim::SimTime, dc::VmId,
+                                                     bool is_high) {
+    if (!is_high) ++low;
+  };
+  f.controller->start();
+  f.simulator.run_until(2.0 * sim::kHour);
+  EXPECT_EQ(low, 1u);
+  EXPECT_EQ(f.datacenter.vm(small).host, dest);
+  EXPECT_TRUE(f.datacenter.server(source).hibernated());
+  EXPECT_EQ(f.controller->low_migrations(), 1u);
+}
+
+TEST(Controller, HighMigrationRelievesOverload) {
+  Fixture f;
+  const auto hot = f.add_server();
+  const auto cool = f.add_server();
+  f.params.monitor_period_s = 5.0;
+  f.build();
+  f.controller->force_activate(hot);
+  f.controller->force_activate(cool);
+  // Hot server at u = 0.99; cool at 0.5 (below 0.9 * 0.99 = 0.891).
+  for (int i = 0; i < 11; ++i) {
+    const auto vm = f.datacenter.create_vm(1080.0);
+    f.datacenter.place_vm(0.0, vm, hot);
+  }
+  const auto anchor = f.datacenter.create_vm(0.5 * 12000.0);
+  f.datacenter.place_vm(0.0, anchor, cool);
+  f.controller->start();
+  f.simulator.run_until(0.5 * sim::kHour);
+  EXPECT_GT(f.controller->high_migrations(), 0u);
+  EXPECT_LE(f.datacenter.server(hot).utilization(), 0.96);
+}
+
+TEST(Controller, HighMigrationWakesWhenNoVolunteer) {
+  Fixture f;
+  const auto hot = f.add_server();
+  f.add_server();  // sleeper
+  f.params.monitor_period_s = 5.0;
+  f.build();
+  f.controller->force_activate(hot);
+  for (int i = 0; i < 12; ++i) {
+    const auto vm = f.datacenter.create_vm(1000.0);
+    f.datacenter.place_vm(0.0, vm, hot);
+  }
+  ASSERT_DOUBLE_EQ(f.datacenter.server(hot).utilization(), 1.0);
+  f.controller->start();
+  f.simulator.run_until(0.5 * sim::kHour);
+  EXPECT_GE(f.controller->wake_ups(), 1u);
+  EXPECT_GT(f.controller->high_migrations(), 0u);
+  EXPECT_LT(f.datacenter.server(hot).utilization(), 1.0);
+}
+
+TEST(Controller, MigrationsDisabledMeansNoMonitors) {
+  Fixture f;
+  const auto s = f.add_server();
+  f.params.enable_migrations = false;
+  f.build();
+  f.controller->force_activate(s);
+  const auto vm = f.datacenter.create_vm(1000.0);  // u ~ 0.08 < Tl
+  f.datacenter.place_vm(0.0, vm, s);
+  f.controller->start();
+  f.simulator.run_until(1.0 * sim::kHour);
+  EXPECT_EQ(f.controller->low_migrations(), 0u);
+  EXPECT_EQ(f.datacenter.vm(vm).host, s);
+}
+
+TEST(Controller, DepartMidMigrationCancelsCleanly) {
+  Fixture f;
+  const auto source = f.add_server();
+  const auto dest = f.add_server();
+  f.params.monitor_period_s = 5.0;
+  f.params.migration_latency_s = 50.0;
+  f.build();
+  f.controller->force_activate(source);
+  f.controller->force_activate(dest);
+  const auto small = f.datacenter.create_vm(1000.0);
+  f.datacenter.place_vm(0.0, small, source);
+  const auto anchor = f.datacenter.create_vm(0.675 * 12000.0);
+  f.datacenter.place_vm(0.0, anchor, dest);
+  f.controller->start();
+  // Run until the migration starts, then depart the VM mid-flight.
+  while (f.simulator.now() < sim::kHour && !f.datacenter.vm(small).migrating()) {
+    f.simulator.step();
+  }
+  ASSERT_TRUE(f.datacenter.vm(small).migrating());
+  f.controller->depart_vm(small);
+  f.simulator.run_until(f.simulator.now() + 2.0 * sim::kHour);
+  EXPECT_FALSE(f.datacenter.vm(small).placed());
+  EXPECT_DOUBLE_EQ(f.datacenter.server(dest).reserved_mhz(), 0.0);
+  EXPECT_EQ(f.controller->low_migrations(), 0u);  // never completed
+  EXPECT_TRUE(f.datacenter.server(source).hibernated());
+}
+
+TEST(Controller, CountersReset) {
+  Fixture f;
+  f.build();
+  const auto vm = f.datacenter.create_vm(100.0);
+  f.controller->deploy_vm(vm);  // fails: no servers
+  EXPECT_EQ(f.controller->assignment_failures(), 1u);
+  f.controller->reset_counters();
+  EXPECT_EQ(f.controller->assignment_failures(), 0u);
+  EXPECT_EQ(f.controller->wake_ups(), 0u);
+}
+
+TEST(Controller, StartTwiceThrows) {
+  Fixture f;
+  f.add_server();
+  f.build();
+  f.controller->start();
+  EXPECT_THROW(f.controller->start(), std::logic_error);
+}
+
+TEST(Controller, BootingServerReusedForHighMigrationWakes) {
+  // Two overloaded servers shed at nearly the same time with one sleeper:
+  // the second shedding must reuse the already-booting server instead of
+  // failing or double-waking.
+  Fixture f;
+  const auto hot1 = f.add_server();
+  const auto hot2 = f.add_server();
+  f.add_server();  // single sleeper
+  f.params.monitor_period_s = 5.0;
+  f.build();
+  f.controller->force_activate(hot1);
+  f.controller->force_activate(hot2);
+  for (auto hot : {hot1, hot2}) {
+    for (int i = 0; i < 12; ++i) {
+      const auto vm = f.datacenter.create_vm(1000.0);
+      f.datacenter.place_vm(0.0, vm, hot);
+    }
+  }
+  f.controller->start();
+  f.simulator.run_until(sim::kHour);
+  EXPECT_EQ(f.controller->wake_ups(), 1u);  // one sleeper, woken once
+  EXPECT_GT(f.controller->high_migrations(), 1u);
+  EXPECT_LT(f.datacenter.server(hot1).utilization(), 1.0);
+  EXPECT_LT(f.datacenter.server(hot2).utilization(), 1.0);
+}
+
+TEST(Controller, MessageLogCountsDeployTraffic) {
+  Fixture f;
+  const auto s = f.add_server();
+  f.build();
+  f.controller->force_activate(s);
+  const auto anchor = f.datacenter.create_vm(0.675 * 12000.0);
+  f.datacenter.place_vm(0.0, anchor, s);
+  const auto vm = f.datacenter.create_vm(10.0);
+  f.controller->deploy_vm(vm);
+  const auto& messages = f.controller->messages();
+  EXPECT_EQ(messages.invitation_rounds, 1u);
+  EXPECT_EQ(messages.invitations_sent, 1u);
+  EXPECT_EQ(messages.volunteer_replies, 1u);  // fa(argmax) = 1
+  EXPECT_EQ(messages.placement_commands, 1u);
+}

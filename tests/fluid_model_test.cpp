@@ -1,0 +1,171 @@
+// Tests for the fluid (differential-equation) model of the assignment
+// procedure, including exact-vs-simplified agreement and consolidation
+// behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ecocloud/ode/fluid_model.hpp"
+
+namespace ode = ecocloud::ode;
+
+namespace {
+
+ode::FluidModelConfig base_config(std::size_t n, bool exact) {
+  ode::FluidModelConfig config;
+  config.num_servers = n;
+  config.ta = 0.9;
+  config.p = 3.0;
+  config.lambda = [](double) { return 0.1; };
+  config.nu = [](double) { return 1e-4; };
+  config.vm_share.assign(n, 0.02);
+  config.exact = exact;
+  return config;
+}
+
+}  // namespace
+
+TEST(FluidModel, SharesSumToOneWhenAnyoneAccepts) {
+  for (bool exact : {false, true}) {
+    ode::FluidModel model(base_config(10, exact));
+    std::vector<double> u(10);
+    for (std::size_t i = 0; i < 10; ++i) u[i] = 0.1 + 0.07 * static_cast<double>(i);
+    const auto shares = model.assignment_shares(u);
+    const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "exact=" << exact;
+    for (double s : shares) EXPECT_GE(s, 0.0);
+  }
+}
+
+TEST(FluidModel, SharesAllZeroWhenNobodyAccepts) {
+  for (bool exact : {false, true}) {
+    ode::FluidModel model(base_config(5, exact));
+    // Everyone above Ta: f_a = 0 everywhere.
+    const std::vector<double> u(5, 0.95);
+    const auto shares = model.assignment_shares(u);
+    for (double s : shares) EXPECT_DOUBLE_EQ(s, 0.0);
+  }
+}
+
+TEST(FluidModel, ExactAndSimplifiedAgreeForSymmetricState) {
+  // With identical utilizations the exact share must equal 1/N exactly,
+  // and so must the simplified share.
+  ode::FluidModel exact(base_config(20, true));
+  ode::FluidModel simplified(base_config(20, false));
+  const std::vector<double> u(20, 0.5);
+  for (const auto& shares : {exact.assignment_shares(u),
+                             simplified.assignment_shares(u)}) {
+    for (double s : shares) EXPECT_NEAR(s, 1.0 / 20.0, 1e-9);
+  }
+}
+
+TEST(FluidModel, ExactAndSimplifiedCloseForAsymmetricState) {
+  // The paper reports the simplified model is "very close" to the exact
+  // one; check shares differ by at most a few percent in a mixed state.
+  ode::FluidModel exact(base_config(30, true));
+  ode::FluidModel simplified(base_config(30, false));
+  std::vector<double> u(30);
+  for (std::size_t i = 0; i < 30; ++i) u[i] = 0.05 + 0.028 * static_cast<double>(i);
+  const auto se = exact.assignment_shares(u);
+  const auto ss = simplified.assignment_shares(u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(se[i], ss[i], 0.02) << "i=" << i;
+  }
+}
+
+TEST(FluidModel, ExactFavorsHigherFaServers) {
+  ode::FluidModel model(base_config(3, true));
+  // u = {0.2, argmax, 0.85}: middle server has f_a = 1.
+  const std::vector<double> u{0.2, 0.675, 0.85};
+  const auto shares = model.assignment_shares(u);
+  EXPECT_GT(shares[1], shares[0]);
+  EXPECT_GT(shares[1], shares[2]);
+}
+
+TEST(FluidModel, DerivativeBalancesArrivalsAndDepartures) {
+  auto config = base_config(2, false);
+  config.lambda = [](double) { return 2.0; };
+  config.nu = [](double) { return 0.1; };
+  ode::FluidModel model(config);
+  const std::vector<double> u{0.5, 0.5};
+  std::vector<double> dudt;
+  model.derivative(0.0, u, dudt);
+  // Each server gets share 0.5: du/dt = -0.1*0.5 + 2.0*0.5*0.02 = -0.03.
+  EXPECT_NEAR(dudt[0], -0.03, 1e-12);
+  EXPECT_NEAR(dudt[1], -0.03, 1e-12);
+}
+
+TEST(FluidModel, NoNegativeDriftAtZero) {
+  auto config = base_config(2, false);
+  ode::FluidModel model(config);
+  const std::vector<double> u{0.0, 0.5};
+  std::vector<double> dudt;
+  model.derivative(0.0, u, dudt);
+  EXPECT_GE(dudt[0], 0.0);
+}
+
+TEST(FluidModel, ConsolidationFromUniformStart) {
+  // Start 20 servers at u = 0.25 with balanced lambda/nu; the fluid system
+  // must stratify: some servers drain toward 0, others approach Ta.
+  // Balance: lambda * vm_share / nu = 5 total utilization over 20 servers
+  // (capacity 18 at Ta), with a ~2.8 h VM lifetime so 12 h is > 4 turnover
+  // times.
+  auto config = base_config(20, false);
+  config.lambda = [](double) { return 0.025; };  // VMs/s
+  config.nu = [](double) { return 1.0e-4; };
+  ode::FluidModel model(config);
+
+  std::vector<double> u0(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    // Small asymmetry seeds the instability (as randomness does in the sim).
+    u0[i] = 0.20 + 0.005 * static_cast<double>(i);
+  }
+  const auto u = ode::integrate_rk4(model.rhs(), u0, 0.0, 12.0 * 3600.0, 10.0);
+
+  const std::size_t active = ode::FluidModel::count_active(u, 0.05);
+  EXPECT_LT(active, 20u);  // someone hibernated
+  EXPECT_GT(active, 0u);
+  double max_u = 0.0;
+  for (double x : u) max_u = std::max(max_u, x);
+  EXPECT_GT(max_u, 0.7);  // someone consolidated toward Ta
+  for (double x : u) EXPECT_LE(x, config.ta + 0.02);
+}
+
+TEST(FluidModel, TotalUtilizationConservedAtBalance) {
+  // If lambda * mean(vm_share) == nu * sum(u), total utilization is in
+  // steady state; verify d(sum u)/dt ~ 0 when shares sum to 1.
+  auto config = base_config(10, false);
+  const double total_u = 4.0;
+  config.nu = [](double) { return 1e-4; };
+  config.lambda = [total_u](double) { return 1e-4 * total_u / 0.02; };
+  ode::FluidModel model(config);
+  std::vector<double> u(10, total_u / 10.0);
+  std::vector<double> dudt;
+  model.derivative(0.0, u, dudt);
+  const double drift = std::accumulate(dudt.begin(), dudt.end(), 0.0);
+  EXPECT_NEAR(drift, 0.0, 1e-12);
+}
+
+TEST(FluidModel, CountActiveThreshold) {
+  EXPECT_EQ(ode::FluidModel::count_active({0.0, 0.005, 0.02, 0.5}, 0.01), 2u);
+}
+
+TEST(FluidModel, Validation) {
+  auto config = base_config(5, false);
+  config.vm_share.resize(3);
+  EXPECT_THROW(ode::FluidModel{config}, std::invalid_argument);
+  auto config2 = base_config(5, false);
+  config2.lambda = nullptr;
+  EXPECT_THROW(ode::FluidModel{config2}, std::invalid_argument);
+  auto config3 = base_config(5, false);
+  config3.vm_share[2] = 0.0;
+  EXPECT_THROW(ode::FluidModel{config3}, std::invalid_argument);
+}
+
+TEST(FluidModel, StateSizeMismatchThrows) {
+  ode::FluidModel model(base_config(5, false));
+  std::vector<double> dudt;
+  EXPECT_THROW(model.derivative(0.0, {0.1, 0.2}, dudt), std::invalid_argument);
+}

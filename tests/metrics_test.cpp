@@ -1,0 +1,212 @@
+// Tests for the metrics collector and overload-episode summaries.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ecocloud/metrics/collector.hpp"
+#include "ecocloud/metrics/episode_summary.hpp"
+#include "ecocloud/metrics/event_log.hpp"
+
+namespace metrics = ecocloud::metrics;
+namespace core = ecocloud::core;
+namespace dc = ecocloud::dc;
+namespace sim = ecocloud::sim;
+using ecocloud::util::Rng;
+
+TEST(Collector, SamplesOnSchedule) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  datacenter.add_server(6, 2000.0);
+  metrics::CollectorConfig config;
+  config.sample_period_s = 100.0;
+  metrics::MetricsCollector collector(simulator, datacenter, config);
+  collector.start();
+  simulator.run_until(450.0);
+  ASSERT_EQ(collector.samples().size(), 4u);
+  EXPECT_DOUBLE_EQ(collector.samples()[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(collector.samples()[3].time, 400.0);
+}
+
+TEST(Collector, SampleCapturesState) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  const auto s = datacenter.add_server(6, 2000.0);
+  datacenter.start_booting(0.0, s);
+  datacenter.finish_booting(0.0, s);
+  const auto v = datacenter.create_vm(6000.0);
+  datacenter.place_vm(0.0, v, s);
+  metrics::MetricsCollector collector(simulator, datacenter);
+  collector.sample_now();
+  ASSERT_EQ(collector.samples().size(), 1u);
+  const auto& sample = collector.samples().front();
+  EXPECT_EQ(sample.active_servers, 1u);
+  EXPECT_DOUBLE_EQ(sample.overall_load, 0.5);
+  EXPECT_DOUBLE_EQ(sample.power_w, 187.0);
+  ASSERT_EQ(collector.utilization_snapshots().size(), 1u);
+  EXPECT_DOUBLE_EQ(collector.utilization_snapshots()[0][0], 0.5);
+}
+
+TEST(Collector, OverloadPercentPerWindow) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  const auto s = datacenter.add_server(2, 1000.0);  // capacity 2000
+  datacenter.start_booting(0.0, s);
+  datacenter.finish_booting(0.0, s);
+  const auto v = datacenter.create_vm(1000.0);
+  datacenter.place_vm(0.0, v, s);
+  metrics::CollectorConfig config;
+  config.sample_period_s = 100.0;
+  metrics::MetricsCollector collector(simulator, datacenter, config);
+  collector.start();
+  // Overloaded from t=50 to t=75: 25 VM-seconds of overload out of 100.
+  simulator.schedule_at(50.0, [&] { datacenter.set_vm_demand(50.0, v, 3000.0); });
+  simulator.schedule_at(75.0, [&] { datacenter.set_vm_demand(75.0, v, 1000.0); });
+  simulator.run_until(250.0);
+  ASSERT_GE(collector.samples().size(), 2u);
+  EXPECT_NEAR(collector.samples()[0].overload_percent, 25.0, 1e-9);
+  EXPECT_NEAR(collector.samples()[1].overload_percent, 0.0, 1e-9);
+}
+
+TEST(Collector, WindowEnergyAndTotal) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  datacenter.add_server(6, 2000.0);  // hibernated, 3 W
+  metrics::CollectorConfig config;
+  config.sample_period_s = 100.0;
+  metrics::MetricsCollector collector(simulator, datacenter, config);
+  collector.start();
+  simulator.run_until(200.0);
+  ASSERT_EQ(collector.samples().size(), 2u);
+  EXPECT_NEAR(collector.samples()[0].window_energy_j, 300.0, 1e-9);
+  EXPECT_NEAR(collector.samples()[1].window_energy_j, 300.0, 1e-9);
+  EXPECT_NEAR(collector.total_energy_kwh(), 600.0 / 3.6e6, 1e-12);
+}
+
+TEST(Collector, AttachSplitsMigrationKinds) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  core::EcoCloudParams params;
+  core::EcoCloudController controller(simulator, datacenter, params, Rng(1));
+  metrics::MetricsCollector collector(simulator, datacenter);
+  collector.attach(controller);
+  // Drive the callbacks directly.
+  controller.events().on_migration_complete(10.0, 0, false);
+  controller.events().on_migration_complete(20.0, 1, true);
+  controller.events().on_migration_complete(25.0, 2, true);
+  controller.events().on_activation(30.0, 0);
+  controller.events().on_hibernation(40.0, 1);
+  EXPECT_EQ(collector.low_migrations().total(), 1u);
+  EXPECT_EQ(collector.high_migrations().total(), 2u);
+  EXPECT_EQ(collector.activations().total(), 1u);
+  EXPECT_EQ(collector.hibernations().total(), 1u);
+}
+
+TEST(Collector, SnapshotsCanBeDisabled) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  datacenter.add_server(6, 2000.0);
+  metrics::CollectorConfig config;
+  config.keep_utilization_snapshots = false;
+  metrics::MetricsCollector collector(simulator, datacenter, config);
+  collector.sample_now();
+  EXPECT_EQ(collector.samples().size(), 1u);
+  EXPECT_TRUE(collector.utilization_snapshots().empty());
+}
+
+// ---------------------------------------------------------- episode summary
+
+TEST(EpisodeSummary, EmptyEpisodes) {
+  const auto summary = metrics::summarize_episodes({});
+  EXPECT_EQ(summary.count, 0u);
+  EXPECT_DOUBLE_EQ(summary.fraction_under_30s, 1.0);
+  EXPECT_DOUBLE_EQ(summary.worst_granted_fraction, 1.0);
+}
+
+TEST(EpisodeSummary, Statistics) {
+  std::vector<dc::OverloadEpisode> episodes{
+      {0, 0.0, 10.0, 0.99},
+      {1, 5.0, 20.0, 0.95},
+      {2, 9.0, 60.0, 0.90},
+      {0, 50.0, 10.0, 0.98},
+  };
+  const auto summary = metrics::summarize_episodes(episodes);
+  EXPECT_EQ(summary.count, 4u);
+  EXPECT_DOUBLE_EQ(summary.mean_duration_s, 25.0);
+  EXPECT_DOUBLE_EQ(summary.max_duration_s, 60.0);
+  EXPECT_DOUBLE_EQ(summary.fraction_under_30s, 0.75);
+  EXPECT_DOUBLE_EQ(summary.worst_granted_fraction, 0.90);
+  EXPECT_NEAR(summary.mean_min_granted_fraction, 0.955, 1e-12);
+}
+
+TEST(EpisodeSummary, CustomThreshold) {
+  std::vector<dc::OverloadEpisode> episodes{{0, 0.0, 10.0, 1.0},
+                                            {0, 0.0, 40.0, 1.0}};
+  EXPECT_DOUBLE_EQ(metrics::summarize_episodes(episodes, 15.0).fraction_under_30s,
+                   0.5);
+  EXPECT_DOUBLE_EQ(metrics::summarize_episodes(episodes, 100.0).fraction_under_30s,
+                   1.0);
+}
+
+// ------------------------------------------------------------------ event log
+
+TEST(EventLog, RecordsAndChainsCallbacks) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  core::EcoCloudParams params;
+  core::EcoCloudController controller(simulator, datacenter, params, Rng(2));
+
+  // Collector first, then the log: the log must chain the collector.
+  metrics::MetricsCollector collector(simulator, datacenter);
+  collector.attach(controller);
+  metrics::EventLog log;
+  log.attach(controller);
+
+  controller.events().on_migration_complete(10.0, 4, true);
+  controller.events().on_activation(20.0, 3);
+  controller.events().on_assignment(30.0, 5, 1);
+  controller.events().on_assignment_failure(40.0, 6);
+  controller.events().on_hibernation(50.0, 3);
+  controller.events().on_migration_start(60.0, 7, false);
+
+  EXPECT_EQ(log.size(), 6u);
+  EXPECT_EQ(log.count(metrics::EventKind::kMigrationComplete), 1u);
+  EXPECT_EQ(log.count(metrics::EventKind::kActivation), 1u);
+  EXPECT_EQ(log.count(metrics::EventKind::kAssignment), 1u);
+  // The chained collector saw the migration and the switches too.
+  EXPECT_EQ(collector.high_migrations().total(), 1u);
+  EXPECT_EQ(collector.activations().total(), 1u);
+  EXPECT_EQ(collector.hibernations().total(), 1u);
+
+  const auto& first = log.events().front();
+  EXPECT_DOUBLE_EQ(first.time, 10.0);
+  EXPECT_EQ(first.vm, 4u);
+  EXPECT_TRUE(first.is_high);
+}
+
+TEST(EventLog, CsvOutput) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  core::EcoCloudParams params;
+  core::EcoCloudController controller(simulator, datacenter, params, Rng(3));
+  metrics::EventLog log;
+  log.attach(controller);
+  controller.events().on_assignment(1.5, 2, 7);
+  controller.events().on_hibernation(3.0, 9);
+
+  std::ostringstream out;
+  log.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "time_s,kind,vm,server,is_high\n"
+            "1.5,assignment,2,7,0\n"
+            "3,hibernation,-1,9,0\n");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, KindNames) {
+  EXPECT_STREQ(metrics::to_string(metrics::EventKind::kMigrationStart),
+               "migration_start");
+  EXPECT_STREQ(metrics::to_string(metrics::EventKind::kAssignmentFailure),
+               "assignment_failure");
+}

@@ -1,0 +1,238 @@
+// Tests for the two-step migration procedure.
+
+#include <gtest/gtest.h>
+
+#include "ecocloud/core/migration.hpp"
+
+namespace core = ecocloud::core;
+namespace dc = ecocloud::dc;
+using ecocloud::util::Rng;
+
+namespace {
+
+struct Fixture {
+  dc::DataCenter datacenter;
+  core::EcoCloudParams params;
+  Rng rng{77};
+  std::unique_ptr<core::AssignmentProcedure> assignment;
+  std::unique_ptr<core::MigrationProcedure> migration;
+
+  void build() {
+    assignment = std::make_unique<core::AssignmentProcedure>(params, rng);
+    migration = std::make_unique<core::MigrationProcedure>(params, *assignment, rng);
+  }
+
+  dc::ServerId add_active_server(unsigned cores = 6) {
+    const auto s = datacenter.add_server(cores, 2000.0);
+    datacenter.start_booting(0.0, s);
+    datacenter.finish_booting(0.0, s);
+    return s;
+  }
+
+  dc::VmId place_vm(dc::ServerId s, double demand_mhz) {
+    const auto v = datacenter.create_vm(demand_mhz);
+    datacenter.place_vm(0.0, v, s);
+    return v;
+  }
+};
+
+}  // namespace
+
+TEST(Migration, NoActionInsideBand) {
+  Fixture f;
+  f.build();
+  const auto s = f.add_active_server();
+  f.place_vm(s, 0.7 * 12000.0);  // u = 0.7, inside [0.5, 0.95]
+  for (int i = 0; i < 200; ++i) {
+    bool fired = true;
+    EXPECT_FALSE(f.migration->check(f.datacenter, s, 0.0, &fired).has_value());
+    EXPECT_FALSE(fired);
+  }
+}
+
+TEST(Migration, EmptyOrInactiveServersSkipped) {
+  Fixture f;
+  f.build();
+  const auto active_empty = f.add_active_server();
+  const auto sleeping = f.datacenter.add_server(6, 2000.0);
+  EXPECT_FALSE(f.migration->check(f.datacenter, active_empty, 0.0).has_value());
+  EXPECT_FALSE(f.migration->check(f.datacenter, sleeping, 0.0).has_value());
+}
+
+TEST(Migration, GraceSuppressesChecks) {
+  Fixture f;
+  f.build();
+  const auto s = f.add_active_server();
+  f.place_vm(s, 0.2 * 12000.0);  // u = 0.2 < Tl, would normally drain
+  f.datacenter.server_mutable(s).set_grace_until(100.0);
+  bool any = false;
+  for (int i = 0; i < 100; ++i) {
+    if (f.migration->check(f.datacenter, s, 50.0).has_value()) any = true;
+  }
+  EXPECT_FALSE(any);
+}
+
+TEST(Migration, CooldownSuppressesChecks) {
+  Fixture f;
+  f.build();
+  const auto s = f.add_active_server();
+  f.place_vm(s, 0.1 * 12000.0);
+  f.datacenter.server_mutable(s).set_migration_cooldown_until(100.0);
+  bool fired = false;
+  EXPECT_FALSE(f.migration->check(f.datacenter, s, 50.0, &fired).has_value());
+  EXPECT_FALSE(fired);
+}
+
+TEST(Migration, LowTrialFrequencyMatchesFl) {
+  Fixture f;
+  f.build();
+  const auto source = f.add_active_server();
+  f.place_vm(source, 0.25 * 12000.0);  // u = 0.25
+  const auto dest = f.add_active_server();
+  f.place_vm(dest, 0.675 * 12000.0);  // perfect acceptor
+  const double expected = f.migration->fl()(0.25);
+  int fired_count = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    bool fired = false;
+    (void)f.migration->check(f.datacenter, source, 0.0, &fired);
+    if (fired) ++fired_count;
+  }
+  EXPECT_NEAR(static_cast<double>(fired_count) / n, expected, 0.03);
+}
+
+TEST(Migration, LowMigrationFindsDestination) {
+  Fixture f;
+  f.build();
+  const auto source = f.add_active_server();
+  const auto vm = f.place_vm(source, 0.1 * 12000.0);
+  const auto dest = f.add_active_server();
+  f.place_vm(dest, 0.675 * 12000.0);
+  // f_l(0.1) = (1-0.2)^0.25 ~ 0.95: a handful of tries will fire.
+  for (int i = 0; i < 100; ++i) {
+    if (auto plan = f.migration->check(f.datacenter, source, 0.0)) {
+      EXPECT_FALSE(plan->is_high);
+      EXPECT_EQ(plan->vm, vm);
+      ASSERT_TRUE(plan->dest.has_value());
+      EXPECT_EQ(*plan->dest, dest);
+      EXPECT_FALSE(plan->wake);
+      return;
+    }
+  }
+  FAIL() << "low migration never fired";
+}
+
+TEST(Migration, LowMigrationNeverWakes) {
+  Fixture f;
+  f.build();
+  const auto source = f.add_active_server();
+  f.place_vm(source, 0.1 * 12000.0);
+  f.datacenter.add_server(6, 2000.0);  // a sleeper that must stay asleep
+  // No other active server: every fired trial must yield no plan.
+  for (int i = 0; i < 200; ++i) {
+    const auto plan = f.migration->check(f.datacenter, source, 0.0);
+    EXPECT_FALSE(plan.has_value());
+  }
+}
+
+TEST(Migration, HighMigrationSelectsSufficientVm) {
+  Fixture f;
+  f.params.th = 0.92;  // keep Ta < Th valid
+  f.build();
+  const auto source = f.add_active_server();  // capacity 12000
+  // u = 0.97: one big VM (0.2 share) and small ones (0.02 each).
+  const auto big = f.place_vm(source, 2400.0);
+  for (int i = 0; i < 47; ++i) f.place_vm(source, 200.0);
+  ASSERT_NEAR(f.datacenter.server(source).utilization(), 0.9783, 0.01);
+  const auto dest = f.add_active_server();
+  f.place_vm(dest, 0.5 * 12000.0);
+  // share needed = u - Th ~ 0.058; only the big VM (share 0.2) qualifies.
+  for (int i = 0; i < 200; ++i) {
+    if (auto plan = f.migration->check(f.datacenter, source, 0.0)) {
+      EXPECT_TRUE(plan->is_high);
+      EXPECT_EQ(plan->vm, big);
+      EXPECT_FALSE(plan->recheck_suggested);
+      return;
+    }
+  }
+  FAIL() << "high migration never fired";
+}
+
+TEST(Migration, HighMigrationFallsBackToLargestAndSuggestsRecheck) {
+  Fixture f;
+  f.params.th = 0.80;
+  f.params.ta = 0.75;
+  f.params.tl = 0.3;
+  f.build();
+  const auto source = f.add_active_server();
+  // u = 0.95 with all shares tiny (<< u - Th = 0.15): footnote-3 case.
+  dc::VmId largest = dc::kNoVm;
+  for (int i = 0; i < 19; ++i) {
+    largest = f.place_vm(source, 600.0);  // share 0.05 each
+  }
+  const auto dest = f.add_active_server();
+  f.place_vm(dest, 0.5 * 12000.0);
+  for (int i = 0; i < 200; ++i) {
+    if (auto plan = f.migration->check(f.datacenter, source, 0.0)) {
+      EXPECT_TRUE(plan->is_high);
+      EXPECT_TRUE(plan->recheck_suggested);
+      // All VMs are the same size, any is "largest"; demand must match.
+      EXPECT_DOUBLE_EQ(f.datacenter.vm(plan->vm).demand_mhz, 600.0);
+      (void)largest;
+      return;
+    }
+  }
+  FAIL() << "high migration never fired";
+}
+
+TEST(Migration, HighMigrationUsesReducedThreshold) {
+  Fixture f;
+  f.build();
+  const auto source = f.add_active_server();
+  f.place_vm(source, 0.97 * 12000.0);
+  // Destination at u = 0.88: below Ta = 0.9 but above 0.9 * 0.97 = 0.873,
+  // so it must NOT be eligible for this high migration.
+  const auto dest = f.add_active_server();
+  f.place_vm(dest, 0.88 * 12000.0);
+  for (int i = 0; i < 300; ++i) {
+    if (auto plan = f.migration->check(f.datacenter, source, 0.0)) {
+      EXPECT_TRUE(plan->is_high);
+      EXPECT_FALSE(plan->dest.has_value());
+      EXPECT_TRUE(plan->wake);  // nobody volunteered -> ask for a wake-up
+      return;
+    }
+  }
+  FAIL() << "high migration never fired";
+}
+
+TEST(Migration, EffectiveUtilizationDiscountsOutbound) {
+  Fixture f;
+  f.build();
+  const auto source = f.add_active_server();
+  const auto v1 = f.place_vm(source, 6000.0);
+  f.place_vm(source, 6000.0);  // u = 1.0
+  const auto dest = f.add_active_server();
+  f.datacenter.begin_migration(0.0, v1, dest);
+  const double u_eff = core::MigrationProcedure::effective_utilization(
+      f.datacenter, f.datacenter.server(source));
+  EXPECT_DOUBLE_EQ(u_eff, 0.5);
+}
+
+TEST(Migration, MigratingVmsNotSelectedAgain) {
+  Fixture f;
+  f.build();
+  const auto source = f.add_active_server();
+  const auto v1 = f.place_vm(source, 0.1 * 12000.0);
+  const auto v2 = f.place_vm(source, 0.1 * 12000.0);
+  const auto dest = f.add_active_server();
+  f.place_vm(dest, 0.675 * 12000.0);
+  f.datacenter.begin_migration(0.0, v1, dest);
+  // u_eff = 0.1 < Tl; only v2 is movable.
+  for (int i = 0; i < 300; ++i) {
+    if (auto plan = f.migration->check(f.datacenter, source, 0.0)) {
+      EXPECT_EQ(plan->vm, v2);
+      return;
+    }
+  }
+  FAIL() << "low migration never fired";
+}

@@ -1,0 +1,199 @@
+// Tests for the ODE solvers and the Poisson-binomial machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ecocloud/ode/poisson_binomial.hpp"
+#include "ecocloud/ode/solver.hpp"
+
+namespace ode = ecocloud::ode;
+
+// ------------------------------------------------------------------- solvers
+
+TEST(Rk4, ExponentialDecayMatchesClosedForm) {
+  const ode::Rhs rhs = [](double, const std::vector<double>& y,
+                          std::vector<double>& dydt) { dydt[0] = -0.5 * y[0]; };
+  const auto y = ode::integrate_rk4(rhs, {2.0}, 0.0, 4.0, 0.01);
+  EXPECT_NEAR(y[0], 2.0 * std::exp(-2.0), 1e-8);
+}
+
+TEST(Rk4, HarmonicOscillatorConservesEnergy) {
+  const ode::Rhs rhs = [](double, const std::vector<double>& y,
+                          std::vector<double>& dydt) {
+    dydt[0] = y[1];
+    dydt[1] = -y[0];
+  };
+  const auto y = ode::integrate_rk4(rhs, {1.0, 0.0}, 0.0, 2.0 * M_PI, 0.001);
+  EXPECT_NEAR(y[0], 1.0, 1e-9);
+  EXPECT_NEAR(y[1], 0.0, 1e-9);
+}
+
+TEST(Rk4, TimeDependentRhs) {
+  // y' = 2t -> y(3) = 9 from y(0) = 0.
+  const ode::Rhs rhs = [](double t, const std::vector<double>&,
+                          std::vector<double>& dydt) { dydt[0] = 2.0 * t; };
+  const auto y = ode::integrate_rk4(rhs, {0.0}, 0.0, 3.0, 0.1);
+  EXPECT_NEAR(y[0], 9.0, 1e-10);
+}
+
+TEST(Rk4, FinalPartialStepLandsExactly) {
+  const ode::Rhs rhs = [](double, const std::vector<double>&,
+                          std::vector<double>& dydt) { dydt[0] = 1.0; };
+  // 1.0 step over [0, 2.5]: last step is shortened to 0.5.
+  const auto y = ode::integrate_rk4(rhs, {0.0}, 0.0, 2.5, 1.0);
+  EXPECT_NEAR(y[0], 2.5, 1e-12);
+}
+
+TEST(Rk4, ObserverSeesMonotoneTimes) {
+  const ode::Rhs rhs = [](double, const std::vector<double>&,
+                          std::vector<double>& dydt) { dydt[0] = 1.0; };
+  std::vector<double> times;
+  ode::integrate_rk4(rhs, {0.0}, 0.0, 1.0, 0.25,
+                     [&](double t, const std::vector<double>&) { times.push_back(t); });
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(times.back(), 1.0);
+}
+
+TEST(Rk4, Validation) {
+  const ode::Rhs rhs = [](double, const std::vector<double>&,
+                          std::vector<double>& dydt) { dydt[0] = 0.0; };
+  EXPECT_THROW(ode::integrate_rk4(rhs, {0.0}, 0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ode::integrate_rk4(rhs, {0.0}, 1.0, 0.0, 0.1), std::invalid_argument);
+}
+
+TEST(Rkf45, ExponentialDecayWithinTolerance) {
+  const ode::Rhs rhs = [](double, const std::vector<double>& y,
+                          std::vector<double>& dydt) { dydt[0] = -1.0 * y[0]; };
+  ode::Rkf45Options options;
+  options.abs_tol = 1e-10;
+  options.rel_tol = 1e-10;
+  ode::Rkf45Stats stats;
+  const auto y = ode::integrate_rkf45(rhs, {1.0}, 0.0, 5.0, options, {}, &stats);
+  EXPECT_NEAR(y[0], std::exp(-5.0), 1e-7);
+  EXPECT_GT(stats.accepted_steps, 0u);
+}
+
+TEST(Rkf45, AdaptsStepToStiffness) {
+  // A RHS whose time scale changes sharply at t = 5.
+  const ode::Rhs rhs = [](double t, const std::vector<double>& y,
+                          std::vector<double>& dydt) {
+    dydt[0] = (t < 5.0 ? -0.01 : -50.0) * y[0];
+  };
+  ode::Rkf45Options options;
+  options.dt_init = 1.0;
+  options.dt_max = 10.0;
+  ode::Rkf45Stats stats;
+  const auto y = ode::integrate_rkf45(rhs, {1.0}, 0.0, 6.0, options, {}, &stats);
+  EXPECT_GT(stats.rejected_steps, 0u);  // must have shrunk the step at t = 5
+  EXPECT_NEAR(y[0], std::exp(-0.05) * std::exp(-50.0), 1e-6);
+}
+
+TEST(Rkf45, MatchesRk4OnSmoothProblem) {
+  const ode::Rhs rhs = [](double t, const std::vector<double>& y,
+                          std::vector<double>& dydt) {
+    dydt[0] = std::sin(t) - 0.1 * y[0];
+  };
+  const auto fine = ode::integrate_rk4(rhs, {0.0}, 0.0, 10.0, 0.001);
+  const auto adaptive = ode::integrate_rkf45(rhs, {0.0}, 0.0, 10.0);
+  EXPECT_NEAR(adaptive[0], fine[0], 1e-4);
+}
+
+// --------------------------------------------------------- Poisson-binomial
+
+TEST(PoissonBinomial, MatchesBinomialForEqualProbs) {
+  const auto pmf = ode::poisson_binomial_pmf({0.5, 0.5, 0.5});
+  ASSERT_EQ(pmf.size(), 4u);
+  EXPECT_NEAR(pmf[0], 0.125, 1e-12);
+  EXPECT_NEAR(pmf[1], 0.375, 1e-12);
+  EXPECT_NEAR(pmf[2], 0.375, 1e-12);
+  EXPECT_NEAR(pmf[3], 0.125, 1e-12);
+}
+
+TEST(PoissonBinomial, EmptyInputIsPointMassAtZero) {
+  const auto pmf = ode::poisson_binomial_pmf({});
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf[0], 1.0);
+}
+
+TEST(PoissonBinomial, MatchesBruteForceEnumeration) {
+  const std::vector<double> probs{0.1, 0.7, 0.45, 0.99, 0.3};
+  const auto pmf = ode::poisson_binomial_pmf(probs);
+  // Brute force over all 2^5 outcomes.
+  std::vector<double> expected(probs.size() + 1, 0.0);
+  for (unsigned mask = 0; mask < 32; ++mask) {
+    double p = 1.0;
+    int successes = 0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      if (mask & (1u << i)) {
+        p *= probs[i];
+        ++successes;
+      } else {
+        p *= 1.0 - probs[i];
+      }
+    }
+    expected[successes] += p;
+  }
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_NEAR(pmf[k], expected[k], 1e-12) << "k=" << k;
+  }
+}
+
+TEST(PoissonBinomial, PmfSumsToOne) {
+  std::vector<double> probs;
+  for (int i = 0; i < 50; ++i) probs.push_back((i % 10) / 10.0);
+  const auto pmf = ode::poisson_binomial_pmf(probs);
+  double total = 0.0;
+  for (double p : pmf) {
+    EXPECT_GE(p, -1e-15);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PoissonBinomial, RemoveFactorInvertsConvolution) {
+  const std::vector<double> probs{0.2, 0.8, 0.5, 0.05, 0.95};
+  const auto full = ode::poisson_binomial_pmf(probs);
+  for (std::size_t s = 0; s < probs.size(); ++s) {
+    std::vector<double> others;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      if (i != s) others.push_back(probs[i]);
+    }
+    const auto expected = ode::poisson_binomial_pmf(others);
+    const auto actual = ode::remove_factor(full, probs[s]);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_NEAR(actual[k], expected[k], 1e-9) << "s=" << s << " k=" << k;
+    }
+  }
+}
+
+TEST(PoissonBinomial, RemoveFactorStableForExtremeProbs) {
+  std::vector<double> probs;
+  for (int i = 0; i < 100; ++i) {
+    probs.push_back(i % 2 == 0 ? 0.999 : 0.001);
+  }
+  const auto full = ode::poisson_binomial_pmf(probs);
+  const auto without_high = ode::remove_factor(full, 0.999);
+  const auto without_low = ode::remove_factor(full, 0.001);
+  double sum_high = 0.0, sum_low = 0.0;
+  for (double p : without_high) sum_high += p;
+  for (double p : without_low) sum_low += p;
+  EXPECT_NEAR(sum_high, 1.0, 1e-6);
+  EXPECT_NEAR(sum_low, 1.0, 1e-6);
+}
+
+TEST(PoissonBinomial, ExpectedInverseOnePlus) {
+  // K ~ Bernoulli(0.5): E[1/(1+K)] = 0.5 * 1 + 0.5 * 0.5 = 0.75.
+  const auto pmf = ode::poisson_binomial_pmf({0.5});
+  EXPECT_NEAR(ode::expected_inverse_one_plus(pmf), 0.75, 1e-12);
+  // Degenerate: no rivals.
+  EXPECT_DOUBLE_EQ(ode::expected_inverse_one_plus({1.0}), 1.0);
+}
+
+TEST(PoissonBinomial, Validation) {
+  EXPECT_THROW(ode::poisson_binomial_pmf({1.5}), std::invalid_argument);
+  EXPECT_THROW(ode::poisson_binomial_pmf({-0.1}), std::invalid_argument);
+  EXPECT_THROW(ode::remove_factor({1.0}, 0.5), std::invalid_argument);
+}

@@ -1,0 +1,204 @@
+// Tests for the paper's probability functions (Eqs. 1-4), including
+// parameterized sweeps over the shape parameters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ecocloud/core/probability.hpp"
+
+namespace core = ecocloud::core;
+
+// ------------------------------------------------------------ f_a (Eqs. 1-2)
+
+TEST(AssignmentFunction, ZeroAtBoundaries) {
+  core::AssignmentFunction fa(0.9, 3.0);
+  EXPECT_DOUBLE_EQ(fa(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fa(0.9), 0.0);
+  EXPECT_DOUBLE_EQ(fa(0.95), 0.0);  // above Ta
+  EXPECT_DOUBLE_EQ(fa(-0.1), 0.0);
+}
+
+TEST(AssignmentFunction, NormalizedMaximumIsOne) {
+  for (double p : {1.0, 2.0, 3.0, 5.0, 8.0}) {
+    core::AssignmentFunction fa(0.9, p);
+    EXPECT_NEAR(fa(fa.argmax()), 1.0, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(AssignmentFunction, ArgmaxFormula) {
+  core::AssignmentFunction fa(0.9, 3.0);
+  EXPECT_DOUBLE_EQ(fa.argmax(), 0.75 * 0.9);
+  core::AssignmentFunction fa5(0.8, 5.0);
+  EXPECT_DOUBLE_EQ(fa5.argmax(), 5.0 / 6.0 * 0.8);
+}
+
+TEST(AssignmentFunction, NormalizerMatchesEq2) {
+  const double ta = 0.9, p = 3.0;
+  core::AssignmentFunction fa(ta, p);
+  const double expected =
+      std::pow(p, p) / std::pow(p + 1.0, p + 1.0) * std::pow(ta, p + 1.0);
+  EXPECT_NEAR(fa.normalizer(), expected, 1e-15);
+}
+
+TEST(AssignmentFunction, Paper_Fig2_KnownValues) {
+  // Spot values read off the analytic formula for Ta = 0.9 (Fig. 2).
+  core::AssignmentFunction fa2(0.9, 2.0);
+  // u* = 2/3 * 0.9 = 0.6
+  EXPECT_NEAR(fa2(0.6), 1.0, 1e-12);
+  core::AssignmentFunction fa3(0.9, 3.0);
+  EXPECT_NEAR(fa3(0.675), 1.0, 1e-12);
+  core::AssignmentFunction fa5(0.9, 5.0);
+  EXPECT_NEAR(fa5(0.75), 1.0, 1e-12);
+}
+
+TEST(AssignmentFunction, WithThresholdVariant) {
+  core::AssignmentFunction fa(0.9, 3.0);
+  const auto variant = fa.with_threshold(0.5);
+  EXPECT_DOUBLE_EQ(variant.ta(), 0.5);
+  EXPECT_DOUBLE_EQ(variant.p(), 3.0);
+  EXPECT_DOUBLE_EQ(variant(0.6), 0.0);       // above the new Ta
+  EXPECT_NEAR(variant(0.375), 1.0, 1e-12);   // new argmax
+}
+
+TEST(AssignmentFunction, RejectsBadParameters) {
+  EXPECT_THROW(core::AssignmentFunction(0.0, 3.0), std::invalid_argument);
+  EXPECT_THROW(core::AssignmentFunction(1.1, 3.0), std::invalid_argument);
+  EXPECT_THROW(core::AssignmentFunction(0.9, 0.0), std::invalid_argument);
+  EXPECT_THROW(core::AssignmentFunction(0.9, -1.0), std::invalid_argument);
+}
+
+// Parameterized sweep: range, unimodality, monotone sides.
+class AssignmentFunctionSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AssignmentFunctionSweep, IsAValidUnimodalProbability) {
+  const auto [ta, p] = GetParam();
+  core::AssignmentFunction fa(ta, p);
+  const double peak = fa.argmax();
+  double previous = 0.0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double u = i / 1000.0;
+    const double value = fa(u);
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0 + 1e-12);
+    // Leave one grid step of slack around the peak: adjacent samples can
+    // bracket it, in which case neither monotonicity claim applies.
+    const double step = 1.0 / 1000.0;
+    if (u > 1e-9 && u < peak - step) {
+      EXPECT_GE(value, previous - 1e-12) << "must increase below argmax, u=" << u;
+    }
+    if (u > peak + step && u <= ta) {
+      EXPECT_LE(value, previous + 1e-12) << "must decrease above argmax, u=" << u;
+    }
+    previous = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, AssignmentFunctionSweep,
+    ::testing::Combine(::testing::Values(0.5, 0.8, 0.9, 1.0),
+                       ::testing::Values(0.5, 1.0, 2.0, 3.0, 5.0, 10.0)));
+
+// -------------------------------------------------------------- f_l (Eq. 3)
+
+TEST(LowMigrationFunction, BoundaryValues) {
+  core::LowMigrationFunction fl(0.3, 1.0);
+  EXPECT_DOUBLE_EQ(fl(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fl(0.3), 0.0);
+  EXPECT_DOUBLE_EQ(fl(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fl(0.15), 0.5);  // linear for alpha = 1
+}
+
+TEST(LowMigrationFunction, AlphaShapesEagerness) {
+  core::LowMigrationFunction eager(0.3, 0.25);
+  core::LowMigrationFunction lazy(0.3, 4.0);
+  // Smaller alpha gives higher migration probability in (0, Tl).
+  for (double u : {0.05, 0.1, 0.2, 0.25}) {
+    EXPECT_GT(eager(u), lazy(u)) << "u=" << u;
+  }
+}
+
+TEST(LowMigrationFunction, Paper_Fig3_Values) {
+  // Fig. 3 uses Tl = 0.3.
+  core::LowMigrationFunction fl025(0.3, 0.25);
+  EXPECT_NEAR(fl025(0.15), std::pow(0.5, 0.25), 1e-12);
+  EXPECT_NEAR(fl025(0.27), std::pow(0.1, 0.25), 1e-12);
+}
+
+TEST(LowMigrationFunction, Validation) {
+  EXPECT_THROW(core::LowMigrationFunction(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(core::LowMigrationFunction(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(core::LowMigrationFunction(0.3, 0.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- f_h (Eq. 4)
+
+TEST(HighMigrationFunction, BoundaryValues) {
+  core::HighMigrationFunction fh(0.8, 1.0);
+  EXPECT_DOUBLE_EQ(fh(0.8), 0.0);
+  EXPECT_DOUBLE_EQ(fh(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fh(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(fh(0.9), 0.5);  // linear for beta = 1
+}
+
+TEST(HighMigrationFunction, ClampsInputAboveOne) {
+  core::HighMigrationFunction fh(0.8, 0.25);
+  EXPECT_DOUBLE_EQ(fh(1.5), 1.0);
+}
+
+TEST(HighMigrationFunction, BetaShapesEagerness) {
+  core::HighMigrationFunction eager(0.8, 0.25);
+  core::HighMigrationFunction lazy(0.8, 4.0);
+  for (double u : {0.82, 0.9, 0.95, 0.99}) {
+    EXPECT_GT(eager(u), lazy(u)) << "u=" << u;
+  }
+}
+
+TEST(HighMigrationFunction, Paper_Fig3_Values) {
+  core::HighMigrationFunction fh025(0.8, 0.25);
+  // f_h(0.9) = (1 + (0.9-1)/0.2)^0.25 = 0.5^0.25
+  EXPECT_NEAR(fh025(0.9), std::pow(0.5, 0.25), 1e-12);
+}
+
+TEST(HighMigrationFunction, Validation) {
+  EXPECT_THROW(core::HighMigrationFunction(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(core::HighMigrationFunction(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(core::HighMigrationFunction(0.8, 0.0), std::invalid_argument);
+}
+
+// Parameterized: both migration functions stay in [0,1] and are monotone.
+class MigrationFunctionSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MigrationFunctionSweep, LowIsMonotoneDecreasing) {
+  const auto [threshold, shape] = GetParam();
+  core::LowMigrationFunction fl(threshold, shape);
+  double previous = 2.0;
+  for (int i = 0; i <= 500; ++i) {
+    const double u = i / 500.0;
+    const double value = fl(u);
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+    EXPECT_LE(value, previous + 1e-12);
+    previous = value;
+  }
+}
+
+TEST_P(MigrationFunctionSweep, HighIsMonotoneIncreasing) {
+  const auto [threshold, shape] = GetParam();
+  core::HighMigrationFunction fh(threshold, shape);
+  double previous = -1.0;
+  for (int i = 0; i <= 500; ++i) {
+    const double u = i / 500.0;
+    const double value = fh(u);
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+    EXPECT_GE(value, previous - 1e-12);
+    previous = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdShapeSweep, MigrationFunctionSweep,
+    ::testing::Combine(::testing::Values(0.2, 0.3, 0.5, 0.8, 0.95),
+                       ::testing::Values(0.25, 0.5, 1.0, 2.0)));

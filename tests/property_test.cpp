@@ -1,0 +1,382 @@
+// Property-based tests: system invariants checked under randomized
+// workloads and schedules, parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ecocloud/core/controller.hpp"
+#include "ecocloud/core/trace_driver.hpp"
+#include "ecocloud/ode/fluid_model.hpp"
+#include "ecocloud/ode/poisson_binomial.hpp"
+#include "ecocloud/scenario/scenario.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+/// Recompute every DataCenter aggregate from scratch and compare with the
+/// incrementally maintained values.
+void check_datacenter_invariants(const dc::DataCenter& d) {
+  double total_demand = 0.0;
+  double total_power = 0.0;
+  std::size_t placed = 0;
+  std::size_t active = 0;
+
+  std::vector<double> per_server_demand(d.num_servers(), 0.0);
+  std::vector<double> per_server_ram(d.num_servers(), 0.0);
+  std::vector<std::size_t> per_server_count(d.num_servers(), 0);
+
+  for (std::size_t i = 0; i < d.num_vms(); ++i) {
+    const dc::Vm& vm = d.vm(static_cast<dc::VmId>(i));
+    if (vm.placed()) {
+      ++placed;
+      total_demand += vm.demand_mhz;
+      per_server_demand[vm.host] += vm.demand_mhz;
+      per_server_ram[vm.host] += vm.ram_mb;
+      ++per_server_count[vm.host];
+    }
+  }
+
+  for (const dc::Server& server : d.servers()) {
+    if (server.active()) ++active;
+    // Hibernated servers host nothing.
+    if (server.hibernated()) {
+      EXPECT_TRUE(server.empty()) << "hibernated server " << server.id()
+                                  << " hosts VMs";
+      EXPECT_DOUBLE_EQ(server.reserved_mhz(), 0.0);
+    }
+    // Cached per-server demand equals the recomputed sum.
+    EXPECT_NEAR(server.demand_mhz(), per_server_demand[server.id()], 1e-6);
+    EXPECT_NEAR(server.ram_used_mb(), per_server_ram[server.id()], 1e-6);
+    EXPECT_EQ(server.vm_count(), per_server_count[server.id()]);
+    EXPECT_GE(server.reserved_mhz(), 0.0);
+    total_power += d.power_model().power_w(server);
+  }
+
+  EXPECT_EQ(d.placed_vm_count(), placed);
+  EXPECT_EQ(d.active_server_count(), active);
+  EXPECT_NEAR(d.total_demand_mhz(), total_demand, 1e-5);
+  EXPECT_NEAR(d.total_power_w(), total_power, 1e-6);
+
+  // Power bounded by fleet physics.
+  double peak_total = 0.0;
+  for (const dc::Server& server : d.servers()) {
+    peak_total += d.power_model().peak_w(server.num_cores());
+  }
+  EXPECT_GE(d.total_power_w(), 0.0);
+  EXPECT_LE(d.total_power_w(), peak_total + 1e-6);
+}
+
+}  // namespace
+
+// ------------------------------------------- randomized end-to-end invariants
+
+class DailyInvariantProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DailyInvariantProperty, HoldAtRandomInstantsThroughoutTheRun) {
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 40;
+  config.num_vms = 500;
+  config.horizon_s = 8.0 * sim::kHour;
+  config.seed = GetParam();
+  scenario::DailyScenario daily(config);
+
+  // Check invariants at staggered times while the simulation runs.
+  int checks = 0;
+  for (double h = 0.5; h < 8.0; h += 0.7) {
+    daily.simulator().schedule_at(h * sim::kHour, [&] {
+      check_datacenter_invariants(daily.datacenter());
+      ++checks;
+    });
+  }
+  daily.run();
+  EXPECT_GE(checks, 10);
+  check_datacenter_invariants(daily.datacenter());
+
+  // VM conservation: every VM is placed exactly once, on its recorded host.
+  for (std::size_t i = 0; i < daily.datacenter().num_vms(); ++i) {
+    const auto& vm = daily.datacenter().vm(static_cast<dc::VmId>(i));
+    ASSERT_TRUE(vm.placed());
+    const auto& host_vms = daily.datacenter().server(vm.host).vms();
+    EXPECT_NE(std::find(host_vms.begin(), host_vms.end(), vm.id), host_vms.end());
+  }
+
+  // Accounting totals are consistent with time.
+  const auto& d = daily.datacenter();
+  EXPECT_NEAR(d.vm_seconds(),
+              500.0 * 8.0 * sim::kHour, 500.0 * 8.0 * sim::kHour * 0.05);
+  EXPECT_LE(d.overload_vm_seconds(), d.vm_seconds());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DailyInvariantProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class ConsolidationInvariantProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsolidationInvariantProperty, OpenSystemConservesVms) {
+  scenario::ConsolidationConfig config;
+  config.num_servers = 20;
+  config.initial_vms = 250;
+  config.horizon_s = 5.0 * sim::kHour;
+  config.seed = GetParam();
+  scenario::ConsolidationScenario cons(config);
+
+  for (double h = 0.5; h < 5.0; h += 0.9) {
+    cons.simulator().schedule_at(h * sim::kHour, [&] {
+      check_datacenter_invariants(cons.datacenter());
+    });
+  }
+  cons.run();
+  check_datacenter_invariants(cons.datacenter());
+
+  // Population bookkeeping: placed + queued-on-boot == driver population.
+  // (Queued VMs are rare at the end of a run; allow placed <= population.)
+  EXPECT_LE(cons.datacenter().placed_vm_count(), cons.open_system().population() + 5);
+  EXPECT_EQ(cons.open_system().total_arrivals() + config.initial_vms -
+                cons.open_system().total_departures() -
+                cons.open_system().total_rejections(),
+            cons.open_system().population());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsolidationInvariantProperty,
+                         ::testing::Values(11u, 12u, 13u));
+
+// -------------------------------------------------- probabilistic properties
+
+class PoissonBinomialProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoissonBinomialProperty, PmfMatchesDeconvolutionRoundTrip) {
+  util::Rng rng(GetParam());
+  std::vector<double> probs;
+  const std::size_t n = 5 + rng.index(40);
+  for (std::size_t i = 0; i < n; ++i) probs.push_back(rng.uniform());
+  const auto full = ecocloud::ode::poisson_binomial_pmf(probs);
+
+  // Sum and mean match closed forms.
+  double total = 0.0, mean = 0.0, expected_mean = 0.0;
+  for (std::size_t k = 0; k < full.size(); ++k) {
+    total += full[k];
+    mean += static_cast<double>(k) * full[k];
+  }
+  for (double p : probs) expected_mean += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(mean, expected_mean, 1e-7);
+
+  // Removing then re-adding a random factor returns the original pmf.
+  const double f = probs[rng.index(probs.size())];
+  const auto without = ecocloud::ode::remove_factor(full, f);
+  std::vector<double> back(without.size() + 1, 0.0);
+  for (std::size_t k = 0; k < back.size(); ++k) {
+    const double lower = k > 0 ? without[k - 1] : 0.0;
+    const double same = k < without.size() ? without[k] : 0.0;
+    back[k] = same * (1.0 - f) + lower * f;
+  }
+  for (std::size_t k = 0; k < full.size(); ++k) {
+    EXPECT_NEAR(back[k], full[k], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoissonBinomialProperty,
+                         ::testing::Range<std::uint64_t>(100u, 112u));
+
+class FluidSharesProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidSharesProperty, ExactSharesAreAProbabilityDistribution) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 3 + rng.index(30);
+  ecocloud::ode::FluidModelConfig config;
+  config.num_servers = n;
+  config.lambda = [](double) { return 1.0; };
+  config.nu = [](double) { return 1.0; };
+  config.vm_share.assign(n, 0.01);
+  config.exact = true;
+  ecocloud::ode::FluidModel model(config);
+
+  std::vector<double> u(n);
+  for (auto& x : u) x = rng.uniform();
+  const auto shares = model.assignment_shares(u);
+
+  double total = 0.0;
+  bool anyone_accepts = false;
+  ecocloud::core::AssignmentFunction fa(config.ta, config.p);
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_GE(shares[s], -1e-12);
+    total += shares[s];
+    if (fa(u[s]) > 0.0) anyone_accepts = true;
+  }
+  if (anyone_accepts) {
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  } else {
+    EXPECT_NEAR(total, 0.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidSharesProperty,
+                         ::testing::Range<std::uint64_t>(200u, 215u));
+
+// ------------------------------------------------------------- churn stress
+
+class ChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnProperty, RandomDeployDepartChurnKeepsInvariants) {
+  // Hammer the controller with randomized deploy/depart interleavings —
+  // including departures of queued and mid-migration VMs — and verify the
+  // DataCenter aggregates stay exact throughout.
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  for (int i = 0; i < 12; ++i) datacenter.add_server(6, 2000.0);
+  core::EcoCloudParams params;
+  params.monitor_period_s = 5.0;
+  params.migration_cooldown_s = 20.0;
+  core::EcoCloudController controller(simulator, datacenter, params,
+                                      util::Rng(GetParam()));
+  controller.start();
+
+  util::Rng rng(GetParam() ^ 0xABCDEFULL);
+  std::vector<dc::VmId> live;
+
+  // One churn operation every ~20 s for 4 simulated hours.
+  simulator.schedule_periodic(20.0, [&] {
+    const double coin = rng.uniform();
+    if (coin < 0.55 || live.empty()) {
+      const dc::VmId vm = datacenter.create_vm(rng.uniform(100.0, 2500.0));
+      if (controller.deploy_vm(vm)) live.push_back(vm);
+    } else {
+      const std::size_t pick = rng.index(live.size());
+      controller.depart_vm(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    // Demand churn on a random live VM (trace-update analogue).
+    if (!live.empty()) {
+      datacenter.set_vm_demand(simulator.now(), live[rng.index(live.size())],
+                               rng.uniform(50.0, 3000.0));
+    }
+  });
+
+  int checks = 0;
+  simulator.schedule_periodic(600.0, [&] {
+    check_datacenter_invariants(datacenter);
+    ++checks;
+  });
+
+  simulator.run_until(4.0 * sim::kHour);
+  datacenter.advance_to(simulator.now());
+  check_datacenter_invariants(datacenter);
+  EXPECT_GE(checks, 20);
+
+  // Every live VM is placed or queued; departed VMs hold no resources.
+  std::size_t placed = 0;
+  for (dc::VmId vm : live) {
+    if (datacenter.vm(vm).placed()) ++placed;
+  }
+  EXPECT_LE(datacenter.placed_vm_count(), live.size());
+  EXPECT_GE(placed + 5, datacenter.placed_vm_count());  // few boot-queued
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty,
+                         ::testing::Values(21u, 22u, 23u, 24u));
+
+// ------------------------------------------- per-VM SLA attribution identity
+
+TEST(PerVmSlaProperty, SumOfPerVmEqualsGlobalOverloadSeconds) {
+  // Over a full stochastic run with migrations, the per-VM attributions
+  // must sum exactly to the globally integrated overload VM-seconds.
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 40;
+  config.num_vms = 600;
+  config.horizon_s = 8.0 * sim::kHour;
+  config.seed = 31;
+  scenario::DailyScenario daily(config);
+  daily.run();
+  const auto& d = daily.datacenter();
+  double per_vm_total = 0.0;
+  for (std::size_t v = 0; v < d.num_vms(); ++v) {
+    const double s =
+        d.vm_overload_seconds(static_cast<dc::VmId>(v), config.horizon_s);
+    EXPECT_GE(s, -1e-9);
+    per_vm_total += s;
+  }
+  EXPECT_NEAR(per_vm_total, d.overload_vm_seconds(),
+              1e-6 * std::max(1.0, d.overload_vm_seconds()));
+}
+
+// --------------------------------------------------- regression properties
+
+TEST(RegressionProperty, NoGhostReservationsAfterLongRun) {
+  // Regression for the reservation leak: after hours of migrations with
+  // demands changing mid-flight, the total reserved capacity must equal
+  // exactly the sum of in-flight VMs' recorded reservations.
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 50;
+  config.num_vms = 750;
+  config.horizon_s = 10.0 * sim::kHour;
+  config.seed = 77;
+  scenario::DailyScenario daily(config);
+  daily.run();
+  const auto& d = daily.datacenter();
+  double recorded = 0.0;
+  std::size_t inflight = 0;
+  for (std::size_t v = 0; v < d.num_vms(); ++v) {
+    const auto& vm = d.vm(static_cast<dc::VmId>(v));
+    if (vm.migrating()) {
+      recorded += vm.reserved_at_dest_mhz;
+      ++inflight;
+    }
+  }
+  double reserved = 0.0;
+  for (const auto& server : d.servers()) reserved += server.reserved_mhz();
+  EXPECT_NEAR(reserved, recorded, 1e-6);
+  EXPECT_EQ(d.inflight_migrations(), inflight);
+}
+
+TEST(RegressionProperty, NoZombieEmptyActiveServers) {
+  // Regression for the dropped hibernation check: at the end of a long
+  // descent, no server may sit active-and-empty beyond the hibernate delay
+  // plus grace unless an inbound migration holds a reservation.
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 50;
+  config.num_vms = 750;
+  config.horizon_s = 16.0 * sim::kHour;  // ends in the overnight descent
+  config.seed = 78;
+  scenario::DailyScenario daily(config);
+
+  // Track when each server last became empty.
+  std::vector<double> empty_since(50, -1.0);
+  daily.simulator().schedule_periodic(60.0, [&] {
+    const double now = daily.simulator().now();
+    for (const auto& server : daily.datacenter().servers()) {
+      if (server.active() && server.empty() && server.reserved_mhz() == 0.0) {
+        if (empty_since[server.id()] < 0.0) empty_since[server.id()] = now;
+        const double idle_for = now - empty_since[server.id()];
+        const double allowance = daily.config().params.hibernate_delay_s +
+                                 daily.config().params.grace_period_s + 600.0;
+        EXPECT_LT(idle_for, allowance)
+            << "server " << server.id() << " stuck active-empty";
+      } else {
+        empty_since[server.id()] = -1.0;
+      }
+    }
+  });
+  daily.run();
+}
+
+TEST(RegressionProperty, CollectorWindowsNeverNegative) {
+  // Regression for the warm-up rebase: every reported window must carry
+  // non-negative energy and overload, whatever the warm-up length.
+  for (double warmup_h : {0.0, 1.0, 3.0}) {
+    scenario::DailyConfig config;
+    config.fleet.num_servers = 30;
+    config.num_vms = 400;
+    config.warmup_s = warmup_h * sim::kHour;
+    config.horizon_s = (warmup_h + 3.0) * sim::kHour;
+    scenario::DailyScenario daily(config);
+    daily.run();
+    for (const auto& sample : daily.collector().samples()) {
+      EXPECT_GE(sample.window_energy_j, 0.0) << "warmup_h=" << warmup_h;
+      EXPECT_GE(sample.overload_percent, 0.0) << "warmup_h=" << warmup_h;
+    }
+  }
+}

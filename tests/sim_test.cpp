@@ -1,0 +1,189 @@
+// Unit tests for the discrete-event simulation kernel.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ecocloud/sim/simulator.hpp"
+
+namespace sim = ecocloud::sim;
+
+TEST(SimTime, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(sim::kHour, 3600.0);
+  EXPECT_DOUBLE_EQ(sim::hours(2.0), 7200.0);
+  EXPECT_DOUBLE_EQ(sim::minutes(5.0), 300.0);
+  EXPECT_DOUBLE_EQ(sim::to_hours(5400.0), 1.5);
+}
+
+TEST(Simulator, StartsAtZero) {
+  sim::Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  sim::Simulator s;
+  std::vector<int> order;
+  s.schedule_at(20.0, [&] { order.push_back(2); });
+  s.schedule_at(10.0, [&] { order.push_back(1); });
+  s.schedule_at(30.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 30.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  sim::Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(10.0, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  sim::Simulator s;
+  double fired_at = -1.0;
+  s.schedule_at(100.0, [&] {
+    s.schedule_after(50.0, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 150.0);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  sim::Simulator s;
+  s.schedule_at(10.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsEmptyCallback) {
+  sim::Simulator s;
+  EXPECT_THROW(s.schedule_at(1.0, sim::Simulator::Callback{}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  sim::Simulator s;
+  bool fired = false;
+  auto handle = s.schedule_at(10.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());  // double cancel reports false
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, HandleReportsFiredEventNotPending) {
+  sim::Simulator s;
+  auto handle = s.schedule_at(1.0, [] {});
+  s.run();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  sim::Simulator s;
+  std::vector<double> fired;
+  for (double t : {5.0, 10.0, 15.0, 20.0}) {
+    s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  s.run_until(12.0);
+  EXPECT_EQ(fired, (std::vector<double>{5.0, 10.0}));
+  EXPECT_DOUBLE_EQ(s.now(), 12.0);
+  s.run_until(20.0);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_THROW(s.run_until(10.0), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtBoundary) {
+  sim::Simulator s;
+  bool fired = false;
+  s.schedule_at(10.0, [&] { fired = true; });
+  s.run_until(10.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  sim::Simulator s;
+  std::vector<double> times;
+  s.schedule_periodic(10.0, [&] { times.push_back(s.now()); });
+  s.run_until(35.0);
+  EXPECT_EQ(times, (std::vector<double>{0.0, 10.0, 20.0, 30.0}));
+}
+
+TEST(Simulator, PeriodicWithPhase) {
+  sim::Simulator s;
+  std::vector<double> times;
+  s.schedule_periodic(10.0, [&] { times.push_back(s.now()); }, 3.0);
+  s.run_until(25.0);
+  EXPECT_EQ(times, (std::vector<double>{3.0, 13.0, 23.0}));
+}
+
+TEST(Simulator, PeriodicCancelStopsChain) {
+  sim::Simulator s;
+  int count = 0;
+  auto handle = s.schedule_periodic(10.0, [&] { ++count; });
+  s.run_until(25.0);
+  EXPECT_EQ(count, 3);  // t = 0, 10, 20
+  handle.cancel();
+  s.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicCancelFromWithinCallback) {
+  sim::Simulator s;
+  int count = 0;
+  sim::EventHandle handle;
+  handle = s.schedule_periodic(10.0, [&] {
+    if (++count == 2) handle.cancel();
+  });
+  s.run_until(1000.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicRejectsBadArgs) {
+  sim::Simulator s;
+  EXPECT_THROW(s.schedule_periodic(0.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_periodic(1.0, [] {}, -1.0), std::invalid_argument);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  sim::Simulator s;
+  std::vector<int> order;
+  s.schedule_at(10.0, [&] {
+    order.push_back(1);
+    s.schedule_at(10.0, [&] { order.push_back(2); });  // same timestamp
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, ExecutedEventCounter) {
+  sim::Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(i, [] {});
+  auto cancelled = s.schedule_at(100.0, [] {});
+  cancelled.cancel();
+  s.run();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  sim::Simulator s;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 4096);
+    s.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(s.executed_events(), 10000u);
+}

@@ -1,0 +1,342 @@
+// Unit tests for the synthetic workload substrate: diurnal pattern,
+// workload model calibration, trace sets, arrival processes, rate
+// estimation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ecocloud/stats/histogram.hpp"
+#include "ecocloud/stats/welford.hpp"
+#include "ecocloud/trace/arrivals.hpp"
+#include "ecocloud/trace/diurnal.hpp"
+#include "ecocloud/trace/rate_estimator.hpp"
+#include "ecocloud/trace/trace_set.hpp"
+#include "ecocloud/trace/workload_model.hpp"
+
+namespace trace = ecocloud::trace;
+namespace stats = ecocloud::stats;
+using ecocloud::util::Rng;
+
+// ------------------------------------------------------------------- diurnal
+
+TEST(Diurnal, PeaksAtConfiguredHour) {
+  trace::DiurnalPattern g(0.3, 14.0);
+  EXPECT_NEAR(g.value(14.0 * 3600.0), 1.3, 1e-12);
+  EXPECT_NEAR(g.value(2.0 * 3600.0), 0.7, 1e-12);  // trough 12 h later
+}
+
+TEST(Diurnal, MeanOverDayIsOne) {
+  trace::DiurnalPattern g(0.25, 10.0);
+  double acc = 0.0;
+  const int n = 24 * 60;
+  for (int i = 0; i < n; ++i) acc += g.value(i * 60.0);
+  EXPECT_NEAR(acc / n, 1.0, 1e-6);
+}
+
+TEST(Diurnal, PeriodIs24Hours) {
+  trace::DiurnalPattern g(0.2, 14.0);
+  for (double h : {0.0, 5.5, 13.0, 23.9}) {
+    EXPECT_NEAR(g.value(h * 3600.0), g.value((h + 24.0) * 3600.0), 1e-12);
+  }
+}
+
+TEST(Diurnal, BoundsAndValidation) {
+  trace::DiurnalPattern g(0.22, 14.0);
+  EXPECT_DOUBLE_EQ(g.min(), 0.78);
+  EXPECT_DOUBLE_EQ(g.max(), 1.22);
+  EXPECT_THROW(trace::DiurnalPattern(1.0, 14.0), std::invalid_argument);
+  EXPECT_THROW(trace::DiurnalPattern(0.2, 24.0), std::invalid_argument);
+}
+
+TEST(Diurnal, ZeroAmplitudeIsFlat) {
+  trace::DiurnalPattern g(0.0, 14.0);
+  for (double h = 0.0; h < 24.0; h += 1.0) {
+    EXPECT_DOUBLE_EQ(g.value(h * 3600.0), 1.0);
+  }
+}
+
+// ------------------------------------------------------------ workload model
+
+TEST(WorkloadModel, BinWeightsNormalizableAndDecreasingTail) {
+  const auto& w = trace::WorkloadModel::average_bin_weights();
+  ASSERT_EQ(w.size(), 20u);
+  double total = 0.0;
+  for (double x : w) {
+    EXPECT_GT(x, 0.0);
+    total += x;
+  }
+  EXPECT_NEAR(total, 1.0, 0.05);
+  // Mass concentrated below 20% (paper Fig. 4).
+  EXPECT_GT(w[0] + w[1] + w[2] + w[3], 0.6);
+  // Tail decreasing beyond the mode.
+  for (std::size_t i = 2; i + 1 < w.size(); ++i) {
+    EXPECT_GE(w[i], w[i + 1]);
+  }
+}
+
+TEST(WorkloadModel, ExpectedAverageMatchesSampling) {
+  trace::WorkloadModel model;
+  Rng rng(1);
+  stats::Welford acc;
+  for (int i = 0; i < 50000; ++i) {
+    acc.add(model.sample_average_percent(rng));
+  }
+  EXPECT_NEAR(acc.mean(), trace::WorkloadModel::expected_average_percent(), 0.3);
+  EXPECT_GE(acc.min(), 0.0);
+  EXPECT_LE(acc.max(), 100.0);
+}
+
+TEST(WorkloadModel, Fig4ShapeMostVmsUnder20Percent) {
+  trace::WorkloadModel model;
+  Rng rng(2);
+  stats::Histogram h(0.0, 100.0, 20);
+  for (int i = 0; i < 20000; ++i) h.add(model.sample_average_percent(rng));
+  EXPECT_GT(h.fraction_within(0.0, 20.0), 0.6);
+  EXPECT_LT(h.fraction_within(50.0, 100.0), 0.12);
+}
+
+TEST(WorkloadModel, SeriesWithinBoundsAndRightLength) {
+  trace::WorkloadModel model;
+  Rng rng(3);
+  const auto series = model.generate_series(rng, 15.0, 500);
+  ASSERT_EQ(series.size(), 500u);
+  for (float x : series) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LE(x, 100.0f);
+  }
+}
+
+TEST(WorkloadModel, Fig5DeviationsMostlyWithinTenPoints) {
+  trace::WorkloadConfig cfg;
+  trace::WorkloadModel model(cfg);
+  Rng rng(4);
+  std::size_t total = 0, within = 0;
+  for (int vm = 0; vm < 300; ++vm) {
+    const double avg = model.sample_average_percent(rng);
+    const auto series = model.generate_series(rng, avg, 576);
+    for (float x : series) {
+      ++total;
+      if (std::fabs(static_cast<double>(x) - avg) < 10.0) ++within;
+    }
+  }
+  // Paper: ~94% of deviations below 10 points.
+  EXPECT_GT(static_cast<double>(within) / static_cast<double>(total), 0.85);
+}
+
+TEST(WorkloadModel, DeviationsCenteredNearZero) {
+  trace::WorkloadModel model;
+  Rng rng(5);
+  stats::Welford dev;
+  for (int vm = 0; vm < 200; ++vm) {
+    const double avg = model.sample_average_percent(rng);
+    for (float x : model.generate_series(rng, avg, 288)) {
+      dev.add(static_cast<double>(x) - avg);
+    }
+  }
+  EXPECT_NEAR(dev.mean(), 0.0, 1.0);
+}
+
+TEST(WorkloadModel, SeriesAutocorrelated) {
+  trace::WorkloadConfig cfg;
+  cfg.diurnal = trace::DiurnalPattern(0.0, 14.0);  // isolate the AR(1) part
+  trace::WorkloadModel model(cfg);
+  Rng rng(6);
+  const auto series = model.generate_series(rng, 30.0, 2000);
+  // Lag-1 autocorrelation of deviations should be near rho = 0.7.
+  double mean = 0.0;
+  for (float x : series) mean += x;
+  mean /= static_cast<double>(series.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+    num += (series[i] - mean) * (series[i + 1] - mean);
+    den += (series[i] - mean) * (series[i] - mean);
+  }
+  EXPECT_NEAR(num / den, 0.7, 0.1);
+}
+
+TEST(WorkloadModel, PercentToMhz) {
+  trace::WorkloadModel model;
+  EXPECT_DOUBLE_EQ(model.percent_to_mhz(50.0), 1000.0);
+}
+
+TEST(WorkloadModel, ValidatesConfig) {
+  trace::WorkloadConfig bad;
+  bad.ar1_rho = 1.0;
+  EXPECT_THROW(trace::WorkloadModel{bad}, std::invalid_argument);
+  trace::WorkloadConfig bad2;
+  bad2.reference_mhz = 0.0;
+  EXPECT_THROW(trace::WorkloadModel{bad2}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- trace set
+
+TEST(TraceSet, GenerateShapes) {
+  trace::WorkloadModel model;
+  Rng rng(7);
+  const auto set = trace::TraceSet::generate(model, 50, 100, rng);
+  EXPECT_EQ(set.num_vms(), 50u);
+  EXPECT_EQ(set.num_steps(), 100u);
+  EXPECT_DOUBLE_EQ(set.sample_period_s(), 300.0);
+  for (std::size_t v = 0; v < set.num_vms(); ++v) {
+    EXPECT_GE(set.average_percent(v), 0.0);
+    EXPECT_LE(set.average_percent(v), 100.0);
+    EXPECT_GE(set.ram_mb(v), 512.0);
+  }
+}
+
+TEST(TraceSet, StepsWrapAround) {
+  trace::WorkloadModel model;
+  Rng rng(8);
+  const auto set = trace::TraceSet::generate(model, 3, 10, rng);
+  EXPECT_DOUBLE_EQ(set.percent_at(0, 3), set.percent_at(0, 13));
+}
+
+TEST(TraceSet, StepAtMapsTime) {
+  trace::WorkloadModel model;
+  Rng rng(9);
+  const auto set = trace::TraceSet::generate(model, 1, 10, rng);
+  EXPECT_EQ(set.step_at(0.0), 0u);
+  EXPECT_EQ(set.step_at(299.9), 0u);
+  EXPECT_EQ(set.step_at(300.0), 1u);
+  EXPECT_EQ(set.step_at(3000.0), 10u);
+}
+
+TEST(TraceSet, DemandMhzConsistentWithPercent) {
+  trace::WorkloadModel model;
+  Rng rng(10);
+  const auto set = trace::TraceSet::generate(model, 5, 5, rng);
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_NEAR(set.demand_mhz_at(v, 2),
+                set.percent_at(v, 2) / 100.0 * set.reference_mhz(), 1e-9);
+  }
+}
+
+TEST(TraceSet, CsvRoundTrip) {
+  trace::WorkloadModel model;
+  Rng rng(11);
+  const auto set = trace::TraceSet::generate(model, 4, 6, rng);
+  std::stringstream buffer;
+  set.write_csv(buffer);
+  const auto loaded = trace::TraceSet::read_csv(buffer);
+  EXPECT_EQ(loaded.num_vms(), set.num_vms());
+  EXPECT_EQ(loaded.num_steps(), set.num_steps());
+  for (std::size_t v = 0; v < set.num_vms(); ++v) {
+    EXPECT_NEAR(loaded.average_percent(v), set.average_percent(v), 1e-4);
+    for (std::size_t k = 0; k < set.num_steps(); ++k) {
+      EXPECT_NEAR(loaded.percent_at(v, k), set.percent_at(v, k), 1e-3);
+    }
+  }
+}
+
+TEST(TraceSet, ReadRejectsMalformed) {
+  std::istringstream empty("");
+  EXPECT_THROW(trace::TraceSet::read_csv(empty), std::invalid_argument);
+  std::istringstream bad_header("1,2\n");
+  EXPECT_THROW(trace::TraceSet::read_csv(bad_header), std::invalid_argument);
+}
+
+TEST(TraceSet, TotalDemand) {
+  trace::WorkloadModel model;
+  Rng rng(12);
+  const auto set = trace::TraceSet::generate(model, 10, 3, rng);
+  double expected = 0.0;
+  for (std::size_t v = 0; v < 10; ++v) expected += set.demand_mhz_at(v, 1);
+  EXPECT_NEAR(set.total_demand_mhz_at(1), expected, 1e-9);
+}
+
+// ------------------------------------------------------------------ arrivals
+
+TEST(PoissonArrivals, HomogeneousRateMatches) {
+  trace::PoissonArrivals arrivals([](double) { return 0.1; }, 0.1);
+  Rng rng(13);
+  double t = 0.0;
+  int count = 0;
+  while (t < 100000.0) {
+    t = arrivals.next_after(t, rng);
+    ++count;
+  }
+  EXPECT_NEAR(count / 100000.0, 0.1, 0.005);
+}
+
+TEST(PoissonArrivals, ThinningTracksTimeVaryingRate) {
+  // Rate 0.2 in the first half, 0.02 in the second.
+  trace::PoissonArrivals arrivals(
+      [](double t) { return t < 50000.0 ? 0.2 : 0.02; }, 0.2);
+  Rng rng(14);
+  double t = 0.0;
+  int first = 0, second = 0;
+  while (t < 100000.0) {
+    t = arrivals.next_after(t, rng);
+    if (t < 50000.0) {
+      ++first;
+    } else if (t < 100000.0) {
+      ++second;
+    }
+  }
+  EXPECT_NEAR(first / 50000.0, 0.2, 0.01);
+  EXPECT_NEAR(second / 50000.0, 0.02, 0.005);
+}
+
+TEST(PoissonArrivals, StrictlyIncreasing) {
+  trace::PoissonArrivals arrivals([](double) { return 1.0; }, 1.0);
+  Rng rng(15);
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double next = arrivals.next_after(t, rng);
+    EXPECT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(PoissonArrivals, RejectsRateAboveEnvelope) {
+  trace::PoissonArrivals arrivals([](double) { return 2.0; }, 1.0);
+  Rng rng(16);
+  EXPECT_THROW(arrivals.next_after(0.0, rng), std::invalid_argument);
+}
+
+TEST(ExponentialLifetime, MeanMatches) {
+  Rng rng(17);
+  double acc = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) acc += trace::exponential_lifetime(1.0 / 3600.0, rng);
+  EXPECT_NEAR(acc / n, 3600.0, 60.0);
+}
+
+// ------------------------------------------------------------ rate estimator
+
+TEST(RateEstimator, LambdaPerWindow) {
+  trace::RateEstimator est(100.0);
+  for (int i = 0; i < 10; ++i) est.record_arrival(i * 10.0);  // window 0
+  est.record_arrival(150.0);                                  // window 1
+  EXPECT_DOUBLE_EQ(est.lambda(50.0), 0.1);
+  EXPECT_DOUBLE_EQ(est.lambda(150.0), 0.01);
+  EXPECT_DOUBLE_EQ(est.lambda(1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(est.lambda_max(), 0.1);
+}
+
+TEST(RateEstimator, NuFromDeparturesAndPopulation) {
+  trace::RateEstimator est(100.0);
+  // 5 departures in window 0, each seen with population 100:
+  // nu = 5 / (100 s * 100 VMs) = 5e-4.
+  for (int i = 0; i < 5; ++i) est.record_departure(i * 20.0, 100);
+  EXPECT_NEAR(est.nu(50.0), 5e-4, 1e-12);
+  EXPECT_DOUBLE_EQ(est.nu(500.0), 0.0);
+}
+
+TEST(RateEstimator, FunctionsAreSelfContainedCopies) {
+  trace::RateEstimator est(100.0);
+  est.record_arrival(10.0);
+  const auto fn = est.lambda_fn();
+  est.record_arrival(20.0);  // not visible to the captured copy
+  EXPECT_DOUBLE_EQ(fn(50.0), 0.01);
+  EXPECT_DOUBLE_EQ(est.lambda(50.0), 0.02);
+}
+
+TEST(RateEstimator, Validation) {
+  EXPECT_THROW(trace::RateEstimator(0.0), std::invalid_argument);
+  trace::RateEstimator est(10.0);
+  EXPECT_THROW(est.record_arrival(-1.0), std::invalid_argument);
+  EXPECT_THROW(est.record_departure(0.0, 0), std::invalid_argument);
+}
