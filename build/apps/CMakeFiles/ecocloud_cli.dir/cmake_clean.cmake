@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_cli.dir/ecocloud_cli.cpp.o"
+  "CMakeFiles/ecocloud_cli.dir/ecocloud_cli.cpp.o.d"
+  "ecocloud_cli"
+  "ecocloud_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_operational.dir/bench_ablation_operational.cpp.o"
+  "CMakeFiles/bench_ablation_operational.dir/bench_ablation_operational.cpp.o.d"
+  "bench_ablation_operational"
+  "bench_ablation_operational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_operational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

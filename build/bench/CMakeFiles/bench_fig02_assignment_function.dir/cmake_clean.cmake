@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_assignment_function.dir/bench_fig02_assignment_function.cpp.o"
+  "CMakeFiles/bench_fig02_assignment_function.dir/bench_fig02_assignment_function.cpp.o.d"
+  "bench_fig02_assignment_function"
+  "bench_fig02_assignment_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_assignment_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_migration_functions.dir/bench_fig03_migration_functions.cpp.o"
+  "CMakeFiles/bench_fig03_migration_functions.dir/bench_fig03_migration_functions.cpp.o.d"
+  "bench_fig03_migration_functions"
+  "bench_fig03_migration_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_migration_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

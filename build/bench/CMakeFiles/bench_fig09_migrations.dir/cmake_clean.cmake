@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_migrations.dir/bench_fig09_migrations.cpp.o"
+  "CMakeFiles/bench_fig09_migrations.dir/bench_fig09_migrations.cpp.o.d"
+  "bench_fig09_migrations"
+  "bench_fig09_migrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_migrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_server_switches.dir/bench_fig10_server_switches.cpp.o"
+  "CMakeFiles/bench_fig10_server_switches.dir/bench_fig10_server_switches.cpp.o.d"
+  "bench_fig10_server_switches"
+  "bench_fig10_server_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_server_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

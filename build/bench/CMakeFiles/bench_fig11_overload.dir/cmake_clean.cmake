@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_overload.dir/bench_fig11_overload.cpp.o"
+  "CMakeFiles/bench_fig11_overload.dir/bench_fig11_overload.cpp.o.d"
+  "bench_fig11_overload"
+  "bench_fig11_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ode_exact_vs_simplified.dir/bench_ode_exact_vs_simplified.cpp.o"
+  "CMakeFiles/bench_ode_exact_vs_simplified.dir/bench_ode_exact_vs_simplified.cpp.o.d"
+  "bench_ode_exact_vs_simplified"
+  "bench_ode_exact_vs_simplified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ode_exact_vs_simplified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation_comparison.dir/consolidation_comparison.cpp.o"
+  "CMakeFiles/consolidation_comparison.dir/consolidation_comparison.cpp.o.d"
+  "consolidation_comparison"
+  "consolidation_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_model.dir/fluid_model.cpp.o"
+  "CMakeFiles/fluid_model.dir/fluid_model.cpp.o.d"
+  "fluid_model"
+  "fluid_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/centralized_controller.cpp" "src/baseline/CMakeFiles/ecocloud_baseline.dir/centralized_controller.cpp.o" "gcc" "src/baseline/CMakeFiles/ecocloud_baseline.dir/centralized_controller.cpp.o.d"
+  "/root/repo/src/baseline/mm_selection.cpp" "src/baseline/CMakeFiles/ecocloud_baseline.dir/mm_selection.cpp.o" "gcc" "src/baseline/CMakeFiles/ecocloud_baseline.dir/mm_selection.cpp.o.d"
+  "/root/repo/src/baseline/placement.cpp" "src/baseline/CMakeFiles/ecocloud_baseline.dir/placement.cpp.o" "gcc" "src/baseline/CMakeFiles/ecocloud_baseline.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecocloud_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecocloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/ecocloud_dc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_baseline.dir/centralized_controller.cpp.o"
+  "CMakeFiles/ecocloud_baseline.dir/centralized_controller.cpp.o.d"
+  "CMakeFiles/ecocloud_baseline.dir/mm_selection.cpp.o"
+  "CMakeFiles/ecocloud_baseline.dir/mm_selection.cpp.o.d"
+  "CMakeFiles/ecocloud_baseline.dir/placement.cpp.o"
+  "CMakeFiles/ecocloud_baseline.dir/placement.cpp.o.d"
+  "libecocloud_baseline.a"
+  "libecocloud_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

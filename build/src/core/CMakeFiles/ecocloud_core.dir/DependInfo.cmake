@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cpp" "src/core/CMakeFiles/ecocloud_core.dir/assignment.cpp.o" "gcc" "src/core/CMakeFiles/ecocloud_core.dir/assignment.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/ecocloud_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/ecocloud_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/ecocloud_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/ecocloud_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/open_system.cpp" "src/core/CMakeFiles/ecocloud_core.dir/open_system.cpp.o" "gcc" "src/core/CMakeFiles/ecocloud_core.dir/open_system.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/ecocloud_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/ecocloud_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/probability.cpp" "src/core/CMakeFiles/ecocloud_core.dir/probability.cpp.o" "gcc" "src/core/CMakeFiles/ecocloud_core.dir/probability.cpp.o.d"
+  "/root/repo/src/core/trace_driver.cpp" "src/core/CMakeFiles/ecocloud_core.dir/trace_driver.cpp.o" "gcc" "src/core/CMakeFiles/ecocloud_core.dir/trace_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecocloud_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecocloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/ecocloud_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecocloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecocloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecocloud_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

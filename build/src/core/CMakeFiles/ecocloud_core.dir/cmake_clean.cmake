@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_core.dir/assignment.cpp.o"
+  "CMakeFiles/ecocloud_core.dir/assignment.cpp.o.d"
+  "CMakeFiles/ecocloud_core.dir/controller.cpp.o"
+  "CMakeFiles/ecocloud_core.dir/controller.cpp.o.d"
+  "CMakeFiles/ecocloud_core.dir/migration.cpp.o"
+  "CMakeFiles/ecocloud_core.dir/migration.cpp.o.d"
+  "CMakeFiles/ecocloud_core.dir/open_system.cpp.o"
+  "CMakeFiles/ecocloud_core.dir/open_system.cpp.o.d"
+  "CMakeFiles/ecocloud_core.dir/params.cpp.o"
+  "CMakeFiles/ecocloud_core.dir/params.cpp.o.d"
+  "CMakeFiles/ecocloud_core.dir/probability.cpp.o"
+  "CMakeFiles/ecocloud_core.dir/probability.cpp.o.d"
+  "CMakeFiles/ecocloud_core.dir/trace_driver.cpp.o"
+  "CMakeFiles/ecocloud_core.dir/trace_driver.cpp.o.d"
+  "libecocloud_core.a"
+  "libecocloud_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dc/datacenter.cpp" "src/dc/CMakeFiles/ecocloud_dc.dir/datacenter.cpp.o" "gcc" "src/dc/CMakeFiles/ecocloud_dc.dir/datacenter.cpp.o.d"
+  "/root/repo/src/dc/power.cpp" "src/dc/CMakeFiles/ecocloud_dc.dir/power.cpp.o" "gcc" "src/dc/CMakeFiles/ecocloud_dc.dir/power.cpp.o.d"
+  "/root/repo/src/dc/server.cpp" "src/dc/CMakeFiles/ecocloud_dc.dir/server.cpp.o" "gcc" "src/dc/CMakeFiles/ecocloud_dc.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecocloud_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecocloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_dc.dir/datacenter.cpp.o"
+  "CMakeFiles/ecocloud_dc.dir/datacenter.cpp.o.d"
+  "CMakeFiles/ecocloud_dc.dir/power.cpp.o"
+  "CMakeFiles/ecocloud_dc.dir/power.cpp.o.d"
+  "CMakeFiles/ecocloud_dc.dir/server.cpp.o"
+  "CMakeFiles/ecocloud_dc.dir/server.cpp.o.d"
+  "libecocloud_dc.a"
+  "libecocloud_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecocloud_dc.
+# This may be replaced when dependencies are built.

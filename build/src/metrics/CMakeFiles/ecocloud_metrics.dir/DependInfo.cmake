@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/ecocloud_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/ecocloud_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/episode_summary.cpp" "src/metrics/CMakeFiles/ecocloud_metrics.dir/episode_summary.cpp.o" "gcc" "src/metrics/CMakeFiles/ecocloud_metrics.dir/episode_summary.cpp.o.d"
+  "/root/repo/src/metrics/event_log.cpp" "src/metrics/CMakeFiles/ecocloud_metrics.dir/event_log.cpp.o" "gcc" "src/metrics/CMakeFiles/ecocloud_metrics.dir/event_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecocloud_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecocloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecocloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/ecocloud_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecocloud_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecocloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecocloud_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_metrics.dir/collector.cpp.o"
+  "CMakeFiles/ecocloud_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/ecocloud_metrics.dir/episode_summary.cpp.o"
+  "CMakeFiles/ecocloud_metrics.dir/episode_summary.cpp.o.d"
+  "CMakeFiles/ecocloud_metrics.dir/event_log.cpp.o"
+  "CMakeFiles/ecocloud_metrics.dir/event_log.cpp.o.d"
+  "libecocloud_metrics.a"
+  "libecocloud_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multires/multi_resource.cpp" "src/multires/CMakeFiles/ecocloud_multires.dir/multi_resource.cpp.o" "gcc" "src/multires/CMakeFiles/ecocloud_multires.dir/multi_resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecocloud_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecocloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecocloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecocloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/ecocloud_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecocloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecocloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

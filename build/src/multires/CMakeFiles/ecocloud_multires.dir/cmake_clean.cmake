@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_multires.dir/multi_resource.cpp.o"
+  "CMakeFiles/ecocloud_multires.dir/multi_resource.cpp.o.d"
+  "libecocloud_multires.a"
+  "libecocloud_multires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_multires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_net.dir/topology.cpp.o"
+  "CMakeFiles/ecocloud_net.dir/topology.cpp.o.d"
+  "libecocloud_net.a"
+  "libecocloud_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

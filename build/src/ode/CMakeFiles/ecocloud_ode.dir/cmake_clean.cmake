@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_ode.dir/fluid_model.cpp.o"
+  "CMakeFiles/ecocloud_ode.dir/fluid_model.cpp.o.d"
+  "CMakeFiles/ecocloud_ode.dir/poisson_binomial.cpp.o"
+  "CMakeFiles/ecocloud_ode.dir/poisson_binomial.cpp.o.d"
+  "CMakeFiles/ecocloud_ode.dir/solver.cpp.o"
+  "CMakeFiles/ecocloud_ode.dir/solver.cpp.o.d"
+  "libecocloud_ode.a"
+  "libecocloud_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_scenario.dir/config_io.cpp.o"
+  "CMakeFiles/ecocloud_scenario.dir/config_io.cpp.o.d"
+  "CMakeFiles/ecocloud_scenario.dir/replication.cpp.o"
+  "CMakeFiles/ecocloud_scenario.dir/replication.cpp.o.d"
+  "CMakeFiles/ecocloud_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/ecocloud_scenario.dir/scenario.cpp.o.d"
+  "libecocloud_scenario.a"
+  "libecocloud_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

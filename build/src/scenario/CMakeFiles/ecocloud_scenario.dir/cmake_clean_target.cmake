@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecocloud_scenario.a"
+)

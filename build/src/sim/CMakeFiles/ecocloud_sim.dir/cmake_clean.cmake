@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ecocloud_sim.dir/simulator.cpp.o.d"
+  "libecocloud_sim.a"
+  "libecocloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

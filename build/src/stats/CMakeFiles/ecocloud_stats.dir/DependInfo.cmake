@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/ecocloud_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/ecocloud_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/ecocloud_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/ecocloud_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/ecocloud_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/ecocloud_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/rate_window.cpp" "src/stats/CMakeFiles/ecocloud_stats.dir/rate_window.cpp.o" "gcc" "src/stats/CMakeFiles/ecocloud_stats.dir/rate_window.cpp.o.d"
+  "/root/repo/src/stats/time_series.cpp" "src/stats/CMakeFiles/ecocloud_stats.dir/time_series.cpp.o" "gcc" "src/stats/CMakeFiles/ecocloud_stats.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecocloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

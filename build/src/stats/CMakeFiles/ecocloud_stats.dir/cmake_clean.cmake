@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_stats.dir/confidence.cpp.o"
+  "CMakeFiles/ecocloud_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/ecocloud_stats.dir/histogram.cpp.o"
+  "CMakeFiles/ecocloud_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/ecocloud_stats.dir/quantile.cpp.o"
+  "CMakeFiles/ecocloud_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/ecocloud_stats.dir/rate_window.cpp.o"
+  "CMakeFiles/ecocloud_stats.dir/rate_window.cpp.o.d"
+  "CMakeFiles/ecocloud_stats.dir/time_series.cpp.o"
+  "CMakeFiles/ecocloud_stats.dir/time_series.cpp.o.d"
+  "libecocloud_stats.a"
+  "libecocloud_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

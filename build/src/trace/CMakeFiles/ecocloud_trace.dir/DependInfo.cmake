@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/arrivals.cpp" "src/trace/CMakeFiles/ecocloud_trace.dir/arrivals.cpp.o" "gcc" "src/trace/CMakeFiles/ecocloud_trace.dir/arrivals.cpp.o.d"
+  "/root/repo/src/trace/diurnal.cpp" "src/trace/CMakeFiles/ecocloud_trace.dir/diurnal.cpp.o" "gcc" "src/trace/CMakeFiles/ecocloud_trace.dir/diurnal.cpp.o.d"
+  "/root/repo/src/trace/planetlab_io.cpp" "src/trace/CMakeFiles/ecocloud_trace.dir/planetlab_io.cpp.o" "gcc" "src/trace/CMakeFiles/ecocloud_trace.dir/planetlab_io.cpp.o.d"
+  "/root/repo/src/trace/rate_estimator.cpp" "src/trace/CMakeFiles/ecocloud_trace.dir/rate_estimator.cpp.o" "gcc" "src/trace/CMakeFiles/ecocloud_trace.dir/rate_estimator.cpp.o.d"
+  "/root/repo/src/trace/trace_set.cpp" "src/trace/CMakeFiles/ecocloud_trace.dir/trace_set.cpp.o" "gcc" "src/trace/CMakeFiles/ecocloud_trace.dir/trace_set.cpp.o.d"
+  "/root/repo/src/trace/workload_model.cpp" "src/trace/CMakeFiles/ecocloud_trace.dir/workload_model.cpp.o" "gcc" "src/trace/CMakeFiles/ecocloud_trace.dir/workload_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecocloud_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecocloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecocloud_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_trace.dir/arrivals.cpp.o"
+  "CMakeFiles/ecocloud_trace.dir/arrivals.cpp.o.d"
+  "CMakeFiles/ecocloud_trace.dir/diurnal.cpp.o"
+  "CMakeFiles/ecocloud_trace.dir/diurnal.cpp.o.d"
+  "CMakeFiles/ecocloud_trace.dir/planetlab_io.cpp.o"
+  "CMakeFiles/ecocloud_trace.dir/planetlab_io.cpp.o.d"
+  "CMakeFiles/ecocloud_trace.dir/rate_estimator.cpp.o"
+  "CMakeFiles/ecocloud_trace.dir/rate_estimator.cpp.o.d"
+  "CMakeFiles/ecocloud_trace.dir/trace_set.cpp.o"
+  "CMakeFiles/ecocloud_trace.dir/trace_set.cpp.o.d"
+  "CMakeFiles/ecocloud_trace.dir/workload_model.cpp.o"
+  "CMakeFiles/ecocloud_trace.dir/workload_model.cpp.o.d"
+  "libecocloud_trace.a"
+  "libecocloud_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecocloud_util.dir/csv.cpp.o"
+  "CMakeFiles/ecocloud_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ecocloud_util.dir/key_value.cpp.o"
+  "CMakeFiles/ecocloud_util.dir/key_value.cpp.o.d"
+  "CMakeFiles/ecocloud_util.dir/rng.cpp.o"
+  "CMakeFiles/ecocloud_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ecocloud_util.dir/string_util.cpp.o"
+  "CMakeFiles/ecocloud_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/ecocloud_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ecocloud_util.dir/thread_pool.cpp.o.d"
+  "libecocloud_util.a"
+  "libecocloud_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecocloud_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

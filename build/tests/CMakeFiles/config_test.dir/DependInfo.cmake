@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/config_test.cpp" "tests/CMakeFiles/config_test.dir/config_test.cpp.o" "gcc" "tests/CMakeFiles/config_test.dir/config_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/ecocloud_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/multires/CMakeFiles/ecocloud_multires.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ecocloud_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ecocloud_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/ecocloud_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecocloud_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ecocloud_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecocloud_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecocloud_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dc/CMakeFiles/ecocloud_dc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecocloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecocloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multires_test.dir/multires_test.cpp.o"
+  "CMakeFiles/multires_test.dir/multires_test.cpp.o.d"
+  "multires_test"
+  "multires_test.pdb"
+  "multires_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multires_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
