@@ -153,6 +153,32 @@ int run_daily(Options& options) {
               static_cast<unsigned long long>(daily.ecocloud()->messages().total()),
               static_cast<unsigned long long>(
                   daily.ecocloud()->messages().invitations_sent));
+  if (const auto* injector = daily.fault_injector()) {
+    const auto& r = injector->stats();
+    std::printf("faults            %llu crashes / %llu repairs; "
+                "%llu orphans (%llu redeployed, %llu abandoned)\n",
+                static_cast<unsigned long long>(r.crashes()),
+                static_cast<unsigned long long>(r.repairs()),
+                static_cast<unsigned long long>(r.orphaned_vms()),
+                static_cast<unsigned long long>(r.redeployed_vms()),
+                static_cast<unsigned long long>(r.abandoned_vms()));
+    std::printf("                  %llu migrations interrupted, %llu aborted, "
+                "%llu boot failures; %llu messages lost\n",
+                static_cast<unsigned long long>(
+                    daily.ecocloud()->interrupted_migrations()),
+                static_cast<unsigned long long>(
+                    daily.ecocloud()->aborted_migrations()),
+                static_cast<unsigned long long>(daily.ecocloud()->boot_failures()),
+                static_cast<unsigned long long>(
+                    daily.ecocloud()->messages().invitations_lost +
+                    daily.ecocloud()->messages().replies_lost));
+    std::printf("availability      %.6f%% (%.1f VM-min downtime, "
+                "median redeploy %.1f s)\n",
+                100.0 * injector->availability(),
+                r.downtime_vm_seconds() / 60.0,
+                r.redeployed_vms() > 0 ? r.redeploy_quantiles().quantile(0.5)
+                                       : 0.0);
+  }
   if (csv_path) write_series_csv(*csv_path, daily.collector());
   if (events_path) {
     std::ofstream out(*events_path);
@@ -237,6 +263,13 @@ int help_config() {
       "             migration_latency_s, boot_time_s, grace_period_s,\n"
       "             hibernate_delay_s, require_fit, enable_migrations,\n"
       "             invite_group_size\n"
+      "  faults:    under a [faults] section (or faults.-prefixed):\n"
+      "             server_mtbf_s, server_mttr_s, migration_abort_prob,\n"
+      "             boot_failure_prob, max_boot_retries,\n"
+      "             invitation_loss_prob, reply_loss_prob, max_invite_rounds,\n"
+      "             redeploy_delay_s, redeploy_backoff_s,\n"
+      "             redeploy_backoff_max_s, redeploy_max_attempts,\n"
+      "             schedule (e.g. crash 10-20 3600 600, repair 5 7200)\n"
       "\n"
       "consolidation config keys:\n"
       "  servers, cores_per_server, core_mhz, initial_vms, horizon_hours,\n"

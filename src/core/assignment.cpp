@@ -75,9 +75,25 @@ AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,
   AssignmentResult result;
   result.contacted = contacted.size();
 
+  // A lossy control plane can drop an invitation (the server never answers)
+  // or a volunteer reply (the server answered in vain). Both directions are
+  // billed as sent — the message left its sender — but only received
+  // replies enter the draw.
+  std::uint64_t replies_sent = 0;
+  std::uint64_t invitations_lost = 0;
+  std::uint64_t replies_lost = 0;
   std::vector<dc::ServerId> volunteers;
   for (dc::ServerId id : contacted) {
+    if (faults_ && faults_->drop_invitation && faults_->drop_invitation()) {
+      ++invitations_lost;
+      continue;
+    }
     if (server_accepts(datacenter.server(id), now, vm_demand_mhz, vm_ram_mb, fa)) {
+      ++replies_sent;
+      if (faults_ && faults_->drop_reply && faults_->drop_reply()) {
+        ++replies_lost;
+        continue;
+      }
       volunteers.push_back(id);
     }
   }
@@ -88,7 +104,9 @@ AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,
   if (log_) {
     ++log_->invitation_rounds;
     log_->invitations_sent += result.contacted;
-    log_->volunteer_replies += result.volunteers;
+    log_->volunteer_replies += replies_sent;
+    log_->invitations_lost += invitations_lost;
+    log_->replies_lost += replies_lost;
   }
   return result;
 }

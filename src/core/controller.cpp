@@ -40,7 +40,19 @@ void EcoCloudController::reset_counters() {
   high_migrations_ = 0;
   assignment_failures_ = 0;
   wake_ups_ = 0;
+  aborted_migrations_ = 0;
+  interrupted_migrations_ = 0;
+  boot_failures_ = 0;
   messages_.reset();
+}
+
+void EcoCloudController::set_fault_hooks(const FaultHooks* hooks) {
+  faults_ = hooks;
+  assignment_.set_fault_hooks(hooks);
+}
+
+void EcoCloudController::set_orphan_handler(std::function<void(dc::VmId)> handler) {
+  orphan_handler_ = std::move(handler);
 }
 
 bool EcoCloudController::deploy_vm(dc::VmId vm) {
@@ -49,19 +61,27 @@ bool EcoCloudController::deploy_vm(dc::VmId vm) {
   util::require(!machine.placed(), "deploy_vm: VM already placed");
   util::require(queued_on_.find(vm) == queued_on_.end(), "deploy_vm: VM already queued");
 
-  // With a topology, the manager broadcasts to one random rack only
-  // (footnote 1); otherwise to every active server.
-  const std::vector<dc::ServerId>* subset =
-      topology_ ? &topology_->servers_in_rack(rng_.index(topology_->num_racks()))
-                : nullptr;
-  const AssignmentResult result =
-      assignment_.invite(dc_, now, machine.demand_mhz, machine.ram_mb,
-                         /*ta_override=*/-1.0, dc::kNoServer, subset);
-  if (result.server) {
-    dc_.place_vm(now, vm, *result.server);
-    ++messages_.placement_commands;
-    if (events_.on_assignment) events_.on_assignment(now, vm, *result.server);
-    return true;
+  // With a lossy control plane a silent round may just mean every reply
+  // was dropped, so the manager repeats the invitation before concluding
+  // the active set is saturated. One round is the paper's protocol.
+  const std::size_t rounds =
+      faults_ ? std::max<std::size_t>(std::size_t{1}, faults_->max_invite_rounds)
+              : std::size_t{1};
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // With a topology, the manager broadcasts to one random rack only
+    // (footnote 1); otherwise to every active server.
+    const std::vector<dc::ServerId>* subset =
+        topology_ ? &topology_->servers_in_rack(rng_.index(topology_->num_racks()))
+                  : nullptr;
+    const AssignmentResult result =
+        assignment_.invite(dc_, now, machine.demand_mhz, machine.ram_mb,
+                           /*ta_override=*/-1.0, dc::kNoServer, subset);
+    if (result.server) {
+      dc_.place_vm(now, vm, *result.server);
+      ++messages_.placement_commands;
+      if (events_.on_assignment) events_.on_assignment(now, vm, *result.server);
+      return true;
+    }
   }
 
   // Every active server declined: the load is outgrowing the active set.
@@ -99,8 +119,11 @@ std::optional<dc::ServerId> EcoCloudController::wake_one_server() {
   dc_.start_booting(now, chosen);
   ++wake_ups_;
   ++messages_.wake_commands;
-  boot_queues_[chosen].finish_at = now + params_.boot_time_s;
-  sim_.schedule_after(params_.boot_time_s, [this, chosen] { on_boot_finished(chosen); });
+  BootQueue& queue = boot_queues_[chosen];
+  queue.finish_at = now + params_.boot_time_s;
+  queue.boot_attempts = 1;
+  queue.boot_event = sim_.schedule_after(params_.boot_time_s,
+                                         [this, chosen] { on_boot_finished(chosen); });
   return chosen;
 }
 
@@ -124,6 +147,30 @@ void EcoCloudController::queue_vm(dc::ServerId booting_server, dc::VmId vm) {
 
 void EcoCloudController::on_boot_finished(dc::ServerId s) {
   const sim::SimTime now = sim_.now();
+
+  if (faults_ && faults_->boot_fails && faults_->boot_fails(s)) {
+    ++boot_failures_;
+    BootQueue& queue = boot_queues_[s];
+    if (queue.boot_attempts <= faults_->max_boot_retries) {
+      // Hung boot: the watchdog power-cycles the machine and tries again.
+      // Inbound migrations cannot outwait the new deadline reliably, so
+      // they are rolled back to their sources.
+      ++queue.boot_attempts;
+      queue.finish_at = now + params_.boot_time_s;
+      queue.boot_event = sim_.schedule_after(
+          params_.boot_time_s, [this, s] { on_boot_finished(s); });
+      rollback_migrations_touching(s);
+      return;
+    }
+    // Out of retries: the server is dead. Its queued VMs fall back to the
+    // assignment procedure, which wakes a *different* server if needed.
+    const std::vector<dc::VmId> orphans = fail_server(s);
+    if (!orphan_handler_) {
+      for (dc::VmId vm : orphans) deploy_vm(vm);
+    }
+    return;
+  }
+
   dc_.finish_booting(now, s);
   dc_.server_mutable(s).set_grace_until(now + params_.grace_period_s);
   if (events_.on_activation) events_.on_activation(now, s);
@@ -147,6 +194,7 @@ void EcoCloudController::on_boot_finished(dc::ServerId s) {
 void EcoCloudController::depart_vm(dc::VmId vm) {
   const sim::SimTime now = sim_.now();
   const dc::Vm& machine = dc_.vm(vm);
+  if (events_.on_vm_departed) events_.on_vm_departed(now, vm);
 
   if (auto it = queued_on_.find(vm); it != queued_on_.end()) {
     BootQueue& queue = boot_queues_[it->second];
@@ -156,7 +204,13 @@ void EcoCloudController::depart_vm(dc::VmId vm) {
     return;
   }
 
-  if (machine.migrating()) dc_.cancel_migration(now, vm);
+  if (machine.migrating()) {
+    if (auto flight = inflight_.find(vm); flight != inflight_.end()) {
+      flight->second.done.cancel();
+      inflight_.erase(flight);
+    }
+    dc_.cancel_migration(now, vm);
+  }
   if (machine.placed()) {
     const dc::ServerId host = machine.host;
     dc_.unplace_vm(now, vm);
@@ -246,18 +300,34 @@ void EcoCloudController::start_migration(dc::VmId vm, dc::ServerId dest, bool is
   dc_.begin_migration(now, vm, dest);
   ++messages_.migration_commands;
   if (events_.on_migration_start) events_.on_migration_start(now, vm, is_high);
-  sim_.schedule_at(complete_at,
-                   [this, vm, dest, is_high] { finish_migration(vm, dest, is_high); });
+  Inflight flight;
+  flight.dest = dest;
+  flight.is_high = is_high;
+  flight.will_abort =
+      faults_ && faults_->migration_aborts && faults_->migration_aborts(vm);
+  flight.done = sim_.schedule_at(complete_at, [this, vm] { finish_migration(vm); });
+  inflight_[vm] = std::move(flight);
 }
 
-void EcoCloudController::finish_migration(dc::VmId vm, dc::ServerId expected_dest,
-                                          bool is_high) {
-  const dc::Vm& machine = dc_.vm(vm);
-  // The VM may have departed (migration cancelled) in the meantime.
-  if (!machine.migrating() || machine.migrating_to != expected_dest) return;
+void EcoCloudController::finish_migration(dc::VmId vm) {
+  // The flight record disappears when the migration is rolled back; its
+  // completion event is cancelled with it, so a missing entry means a
+  // stale event that slipped through — ignore it.
+  const auto it = inflight_.find(vm);
+  if (it == inflight_.end()) return;
+  const bool is_high = it->second.is_high;
+  const bool will_abort = it->second.will_abort;
+  inflight_.erase(it);
 
   const sim::SimTime now = sim_.now();
-  const dc::ServerId source = machine.host;
+  if (will_abort) {
+    dc_.cancel_migration(now, vm);
+    ++aborted_migrations_;
+    if (events_.on_migration_aborted) events_.on_migration_aborted(now, vm, is_high);
+    return;
+  }
+
+  const dc::ServerId source = dc_.vm(vm).host;
   dc_.complete_migration(now, vm);
   if (is_high) {
     ++high_migrations_;
@@ -266,6 +336,68 @@ void EcoCloudController::finish_migration(dc::VmId vm, dc::ServerId expected_des
   }
   if (events_.on_migration_complete) events_.on_migration_complete(now, vm, is_high);
   if (dc_.server(source).empty()) schedule_hibernation_check(source);
+}
+
+void EcoCloudController::rollback_migration(dc::VmId vm, bool counts_as_interrupted) {
+  const auto it = inflight_.find(vm);
+  util::ensure(it != inflight_.end(), "rollback_migration: no such flight");
+  const bool is_high = it->second.is_high;
+  it->second.done.cancel();
+  inflight_.erase(it);
+  dc_.cancel_migration(sim_.now(), vm);
+  if (counts_as_interrupted) {
+    ++interrupted_migrations_;
+  } else {
+    ++aborted_migrations_;
+  }
+  if (events_.on_migration_aborted) {
+    events_.on_migration_aborted(sim_.now(), vm, is_high);
+  }
+}
+
+void EcoCloudController::rollback_migrations_touching(dc::ServerId server) {
+  std::vector<dc::VmId> touching;
+  for (const auto& [vm, flight] : inflight_) {
+    if (flight.dest == server || dc_.vm(vm).host == server) touching.push_back(vm);
+  }
+  for (dc::VmId vm : touching) rollback_migration(vm, /*counts_as_interrupted=*/true);
+}
+
+std::vector<dc::VmId> EcoCloudController::fail_server(dc::ServerId server) {
+  const sim::SimTime now = sim_.now();
+  util::require(!dc_.server(server).failed(), "fail_server: server already failed");
+
+  // Roll back in-flight migrations first: a VM headed here stays on its
+  // source; a VM leaving here dies with the host and is re-deployed like
+  // any other orphan.
+  rollback_migrations_touching(server);
+
+  // A booting server takes its queue down with it.
+  std::vector<dc::VmId> orphans;
+  if (auto it = boot_queues_.find(server); it != boot_queues_.end()) {
+    it->second.boot_event.cancel();
+    for (dc::VmId vm : it->second.vms) {
+      queued_on_.erase(vm);
+      orphans.push_back(vm);
+    }
+    boot_queues_.erase(it);
+  }
+
+  const std::vector<dc::VmId> hosted = dc_.fail_server(now, server);
+  orphans.insert(orphans.end(), hosted.begin(), hosted.end());
+
+  if (events_.on_server_failed) events_.on_server_failed(now, server);
+  for (dc::VmId vm : orphans) {
+    if (events_.on_vm_orphaned) events_.on_vm_orphaned(now, vm, server);
+    if (orphan_handler_) orphan_handler_(vm);
+  }
+  return orphans;
+}
+
+void EcoCloudController::repair_server(dc::ServerId server) {
+  const sim::SimTime now = sim_.now();
+  dc_.repair_server(now, server);
+  if (events_.on_server_repaired) events_.on_server_repaired(now, server);
 }
 
 void EcoCloudController::schedule_hibernation_check(dc::ServerId s) {

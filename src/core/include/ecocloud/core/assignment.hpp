@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "ecocloud/core/fault_hooks.hpp"
 #include "ecocloud/core/message_log.hpp"
 #include "ecocloud/core/params.hpp"
 #include "ecocloud/core/probability.hpp"
@@ -64,11 +65,17 @@ class AssignmentProcedure {
   /// owned; must outlive the procedure while attached.
   void set_message_log(MessageLog* log) { log_ = log; }
 
+  /// Attach fault hooks (nullptr to detach): drop_invitation/drop_reply
+  /// make the control plane lossy. Not owned; must outlive the procedure
+  /// while attached.
+  void set_fault_hooks(const FaultHooks* hooks) { faults_ = hooks; }
+
  private:
   const EcoCloudParams& params_;
   util::Rng& rng_;
   AssignmentFunction fa_;
   MessageLog* log_ = nullptr;
+  const FaultHooks* faults_ = nullptr;
 };
 
 }  // namespace ecocloud::core

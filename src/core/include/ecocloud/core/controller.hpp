@@ -12,6 +12,14 @@
 /// It owns no placement state — that lives in DataCenter — and reports
 /// everything observable through optional event callbacks, which the
 /// metrics module subscribes to.
+///
+/// The controller also carries the recovery half of the fault model
+/// (src/faults): fail-stop crashes roll back the migrations touching the
+/// dead server and orphan its VMs into a redeploy path, failed boots are
+/// retried a bounded number of times before falling back to a different
+/// server, and a lossy control plane is tolerated by repeating invitation
+/// rounds. With no fault hooks installed every failure path is dead code
+/// and the event stream is identical to the fault-free build.
 
 #include <cstdint>
 #include <functional>
@@ -20,6 +28,7 @@
 #include <vector>
 
 #include "ecocloud/core/assignment.hpp"
+#include "ecocloud/core/fault_hooks.hpp"
 #include "ecocloud/core/migration.hpp"
 #include "ecocloud/core/params.hpp"
 #include "ecocloud/dc/datacenter.hpp"
@@ -40,6 +49,17 @@ class EcoCloudController {
     std::function<void(sim::SimTime, dc::VmId, bool is_high)> on_migration_complete;
     std::function<void(sim::SimTime, dc::ServerId)> on_activation;
     std::function<void(sim::SimTime, dc::ServerId)> on_hibernation;
+    /// Fired at the start of every departure, before any state is touched
+    /// (the faults module drops departing orphans from its redeploy queue).
+    std::function<void(sim::SimTime, dc::VmId)> on_vm_departed;
+    // --- Failure-path events (only fired when faults are injected) ---
+    std::function<void(sim::SimTime, dc::ServerId)> on_server_failed;
+    std::function<void(sim::SimTime, dc::ServerId)> on_server_repaired;
+    /// A VM lost its host to a crash and left the placement.
+    std::function<void(sim::SimTime, dc::VmId, dc::ServerId)> on_vm_orphaned;
+    /// An in-flight migration was rolled back (transfer abort or a crash
+    /// of either endpoint); the VM stays on its source if that survives.
+    std::function<void(sim::SimTime, dc::VmId, bool is_high)> on_migration_aborted;
   };
 
   EcoCloudController(sim::Simulator& simulator, dc::DataCenter& datacenter,
@@ -61,6 +81,28 @@ class EcoCloudController {
   /// not grant the post-boot grace period unless \p with_grace).
   void force_activate(dc::ServerId server, bool with_grace = false);
 
+  /// Fail-stop crash of \p server. Rolls back every in-flight migration
+  /// touching it (destinations keep nothing, sources keep their VM),
+  /// cancels a pending boot, and orphans both hosted and boot-queued VMs.
+  /// Orphans are handed to the orphan handler when one is installed (the
+  /// faults module's redeploy queue) and returned either way.
+  std::vector<dc::VmId> fail_server(dc::ServerId server);
+
+  /// Repair a failed server: it rejoins as hibernated and becomes eligible
+  /// for the normal wake-up path again.
+  void repair_server(dc::ServerId server);
+
+  /// Install fault hooks (nullptr to detach): lossy control plane, boot
+  /// failures, migration aborts. Also forwarded to the assignment
+  /// procedure. Not owned; must outlive the controller while attached.
+  void set_fault_hooks(const FaultHooks* hooks);
+
+  /// Install the recovery policy for crash orphans (empty to reset to the
+  /// default, which retries deploy_vm once, immediately). The handler runs
+  /// inside fail_server; implementations should defer real work through
+  /// the simulator rather than re-entering the controller synchronously.
+  void set_orphan_handler(std::function<void(dc::VmId)> handler);
+
   [[nodiscard]] const EcoCloudParams& params() const { return params_; }
   [[nodiscard]] Events& events() { return events_; }
 
@@ -71,6 +113,14 @@ class EcoCloudController {
     return assignment_failures_;
   }
   [[nodiscard]] std::uint64_t wake_ups() const { return wake_ups_; }
+  /// Migrations rolled back by a transfer-abort fault.
+  [[nodiscard]] std::uint64_t aborted_migrations() const { return aborted_migrations_; }
+  /// Migrations rolled back because an endpoint crashed or its boot failed.
+  [[nodiscard]] std::uint64_t interrupted_migrations() const {
+    return interrupted_migrations_;
+  }
+  /// Failed boot attempts (each may be retried up to max_boot_retries).
+  [[nodiscard]] std::uint64_t boot_failures() const { return boot_failures_; }
   void reset_counters();
 
   /// Exposed for tests and extensions.
@@ -96,7 +146,13 @@ class EcoCloudController {
                                                 dc::ServerId dest) const;
   void start_migration(dc::VmId vm, dc::ServerId dest, bool is_high,
                        sim::SimTime complete_at);
-  void finish_migration(dc::VmId vm, dc::ServerId expected_dest, bool is_high);
+  void finish_migration(dc::VmId vm);
+  /// Cancel the in-flight migration of \p vm: release the destination
+  /// reservation, cancel the completion event, bump the right counter.
+  void rollback_migration(dc::VmId vm, bool counts_as_interrupted);
+  /// Roll back every in-flight migration whose source or destination is
+  /// \p server (crash and boot-failure handling).
+  void rollback_migrations_touching(dc::ServerId server);
   /// Pick a hibernated server and start booting it; returns its id.
   std::optional<dc::ServerId> wake_one_server();
   /// Try to queue \p vm on an already-booting server with room under Ta.
@@ -120,17 +176,38 @@ class EcoCloudController {
     std::vector<dc::VmId> vms;
     double queued_mhz = 0.0;
     sim::SimTime finish_at = 0.0;
+    /// Pending boot-completion event (cancelled when the server crashes).
+    sim::EventHandle boot_event;
+    /// Boot attempts so far (faults: retried up to max_boot_retries).
+    std::size_t boot_attempts = 1;
+  };
+
+  /// An in-flight live migration, keyed by VM in inflight_.
+  struct Inflight {
+    dc::ServerId dest = dc::kNoServer;
+    bool is_high = false;
+    /// Decided at start by the migration_aborts hook: the transfer will
+    /// fail at its completion time instead of landing.
+    bool will_abort = false;
+    sim::EventHandle done;
   };
 
   /// Booting server with room for an inbound migration of \p demand_mhz.
   std::optional<dc::ServerId> booting_with_room(double demand_mhz) const;
   std::unordered_map<dc::ServerId, BootQueue> boot_queues_;
   std::unordered_map<dc::VmId, dc::ServerId> queued_on_;
+  std::unordered_map<dc::VmId, Inflight> inflight_;
+
+  const FaultHooks* faults_ = nullptr;
+  std::function<void(dc::VmId)> orphan_handler_;
 
   std::uint64_t low_migrations_ = 0;
   std::uint64_t high_migrations_ = 0;
   std::uint64_t assignment_failures_ = 0;
   std::uint64_t wake_ups_ = 0;
+  std::uint64_t aborted_migrations_ = 0;
+  std::uint64_t interrupted_migrations_ = 0;
+  std::uint64_t boot_failures_ = 0;
   bool started_ = false;
 };
 

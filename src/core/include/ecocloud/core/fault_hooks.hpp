@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file fault_hooks.hpp
+/// \brief Injection points through which a fault model perturbs the
+/// control plane and the infrastructure.
+///
+/// The core procedures stay fault-agnostic: each hook is optional, and an
+/// empty hook means "never fails", which keeps the faults-off event stream
+/// bit-identical to a build without the faults library. The faults module
+/// installs implementations backed by its own seeded RNG stream, so
+/// enabling faults never perturbs the algorithm's random decisions either.
+
+#include <cstddef>
+#include <functional>
+
+#include "ecocloud/dc/ids.hpp"
+
+namespace ecocloud::core {
+
+struct FaultHooks {
+  /// Sampled once per invitation message: true = the server never receives
+  /// the invitation (it cannot volunteer).
+  std::function<bool()> drop_invitation;
+
+  /// Sampled once per volunteer reply: true = the manager never receives
+  /// the answer (the server volunteered in vain).
+  std::function<bool()> drop_reply;
+
+  /// Sampled when a boot timer expires: true = the boot attempt failed and
+  /// the controller retries (up to max_boot_retries) before declaring the
+  /// server dead.
+  std::function<bool(dc::ServerId)> boot_fails;
+
+  /// Sampled when a live migration is committed: true = the transfer will
+  /// abort instead of completing (rolled back at the source).
+  std::function<bool(dc::VmId)> migration_aborts;
+
+  /// Boot attempts before a persistently failing server is marked failed.
+  std::size_t max_boot_retries = 2;
+
+  /// Invitation rounds per deployment before falling back to the wake-up
+  /// path. 1 reproduces the paper's protocol; >1 tolerates a round whose
+  /// replies were all lost without wrongly declaring saturation.
+  std::size_t max_invite_rounds = 1;
+};
+
+}  // namespace ecocloud::core

@@ -36,6 +36,14 @@ struct MessageLog {
   /// was found).
   std::uint64_t migration_commands = 0;
 
+  /// Invitations that left the manager but never reached a server (lossy
+  /// control plane; counted within invitations_sent as well).
+  std::uint64_t invitations_lost = 0;
+
+  /// Volunteer replies that left a server but never reached the manager
+  /// (counted within volunteer_replies as well).
+  std::uint64_t replies_lost = 0;
+
   [[nodiscard]] std::uint64_t total() const {
     return invitations_sent + volunteer_replies + placement_commands +
            wake_commands + migration_commands;

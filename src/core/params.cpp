@@ -1,10 +1,21 @@
 #include "ecocloud/core/params.hpp"
 
+#include <cmath>
+
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::core {
 
 void EcoCloudParams::validate() const {
+  // Infinities sail through one-sided range checks, and NaNs through some;
+  // every numeric knob must be finite before the ranges mean anything.
+  for (double value : {ta, p, tl, th, alpha, beta, high_dest_factor,
+                       monitor_period_s, migration_cooldown_s,
+                       migration_latency_s, boot_time_s, grace_period_s,
+                       hibernate_delay_s}) {
+    util::require(std::isfinite(value),
+                  "EcoCloudParams: parameters must be finite");
+  }
   util::require(ta > 0.0 && ta <= 1.0, "EcoCloudParams: Ta must be in (0,1]");
   util::require(p > 0.0, "EcoCloudParams: p must be > 0");
   util::require(tl > 0.0 && tl < 1.0, "EcoCloudParams: Tl must be in (0,1)");

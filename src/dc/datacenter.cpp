@@ -74,6 +74,8 @@ void DataCenter::reset_accounting(sim::SimTime t) {
   activations_ = 0;
   hibernations_ = 0;
   migrations_ = 0;
+  failures_ = 0;
+  repairs_ = 0;
   max_inflight_ = inflight_;
 }
 
@@ -251,6 +253,56 @@ void DataCenter::hibernate(sim::SimTime t, ServerId s) {
   srv.set_state(ServerState::kHibernated);
   --active_count_;
   ++hibernations_;
+  refresh_server(t, s);
+}
+
+std::vector<VmId> DataCenter::fail_server(sim::SimTime t, ServerId s) {
+  advance_to(t);
+  Server& srv = servers_.at(s);
+  util::require(!srv.failed(), "DataCenter::fail_server: server already failed");
+  // Check the reservation *count*, not the float sum: out-of-order releases
+  // of concurrent reservations can leave sub-epsilon residue in the sum.
+  util::require(srv.reservation_count() == 0,
+                "DataCenter::fail_server: roll back inbound migrations first");
+  srv.clear_reservations();
+
+  // Orphan every hosted VM, settling its SLA attribution exactly as
+  // unplace_vm would. The vector is copied because unhosting mutates it.
+  const std::vector<VmId> orphans = srv.vms();
+  for (VmId v : orphans) {
+    Vm& machine = vms_.at(v);
+    util::require(!machine.migrating(),
+                  "DataCenter::fail_server: roll back outbound migrations first");
+    machine.overload_total_s +=
+        server_overload_seconds(s, t) - machine.overload_baseline_s;
+    srv.unhost_vm(v, machine.demand_mhz, machine.ram_mb);
+    machine.host = kNoServer;
+    total_demand_mhz_ -= machine.demand_mhz;
+    --placed_vm_count_;
+  }
+
+  switch (srv.state()) {
+    case ServerState::kActive: --active_count_; break;
+    case ServerState::kBooting: --booting_count_; break;
+    case ServerState::kHibernated: break;
+    case ServerState::kFailed: break;  // unreachable (checked above)
+  }
+  srv.set_state(ServerState::kFailed);
+  srv.set_grace_until(-1.0);
+  srv.set_migration_cooldown_until(-1.0);
+  ++failed_count_;
+  ++failures_;
+  refresh_server(t, s);
+  return orphans;
+}
+
+void DataCenter::repair_server(sim::SimTime t, ServerId s) {
+  advance_to(t);
+  Server& srv = servers_.at(s);
+  util::require(srv.failed(), "DataCenter::repair_server: server not failed");
+  srv.set_state(ServerState::kHibernated);
+  --failed_count_;
+  ++repairs_;
   refresh_server(t, s);
 }
 

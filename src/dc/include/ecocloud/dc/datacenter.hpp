@@ -142,11 +142,25 @@ class DataCenter {
   /// Active & empty -> Hibernated.
   void hibernate(sim::SimTime t, ServerId s);
 
+  /// Fail-stop crash: any non-failed state -> Failed. Every hosted VM is
+  /// unplaced (demand removed, SLA attribution settled) and returned so the
+  /// caller can drive re-deployment. The caller must first roll back every
+  /// in-flight migration touching the server — a failed server may hold
+  /// neither reservations nor migrating VMs.
+  std::vector<VmId> fail_server(sim::SimTime t, ServerId s);
+
+  /// Repair a failed server: Failed -> Hibernated (it comes back powered
+  /// off and rejoins through the normal wake-up path).
+  void repair_server(sim::SimTime t, ServerId s);
+
   // --- Lifetime switch counters --------------------------------------------
 
   [[nodiscard]] std::uint64_t total_activations() const { return activations_; }
   [[nodiscard]] std::uint64_t total_hibernations() const { return hibernations_; }
   [[nodiscard]] std::uint64_t total_migrations() const { return migrations_; }
+  [[nodiscard]] std::uint64_t total_failures() const { return failures_; }
+  [[nodiscard]] std::uint64_t total_repairs() const { return repairs_; }
+  [[nodiscard]] std::size_t failed_server_count() const { return failed_count_; }
 
   /// Migrations currently in flight, and the historical maximum — the
   /// paper's "simultaneous migration of many VMs" criticism of centralized
@@ -190,6 +204,9 @@ class DataCenter {
   std::uint64_t activations_ = 0;
   std::uint64_t hibernations_ = 0;
   std::uint64_t migrations_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::size_t failed_count_ = 0;
   std::size_t inflight_ = 0;
   std::size_t max_inflight_ = 0;
 };

@@ -21,6 +21,7 @@ enum class ServerState {
   kHibernated,  ///< Low-power sleep; hosts nothing.
   kBooting,     ///< Waking up; draws peak power, cannot host yet.
   kActive,      ///< Running; hosts VMs.
+  kFailed,      ///< Fail-stop crash; draws nothing, hosts nothing, awaiting repair.
 };
 
 [[nodiscard]] const char* to_string(ServerState state);
@@ -43,6 +44,7 @@ class Server {
   [[nodiscard]] bool active() const { return state_ == ServerState::kActive; }
   [[nodiscard]] bool hibernated() const { return state_ == ServerState::kHibernated; }
   [[nodiscard]] bool booting() const { return state_ == ServerState::kBooting; }
+  [[nodiscard]] bool failed() const { return state_ == ServerState::kFailed; }
 
   /// Total CPU demand of hosted VMs, in MHz.
   [[nodiscard]] double demand_mhz() const { return demand_mhz_; }
@@ -93,8 +95,20 @@ class Server {
   void host_vm(VmId vm, double demand_mhz, double ram_mb);
   void unhost_vm(VmId vm, double demand_mhz, double ram_mb);
   void change_demand(double delta_mhz);
-  void add_reservation(double mhz) { reserved_mhz_ += mhz; }
+  void add_reservation(double mhz) {
+    reserved_mhz_ += mhz;
+    ++reservation_count_;
+  }
   void remove_reservation(double mhz);
+  /// Open reservations backing reserved_mhz_. The float sum can carry
+  /// sub-epsilon residue when concurrent reservations release out of
+  /// order, so exact "no inbound migration" checks must use this count.
+  [[nodiscard]] std::size_t reservation_count() const { return reservation_count_; }
+  /// Drop all reservations, residue included (fail-stop teardown only).
+  void clear_reservations() {
+    reserved_mhz_ = 0.0;
+    reservation_count_ = 0;
+  }
 
  private:
   ServerId id_;
@@ -106,6 +120,7 @@ class Server {
   double demand_mhz_ = 0.0;
   double ram_used_mb_ = 0.0;
   double reserved_mhz_ = 0.0;
+  std::size_t reservation_count_ = 0;
   std::vector<VmId> vms_;
   sim::SimTime grace_until_ = -1.0;
   sim::SimTime migration_cooldown_until_ = -1.0;

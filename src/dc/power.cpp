@@ -40,6 +40,8 @@ double PowerModel::power_w(const Server& server) const {
       return peak_w(server.num_cores());
     case ServerState::kActive:
       return active_power_w(server.num_cores(), server.utilization());
+    case ServerState::kFailed:
+      return 0.0;  // fail-stop: the machine is dark until repaired
   }
   return 0.0;
 }

@@ -13,6 +13,7 @@ const char* to_string(ServerState state) {
     case ServerState::kHibernated: return "hibernated";
     case ServerState::kBooting: return "booting";
     case ServerState::kActive: return "active";
+    case ServerState::kFailed: return "failed";
   }
   return "unknown";
 }
@@ -65,6 +66,7 @@ void Server::change_demand(double delta_mhz) {
 
 void Server::remove_reservation(double mhz) {
   reserved_mhz_ -= mhz;
+  if (reservation_count_ > 0) --reservation_count_;
   if (reserved_mhz_ < 0.0) reserved_mhz_ = 0.0;
 }
 

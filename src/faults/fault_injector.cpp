@@ -1,0 +1,116 @@
+#include "ecocloud/faults/fault_injector.hpp"
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::faults {
+
+FaultInjector::FaultInjector(sim::Simulator& simulator, dc::DataCenter& datacenter,
+                             core::EcoCloudController& controller,
+                             FaultParams params, util::Rng rng)
+    : sim_(simulator),
+      dc_(datacenter),
+      controller_(controller),
+      model_(std::move(params), rng),
+      queue_(simulator, controller, model_.params(), stats_) {}
+
+FaultInjector::~FaultInjector() {
+  if (!started_) return;
+  controller_.set_fault_hooks(nullptr);
+  controller_.set_orphan_handler({});
+}
+
+void FaultInjector::start() {
+  util::ensure(!started_, "FaultInjector::start called twice");
+  started_ = true;
+
+  hooks_ = model_.make_hooks();
+  controller_.set_fault_hooks(&hooks_);
+  controller_.set_orphan_handler([this](dc::VmId vm) {
+    stats_.record_orphan();
+    queue_.add(vm);
+  });
+
+  // Departing orphans must leave the redeploy queue, or a later retry
+  // would redeploy a VM that no longer exists.
+  core::EcoCloudController::Events& events = controller_.events();
+  events.on_vm_departed = [this, chained = std::move(events.on_vm_departed)](
+                              sim::SimTime t, dc::VmId vm) {
+    queue_.forget(vm);
+    if (chained) chained(t, vm);
+  };
+
+  if (model_.random_crashes()) {
+    const std::size_t n = dc_.num_servers();
+    for (std::size_t s = 0; s < n; ++s) {
+      schedule_next_crash(static_cast<dc::ServerId>(s));
+    }
+  }
+  for (const ScriptedFault& fault : model_.params().schedule) {
+    sim_.schedule_at(fault.time, [this, fault] { apply_scripted(fault); });
+  }
+}
+
+void FaultInjector::finalize(sim::SimTime end) { queue_.finalize(end); }
+
+void FaultInjector::schedule_next_crash(dc::ServerId server) {
+  sim_.schedule_after(model_.time_to_failure(),
+                      [this, server] { on_crash_due(server); });
+}
+
+void FaultInjector::on_crash_due(dc::ServerId server) {
+  const dc::Server& srv = dc_.server(server);
+  if (!srv.active() && !srv.booting()) {
+    // Hibernated machines cannot crash and failed machines already did
+    // (scripted or manual); restart the memoryless clock either way.
+    schedule_next_crash(server);
+    return;
+  }
+  controller_.fail_server(server);
+  stats_.record_crash();
+  schedule_repair(server, model_.repair_time(), /*resume_crash_clock=*/true);
+}
+
+void FaultInjector::schedule_repair(dc::ServerId server, sim::SimTime delay_s,
+                                    bool resume_crash_clock) {
+  sim_.schedule_after(delay_s, [this, server, resume_crash_clock] {
+    // A scripted repair may have beaten this one; never repair twice.
+    if (dc_.server(server).failed()) {
+      controller_.repair_server(server);
+      stats_.record_repair();
+    }
+    if (resume_crash_clock) schedule_next_crash(server);
+  });
+}
+
+void FaultInjector::apply_scripted(const ScriptedFault& fault) {
+  for (dc::ServerId s = fault.first; s <= fault.last; ++s) {
+    if (static_cast<std::size_t>(s) >= dc_.num_servers()) break;
+    if (fault.kind == ScriptedFault::Kind::kCrash) {
+      if (dc_.server(s).failed()) continue;
+      controller_.fail_server(s);
+      stats_.record_crash();
+      const sim::SimTime delay =
+          fault.repair_after_s >= 0.0 ? fault.repair_after_s : model_.repair_time();
+      schedule_repair(s, delay, /*resume_crash_clock=*/false);
+    } else {
+      if (!dc_.server(s).failed()) continue;
+      controller_.repair_server(s);
+      stats_.record_repair();
+    }
+  }
+}
+
+void FaultInjector::crash_server(dc::ServerId server, sim::SimTime repair_after_s) {
+  controller_.fail_server(server);
+  stats_.record_crash();
+  if (repair_after_s >= 0.0) {
+    schedule_repair(server, repair_after_s, /*resume_crash_clock=*/false);
+  }
+}
+
+void FaultInjector::repair_server(dc::ServerId server) {
+  controller_.repair_server(server);
+  stats_.record_repair();
+}
+
+}  // namespace ecocloud::faults

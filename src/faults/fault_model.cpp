@@ -1,0 +1,181 @@
+#include "ecocloud/faults/fault_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "ecocloud/util/string_util.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::faults {
+
+namespace {
+
+/// Parse "7" or "10-20" into an inclusive server range.
+void parse_range(const std::string& token, dc::ServerId& first, dc::ServerId& last) {
+  const auto dash = token.find('-');
+  if (dash == std::string::npos) {
+    const long long id = util::parse_int(token);
+    util::require(id >= 0, "fault schedule: negative server id '" + token + "'");
+    first = last = static_cast<dc::ServerId>(id);
+    return;
+  }
+  const long long lo = util::parse_int(token.substr(0, dash));
+  const long long hi = util::parse_int(token.substr(dash + 1));
+  util::require(lo >= 0 && hi >= lo,
+                "fault schedule: bad server range '" + token + "'");
+  first = static_cast<dc::ServerId>(lo);
+  last = static_cast<dc::ServerId>(hi);
+}
+
+}  // namespace
+
+std::vector<ScriptedFault> parse_fault_schedule(const std::string& text) {
+  std::vector<ScriptedFault> schedule;
+  for (const std::string& raw : util::split(text, ',')) {
+    const std::string entry = util::trim(raw);
+    if (entry.empty()) continue;
+
+    std::istringstream in(entry);
+    std::string kind, range, time_s, extra, overflow;
+    in >> kind >> range >> time_s >> extra >> overflow;
+    util::require(!time_s.empty(),
+                  "fault schedule: entry '" + entry +
+                      "' needs at least '<kind> <servers> <time_s>'");
+    util::require(overflow.empty(),
+                  "fault schedule: trailing tokens in '" + entry + "'");
+
+    ScriptedFault fault;
+    if (kind == "crash") {
+      fault.kind = ScriptedFault::Kind::kCrash;
+      if (!extra.empty()) fault.repair_after_s = util::parse_double(extra);
+      util::require(std::isnan(fault.repair_after_s) == false &&
+                        (fault.repair_after_s < 0.0 ||
+                         std::isfinite(fault.repair_after_s)),
+                    "fault schedule: bad repair_after in '" + entry + "'");
+    } else if (kind == "repair") {
+      fault.kind = ScriptedFault::Kind::kRepair;
+      util::require(extra.empty(),
+                    "fault schedule: repair entries take no repair_after ('" +
+                        entry + "')");
+    } else {
+      throw std::invalid_argument("fault schedule: unknown kind '" + kind + "'");
+    }
+    parse_range(range, fault.first, fault.last);
+    fault.time = util::parse_double(time_s);
+    util::require(std::isfinite(fault.time) && fault.time >= 0.0,
+                  "fault schedule: bad time in '" + entry + "'");
+    schedule.push_back(fault);
+  }
+  return schedule;
+}
+
+std::string to_string(const std::vector<ScriptedFault>& schedule) {
+  std::ostringstream out;
+  bool first_entry = true;
+  for (const ScriptedFault& fault : schedule) {
+    if (!first_entry) out << ", ";
+    first_entry = false;
+    out << (fault.kind == ScriptedFault::Kind::kCrash ? "crash " : "repair ");
+    out << fault.first;
+    if (fault.last != fault.first) out << "-" << fault.last;
+    out << " " << fault.time;
+    if (fault.kind == ScriptedFault::Kind::kCrash && fault.repair_after_s >= 0.0) {
+      out << " " << fault.repair_after_s;
+    }
+  }
+  return out.str();
+}
+
+bool FaultParams::enabled() const {
+  return server_mtbf_s > 0.0 || migration_abort_prob > 0.0 ||
+         boot_failure_prob > 0.0 || invitation_loss_prob > 0.0 ||
+         reply_loss_prob > 0.0 || !schedule.empty();
+}
+
+void FaultParams::validate() const {
+  auto probability = [](double p, const char* name) {
+    util::require(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+                  std::string("FaultParams: ") + name + " must be in [0, 1]");
+  };
+  util::require(std::isfinite(server_mtbf_s) && server_mtbf_s >= 0.0,
+                "FaultParams: server_mtbf_s must be >= 0");
+  util::require(std::isfinite(server_mttr_s) && server_mttr_s > 0.0,
+                "FaultParams: server_mttr_s must be > 0");
+  probability(migration_abort_prob, "migration_abort_prob");
+  probability(boot_failure_prob, "boot_failure_prob");
+  probability(invitation_loss_prob, "invitation_loss_prob");
+  probability(reply_loss_prob, "reply_loss_prob");
+  util::require(max_invite_rounds >= 1,
+                "FaultParams: max_invite_rounds must be >= 1");
+  util::require(std::isfinite(redeploy_delay_s) && redeploy_delay_s >= 0.0,
+                "FaultParams: redeploy_delay_s must be >= 0");
+  util::require(std::isfinite(redeploy_backoff_s) && redeploy_backoff_s >= 0.0,
+                "FaultParams: redeploy_backoff_s must be >= 0");
+  util::require(std::isfinite(redeploy_backoff_max_s) &&
+                    redeploy_backoff_max_s >= redeploy_backoff_s,
+                "FaultParams: redeploy_backoff_max_s must be >= redeploy_backoff_s");
+  util::require(redeploy_max_attempts >= 1,
+                "FaultParams: redeploy_max_attempts must be >= 1");
+  for (const ScriptedFault& fault : schedule) {
+    util::require(std::isfinite(fault.time) && fault.time >= 0.0,
+                  "FaultParams: scripted fault times must be >= 0");
+    util::require(fault.last >= fault.first,
+                  "FaultParams: scripted fault range must be ordered");
+  }
+}
+
+FaultModel::FaultModel(FaultParams params, util::Rng rng)
+    : params_(params), rng_(rng) {
+  params_.validate();
+}
+
+sim::SimTime FaultModel::time_to_failure() {
+  util::require(params_.server_mtbf_s > 0.0,
+                "FaultModel: time_to_failure with crashes disabled");
+  return rng_.exponential(1.0 / params_.server_mtbf_s);
+}
+
+sim::SimTime FaultModel::repair_time() {
+  return rng_.exponential(1.0 / params_.server_mttr_s);
+}
+
+bool FaultModel::migration_aborts() {
+  return rng_.bernoulli(params_.migration_abort_prob);
+}
+
+bool FaultModel::boot_fails() { return rng_.bernoulli(params_.boot_failure_prob); }
+
+bool FaultModel::invitation_lost() {
+  return rng_.bernoulli(params_.invitation_loss_prob);
+}
+
+bool FaultModel::reply_lost() { return rng_.bernoulli(params_.reply_loss_prob); }
+
+core::FaultHooks FaultModel::make_hooks() {
+  core::FaultHooks hooks;
+  // Zero-probability processes get no hook at all: the controller's guard
+  // (`hook && hook(...)`) then skips both the call and the RNG draw, so
+  // partial fault configurations stay insensitive to the disabled knobs.
+  if (params_.invitation_loss_prob > 0.0) {
+    hooks.drop_invitation = [this] { return invitation_lost(); };
+  }
+  if (params_.reply_loss_prob > 0.0) {
+    hooks.drop_reply = [this] { return reply_lost(); };
+  }
+  if (params_.boot_failure_prob > 0.0) {
+    hooks.boot_fails = [this](dc::ServerId) { return boot_fails(); };
+  }
+  if (params_.migration_abort_prob > 0.0) {
+    hooks.migration_aborts = [this](dc::VmId) { return migration_aborts(); };
+  }
+  hooks.max_boot_retries = params_.max_boot_retries;
+  // Repeated rounds only make sense against a lossy control plane; with
+  // reliable messaging a second round would just duplicate traffic.
+  hooks.max_invite_rounds =
+      (params_.invitation_loss_prob > 0.0 || params_.reply_loss_prob > 0.0)
+          ? params_.max_invite_rounds
+          : 1;
+  return hooks;
+}
+
+}  // namespace ecocloud::faults

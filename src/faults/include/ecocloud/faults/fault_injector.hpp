@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file fault_injector.hpp
+/// \brief Drives the fault processes against a live simulation.
+///
+/// FaultInjector is the active half of the faults module. Construct it
+/// next to an EcoCloudController, call start() before deploying VMs, and
+/// it will:
+///
+///  * install the FaultModel's Bernoulli hooks (message loss, boot
+///    failures, migration aborts) into the controller;
+///  * install the RedeployQueue as the controller's orphan handler;
+///  * schedule a crash/repair renewal process per server (exponential
+///    MTBF/MTTR; the crash clock only ticks while a machine is powered);
+///  * schedule every scripted fault from the params.
+///
+/// Everything observable lands in the owned ResilienceStats. Call
+/// finalize() after the horizon to close the downtime of still-unplaced
+/// orphans. When no injector is created (FaultParams::enabled() false)
+/// the simulation runs the exact fault-free code paths.
+
+#include "ecocloud/core/controller.hpp"
+#include "ecocloud/dc/datacenter.hpp"
+#include "ecocloud/faults/fault_model.hpp"
+#include "ecocloud/faults/recovery.hpp"
+#include "ecocloud/metrics/resilience.hpp"
+#include "ecocloud/sim/simulator.hpp"
+
+namespace ecocloud::faults {
+
+class FaultInjector {
+ public:
+  /// \p rng should be a dedicated stream split off the experiment seed so
+  /// fault draws never interleave with workload or controller draws.
+  FaultInjector(sim::Simulator& simulator, dc::DataCenter& datacenter,
+                core::EcoCloudController& controller, FaultParams params,
+                util::Rng rng);
+
+  /// Detaches the hooks and orphan handler from the controller.
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Install hooks and schedule all fault processes. Call once, before
+  /// the first deploy_vm (message loss applies to initial placement too).
+  void start();
+
+  /// Close open orphan downtime at the end of the run.
+  void finalize(sim::SimTime end);
+
+  // --- Manual fault controls (tests, demos) --------------------------------
+
+  /// Crash \p server now. \p repair_after_s >= 0 schedules the repair;
+  /// negative leaves the server down until repair_server is called.
+  void crash_server(dc::ServerId server, sim::SimTime repair_after_s = -1.0);
+
+  /// Repair \p server now (it rejoins hibernated).
+  void repair_server(dc::ServerId server);
+
+  [[nodiscard]] const FaultParams& params() const { return model_.params(); }
+  [[nodiscard]] metrics::ResilienceStats& stats() { return stats_; }
+  [[nodiscard]] const metrics::ResilienceStats& stats() const { return stats_; }
+  [[nodiscard]] RedeployQueue& redeploy() { return queue_; }
+
+  /// Availability over the run so far: served / (served + downtime), with
+  /// served VM-seconds read from the data center's integrated accounting.
+  [[nodiscard]] double availability() const {
+    return stats_.availability(dc_.vm_seconds());
+  }
+
+ private:
+  void schedule_next_crash(dc::ServerId server);
+  void on_crash_due(dc::ServerId server);
+  void schedule_repair(dc::ServerId server, sim::SimTime delay_s,
+                       bool resume_crash_clock);
+  void apply_scripted(const ScriptedFault& fault);
+
+  sim::Simulator& sim_;
+  dc::DataCenter& dc_;
+  core::EcoCloudController& controller_;
+  FaultModel model_;
+  core::FaultHooks hooks_;
+  metrics::ResilienceStats stats_;
+  RedeployQueue queue_;
+  bool started_ = false;
+};
+
+}  // namespace ecocloud::faults

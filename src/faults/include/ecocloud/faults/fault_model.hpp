@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file fault_model.hpp
+/// \brief Seeded stochastic fault processes and scripted fault schedules.
+///
+/// The paper evaluates ecoCloud in a perfect data center: servers never
+/// die, migrations never fail, messages always arrive. FaultParams and
+/// FaultModel describe the imperfections this module injects on top:
+///
+///  * fail-stop server crashes as a Poisson process (exponential MTBF)
+///    with exponential repair times (MTTR);
+///  * mid-flight migration aborts, boot failures/hangs, and control-plane
+///    message loss as independent Bernoulli trials;
+///  * scripted faults ("kill servers 10-20 at t=3600") for reproducible
+///    what-if experiments.
+///
+/// All draws come from the model's own Rng stream, split off the scenario
+/// seed, so enabling faults never perturbs the workload or the
+/// controller's decision randomness, and two runs with the same seed see
+/// the same fault sequence.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ecocloud/core/fault_hooks.hpp"
+#include "ecocloud/dc/server.hpp"
+#include "ecocloud/sim/time.hpp"
+#include "ecocloud/util/rng.hpp"
+
+namespace ecocloud::faults {
+
+/// One deterministic fault: crash (and optionally auto-repair) or repair
+/// a contiguous range of servers at a fixed time.
+struct ScriptedFault {
+  enum class Kind { kCrash, kRepair };
+  Kind kind = Kind::kCrash;
+  sim::SimTime time = 0.0;
+  dc::ServerId first = 0;
+  dc::ServerId last = 0;  ///< Inclusive; equals \c first for a single server.
+  /// For kCrash: repair the server this long after the crash; negative
+  /// means "use a sampled MTTR repair time" (the stochastic default).
+  sim::SimTime repair_after_s = -1.0;
+};
+
+/// Parse a fault schedule string. Entries are comma-separated (`;` starts
+/// a comment in config files, so it cannot be the separator):
+///
+///     crash 10-20 3600 600, crash 5 7200, repair 10-20 10800
+///
+/// Each entry is `crash <server|first-last> <time_s> [repair_after_s]` or
+/// `repair <server|first-last> <time_s>`. Throws std::invalid_argument on
+/// malformed entries.
+[[nodiscard]] std::vector<ScriptedFault> parse_fault_schedule(const std::string& text);
+
+/// Render a schedule back to its parseable form (docs, round-trip tests).
+[[nodiscard]] std::string to_string(const std::vector<ScriptedFault>& schedule);
+
+/// All fault knobs. The all-zero default disables every process, and an
+/// injector is only worth creating when enabled() is true — with no
+/// injector the simulation is bit-identical to the fault-free build.
+struct FaultParams {
+  /// Mean time between fail-stop crashes of one powered server (active or
+  /// booting); 0 disables random crashes.
+  double server_mtbf_s = 0.0;
+  /// Mean time to repair a crashed server (exponential).
+  double server_mttr_s = 600.0;
+
+  /// Probability that a started live migration aborts instead of landing.
+  double migration_abort_prob = 0.0;
+  /// Probability that a boot attempt hangs and is power-cycled.
+  double boot_failure_prob = 0.0;
+  /// Boot retries before the server is declared dead.
+  std::size_t max_boot_retries = 2;
+
+  /// Per-message loss probabilities for the invitation protocol.
+  double invitation_loss_prob = 0.0;
+  double reply_loss_prob = 0.0;
+  /// Invitation rounds the manager repeats before concluding saturation
+  /// (only meaningful under message loss; the paper's protocol is 1).
+  std::size_t max_invite_rounds = 3;
+
+  /// Fixed crash-to-first-redeploy delay: failure detection plus restarting
+  /// the VM image on a new host. This is the downtime floor of every orphan.
+  double redeploy_delay_s = 60.0;
+  /// Exponential backoff of the orphan redeploy queue: first retry after
+  /// redeploy_backoff_s, doubling up to redeploy_backoff_max_s, giving up
+  /// after redeploy_max_attempts failed attempts.
+  double redeploy_backoff_s = 30.0;
+  double redeploy_backoff_max_s = 960.0;
+  std::size_t redeploy_max_attempts = 10;
+
+  /// Deterministic faults applied on top of the stochastic processes.
+  std::vector<ScriptedFault> schedule;
+
+  /// True when any fault process can fire.
+  [[nodiscard]] bool enabled() const;
+
+  /// Throws std::invalid_argument on out-of-range values.
+  void validate() const;
+};
+
+/// Samples every fault decision from one dedicated Rng stream.
+class FaultModel {
+ public:
+  FaultModel(FaultParams params, util::Rng rng);
+
+  [[nodiscard]] const FaultParams& params() const { return params_; }
+  [[nodiscard]] bool random_crashes() const { return params_.server_mtbf_s > 0.0; }
+
+  /// Exponential time until the next crash of a powered server.
+  [[nodiscard]] sim::SimTime time_to_failure();
+  /// Exponential repair duration.
+  [[nodiscard]] sim::SimTime repair_time();
+
+  [[nodiscard]] bool migration_aborts();
+  [[nodiscard]] bool boot_fails();
+  [[nodiscard]] bool invitation_lost();
+  [[nodiscard]] bool reply_lost();
+
+  /// Controller-facing hooks bound to this model. Hooks for zero-probability
+  /// processes are left empty so the corresponding paths stay dead code.
+  /// The model must outlive the returned hooks.
+  [[nodiscard]] core::FaultHooks make_hooks();
+
+ private:
+  FaultParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace ecocloud::faults

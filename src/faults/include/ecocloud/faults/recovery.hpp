@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file recovery.hpp
+/// \brief Redeployment policy for VMs orphaned by server crashes.
+///
+/// When a server fail-stops, its VMs lose their placement. RedeployQueue
+/// is the recovery policy: each orphan re-enters the normal assignment
+/// procedure after the fixed detection-and-restart delay, then retries
+/// with exponential backoff while the data center is saturated, giving up
+/// after a bounded number of attempts. Crash-to-placement latency is
+/// recorded per VM as downtime, which is what the availability metric
+/// integrates.
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "ecocloud/core/controller.hpp"
+#include "ecocloud/faults/fault_model.hpp"
+#include "ecocloud/metrics/resilience.hpp"
+#include "ecocloud/sim/simulator.hpp"
+
+namespace ecocloud::faults {
+
+class RedeployQueue {
+ public:
+  /// Backoff knobs come from \p params; results go to \p stats. Both must
+  /// outlive the queue.
+  RedeployQueue(sim::Simulator& simulator, core::EcoCloudController& controller,
+                const FaultParams& params, metrics::ResilienceStats& stats);
+
+  /// Register a freshly orphaned VM. Safe to call from inside
+  /// EcoCloudController::fail_server: the first deploy attempt is deferred
+  /// through the simulator rather than run re-entrantly.
+  void add(dc::VmId vm);
+
+  /// The VM left the system while waiting; drop it and close its downtime.
+  void forget(dc::VmId vm);
+
+  /// Close the downtime of VMs still unplaced when the run ends.
+  void finalize(sim::SimTime end);
+
+  /// Orphans currently waiting for a slot.
+  [[nodiscard]] std::size_t pending() const { return entries_.size(); }
+
+ private:
+  void attempt(dc::VmId vm);
+  [[nodiscard]] sim::SimTime backoff(std::size_t failed_attempts) const;
+
+  struct Entry {
+    sim::SimTime orphaned_at = 0.0;
+    std::size_t attempts = 0;
+    sim::EventHandle retry;
+  };
+
+  sim::Simulator& sim_;
+  core::EcoCloudController& controller_;
+  double delay_s_;
+  double backoff_s_;
+  double backoff_max_s_;
+  std::size_t max_attempts_;
+  metrics::ResilienceStats& stats_;
+  std::unordered_map<dc::VmId, Entry> entries_;
+};
+
+}  // namespace ecocloud::faults

@@ -1,0 +1,80 @@
+#include "ecocloud/faults/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::faults {
+
+RedeployQueue::RedeployQueue(sim::Simulator& simulator,
+                             core::EcoCloudController& controller,
+                             const FaultParams& params,
+                             metrics::ResilienceStats& stats)
+    : sim_(simulator),
+      controller_(controller),
+      delay_s_(params.redeploy_delay_s),
+      backoff_s_(params.redeploy_backoff_s),
+      backoff_max_s_(params.redeploy_backoff_max_s),
+      max_attempts_(params.redeploy_max_attempts),
+      stats_(stats) {}
+
+void RedeployQueue::add(dc::VmId vm) {
+  util::require(entries_.find(vm) == entries_.end(),
+                "RedeployQueue: VM already queued");
+  Entry entry;
+  entry.orphaned_at = sim_.now();
+  // The first attempt waits out the detection-and-restart delay; even at
+  // zero delay it is deferred one event, because fail_server is still
+  // unwinding the crash when the orphan handler runs and deploy_vm must
+  // see the final post-crash state.
+  entry.retry = sim_.schedule_after(delay_s_, [this, vm] { attempt(vm); });
+  entries_.emplace(vm, std::move(entry));
+}
+
+void RedeployQueue::forget(dc::VmId vm) {
+  const auto it = entries_.find(vm);
+  if (it == entries_.end()) return;
+  stats_.record_open_downtime(sim_.now() - it->second.orphaned_at);
+  it->second.retry.cancel();
+  entries_.erase(it);
+}
+
+void RedeployQueue::finalize(sim::SimTime end) {
+  for (auto& [vm, entry] : entries_) {
+    stats_.record_open_downtime(end - entry.orphaned_at);
+    entry.retry.cancel();
+  }
+  entries_.clear();
+}
+
+sim::SimTime RedeployQueue::backoff(std::size_t failed_attempts) const {
+  // failed_attempts >= 1; the delay doubles per failure, capped.
+  const double factor = std::pow(2.0, static_cast<double>(failed_attempts - 1));
+  return std::min(backoff_s_ * factor, backoff_max_s_);
+}
+
+void RedeployQueue::attempt(dc::VmId vm) {
+  const auto it = entries_.find(vm);
+  util::ensure(it != entries_.end(), "RedeployQueue: attempt for unknown VM");
+  Entry& entry = it->second;
+
+  if (controller_.deploy_vm(vm)) {
+    // Placed or queued on a booting server — either way the VM is on its
+    // way back; count crash-to-redeploy as downtime.
+    stats_.record_redeploy(sim_.now() - entry.orphaned_at);
+    entries_.erase(it);
+    return;
+  }
+
+  ++entry.attempts;
+  if (entry.attempts >= max_attempts_) {
+    stats_.record_abandoned(sim_.now() - entry.orphaned_at);
+    entries_.erase(it);
+    return;
+  }
+  entry.retry =
+      sim_.schedule_after(backoff(entry.attempts), [this, vm] { attempt(vm); });
+}
+
+}  // namespace ecocloud::faults

@@ -14,6 +14,10 @@ const char* to_string(EventKind kind) {
     case EventKind::kMigrationComplete: return "migration_complete";
     case EventKind::kActivation: return "activation";
     case EventKind::kHibernation: return "hibernation";
+    case EventKind::kServerFailed: return "server_failed";
+    case EventKind::kServerRepaired: return "server_repaired";
+    case EventKind::kVmOrphaned: return "vm_orphaned";
+    case EventKind::kMigrationAborted: return "migration_aborted";
   }
   return "unknown";
 }
@@ -57,6 +61,28 @@ void EventLog::attach(core::EcoCloudController& controller) {
     events_.push_back({t, EventKind::kHibernation, dc::kNoVm, server, false});
     if (chained) chained(t, server);
   };
+  hooks.on_server_failed = [this, chained = std::move(hooks.on_server_failed)](
+                               sim::SimTime t, dc::ServerId server) {
+    events_.push_back({t, EventKind::kServerFailed, dc::kNoVm, server, false});
+    if (chained) chained(t, server);
+  };
+  hooks.on_server_repaired = [this, chained = std::move(hooks.on_server_repaired)](
+                                 sim::SimTime t, dc::ServerId server) {
+    events_.push_back({t, EventKind::kServerRepaired, dc::kNoVm, server, false});
+    if (chained) chained(t, server);
+  };
+  hooks.on_vm_orphaned = [this, chained = std::move(hooks.on_vm_orphaned)](
+                             sim::SimTime t, dc::VmId vm, dc::ServerId server) {
+    events_.push_back({t, EventKind::kVmOrphaned, vm, server, false});
+    if (chained) chained(t, vm, server);
+  };
+  hooks.on_migration_aborted =
+      [this, chained = std::move(hooks.on_migration_aborted)](
+          sim::SimTime t, dc::VmId vm, bool is_high) {
+        events_.push_back({t, EventKind::kMigrationAborted, vm, dc::kNoServer,
+                           is_high});
+        if (chained) chained(t, vm, is_high);
+      };
 }
 
 std::size_t EventLog::count(EventKind kind) const {

@@ -25,6 +25,11 @@ enum class EventKind : std::uint8_t {
   kMigrationComplete,
   kActivation,
   kHibernation,
+  // Failure-path events (only seen with fault injection active).
+  kServerFailed,
+  kServerRepaired,
+  kVmOrphaned,
+  kMigrationAborted,
 };
 
 [[nodiscard]] const char* to_string(EventKind kind);

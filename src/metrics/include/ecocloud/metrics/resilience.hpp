@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file resilience.hpp
+/// \brief Counters and distributions for the fault-injection experiments.
+///
+/// ResilienceStats is a passive sink: the faults module records crashes,
+/// repairs, interrupted migrations and redeployments into it, and the
+/// benches/CLI read availability and redeploy-latency figures out. It
+/// answers the question the paper's perfect-world setup cannot: how much
+/// of the energy saving survives real failures, and at what SLA cost.
+
+#include <cstdint>
+
+#include "ecocloud/sim/time.hpp"
+#include "ecocloud/stats/quantile.hpp"
+#include "ecocloud/stats/welford.hpp"
+
+namespace ecocloud::metrics {
+
+class ResilienceStats {
+ public:
+  // --- Recording (called by the faults module) -----------------------------
+
+  void record_crash() { ++crashes_; }
+  void record_repair() { ++repairs_; }
+
+  /// A VM lost its placement to a crash.
+  void record_orphan() { ++orphaned_vms_; }
+
+  /// An orphan re-entered the placement; \p latency_s is crash-to-placement
+  /// (or crash-to-boot-queue) wall time, which is also VM downtime.
+  void record_redeploy(sim::SimTime latency_s) {
+    ++redeployed_vms_;
+    downtime_vm_seconds_ += latency_s;
+    redeploy_latency_.add(latency_s);
+    redeploy_quantiles_.add(latency_s);
+  }
+
+  /// An orphan exhausted its redeploy attempts; \p down_s is how long it
+  /// had been waiting when the policy gave up.
+  void record_abandoned(sim::SimTime down_s) {
+    ++abandoned_vms_;
+    downtime_vm_seconds_ += down_s;
+  }
+
+  /// Downtime of orphans still unplaced when the run ended.
+  void record_open_downtime(sim::SimTime down_s) { downtime_vm_seconds_ += down_s; }
+
+  // --- Queries --------------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t repairs() const { return repairs_; }
+  [[nodiscard]] std::uint64_t orphaned_vms() const { return orphaned_vms_; }
+  [[nodiscard]] std::uint64_t redeployed_vms() const { return redeployed_vms_; }
+  [[nodiscard]] std::uint64_t abandoned_vms() const { return abandoned_vms_; }
+
+  /// Total VM-seconds of downtime attributed to crashes.
+  [[nodiscard]] double downtime_vm_seconds() const { return downtime_vm_seconds_; }
+
+  /// Mean/min/max of crash-to-redeploy latency.
+  [[nodiscard]] const stats::Welford& redeploy_latency() const {
+    return redeploy_latency_;
+  }
+
+  /// Exact quantiles of the redeploy-latency distribution.
+  [[nodiscard]] const stats::QuantileSketch& redeploy_quantiles() const {
+    return redeploy_quantiles_;
+  }
+
+  /// Fraction of demanded VM-time actually served: served / (served +
+  /// downtime), given the DataCenter's integrated placed VM-seconds.
+  /// 1.0 when nothing ever ran (vacuous availability).
+  [[nodiscard]] double availability(double served_vm_seconds) const {
+    const double total = served_vm_seconds + downtime_vm_seconds_;
+    return total > 0.0 ? served_vm_seconds / total : 1.0;
+  }
+
+  void reset() { *this = ResilienceStats{}; }
+
+ private:
+  std::uint64_t crashes_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t orphaned_vms_ = 0;
+  std::uint64_t redeployed_vms_ = 0;
+  std::uint64_t abandoned_vms_ = 0;
+  double downtime_vm_seconds_ = 0.0;
+  stats::Welford redeploy_latency_;
+  stats::QuantileSketch redeploy_quantiles_;
+};
+
+}  // namespace ecocloud::metrics

@@ -2,6 +2,7 @@
 
 #include <istream>
 
+#include "ecocloud/faults/fault_model.hpp"
 #include "ecocloud/util/key_value.hpp"
 #include "ecocloud/util/string_util.hpp"
 #include "ecocloud/util/validation.hpp"
@@ -9,6 +10,15 @@
 namespace ecocloud::scenario {
 
 namespace {
+
+/// Read a non-negative integer key (size_t fields must reject negatives
+/// instead of wrapping through the cast).
+std::size_t get_size(const util::KeyValueConfig& kv, const std::string& key,
+                     std::size_t fallback) {
+  const long long value = kv.get_int(key, static_cast<long long>(fallback));
+  util::require(value >= 0, "config: '" + key + "' must be >= 0");
+  return static_cast<std::size_t>(value);
+}
 
 void load_params(const util::KeyValueConfig& kv, core::EcoCloudParams& params) {
   params.ta = kv.get_double("ta", params.ta);
@@ -30,9 +40,36 @@ void load_params(const util::KeyValueConfig& kv, core::EcoCloudParams& params) {
   params.require_fit = kv.get_bool("require_fit", params.require_fit);
   params.enable_migrations =
       kv.get_bool("enable_migrations", params.enable_migrations);
-  params.invite_group_size = static_cast<std::size_t>(
-      kv.get_int("invite_group_size",
-                 static_cast<long long>(params.invite_group_size)));
+  params.invite_group_size =
+      get_size(kv, "invite_group_size", params.invite_group_size);
+}
+
+void load_faults(const util::KeyValueConfig& kv, faults::FaultParams& params) {
+  params.server_mtbf_s = kv.get_double("faults.server_mtbf_s", params.server_mtbf_s);
+  params.server_mttr_s = kv.get_double("faults.server_mttr_s", params.server_mttr_s);
+  params.migration_abort_prob =
+      kv.get_double("faults.migration_abort_prob", params.migration_abort_prob);
+  params.boot_failure_prob =
+      kv.get_double("faults.boot_failure_prob", params.boot_failure_prob);
+  params.max_boot_retries =
+      get_size(kv, "faults.max_boot_retries", params.max_boot_retries);
+  params.invitation_loss_prob =
+      kv.get_double("faults.invitation_loss_prob", params.invitation_loss_prob);
+  params.reply_loss_prob =
+      kv.get_double("faults.reply_loss_prob", params.reply_loss_prob);
+  params.max_invite_rounds =
+      get_size(kv, "faults.max_invite_rounds", params.max_invite_rounds);
+  params.redeploy_delay_s =
+      kv.get_double("faults.redeploy_delay_s", params.redeploy_delay_s);
+  params.redeploy_backoff_s =
+      kv.get_double("faults.redeploy_backoff_s", params.redeploy_backoff_s);
+  params.redeploy_backoff_max_s =
+      kv.get_double("faults.redeploy_backoff_max_s", params.redeploy_backoff_max_s);
+  params.redeploy_max_attempts =
+      get_size(kv, "faults.redeploy_max_attempts", params.redeploy_max_attempts);
+  const std::string schedule = kv.get_string("faults.schedule", "");
+  if (!schedule.empty()) params.schedule = faults::parse_fault_schedule(schedule);
+  params.validate();
 }
 
 void load_workload(const util::KeyValueConfig& kv, trace::WorkloadConfig& workload) {
@@ -96,6 +133,7 @@ DailyConfig load_daily_config(std::istream& in) {
 
   load_params(kv, config.params);
   load_workload(kv, config.workload);
+  load_faults(kv, config.faults);
   kv.require_all_used();
   config.params.validate();
   return config;

@@ -23,6 +23,14 @@ namespace ecocloud::scenario {
 /// enable_migrations, invite_group_size,
 /// reference_mhz, sample_period_s, diurnal_amplitude, diurnal_peak_hour,
 /// ar1_rho, dev_base, dev_slope.
+///
+/// A `[faults]` section (or `faults.`-prefixed keys) configures fault
+/// injection: server_mtbf_s, server_mttr_s, migration_abort_prob,
+/// boot_failure_prob, max_boot_retries, invitation_loss_prob,
+/// reply_loss_prob, max_invite_rounds, redeploy_delay_s,
+/// redeploy_backoff_s, redeploy_backoff_max_s, redeploy_max_attempts,
+/// and schedule (e.g.
+/// "crash 10-20 3600 600, repair 5 7200"). All zero by default.
 [[nodiscard]] DailyConfig load_daily_config(std::istream& in);
 
 /// Keys: servers, cores_per_server, core_mhz, initial_vms, horizon_hours,

@@ -21,6 +21,7 @@
 #include "ecocloud/core/controller.hpp"
 #include "ecocloud/core/open_system.hpp"
 #include "ecocloud/core/trace_driver.hpp"
+#include "ecocloud/faults/fault_injector.hpp"
 #include "ecocloud/metrics/collector.hpp"
 #include "ecocloud/trace/rate_estimator.hpp"
 #include "ecocloud/trace/trace_set.hpp"
@@ -53,6 +54,10 @@ struct DailyConfig {
   /// random rack (footnote 1) and migration times include RAM transfer
   /// over the intra-/inter-rack bandwidth. ecoCloud only.
   std::optional<net::TopologyConfig> topology;
+  /// Fault injection (crashes, lossy control plane, boot/migration
+  /// failures). All-zero (the default) runs the exact fault-free code
+  /// paths; see src/faults. ecoCloud only.
+  faults::FaultParams faults;
 };
 
 /// Which algorithm drives the daily scenario.
@@ -90,6 +95,9 @@ class DailyScenario {
     return central_.get();
   }
   [[nodiscard]] const net::Topology* topology() const { return topology_.get(); }
+  /// Non-null only when config.faults.enabled() and the algorithm is
+  /// kEcoCloud; carries the resilience statistics of the run.
+  [[nodiscard]] faults::FaultInjector* fault_injector() { return injector_.get(); }
 
  private:
   /// Delegation target: traces first so both public constructors funnel here.
@@ -106,6 +114,7 @@ class DailyScenario {
   std::unique_ptr<core::EcoCloudController> eco_;
   std::unique_ptr<baseline::CentralizedController> central_;
   std::unique_ptr<metrics::MetricsCollector> collector_;
+  std::unique_ptr<faults::FaultInjector> injector_;
 };
 
 /// Parameters of the Sec. IV consolidation experiment.

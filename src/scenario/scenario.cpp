@@ -66,6 +66,14 @@ DailyScenario::DailyScenario(trace::TraceSet traces, DailyConfig config,
 
   collector_ = std::make_unique<metrics::MetricsCollector>(sim_, *dc_);
   if (eco_) collector_->attach(*eco_);
+
+  if (eco_ && config_.faults.enabled()) {
+    // Stream 7 keeps fault draws out of the workload (seed) and
+    // controller (split 1) streams: the same seed yields the same fault
+    // sequence regardless of the other knobs.
+    injector_ = std::make_unique<faults::FaultInjector>(
+        sim_, *dc_, *eco_, config_.faults, rng.split(7));
+  }
 }
 
 void DailyScenario::run() {
@@ -77,6 +85,10 @@ void DailyScenario::run() {
       dc_->finish_booting(0.0, static_cast<dc::ServerId>(s));
     }
   }
+
+  // Hooks must be live before the first deployment: message loss applies
+  // to the initial placement wave too.
+  if (injector_) injector_->start();
 
   // Create all VMs with their t=0 demand and deploy them; the controllers
   // wake servers and queue VMs as boots complete.
@@ -105,6 +117,7 @@ void DailyScenario::run() {
   }
   sim_.run_until(config_.horizon_s);
   dc_->advance_to(config_.horizon_s);
+  if (injector_) injector_->finalize(config_.horizon_s);
 }
 
 ConsolidationScenario::ConsolidationScenario(ConsolidationConfig config)

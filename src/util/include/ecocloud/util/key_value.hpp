@@ -4,9 +4,12 @@
 /// \brief Simple `key = value` configuration files.
 ///
 /// Format: one assignment per line, `#` or `;` starts a comment, blank
-/// lines ignored, keys are case-sensitive. Typed getters validate and
-/// convert; consumed keys are tracked so a final check can reject typos
-/// (unknown keys are configuration bugs, not data).
+/// lines ignored, keys are case-sensitive. A `[section]` line prefixes
+/// every following key with `section.` until the next header (`[]` returns
+/// to the top level), so `mtbf` under `[faults]` is read as `faults.mtbf`.
+/// Typed getters validate and convert; consumed keys are tracked so a
+/// final check can reject typos (unknown keys are configuration bugs, not
+/// data).
 
 #include <iosfwd>
 #include <map>

@@ -11,6 +11,7 @@ namespace ecocloud::util {
 KeyValueConfig KeyValueConfig::parse(std::istream& in) {
   KeyValueConfig config;
   std::string line;
+  std::string section;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
@@ -21,10 +22,19 @@ KeyValueConfig KeyValueConfig::parse(std::istream& in) {
     }
     const std::string trimmed = trim(line);
     if (trimmed.empty()) continue;
+    if (trimmed.front() == '[') {
+      require(trimmed.back() == ']', "KeyValueConfig: unterminated section on line " +
+                                         std::to_string(line_number));
+      section = trim(trimmed.substr(1, trimmed.size() - 2));
+      require(!section.empty(), "KeyValueConfig: empty section name on line " +
+                                    std::to_string(line_number));
+      continue;
+    }
     const auto eq = trimmed.find('=');
     require(eq != std::string::npos, "KeyValueConfig: missing '=' on line " +
                                          std::to_string(line_number));
-    const std::string key = trim(trimmed.substr(0, eq));
+    std::string key = trim(trimmed.substr(0, eq));
+    if (!section.empty()) key = section + "." + key;
     const std::string value = trim(trimmed.substr(eq + 1));
     require(!key.empty(),
             "KeyValueConfig: empty key on line " + std::to_string(line_number));

@@ -250,3 +250,108 @@ TEST(ConfigIo, DailyTopologyKeys) {
   std::istringstream none("servers = 50\n");
   EXPECT_FALSE(scenario::load_daily_config(none).topology.has_value());
 }
+
+// ------------------------------------------------------- sections and faults
+
+TEST(KeyValue, SectionsPrefixKeys) {
+  const auto kv = util::KeyValueConfig::parse_string(
+      "top = 1\n"
+      "[faults]\n"
+      "server_mtbf_s = 3600\n"
+      "schedule = crash 0-3 60\n"
+      "[other] ; comment after a header\n"
+      "x = 2\n");
+  EXPECT_EQ(kv.get_int("top", 0), 1);
+  EXPECT_DOUBLE_EQ(kv.get_double("faults.server_mtbf_s", 0.0), 3600.0);
+  EXPECT_EQ(kv.get_string("faults.schedule", ""), "crash 0-3 60");
+  EXPECT_EQ(kv.get_int("other.x", 0), 2);
+}
+
+TEST(KeyValue, RejectsMalformedSectionHeader) {
+  EXPECT_THROW(util::KeyValueConfig::parse_string("[faults\n"),
+               std::invalid_argument);
+  EXPECT_THROW(util::KeyValueConfig::parse_string("[]\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, DailyParsesFaultsSection) {
+  std::istringstream in(
+      "servers = 40\n"
+      "[faults]\n"
+      "server_mtbf_s = 7200\n"
+      "server_mttr_s = 300\n"
+      "migration_abort_prob = 0.05\n"
+      "max_invite_rounds = 5\n"
+      "redeploy_delay_s = 45\n"
+      "schedule = crash 10-20 3600 600, repair 5 7200\n");
+  const auto config = scenario::load_daily_config(in);
+  EXPECT_TRUE(config.faults.enabled());
+  EXPECT_DOUBLE_EQ(config.faults.server_mtbf_s, 7200.0);
+  EXPECT_DOUBLE_EQ(config.faults.server_mttr_s, 300.0);
+  EXPECT_DOUBLE_EQ(config.faults.migration_abort_prob, 0.05);
+  EXPECT_EQ(config.faults.max_invite_rounds, 5u);
+  EXPECT_DOUBLE_EQ(config.faults.redeploy_delay_s, 45.0);
+  ASSERT_EQ(config.faults.schedule.size(), 2u);
+  EXPECT_EQ(config.faults.schedule[0].first, 10u);
+  EXPECT_EQ(config.faults.schedule[1].kind,
+            faults::ScriptedFault::Kind::kRepair);
+}
+
+TEST(ConfigIo, DailyDefaultsDisableFaults) {
+  std::istringstream empty;
+  const auto config = scenario::load_daily_config(empty);
+  EXPECT_FALSE(config.faults.enabled());
+}
+
+TEST(ConfigIo, DailyRejectsBadFaultValues) {
+  {
+    std::istringstream in("[faults]\nmigration_abort_prob = 1.5\n");
+    EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("[faults]\nschedule = explode 3 100\n");
+    EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("[faults]\nmax_boot_retries = -1\n");
+    EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
+  }
+  {
+    // Typo protection extends into the section.
+    std::istringstream in("[faults]\nserver_mtfb_s = 100\n");
+    EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
+  }
+}
+
+// ------------------------------------------------------ parameter hardening
+
+TEST(ParamsValidate, RejectsNonFiniteValues) {
+  {
+    core::EcoCloudParams p;
+    p.alpha = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {
+    core::EcoCloudParams p;
+    p.ta = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+  {
+    core::EcoCloudParams p;
+    p.boot_time_s = -std::numeric_limits<double>::infinity();
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ParamsValidate, RejectsOutOfRangeHighDestFactor) {
+  core::EcoCloudParams p;
+  p.high_dest_factor = 1.2;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.high_dest_factor = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ConfigIo, DailyRejectsNegativeInviteGroupSize) {
+  std::istringstream in("invite_group_size = -3\n");
+  EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
+}

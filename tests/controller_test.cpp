@@ -355,3 +355,121 @@ TEST(Controller, MessageLogCountsDeployTraffic) {
   EXPECT_EQ(messages.volunteer_replies, 1u);  // fa(argmax) = 1
   EXPECT_EQ(messages.placement_commands, 1u);
 }
+
+// --- Failure and recovery paths ---------------------------------------------
+
+TEST(Controller, BootingServerFailureOrphansQueueButNotDepartedVms) {
+  Fixture f;
+  const auto s = f.add_server();
+  f.build();
+  const auto gone = f.datacenter.create_vm(100.0);
+  const auto stays = f.datacenter.create_vm(100.0);
+  f.controller->deploy_vm(gone);   // wakes the server, queues on it
+  f.controller->deploy_vm(stays);  // joins the same boot queue
+  f.controller->depart_vm(gone);   // leaves while the server still boots
+
+  const auto orphans = f.controller->fail_server(s);
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], stays);
+  EXPECT_TRUE(f.datacenter.server(s).failed());
+  // The cancelled boot event must not activate the dead server later.
+  f.simulator.run_until(f.params.boot_time_s + 1.0);
+  EXPECT_TRUE(f.datacenter.server(s).failed());
+  EXPECT_EQ(f.datacenter.total_activations(), 0u);
+  // Redeploying the orphan wakes a fresh machine once one exists.
+  const auto spare = f.add_server();
+  EXPECT_TRUE(f.controller->deploy_vm(stays));
+  f.simulator.run_until(f.simulator.now() + f.params.boot_time_s + 1.0);
+  EXPECT_EQ(f.datacenter.vm(stays).host, spare);
+}
+
+TEST(Controller, DestinationCrashMidFlightRollsBackMigration) {
+  Fixture f;
+  const auto source = f.add_server();
+  const auto dest = f.add_server();
+  f.params.monitor_period_s = 5.0;
+  f.params.migration_latency_s = 50.0;
+  f.build();
+  f.controller->force_activate(source);
+  f.controller->force_activate(dest);
+  const auto small = f.datacenter.create_vm(1000.0);
+  f.datacenter.place_vm(0.0, small, source);
+  const auto anchor = f.datacenter.create_vm(0.675 * 12000.0);
+  f.datacenter.place_vm(0.0, anchor, dest);
+  std::size_t aborted_events = 0;
+  f.controller->events().on_migration_aborted =
+      [&](sim::SimTime, dc::VmId, bool) { ++aborted_events; };
+  f.controller->start();
+  while (f.simulator.now() < sim::kHour && !f.datacenter.vm(small).migrating()) {
+    f.simulator.step();
+  }
+  ASSERT_TRUE(f.datacenter.vm(small).migrating());
+  ASSERT_GT(f.datacenter.server(dest).reserved_mhz(), 0.0);
+
+  const auto orphans = f.controller->fail_server(dest);
+  // The in-flight VM stays on its source; only the anchor is orphaned.
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], anchor);
+  EXPECT_FALSE(f.datacenter.vm(small).migrating());
+  EXPECT_EQ(f.datacenter.vm(small).host, source);
+  EXPECT_DOUBLE_EQ(f.datacenter.server(dest).reserved_mhz(), 0.0);
+  EXPECT_EQ(f.controller->interrupted_migrations(), 1u);
+  EXPECT_EQ(f.controller->low_migrations(), 0u);
+  EXPECT_EQ(aborted_events, 1u);
+  // The stale completion event must not land the rolled-back migration.
+  f.simulator.run_until(f.simulator.now() + 2.0 * sim::kHour);
+  EXPECT_EQ(f.datacenter.vm(small).host, source);
+  EXPECT_EQ(f.controller->low_migrations(), 0u);
+}
+
+TEST(Controller, SourceCrashMidFlightOrphansMigratingVm) {
+  Fixture f;
+  const auto source = f.add_server();
+  const auto dest = f.add_server();
+  f.params.monitor_period_s = 5.0;
+  f.params.migration_latency_s = 50.0;
+  f.build();
+  f.controller->force_activate(source);
+  f.controller->force_activate(dest);
+  const auto small = f.datacenter.create_vm(1000.0);
+  f.datacenter.place_vm(0.0, small, source);
+  const auto anchor = f.datacenter.create_vm(0.675 * 12000.0);
+  f.datacenter.place_vm(0.0, anchor, dest);
+  f.controller->start();
+  while (f.simulator.now() < sim::kHour && !f.datacenter.vm(small).migrating()) {
+    f.simulator.step();
+  }
+  ASSERT_TRUE(f.datacenter.vm(small).migrating());
+
+  const auto orphans = f.controller->fail_server(source);
+  // The migration dies with its source: the VM is rolled back onto the
+  // crashing host first, then orphaned with it.
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], small);
+  EXPECT_FALSE(f.datacenter.vm(small).placed());
+  EXPECT_DOUBLE_EQ(f.datacenter.server(dest).reserved_mhz(), 0.0);
+  EXPECT_EQ(f.controller->interrupted_migrations(), 1u);
+  // Recovery: the orphan redeploys onto the surviving destination.
+  EXPECT_TRUE(f.controller->deploy_vm(small));
+  EXPECT_EQ(f.datacenter.vm(small).host, dest);
+  // Repair returns the crashed server to the hibernated pool.
+  f.controller->repair_server(source);
+  EXPECT_TRUE(f.datacenter.server(source).hibernated());
+}
+
+TEST(Controller, OrphanHandlerReceivesCrashVictims) {
+  Fixture f;
+  const auto s = f.add_server();
+  f.build();
+  f.controller->force_activate(s);
+  const auto a = f.datacenter.create_vm(500.0);
+  const auto b = f.datacenter.create_vm(600.0);
+  f.datacenter.place_vm(0.0, a, s);
+  f.datacenter.place_vm(0.0, b, s);
+  std::vector<dc::VmId> handed;
+  f.controller->set_orphan_handler([&](dc::VmId vm) { handed.push_back(vm); });
+  const auto orphans = f.controller->fail_server(s);
+  EXPECT_EQ(handed, orphans);
+  EXPECT_EQ(handed.size(), 2u);
+  EXPECT_EQ(f.datacenter.placed_vm_count(), 0u);
+}

@@ -461,3 +461,99 @@ TEST(DataCenter, CreateVmValidation) {
   EXPECT_THROW(d.create_vm(-1.0), std::invalid_argument);
   EXPECT_THROW(d.create_vm(1.0, -1.0), std::invalid_argument);
 }
+
+// --------------------------------------------------------------- fail-stop
+
+TEST(DataCenter, FailServerOrphansVmsAndGoesDark) {
+  auto d = make_dc();
+  const auto s = d.add_server(6, 2000.0);
+  const auto a = d.create_vm(1000.0);
+  const auto b = d.create_vm(2000.0);
+  d.start_booting(0.0, s);
+  d.finish_booting(0.0, s);
+  d.place_vm(0.0, a, s);
+  d.place_vm(0.0, b, s);
+
+  const auto orphans = d.fail_server(10.0, s);
+  EXPECT_EQ(orphans, (std::vector<dc::VmId>{a, b}));
+  EXPECT_TRUE(d.server(s).failed());
+  EXPECT_EQ(d.failed_server_count(), 1u);
+  EXPECT_EQ(d.total_failures(), 1u);
+  EXPECT_EQ(d.active_server_count(), 0u);
+  EXPECT_EQ(d.placed_vm_count(), 0u);
+  EXPECT_FALSE(d.vm(a).placed());
+  EXPECT_FALSE(d.vm(b).placed());
+  EXPECT_DOUBLE_EQ(d.total_demand_mhz(), 0.0);
+
+  // A dark server draws nothing: no energy accrues while it is down.
+  const double at_failure = d.energy_joules();
+  d.advance_to(1000.0);
+  EXPECT_DOUBLE_EQ(d.energy_joules(), at_failure);
+
+  d.repair_server(1000.0, s);
+  EXPECT_TRUE(d.server(s).hibernated());
+  EXPECT_EQ(d.failed_server_count(), 0u);
+  EXPECT_EQ(d.total_repairs(), 1u);
+}
+
+TEST(DataCenter, FailServerWhileBooting) {
+  auto d = make_dc();
+  const auto s = d.add_server(4, 2000.0);
+  d.start_booting(0.0, s);
+  const auto orphans = d.fail_server(5.0, s);
+  EXPECT_TRUE(orphans.empty());
+  EXPECT_EQ(d.booting_server_count(), 0u);
+  EXPECT_TRUE(d.server(s).failed());
+  // A failed server cannot host, boot, or hibernate.
+  const auto v = d.create_vm(100.0);
+  EXPECT_THROW(d.place_vm(6.0, v, s), std::invalid_argument);
+  EXPECT_THROW(d.start_booting(6.0, s), std::invalid_argument);
+  EXPECT_THROW(d.hibernate(6.0, s), std::invalid_argument);
+}
+
+TEST(DataCenter, FailRepairPreconditions) {
+  auto d = make_dc();
+  const auto s = d.add_server(4, 2000.0);
+  EXPECT_THROW(d.repair_server(0.0, s), std::invalid_argument);  // not failed
+  d.fail_server(0.0, s);
+  EXPECT_THROW(d.fail_server(1.0, s), std::invalid_argument);  // already failed
+  d.repair_server(2.0, s);
+  EXPECT_TRUE(d.server(s).hibernated());
+}
+
+TEST(DataCenter, FailServerRejectsPendingMigrations) {
+  auto d = make_dc();
+  const auto source = d.add_server(6, 2000.0);
+  const auto dest = d.add_server(6, 2000.0);
+  for (auto s : {source, dest}) {
+    d.start_booting(0.0, s);
+    d.finish_booting(0.0, s);
+  }
+  const auto v = d.create_vm(1000.0);
+  d.place_vm(0.0, v, source);
+  d.begin_migration(1.0, v, dest);
+  // Both endpoints refuse to fail-stop while the flight is open: the
+  // controller must roll the migration back first.
+  EXPECT_THROW(d.fail_server(2.0, source), std::invalid_argument);
+  EXPECT_THROW(d.fail_server(2.0, dest), std::invalid_argument);
+  d.cancel_migration(3.0, v);
+  const auto orphans = d.fail_server(4.0, source);
+  EXPECT_EQ(orphans, (std::vector<dc::VmId>{v}));
+}
+
+TEST(Server, ReservationCountSnapsResidueOnlyWhenCleared) {
+  dc::Server s(0, 6, 2000.0, 1024.0);
+  s.add_reservation(0.1);
+  s.add_reservation(0.2);
+  EXPECT_EQ(s.reservation_count(), 2u);
+  s.remove_reservation(0.2);
+  EXPECT_EQ(s.reservation_count(), 1u);
+  // The float sum may carry residue while reservations remain open...
+  s.remove_reservation(0.1);
+  EXPECT_EQ(s.reservation_count(), 0u);
+  // ...but clear_reservations wipes both, residue included.
+  s.add_reservation(0.3);
+  s.clear_reservations();
+  EXPECT_EQ(s.reservation_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.reserved_mhz(), 0.0);
+}

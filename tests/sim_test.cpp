@@ -187,3 +187,60 @@ TEST(Simulator, ManyEventsStressOrdering) {
   EXPECT_TRUE(monotone);
   EXPECT_EQ(s.executed_events(), 10000u);
 }
+
+TEST(Simulator, PendingEventsAccountsForLazyCancels) {
+  sim::Simulator s;
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 5; ++i) handles.push_back(s.schedule_at(10.0 + i, [] {}));
+  EXPECT_EQ(s.pending_events(), 5u);
+  // Cancellation is lazy: the records stay queued (and counted) until the
+  // heap pops them, but they never execute.
+  handles[1].cancel();
+  handles[3].cancel();
+  EXPECT_EQ(s.pending_events(), 5u);
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.executed_events(), 3u);
+}
+
+TEST(Simulator, CancelAfterFireIsHarmless) {
+  sim::Simulator s;
+  int count = 0;
+  auto handle = s.schedule_at(1.0, [&] { ++count; });
+  s.schedule_at(2.0, [&] { ++count; });
+  s.run_until(1.5);
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());  // already fired: reports false...
+  EXPECT_EQ(s.pending_events(), 1u);  // ...and cannot touch the live count
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicCancelInsideCallbackReleasesChain) {
+  sim::Simulator s;
+  int count = 0;
+  sim::EventHandle handle;
+  handle = s.schedule_periodic(10.0, [&] {
+    if (++count == 3) handle.cancel();
+  });
+  s.run_until(21.0);
+  EXPECT_EQ(count, 3);
+  // The chain re-arms itself each firing; cancelling from inside the
+  // callback must also drop the successor that was just scheduled.
+  EXPECT_EQ(s.pending_events(), 0u);
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, CancelledPeriodicDoesNotLeakPendingEvents) {
+  sim::Simulator s;
+  auto periodic = s.schedule_periodic(5.0, [] {});
+  auto one_shot = s.schedule_at(100.0, [] {});
+  s.run_until(17.0);
+  EXPECT_EQ(s.pending_events(), 2u);  // next periodic tick + the one-shot
+  periodic.cancel();
+  EXPECT_EQ(s.pending_events(), 2u);  // the dead tick drops when popped
+  s.run();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_FALSE(one_shot.pending());
+}
