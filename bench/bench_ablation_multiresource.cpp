@@ -33,14 +33,9 @@ Workload make_workload(std::size_t n) {
 }
 
 void run_strategy(multires::Strategy strategy, const Workload& workload) {
-  dc::DataCenter d;
   // 60 servers, 6 cores, 16 GB each. RAM is the scarcer dimension for this
   // workload (mean VM: ~0.3 GHz CPU, ~2.3 GB RAM).
-  for (int i = 0; i < 60; ++i) {
-    const auto s = d.add_server(6, 2000.0, 16384.0);
-    d.start_booting(0.0, s);
-    d.finish_booting(0.0, s);
-  }
+  dc::DataCenter d = bench::make_active_fleet(60, 6, 2000.0, 16384.0);
   core::EcoCloudParams params;
   util::Rng rng(7);
   multires::MultiResourceAssignment proc(params, strategy, rng);

@@ -13,11 +13,7 @@ using namespace ecocloud;
 namespace {
 
 scenario::DailyConfig sweep_config() {
-  scenario::DailyConfig config;
-  config.fleet.num_servers = 150;
-  config.num_vms = 2250;
-  config.warmup_s = bench::kWarmup;
-  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  scenario::DailyConfig config = bench::scaled_daily_config(150, 2250, 24.0);
   return config;
 }
 

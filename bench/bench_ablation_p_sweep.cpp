@@ -11,11 +11,7 @@ namespace {
 scenario::DailyConfig sweep_config() {
   // Half-scale run per point keeps the whole sweep fast while preserving
   // the dynamics.
-  scenario::DailyConfig config;
-  config.fleet.num_servers = 200;
-  config.num_vms = 3000;
-  config.warmup_s = bench::kWarmup;
-  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  scenario::DailyConfig config = bench::scaled_daily_config(200, 3000, 24.0);
   return config;
 }
 
@@ -42,10 +38,7 @@ void emit_series() {
 
 void BM_SweepPoint(benchmark::State& state) {
   for (auto _ : state) {
-    scenario::DailyConfig config = sweep_config();
-    config.fleet.num_servers = 50;
-    config.num_vms = 750;
-    config.horizon_s = config.warmup_s + 6.0 * sim::kHour;
+    scenario::DailyConfig config = bench::scaled_daily_config(50, 750, 6.0);
     scenario::DailyScenario daily(config);
     daily.run();
     benchmark::DoNotOptimize(daily.datacenter().energy_joules());

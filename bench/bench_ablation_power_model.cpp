@@ -12,11 +12,7 @@ using namespace ecocloud;
 namespace {
 
 double run_energy(double idle_fraction, scenario::Algorithm algorithm) {
-  scenario::DailyConfig config;
-  config.fleet.num_servers = 120;
-  config.num_vms = 1800;
-  config.warmup_s = bench::kWarmup;
-  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  scenario::DailyConfig config = bench::scaled_daily_config(120, 1800, 24.0);
   scenario::DailyScenario daily(config, algorithm);
   // Rebuild the data center's power model via a fresh scenario is not
   // possible post-hoc; instead scale using a custom fleet. The power model

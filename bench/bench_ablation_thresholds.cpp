@@ -9,11 +9,7 @@ using namespace ecocloud;
 namespace {
 
 scenario::DailyConfig sweep_config() {
-  scenario::DailyConfig config;
-  config.fleet.num_servers = 200;
-  config.num_vms = 3000;
-  config.warmup_s = bench::kWarmup;
-  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  scenario::DailyConfig config = bench::scaled_daily_config(200, 3000, 24.0);
   return config;
 }
 

@@ -14,11 +14,7 @@ using namespace ecocloud;
 namespace {
 
 scenario::DailyConfig comparison_config() {
-  scenario::DailyConfig config;
-  config.fleet.num_servers = 200;
-  config.num_vms = 3000;
-  config.warmup_s = bench::kWarmup;
-  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  scenario::DailyConfig config = bench::scaled_daily_config(200, 3000, 24.0);
   config.seed = 424242;  // identical workload for every contender
   return config;
 }
@@ -82,15 +78,9 @@ void emit_series() {
 
 void BM_CentralizedReoptimizePass(benchmark::State& state) {
   sim::Simulator simulator;
-  dc::DataCenter d;
   util::Rng rng(9);
-  for (int i = 0; i < 200; ++i) {
-    const auto s = d.add_server(6, 2000.0);
-    d.start_booting(0.0, s);
-    d.finish_booting(0.0, s);
-    const auto v = d.create_vm(rng.uniform(0.1, 0.9) * 12000.0);
-    d.place_vm(0.0, v, s);
-  }
+  dc::DataCenter d = bench::make_loaded_fleet(
+      200, [&rng](std::size_t) { return rng.uniform(0.1, 0.9) * 12000.0; });
   baseline::CentralizedParams params;
   baseline::CentralizedController controller(simulator, d, params, util::Rng(10));
   for (auto _ : state) {

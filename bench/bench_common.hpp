@@ -36,6 +36,49 @@ inline scenario::DailyConfig paper_daily_config() {
   return config;
 }
 
+/// Daily configuration scaled to an arbitrary fleet/population/horizon —
+/// the sweep benches all run reduced scenarios of this shape.
+inline scenario::DailyConfig scaled_daily_config(std::size_t servers,
+                                                 std::size_t vms, double hours,
+                                                 sim::SimTime warmup = kWarmup) {
+  scenario::DailyConfig config;
+  config.fleet.num_servers = servers;
+  config.num_vms = vms;
+  config.warmup_s = warmup;
+  config.horizon_s = warmup + hours * sim::kHour;
+  return config;
+}
+
+/// Fully active fleet of \p n identical servers (micro-kernel setup shared
+/// by the google-benchmark bodies).
+inline dc::DataCenter make_active_fleet(std::size_t n, unsigned cores = 6,
+                                        double core_mhz = 2000.0,
+                                        double ram_mb = 0.0) {
+  dc::DataCenter d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = d.add_server(cores, core_mhz, ram_mb);
+    d.start_booting(0.0, s);
+    d.finish_booting(0.0, s);
+  }
+  return d;
+}
+
+/// Active fleet with one VM per server; \p demand_mhz(i) gives VM i's
+/// demand so benches control the utilization profile.
+template <typename DemandFn>
+dc::DataCenter make_loaded_fleet(std::size_t n, DemandFn&& demand_mhz,
+                                 unsigned cores = 6, double core_mhz = 2000.0) {
+  dc::DataCenter d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = d.add_server(cores, core_mhz);
+    d.start_booting(0.0, s);
+    d.finish_booting(0.0, s);
+    const auto v = d.create_vm(demand_mhz(i));
+    d.place_vm(0.0, v, s);
+  }
+  return d;
+}
+
 /// Reported hour for a sample time (warm-up-shifted).
 inline double report_hour(sim::SimTime t) { return (t - kWarmup) / sim::kHour; }
 

@@ -11,11 +11,7 @@ using namespace ecocloud;
 namespace {
 
 void run_point(std::size_t group_size) {
-  scenario::DailyConfig config;
-  config.fleet.num_servers = 200;
-  config.num_vms = 3000;
-  config.warmup_s = bench::kWarmup;
-  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  scenario::DailyConfig config = bench::scaled_daily_config(200, 3000, 24.0);
   config.params.invite_group_size = group_size;
   scenario::DailyScenario daily(config);
   daily.run();
@@ -45,14 +41,8 @@ void emit_series() {
 }
 
 void BM_InvitationRoundBroadcastVsGroup(benchmark::State& state) {
-  dc::DataCenter d;
-  for (int i = 0; i < 2000; ++i) {
-    const auto s = d.add_server(6, 2000.0);
-    d.start_booting(0.0, s);
-    d.finish_booting(0.0, s);
-    const auto v = d.create_vm(0.6 * 12000.0);
-    d.place_vm(0.0, v, s);
-  }
+  dc::DataCenter d = bench::make_loaded_fleet(
+      2000, [](std::size_t) { return 0.6 * 12000.0; });
   core::EcoCloudParams params;
   params.invite_group_size = static_cast<std::size_t>(state.range(0));
   util::Rng rng(4);

@@ -19,11 +19,7 @@ namespace {
 // so the availability figure must cover the same window as the energy
 // accounting.
 scenario::DailyConfig sweep_config() {
-  scenario::DailyConfig config;
-  config.fleet.num_servers = 150;
-  config.num_vms = 2250;
-  config.warmup_s = 0.0;
-  config.horizon_s = 24.0 * sim::kHour;
+  scenario::DailyConfig config = bench::scaled_daily_config(150, 2250, 24.0, 0.0);
   return config;
 }
 
@@ -126,11 +122,7 @@ BENCHMARK(BM_FaultModelSampling);
 
 void BM_DailyRunWithCrashes(benchmark::State& state) {
   for (auto _ : state) {
-    scenario::DailyConfig config;
-    config.fleet.num_servers = 60;
-    config.num_vms = 900;
-    config.warmup_s = 0.0;
-    config.horizon_s = 6.0 * sim::kHour;
+    scenario::DailyConfig config = bench::scaled_daily_config(60, 900, 6.0, 0.0);
     config.faults.server_mtbf_s = static_cast<double>(state.range(0)) * 3600.0;
     config.faults.server_mttr_s = 600.0;
     scenario::DailyScenario daily(config);

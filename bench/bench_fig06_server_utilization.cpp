@@ -53,10 +53,8 @@ void emit_series() {
 
 void BM_Daily48hSimulation(benchmark::State& state) {
   for (auto _ : state) {
-    scenario::DailyConfig config = bench::paper_daily_config();
-    config.fleet.num_servers = 100;  // quarter-scale for the timing kernel
-    config.num_vms = 1500;
-    config.horizon_s = bench::kWarmup + 12.0 * sim::kHour;
+    // Quarter-scale for the timing kernel.
+    scenario::DailyConfig config = bench::scaled_daily_config(100, 1500, 12.0);
     scenario::DailyScenario daily(config);
     daily.run();
     benchmark::DoNotOptimize(daily.datacenter().energy_joules());

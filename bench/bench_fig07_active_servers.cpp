@@ -48,12 +48,7 @@ void emit_series() {
 }
 
 void BM_ActiveUtilizationSnapshot(benchmark::State& state) {
-  dc::DataCenter d;
-  for (int i = 0; i < 400; ++i) {
-    const auto s = d.add_server(6, 2000.0);
-    d.start_booting(0.0, s);
-    d.finish_booting(0.0, s);
-  }
+  dc::DataCenter d = bench::make_active_fleet(400);
   for (auto _ : state) {
     benchmark::DoNotOptimize(d.active_utilizations());
   }

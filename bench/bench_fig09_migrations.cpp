@@ -39,19 +39,13 @@ void emit_series() {
 }
 
 void BM_MigrationCheck(benchmark::State& state) {
-  dc::DataCenter d;
+  // 100 active servers at mixed utilizations; one source below Tl.
+  dc::DataCenter d = bench::make_loaded_fleet(
+      100, [](std::size_t i) { return (i == 0 ? 0.2 : 0.7) * 12000.0; });
   core::EcoCloudParams params;
   util::Rng rng(5);
   core::AssignmentProcedure assignment(params, rng);
   core::MigrationProcedure migration(params, assignment, rng);
-  // 100 active servers at mixed utilizations; one source below Tl.
-  for (int i = 0; i < 100; ++i) {
-    const auto s = d.add_server(6, 2000.0);
-    d.start_booting(0.0, s);
-    d.finish_booting(0.0, s);
-    const auto v = d.create_vm((i == 0 ? 0.2 : 0.7) * 12000.0);
-    d.place_vm(0.0, v, s);
-  }
   for (auto _ : state) {
     d.server_mutable(0).set_migration_cooldown_until(-1.0);
     bool fired = false;

@@ -22,16 +22,11 @@ void emit_series() {
 
   // A frozen fleet with a spread of utilizations.
   const std::size_t n = 20;
-  dc::DataCenter d;
   std::vector<double> u(n);
-  for (std::size_t s = 0; s < n; ++s) {
-    const auto id = d.add_server(6, 2000.0);
-    d.start_booting(0.0, id);
-    d.finish_booting(0.0, id);
+  dc::DataCenter d = bench::make_loaded_fleet(n, [&u](std::size_t s) {
     u[s] = 0.04 * static_cast<double>(s + 1);  // 0.04 .. 0.80
-    const auto vm = d.create_vm(u[s] * 12000.0);
-    d.place_vm(0.0, vm, id);
-  }
+    return u[s] * 12000.0;
+  });
 
   // Empirical: many invitation rounds for a tiny VM (so `fit` never
   // interferes), counting who wins.

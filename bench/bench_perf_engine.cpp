@@ -1,0 +1,190 @@
+// Engine-throughput benchmark: how many simulator events per second the
+// ecoCloud engine sustains on trace-driven daily scenarios. Unlike the
+// figure benches this one measures the *simulation engine itself* — the
+// event calendar, the per-state server indices, the controller hot path —
+// so the numbers are tracked across PRs via BENCH_engine.json.
+//
+// Scenarios:
+//   paper    — the paper's Sec. III experiment: 400 servers / 6,000 VMs /
+//              48 h (+ 6 h warm-up).
+//   scaleup  — 10x the paper: 4,000 servers / 60,000 VMs / 48 h, where any
+//              O(num_servers) cost on the per-event path dominates.
+//   ci       — reduced smoke: 100 servers / 1,500 VMs / 6 h (CI runners).
+//
+// Output: one JSON object per scenario (events, wall seconds, events/sec,
+// peak RSS, heap allocations) written to --out (default BENCH_engine.json).
+// CI fails on crash or malformed JSON only — never on wall time.
+
+#include "bench_common.hpp"
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+// Heap-allocation counter: the engine claims "no allocation per event", so
+// the bench counts global operator new calls around each run. Replacing
+// operator new is binary-wide, which is exactly the scope we want here.
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace ecocloud;
+
+struct EngineRun {
+  std::string name;
+  std::size_t servers = 0;
+  std::size_t vms = 0;
+  double sim_hours = 0.0;  // reported horizon, warm-up excluded
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double peak_rss_mb = 0.0;
+  std::uint64_t allocations = 0;
+  std::uint64_t migrations = 0;
+  double energy_kwh = 0.0;
+};
+
+double peak_rss_mb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+EngineRun run_scenario(const char* name, std::size_t servers, std::size_t vms,
+                       double hours) {
+  EngineRun out;
+  out.name = name;
+  out.servers = servers;
+  out.vms = vms;
+  out.sim_hours = hours;
+
+  scenario::DailyConfig config = bench::scaled_daily_config(servers, vms, hours);
+  scenario::DailyScenario daily(config);
+
+  const std::uint64_t allocs_before =
+      g_allocation_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  daily.run();
+  const auto stop = std::chrono::steady_clock::now();
+  out.allocations =
+      g_allocation_count.load(std::memory_order_relaxed) - allocs_before;
+
+  out.events = daily.simulator().executed_events();
+  out.wall_s = std::chrono::duration<double>(stop - start).count();
+  out.events_per_sec =
+      out.wall_s > 0.0 ? static_cast<double>(out.events) / out.wall_s : 0.0;
+  out.peak_rss_mb = peak_rss_mb();
+  out.migrations = daily.datacenter().total_migrations();
+  out.energy_kwh = daily.datacenter().energy_joules() / 3.6e6;
+  std::printf("%s,%zu,%zu,%.0f,%llu,%.3f,%.0f,%.1f,%llu\n", name, servers, vms,
+              hours, static_cast<unsigned long long>(out.events), out.wall_s,
+              out.events_per_sec, out.peak_rss_mb,
+              static_cast<unsigned long long>(out.allocations));
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<EngineRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_perf_engine: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"engine_throughput\",\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const EngineRun& r = runs[i];
+    std::fprintf(f,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"servers\": %zu,\n"
+                 "      \"vms\": %zu,\n"
+                 "      \"sim_hours\": %.1f,\n"
+                 "      \"events\": %llu,\n"
+                 "      \"wall_seconds\": %.3f,\n"
+                 "      \"events_per_sec\": %.1f,\n"
+                 "      \"peak_rss_mb\": %.1f,\n"
+                 "      \"allocations\": %llu,\n"
+                 "      \"allocations_per_event\": %.4f,\n"
+                 "      \"migrations\": %llu,\n"
+                 "      \"energy_kwh\": %.3f\n"
+                 "    }%s\n",
+                 r.name.c_str(), r.servers, r.vms, r.sim_hours,
+                 static_cast<unsigned long long>(r.events), r.wall_s,
+                 r.events_per_sec, r.peak_rss_mb,
+                 static_cast<unsigned long long>(r.allocations),
+                 r.events > 0
+                     ? static_cast<double>(r.allocations) /
+                           static_cast<double>(r.events)
+                     : 0.0,
+                 static_cast<unsigned long long>(r.migrations), r.energy_kwh,
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_engine.json";
+  std::string which = "all";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      which = argv[++i];
+    } else if (arg == "--series-only") {
+      // Accepted for CI uniformity with the other benches: the series *is*
+      // the measurement here, so there is nothing to skip.
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_perf_engine [--scenario paper|scaleup|ci|all] "
+                   "[--out PATH]\n");
+      return 2;
+    }
+  }
+
+  bench::banner("Engine", "simulation-engine throughput (events/sec)");
+  std::printf("scenario,servers,vms,sim_hours,events,wall_s,events_per_sec,"
+              "peak_rss_mb,allocations\n");
+
+  std::vector<EngineRun> runs;
+  if (which == "paper" || which == "all") {
+    runs.push_back(run_scenario("paper", 400, 6000, 48.0));
+  }
+  if (which == "scaleup" || which == "all") {
+    runs.push_back(run_scenario("scaleup_4000", 4000, 60000, 48.0));
+  }
+  if (which == "ci") {
+    runs.push_back(run_scenario("ci_smoke", 100, 1500, 6.0));
+  }
+  if (runs.empty()) {
+    std::fprintf(stderr, "bench_perf_engine: unknown scenario '%s'\n",
+                 which.c_str());
+    return 2;
+  }
+  write_json(out_path, runs);
+  return 0;
+}

@@ -12,11 +12,7 @@ using namespace ecocloud;
 namespace {
 
 scenario::DailyConfig base_config() {
-  scenario::DailyConfig config;
-  config.fleet.num_servers = 120;
-  config.num_vms = 1800;
-  config.warmup_s = bench::kWarmup;
-  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  scenario::DailyConfig config = bench::scaled_daily_config(120, 1800, 24.0);
   config.seed = 77000;
   return config;
 }

@@ -15,16 +15,9 @@ using namespace ecocloud;
 namespace {
 
 dc::DataCenter make_fleet(std::size_t n) {
-  dc::DataCenter d;
   util::Rng rng(31);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto s = d.add_server(6, 2000.0);
-    d.start_booting(0.0, s);
-    d.finish_booting(0.0, s);
-    const auto v = d.create_vm(rng.uniform(0.3, 0.85) * 12000.0);
-    d.place_vm(0.0, v, s);
-  }
-  return d;
+  return bench::make_loaded_fleet(
+      n, [&rng](std::size_t) { return rng.uniform(0.3, 0.85) * 12000.0; });
 }
 
 void emit_series() {

@@ -12,11 +12,7 @@ using namespace ecocloud;
 namespace {
 
 void run_point(std::size_t racks) {
-  scenario::DailyConfig config;
-  config.fleet.num_servers = 200;
-  config.num_vms = 3000;
-  config.warmup_s = bench::kWarmup;
-  config.horizon_s = bench::kWarmup + 24.0 * sim::kHour;
+  scenario::DailyConfig config = bench::scaled_daily_config(200, 3000, 24.0);
   if (racks > 0) {
     net::TopologyConfig topology;
     topology.num_racks = racks;

@@ -54,11 +54,13 @@ AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,
       }
     }
   } else {
-    contacted.reserve(datacenter.active_server_count());
-    for (const dc::Server& server : datacenter.servers()) {
-      if (server.active() && server.id() != exclude) {
-        contacted.push_back(server.id());
-      }
+    // The active index is already sorted ascending — the same order the old
+    // full-fleet scan produced, so downstream RNG draws are unchanged.
+    const std::vector<dc::ServerId>& active =
+        datacenter.servers_with(dc::ServerState::kActive);
+    contacted.reserve(active.size());
+    for (dc::ServerId id : active) {
+      if (id != exclude) contacted.push_back(id);
     }
   }
   if (params_.invite_group_size > 0 && contacted.size() > params_.invite_group_size) {

@@ -103,7 +103,12 @@ bool EcoCloudController::queue_on_booting(dc::VmId vm) {
   for (auto& [server_id, queue] : boot_queues_) {
     const dc::Server& server = dc_.server(server_id);
     if (!server.booting()) continue;
-    if ((queue.queued_mhz + machine.demand_mhz) / server.capacity_mhz() <= params_.ta) {
+    // Count capacity reserved for inbound migrations too (as
+    // booting_with_room does) — otherwise a server can be over-committed by
+    // queued deployments racing in-flight migrations to the same target.
+    const double committed =
+        queue.queued_mhz + server.reserved_mhz() + machine.demand_mhz;
+    if (committed / server.capacity_mhz() <= params_.ta) {
       queue_vm(server_id, vm);
       return true;
     }
@@ -112,7 +117,8 @@ bool EcoCloudController::queue_on_booting(dc::VmId vm) {
 }
 
 std::optional<dc::ServerId> EcoCloudController::wake_one_server() {
-  std::vector<dc::ServerId> sleeping = dc_.servers_in_state(dc::ServerState::kHibernated);
+  const std::vector<dc::ServerId>& sleeping =
+      dc_.servers_with(dc::ServerState::kHibernated);
   if (sleeping.empty()) return std::nullopt;
   const dc::ServerId chosen = sleeping[rng_.index(sleeping.size())];
   const sim::SimTime now = sim_.now();

@@ -18,6 +18,12 @@ MigrationProcedure::MigrationProcedure(const EcoCloudParams& params,
 
 double MigrationProcedure::effective_utilization(const dc::DataCenter& datacenter,
                                                  const dc::Server& server) {
+  // The common monitor-tick case: nothing is leaving, so the outbound sum
+  // is exactly 0.0 and the loop below would reproduce demand/capacity
+  // bit-for-bit. Skipping it avoids touching every hosted VM's record.
+  if (server.migrating_out_count() == 0) {
+    return util::clamp01(server.demand_ratio());
+  }
   double outbound = 0.0;
   for (dc::VmId v : server.vms()) {
     if (datacenter.vm(v).migrating()) outbound += datacenter.vm(v).demand_mhz;

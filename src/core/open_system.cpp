@@ -41,7 +41,10 @@ void OpenSystemDriver::schedule_departure(dc::VmId vm) {
 
 void OpenSystemDriver::seed_initial_population(std::size_t count) {
   const sim::SimTime now = sim_.now();
-  const auto active = dc_.servers_in_state(dc::ServerState::kActive);
+  // Borrow the live index: place_vm never transitions server state, so the
+  // reference stays valid for the whole seeding loop.
+  const std::vector<dc::ServerId>& active =
+      dc_.servers_with(dc::ServerState::kActive);
   util::require(!active.empty(),
                 "OpenSystemDriver::seed_initial_population: no active servers");
   for (std::size_t i = 0; i < count; ++i) {

@@ -11,6 +11,9 @@ DataCenter::DataCenter(PowerModel power_model) : power_model_(power_model) {}
 ServerId DataCenter::add_server(unsigned num_cores, double core_mhz, double ram_mb) {
   const auto id = static_cast<ServerId>(servers_.size());
   servers_.emplace_back(id, num_cores, core_mhz, ram_mb);
+  // Ids are handed out in increasing order, so push_back keeps the
+  // hibernated index sorted.
+  state_index(ServerState::kHibernated).push_back(id);
   total_capacity_mhz_ += servers_.back().capacity_mhz();
   power_contrib_w_.push_back(power_model_.power_w(servers_.back()));
   total_power_w_ += power_contrib_w_.back();
@@ -38,20 +41,22 @@ double DataCenter::overall_load() const {
 }
 
 std::vector<ServerId> DataCenter::servers_in_state(ServerState state) const {
-  std::vector<ServerId> out;
-  for (const Server& s : servers_) {
-    if (s.state() == state) out.push_back(s.id());
-  }
-  return out;
+  return servers_with(state);
 }
 
 std::vector<double> DataCenter::active_utilizations() const {
+  const std::vector<ServerId>& active = servers_with(ServerState::kActive);
   std::vector<double> out;
-  out.reserve(active_count_);
-  for (const Server& s : servers_) {
-    if (s.active()) out.push_back(s.utilization());
-  }
+  out.reserve(active.size());
+  for (ServerId s : active) out.push_back(servers_[s].utilization());
   return out;
+}
+
+void DataCenter::move_server_index(ServerId s, ServerState from, ServerState to) {
+  std::vector<ServerId>& src = state_index(from);
+  src.erase(std::lower_bound(src.begin(), src.end(), s));
+  std::vector<ServerId>& dst = state_index(to);
+  dst.insert(std::lower_bound(dst.begin(), dst.end(), s), s);
 }
 
 void DataCenter::advance_to(sim::SimTime t) {
@@ -185,6 +190,7 @@ void DataCenter::begin_migration(sim::SimTime t, VmId v, ServerId dest) {
   machine.migrating_to = dest;
   machine.reserved_at_dest_mhz = machine.demand_mhz;
   target.add_reservation(machine.reserved_at_dest_mhz);
+  servers_.at(machine.host).add_migrating_out();
   ++inflight_;
   max_inflight_ = std::max(max_inflight_, inflight_);
 }
@@ -202,6 +208,7 @@ void DataCenter::complete_migration(sim::SimTime t, VmId v) {
   machine.reserved_at_dest_mhz = 0.0;
   machine.overload_total_s +=
       server_overload_seconds(src, t) - machine.overload_baseline_s;
+  servers_.at(src).remove_migrating_out();
   servers_.at(src).unhost_vm(v, machine.demand_mhz, machine.ram_mb);
   target.host_vm(v, machine.demand_mhz, machine.ram_mb);
   machine.host = dest;
@@ -218,6 +225,7 @@ void DataCenter::cancel_migration(sim::SimTime t, VmId v) {
   Vm& machine = vms_.at(v);
   util::require(machine.migrating(), "DataCenter::cancel_migration: not migrating");
   servers_.at(machine.migrating_to).remove_reservation(machine.reserved_at_dest_mhz);
+  servers_.at(machine.host).remove_migrating_out();
   machine.reserved_at_dest_mhz = 0.0;
   machine.migrating_to = kNoServer;
   --inflight_;
@@ -228,7 +236,7 @@ void DataCenter::start_booting(sim::SimTime t, ServerId s) {
   Server& srv = servers_.at(s);
   util::require(srv.hibernated(), "DataCenter::start_booting: server not hibernated");
   srv.set_state(ServerState::kBooting);
-  ++booting_count_;
+  move_server_index(s, ServerState::kHibernated, ServerState::kBooting);
   refresh_server(t, s);
 }
 
@@ -237,8 +245,7 @@ void DataCenter::finish_booting(sim::SimTime t, ServerId s) {
   Server& srv = servers_.at(s);
   util::require(srv.booting(), "DataCenter::finish_booting: server not booting");
   srv.set_state(ServerState::kActive);
-  --booting_count_;
-  ++active_count_;
+  move_server_index(s, ServerState::kBooting, ServerState::kActive);
   ++activations_;
   refresh_server(t, s);
 }
@@ -251,7 +258,7 @@ void DataCenter::hibernate(sim::SimTime t, ServerId s) {
   util::require(srv.reserved_mhz() == 0.0,
                 "DataCenter::hibernate: inbound migration reservation pending");
   srv.set_state(ServerState::kHibernated);
-  --active_count_;
+  move_server_index(s, ServerState::kActive, ServerState::kHibernated);
   ++hibernations_;
   refresh_server(t, s);
 }
@@ -281,16 +288,10 @@ std::vector<VmId> DataCenter::fail_server(sim::SimTime t, ServerId s) {
     --placed_vm_count_;
   }
 
-  switch (srv.state()) {
-    case ServerState::kActive: --active_count_; break;
-    case ServerState::kBooting: --booting_count_; break;
-    case ServerState::kHibernated: break;
-    case ServerState::kFailed: break;  // unreachable (checked above)
-  }
+  move_server_index(s, srv.state(), ServerState::kFailed);
   srv.set_state(ServerState::kFailed);
   srv.set_grace_until(-1.0);
   srv.set_migration_cooldown_until(-1.0);
-  ++failed_count_;
   ++failures_;
   refresh_server(t, s);
   return orphans;
@@ -301,7 +302,7 @@ void DataCenter::repair_server(sim::SimTime t, ServerId s) {
   Server& srv = servers_.at(s);
   util::require(srv.failed(), "DataCenter::repair_server: server not failed");
   srv.set_state(ServerState::kHibernated);
-  --failed_count_;
+  move_server_index(s, ServerState::kFailed, ServerState::kHibernated);
   ++repairs_;
   refresh_server(t, s);
 }

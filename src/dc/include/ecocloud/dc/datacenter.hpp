@@ -12,6 +12,7 @@
 /// baselines drive it through the same interface, which is what makes the
 /// comparison benches apples-to-apples.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -55,8 +56,12 @@ class DataCenter {
   [[nodiscard]] const std::vector<Server>& servers() const { return servers_; }
   [[nodiscard]] const PowerModel& power_model() const { return power_model_; }
 
-  [[nodiscard]] std::size_t active_server_count() const { return active_count_; }
-  [[nodiscard]] std::size_t booting_server_count() const { return booting_count_; }
+  [[nodiscard]] std::size_t active_server_count() const {
+    return servers_with(ServerState::kActive).size();
+  }
+  [[nodiscard]] std::size_t booting_server_count() const {
+    return servers_with(ServerState::kBooting).size();
+  }
   [[nodiscard]] std::size_t placed_vm_count() const { return placed_vm_count_; }
 
   /// Sum of all server capacities (MHz), regardless of state.
@@ -72,10 +77,21 @@ class DataCenter {
   /// Instantaneous total power draw (W) over all servers.
   [[nodiscard]] double total_power_w() const { return total_power_w_; }
 
-  /// Ids of servers currently in the given state.
+  /// Ids of servers currently in the given state, ascending by id — a live
+  /// view of the incremental per-state index, maintained inside the state
+  /// transitions so no reader ever scans the full fleet. The ascending
+  /// order matches what a full scan of servers_ would produce, which pins
+  /// the RNG draw sequence of every consumer (invitation rounds, wake-up
+  /// picks) to the pre-index behavior. The reference is invalidated by any
+  /// state transition; copy it before mutating.
+  [[nodiscard]] const std::vector<ServerId>& servers_with(ServerState state) const {
+    return state_index_[static_cast<std::size_t>(state)];
+  }
+
+  /// Ids of servers currently in the given state (owning copy).
   [[nodiscard]] std::vector<ServerId> servers_in_state(ServerState state) const;
 
-  /// Utilizations of all active servers.
+  /// Utilizations of all active servers (ascending server id).
   [[nodiscard]] std::vector<double> active_utilizations() const;
 
   // --- Accounting (integrated exactly between events) ----------------------
@@ -160,7 +176,9 @@ class DataCenter {
   [[nodiscard]] std::uint64_t total_migrations() const { return migrations_; }
   [[nodiscard]] std::uint64_t total_failures() const { return failures_; }
   [[nodiscard]] std::uint64_t total_repairs() const { return repairs_; }
-  [[nodiscard]] std::size_t failed_server_count() const { return failed_count_; }
+  [[nodiscard]] std::size_t failed_server_count() const {
+    return servers_with(ServerState::kFailed).size();
+  }
 
   /// Migrations currently in flight, and the historical maximum — the
   /// paper's "simultaneous migration of many VMs" criticism of centralized
@@ -172,6 +190,13 @@ class DataCenter {
   /// Refresh cached per-server contributions (power, overloaded VM count)
   /// after server \p s changed; updates overload episode tracking at time t.
   void refresh_server(sim::SimTime t, ServerId s);
+
+  [[nodiscard]] std::vector<ServerId>& state_index(ServerState state) {
+    return state_index_[static_cast<std::size_t>(state)];
+  }
+
+  /// Move \p s between per-state index sets, keeping both sorted by id.
+  void move_server_index(ServerId s, ServerState from, ServerState to);
 
   PowerModel power_model_;
   std::vector<Server> servers_;
@@ -187,8 +212,11 @@ class DataCenter {
   // Closed-episode overload seconds per server (open episode added lazily).
   std::vector<double> overload_accum_s_;
 
-  std::size_t active_count_ = 0;
-  std::size_t booting_count_ = 0;
+  // Per-state server-id sets, each kept sorted ascending (one slot per
+  // ServerState enumerator). Updated incrementally by the state-transition
+  // mutators; every "which servers are <state>" read goes through these.
+  std::array<std::vector<ServerId>, 4> state_index_;
+
   std::size_t placed_vm_count_ = 0;
   double total_capacity_mhz_ = 0.0;
   double total_demand_mhz_ = 0.0;
@@ -206,7 +234,6 @@ class DataCenter {
   std::uint64_t migrations_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t repairs_ = 0;
-  std::size_t failed_count_ = 0;
   std::size_t inflight_ = 0;
   std::size_t max_inflight_ = 0;
 };

@@ -104,6 +104,12 @@ class Server {
   /// sub-epsilon residue when concurrent reservations release out of
   /// order, so exact "no inbound migration" checks must use this count.
   [[nodiscard]] std::size_t reservation_count() const { return reservation_count_; }
+  /// Hosted VMs currently migrating out. Zero means every hosted VM's
+  /// demand counts fully here, so effective utilization equals demand
+  /// ratio exactly — the fast path the load evaluator relies on.
+  [[nodiscard]] std::size_t migrating_out_count() const { return migrating_out_count_; }
+  void add_migrating_out() { ++migrating_out_count_; }
+  void remove_migrating_out() { --migrating_out_count_; }
   /// Drop all reservations, residue included (fail-stop teardown only).
   void clear_reservations() {
     reserved_mhz_ = 0.0;
@@ -121,6 +127,7 @@ class Server {
   double ram_used_mb_ = 0.0;
   double reserved_mhz_ = 0.0;
   std::size_t reservation_count_ = 0;
+  std::size_t migrating_out_count_ = 0;
   std::vector<VmId> vms_;
   sim::SimTime grace_until_ = -1.0;
   sim::SimTime migration_cooldown_until_ = -1.0;

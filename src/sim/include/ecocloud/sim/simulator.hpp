@@ -7,12 +7,30 @@
 /// future timestamps, executed in (time, insertion-sequence) order so that
 /// simultaneous events fire deterministically in scheduling order. Events
 /// can be cancelled through their handle; cancelled entries are dropped
-/// lazily when they reach the top of the heap.
+/// lazily when they reach the front of their queue.
+///
+/// Event records live in a slab: a chunked arena of reusable slots with a
+/// free list, addressed by {slot, generation}. Scheduling an event costs no
+/// heap allocation once the slab has warmed up (the callback's own closure
+/// state lives inside the record and is recycled with it). The generation
+/// counter makes stale handles safe: a slot reused for a new event bumps
+/// its generation, and handles carrying the old generation report dead
+/// instead of touching the new occupant.
+///
+/// The calendar itself is two-tier. One-shot events and the first
+/// occurrence of each periodic chain live in a 4-ary min-heap of 16-byte
+/// POD entries. Periodic re-arms — the overwhelming majority of events in
+/// a steady-state run — bypass the heap entirely: all chains sharing a
+/// period cycle through a FIFO ring that is sorted by construction
+/// (re-arms happen at monotonically increasing now + period), so the
+/// dominant pop/push pair is O(1) instead of O(log n). The next event is
+/// the (time, seq) minimum over the heap top and the ring fronts; since
+/// that order is total, the pop sequence is bit-identical to a single
+/// global queue's.
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "ecocloud/sim/time.hpp"
@@ -23,7 +41,7 @@ class Simulator;
 
 /// Handle to a scheduled event; allows cancellation and liveness queries.
 /// Handles are cheap to copy and remain valid after the event fires (they
-/// simply report inactive).
+/// simply report inactive). A handle must not outlive its Simulator.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -36,9 +54,12 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  struct Record;
-  explicit EventHandle(std::shared_ptr<Record> record);
-  std::shared_ptr<Record> record_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t generation)
+      : sim_(sim), slot_(slot), generation_(generation) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 /// Single-threaded discrete-event simulator.
@@ -72,37 +93,143 @@ class Simulator {
   /// Run all events with time <= \p end, then advance the clock to \p end.
   void run_until(SimTime end);
 
-  /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending_events() const { return live_events_; }
+  /// Number of queued event entries. Cancellation is lazy, so entries whose
+  /// event was cancelled stay counted until the calendar pops them.
+  [[nodiscard]] std::size_t pending_events() const;
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct QueueEntry;
-  struct Compare {
-    bool operator()(const QueueEntry& a, const QueueEntry& b) const;
+  friend class EventHandle;
+
+  /// Slab-resident event record, reused through the free list. The
+  /// generation distinguishes incarnations of the same slot so stale
+  /// handles read as dead rather than aliasing a later event.
+  struct Record {
+    Callback fn;
+    SimTime period = 0.0;  ///< > 0 marks a periodic chain.
+    std::uint32_t generation = 0;
+    std::uint32_t queue_refs = 0;  ///< Heap entries referencing this slot.
+    bool cancelled = false;
+    bool fired = false;
   };
 
-  void push(SimTime at, std::shared_ptr<EventHandle::Record> record);
+  /// Slot bits packed into the low end of QueueEntry::key; the sequence
+  /// number lives in the remaining high 44 bits. 2^20 concurrent events and
+  /// 2^44 total events are both orders of magnitude beyond any simulated
+  /// scenario; acquire_slot() enforces the former.
+  static constexpr unsigned kSlotBits = 20;
+  static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
+
+  /// 16-byte POD heap entry, so the four children of a heap node span a
+  /// single cache line. `key` is (seq << kSlotBits) | slot: comparing keys
+  /// compares sequence numbers (seq is unique, so the slot bits never
+  /// decide), and the slot rides along for free.
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t key;
+  };
+
+  [[nodiscard]] static std::uint32_t entry_slot(const QueueEntry& e) {
+    return static_cast<std::uint32_t>(e.key) & (kMaxSlots - 1);
+  }
+
+  /// True when \p a fires strictly before \p b: (time, seq) lexicographic,
+  /// so simultaneous events keep FIFO order. The order is total (seq is
+  /// unique), which is what lets the heap layout change freely — the pop
+  /// sequence is pinned by the order alone, not by heap internals.
+  [[nodiscard]] static bool earlier(const QueueEntry& a, const QueueEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  static constexpr std::uint32_t kChunkShift = 8;  // 256 records per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kNoSlot = ~static_cast<std::uint32_t>(0);
+
+  [[nodiscard]] Record& record(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Record& record(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  /// Take a slot from the free list (growing the slab if empty) and reset
+  /// its flags. The generation is left as bumped by the last release.
+  std::uint32_t acquire_slot();
+
+  /// Return a slot to the free list, bumping its generation so outstanding
+  /// handles go stale, and releasing the callback's closure state.
+  void release_slot(std::uint32_t slot);
+
+  /// Sorted FIFO ring of re-armed occurrences sharing one period. Re-arms
+  /// happen at execution time with value now + period, and now is monotone,
+  /// so pushes arrive in nondecreasing (time, seq) order — the ring is
+  /// sorted by construction and pop/push are O(1). Since almost every event
+  /// in a steady-state run is a periodic monitor re-arm, routing those
+  /// around the heap removes the O(log n) sift from the dominant path;
+  /// the heap keeps one-shots and first occurrences (whose phase offsets
+  /// are not monotone).
+  struct PeriodRing {
+    SimTime period = 0.0;
+    std::vector<QueueEntry> buf;  ///< Power-of-two capacity.
+    std::size_t head = 0;         ///< Masked index of the front entry.
+    std::size_t count = 0;
+
+    [[nodiscard]] const QueueEntry& front() const { return buf[head]; }
+  };
+
+  /// Distinct periods served by rings; later periods fall back to the heap
+  /// (correct, just without the O(1) path). Scenarios use 2-4 periods.
+  static constexpr std::size_t kMaxRings = 8;
+
+  /// Ring serving \p period, created on first use; nullptr once kMaxRings
+  /// distinct periods exist.
+  PeriodRing* ring_for(SimTime period);
+  void ring_push(PeriodRing& ring, QueueEntry entry);
+  QueueEntry ring_pop(PeriodRing& ring);
+  /// Drop a cancelled ring front, releasing the record when its last
+  /// queued entry drains.
+  void ring_drop_front(PeriodRing& ring);
+
+  /// Index of the source holding the next live event: kFromHeap for the
+  /// heap, a ring index otherwise, kNoSource when everything is drained.
+  /// Cancelled front entries of every source are dropped on the way.
+  static constexpr int kNoSource = -2;
+  static constexpr int kFromHeap = -1;
+  int select_next();
+  /// Fire the front event of \p source (select_next's return, not kNoSource).
+  void execute_next(int source);
+
+  /// Restore the heap property after heap_[i] shrank (new entry) or grew
+  /// (top replacement). The calendar is a 4-ary implicit heap: half the
+  /// levels of a binary heap and all four children on one cache line,
+  /// which matters because the pop-path sift is the hottest heap loop.
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  /// Queue an entry for \p slot at time \p at.
+  void push(SimTime at, std::uint32_t slot);
+
+  /// Pop the heap top (the heap must not be empty).
+  QueueEntry pop_top();
+
+  /// Pop a heap-top entry whose record was cancelled, releasing the record
+  /// once its last entry drains.
+  void drop_top();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::size_t live_events_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Compare> queue_;
-};
-
-struct EventHandle::Record {
-  Simulator::Callback fn;
-  bool cancelled = false;
-  bool fired = false;
-};
-
-struct Simulator::QueueEntry {
-  SimTime time;
-  std::uint64_t seq;
-  std::shared_ptr<EventHandle::Record> record;
+  std::vector<QueueEntry> heap_;
+  std::vector<PeriodRing> rings_;
+  std::vector<std::unique_ptr<Record[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t allocated_slots_ = 0;
+  /// Slot whose callback is on the stack right now; its release is deferred
+  /// to execute_top's epilogue (guards re-entrant step()/run() calls).
+  std::uint32_t executing_slot_ = kNoSlot;
 };
 
 }  // namespace ecocloud::sim

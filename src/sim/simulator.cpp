@@ -1,39 +1,232 @@
 #include "ecocloud/sim/simulator.hpp"
 
+#include <algorithm>
+
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::sim {
 
-EventHandle::EventHandle(std::shared_ptr<Record> record)
-    : record_(std::move(record)) {}
-
 bool EventHandle::pending() const {
-  return record_ && !record_->cancelled && !record_->fired;
+  if (!sim_) return false;
+  const Simulator::Record& rec = sim_->record(slot_);
+  return rec.generation == generation_ && !rec.cancelled && !rec.fired;
 }
 
 bool EventHandle::cancel() {
   if (!pending()) return false;
-  record_->cancelled = true;
+  // A pending record always has at least one queued entry, so the lazy
+  // drain is guaranteed to release the slot eventually.
+  sim_->record(slot_).cancelled = true;
   return true;
 }
 
-bool Simulator::Compare::operator()(const QueueEntry& a, const QueueEntry& b) const {
-  if (a.time != b.time) return a.time > b.time;  // min-heap on time
-  return a.seq > b.seq;                          // FIFO among simultaneous
+std::uint32_t Simulator::acquire_slot() {
+  if (free_slots_.empty()) {
+    util::ensure(allocated_slots_ < kMaxSlots,
+                 "Simulator: too many concurrent events");
+    if ((allocated_slots_ & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<Record[]>(kChunkSize));
+    }
+    return allocated_slots_++;
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
 }
 
-void Simulator::push(SimTime at, std::shared_ptr<EventHandle::Record> record) {
-  queue_.push(QueueEntry{at, next_seq_++, std::move(record)});
-  ++live_events_;
+void Simulator::release_slot(std::uint32_t slot) {
+  Record& rec = record(slot);
+  ++rec.generation;   // outstanding handles go stale
+  rec.fn = nullptr;   // recycle the closure's state now, not at reuse
+  rec.period = 0.0;
+  rec.cancelled = false;
+  rec.fired = false;
+  free_slots_.push_back(slot);
+}
+
+void Simulator::sift_up(std::size_t i) {
+  const QueueEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const QueueEntry entry = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::push(SimTime at, std::uint32_t slot) {
+  ++record(slot).queue_refs;
+  heap_.push_back(QueueEntry{at, (next_seq_++ << kSlotBits) | slot});
+  sift_up(heap_.size() - 1);
+}
+
+Simulator::QueueEntry Simulator::pop_top() {
+  const QueueEntry entry = heap_.front();
+  const QueueEntry back = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = back;
+    sift_down(0);
+  }
+  return entry;
+}
+
+void Simulator::drop_top() {
+  const QueueEntry entry = pop_top();
+  const std::uint32_t slot = entry_slot(entry);
+  Record& rec = record(slot);
+  if (--rec.queue_refs == 0 && slot != executing_slot_) {
+    release_slot(slot);
+  }
+}
+
+Simulator::PeriodRing* Simulator::ring_for(SimTime period) {
+  for (PeriodRing& ring : rings_) {
+    if (ring.period == period) return &ring;
+  }
+  if (rings_.size() >= kMaxRings) return nullptr;
+  rings_.push_back(PeriodRing{});
+  rings_.back().period = period;
+  return &rings_.back();
+}
+
+void Simulator::ring_push(PeriodRing& ring, QueueEntry entry) {
+  if (ring.count == ring.buf.size()) {
+    // Grow to the next power of two, unwrapping so the front lands at 0.
+    std::vector<QueueEntry> grown(ring.buf.empty() ? 16 : 2 * ring.buf.size());
+    for (std::size_t i = 0; i < ring.count; ++i) {
+      grown[i] = ring.buf[(ring.head + i) & (ring.buf.size() - 1)];
+    }
+    ring.buf = std::move(grown);
+    ring.head = 0;
+  }
+  ring.buf[(ring.head + ring.count) & (ring.buf.size() - 1)] = entry;
+  ++ring.count;
+}
+
+Simulator::QueueEntry Simulator::ring_pop(PeriodRing& ring) {
+  const QueueEntry entry = ring.buf[ring.head];
+  ring.head = (ring.head + 1) & (ring.buf.size() - 1);
+  --ring.count;
+  return entry;
+}
+
+void Simulator::ring_drop_front(PeriodRing& ring) {
+  const QueueEntry entry = ring_pop(ring);
+  const std::uint32_t slot = entry_slot(entry);
+  Record& rec = record(slot);
+  if (--rec.queue_refs == 0 && slot != executing_slot_) {
+    release_slot(slot);
+  }
+}
+
+int Simulator::select_next() {
+  while (!heap_.empty() && record(entry_slot(heap_.front())).cancelled) {
+    drop_top();  // lazily drop cancelled heap entries
+  }
+  int best = kNoSource;
+  const QueueEntry* best_entry = nullptr;
+  if (!heap_.empty()) {
+    best = kFromHeap;
+    best_entry = &heap_.front();
+  }
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    PeriodRing& ring = rings_[r];
+    while (ring.count > 0 && record(entry_slot(ring.front())).cancelled) {
+      ring_drop_front(ring);
+    }
+    if (ring.count > 0 &&
+        (!best_entry || earlier(ring.front(), *best_entry))) {
+      best = static_cast<int>(r);
+      best_entry = &ring.front();
+    }
+  }
+  return best;
+}
+
+void Simulator::execute_next(int source) {
+  const bool from_heap = source == kFromHeap;
+  const QueueEntry entry =
+      from_heap ? heap_.front() : rings_[static_cast<std::size_t>(source)].front();
+  const std::uint32_t slot = entry_slot(entry);
+  Record& rec = record(slot);
+  now_ = entry.time;
+  rec.fired = true;
+  ++executed_;
+  if (rec.period > 0.0) {
+    // Re-arm the chain BEFORE invoking the callback so the handle stays
+    // pending during it and cancel() from inside stops the chain (the
+    // already-queued next occurrence is lazily dropped). The queue_refs
+    // -1/+1 of pop + re-arm cancels out.
+    rec.fired = false;
+    const QueueEntry next{now_ + rec.period, (next_seq_++ << kSlotBits) | slot};
+    if (!from_heap) {
+      PeriodRing& ring = rings_[static_cast<std::size_t>(source)];
+      ring_pop(ring);
+      ring_push(ring, next);
+    } else if (PeriodRing* ring = ring_for(rec.period)) {
+      // First occurrence fired from the heap (phase offsets are not
+      // monotone); every later one cycles through the period's ring.
+      pop_top();
+      ring_push(*ring, next);
+    } else {
+      heap_.front() = next;  // re-arm in place: one sift, not pop + push
+      sift_down(0);
+    }
+  } else {
+    --rec.queue_refs;
+    if (from_heap) {
+      pop_top();
+    } else {
+      ring_pop(rings_[static_cast<std::size_t>(source)]);
+    }
+  }
+  const std::uint32_t previous = executing_slot_;
+  executing_slot_ = slot;
+  // Chunked storage keeps &rec stable even when the callback schedules new
+  // events and the slab grows.
+  rec.fn();
+  executing_slot_ = previous;
+  // Release once the last queued entry is gone — unless an outer frame is
+  // still executing this very record (re-entrant run() from the callback).
+  if (rec.queue_refs == 0 && slot != executing_slot_) {
+    release_slot(slot);
+  }
+}
+
+std::size_t Simulator::pending_events() const {
+  std::size_t total = heap_.size();
+  for (const PeriodRing& ring : rings_) total += ring.count;
+  return total;
 }
 
 EventHandle Simulator::schedule_at(SimTime at, Callback fn) {
   util::require(at >= now_, "Simulator::schedule_at: cannot schedule in the past");
   util::require(static_cast<bool>(fn), "Simulator::schedule_at: empty callback");
-  auto record = std::make_shared<EventHandle::Record>();
-  record->fn = std::move(fn);
-  push(at, record);
-  return EventHandle(std::move(record));
+  const std::uint32_t slot = acquire_slot();
+  Record& rec = record(slot);
+  rec.fn = std::move(fn);
+  push(at, slot);
+  return EventHandle(this, slot, rec.generation);
 }
 
 EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
@@ -45,38 +238,19 @@ EventHandle Simulator::schedule_periodic(SimTime period, Callback fn, SimTime ph
   util::require(period > 0.0, "Simulator::schedule_periodic: period must be > 0");
   util::require(phase >= 0.0, "Simulator::schedule_periodic: phase must be >= 0");
   util::require(static_cast<bool>(fn), "Simulator::schedule_periodic: empty callback");
-
-  auto record = std::make_shared<EventHandle::Record>();
-  // The periodic callback reschedules its own record; the single handle
-  // cancels the whole chain because all occurrences share the record.
-  // Re-arm BEFORE invoking the user callback so the handle stays pending
-  // during the callback and cancel() from inside it stops the chain (the
-  // already-pushed next occurrence is lazily dropped).
-  record->fn = [this, record_weak = std::weak_ptr<EventHandle::Record>(record),
-                period, user_fn = std::move(fn)]() {
-    if (auto rec = record_weak.lock(); rec && !rec->cancelled) {
-      rec->fired = false;  // re-arm the shared record
-      push(now_ + period, rec);
-    }
-    user_fn();
-  };
-  push(now_ + phase, record);
-  return EventHandle(std::move(record));
+  const std::uint32_t slot = acquire_slot();
+  Record& rec = record(slot);
+  rec.fn = std::move(fn);
+  rec.period = period;
+  push(now_ + phase, slot);
+  return EventHandle(this, slot, rec.generation);
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
-    --live_events_;
-    if (entry.record->cancelled) continue;  // lazily drop cancelled entries
-    now_ = entry.time;
-    entry.record->fired = true;
-    ++executed_;
-    entry.record->fn();
-    return true;
-  }
-  return false;
+  const int source = select_next();
+  if (source == kNoSource) return false;
+  execute_next(source);
+  return true;
 }
 
 void Simulator::run() {
@@ -86,15 +260,16 @@ void Simulator::run() {
 
 void Simulator::run_until(SimTime end) {
   util::require(end >= now_, "Simulator::run_until: end precedes current time");
-  while (!queue_.empty()) {
-    const QueueEntry& top = queue_.top();
-    if (top.record->cancelled) {
-      queue_.pop();
-      --live_events_;
-      continue;
-    }
-    if (top.time > end) break;
-    step();
+  for (;;) {
+    // select_next already dropped every cancelled front, so the time check
+    // never sends a dead entry back through another selection round.
+    const int source = select_next();
+    if (source == kNoSource) break;
+    const QueueEntry& next = source == kFromHeap
+                                 ? heap_.front()
+                                 : rings_[static_cast<std::size_t>(source)].front();
+    if (next.time > end) break;
+    execute_next(source);
   }
   now_ = end;
 }

@@ -49,11 +49,19 @@ class TraceSet {
 
   /// Punctual utilization (percent) of VM \p v at step \p k; steps beyond
   /// the series length wrap around (traces repeat), matching how finite
-  /// logs are replayed over longer horizons.
-  [[nodiscard]] double percent_at(std::size_t v, std::size_t k) const;
+  /// logs are replayed over longer horizons. Inline and modulo-free in the
+  /// in-range case: the trace driver calls this once per VM per sample
+  /// step, and an integer division there is measurable at fleet scale.
+  [[nodiscard]] double percent_at(std::size_t v, std::size_t k) const {
+    const std::vector<float>& s = series_.at(v);
+    if (k >= s.size()) [[unlikely]] k %= s.size();
+    return static_cast<double>(s[k]);
+  }
 
   /// Demand in MHz of VM \p v at step \p k.
-  [[nodiscard]] double demand_mhz_at(std::size_t v, std::size_t k) const;
+  [[nodiscard]] double demand_mhz_at(std::size_t v, std::size_t k) const {
+    return percent_at(v, k) / 100.0 * reference_mhz_;
+  }
 
   /// Step index active at simulation time \p t (floor(t / period)).
   [[nodiscard]] std::size_t step_at(sim::SimTime t) const;

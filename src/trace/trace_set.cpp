@@ -60,15 +60,6 @@ double TraceSet::average_percent(std::size_t v) const { return averages_.at(v); 
 
 double TraceSet::ram_mb(std::size_t v) const { return ram_mb_.at(v); }
 
-double TraceSet::percent_at(std::size_t v, std::size_t k) const {
-  const auto& s = series_.at(v);
-  return static_cast<double>(s[k % s.size()]);
-}
-
-double TraceSet::demand_mhz_at(std::size_t v, std::size_t k) const {
-  return percent_at(v, k) / 100.0 * reference_mhz_;
-}
-
 std::size_t TraceSet::step_at(sim::SimTime t) const {
   util::require(t >= 0.0, "TraceSet::step_at: negative time");
   return static_cast<std::size_t>(t / sample_period_s_);

@@ -13,18 +13,41 @@
 namespace ecocloud::util {
 
 /// Throw std::invalid_argument with \p message unless \p condition holds.
-inline void require(bool condition, const std::string& message) {
-  if (!condition) {
-    throw std::invalid_argument(message);
+///
+/// Takes the message as a C string: building a std::string eagerly would
+/// heap-allocate on every call, and these checks sit on the simulator's
+/// per-event hot path. The exception object copies the message on throw.
+inline void require(bool condition, const char* message) {
+  if (condition) [[likely]] {
+    return;
   }
+  throw std::invalid_argument(message);
+}
+
+/// Overload for call sites that assemble a contextual message (config and
+/// trace parsers — cold paths where the allocation is irrelevant).
+inline void require(bool condition, const std::string& message) {
+  if (condition) [[likely]] {
+    return;
+  }
+  throw std::invalid_argument(message);
 }
 
 /// Throw std::logic_error with \p message unless \p condition holds.
 /// Used for internal invariants (bugs), as opposed to caller errors.
-inline void ensure(bool condition, const std::string& message) {
-  if (!condition) {
-    throw std::logic_error(message);
+inline void ensure(bool condition, const char* message) {
+  if (condition) [[likely]] {
+    return;
   }
+  throw std::logic_error(message);
+}
+
+/// Overload for dynamically assembled invariant messages.
+inline void ensure(bool condition, const std::string& message) {
+  if (condition) [[likely]] {
+    return;
+  }
+  throw std::logic_error(message);
 }
 
 }  // namespace ecocloud::util

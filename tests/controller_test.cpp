@@ -473,3 +473,52 @@ TEST(Controller, OrphanHandlerReceivesCrashVictims) {
   EXPECT_EQ(handed.size(), 2u);
   EXPECT_EQ(f.datacenter.placed_vm_count(), 0u);
 }
+
+TEST(Controller, BootQueueCountsInboundMigrationReservations) {
+  // Regression: queue_on_booting used to ignore capacity reserved for
+  // in-flight migrations, so a queued deployment racing a migration to the
+  // same booting target could over-commit it past Ta (and even past
+  // physical capacity). The queue check must mirror booting_with_room and
+  // count queued + reserved + new demand.
+  Fixture f;
+  const auto s0 = f.datacenter.add_server(1, 2000.0);
+  f.datacenter.add_server(1, 2000.0);
+  f.datacenter.add_server(1, 2000.0);
+  f.build();
+  f.controller->force_activate(s0);
+  // s0 is too full to volunteer for anything below.
+  const auto anchor = f.datacenter.create_vm(1800.0);
+  f.datacenter.place_vm(0.0, anchor, s0);
+
+  // First deployment finds no volunteer and wakes a server W, queue = 400.
+  const auto vm1 = f.datacenter.create_vm(400.0);
+  ASSERT_TRUE(f.controller->deploy_vm(vm1));
+  ASSERT_EQ(f.controller->wake_ups(), 1u);
+  const auto booting = f.datacenter.servers_with(dc::ServerState::kBooting);
+  ASSERT_EQ(booting.size(), 1u);
+  const auto w = booting.front();
+
+  // A migration toward W reserves 800 MHz while it boots.
+  const auto mover = f.datacenter.create_vm(800.0);
+  f.datacenter.place_vm(0.0, mover, s0);
+  f.datacenter.begin_migration(0.0, mover, w);
+  ASSERT_DOUBLE_EQ(f.datacenter.server(w).reserved_mhz(), 800.0);
+
+  // 400 queued + 800 reserved + 900 new = 2100 MHz > Ta * 2000: W must
+  // refuse, and the deployment wakes the last sleeper instead. The buggy
+  // check saw only (400 + 900) / 2000 = 0.65 and over-committed W.
+  const auto vm2 = f.datacenter.create_vm(900.0);
+  ASSERT_TRUE(f.controller->deploy_vm(vm2));
+  EXPECT_EQ(f.controller->wake_ups(), 2u);
+
+  // After the boots land and the migration drains s0's overload, no server
+  // holds commitments past capacity.
+  f.simulator.run_until(f.params.boot_time_s + 1.0);
+  EXPECT_NE(f.datacenter.vm(vm2).host, w);
+  f.datacenter.complete_migration(f.simulator.now(), mover);
+  for (const dc::Server& server : f.datacenter.servers()) {
+    EXPECT_LE(server.demand_mhz() + server.reserved_mhz(),
+              server.capacity_mhz() + 1e-9)
+        << "server " << server.id();
+  }
+}

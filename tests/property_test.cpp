@@ -10,6 +10,7 @@
 #include "ecocloud/ode/fluid_model.hpp"
 #include "ecocloud/ode/poisson_binomial.hpp"
 #include "ecocloud/scenario/scenario.hpp"
+#include "ecocloud/util/rng.hpp"
 
 using namespace ecocloud;
 
@@ -66,6 +67,29 @@ void check_datacenter_invariants(const dc::DataCenter& d) {
   }
   EXPECT_GE(d.total_power_w(), 0.0);
   EXPECT_LE(d.total_power_w(), peak_total + 1e-6);
+
+  // Per-state index sets match a brute-force scan exactly, ascending by id
+  // (the sorted order is what pins RNG draw sequences to pre-index runs).
+  for (const dc::ServerState state :
+       {dc::ServerState::kHibernated, dc::ServerState::kBooting,
+        dc::ServerState::kActive, dc::ServerState::kFailed}) {
+    std::vector<dc::ServerId> expected;
+    for (const dc::Server& server : d.servers()) {
+      if (server.state() == state) expected.push_back(server.id());
+    }
+    EXPECT_EQ(d.servers_with(state), expected)
+        << "index mismatch for state " << dc::to_string(state);
+  }
+
+  // Cached outbound-migration counts match a scan of each server's VMs.
+  for (const dc::Server& server : d.servers()) {
+    std::size_t migrating_out = 0;
+    for (dc::VmId v : server.vms()) {
+      if (d.vm(v).migrating()) ++migrating_out;
+    }
+    EXPECT_EQ(server.migrating_out_count(), migrating_out)
+        << "server " << server.id();
+  }
 }
 
 }  // namespace
@@ -380,3 +404,152 @@ TEST(RegressionProperty, CollectorWindowsNeverNegative) {
     }
   }
 }
+
+// --- Per-state index maintenance under adversarial transition sequences ----
+
+/// Drive the DataCenter through a long randomized walk over every state
+/// transition and migration path, re-validating the incremental per-state
+/// indices (and all other aggregates) against brute-force scans after each
+/// step. This is the direct test for the indexed-set machinery: any missed
+/// move_server_index call or ordering bug shows up as an index/scan diff.
+class StateIndexWalkProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StateIndexWalkProperty, IndicesMatchBruteForceScanAfterEveryTransition) {
+  util::Rng rng(GetParam());
+  dc::DataCenter d;
+  constexpr std::size_t kServers = 12;
+  constexpr std::size_t kVms = 30;
+  for (std::size_t s = 0; s < kServers; ++s) d.add_server(2, 2000.0, 8192.0);
+  for (std::size_t v = 0; v < kVms; ++v) {
+    d.create_vm(rng.uniform(100.0, 1500.0), 256.0);
+  }
+  check_datacenter_invariants(d);
+
+  const auto pick = [&rng](const std::vector<dc::ServerId>& ids) {
+    return ids[rng.index(ids.size())];
+  };
+  const auto hosts_migrating_vm = [&d](const dc::Server& srv) {
+    for (dc::VmId v : srv.vms()) {
+      if (d.vm(v).migrating()) return true;
+    }
+    return false;
+  };
+
+  sim::SimTime t = 0.0;
+  for (int step = 0; step < 600; ++step) {
+    t += rng.uniform(0.0, 30.0);
+    switch (rng.index(10)) {
+      case 0: {  // Hibernated -> Booting.
+        const std::vector<dc::ServerId> ids =
+            d.servers_with(dc::ServerState::kHibernated);
+        if (!ids.empty()) d.start_booting(t, pick(ids));
+        break;
+      }
+      case 1: {  // Booting -> Active.
+        const std::vector<dc::ServerId> ids =
+            d.servers_with(dc::ServerState::kBooting);
+        if (!ids.empty()) d.finish_booting(t, pick(ids));
+        break;
+      }
+      case 2: {  // Active -> Hibernated (empty, unreserved servers only).
+        std::vector<dc::ServerId> ids;
+        for (dc::ServerId s : d.servers_with(dc::ServerState::kActive)) {
+          const dc::Server& srv = d.server(s);
+          if (srv.empty() && srv.reserved_mhz() == 0.0) ids.push_back(s);
+        }
+        if (!ids.empty()) d.hibernate(t, pick(ids));
+        break;
+      }
+      case 3: {  // Crash a server not entangled in any migration.
+        std::vector<dc::ServerId> ids;
+        for (const dc::Server& srv : d.servers()) {
+          if (!srv.failed() && srv.reservation_count() == 0 &&
+              !hosts_migrating_vm(srv)) {
+            ids.push_back(srv.id());
+          }
+        }
+        if (!ids.empty()) d.fail_server(t, pick(ids));
+        break;
+      }
+      case 4: {  // Failed -> Hibernated.
+        const std::vector<dc::ServerId> ids =
+            d.servers_with(dc::ServerState::kFailed);
+        if (!ids.empty()) d.repair_server(t, pick(ids));
+        break;
+      }
+      case 5: {  // Place an idle VM on a random active server.
+        std::vector<dc::VmId> idle;
+        for (std::size_t v = 0; v < d.num_vms(); ++v) {
+          if (!d.vm(static_cast<dc::VmId>(v)).placed()) {
+            idle.push_back(static_cast<dc::VmId>(v));
+          }
+        }
+        const std::vector<dc::ServerId>& active =
+            d.servers_with(dc::ServerState::kActive);
+        if (!idle.empty() && !active.empty()) {
+          d.place_vm(t, idle[rng.index(idle.size())], pick(active));
+        }
+        break;
+      }
+      case 6: {  // Remove a placed, non-migrating VM.
+        std::vector<dc::VmId> placed;
+        for (std::size_t v = 0; v < d.num_vms(); ++v) {
+          const dc::Vm& vm = d.vm(static_cast<dc::VmId>(v));
+          if (vm.placed() && !vm.migrating()) {
+            placed.push_back(static_cast<dc::VmId>(v));
+          }
+        }
+        if (!placed.empty()) d.unplace_vm(t, placed[rng.index(placed.size())]);
+        break;
+      }
+      case 7: {  // Start a migration to another active server.
+        std::vector<dc::VmId> movable;
+        for (std::size_t v = 0; v < d.num_vms(); ++v) {
+          const dc::Vm& vm = d.vm(static_cast<dc::VmId>(v));
+          if (vm.placed() && !vm.migrating()) {
+            movable.push_back(static_cast<dc::VmId>(v));
+          }
+        }
+        if (movable.empty()) break;
+        const dc::VmId v = movable[rng.index(movable.size())];
+        std::vector<dc::ServerId> dests;
+        for (dc::ServerId s : d.servers_with(dc::ServerState::kActive)) {
+          if (s != d.vm(v).host) dests.push_back(s);
+        }
+        if (!dests.empty()) d.begin_migration(t, v, pick(dests));
+        break;
+      }
+      case 8: {  // Land an in-flight migration.
+        std::vector<dc::VmId> inflight;
+        for (std::size_t v = 0; v < d.num_vms(); ++v) {
+          if (d.vm(static_cast<dc::VmId>(v)).migrating()) {
+            inflight.push_back(static_cast<dc::VmId>(v));
+          }
+        }
+        if (!inflight.empty()) {
+          d.complete_migration(t, inflight[rng.index(inflight.size())]);
+        }
+        break;
+      }
+      case 9: {  // Abort an in-flight migration.
+        std::vector<dc::VmId> inflight;
+        for (std::size_t v = 0; v < d.num_vms(); ++v) {
+          if (d.vm(static_cast<dc::VmId>(v)).migrating()) {
+            inflight.push_back(static_cast<dc::VmId>(v));
+          }
+        }
+        if (!inflight.empty()) {
+          d.cancel_migration(t, inflight[rng.index(inflight.size())]);
+        }
+        break;
+      }
+    }
+    check_datacenter_invariants(d);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "invariant broken at walk step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StateIndexWalkProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "ecocloud/sim/simulator.hpp"
@@ -243,4 +244,100 @@ TEST(Simulator, CancelledPeriodicDoesNotLeakPendingEvents) {
   s.run();
   EXPECT_EQ(s.pending_events(), 0u);
   EXPECT_FALSE(one_shot.pending());
+}
+
+TEST(Simulator, StaleHandleAfterSlotReuseStaysDead) {
+  sim::Simulator s;
+  int first_fired = 0;
+  int second_fired = 0;
+  // The only event in a fresh simulator occupies the first slab slot; once
+  // it fires, the slot returns to the free list.
+  auto stale = s.schedule_at(1.0, [&] { ++first_fired; });
+  s.run();
+  EXPECT_EQ(first_fired, 1);
+  // The next event reuses that slot under a bumped generation. The old
+  // handle must keep reporting dead instead of aliasing the new occupant.
+  auto fresh = s.schedule_at(2.0, [&] { ++second_fired; });
+  EXPECT_FALSE(stale.pending());
+  EXPECT_FALSE(stale.cancel());
+  EXPECT_TRUE(fresh.pending());
+  s.run();
+  EXPECT_EQ(second_fired, 1);
+}
+
+TEST(Simulator, StaleHandleAfterCancelledSlotReuseStaysDead) {
+  sim::Simulator s;
+  auto stale = s.schedule_at(1.0, [] {});
+  stale.cancel();
+  s.run();  // drains the cancelled entry, releasing the slot
+  bool fired = false;
+  auto fresh = s.schedule_at(2.0, [&] { fired = true; });
+  EXPECT_FALSE(stale.pending());
+  EXPECT_FALSE(stale.cancel());
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(fresh.pending());
+}
+
+TEST(Simulator, DefaultConstructedHandleIsInert) {
+  sim::EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  EXPECT_FALSE(handle.cancel());
+}
+
+TEST(Simulator, PeriodicChainsAndOneShotsInterleaveInGlobalOrder) {
+  // Periodic re-arms travel through per-period rings while one-shots and
+  // first occurrences go through the heap; the merged pop order must still
+  // be exactly (time, scheduling-sequence). Ties at t = 15 and t = 20 pin
+  // the FIFO rule across the two structures: one-shots were scheduled
+  // during setup (earliest sequence numbers), then re-arms in the order
+  // their previous occurrences fired.
+  sim::Simulator s;
+  std::vector<std::pair<double, char>> fired;
+  s.schedule_periodic(10.0, [&] { fired.emplace_back(s.now(), 'a'); });
+  s.schedule_periodic(10.0, [&] { fired.emplace_back(s.now(), 'b'); }, 5.0);
+  s.schedule_periodic(7.0, [&] { fired.emplace_back(s.now(), 'c'); }, 1.0);
+  s.schedule_at(15.0, [&] { fired.emplace_back(s.now(), 'x'); });
+  s.schedule_at(20.0, [&] { fired.emplace_back(s.now(), 'y'); });
+  s.run_until(30.0);
+  const std::vector<std::pair<double, char>> expected{
+      {0.0, 'a'},  {1.0, 'c'},  {5.0, 'b'},  {8.0, 'c'},  {10.0, 'a'},
+      {15.0, 'x'}, {15.0, 'b'}, {15.0, 'c'}, {20.0, 'y'}, {20.0, 'a'},
+      {22.0, 'c'}, {25.0, 'b'}, {29.0, 'c'}, {30.0, 'a'}};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Simulator, ManyDistinctPeriodsStayCorrectPastRingCapacity) {
+  // More distinct periods than the calendar has rings: the overflow chains
+  // re-arm through the heap instead. Every chain must still fire on its
+  // exact grid.
+  sim::Simulator s;
+  constexpr int kChains = 12;
+  std::vector<int> counts(kChains, 0);
+  for (int i = 0; i < kChains; ++i) {
+    const double period = 11.0 + i;
+    s.schedule_periodic(period, [&counts, i] { ++counts[i]; });
+  }
+  s.run_until(500.0);
+  for (int i = 0; i < kChains; ++i) {
+    const double period = 11.0 + i;
+    EXPECT_EQ(counts[i], 1 + static_cast<int>(500.0 / period)) << "period " << period;
+  }
+}
+
+TEST(Simulator, CancelledMidRingEntryIsDroppedLazily) {
+  // Cancel a chain whose next occurrence sits behind another entry of the
+  // same period's ring; the dead entry must be skipped without disturbing
+  // the surviving chain's schedule.
+  sim::Simulator s;
+  std::vector<double> survivor_times;
+  auto doomed = s.schedule_periodic(10.0, [] {});
+  s.schedule_periodic(10.0, [&] { survivor_times.push_back(s.now()); }, 2.0);
+  s.run_until(25.0);  // both chains are now re-arming through the ring
+  doomed.cancel();
+  s.run_until(55.0);
+  EXPECT_EQ(survivor_times,
+            (std::vector<double>{2.0, 12.0, 22.0, 32.0, 42.0, 52.0}));
+  EXPECT_FALSE(doomed.pending());
+  EXPECT_EQ(s.pending_events(), 1u);  // only the survivor's next tick
 }
