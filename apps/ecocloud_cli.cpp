@@ -23,6 +23,11 @@
 #include "ecocloud/core/probability.hpp"
 #include "ecocloud/metrics/episode_summary.hpp"
 #include "ecocloud/metrics/event_log.hpp"
+#include "ecocloud/obs/chrome_trace.hpp"
+#include "ecocloud/obs/exporters.hpp"
+#include "ecocloud/obs/instrumentation.hpp"
+#include "ecocloud/obs/logger.hpp"
+#include "ecocloud/obs/metric_registry.hpp"
 #include "ecocloud/scenario/config_io.hpp"
 #include "ecocloud/trace/planetlab_io.hpp"
 #include "ecocloud/util/csv.hpp"
@@ -71,6 +76,99 @@ class Options {
   std::set<std::string> used_;
 };
 
+/// Telemetry wiring shared by run-daily and run-consolidation. Flags are
+/// consumed up front; attach() subscribes before the run (so it chains
+/// behind any EventLog/collector already installed), finish() closes the
+/// trace spans and writes the requested output files.
+class CliTelemetry {
+ public:
+  explicit CliTelemetry(Options& options)
+      : metrics_path_(options.get("metrics-out")),
+        json_path_(options.get("metrics-json")),
+        trace_path_(options.get("trace-out")),
+        log_path_(options.get("log-out")) {
+    if (const auto level = options.get("log-level")) {
+      const auto parsed = obs::parse_log_level(*level);
+      util::require(parsed.has_value(),
+                    "bad --log-level '" + *level +
+                        "' (want trace|debug|info|warn|error|off)");
+      level_ = *parsed;
+    }
+    if (trace_path_) trace_.emplace();
+    if (log_path_) {
+      log_file_.open(*log_path_);
+      util::require(log_file_.good(), "cannot open " + *log_path_);
+      logger_.set_sink(&log_file_);
+      if (level_ == obs::LogLevel::kOff) level_ = obs::LogLevel::kInfo;
+    } else if (level_ != obs::LogLevel::kOff) {
+      logger_.set_sink(&std::clog);
+    }
+    logger_.set_level(level_);
+  }
+
+  [[nodiscard]] bool enabled() const {
+    return metrics_path_ || json_path_ || trace_path_ || log_path_ ||
+           level_ != obs::LogLevel::kOff;
+  }
+
+  void attach(sim::Simulator& sim, const dc::DataCenter& datacenter,
+              core::EcoCloudController& controller,
+              const faults::FaultInjector* injector) {
+    if (!enabled()) return;
+    logger_.set_clock([&sim] { return sim.now(); });
+    instr_.emplace(registry_, logger_, trace_ ? &*trace_ : nullptr);
+    instr_->attach_engine(sim);
+    instr_->attach_datacenter(datacenter);
+    instr_->attach_controller(controller);
+    if (injector != nullptr) instr_->attach_faults(*injector);
+    instr_->start_flush(sim, kFlushPeriodS);
+  }
+
+  void finish(sim::SimTime end) {
+    if (!instr_) return;
+    instr_->finalize(end);
+    if (metrics_path_) {
+      std::ofstream out(*metrics_path_);
+      util::require(out.good(), "cannot open " + *metrics_path_);
+      obs::write_prometheus(registry_, out);
+      std::printf("metrics written to %s (%zu series)\n", metrics_path_->c_str(),
+                  registry_.num_instances());
+    }
+    if (json_path_) {
+      std::ofstream out(*json_path_);
+      util::require(out.good(), "cannot open " + *json_path_);
+      obs::write_json(registry_, out);
+      std::printf("metrics JSON written to %s\n", json_path_->c_str());
+    }
+    if (trace_path_) {
+      std::ofstream out(*trace_path_);
+      util::require(out.good(), "cannot open " + *trace_path_);
+      trace_->write(out);
+      std::printf("trace written to %s (%zu events; open in ui.perfetto.dev)\n",
+                  trace_path_->c_str(), trace_->size());
+    }
+    if (log_path_) {
+      std::printf("log written to %s (%llu lines)\n", log_path_->c_str(),
+                  static_cast<unsigned long long>(logger_.lines_written()));
+    }
+  }
+
+ private:
+  /// Sim-time period of the logger/trace flush hook (5 min).
+  static constexpr double kFlushPeriodS = 300.0;
+
+  std::optional<std::string> metrics_path_;
+  std::optional<std::string> json_path_;
+  std::optional<std::string> trace_path_;
+  std::optional<std::string> log_path_;
+  obs::LogLevel level_ = obs::LogLevel::kOff;
+  obs::MetricRegistry registry_;
+  obs::Logger logger_;
+  std::optional<obs::ChromeTraceWriter> trace_;
+  std::ofstream log_file_;
+  std::optional<obs::Instrumentation> instr_;
+};
+
 int usage() {
   std::puts(
       "usage: ecocloud_cli <command> [options]\n"
@@ -80,8 +178,15 @@ int usage() {
       "    --config FILE    key=value configuration (default: paper setup)\n"
       "    --csv FILE       also write the 30-minute series as CSV\n"
       "    --events FILE    also write the full decision event log as CSV\n"
+      "    --metrics-out F  write Prometheus text-format metrics at exit\n"
+      "    --metrics-json F write a JSON metrics snapshot at exit\n"
+      "    --trace-out F    write a Chrome trace-event timeline (open the\n"
+      "                     file in ui.perfetto.dev)\n"
+      "    --log-out F      structured JSONL log (default level info)\n"
+      "    --log-level L    trace|debug|info|warn|error|off (stderr when no\n"
+      "                     --log-out is given)\n"
       "  run-consolidation  assignment-only experiment (paper Sec. IV)\n"
-      "    --config FILE, --csv FILE as above\n"
+      "    --config FILE, --csv FILE and telemetry options as above\n"
       "  gen-traces         write a synthetic PlanetLab-format trace directory\n"
       "    --out DIR [--vms N] [--hours H] [--seed S]\n"
       "  functions          print f_a / f_l / f_h tables\n"
@@ -122,6 +227,7 @@ int run_daily(Options& options) {
   auto config = load_config(options, scenario::load_daily_config);
   const auto csv_path = options.get("csv");
   const auto events_path = options.get("events");
+  CliTelemetry telemetry(options);
   options.reject_unknown();
 
   std::printf("daily run: %zu servers, %zu VMs, %.0f h (+%.0f h warm-up)\n",
@@ -131,7 +237,12 @@ int run_daily(Options& options) {
   scenario::DailyScenario daily(config);
   metrics::EventLog event_log;
   if (events_path) event_log.attach(*daily.ecocloud());
+  if (daily.ecocloud() != nullptr) {
+    telemetry.attach(daily.simulator(), daily.datacenter(), *daily.ecocloud(),
+                     daily.fault_injector());
+  }
   daily.run();
+  telemetry.finish(daily.simulator().now());
 
   const auto& d = daily.datacenter();
   const auto episodes = metrics::summarize_episodes(d.overload_episodes());
@@ -193,13 +304,17 @@ int run_daily(Options& options) {
 int run_consolidation(Options& options) {
   auto config = load_config(options, scenario::load_consolidation_config);
   const auto csv_path = options.get("csv");
+  CliTelemetry telemetry(options);
   options.reject_unknown();
 
   std::printf("consolidation run: %zu servers, %zu initial VMs, %.0f h\n",
               config.num_servers, config.initial_vms,
               config.horizon_s / sim::kHour);
   scenario::ConsolidationScenario cons(config);
+  telemetry.attach(cons.simulator(), cons.datacenter(), cons.controller(),
+                   /*injector=*/nullptr);
   cons.run();
+  telemetry.finish(cons.simulator().now());
   const auto& d = cons.datacenter();
   std::printf("final: %zu active / %zu hibernated; arrivals=%llu departures=%llu "
               "rejections=%llu\n",

@@ -30,7 +30,9 @@ bool AssignmentProcedure::server_accepts(const dc::Server& server, sim::SimTime 
     return (committed + vm_demand_mhz) / capacity <= fa.ta();
   }
 
-  return rng_.bernoulli(fa(server.decision_utilization()));
+  const bool accepted = rng_.bernoulli(fa(server.decision_utilization()));
+  fa_tally_.record(accepted);
+  return accepted;
 }
 
 AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,

@@ -125,6 +125,7 @@ std::optional<dc::ServerId> EcoCloudController::wake_one_server() {
   dc_.start_booting(now, chosen);
   ++wake_ups_;
   ++messages_.wake_commands;
+  if (events_.on_wake) events_.on_wake(now, chosen);
   BootQueue& queue = boot_queues_[chosen];
   queue.finish_at = now + params_.boot_time_s;
   queue.boot_attempts = 1;

@@ -61,6 +61,10 @@ class AssignmentProcedure {
 
   [[nodiscard]] const AssignmentFunction& fa() const { return fa_; }
 
+  /// Accept/reject tally of every f_a Bernoulli trial run so far (grace
+  /// accepts are deterministic and excluded).
+  [[nodiscard]] const BernoulliTally& fa_tally() const { return fa_tally_; }
+
   /// Attach a control-plane message counter (nullptr to detach). Not
   /// owned; must outlive the procedure while attached.
   void set_message_log(MessageLog* log) { log_ = log; }
@@ -76,6 +80,9 @@ class AssignmentProcedure {
   AssignmentFunction fa_;
   MessageLog* log_ = nullptr;
   const FaultHooks* faults_ = nullptr;
+  /// Mutable because trials happen inside the logically-const invite path,
+  /// like the message log; pure accounting, no behavioral state.
+  mutable BernoulliTally fa_tally_;
 };
 
 }  // namespace ecocloud::core

@@ -49,6 +49,9 @@ class EcoCloudController {
     std::function<void(sim::SimTime, dc::VmId, bool is_high)> on_migration_complete;
     std::function<void(sim::SimTime, dc::ServerId)> on_activation;
     std::function<void(sim::SimTime, dc::ServerId)> on_hibernation;
+    /// Fired when the manager sends a wake-up command (boot start); pairs
+    /// with on_activation to measure the wake-to-active latency.
+    std::function<void(sim::SimTime, dc::ServerId)> on_wake;
     /// Fired at the start of every departure, before any state is touched
     /// (the faults module drops departing orphans from its redeploy queue).
     std::function<void(sim::SimTime, dc::VmId)> on_vm_departed;
@@ -129,6 +132,16 @@ class EcoCloudController {
 
   /// Control-plane traffic accumulated so far (paper Fig. 1 / footnote 1).
   [[nodiscard]] const MessageLog& messages() const { return messages_; }
+
+  // --- Introspection (telemetry gauges; all O(1)) ---
+  /// Servers currently booting with a deployment queue attached.
+  [[nodiscard]] std::size_t boot_queue_count() const { return boot_queues_.size(); }
+  /// VMs waiting on booting servers.
+  [[nodiscard]] std::size_t queued_vm_count() const { return queued_on_.size(); }
+  /// Live migrations currently tracked in flight by this controller.
+  [[nodiscard]] std::size_t inflight_migration_count() const {
+    return inflight_.size();
+  }
 
   /// Attach a rack topology (footnote 1): invitations are broadcast to one
   /// random rack instead of the whole fleet, migration destinations are

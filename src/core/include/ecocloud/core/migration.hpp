@@ -70,6 +70,10 @@ class MigrationProcedure {
   [[nodiscard]] const LowMigrationFunction& fl() const { return fl_; }
   [[nodiscard]] const HighMigrationFunction& fh() const { return fh_; }
 
+  /// Accept/reject tallies of the f_l / f_h Bernoulli trials run so far.
+  [[nodiscard]] const BernoulliTally& fl_tally() const { return fl_tally_; }
+  [[nodiscard]] const BernoulliTally& fh_tally() const { return fh_tally_; }
+
   /// With a topology attached, destination searches are scoped to the
   /// source server's rack (footnote 1). Pass nullptr to detach.
   void set_topology(const net::Topology* topology) { topology_ = topology; }
@@ -91,6 +95,8 @@ class MigrationProcedure {
   LowMigrationFunction fl_;
   HighMigrationFunction fh_;
   const net::Topology* topology_ = nullptr;
+  BernoulliTally fl_tally_;
+  BernoulliTally fh_tally_;
 };
 
 }  // namespace ecocloud::core

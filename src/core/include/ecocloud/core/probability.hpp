@@ -14,7 +14,24 @@
 /// All functions take utilization in [0, 1] and return a probability in
 /// [0, 1]. Parameters are validated at construction.
 
+#include <cstdint>
+
 namespace ecocloud::core {
+
+/// Accept/reject tally of the Bernoulli trials run against one of the
+/// probability functions. The procedures maintain one tally per function
+/// (f_a, f_l, f_h) so the telemetry layer can report how often each
+/// stochastic decision actually fires — the live counterpart of the
+/// paper's analytical success probabilities. Deterministic short-circuits
+/// (grace-period acceptance, inactive servers) are not trials and are not
+/// counted.
+struct BernoulliTally {
+  std::uint64_t accepts = 0;
+  std::uint64_t rejects = 0;
+
+  void record(bool accepted) { ++(accepted ? accepts : rejects); }
+  [[nodiscard]] std::uint64_t trials() const { return accepts + rejects; }
+};
 
 /// Assignment probability f_a (Eq. 1-2). Servers with intermediate
 /// utilization volunteer with high probability; empty and nearly-full

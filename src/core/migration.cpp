@@ -44,12 +44,16 @@ std::optional<MigrationPlan> MigrationProcedure::check(
   const double u_eff = effective_utilization(datacenter, server);
 
   if (u_eff > params_.th) {
-    if (!rng_.bernoulli(fh_(u_eff))) return std::nullopt;
+    const bool fired = rng_.bernoulli(fh_(u_eff));
+    fh_tally_.record(fired);
+    if (!fired) return std::nullopt;
     if (trial_fired) *trial_fired = true;
     return plan_high(datacenter, server, now, u_eff);
   }
   if (u_eff < params_.tl) {
-    if (!rng_.bernoulli(fl_(u_eff))) return std::nullopt;
+    const bool fired = rng_.bernoulli(fl_(u_eff));
+    fl_tally_.record(fired);
+    if (!fired) return std::nullopt;
     if (trial_fired) *trial_fired = true;
     return plan_low(datacenter, server, now);
   }

@@ -62,6 +62,7 @@ class FaultInjector {
   [[nodiscard]] metrics::ResilienceStats& stats() { return stats_; }
   [[nodiscard]] const metrics::ResilienceStats& stats() const { return stats_; }
   [[nodiscard]] RedeployQueue& redeploy() { return queue_; }
+  [[nodiscard]] const RedeployQueue& redeploy() const { return queue_; }
 
   /// Availability over the run so far: served / (served + downtime), with
   /// served VM-seconds read from the data center's integrated accounting.

@@ -42,6 +42,13 @@ class RedeployQueue {
   /// Orphans currently waiting for a slot.
   [[nodiscard]] std::size_t pending() const { return entries_.size(); }
 
+  /// Total deploy attempts made on behalf of orphans (first tries and
+  /// backoff retries alike).
+  [[nodiscard]] std::uint64_t total_attempts() const { return total_attempts_; }
+
+  /// Attempts that found the data center saturated and went to backoff.
+  [[nodiscard]] std::uint64_t failed_attempts() const { return failed_attempts_; }
+
  private:
   void attempt(dc::VmId vm);
   [[nodiscard]] sim::SimTime backoff(std::size_t failed_attempts) const;
@@ -60,6 +67,8 @@ class RedeployQueue {
   std::size_t max_attempts_;
   metrics::ResilienceStats& stats_;
   std::unordered_map<dc::VmId, Entry> entries_;
+  std::uint64_t total_attempts_ = 0;
+  std::uint64_t failed_attempts_ = 0;
 };
 
 }  // namespace ecocloud::faults

@@ -59,6 +59,7 @@ void RedeployQueue::attempt(dc::VmId vm) {
   util::ensure(it != entries_.end(), "RedeployQueue: attempt for unknown VM");
   Entry& entry = it->second;
 
+  ++total_attempts_;
   if (controller_.deploy_vm(vm)) {
     // Placed or queued on a booting server — either way the VM is on its
     // way back; count crash-to-redeploy as downtime.
@@ -68,6 +69,7 @@ void RedeployQueue::attempt(dc::VmId vm) {
   }
 
   ++entry.attempts;
+  ++failed_attempts_;
   if (entry.attempts >= max_attempts_) {
     stats_.record_abandoned(sim_.now() - entry.orphaned_at);
     entries_.erase(it);

@@ -27,70 +27,62 @@ void EventLog::attach(core::EcoCloudController& controller) {
 
   hooks.on_assignment = [this, chained = std::move(hooks.on_assignment)](
                             sim::SimTime t, dc::VmId vm, dc::ServerId server) {
-    events_.push_back({t, EventKind::kAssignment, vm, server, false});
+    append({t, EventKind::kAssignment, vm, server, false});
     if (chained) chained(t, vm, server);
   };
   hooks.on_assignment_failure =
       [this, chained = std::move(hooks.on_assignment_failure)](sim::SimTime t,
                                                                dc::VmId vm) {
-        events_.push_back({t, EventKind::kAssignmentFailure, vm, dc::kNoServer,
+        append({t, EventKind::kAssignmentFailure, vm, dc::kNoServer,
                            false});
         if (chained) chained(t, vm);
       };
   hooks.on_migration_start =
       [this, chained = std::move(hooks.on_migration_start)](
           sim::SimTime t, dc::VmId vm, bool is_high) {
-        events_.push_back({t, EventKind::kMigrationStart, vm, dc::kNoServer,
+        append({t, EventKind::kMigrationStart, vm, dc::kNoServer,
                            is_high});
         if (chained) chained(t, vm, is_high);
       };
   hooks.on_migration_complete =
       [this, chained = std::move(hooks.on_migration_complete)](
           sim::SimTime t, dc::VmId vm, bool is_high) {
-        events_.push_back({t, EventKind::kMigrationComplete, vm, dc::kNoServer,
+        append({t, EventKind::kMigrationComplete, vm, dc::kNoServer,
                            is_high});
         if (chained) chained(t, vm, is_high);
       };
   hooks.on_activation = [this, chained = std::move(hooks.on_activation)](
                             sim::SimTime t, dc::ServerId server) {
-    events_.push_back({t, EventKind::kActivation, dc::kNoVm, server, false});
+    append({t, EventKind::kActivation, dc::kNoVm, server, false});
     if (chained) chained(t, server);
   };
   hooks.on_hibernation = [this, chained = std::move(hooks.on_hibernation)](
                              sim::SimTime t, dc::ServerId server) {
-    events_.push_back({t, EventKind::kHibernation, dc::kNoVm, server, false});
+    append({t, EventKind::kHibernation, dc::kNoVm, server, false});
     if (chained) chained(t, server);
   };
   hooks.on_server_failed = [this, chained = std::move(hooks.on_server_failed)](
                                sim::SimTime t, dc::ServerId server) {
-    events_.push_back({t, EventKind::kServerFailed, dc::kNoVm, server, false});
+    append({t, EventKind::kServerFailed, dc::kNoVm, server, false});
     if (chained) chained(t, server);
   };
   hooks.on_server_repaired = [this, chained = std::move(hooks.on_server_repaired)](
                                  sim::SimTime t, dc::ServerId server) {
-    events_.push_back({t, EventKind::kServerRepaired, dc::kNoVm, server, false});
+    append({t, EventKind::kServerRepaired, dc::kNoVm, server, false});
     if (chained) chained(t, server);
   };
   hooks.on_vm_orphaned = [this, chained = std::move(hooks.on_vm_orphaned)](
                              sim::SimTime t, dc::VmId vm, dc::ServerId server) {
-    events_.push_back({t, EventKind::kVmOrphaned, vm, server, false});
+    append({t, EventKind::kVmOrphaned, vm, server, false});
     if (chained) chained(t, vm, server);
   };
   hooks.on_migration_aborted =
       [this, chained = std::move(hooks.on_migration_aborted)](
           sim::SimTime t, dc::VmId vm, bool is_high) {
-        events_.push_back({t, EventKind::kMigrationAborted, vm, dc::kNoServer,
+        append({t, EventKind::kMigrationAborted, vm, dc::kNoServer,
                            is_high});
         if (chained) chained(t, vm, is_high);
       };
-}
-
-std::size_t EventLog::count(EventKind kind) const {
-  std::size_t n = 0;
-  for (const Event& event : events_) {
-    if (event.kind == kind) ++n;
-  }
-  return n;
 }
 
 void EventLog::write_csv(std::ostream& out) const {

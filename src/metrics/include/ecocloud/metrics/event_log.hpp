@@ -10,6 +10,7 @@
 /// callbacks already installed (e.g. the MetricsCollector's), so both see
 /// every event.
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
@@ -32,6 +33,9 @@ enum class EventKind : std::uint8_t {
   kMigrationAborted,
 };
 
+/// Number of EventKind enumerators (per-kind counter array size).
+inline constexpr std::size_t kNumEventKinds = 10;
+
 [[nodiscard]] const char* to_string(EventKind kind);
 
 struct Event {
@@ -50,16 +54,29 @@ class EventLog {
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
 
-  /// Number of recorded events of one kind.
-  [[nodiscard]] std::size_t count(EventKind kind) const;
+  /// Number of recorded events of one kind. O(1): maintained per kind on
+  /// append rather than scanned.
+  [[nodiscard]] std::size_t count(EventKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
 
-  /// Write all events as CSV: time_s,kind,vm,server,is_high.
+  /// Write all events as CSV: time_s,kind,vm,server,is_high (with a
+  /// header row; round-trips through util::read_csv).
   void write_csv(std::ostream& out) const;
 
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    counts_.fill(0);
+  }
 
  private:
+  void append(const Event& event) {
+    events_.push_back(event);
+    ++counts_[static_cast<std::size_t>(event.kind)];
+  }
+
   std::vector<Event> events_;
+  std::array<std::size_t, kNumEventKinds> counts_{};
 };
 
 }  // namespace ecocloud::metrics

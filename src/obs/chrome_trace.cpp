@@ -1,0 +1,150 @@
+#include "ecocloud/obs/chrome_trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "ecocloud/obs/logger.hpp"  // append_json_string
+
+namespace ecocloud::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+void append_us(std::string& out, double us) {
+  // Timestamps are microseconds; fractional values are legal in the format
+  // but integers render cleaner and sim events sit on >= 1 us boundaries.
+  char buf[32];
+  if (std::fabs(us - std::round(us)) < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.0f", us);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+  }
+  out += buf;
+}
+
+void append_args(std::string& out, const std::vector<ChromeTraceWriter::Arg>& args) {
+  out += "\"args\":{";
+  bool first = true;
+  for (const auto& arg : args) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, arg.key);
+    out.push_back(':');
+    if (arg.is_number) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", arg.number);
+      out += buf;
+    } else {
+      append_json_string(out, arg.text);
+    }
+  }
+  out.push_back('}');
+}
+
+}  // namespace
+
+void ChromeTraceWriter::complete(std::string name, std::string category,
+                                 double start_s, double duration_s, int pid,
+                                 int tid, std::vector<Arg> args) {
+  Event e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'X';
+  e.ts_us = start_s * kMicrosPerSecond;
+  e.dur_us = duration_s * kMicrosPerSecond;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::instant(std::string name, std::string category,
+                                double time_s, int pid, int tid,
+                                std::vector<Arg> args) {
+  Event e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'i';
+  e.ts_us = time_s * kMicrosPerSecond;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::counter(std::string name, double time_s, int pid,
+                                std::vector<Arg> values) {
+  Event e;
+  e.name = std::move(name);
+  e.phase = 'C';
+  e.ts_us = time_s * kMicrosPerSecond;
+  e.pid = pid;
+  e.tid = 0;
+  e.args = std::move(values);
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::name_thread(int pid, int tid, std::string name) {
+  Event e;
+  e.name = "thread_name";
+  e.phase = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.args.emplace_back("name", std::move(name));
+  e.is_metadata = true;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::name_process(int pid, std::string name) {
+  Event e;
+  e.name = "process_name";
+  e.phase = 'M';
+  e.pid = pid;
+  e.tid = 0;
+  e.args.emplace_back("name", std::move(name));
+  e.is_metadata = true;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::write(std::ostream& out) const {
+  out << "{\"traceEvents\":[\n";
+  std::string line;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    line.clear();
+    line.push_back('{');
+    line += "\"name\":";
+    append_json_string(line, e.name);
+    line += ",\"ph\":\"";
+    line.push_back(e.phase);
+    line += "\"";
+    if (!e.category.empty()) {
+      line += ",\"cat\":";
+      append_json_string(line, e.category);
+    }
+    if (!e.is_metadata) {
+      line += ",\"ts\":";
+      append_us(line, e.ts_us);
+    }
+    if (e.phase == 'X') {
+      line += ",\"dur\":";
+      append_us(line, e.dur_us);
+    }
+    if (e.phase == 'i') line += ",\"s\":\"t\"";
+    line += ",\"pid\":" + std::to_string(e.pid);
+    line += ",\"tid\":" + std::to_string(e.tid);
+    if (!e.args.empty() || e.phase == 'C') {
+      line.push_back(',');
+      append_args(line, e.args);
+    }
+    line.push_back('}');
+    if (i + 1 < events_.size()) line.push_back(',');
+    line.push_back('\n');
+    out << line;
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace ecocloud::obs

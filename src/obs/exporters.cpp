@@ -1,0 +1,188 @@
+#include "ecocloud/obs/exporters.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "ecocloud/obs/logger.hpp"  // append_json_string
+
+namespace ecocloud::obs {
+
+namespace {
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Render {k="v",...}; \p extra appends one more pair (histogram `le`).
+std::string label_block(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    out += escape_label_value(extra_value);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+void write_prometheus_histogram(const std::string& name, const Labels& labels,
+                                const Histogram& h, std::ostream& out) {
+  std::uint64_t cumulative = 0;
+  const auto& bounds = h.upper_bounds();
+  const auto& counts = h.bucket_counts();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += counts[i];
+    out << name << "_bucket" << label_block(labels, "le", format_double(bounds[i]))
+        << ' ' << cumulative << '\n';
+  }
+  cumulative += counts.back();
+  out << name << "_bucket" << label_block(labels, "le", "+Inf") << ' '
+      << cumulative << '\n';
+  out << name << "_sum" << label_block(labels) << ' ' << format_double(h.sum())
+      << '\n';
+  out << name << "_count" << label_block(labels) << ' ' << h.count() << '\n';
+}
+
+}  // namespace
+
+void write_prometheus(const MetricRegistry& registry, std::ostream& out) {
+  for (const auto& fam : registry.families()) {
+    if (!fam->help.empty()) {
+      // HELP escaping: backslash and newline only (no quotes in this format).
+      std::string help;
+      for (char c : fam->help) {
+        if (c == '\\') {
+          help += "\\\\";
+        } else if (c == '\n') {
+          help += "\\n";
+        } else {
+          help.push_back(c);
+        }
+      }
+      out << "# HELP " << fam->name << ' ' << help << '\n';
+    }
+    out << "# TYPE " << fam->name << ' ' << to_string(fam->type) << '\n';
+    for (const auto& inst : fam->instances) {
+      switch (fam->type) {
+        case MetricType::kCounter:
+          out << fam->name << label_block(inst.labels) << ' '
+              << inst.counter->value() << '\n';
+          break;
+        case MetricType::kGauge:
+          out << fam->name << label_block(inst.labels) << ' '
+              << format_double(inst.gauge->value()) << '\n';
+          break;
+        case MetricType::kHistogram:
+          write_prometheus_histogram(fam->name, inst.labels, *inst.histogram, out);
+          break;
+      }
+    }
+  }
+}
+
+void write_json(const MetricRegistry& registry, std::ostream& out) {
+  std::string text = "{\n  \"metrics\": [";
+  bool first_family = true;
+  for (const auto& fam : registry.families()) {
+    if (!first_family) text += ',';
+    first_family = false;
+    text += "\n    {\n      \"name\": ";
+    append_json_string(text, fam->name);
+    text += ",\n      \"type\": ";
+    append_json_string(text, to_string(fam->type));
+    text += ",\n      \"help\": ";
+    append_json_string(text, fam->help);
+    text += ",\n      \"series\": [";
+    bool first_inst = true;
+    for (const auto& inst : fam->instances) {
+      if (!first_inst) text += ',';
+      first_inst = false;
+      text += "\n        {\"labels\": {";
+      bool first_label = true;
+      for (const auto& [key, value] : inst.labels) {
+        if (!first_label) text += ", ";
+        first_label = false;
+        append_json_string(text, key);
+        text += ": ";
+        append_json_string(text, value);
+      }
+      text += "}, ";
+      switch (fam->type) {
+        case MetricType::kCounter:
+          text += "\"value\": " + std::to_string(inst.counter->value());
+          break;
+        case MetricType::kGauge: {
+          const double v = inst.gauge->value();
+          text += "\"value\": ";
+          if (std::isfinite(v)) {
+            text += format_double(v);
+          } else {
+            append_json_string(text, format_double(v));
+          }
+          break;
+        }
+        case MetricType::kHistogram: {
+          const Histogram& h = *inst.histogram;
+          text += "\"count\": " + std::to_string(h.count());
+          text += ", \"sum\": " + format_double(h.sum());
+          text += ", \"buckets\": [";
+          for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+            if (i > 0) text += ", ";
+            text += "{\"le\": ";
+            if (i < h.upper_bounds().size()) {
+              text += format_double(h.upper_bounds()[i]);
+            } else {
+              text += "\"+Inf\"";
+            }
+            text += ", \"n\": " + std::to_string(h.bucket_counts()[i]) + "}";
+          }
+          text += "]";
+          break;
+        }
+      }
+      text += "}";
+    }
+    text += "\n      ]\n    }";
+  }
+  text += "\n  ]\n}\n";
+  out << text;
+}
+
+}  // namespace ecocloud::obs

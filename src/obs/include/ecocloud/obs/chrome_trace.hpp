@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file chrome_trace.hpp
+/// \brief Chrome trace-event (Perfetto-loadable) timeline writer.
+///
+/// Collects trace events in memory and serializes them as the JSON object
+/// format understood by ui.perfetto.dev and chrome://tracing:
+///
+///   {"traceEvents":[{"name":"active","ph":"X","ts":0,"dur":120000000,
+///                    "pid":1,"tid":17,...}, ...],
+///    "displayTimeUnit":"ms"}
+///
+/// Simulation seconds map to trace microseconds, so one sim-hour reads as
+/// an hour on the timeline. The instrumentation layer renders server state
+/// residencies as complete ("X") slices on one track per server,
+/// migrations as slices on per-VM tracks in a second process group, and
+/// fleet-level counter samples ("C") that Perfetto draws as area charts.
+///
+/// Purely a recorder: nothing here reads or mutates simulation state.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecocloud::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// Process ids of the standard track groups (metadata names them).
+  static constexpr int kServersPid = 1;
+  static constexpr int kMigrationsPid = 2;
+  static constexpr int kCountersPid = 3;
+
+  /// One key/value argument of an event ("args" in the format).
+  struct Arg {
+    Arg(std::string k, std::int64_t v)
+        : key(std::move(k)), number(static_cast<double>(v)), is_number(true) {}
+    Arg(std::string k, double v)
+        : key(std::move(k)), number(v), is_number(true) {}
+    Arg(std::string k, std::string v)
+        : key(std::move(k)), text(std::move(v)) {}
+    std::string key;
+    std::string text;
+    double number = 0.0;
+    bool is_number = false;
+  };
+
+  /// Complete event ("X"): a slice from \p start_s lasting \p duration_s.
+  void complete(std::string name, std::string category, double start_s,
+                double duration_s, int pid, int tid, std::vector<Arg> args = {});
+
+  /// Instant event ("i", thread scope).
+  void instant(std::string name, std::string category, double time_s, int pid,
+               int tid, std::vector<Arg> args = {});
+
+  /// Counter sample ("C"): one series per Arg, drawn as a stacked chart.
+  void counter(std::string name, double time_s, int pid,
+               std::vector<Arg> values);
+
+  /// Metadata: name the track (thread) \p tid of process \p pid.
+  void name_thread(int pid, int tid, std::string name);
+
+  /// Metadata: name the process \p pid.
+  void name_process(int pid, std::string name);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Serialize all events as one JSON trace object.
+  void write(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase = 'X';
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    int pid = 0;
+    int tid = 0;
+    std::vector<Arg> args;
+    bool is_metadata = false;
+  };
+
+  std::vector<Event> events_;
+};
+
+}  // namespace ecocloud::obs

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file exporters.hpp
+/// \brief Registry serializers: Prometheus text exposition and JSON.
+///
+/// write_prometheus emits the text exposition format version 0.0.4
+/// (HELP/TYPE comments, one sample per line, histograms expanded into
+/// cumulative _bucket{le=...}, _sum and _count series) so a scrape of the
+/// file — or a pushgateway upload — works unmodified. write_json emits a
+/// single snapshot object, the shape consumed by dashboards and by the CI
+/// telemetry validator.
+///
+/// Callback-backed metrics are sampled once per export; exporting is the
+/// only moment the telemetry layer reads simulation state.
+
+#include <iosfwd>
+
+#include "ecocloud/obs/metric_registry.hpp"
+
+namespace ecocloud::obs {
+
+/// Prometheus text exposition format 0.0.4.
+void write_prometheus(const MetricRegistry& registry, std::ostream& out);
+
+/// JSON snapshot: {"metrics":[{"name":...,"type":...,"help":...,
+/// "series":[{"labels":{...},"value":...}...]}...]}.
+void write_json(const MetricRegistry& registry, std::ostream& out);
+
+}  // namespace ecocloud::obs

@@ -1,0 +1,179 @@
+#pragma once
+
+/// \file metric_registry.hpp
+/// \brief Label-aware metric registry: counters, gauges, histograms.
+///
+/// MetricRegistry is the telemetry layer's single collection point. A
+/// metric family is identified by name (Prometheus naming rules) and
+/// carries a type and a help string; instances within a family differ by
+/// their label sets. Registration is idempotent: asking twice for the same
+/// (name, labels) pair returns the same object, so independent
+/// instrumentation sites can share a series.
+///
+/// Two flavors of instrument coexist:
+///  * owned metrics (counter/gauge/histogram) hold their value and are
+///    updated push-style through inc()/set()/observe();
+///  * callback-backed metrics (counter_fn/gauge_fn) pull their value from
+///    a sampler at export time — the right shape for state that already
+///    lives in the simulation (queue depths, lifetime counters), because
+///    the hot path is never touched at all.
+///
+/// The registry is a pure observer by construction: nothing here draws
+/// random numbers, schedules events, or mutates simulation state. When the
+/// registry is disabled (set_enabled(false)) registration hands out a
+/// shared sink instance that exporters never visit, so instrumented code
+/// keeps working against dead-cheap no-op objects.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecocloud::obs {
+
+/// Label set of one metric instance: (key, value) pairs, stored sorted by
+/// key so label order at the call site never creates duplicate series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricType type);
+
+/// Monotonic counter. Either owned (inc()) or callback-backed.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+
+  /// Current value; callback-backed counters sample their source.
+  [[nodiscard]] std::uint64_t value() const { return fn_ ? fn_() : value_; }
+
+ private:
+  friend class MetricRegistry;
+  Counter() = default;
+  std::uint64_t value_ = 0;
+  std::function<std::uint64_t()> fn_;
+};
+
+/// Point-in-time gauge. Either owned (set()/add()) or callback-backed.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+
+  [[nodiscard]] double value() const { return fn_ ? fn_() : value_; }
+
+ private:
+  friend class MetricRegistry;
+  Gauge() = default;
+  double value_ = 0.0;
+  std::function<double()> fn_;
+};
+
+/// Fixed-bucket histogram: observations are classified into the first
+/// bucket whose upper bound is >= the value, Prometheus-style (an implicit
+/// +Inf bucket catches the rest). Bounds are fixed at registration, so
+/// observe() is a binary search plus two adds — no allocation, ever.
+class Histogram {
+ public:
+  void observe(double value);
+
+  /// Finite upper bounds, strictly increasing (the +Inf bucket is implied).
+  [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }
+
+  /// Per-bucket counts, bounds().size() + 1 entries (last is +Inf).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  friend class MetricRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Register (or look up) an owned metric instance. Type and name are
+  /// validated; re-registering with a conflicting type throws.
+  Counter& counter(const std::string& name, Labels labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, Labels labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds,
+                       Labels labels = {}, const std::string& help = "");
+
+  /// Register a callback-backed instance; \p fn is sampled at export time
+  /// and must stay valid while the registry lives. Re-registering the same
+  /// (name, labels) replaces the sampler.
+  Counter& counter_fn(const std::string& name, std::function<std::uint64_t()> fn,
+                      Labels labels = {}, const std::string& help = "");
+  Gauge& gauge_fn(const std::string& name, std::function<double()> fn,
+                  Labels labels = {}, const std::string& help = "");
+
+  /// Look up an existing instance; nullptr when never registered — the
+  /// cheap probe for optional instrumentation sites.
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name,
+                                                const Labels& labels = {}) const;
+
+  /// Disabled registries hand out shared sink instances that exporters
+  /// skip, so instrumentation code runs unchanged at near-zero cost.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // --- Export-side iteration ------------------------------------------------
+
+  struct Instance {
+    Labels labels;
+    // Exactly one is non-null, matching the family type.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<Instance> instances;
+  };
+
+  /// Families in registration order (exporters iterate this).
+  [[nodiscard]] const std::vector<std::unique_ptr<Family>>& families() const {
+    return families_;
+  }
+
+  /// Total registered instances across all families.
+  [[nodiscard]] std::size_t num_instances() const;
+
+ private:
+  Family& family(const std::string& name, MetricType type, const std::string& help);
+  Instance& instance(Family& fam, Labels labels);
+  [[nodiscard]] const Instance* find(const std::string& name, const Labels& labels,
+                                     MetricType type) const;
+
+  std::vector<std::unique_ptr<Family>> families_;
+  bool enabled_ = true;
+
+  // Shared sinks handed out while disabled (never exported).
+  std::unique_ptr<Counter> sink_counter_;
+  std::unique_ptr<Gauge> sink_gauge_;
+  std::vector<std::unique_ptr<Histogram>> sink_histograms_;
+};
+
+}  // namespace ecocloud::obs

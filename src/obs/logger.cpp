@@ -1,0 +1,110 @@
+#include "ecocloud/obs/logger.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace ecocloud::obs {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+    if (text == to_string(level)) return level;
+  }
+  return std::nullopt;
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+namespace {
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; emit them as strings so the line stays valid.
+    out += value > 0 ? "\"inf\"" : (value < 0 ? "\"-inf\"" : "\"nan\"");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out += buf;
+}
+
+}  // namespace
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view msg,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(96);
+  line += "{\"ts_sim\":";
+  append_number(line, now_ ? now_() : 0.0);
+  line += ",\"level\":";
+  append_json_string(line, to_string(level));
+  line += ",\"component\":";
+  append_json_string(line, component);
+  line += ",\"msg\":";
+  append_json_string(line, msg);
+  for (const LogField& field : fields) {
+    line.push_back(',');
+    append_json_string(line, field.key);
+    line.push_back(':');
+    switch (field.kind) {
+      case LogField::Kind::kInt:
+        line += std::to_string(field.i);
+        break;
+      case LogField::Kind::kUint:
+        line += std::to_string(field.u);
+        break;
+      case LogField::Kind::kDouble:
+        append_number(line, field.d);
+        break;
+      case LogField::Kind::kBool:
+        line += field.b ? "true" : "false";
+        break;
+      case LogField::Kind::kString:
+        append_json_string(line, field.s);
+        break;
+    }
+  }
+  line += "}\n";
+  *sink_ << line;
+  ++lines_;
+}
+
+void Logger::flush() {
+  if (sink_) sink_->flush();
+}
+
+}  // namespace ecocloud::obs

@@ -1,0 +1,176 @@
+#include "ecocloud/obs/metric_registry.hpp"
+
+#include <algorithm>
+
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin(), name.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+Labels normalized(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+const char* to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  util::require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                    std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                        bounds_.end(),
+                "Histogram: bucket bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+MetricRegistry::Family& MetricRegistry::family(const std::string& name,
+                                               MetricType type,
+                                               const std::string& help) {
+  util::require(valid_metric_name(name),
+                "MetricRegistry: invalid metric name '" + name + "'");
+  for (auto& fam : families_) {
+    if (fam->name == name) {
+      util::require(fam->type == type,
+                    "MetricRegistry: '" + name + "' re-registered as " +
+                        to_string(type) + ", was " + to_string(fam->type));
+      if (fam->help.empty()) fam->help = help;
+      return *fam;
+    }
+  }
+  families_.push_back(std::make_unique<Family>());
+  Family& fam = *families_.back();
+  fam.name = name;
+  fam.help = help;
+  fam.type = type;
+  return fam;
+}
+
+MetricRegistry::Instance& MetricRegistry::instance(Family& fam, Labels labels) {
+  labels = normalized(std::move(labels));
+  for (auto& inst : fam.instances) {
+    if (inst.labels == labels) return inst;
+  }
+  fam.instances.push_back(Instance{});
+  fam.instances.back().labels = std::move(labels);
+  return fam.instances.back();
+}
+
+const MetricRegistry::Instance* MetricRegistry::find(const std::string& name,
+                                                     const Labels& labels,
+                                                     MetricType type) const {
+  const Labels key = normalized(labels);
+  for (const auto& fam : families_) {
+    if (fam->name != name || fam->type != type) continue;
+    for (const auto& inst : fam->instances) {
+      if (inst.labels == key) return &inst;
+    }
+  }
+  return nullptr;
+}
+
+Counter& MetricRegistry::counter(const std::string& name, Labels labels,
+                                 const std::string& help) {
+  if (!enabled_) {
+    if (!sink_counter_) sink_counter_.reset(new Counter());
+    return *sink_counter_;
+  }
+  Instance& inst = instance(family(name, MetricType::kCounter, help),
+                            std::move(labels));
+  if (!inst.counter) inst.counter.reset(new Counter());
+  return *inst.counter;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name, Labels labels,
+                             const std::string& help) {
+  if (!enabled_) {
+    if (!sink_gauge_) sink_gauge_.reset(new Gauge());
+    return *sink_gauge_;
+  }
+  Instance& inst =
+      instance(family(name, MetricType::kGauge, help), std::move(labels));
+  if (!inst.gauge) inst.gauge.reset(new Gauge());
+  return *inst.gauge;
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name,
+                                     std::vector<double> upper_bounds,
+                                     Labels labels, const std::string& help) {
+  if (!enabled_) {
+    // Each disabled histogram still needs its own bounds to stay usable.
+    sink_histograms_.emplace_back(new Histogram(std::move(upper_bounds)));
+    return *sink_histograms_.back();
+  }
+  Instance& inst =
+      instance(family(name, MetricType::kHistogram, help), std::move(labels));
+  if (!inst.histogram) inst.histogram.reset(new Histogram(std::move(upper_bounds)));
+  return *inst.histogram;
+}
+
+Counter& MetricRegistry::counter_fn(const std::string& name,
+                                    std::function<std::uint64_t()> fn,
+                                    Labels labels, const std::string& help) {
+  Counter& c = counter(name, std::move(labels), help);
+  if (enabled_) c.fn_ = std::move(fn);
+  return c;
+}
+
+Gauge& MetricRegistry::gauge_fn(const std::string& name,
+                                std::function<double()> fn, Labels labels,
+                                const std::string& help) {
+  Gauge& g = gauge(name, std::move(labels), help);
+  if (enabled_) g.fn_ = std::move(fn);
+  return g;
+}
+
+const Counter* MetricRegistry::find_counter(const std::string& name,
+                                            const Labels& labels) const {
+  const Instance* inst = find(name, labels, MetricType::kCounter);
+  return inst ? inst->counter.get() : nullptr;
+}
+
+const Gauge* MetricRegistry::find_gauge(const std::string& name,
+                                        const Labels& labels) const {
+  const Instance* inst = find(name, labels, MetricType::kGauge);
+  return inst ? inst->gauge.get() : nullptr;
+}
+
+const Histogram* MetricRegistry::find_histogram(const std::string& name,
+                                                const Labels& labels) const {
+  const Instance* inst = find(name, labels, MetricType::kHistogram);
+  return inst ? inst->histogram.get() : nullptr;
+}
+
+std::size_t MetricRegistry::num_instances() const {
+  std::size_t n = 0;
+  for (const auto& fam : families_) n += fam->instances.size();
+  return n;
+}
+
+}  // namespace ecocloud::obs

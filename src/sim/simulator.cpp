@@ -13,10 +13,14 @@ bool EventHandle::pending() const {
 }
 
 bool EventHandle::cancel() {
-  if (!pending()) return false;
+  if (!pending()) {
+    if (sim_) ++sim_->stats_.stale_cancels;
+    return false;
+  }
   // A pending record always has at least one queued entry, so the lazy
   // drain is guaranteed to release the slot eventually.
   sim_->record(slot_).cancelled = true;
+  ++sim_->stats_.cancels;
   return true;
 }
 
@@ -27,6 +31,9 @@ std::uint32_t Simulator::acquire_slot() {
     if ((allocated_slots_ & (kChunkSize - 1)) == 0) {
       chunks_.push_back(std::make_unique<Record[]>(kChunkSize));
     }
+    // The free list is empty, so every allocated slot is live and the new
+    // occupancy is a fresh high-water mark.
+    stats_.slab_high_water = allocated_slots_ + 1;
     return allocated_slots_++;
   }
   const std::uint32_t slot = free_slots_.back();
@@ -94,6 +101,7 @@ void Simulator::drop_top() {
   const QueueEntry entry = pop_top();
   const std::uint32_t slot = entry_slot(entry);
   Record& rec = record(slot);
+  ++stats_.dropped_cancelled;
   if (--rec.queue_refs == 0 && slot != executing_slot_) {
     release_slot(slot);
   }
@@ -134,6 +142,7 @@ void Simulator::ring_drop_front(PeriodRing& ring) {
   const QueueEntry entry = ring_pop(ring);
   const std::uint32_t slot = entry_slot(entry);
   Record& rec = record(slot);
+  ++stats_.dropped_cancelled;
   if (--rec.queue_refs == 0 && slot != executing_slot_) {
     release_slot(slot);
   }
@@ -172,6 +181,8 @@ void Simulator::execute_next(int source) {
   now_ = entry.time;
   rec.fired = true;
   ++executed_;
+  ++(from_heap ? stats_.fired_from_heap : stats_.fired_from_ring);
+  ++(rec.period > 0.0 ? stats_.fired_periodic : stats_.fired_one_shot);
   if (rec.period > 0.0) {
     // Re-arm the chain BEFORE invoking the callback so the handle stays
     // pending during it and cancel() from inside stops the chain (the
@@ -226,6 +237,7 @@ EventHandle Simulator::schedule_at(SimTime at, Callback fn) {
   Record& rec = record(slot);
   rec.fn = std::move(fn);
   push(at, slot);
+  ++stats_.scheduled_one_shot;
   return EventHandle(this, slot, rec.generation);
 }
 
@@ -243,6 +255,7 @@ EventHandle Simulator::schedule_periodic(SimTime period, Callback fn, SimTime ph
   rec.fn = std::move(fn);
   rec.period = period;
   push(now_ + phase, slot);
+  ++stats_.scheduled_periodic;
   return EventHandle(this, slot, rec.generation);
 }
 

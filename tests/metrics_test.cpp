@@ -7,6 +7,8 @@
 #include "ecocloud/metrics/collector.hpp"
 #include "ecocloud/metrics/episode_summary.hpp"
 #include "ecocloud/metrics/event_log.hpp"
+#include "ecocloud/util/csv.hpp"
+#include "ecocloud/util/string_util.hpp"
 
 namespace metrics = ecocloud::metrics;
 namespace core = ecocloud::core;
@@ -209,4 +211,123 @@ TEST(EventLog, KindNames) {
                "migration_start");
   EXPECT_STREQ(metrics::to_string(metrics::EventKind::kAssignmentFailure),
                "assignment_failure");
+}
+
+TEST(EventLog, CountIsMaintainedPerKind) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  core::EcoCloudParams params;
+  core::EcoCloudController controller(simulator, datacenter, params, Rng(5));
+  metrics::EventLog log;
+  log.attach(controller);
+
+  for (int i = 0; i < 5; ++i) controller.events().on_assignment(1.0 * i, i, 0);
+  controller.events().on_server_failed(10.0, 3);
+  controller.events().on_vm_orphaned(10.0, 1, 3);
+  controller.events().on_migration_aborted(11.0, 2, true);
+  controller.events().on_server_repaired(20.0, 3);
+
+  EXPECT_EQ(log.count(metrics::EventKind::kAssignment), 5u);
+  EXPECT_EQ(log.count(metrics::EventKind::kServerFailed), 1u);
+  EXPECT_EQ(log.count(metrics::EventKind::kVmOrphaned), 1u);
+  EXPECT_EQ(log.count(metrics::EventKind::kMigrationAborted), 1u);
+  EXPECT_EQ(log.count(metrics::EventKind::kServerRepaired), 1u);
+  EXPECT_EQ(log.count(metrics::EventKind::kHibernation), 0u);
+
+  // clear() resets the per-kind counters along with the rows.
+  log.clear();
+  EXPECT_EQ(log.count(metrics::EventKind::kAssignment), 0u);
+  controller.events().on_assignment(30.0, 9, 1);
+  EXPECT_EQ(log.count(metrics::EventKind::kAssignment), 1u);
+}
+
+TEST(EventLog, CsvRoundTripsThroughReader) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  core::EcoCloudParams params;
+  core::EcoCloudController controller(simulator, datacenter, params, Rng(6));
+  metrics::EventLog log;
+  log.attach(controller);
+
+  // One event of every kind, fault paths included.
+  controller.events().on_assignment(1.5, 2, 7);
+  controller.events().on_assignment_failure(2.0, 3);
+  controller.events().on_migration_start(3.0, 4, true);
+  controller.events().on_migration_complete(4.25, 4, true);
+  controller.events().on_activation(5.0, 1);
+  controller.events().on_hibernation(6.0, 1);
+  controller.events().on_server_failed(7.0, 7);
+  controller.events().on_vm_orphaned(7.0, 2, 7);
+  controller.events().on_migration_aborted(8.0, 5, false);
+  controller.events().on_server_repaired(9.0, 7);
+  ASSERT_EQ(log.size(), 10u);
+
+  std::ostringstream out;
+  log.write_csv(out);
+  std::istringstream in(out.str());
+  const auto rows = ecocloud::util::read_csv(in);
+
+  // Header row plus one row per event.
+  ASSERT_EQ(rows.size(), 1u + log.size());
+  EXPECT_EQ(rows[0],
+            (ecocloud::util::CsvRow{"time_s", "kind", "vm", "server", "is_high"}));
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const metrics::Event& event = log.events()[i];
+    const ecocloud::util::CsvRow& row = rows[i + 1];
+    ASSERT_EQ(row.size(), 5u);
+    EXPECT_DOUBLE_EQ(ecocloud::util::parse_double(row[0]), event.time);
+    EXPECT_EQ(row[1], metrics::to_string(event.kind));
+    EXPECT_EQ(row[2], event.vm == dc::kNoVm ? "-1" : std::to_string(event.vm));
+    EXPECT_EQ(row[3], event.server == dc::kNoServer
+                          ? "-1"
+                          : std::to_string(event.server));
+    EXPECT_EQ(row[4], event.is_high ? "1" : "0");
+  }
+  // Fault-path kinds survive the round trip by name.
+  EXPECT_EQ(rows[7][1], "server_failed");
+  EXPECT_EQ(rows[8][1], "vm_orphaned");
+  EXPECT_EQ(rows[9][1], "migration_aborted");
+  EXPECT_EQ(rows[10][1], "server_repaired");
+}
+
+TEST(Collector, RebaseAfterAccountingResetReportsNonNegativeWindows) {
+  sim::Simulator simulator;
+  dc::DataCenter datacenter;
+  const auto s = datacenter.add_server(2, 1000.0);  // capacity 2000
+  datacenter.start_booting(0.0, s);
+  datacenter.finish_booting(0.0, s);
+  const auto v = datacenter.create_vm(1000.0);
+  datacenter.place_vm(0.0, v, s);
+  const double steady_power_w = datacenter.total_power_w();
+
+  metrics::CollectorConfig config;
+  config.sample_period_s = 100.0;
+  metrics::MetricsCollector collector(simulator, datacenter, config);
+  collector.start();
+
+  // Overload during the warm-up only, then end the warm-up at t = 150 the
+  // way DailyScenario does: reset the accumulators and rebase the
+  // collector so the next window starts from zero instead of reporting
+  // negative deltas.
+  simulator.schedule_at(50.0, [&] { datacenter.set_vm_demand(50.0, v, 3000.0); });
+  simulator.schedule_at(120.0, [&] { datacenter.set_vm_demand(120.0, v, 1000.0); });
+  simulator.schedule_at(150.0, [&] {
+    datacenter.reset_accounting(150.0);
+    collector.rebase();
+  });
+  simulator.run_until(350.0);
+
+  ASSERT_GE(collector.samples().size(), 3u);
+  // First post-reset window (ending t = 200): deltas must be non-negative
+  // and reflect only the 50 s since the reset, not the warm-up.
+  const auto& first = collector.samples()[1];
+  EXPECT_DOUBLE_EQ(first.time, 200.0);
+  EXPECT_GE(first.window_energy_j, 0.0);
+  EXPECT_GE(first.overload_percent, 0.0);
+  // Active server at 50% for 50 s at the steady-state power draw.
+  EXPECT_NEAR(first.window_energy_j, steady_power_w * 50.0, 1e-6);
+  EXPECT_NEAR(first.overload_percent, 0.0, 1e-9);
+  // Later windows are clean full windows again.
+  EXPECT_NEAR(collector.samples()[2].window_energy_j, steady_power_w * 100.0,
+              1e-6);
 }

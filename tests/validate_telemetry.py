@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Validate the CLI's telemetry outputs.
+
+Checks, with no third-party dependencies:
+  * Prometheus text exposition (format 0.0.4): HELP/TYPE comment grammar,
+    metric-name and label syntax, numeric sample values, histogram
+    bucket/sum/count completeness and cumulative monotonicity.
+  * JSON metrics snapshot: well-formed, expected top-level shape.
+  * Chrome trace-event JSON: loadable, every event carries the required
+    keys for its phase, complete events have non-negative durations, and
+    the counter/metadata events are well-formed (Perfetto accepts this).
+  * JSONL log: every line is a JSON object with ts_sim/level/component/msg.
+
+Exit status 0 on success; prints the first failure and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One sample line: name{labels} value  (labels optional).
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$")
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+LOG_LEVELS = {"trace", "debug", "info", "warn", "error"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_number(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return math.inf if text == "+Inf" else (-math.inf if text == "-Inf" else math.nan)
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"bad sample value: {text!r}")
+
+
+def validate_prometheus(path):
+    families = {}   # name -> type
+    histograms = {}  # base name -> {"buckets": [(le, v)], "sum": v, "count": v}
+    n_samples = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4 or not METRIC_NAME.match(parts[2]):
+                    fail(f"{where}: bad comment line: {line!r}")
+                if parts[1] == "TYPE":
+                    if parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                        fail(f"{where}: bad metric type {parts[3]!r}")
+                    if parts[2] in families:
+                        fail(f"{where}: duplicate TYPE for {parts[2]}")
+                    families[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE.match(line)
+            if not m:
+                fail(f"{where}: unparseable sample line: {line!r}")
+            name, _, labels, value_text = m.groups()
+            value = parse_number(value_text)
+            n_samples += 1
+            label_map = {}
+            if labels:
+                stripped = LABEL_PAIR.sub("", labels).replace(",", "").strip()
+                if stripped:
+                    fail(f"{where}: bad label syntax: {labels!r}")
+                for lm in LABEL_PAIR.finditer(labels):
+                    if not LABEL_NAME.match(lm.group(1)):
+                        fail(f"{where}: bad label name {lm.group(1)!r}")
+                    label_map[lm.group(1)] = lm.group(2)
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            family_type = families.get(name) or families.get(base)
+            if family_type is None:
+                fail(f"{where}: sample {name} has no preceding # TYPE")
+            if family_type == "histogram":
+                h = histograms.setdefault(base, {"buckets": [], "sum": None, "count": None})
+                if name.endswith("_bucket"):
+                    if "le" not in label_map:
+                        fail(f"{where}: histogram bucket without le label")
+                    h["buckets"].append((parse_number(label_map["le"]), value))
+                elif name.endswith("_sum"):
+                    h["sum"] = value
+                elif name.endswith("_count"):
+                    h["count"] = value
+                else:
+                    fail(f"{where}: unexpected histogram sample {name}")
+            elif family_type in ("counter", "gauge"):
+                if family_type == "counter" and value < 0:
+                    fail(f"{where}: negative counter {name}")
+    if n_samples == 0:
+        fail(f"{path}: no samples")
+    for base, h in histograms.items():
+        if h["sum"] is None or h["count"] is None:
+            fail(f"{base}: histogram missing _sum or _count")
+        if not h["buckets"] or not math.isinf(h["buckets"][-1][0]):
+            fail(f"{base}: histogram missing +Inf bucket")
+        counts = [v for _, v in h["buckets"]]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            fail(f"{base}: histogram buckets not cumulative")
+        if counts[-1] != h["count"]:
+            fail(f"{base}: +Inf bucket != _count")
+    print(f"{path}: OK ({n_samples} samples, {len(families)} families, "
+          f"{len(histograms)} histograms)")
+
+
+def validate_metrics_json(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        fail(f"{path}: missing or empty 'metrics' array")
+    for m in metrics:
+        for key in ("name", "type", "series"):
+            if key not in m:
+                fail(f"{path}: metric missing {key!r}: {m}")
+    print(f"{path}: OK ({len(metrics)} metrics)")
+
+
+def validate_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing or empty traceEvents")
+    phases = {}
+    for e in events:
+        ph = e.get("ph")
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph in ("X", "i", "C"):
+            for key in ("name", "ts", "pid"):
+                if key not in e:
+                    fail(f"{path}: {ph} event missing {key!r}: {e}")
+        if ph == "X":
+            if e.get("dur", -1) < 0:
+                fail(f"{path}: X event with negative duration: {e}")
+        elif ph == "C":
+            if not isinstance(e.get("args"), dict) or not e["args"]:
+                fail(f"{path}: C event without args: {e}")
+        elif ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                fail(f"{path}: unknown metadata event: {e}")
+        elif ph != "i":
+            fail(f"{path}: unexpected phase {ph!r}")
+    for required in ("X", "C", "M"):
+        if required not in phases:
+            fail(f"{path}: no {required!r} events recorded")
+    print(f"{path}: OK ({len(events)} events, phases {phases})")
+
+
+def validate_log(path):
+    n = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(f"{path}:{lineno}: bad JSON: {err}")
+            for key in ("ts_sim", "level", "component", "msg"):
+                if key not in record:
+                    fail(f"{path}:{lineno}: record missing {key!r}")
+            if record["level"] not in LOG_LEVELS:
+                fail(f"{path}:{lineno}: bad level {record['level']!r}")
+            n += 1
+    if n == 0:
+        fail(f"{path}: no log records")
+    print(f"{path}: OK ({n} records)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", help="Prometheus text exposition file")
+    parser.add_argument("--metrics-json", help="JSON metrics snapshot")
+    parser.add_argument("--trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--log", help="JSONL structured log file")
+    args = parser.parse_args()
+    if not any([args.metrics, args.metrics_json, args.trace, args.log]):
+        parser.error("nothing to validate")
+    if args.metrics:
+        validate_prometheus(args.metrics)
+    if args.metrics_json:
+        validate_metrics_json(args.metrics_json)
+    if args.trace:
+        validate_trace(args.trace)
+    if args.log:
+        validate_log(args.log)
+    print("telemetry outputs valid")
+
+
+if __name__ == "__main__":
+    main()
