@@ -20,6 +20,10 @@
 #include <sstream>
 #include <string>
 
+#include "ecocloud/ckpt/auditor.hpp"
+#include "ecocloud/ckpt/checkpoint.hpp"
+#include "ecocloud/ckpt/snapshot_io.hpp"
+#include "ecocloud/ckpt/watchdog.hpp"
 #include "ecocloud/core/probability.hpp"
 #include "ecocloud/metrics/episode_summary.hpp"
 #include "ecocloud/metrics/event_log.hpp"
@@ -76,6 +80,20 @@ class Options {
   std::set<std::string> used_;
 };
 
+/// Fail fast on unwritable output paths: probe with an append-open before
+/// the (possibly hours-long) run instead of erroring at exit. A file the
+/// probe newly created is removed again.
+void require_writable(const std::string& path) {
+  const bool existed = static_cast<bool>(std::ifstream(path));
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    throw std::runtime_error("cannot write to '" + path +
+                             "' (checked before starting the run)");
+  }
+  std::fclose(file);
+  if (!existed) std::remove(path.c_str());
+}
+
 /// Telemetry wiring shared by run-daily and run-consolidation. Flags are
 /// consumed up front; attach() subscribes before the run (so it chains
 /// behind any EventLog/collector already installed), finish() closes the
@@ -113,7 +131,7 @@ class CliTelemetry {
 
   void attach(sim::Simulator& sim, const dc::DataCenter& datacenter,
               core::EcoCloudController& controller,
-              const faults::FaultInjector* injector) {
+              const faults::FaultInjector* injector, bool resumed = false) {
     if (!enabled()) return;
     logger_.set_clock([&sim] { return sim.now(); });
     instr_.emplace(registry_, logger_, trace_ ? &*trace_ : nullptr);
@@ -121,7 +139,34 @@ class CliTelemetry {
     instr_->attach_datacenter(datacenter);
     instr_->attach_controller(controller);
     if (injector != nullptr) instr_->attach_faults(*injector);
-    instr_->start_flush(sim, kFlushPeriodS);
+    // A resumed run re-arms the tagged flush event from the snapshot's
+    // calendar (register_checkpoint) instead of scheduling a fresh one.
+    if (!resumed) instr_->start_flush(sim, kFlushPeriodS);
+  }
+
+  /// Register the flush event's owner so snapshots written or restored
+  /// under telemetry can rebuild it. Telemetry has no state section: it
+  /// is an observer, and its own counters restart on resume.
+  void register_checkpoint(ckpt::CheckpointManager& manager, sim::Simulator& sim) {
+    if (!instr_) return;
+    manager.add_owner(sim::tag_owner::kObsFlush,
+                      [this, &sim](const sim::EventTag& tag) {
+                        util::require(tag.kind == obs::Instrumentation::kEvFlush,
+                                      "snapshot: unknown telemetry event kind");
+                        return instr_->make_flush_callback(sim);
+                      });
+  }
+
+  /// Register pull-mode checkpoint/audit metrics (no-op without telemetry).
+  void attach_robustness(std::function<obs::RobustnessSample()> sample) {
+    if (instr_) instr_->attach_robustness(std::move(sample));
+  }
+
+  /// Fail fast on unwritable output paths (the log file is already open).
+  void probe_outputs() const {
+    for (const auto& path : {metrics_path_, json_path_, trace_path_}) {
+      if (path) require_writable(*path);
+    }
   }
 
   void finish(sim::SimTime end) {
@@ -169,6 +214,146 @@ class CliTelemetry {
   std::optional<obs::Instrumentation> instr_;
 };
 
+/// Checkpoint/audit/watchdog wiring shared by run-daily and
+/// run-consolidation. Flags override the config file's [checkpoint] /
+/// [audit] / [watchdog] sections; wire() builds the machinery against the
+/// constructed scenario and launch() either restores a snapshot or starts
+/// the periodic services.
+class Robustness {
+ public:
+  Robustness(Options& options, scenario::RunControl run) : run_(std::move(run)) {
+    if (const auto v = options.get("checkpoint-out")) run_.checkpoint_out = *v;
+    run_.checkpoint_every_s =
+        options.get_double("checkpoint-every", run_.checkpoint_every_s);
+    resume_path_ = options.get("resume-from");
+    run_.audit_every_s = options.get_double("audit-every", run_.audit_every_s);
+    if (const auto v = options.get("audit-action")) run_.audit_action = *v;
+    run_.watchdog_stall_s =
+        options.get_double("watchdog-stall", run_.watchdog_stall_s);
+    if (!run_.checkpoint_out.empty()) {
+      util::require(run_.checkpoint_every_s > 0.0 || resume_path_.has_value(),
+                    "--checkpoint-out needs --checkpoint-every SECONDS (> 0)");
+      require_writable(run_.checkpoint_out);
+    }
+    util::require(run_.watchdog_stall_s <= 0.0 || run_.audit_every_s > 0.0,
+                  "the watchdog is fed by the auditor's heartbeat: "
+                  "--watchdog-stall needs --audit-every");
+  }
+
+  [[nodiscard]] bool resumed() const { return resume_path_.has_value(); }
+  [[nodiscard]] bool checkpointing() const {
+    return resumed() || !run_.checkpoint_out.empty();
+  }
+
+  /// Build auditor, watchdog, and checkpoint manager. \p register_scenario
+  /// registers the scenario's own sections/owners when checkpointing.
+  template <typename RegisterFn>
+  void wire(sim::Simulator& sim, dc::DataCenter& datacenter,
+            const core::EcoCloudController* controller,
+            const faults::RedeployQueue* redeploy, metrics::EventLog* event_log,
+            CliTelemetry& telemetry, RegisterFn register_scenario) {
+    if (run_.watchdog_stall_s > 0.0) {
+      watchdog_.emplace(ckpt::Watchdog::Config{run_.watchdog_stall_s, {}});
+    }
+    if (run_.audit_every_s > 0.0) {
+      ckpt::AuditorConfig audit;
+      audit.period_s = run_.audit_every_s;
+      audit.action = ckpt::parse_audit_action(run_.audit_action);
+      audit.tolerance = run_.audit_tolerance;
+      audit.strict_vm_accounting = run_.audit_strict;
+      auditor_.emplace(sim, datacenter, audit);
+      if (controller != nullptr) auditor_->attach_controller(controller);
+      if (redeploy != nullptr) auditor_->attach_redeploy(redeploy);
+      if (watchdog_) auditor_->set_watchdog(&*watchdog_);
+    }
+    if (checkpointing()) {
+      manager_.emplace(sim);
+      register_scenario(*manager_);
+      if (event_log != nullptr) {
+        manager_->add_section(
+            "event_log",
+            [event_log](util::BinWriter& w) { event_log->save_state(w); },
+            [event_log](util::BinReader& r) { event_log->load_state(r); });
+      }
+      if (auditor_) {
+        manager_->add_section(
+            "auditor", [this](util::BinWriter& w) { auditor_->save_state(w); },
+            [this](util::BinReader& r) { auditor_->load_state(r); });
+        manager_->add_owner(sim::tag_owner::kAuditor,
+                            [this](const sim::EventTag& tag) {
+                              return auditor_->rebuild_event(tag);
+                            });
+      }
+      telemetry.register_checkpoint(*manager_, sim);
+    }
+    if (manager_ || auditor_) {
+      telemetry.attach_robustness([this] {
+        obs::RobustnessSample sample;
+        if (manager_) {
+          const auto& c = manager_->stats();
+          sample.checkpoints_written = c.checkpoints_written;
+          sample.snapshot_bytes_last = c.snapshot_bytes_last;
+          sample.save_wall_seconds_total = c.save_wall_seconds_total;
+        }
+        if (auditor_) {
+          const auto& a = auditor_->stats();
+          sample.audits_run = a.audits_run;
+          sample.audits_failed = a.audits_failed;
+          sample.heals_applied = a.heals_applied;
+        }
+        return sample;
+      });
+    }
+  }
+
+  /// Restore the snapshot (resume) or start the periodic services
+  /// (fresh run). Returns true when the run resumed.
+  bool launch(sim::Simulator& sim) {
+    if (resumed()) {
+      manager_->restore(*resume_path_);
+      // Keep writing snapshots: to --checkpoint-out when given, otherwise
+      // back over the file we resumed from (the campaign keeps advancing).
+      manager_->set_output_path(
+          !run_.checkpoint_out.empty() ? run_.checkpoint_out : *resume_path_);
+      std::printf("resumed from %s at t=%.0f s (%llu events executed)\n",
+                  resume_path_->c_str(), sim.now(),
+                  static_cast<unsigned long long>(sim.executed_events()));
+    } else {
+      if (manager_ && !run_.checkpoint_out.empty()) {
+        manager_->start_periodic(run_.checkpoint_every_s, run_.checkpoint_out);
+      }
+      if (auditor_) auditor_->start();
+    }
+    if (watchdog_) watchdog_->arm();
+    return resumed();
+  }
+
+  void finish() {
+    if (watchdog_) watchdog_->disarm();
+    if (auditor_) {
+      const auto& a = auditor_->stats();
+      std::printf("audits            %llu run, %llu failed (action=%s)\n",
+                  static_cast<unsigned long long>(a.audits_run),
+                  static_cast<unsigned long long>(a.audits_failed),
+                  ckpt::to_string(auditor_->config().action));
+    }
+    if (manager_ && manager_->stats().checkpoints_written > 0) {
+      const auto& c = manager_->stats();
+      std::printf("checkpoints       %llu written (last %llu bytes, %.1f ms)\n",
+                  static_cast<unsigned long long>(c.checkpoints_written),
+                  static_cast<unsigned long long>(c.snapshot_bytes_last),
+                  1e3 * c.save_wall_seconds_last);
+    }
+  }
+
+ private:
+  scenario::RunControl run_;
+  std::optional<std::string> resume_path_;
+  std::optional<ckpt::Watchdog> watchdog_;
+  std::optional<ckpt::RuntimeAuditor> auditor_;
+  std::optional<ckpt::CheckpointManager> manager_;
+};
+
 int usage() {
   std::puts(
       "usage: ecocloud_cli <command> [options]\n"
@@ -185,8 +370,16 @@ int usage() {
       "    --log-out F      structured JSONL log (default level info)\n"
       "    --log-level L    trace|debug|info|warn|error|off (stderr when no\n"
       "                     --log-out is given)\n"
+      "    --checkpoint-out F   write crash-safe snapshots to F\n"
+      "    --checkpoint-every S snapshot cadence in sim seconds\n"
+      "    --resume-from F      restore a snapshot and finish the run\n"
+      "                         (bit-identical to the uninterrupted run)\n"
+      "    --audit-every S      run the invariant auditor every S sim secs\n"
+      "    --audit-action A     log | abort | heal on a failed audit\n"
+      "    --watchdog-stall S   abort after S wall seconds without progress\n"
       "  run-consolidation  assignment-only experiment (paper Sec. IV)\n"
-      "    --config FILE, --csv FILE and telemetry options as above\n"
+      "    --config FILE, --csv FILE, telemetry and robustness options as\n"
+      "    above\n"
       "  gen-traces         write a synthetic PlanetLab-format trace directory\n"
       "    --out DIR [--vms N] [--hours H] [--seed S]\n"
       "  functions          print f_a / f_l / f_h tables\n"
@@ -227,8 +420,14 @@ int run_daily(Options& options) {
   auto config = load_config(options, scenario::load_daily_config);
   const auto csv_path = options.get("csv");
   const auto events_path = options.get("events");
+  Robustness robustness(options, config.run);
   CliTelemetry telemetry(options);
   options.reject_unknown();
+
+  for (const auto& path : {csv_path, events_path}) {
+    if (path) require_writable(*path);
+  }
+  telemetry.probe_outputs();
 
   std::printf("daily run: %zu servers, %zu VMs, %.0f h (+%.0f h warm-up)\n",
               config.fleet.num_servers, config.num_vms,
@@ -239,9 +438,21 @@ int run_daily(Options& options) {
   if (events_path) event_log.attach(*daily.ecocloud());
   if (daily.ecocloud() != nullptr) {
     telemetry.attach(daily.simulator(), daily.datacenter(), *daily.ecocloud(),
-                     daily.fault_injector());
+                     daily.fault_injector(), robustness.resumed());
   }
-  daily.run();
+  auto* injector = daily.fault_injector();
+  robustness.wire(daily.simulator(), daily.datacenter(), daily.ecocloud(),
+                  injector != nullptr ? &injector->redeploy() : nullptr,
+                  events_path ? &event_log : nullptr, telemetry,
+                  [&daily](ckpt::CheckpointManager& manager) {
+                    daily.register_checkpoint(manager);
+                  });
+  if (robustness.launch(daily.simulator())) {
+    daily.run_resumed();
+  } else {
+    daily.run();
+  }
+  robustness.finish();
   telemetry.finish(daily.simulator().now());
 
   const auto& d = daily.datacenter();
@@ -304,16 +515,30 @@ int run_daily(Options& options) {
 int run_consolidation(Options& options) {
   auto config = load_config(options, scenario::load_consolidation_config);
   const auto csv_path = options.get("csv");
+  Robustness robustness(options, config.run);
   CliTelemetry telemetry(options);
   options.reject_unknown();
+
+  if (csv_path) require_writable(*csv_path);
+  telemetry.probe_outputs();
 
   std::printf("consolidation run: %zu servers, %zu initial VMs, %.0f h\n",
               config.num_servers, config.initial_vms,
               config.horizon_s / sim::kHour);
   scenario::ConsolidationScenario cons(config);
   telemetry.attach(cons.simulator(), cons.datacenter(), cons.controller(),
-                   /*injector=*/nullptr);
-  cons.run();
+                   /*injector=*/nullptr, robustness.resumed());
+  robustness.wire(cons.simulator(), cons.datacenter(), &cons.controller(),
+                  /*redeploy=*/nullptr, /*event_log=*/nullptr, telemetry,
+                  [&cons](ckpt::CheckpointManager& manager) {
+                    cons.register_checkpoint(manager);
+                  });
+  if (robustness.launch(cons.simulator())) {
+    cons.run_resumed();
+  } else {
+    cons.run();
+  }
+  robustness.finish();
   telemetry.finish(cons.simulator().now());
   const auto& d = cons.datacenter();
   std::printf("final: %zu active / %zu hibernated; arrivals=%llu departures=%llu "
@@ -385,6 +610,9 @@ int help_config() {
       "             redeploy_delay_s, redeploy_backoff_s,\n"
       "             redeploy_backoff_max_s, redeploy_max_attempts,\n"
       "             schedule (e.g. crash 10-20 3600 600, repair 5 7200)\n"
+      "  robustness: [checkpoint] out, every_s; [audit] every_s,\n"
+      "             action (log|abort|heal), tolerance, strict;\n"
+      "             [watchdog] stall_s — all disabled by default\n"
       "\n"
       "consolidation config keys:\n"
       "  servers, cores_per_server, core_mhz, initial_vms, horizon_hours,\n"

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file auditor.hpp
+/// \brief Runtime conservation-invariant auditor.
+///
+/// RuntimeAuditor periodically cross-checks the simulation's derived
+/// state against ground truth that can be recomputed brute-force:
+///
+///  * engine integrity (sim::Simulator::check_integrity): heap order,
+///    ring sortedness, slab free-list uniqueness, queue_refs accounting;
+///  * fleet conservation (dc::DataCenter::audit_invariants): per-server
+///    load == sum of hosted VM demands, state indices == brute-force
+///    scan, cached totals == recomputed totals, outbound-migration
+///    counts == in-flight scan;
+///  * VM ownership: no VM simultaneously placed, waiting in a boot
+///    queue, and pending redeploy; in strict mode every live VM is
+///    owned exactly once (daily scenario — the consolidation scenario
+///    has departed VMs that are legitimately unowned forever).
+///
+/// A failed audit runs the configured response: kLog writes the failure
+/// list to stderr and keeps going; kAbort prints a diagnostic report and
+/// aborts (CI mode — corruption must not produce publishable numbers);
+/// kHeal rebuilds the derived caches from ground truth and re-audits
+/// (repairs only what is derivable; a conservation violation that
+/// survives healing is then reported). Healing changes subsequent
+/// behavior when the caches really were wrong — it is a repair action,
+/// not an observer.
+///
+/// The audit event is tagged, so checkpoint/resume preserves auditing
+/// cadence and its seq consumption like every other periodic service.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ecocloud/core/controller.hpp"
+#include "ecocloud/dc/datacenter.hpp"
+#include "ecocloud/faults/recovery.hpp"
+#include "ecocloud/sim/simulator.hpp"
+#include "ecocloud/util/binio.hpp"
+
+namespace ecocloud::ckpt {
+
+class Watchdog;
+
+enum class AuditAction : std::uint8_t { kLog, kAbort, kHeal };
+
+/// Parse "log" | "abort" | "heal"; throws std::invalid_argument otherwise.
+[[nodiscard]] AuditAction parse_audit_action(const std::string& text);
+[[nodiscard]] const char* to_string(AuditAction action);
+
+struct AuditorConfig {
+  /// Sim-time between audits; <= 0 disables the periodic event (run_audit
+  /// can still be called manually).
+  sim::SimTime period_s = 0.0;
+
+  AuditAction action = AuditAction::kLog;
+
+  /// Relative tolerance for floating-point conservation checks.
+  double tolerance = 1e-6;
+
+  /// Require every live VM to be owned exactly once (placed XOR
+  /// boot-queued XOR redeploy-pending). Disable for open-system runs
+  /// where departed VMs stay unowned.
+  bool strict_vm_accounting = true;
+};
+
+class RuntimeAuditor {
+ public:
+  /// Snapshot-stable event kinds (tag_owner::kAuditor). Append only.
+  enum EventKind : std::uint16_t { kEvAudit = 1 };
+
+  RuntimeAuditor(sim::Simulator& simulator, dc::DataCenter& datacenter,
+                 AuditorConfig config);
+
+  /// Optional deeper checks; pass nullptr to skip. Attach before start().
+  void attach_controller(const core::EcoCloudController* controller) {
+    controller_ = controller;
+  }
+  void attach_redeploy(const faults::RedeployQueue* queue) { redeploy_ = queue; }
+
+  /// Feed a watchdog: every audit beats it (nullptr detaches).
+  void set_watchdog(Watchdog* watchdog) { watchdog_ = watchdog; }
+
+  /// Schedule the periodic audit event. Call once; a resumed run re-arms
+  /// from the snapshot instead.
+  void start();
+
+  /// Run every check now. Returns the failure list (empty = clean) after
+  /// applying the configured action; kAbort does not return on failure.
+  std::vector<std::string> run_audit();
+
+  [[nodiscard]] sim::Simulator::Callback rebuild_event(const sim::EventTag& tag);
+
+  /// Checkpoint surface (counters + started flag).
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
+
+  struct Stats {
+    std::uint64_t audits_run = 0;
+    std::uint64_t audits_failed = 0;
+    std::uint64_t failures_total = 0;  ///< Individual findings across audits.
+    std::uint64_t heals_applied = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const AuditorConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::vector<std::string> collect_failures() const;
+  void check_vm_ownership(std::vector<std::string>& failures) const;
+
+  sim::Simulator& sim_;
+  dc::DataCenter& dc_;
+  AuditorConfig config_;
+  const core::EcoCloudController* controller_ = nullptr;
+  const faults::RedeployQueue* redeploy_ = nullptr;
+  Watchdog* watchdog_ = nullptr;
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace ecocloud::ckpt

@@ -1,0 +1,174 @@
+#include "ecocloud/ckpt/snapshot_io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace ecocloud::ckpt {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// True on a little-endian machine (BinWriter emits LE byte-by-byte, so
+/// the file itself is portable; the tag records it anyway as the cheapest
+/// possible canary for exotic platforms).
+bool little_endian() {
+  const std::uint16_t probe = 1;
+  std::uint8_t first = 0;
+  std::memcpy(&first, &probe, 1);
+  return first == 1;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string abi_tag() {
+  std::string tag;
+  tag += little_endian() ? "le" : "be";
+  tag += "/ptr" + std::to_string(sizeof(void*) * 8);
+  // Restoring unordered_map iteration order bit-exactly relies on the
+  // standard library's hashtable layout (see util/snapshot.hpp).
+#if defined(__GLIBCXX__)
+  tag += "/libstdc++";
+#elif defined(_LIBCPP_VERSION)
+  tag += "/libc++";
+#else
+  tag += "/unknown-stl";
+#endif
+  return tag;
+}
+
+void Snapshot::add(std::string name, std::string payload) {
+  if (find(name) != nullptr) {
+    throw SnapshotError("snapshot: duplicate section '" + name + "'");
+  }
+  sections.push_back(SnapshotSection{std::move(name), std::move(payload)});
+}
+
+const SnapshotSection* Snapshot::find(const std::string& name) const {
+  for (const SnapshotSection& section : sections) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
+}
+
+void write_snapshot_file(const Snapshot& snapshot, const std::string& path) {
+  util::BinWriter w;
+  w.bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.u32(kFormatVersion);
+  w.str(abi_tag());
+  w.u32(static_cast<std::uint32_t>(snapshot.sections.size()));
+  for (const SnapshotSection& section : snapshot.sections) {
+    w.str(section.name);
+    w.u64(section.payload.size());
+    w.u32(crc32(section.payload.data(), section.payload.size()));
+    w.bytes(section.payload.data(), section.payload.size());
+  }
+  const std::string& bytes = w.buffer();
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw SnapshotError("snapshot: cannot open '" + tmp + "' for writing");
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("snapshot: short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("snapshot: cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+Snapshot read_snapshot_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw SnapshotError("snapshot: cannot open '" + path + "'");
+  }
+  std::string bytes;
+  std::array<char, 1 << 16> chunk;
+  std::size_t got = 0;
+  while ((got = std::fread(chunk.data(), 1, chunk.size(), file)) > 0) {
+    bytes.append(chunk.data(), got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) throw SnapshotError("snapshot: read error on '" + path + "'");
+
+  try {
+    util::BinReader r(bytes);
+    std::array<char, sizeof(kSnapshotMagic)> magic{};
+    r.bytes(magic.data(), magic.size());
+    if (std::memcmp(magic.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+      throw SnapshotError("snapshot: '" + path + "' is not an ecocloud snapshot "
+                          "(bad magic)");
+    }
+    const std::uint32_t version = r.u32();
+    if (version != kFormatVersion) {
+      throw SnapshotError("snapshot: '" + path + "' has format version " +
+                          std::to_string(version) + ", this build reads version " +
+                          std::to_string(kFormatVersion));
+    }
+    const std::string tag = r.str();
+    if (tag != abi_tag()) {
+      throw SnapshotError("snapshot: '" + path + "' was written under ABI '" + tag +
+                          "' but this process is '" + abi_tag() +
+                          "' (bit-exact restore is not possible)");
+    }
+    const std::uint32_t count = r.u32();
+    Snapshot snapshot;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      SnapshotSection section;
+      section.name = r.str();
+      const std::uint64_t length = r.u64();
+      const std::uint32_t expected_crc = r.u32();
+      if (length > r.remaining()) {
+        throw SnapshotError("snapshot: '" + path + "' section '" + section.name +
+                            "' is truncated");
+      }
+      section.payload.resize(static_cast<std::size_t>(length));
+      r.bytes(section.payload.data(), section.payload.size());
+      const std::uint32_t actual_crc =
+          crc32(section.payload.data(), section.payload.size());
+      if (actual_crc != expected_crc) {
+        throw SnapshotError("snapshot: '" + path + "' section '" + section.name +
+                            "' failed its CRC32 check (file is corrupted)");
+      }
+      snapshot.add(std::move(section.name), std::move(section.payload));
+    }
+    r.expect_exhausted("snapshot file");
+    return snapshot;
+  } catch (const SnapshotError&) {
+    throw;
+  } catch (const std::exception& error) {
+    // BinReader truncation and duplicate-section errors, rewrapped with
+    // the file name for actionable diagnostics.
+    throw SnapshotError("snapshot: '" + path + "' is malformed: " + error.what());
+  }
+}
+
+}  // namespace ecocloud::ckpt

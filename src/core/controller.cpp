@@ -1,7 +1,11 @@
 #include "ecocloud/core/controller.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "ecocloud/util/snapshot.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::core {
@@ -31,6 +35,7 @@ void EcoCloudController::start() {
         params_.monitor_period_s * static_cast<double>(s) / static_cast<double>(n);
     const auto id = static_cast<dc::ServerId>(s);
     sim_.schedule_periodic(params_.monitor_period_s,
+                           sim::EventTag{sim::tag_owner::kController, kEvMonitor, id, 0},
                            [this, id] { monitor_server(id); }, phase);
   }
 }
@@ -129,8 +134,10 @@ std::optional<dc::ServerId> EcoCloudController::wake_one_server() {
   BootQueue& queue = boot_queues_[chosen];
   queue.finish_at = now + params_.boot_time_s;
   queue.boot_attempts = 1;
-  queue.boot_event = sim_.schedule_after(params_.boot_time_s,
-                                         [this, chosen] { on_boot_finished(chosen); });
+  queue.boot_event = sim_.schedule_after(
+      params_.boot_time_s,
+      sim::EventTag{sim::tag_owner::kController, kEvBootDone, chosen, 0},
+      [this, chosen] { on_boot_finished(chosen); });
   return chosen;
 }
 
@@ -165,7 +172,9 @@ void EcoCloudController::on_boot_finished(dc::ServerId s) {
       ++queue.boot_attempts;
       queue.finish_at = now + params_.boot_time_s;
       queue.boot_event = sim_.schedule_after(
-          params_.boot_time_s, [this, s] { on_boot_finished(s); });
+          params_.boot_time_s,
+          sim::EventTag{sim::tag_owner::kController, kEvBootDone, s, 0},
+          [this, s] { on_boot_finished(s); });
       rollback_migrations_touching(s);
       return;
     }
@@ -312,7 +321,10 @@ void EcoCloudController::start_migration(dc::VmId vm, dc::ServerId dest, bool is
   flight.is_high = is_high;
   flight.will_abort =
       faults_ && faults_->migration_aborts && faults_->migration_aborts(vm);
-  flight.done = sim_.schedule_at(complete_at, [this, vm] { finish_migration(vm); });
+  flight.done = sim_.schedule_at(
+      complete_at,
+      sim::EventTag{sim::tag_owner::kController, kEvMigrationDone, vm, 0},
+      [this, vm] { finish_migration(vm); });
   inflight_[vm] = std::move(flight);
 }
 
@@ -408,25 +420,188 @@ void EcoCloudController::repair_server(dc::ServerId server) {
 }
 
 void EcoCloudController::schedule_hibernation_check(dc::ServerId s) {
-  sim_.schedule_after(params_.hibernate_delay_s, [this, s] {
-    const dc::Server& server = dc_.server(s);
-    const sim::SimTime now = sim_.now();
-    if (!server.active() || !server.empty()) return;
-    if (server.reserved_mhz() > 0.0) {
-      // An inbound migration is in flight; re-check once it should be done.
-      schedule_hibernation_check(s);
-      return;
-    }
-    if (server.in_grace(now)) {
-      // Still in its post-boot grace window; try again once it expires.
-      sim_.schedule_at(server.grace_until(), [this, s] {
-        if (dc_.server(s).empty()) schedule_hibernation_check(s);
+  sim_.schedule_after(
+      params_.hibernate_delay_s,
+      sim::EventTag{sim::tag_owner::kController, kEvHibernateCheck, s, 0},
+      [this, s] { hibernation_check(s); });
+}
+
+void EcoCloudController::hibernation_check(dc::ServerId s) {
+  const dc::Server& server = dc_.server(s);
+  const sim::SimTime now = sim_.now();
+  if (!server.active() || !server.empty()) return;
+  if (server.reserved_mhz() > 0.0) {
+    // An inbound migration is in flight; re-check once it should be done.
+    schedule_hibernation_check(s);
+    return;
+  }
+  if (server.in_grace(now)) {
+    // Still in its post-boot grace window; try again once it expires.
+    sim_.schedule_at(
+        server.grace_until(),
+        sim::EventTag{sim::tag_owner::kController, kEvGraceCheck, s, 0},
+        [this, s] { grace_recheck(s); });
+    return;
+  }
+  dc_.hibernate(now, s);
+  if (events_.on_hibernation) events_.on_hibernation(now, s);
+}
+
+void EcoCloudController::grace_recheck(dc::ServerId s) {
+  if (dc_.server(s).empty()) schedule_hibernation_check(s);
+}
+
+void EcoCloudController::save_state(util::BinWriter& w) const {
+  util::save_rng(w, rng_);
+  w.boolean(started_);
+  w.u64(low_migrations_);
+  w.u64(high_migrations_);
+  w.u64(assignment_failures_);
+  w.u64(wake_ups_);
+  w.u64(aborted_migrations_);
+  w.u64(interrupted_migrations_);
+  w.u64(boot_failures_);
+  w.u64(messages_.invitation_rounds);
+  w.u64(messages_.invitations_sent);
+  w.u64(messages_.volunteer_replies);
+  w.u64(messages_.placement_commands);
+  w.u64(messages_.wake_commands);
+  w.u64(messages_.migration_commands);
+  w.u64(messages_.invitations_lost);
+  w.u64(messages_.replies_lost);
+  const auto save_tally = [&w](const BernoulliTally& tally) {
+    w.u64(tally.accepts);
+    w.u64(tally.rejects);
+  };
+  save_tally(assignment_.fa_tally());
+  save_tally(migration_.fl_tally());
+  save_tally(migration_.fh_tally());
+  util::save_unordered(
+      w, boot_queues_,
+      [](util::BinWriter& out, dc::ServerId server, const BootQueue& queue) {
+        out.u64(server);
+        out.u64(queue.vms.size());
+        for (dc::VmId vm : queue.vms) out.u64(vm);
+        out.f64(queue.queued_mhz);
+        out.f64(queue.finish_at);
+        out.u64(queue.boot_attempts);
+        // boot_event is rebuilt by bind_event at calendar import.
       });
-      return;
+  util::save_unordered(w, queued_on_,
+                       [](util::BinWriter& out, dc::VmId vm, dc::ServerId server) {
+                         out.u64(vm);
+                         out.u64(server);
+                       });
+  util::save_unordered(
+      w, inflight_,
+      [](util::BinWriter& out, dc::VmId vm, const Inflight& flight) {
+        out.u64(vm);
+        out.u64(flight.dest);
+        out.boolean(flight.is_high);
+        out.boolean(flight.will_abort);
+        // flight.done is rebuilt by bind_event at calendar import.
+      });
+}
+
+void EcoCloudController::load_state(util::BinReader& r) {
+  util::load_rng(r, rng_);
+  started_ = r.boolean();
+  low_migrations_ = r.u64();
+  high_migrations_ = r.u64();
+  assignment_failures_ = r.u64();
+  wake_ups_ = r.u64();
+  aborted_migrations_ = r.u64();
+  interrupted_migrations_ = r.u64();
+  boot_failures_ = r.u64();
+  messages_.invitation_rounds = r.u64();
+  messages_.invitations_sent = r.u64();
+  messages_.volunteer_replies = r.u64();
+  messages_.placement_commands = r.u64();
+  messages_.wake_commands = r.u64();
+  messages_.migration_commands = r.u64();
+  messages_.invitations_lost = r.u64();
+  messages_.replies_lost = r.u64();
+  const auto load_tally = [&r] {
+    BernoulliTally tally;
+    tally.accepts = r.u64();
+    tally.rejects = r.u64();
+    return tally;
+  };
+  assignment_.restore_fa_tally(load_tally());
+  const BernoulliTally fl = load_tally();
+  const BernoulliTally fh = load_tally();
+  migration_.restore_tallies(fl, fh);
+  util::load_unordered(r, boot_queues_, [](util::BinReader& in) {
+    const auto server = static_cast<dc::ServerId>(in.u64());
+    BootQueue queue;
+    const std::uint64_t n = in.u64();
+    queue.vms.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      queue.vms.push_back(static_cast<dc::VmId>(in.u64()));
     }
-    dc_.hibernate(now, s);
-    if (events_.on_hibernation) events_.on_hibernation(now, s);
+    queue.queued_mhz = in.f64();
+    queue.finish_at = in.f64();
+    queue.boot_attempts = static_cast<std::size_t>(in.u64());
+    return std::make_pair(server, std::move(queue));
   });
+  util::load_unordered(r, queued_on_, [](util::BinReader& in) {
+    const auto vm = static_cast<dc::VmId>(in.u64());
+    const auto server = static_cast<dc::ServerId>(in.u64());
+    return std::make_pair(vm, server);
+  });
+  util::load_unordered(r, inflight_, [](util::BinReader& in) {
+    const auto vm = static_cast<dc::VmId>(in.u64());
+    Inflight flight;
+    flight.dest = static_cast<dc::ServerId>(in.u64());
+    flight.is_high = in.boolean();
+    flight.will_abort = in.boolean();
+    return std::make_pair(vm, std::move(flight));
+  });
+}
+
+sim::Simulator::Callback EcoCloudController::rebuild_event(
+    const sim::EventTag& tag) {
+  switch (tag.kind) {
+    case kEvMonitor: {
+      const auto s = static_cast<dc::ServerId>(tag.a);
+      return [this, s] { monitor_server(s); };
+    }
+    case kEvBootDone: {
+      const auto s = static_cast<dc::ServerId>(tag.a);
+      return [this, s] { on_boot_finished(s); };
+    }
+    case kEvMigrationDone: {
+      const auto vm = static_cast<dc::VmId>(tag.a);
+      return [this, vm] { finish_migration(vm); };
+    }
+    case kEvHibernateCheck: {
+      const auto s = static_cast<dc::ServerId>(tag.a);
+      return [this, s] { hibernation_check(s); };
+    }
+    case kEvGraceCheck: {
+      const auto s = static_cast<dc::ServerId>(tag.a);
+      return [this, s] { grace_recheck(s); };
+    }
+    default:
+      throw std::runtime_error(
+          "EcoCloudController: snapshot contains an unknown event kind " +
+          std::to_string(tag.kind));
+  }
+}
+
+void EcoCloudController::bind_event(const sim::EventTag& tag,
+                                    sim::EventHandle handle) {
+  if (tag.kind == kEvBootDone) {
+    const auto it = boot_queues_.find(static_cast<dc::ServerId>(tag.a));
+    util::require(it != boot_queues_.end(),
+                  "EcoCloudController: restored boot event has no boot queue");
+    it->second.boot_event = handle;
+  } else if (tag.kind == kEvMigrationDone) {
+    const auto it = inflight_.find(static_cast<dc::VmId>(tag.a));
+    util::require(it != inflight_.end(),
+                  "EcoCloudController: restored migration event has no flight");
+    it->second.done = handle;
+  }
 }
 
 }  // namespace ecocloud::core

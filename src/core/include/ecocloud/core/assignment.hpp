@@ -65,6 +65,9 @@ class AssignmentProcedure {
   /// accepts are deterministic and excluded).
   [[nodiscard]] const BernoulliTally& fa_tally() const { return fa_tally_; }
 
+  /// Checkpoint restore of the tally (pure accounting, no behavior).
+  void restore_fa_tally(const BernoulliTally& tally) { fa_tally_ = tally; }
+
   /// Attach a control-plane message counter (nullptr to detach). Not
   /// owned; must outlive the procedure while attached.
   void set_message_log(MessageLog* log) { log_ = log; }

@@ -33,12 +33,24 @@
 #include "ecocloud/core/params.hpp"
 #include "ecocloud/dc/datacenter.hpp"
 #include "ecocloud/sim/simulator.hpp"
+#include "ecocloud/util/binio.hpp"
 #include "ecocloud/util/rng.hpp"
 
 namespace ecocloud::core {
 
 class EcoCloudController {
  public:
+  /// EventTag kinds scheduled under sim::tag_owner::kController. Values are
+  /// part of the snapshot format — append, never renumber. `a` carries the
+  /// server id (or VM id for kEvMigrationDone).
+  enum EventKind : std::uint16_t {
+    kEvMonitor = 1,        ///< Periodic per-server monitor loop.
+    kEvBootDone = 2,       ///< Boot completion (handle kept in BootQueue).
+    kEvMigrationDone = 3,  ///< Migration completion (handle kept in Inflight).
+    kEvHibernateCheck = 4, ///< Delayed hibernation check.
+    kEvGraceCheck = 5,     ///< Re-check at grace-period expiry.
+  };
+
   /// Observable events; any callback may be left empty.
   struct Events {
     std::function<void(sim::SimTime, dc::VmId, dc::ServerId)> on_assignment;
@@ -150,6 +162,34 @@ class EcoCloudController {
   /// cover every server and outlive the controller. Call before start().
   void set_topology(const net::Topology* topology);
 
+  // --- Checkpoint surface ---------------------------------------------------
+
+  /// Serialize the controller: RNG stream, counters, message log, tallies,
+  /// and the boot/queue/in-flight maps with their iteration order (those
+  /// maps are iterated by decision paths, so order is behavior).
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
+
+  /// Rebuild the callback for a calendar entry tagged with one of this
+  /// controller's EventKinds; throws std::runtime_error on unknown kinds.
+  [[nodiscard]] sim::Simulator::Callback rebuild_event(const sim::EventTag& tag);
+
+  /// Re-capture the restored handle of a kEvBootDone / kEvMigrationDone
+  /// event into the matching BootQueue / Inflight entry (which must have
+  /// been restored by load_state first).
+  void bind_event(const sim::EventTag& tag, sim::EventHandle handle);
+
+  // --- Audit accessors (RuntimeAuditor) ------------------------------------
+  /// VMs queued on booting servers, keyed by VM.
+  [[nodiscard]] const std::unordered_map<dc::VmId, dc::ServerId>& queued_vms()
+      const {
+    return queued_on_;
+  }
+  /// True when \p vm has an in-flight migration tracked by this controller.
+  [[nodiscard]] bool tracks_inflight(dc::VmId vm) const {
+    return inflight_.count(vm) > 0;
+  }
+
  private:
   void monitor_server(dc::ServerId s);
   void execute_plan(const MigrationPlan& plan, dc::ServerId source);
@@ -173,6 +213,11 @@ class EcoCloudController {
   void queue_vm(dc::ServerId booting_server, dc::VmId vm);
   void on_boot_finished(dc::ServerId s);
   void schedule_hibernation_check(dc::ServerId s);
+  /// Body of the delayed hibernation check (named so a restored event can
+  /// rebuild its callback from the kEvHibernateCheck tag).
+  void hibernation_check(dc::ServerId s);
+  /// Re-check scheduled at grace expiry (kEvGraceCheck).
+  void grace_recheck(dc::ServerId s);
 
   sim::Simulator& sim_;
   dc::DataCenter& dc_;

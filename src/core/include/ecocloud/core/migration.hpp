@@ -74,6 +74,12 @@ class MigrationProcedure {
   [[nodiscard]] const BernoulliTally& fl_tally() const { return fl_tally_; }
   [[nodiscard]] const BernoulliTally& fh_tally() const { return fh_tally_; }
 
+  /// Checkpoint restore of the tallies (pure accounting, no behavior).
+  void restore_tallies(const BernoulliTally& fl, const BernoulliTally& fh) {
+    fl_tally_ = fl;
+    fh_tally_ = fh;
+  }
+
   /// With a topology attached, destination searches are scoped to the
   /// source server's rack (footnote 1). Pass nullptr to detach.
   void set_topology(const net::Topology* topology) { topology_ = topology; }

@@ -22,6 +22,10 @@ namespace ecocloud::core {
 
 class OpenSystemDriver {
  public:
+  /// Snapshot-stable event kinds (tag_owner::kOpenSystem). Append only.
+  /// kEvDeparture carries the departing VM id in `a`.
+  enum EventKind : std::uint16_t { kEvArrival = 1, kEvDeparture = 2 };
+
   /// \param lambda      arrival rate function (VMs/second).
   /// \param lambda_max  finite bound on lambda (thinning envelope).
   /// \param nu          per-VM departure rate (1/second, > 0).
@@ -47,9 +51,16 @@ class OpenSystemDriver {
   /// Arrivals turned away because the data center was saturated.
   [[nodiscard]] std::uint64_t total_rejections() const { return total_rejections_; }
 
+  /// Checkpoint surface: RNG stream, population and counters. Pending
+  /// arrival/departure events are restored through the tagged calendar.
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
+  [[nodiscard]] sim::Simulator::Callback rebuild_event(const sim::EventTag& tag);
+
  private:
   void schedule_next_arrival();
   void on_arrival();
+  void on_departure(dc::VmId vm);
   dc::VmId spawn_vm();
   void schedule_departure(dc::VmId vm);
 

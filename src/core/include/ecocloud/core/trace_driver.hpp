@@ -12,11 +12,15 @@
 #include "ecocloud/dc/datacenter.hpp"
 #include "ecocloud/sim/simulator.hpp"
 #include "ecocloud/trace/trace_set.hpp"
+#include "ecocloud/util/binio.hpp"
 
 namespace ecocloud::core {
 
 class TraceDriver {
  public:
+  /// Snapshot-stable event kinds (tag_owner::kTraceDriver). Append only.
+  enum EventKind : std::uint16_t { kEvTick = 1 };
+
   TraceDriver(sim::Simulator& simulator, dc::DataCenter& datacenter,
               const trace::TraceSet& traces);
 
@@ -34,6 +38,14 @@ class TraceDriver {
   [[nodiscard]] double current_demand_mhz(std::size_t trace_index) const;
 
   [[nodiscard]] std::size_t mapped_count() const { return vm_to_trace_.size(); }
+
+  /// Checkpoint surface. The VM->trace map is restored with its exact
+  /// iteration order preserved: tick() refreshes demands in map order and
+  /// the DataCenter accumulates load deltas in that order, so a different
+  /// order would change floating-point rounding and break bit-exact resume.
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
+  [[nodiscard]] sim::Simulator::Callback rebuild_event(const sim::EventTag& tag);
 
  private:
   void tick();

@@ -1,5 +1,9 @@
 #include "ecocloud/core/open_system.hpp"
 
+#include <stdexcept>
+#include <string>
+
+#include "ecocloud/util/snapshot.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::core {
@@ -30,13 +34,17 @@ dc::VmId OpenSystemDriver::spawn_vm() {
 
 void OpenSystemDriver::schedule_departure(dc::VmId vm) {
   const sim::SimTime lifetime = trace::exponential_lifetime(nu_, rng_);
-  sim_.schedule_after(lifetime, [this, vm] {
-    controller_.depart_vm(vm);
-    trace_driver_.unmap_vm(vm);
-    if (estimator_) estimator_->record_departure(sim_.now(), population_);
-    --population_;
-    ++total_departures_;
-  });
+  sim_.schedule_after(lifetime,
+                      sim::EventTag{sim::tag_owner::kOpenSystem, kEvDeparture, vm, 0},
+                      [this, vm] { on_departure(vm); });
+}
+
+void OpenSystemDriver::on_departure(dc::VmId vm) {
+  controller_.depart_vm(vm);
+  trace_driver_.unmap_vm(vm);
+  if (estimator_) estimator_->record_departure(sim_.now(), population_);
+  --population_;
+  ++total_departures_;
 }
 
 void OpenSystemDriver::seed_initial_population(std::size_t count) {
@@ -63,7 +71,8 @@ void OpenSystemDriver::start() {
 
 void OpenSystemDriver::schedule_next_arrival() {
   const sim::SimTime next = arrivals_.next_after(sim_.now(), rng_);
-  sim_.schedule_at(next, [this] { on_arrival(); });
+  sim_.schedule_at(next, sim::EventTag{sim::tag_owner::kOpenSystem, kEvArrival, 0, 0},
+                   [this] { on_arrival(); });
 }
 
 void OpenSystemDriver::on_arrival() {
@@ -79,6 +88,39 @@ void OpenSystemDriver::on_arrival() {
     trace_driver_.unmap_vm(vm);
   }
   schedule_next_arrival();
+}
+
+void OpenSystemDriver::save_state(util::BinWriter& w) const {
+  util::save_rng(w, rng_);
+  w.boolean(started_);
+  w.u64(population_);
+  w.u64(total_arrivals_);
+  w.u64(total_departures_);
+  w.u64(total_rejections_);
+}
+
+void OpenSystemDriver::load_state(util::BinReader& r) {
+  util::load_rng(r, rng_);
+  started_ = r.boolean();
+  population_ = static_cast<std::size_t>(r.u64());
+  total_arrivals_ = r.u64();
+  total_departures_ = r.u64();
+  total_rejections_ = r.u64();
+}
+
+sim::Simulator::Callback OpenSystemDriver::rebuild_event(const sim::EventTag& tag) {
+  switch (tag.kind) {
+    case kEvArrival:
+      return [this] { on_arrival(); };
+    case kEvDeparture: {
+      const auto vm = static_cast<dc::VmId>(tag.a);
+      return [this, vm] { on_departure(vm); };
+    }
+    default:
+      throw std::runtime_error(
+          "OpenSystemDriver: snapshot contains an unknown event kind " +
+          std::to_string(tag.kind));
+  }
 }
 
 }  // namespace ecocloud::core

@@ -1,5 +1,10 @@
 #include "ecocloud/core/trace_driver.hpp"
 
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "ecocloud/util/snapshot.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::core {
@@ -23,8 +28,35 @@ double TraceDriver::current_demand_mhz(std::size_t trace_index) const {
 void TraceDriver::start() {
   util::ensure(!started_, "TraceDriver::start called twice");
   started_ = true;
-  sim_.schedule_periodic(traces_.sample_period_s(), [this] { tick(); },
-                         traces_.sample_period_s());
+  sim_.schedule_periodic(traces_.sample_period_s(),
+                         sim::EventTag{sim::tag_owner::kTraceDriver, kEvTick, 0, 0},
+                         [this] { tick(); }, traces_.sample_period_s());
+}
+
+void TraceDriver::save_state(util::BinWriter& w) const {
+  w.boolean(started_);
+  util::save_unordered(w, vm_to_trace_,
+                       [](util::BinWriter& out, dc::VmId vm, std::size_t trace_index) {
+                         out.u64(vm);
+                         out.u64(trace_index);
+                       });
+}
+
+void TraceDriver::load_state(util::BinReader& r) {
+  started_ = r.boolean();
+  util::load_unordered(r, vm_to_trace_, [this](util::BinReader& in) {
+    const auto vm = static_cast<dc::VmId>(in.u64());
+    const auto trace_index = static_cast<std::size_t>(in.u64());
+    util::require(trace_index < traces_.num_vms(),
+                  "TraceDriver: snapshot trace index out of range");
+    return std::make_pair(vm, trace_index);
+  });
+}
+
+sim::Simulator::Callback TraceDriver::rebuild_event(const sim::EventTag& tag) {
+  if (tag.kind == kEvTick) return [this] { tick(); };
+  throw std::runtime_error("TraceDriver: snapshot contains an unknown event kind " +
+                           std::to_string(tag.kind));
 }
 
 void TraceDriver::tick() {

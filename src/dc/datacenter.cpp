@@ -1,6 +1,8 @@
 #include "ecocloud/dc/datacenter.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 #include "ecocloud/util/validation.hpp"
 
@@ -305,6 +307,370 @@ void DataCenter::repair_server(sim::SimTime t, ServerId s) {
   move_server_index(s, ServerState::kFailed, ServerState::kHibernated);
   ++repairs_;
   refresh_server(t, s);
+}
+
+namespace {
+
+void save_id_vector(util::BinWriter& w, const std::vector<ServerId>& ids) {
+  w.u64(ids.size());
+  for (ServerId id : ids) w.u64(id);
+}
+
+void load_id_vector(util::BinReader& r, std::vector<ServerId>& ids) {
+  const std::uint64_t n = r.u64();
+  ids.clear();
+  ids.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ids.push_back(static_cast<ServerId>(r.u64()));
+  }
+}
+
+void save_double_vector(util::BinWriter& w, const std::vector<double>& xs) {
+  w.u64(xs.size());
+  for (double x : xs) w.f64(x);
+}
+
+void load_double_vector(util::BinReader& r, std::vector<double>& xs) {
+  const std::uint64_t n = r.u64();
+  xs.clear();
+  xs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) xs.push_back(r.f64());
+}
+
+}  // namespace
+
+void DataCenter::save_state(util::BinWriter& w) const {
+  w.u64(servers_.size());
+  for (const Server& srv : servers_) {
+    w.u32(srv.num_cores());
+    w.f64(srv.core_mhz());
+    w.f64(srv.ram_capacity_mb());
+    srv.save_state(w);
+  }
+  w.u64(vms_.size());
+  for (const Vm& v : vms_) {
+    w.f64(v.demand_mhz);
+    w.f64(v.ram_mb);
+    w.u64(v.host);
+    w.u64(v.migrating_to);
+    w.f64(v.reserved_at_dest_mhz);
+    w.f64(v.overload_total_s);
+    w.f64(v.overload_baseline_s);
+  }
+  save_double_vector(w, power_contrib_w_);
+  w.u64(overload_vm_contrib_.size());
+  for (std::size_t c : overload_vm_contrib_) w.u64(c);
+  save_double_vector(w, overload_since_);
+  save_double_vector(w, overload_min_granted_);
+  save_double_vector(w, overload_accum_s_);
+  for (const auto& index : state_index_) save_id_vector(w, index);
+  w.u64(placed_vm_count_);
+  w.f64(total_capacity_mhz_);
+  w.f64(total_demand_mhz_);
+  w.f64(total_power_w_);
+  w.u64(overloaded_vm_count_);
+  w.f64(last_time_);
+  w.f64(energy_j_);
+  w.f64(overload_vm_seconds_);
+  w.f64(vm_seconds_);
+  w.u64(overload_episodes_.size());
+  for (const OverloadEpisode& ep : overload_episodes_) {
+    w.u64(ep.server);
+    w.f64(ep.start);
+    w.f64(ep.duration_s);
+    w.f64(ep.min_granted_fraction);
+  }
+  w.u64(activations_);
+  w.u64(hibernations_);
+  w.u64(migrations_);
+  w.u64(failures_);
+  w.u64(repairs_);
+  w.u64(inflight_);
+  w.u64(max_inflight_);
+}
+
+void DataCenter::load_state(util::BinReader& r) {
+  const std::uint64_t num_servers = r.u64();
+  if (num_servers != servers_.size()) {
+    throw std::runtime_error(
+        "DataCenter::load_state: snapshot has " + std::to_string(num_servers) +
+        " servers but the configured fleet has " +
+        std::to_string(servers_.size()));
+  }
+  for (Server& srv : servers_) {
+    const std::uint32_t cores = r.u32();
+    const double core_mhz = r.f64();
+    const double ram_mb = r.f64();
+    if (cores != srv.num_cores() || core_mhz != srv.core_mhz() ||
+        ram_mb != srv.ram_capacity_mb()) {
+      throw std::runtime_error(
+          "DataCenter::load_state: server " + std::to_string(srv.id()) +
+          " capacity differs from the snapshot (configuration mismatch)");
+    }
+    srv.load_state(r);
+  }
+  const std::uint64_t num_vms = r.u64();
+  vms_.clear();
+  vms_.reserve(static_cast<std::size_t>(num_vms));
+  for (std::uint64_t i = 0; i < num_vms; ++i) {
+    Vm v;
+    v.id = static_cast<VmId>(i);
+    v.demand_mhz = r.f64();
+    v.ram_mb = r.f64();
+    v.host = static_cast<ServerId>(r.u64());
+    v.migrating_to = static_cast<ServerId>(r.u64());
+    v.reserved_at_dest_mhz = r.f64();
+    v.overload_total_s = r.f64();
+    v.overload_baseline_s = r.f64();
+    vms_.push_back(v);
+  }
+  load_double_vector(r, power_contrib_w_);
+  const std::uint64_t num_contrib = r.u64();
+  overload_vm_contrib_.clear();
+  overload_vm_contrib_.reserve(static_cast<std::size_t>(num_contrib));
+  for (std::uint64_t i = 0; i < num_contrib; ++i) {
+    overload_vm_contrib_.push_back(static_cast<std::size_t>(r.u64()));
+  }
+  load_double_vector(r, overload_since_);
+  load_double_vector(r, overload_min_granted_);
+  load_double_vector(r, overload_accum_s_);
+  if (power_contrib_w_.size() != servers_.size() ||
+      overload_vm_contrib_.size() != servers_.size() ||
+      overload_since_.size() != servers_.size() ||
+      overload_min_granted_.size() != servers_.size() ||
+      overload_accum_s_.size() != servers_.size()) {
+    throw std::runtime_error(
+        "DataCenter::load_state: per-server cache arrays do not match the "
+        "fleet size");
+  }
+  for (auto& index : state_index_) load_id_vector(r, index);
+  placed_vm_count_ = static_cast<std::size_t>(r.u64());
+  total_capacity_mhz_ = r.f64();
+  total_demand_mhz_ = r.f64();
+  total_power_w_ = r.f64();
+  overloaded_vm_count_ = static_cast<std::size_t>(r.u64());
+  last_time_ = r.f64();
+  energy_j_ = r.f64();
+  overload_vm_seconds_ = r.f64();
+  vm_seconds_ = r.f64();
+  const std::uint64_t num_episodes = r.u64();
+  overload_episodes_.clear();
+  overload_episodes_.reserve(static_cast<std::size_t>(num_episodes));
+  for (std::uint64_t i = 0; i < num_episodes; ++i) {
+    OverloadEpisode ep;
+    ep.server = static_cast<ServerId>(r.u64());
+    ep.start = r.f64();
+    ep.duration_s = r.f64();
+    ep.min_granted_fraction = r.f64();
+    overload_episodes_.push_back(ep);
+  }
+  activations_ = r.u64();
+  hibernations_ = r.u64();
+  migrations_ = r.u64();
+  failures_ = r.u64();
+  repairs_ = r.u64();
+  inflight_ = static_cast<std::size_t>(r.u64());
+  max_inflight_ = static_cast<std::size_t>(r.u64());
+}
+
+std::vector<std::string> DataCenter::audit_invariants(double tolerance) const {
+  std::vector<std::string> violations;
+  const auto complain = [&violations](std::string message) {
+    violations.push_back(std::move(message));
+  };
+
+  // Per-server: hosted list consistency and load == sum of VM demands.
+  std::vector<std::size_t> times_hosted(vms_.size(), 0);
+  std::size_t hosted_total = 0;
+  double demand_total_recomputed = 0.0;
+  for (const Server& srv : servers_) {
+    double demand_sum = 0.0;
+    double ram_sum = 0.0;
+    std::size_t migrating_out = 0;
+    for (VmId v : srv.vms()) {
+      if (v >= vms_.size()) {
+        complain("server " + std::to_string(srv.id()) +
+                 " hosts unknown VM " + std::to_string(v));
+        continue;
+      }
+      ++times_hosted[v];
+      const Vm& machine = vms_[v];
+      if (machine.host != srv.id()) {
+        complain("VM " + std::to_string(v) + " is listed on server " +
+                 std::to_string(srv.id()) + " but records host " +
+                 std::to_string(machine.host));
+      }
+      demand_sum += machine.demand_mhz;
+      ram_sum += machine.ram_mb;
+      if (machine.migrating()) ++migrating_out;
+    }
+    hosted_total += srv.vm_count();
+    demand_total_recomputed += srv.demand_mhz();
+    const double demand_tol = tolerance * std::max(1.0, srv.capacity_mhz());
+    if (std::abs(demand_sum - srv.demand_mhz()) > demand_tol) {
+      complain("server " + std::to_string(srv.id()) + " load " +
+               std::to_string(srv.demand_mhz()) + " MHz != sum of hosted VM "
+               "demands " + std::to_string(demand_sum) + " MHz");
+    }
+    if (std::abs(ram_sum - srv.ram_used_mb()) >
+        tolerance * std::max(1.0, srv.ram_capacity_mb())) {
+      complain("server " + std::to_string(srv.id()) + " RAM accounting drifted");
+    }
+    if (migrating_out != srv.migrating_out_count()) {
+      complain("server " + std::to_string(srv.id()) + " migrating_out_count " +
+               std::to_string(srv.migrating_out_count()) + " != " +
+               std::to_string(migrating_out) + " migrating hosted VMs");
+    }
+    if ((srv.hibernated() || srv.failed()) && !srv.empty()) {
+      complain("server " + std::to_string(srv.id()) +
+               " hosts VMs while powered off");
+    }
+  }
+
+  // Per-VM: placed exactly once, on the server that lists it; inbound
+  // reservation counts match.
+  std::vector<std::size_t> inbound(servers_.size(), 0);
+  std::size_t migrating_vms = 0;
+  for (const Vm& machine : vms_) {
+    const std::size_t expected = machine.placed() ? 1 : 0;
+    if (times_hosted[machine.id] != expected) {
+      complain("VM " + std::to_string(machine.id) + " appears " +
+               std::to_string(times_hosted[machine.id]) +
+               " times in server host lists but placed()=" +
+               std::to_string(expected));
+    }
+    if (machine.migrating()) {
+      ++migrating_vms;
+      if (machine.migrating_to < servers_.size()) {
+        ++inbound[machine.migrating_to];
+      } else {
+        complain("VM " + std::to_string(machine.id) +
+                 " is migrating to unknown server " +
+                 std::to_string(machine.migrating_to));
+      }
+    }
+  }
+  for (const Server& srv : servers_) {
+    if (srv.reservation_count() != inbound[srv.id()]) {
+      complain("server " + std::to_string(srv.id()) + " reservation_count " +
+               std::to_string(srv.reservation_count()) + " != " +
+               std::to_string(inbound[srv.id()]) + " inbound migrations");
+    }
+  }
+  if (migrating_vms != inflight_) {
+    complain("inflight migration counter " + std::to_string(inflight_) +
+             " != " + std::to_string(migrating_vms) + " migrating VMs");
+  }
+
+  // State indices == brute-force scan (membership and sorted order).
+  for (std::size_t st = 0; st < state_index_.size(); ++st) {
+    std::vector<ServerId> expected;
+    for (const Server& srv : servers_) {
+      if (static_cast<std::size_t>(srv.state()) == st) {
+        expected.push_back(srv.id());
+      }
+    }
+    if (state_index_[st] != expected) {
+      complain(std::string("state index for '") +
+               to_string(static_cast<ServerState>(st)) +
+               "' differs from a brute-force fleet scan");
+    }
+  }
+
+  // Cached aggregates == recomputation.
+  if (hosted_total != placed_vm_count_) {
+    complain("placed_vm_count " + std::to_string(placed_vm_count_) + " != " +
+             std::to_string(hosted_total) + " hosted VMs");
+  }
+  if (std::abs(demand_total_recomputed - total_demand_mhz_) >
+      tolerance * std::max(1.0, total_capacity_mhz_)) {
+    complain("total_demand_mhz drifted from the per-server sum");
+  }
+  double power_sum = 0.0;
+  std::size_t overload_vms = 0;
+  for (const Server& srv : servers_) {
+    const double expected_power = power_model_.power_w(srv);
+    if (std::abs(power_contrib_w_[srv.id()] - expected_power) >
+        tolerance * std::max(1.0, expected_power)) {
+      complain("cached power contribution of server " +
+               std::to_string(srv.id()) + " is stale");
+    }
+    power_sum += power_contrib_w_[srv.id()];
+    const std::size_t expected_overload = srv.overloaded() ? srv.vm_count() : 0;
+    if (overload_vm_contrib_[srv.id()] != expected_overload) {
+      complain("cached overload VM contribution of server " +
+               std::to_string(srv.id()) + " is stale");
+    }
+    overload_vms += overload_vm_contrib_[srv.id()];
+  }
+  if (std::abs(power_sum - total_power_w_) >
+      tolerance * std::max(1.0, power_sum)) {
+    complain("total_power_w drifted from the per-server contributions");
+  }
+  if (overload_vms != overloaded_vm_count_) {
+    complain("overloaded_vm_count " + std::to_string(overloaded_vm_count_) +
+             " != " + std::to_string(overload_vms) + " from contributions");
+  }
+  return violations;
+}
+
+std::size_t DataCenter::heal_caches() {
+  std::size_t healed = 0;
+
+  std::array<std::vector<ServerId>, 4> index;
+  for (const Server& srv : servers_) {
+    index[static_cast<std::size_t>(srv.state())].push_back(srv.id());
+  }
+  if (index != state_index_) {
+    state_index_ = std::move(index);
+    ++healed;
+  }
+
+  double power_sum = 0.0;
+  std::size_t overload_vms = 0;
+  bool contrib_changed = false;
+  for (const Server& srv : servers_) {
+    const double power = power_model_.power_w(srv);
+    if (power_contrib_w_[srv.id()] != power) {
+      power_contrib_w_[srv.id()] = power;
+      contrib_changed = true;
+    }
+    const std::size_t overload = srv.overloaded() ? srv.vm_count() : 0;
+    if (overload_vm_contrib_[srv.id()] != overload) {
+      overload_vm_contrib_[srv.id()] = overload;
+      contrib_changed = true;
+    }
+    power_sum += power;
+    overload_vms += overload;
+  }
+  if (contrib_changed || total_power_w_ != power_sum ||
+      overloaded_vm_count_ != overload_vms) {
+    total_power_w_ = power_sum;
+    overloaded_vm_count_ = overload_vms;
+    ++healed;
+  }
+
+  std::size_t hosted = 0;
+  double demand = 0.0;
+  double capacity = 0.0;
+  std::size_t migrating = 0;
+  for (const Server& srv : servers_) {
+    hosted += srv.vm_count();
+    demand += srv.demand_mhz();
+    capacity += srv.capacity_mhz();
+  }
+  for (const Vm& machine : vms_) {
+    if (machine.migrating()) ++migrating;
+  }
+  if (placed_vm_count_ != hosted || total_demand_mhz_ != demand ||
+      total_capacity_mhz_ != capacity || inflight_ != migrating) {
+    placed_vm_count_ = hosted;
+    total_demand_mhz_ = demand;
+    total_capacity_mhz_ = capacity;
+    inflight_ = migrating;
+    ++healed;
+  }
+  return healed;
 }
 
 }  // namespace ecocloud::dc

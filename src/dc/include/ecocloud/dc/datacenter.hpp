@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ecocloud/dc/ids.hpp"
@@ -185,6 +186,34 @@ class DataCenter {
   /// reallocation, quantified.
   [[nodiscard]] std::size_t inflight_migrations() const { return inflight_; }
   [[nodiscard]] std::size_t max_inflight_migrations() const { return max_inflight_; }
+
+  // --- Checkpoint / audit ---------------------------------------------------
+
+  /// Serialize the complete mutable state: every server and VM record, the
+  /// per-server contribution caches, state indices, and the incrementally
+  /// accumulated aggregates — the latter verbatim, never re-summed, because
+  /// a different summation order would round differently and break
+  /// bit-exact resume.
+  void save_state(util::BinWriter& w) const;
+
+  /// Restore a snapshot into a fleet built from the same configuration.
+  /// Verifies that server count and per-server capacities match the
+  /// snapshot and throws std::runtime_error on any mismatch.
+  void load_state(util::BinReader& r);
+
+  /// Conservation-invariant audit: per-server load == sum of hosted VM
+  /// demands, every VM placed on exactly the server that lists it, state
+  /// indices == brute-force scan, cached aggregates == recomputation
+  /// (within \p tolerance for floating-point accumulators). Returns one
+  /// human-readable string per violation; empty means consistent.
+  [[nodiscard]] std::vector<std::string> audit_invariants(double tolerance) const;
+
+  /// Rebuild derived caches (state indices, per-server power and overload
+  /// contributions, aggregate totals) from the ground-truth server and VM
+  /// records. Returns the number of cache groups that changed. This *can*
+  /// change subsequent behavior relative to an unhealed run — it is the
+  /// `heal` audit action's repair step, not a no-op.
+  std::size_t heal_caches();
 
  private:
   /// Refresh cached per-server contributions (power, overloaded VM count)

@@ -13,6 +13,7 @@
 
 #include "ecocloud/dc/ids.hpp"
 #include "ecocloud/sim/time.hpp"
+#include "ecocloud/util/binio.hpp"
 
 namespace ecocloud::dc {
 
@@ -115,6 +116,13 @@ class Server {
     reserved_mhz_ = 0.0;
     reservation_count_ = 0;
   }
+
+  /// Checkpoint surface: mutable state only. Identity and capacity come
+  /// from configuration; DataCenter::load_state verifies they match the
+  /// snapshot. Accumulated doubles (demand, reservations) are restored
+  /// verbatim rather than re-summed, preserving bit-exact resume.
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
 
  private:
   ServerId id_;

@@ -70,4 +70,37 @@ void Server::remove_reservation(double mhz) {
   if (reserved_mhz_ < 0.0) reserved_mhz_ = 0.0;
 }
 
+void Server::save_state(util::BinWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.f64(demand_mhz_);
+  w.f64(ram_used_mb_);
+  w.f64(reserved_mhz_);
+  w.u64(reservation_count_);
+  w.u64(migrating_out_count_);
+  w.u64(vms_.size());
+  for (VmId vm : vms_) w.u64(static_cast<std::uint64_t>(vm));
+  w.f64(grace_until_);
+  w.f64(migration_cooldown_until_);
+}
+
+void Server::load_state(util::BinReader& r) {
+  const auto state = r.u8();
+  util::require(state <= static_cast<std::uint8_t>(ServerState::kFailed),
+                "Server::load_state: invalid power state byte");
+  state_ = static_cast<ServerState>(state);
+  demand_mhz_ = r.f64();
+  ram_used_mb_ = r.f64();
+  reserved_mhz_ = r.f64();
+  reservation_count_ = static_cast<std::size_t>(r.u64());
+  migrating_out_count_ = static_cast<std::size_t>(r.u64());
+  const std::uint64_t n = r.u64();
+  vms_.clear();
+  vms_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    vms_.push_back(static_cast<VmId>(r.u64()));
+  }
+  grace_until_ = r.f64();
+  migration_cooldown_until_ = r.f64();
+}
+
 }  // namespace ecocloud::dc

@@ -1,5 +1,8 @@
 #include "ecocloud/faults/fault_injector.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::faults {
@@ -19,10 +22,7 @@ FaultInjector::~FaultInjector() {
   controller_.set_orphan_handler({});
 }
 
-void FaultInjector::start() {
-  util::ensure(!started_, "FaultInjector::start called twice");
-  started_ = true;
-
+void FaultInjector::install_hooks() {
   hooks_ = model_.make_hooks();
   controller_.set_fault_hooks(&hooks_);
   controller_.set_orphan_handler([this](dc::VmId vm) {
@@ -38,6 +38,13 @@ void FaultInjector::start() {
     queue_.forget(vm);
     if (chained) chained(t, vm);
   };
+}
+
+void FaultInjector::start() {
+  util::ensure(!started_, "FaultInjector::start called twice");
+  started_ = true;
+
+  install_hooks();
 
   if (model_.random_crashes()) {
     const std::size_t n = dc_.num_servers();
@@ -45,8 +52,13 @@ void FaultInjector::start() {
       schedule_next_crash(static_cast<dc::ServerId>(s));
     }
   }
-  for (const ScriptedFault& fault : model_.params().schedule) {
-    sim_.schedule_at(fault.time, [this, fault] { apply_scripted(fault); });
+  const std::vector<ScriptedFault>& schedule = model_.params().schedule;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    sim_.schedule_at(
+        schedule[i].time,
+        sim::EventTag{sim::tag_owner::kFaults, kEvScripted,
+                      static_cast<std::uint32_t>(i), 0},
+        [this, fault = schedule[i]] { apply_scripted(fault); });
   }
 }
 
@@ -54,6 +66,7 @@ void FaultInjector::finalize(sim::SimTime end) { queue_.finalize(end); }
 
 void FaultInjector::schedule_next_crash(dc::ServerId server) {
   sim_.schedule_after(model_.time_to_failure(),
+                      sim::EventTag{sim::tag_owner::kFaults, kEvCrashDue, server, 0},
                       [this, server] { on_crash_due(server); });
 }
 
@@ -72,14 +85,21 @@ void FaultInjector::on_crash_due(dc::ServerId server) {
 
 void FaultInjector::schedule_repair(dc::ServerId server, sim::SimTime delay_s,
                                     bool resume_crash_clock) {
-  sim_.schedule_after(delay_s, [this, server, resume_crash_clock] {
-    // A scripted repair may have beaten this one; never repair twice.
-    if (dc_.server(server).failed()) {
-      controller_.repair_server(server);
-      stats_.record_repair();
-    }
-    if (resume_crash_clock) schedule_next_crash(server);
-  });
+  sim_.schedule_after(delay_s,
+                      sim::EventTag{sim::tag_owner::kFaults, kEvRepair, server,
+                                    resume_crash_clock ? 1u : 0u},
+                      [this, server, resume_crash_clock] {
+                        on_repair_due(server, resume_crash_clock);
+                      });
+}
+
+void FaultInjector::on_repair_due(dc::ServerId server, bool resume_crash_clock) {
+  // A scripted repair may have beaten this one; never repair twice.
+  if (dc_.server(server).failed()) {
+    controller_.repair_server(server);
+    stats_.record_repair();
+  }
+  if (resume_crash_clock) schedule_next_crash(server);
 }
 
 void FaultInjector::apply_scripted(const ScriptedFault& fault) {
@@ -111,6 +131,51 @@ void FaultInjector::crash_server(dc::ServerId server, sim::SimTime repair_after_
 void FaultInjector::repair_server(dc::ServerId server) {
   controller_.repair_server(server);
   stats_.record_repair();
+}
+
+void FaultInjector::save_state(util::BinWriter& w) const {
+  w.boolean(started_);
+  model_.save_state(w);
+  stats_.save_state(w);
+  queue_.save_state(w);
+}
+
+void FaultInjector::load_state(util::BinReader& r) {
+  util::ensure(!started_, "FaultInjector: load_state after start");
+  started_ = r.boolean();
+  model_.load_state(r);
+  stats_.load_state(r);
+  queue_.load_state(r);
+  // The snapshot was taken from a running injector, so the hooks were
+  // live; pending crash/repair/retry events come back with the calendar.
+  if (started_) install_hooks();
+}
+
+sim::Simulator::Callback FaultInjector::rebuild_event(const sim::EventTag& tag) {
+  switch (tag.kind) {
+    case kEvCrashDue: {
+      const auto server = static_cast<dc::ServerId>(tag.a);
+      return [this, server] { on_crash_due(server); };
+    }
+    case kEvRepair: {
+      const auto server = static_cast<dc::ServerId>(tag.a);
+      const bool resume = (tag.b & 1u) != 0;
+      return [this, server, resume] { on_repair_due(server, resume); };
+    }
+    case kEvScripted: {
+      const auto index = static_cast<std::size_t>(tag.a);
+      const std::vector<ScriptedFault>& schedule = model_.params().schedule;
+      if (index >= schedule.size()) {
+        throw std::runtime_error(
+            "FaultInjector: snapshot scripted-fault index out of range");
+      }
+      return [this, fault = schedule[index]] { apply_scripted(fault); };
+    }
+    default:
+      throw std::runtime_error(
+          "FaultInjector: snapshot contains an unknown event kind " +
+          std::to_string(tag.kind));
+  }
 }
 
 }  // namespace ecocloud::faults

@@ -30,6 +30,12 @@ namespace ecocloud::faults {
 
 class FaultInjector {
  public:
+  /// Snapshot-stable event kinds (tag_owner::kFaults). Append only.
+  /// kEvCrashDue/kEvRepair carry the server id in `a`; kEvRepair stores
+  /// the resume-crash-clock flag in bit 0 of `b`; kEvScripted carries the
+  /// index into FaultParams::schedule in `a`.
+  enum EventKind : std::uint16_t { kEvCrashDue = 1, kEvRepair = 2, kEvScripted = 3 };
+
   /// \p rng should be a dedicated stream split off the experiment seed so
   /// fault draws never interleave with workload or controller draws.
   FaultInjector(sim::Simulator& simulator, dc::DataCenter& datacenter,
@@ -70,11 +76,21 @@ class FaultInjector {
     return stats_.availability(dc_.vm_seconds());
   }
 
+  /// Checkpoint surface for the injector AND its redeploy queue (saved as
+  /// one section). load_state re-installs the controller hooks when the
+  /// snapshot was taken after start(); pending crash/repair/retry events
+  /// come back through the tagged calendar.
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
+  [[nodiscard]] sim::Simulator::Callback rebuild_event(const sim::EventTag& tag);
+
  private:
+  void install_hooks();
   void schedule_next_crash(dc::ServerId server);
   void on_crash_due(dc::ServerId server);
   void schedule_repair(dc::ServerId server, sim::SimTime delay_s,
                        bool resume_crash_clock);
+  void on_repair_due(dc::ServerId server, bool resume_crash_clock);
   void apply_scripted(const ScriptedFault& fault);
 
   sim::Simulator& sim_;

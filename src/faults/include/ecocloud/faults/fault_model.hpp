@@ -27,6 +27,7 @@
 #include "ecocloud/dc/server.hpp"
 #include "ecocloud/sim/time.hpp"
 #include "ecocloud/util/rng.hpp"
+#include "ecocloud/util/snapshot.hpp"
 
 namespace ecocloud::faults {
 
@@ -122,6 +123,11 @@ class FaultModel {
   /// processes are left empty so the corresponding paths stay dead code.
   /// The model must outlive the returned hooks.
   [[nodiscard]] core::FaultHooks make_hooks();
+
+  /// Checkpoint surface: only the Rng stream is mutable state (params come
+  /// from the scenario config).
+  void save_state(util::BinWriter& w) const { util::save_rng(w, rng_); }
+  void load_state(util::BinReader& r) { util::load_rng(r, rng_); }
 
  private:
   FaultParams params_;

@@ -12,6 +12,7 @@
 /// integrates.
 
 #include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 
 #include "ecocloud/core/controller.hpp"
@@ -23,6 +24,10 @@ namespace ecocloud::faults {
 
 class RedeployQueue {
  public:
+  /// Snapshot-stable event kinds (tag_owner::kRedeploy). Append only.
+  /// kEvRetry carries the orphaned VM id in `a`.
+  enum EventKind : std::uint16_t { kEvRetry = 1 };
+
   /// Backoff knobs come from \p params; results go to \p stats. Both must
   /// outlive the queue.
   RedeployQueue(sim::Simulator& simulator, core::EcoCloudController& controller,
@@ -48,6 +53,18 @@ class RedeployQueue {
 
   /// Attempts that found the data center saturated and went to backoff.
   [[nodiscard]] std::uint64_t failed_attempts() const { return failed_attempts_; }
+
+  /// True when \p vm is waiting in the queue (invariant audits).
+  [[nodiscard]] bool tracks(dc::VmId vm) const {
+    return entries_.find(vm) != entries_.end();
+  }
+
+  /// Checkpoint surface: pending entries and counters. Retry events are
+  /// restored through the tagged calendar (rebuild_event/bind_event).
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
+  [[nodiscard]] sim::Simulator::Callback rebuild_event(const sim::EventTag& tag);
+  void bind_event(const sim::EventTag& tag, sim::EventHandle handle);
 
  private:
   void attempt(dc::VmId vm);

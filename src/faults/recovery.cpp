@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "ecocloud/util/snapshot.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::faults {
@@ -28,7 +32,9 @@ void RedeployQueue::add(dc::VmId vm) {
   // zero delay it is deferred one event, because fail_server is still
   // unwinding the crash when the orphan handler runs and deploy_vm must
   // see the final post-crash state.
-  entry.retry = sim_.schedule_after(delay_s_, [this, vm] { attempt(vm); });
+  entry.retry = sim_.schedule_after(
+      delay_s_, sim::EventTag{sim::tag_owner::kRedeploy, kEvRetry, vm, 0},
+      [this, vm] { attempt(vm); });
   entries_.emplace(vm, std::move(entry));
 }
 
@@ -75,8 +81,50 @@ void RedeployQueue::attempt(dc::VmId vm) {
     entries_.erase(it);
     return;
   }
-  entry.retry =
-      sim_.schedule_after(backoff(entry.attempts), [this, vm] { attempt(vm); });
+  entry.retry = sim_.schedule_after(
+      backoff(entry.attempts), sim::EventTag{sim::tag_owner::kRedeploy, kEvRetry, vm, 0},
+      [this, vm] { attempt(vm); });
+}
+
+void RedeployQueue::save_state(util::BinWriter& w) const {
+  w.u64(total_attempts_);
+  w.u64(failed_attempts_);
+  util::save_unordered(w, entries_,
+                       [](util::BinWriter& out, dc::VmId vm, const Entry& entry) {
+                         out.u64(vm);
+                         out.f64(entry.orphaned_at);
+                         out.u64(entry.attempts);
+                         // entry.retry is rebuilt by bind_event at import.
+                       });
+}
+
+void RedeployQueue::load_state(util::BinReader& r) {
+  total_attempts_ = r.u64();
+  failed_attempts_ = r.u64();
+  util::load_unordered(r, entries_, [](util::BinReader& in) {
+    const auto vm = static_cast<dc::VmId>(in.u64());
+    Entry entry;
+    entry.orphaned_at = in.f64();
+    entry.attempts = static_cast<std::size_t>(in.u64());
+    return std::make_pair(vm, std::move(entry));
+  });
+}
+
+sim::Simulator::Callback RedeployQueue::rebuild_event(const sim::EventTag& tag) {
+  if (tag.kind == kEvRetry) {
+    const auto vm = static_cast<dc::VmId>(tag.a);
+    return [this, vm] { attempt(vm); };
+  }
+  throw std::runtime_error("RedeployQueue: snapshot contains an unknown event kind " +
+                           std::to_string(tag.kind));
+}
+
+void RedeployQueue::bind_event(const sim::EventTag& tag, sim::EventHandle handle) {
+  if (tag.kind != kEvRetry) return;
+  const auto it = entries_.find(static_cast<dc::VmId>(tag.a));
+  util::require(it != entries_.end(),
+                "RedeployQueue: restored retry event has no queue entry");
+  it->second.retry = handle;
 }
 
 }  // namespace ecocloud::faults

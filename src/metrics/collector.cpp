@@ -1,5 +1,8 @@
 #include "ecocloud/metrics/collector.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::metrics {
@@ -33,8 +36,9 @@ void MetricsCollector::attach(core::EcoCloudController& controller) {
 void MetricsCollector::start() {
   util::ensure(!started_, "MetricsCollector::start called twice");
   started_ = true;
-  sim_.schedule_periodic(config_.sample_period_s, [this] { sample_now(); },
-                         config_.sample_period_s);
+  sim_.schedule_periodic(config_.sample_period_s,
+                         sim::EventTag{sim::tag_owner::kCollector, kEvSample, 0, 0},
+                         [this] { sample_now(); }, config_.sample_period_s);
 }
 
 void MetricsCollector::rebase() {
@@ -77,6 +81,65 @@ void MetricsCollector::sample_now() {
 
 double MetricsCollector::total_energy_kwh() const {
   return dc_.energy_joules() / 3.6e6;
+}
+
+void MetricsCollector::save_state(util::BinWriter& w) const {
+  w.boolean(started_);
+  w.u64(samples_.size());
+  for (const Sample& s : samples_) {
+    w.f64(s.time);
+    w.u64(s.active_servers);
+    w.u64(s.booting_servers);
+    w.f64(s.overall_load);
+    w.f64(s.power_w);
+    w.f64(s.overload_percent);
+    w.f64(s.window_energy_j);
+  }
+  w.u64(snapshots_.size());
+  for (const std::vector<double>& snapshot : snapshots_) {
+    w.u64(snapshot.size());
+    for (double u : snapshot) w.f64(u);
+  }
+  low_mig_.save(w);
+  high_mig_.save(w);
+  activations_.save(w);
+  hibernations_.save(w);
+  w.f64(last_overload_vm_seconds_);
+  w.f64(last_vm_seconds_);
+  w.f64(last_energy_j_);
+}
+
+void MetricsCollector::load_state(util::BinReader& r) {
+  started_ = r.boolean();
+  samples_.assign(static_cast<std::size_t>(r.u64()), Sample{});
+  for (Sample& s : samples_) {
+    s.time = r.f64();
+    s.active_servers = static_cast<std::size_t>(r.u64());
+    s.booting_servers = static_cast<std::size_t>(r.u64());
+    s.overall_load = r.f64();
+    s.power_w = r.f64();
+    s.overload_percent = r.f64();
+    s.window_energy_j = r.f64();
+  }
+  snapshots_.assign(static_cast<std::size_t>(r.u64()), {});
+  for (std::vector<double>& snapshot : snapshots_) {
+    snapshot.assign(static_cast<std::size_t>(r.u64()), 0.0);
+    for (double& u : snapshot) u = r.f64();
+  }
+  low_mig_.load(r);
+  high_mig_.load(r);
+  activations_.load(r);
+  hibernations_.load(r);
+  last_overload_vm_seconds_ = r.f64();
+  last_vm_seconds_ = r.f64();
+  last_energy_j_ = r.f64();
+}
+
+sim::Simulator::Callback MetricsCollector::rebuild_event(const sim::EventTag& tag) {
+  if (tag.kind == kEvSample) return [this] { sample_now(); };
+  throw std::runtime_error(
+      "MetricsCollector: snapshot contains an unknown event kind " +
+      std::to_string(tag.kind));
 }
 
 }  // namespace ecocloud::metrics

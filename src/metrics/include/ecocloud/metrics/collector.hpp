@@ -51,6 +51,9 @@ struct Sample {
 
 class MetricsCollector {
  public:
+  /// Snapshot-stable event kinds (tag_owner::kCollector). Append only.
+  enum EventKind : std::uint16_t { kEvSample = 1 };
+
   MetricsCollector(sim::Simulator& simulator, dc::DataCenter& datacenter,
                    CollectorConfig config = CollectorConfig{});
 
@@ -88,6 +91,12 @@ class MetricsCollector {
 
   /// Total energy in kWh accumulated by the DataCenter so far.
   [[nodiscard]] double total_energy_kwh() const;
+
+  /// Checkpoint surface: accumulated samples, snapshots, rate windows and
+  /// the window-delta baselines (saved verbatim for bit-exact resume).
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
+  [[nodiscard]] sim::Simulator::Callback rebuild_event(const sim::EventTag& tag);
 
  private:
   sim::Simulator& sim_;

@@ -13,9 +13,11 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <vector>
 
 #include "ecocloud/core/controller.hpp"
+#include "ecocloud/util/binio.hpp"
 
 namespace ecocloud::metrics {
 
@@ -67,6 +69,37 @@ class EventLog {
   void clear() {
     events_.clear();
     counts_.fill(0);
+  }
+
+  /// Checkpoint surface: the recorded rows (counters are derived on load).
+  void save_state(util::BinWriter& w) const {
+    w.u64(events_.size());
+    for (const Event& e : events_) {
+      w.f64(e.time);
+      w.u8(static_cast<std::uint8_t>(e.kind));
+      w.u64(e.vm);
+      w.u64(e.server);
+      w.boolean(e.is_high);
+    }
+  }
+
+  void load_state(util::BinReader& r) {
+    clear();
+    const std::uint64_t n = r.u64();
+    events_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Event e;
+      e.time = r.f64();
+      const std::uint8_t kind = r.u8();
+      if (kind >= kNumEventKinds) {
+        throw std::runtime_error("EventLog: snapshot contains an unknown event kind");
+      }
+      e.kind = static_cast<EventKind>(kind);
+      e.vm = static_cast<dc::VmId>(r.u64());
+      e.server = static_cast<dc::ServerId>(r.u64());
+      e.is_high = r.boolean();
+      append(e);
+    }
   }
 
  private:

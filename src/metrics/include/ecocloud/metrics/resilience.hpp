@@ -14,6 +14,7 @@
 #include "ecocloud/sim/time.hpp"
 #include "ecocloud/stats/quantile.hpp"
 #include "ecocloud/stats/welford.hpp"
+#include "ecocloud/util/binio.hpp"
 
 namespace ecocloud::metrics {
 
@@ -76,6 +77,29 @@ class ResilienceStats {
   }
 
   void reset() { *this = ResilienceStats{}; }
+
+  /// Checkpoint surface.
+  void save_state(util::BinWriter& w) const {
+    w.u64(crashes_);
+    w.u64(repairs_);
+    w.u64(orphaned_vms_);
+    w.u64(redeployed_vms_);
+    w.u64(abandoned_vms_);
+    w.f64(downtime_vm_seconds_);
+    redeploy_latency_.save(w);
+    redeploy_quantiles_.save(w);
+  }
+
+  void load_state(util::BinReader& r) {
+    crashes_ = r.u64();
+    repairs_ = r.u64();
+    orphaned_vms_ = r.u64();
+    redeployed_vms_ = r.u64();
+    abandoned_vms_ = r.u64();
+    downtime_vm_seconds_ = r.f64();
+    redeploy_latency_.load(r);
+    redeploy_quantiles_.load(r);
+  }
 
  private:
   std::uint64_t crashes_ = 0;

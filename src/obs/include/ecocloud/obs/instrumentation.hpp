@@ -27,6 +27,7 @@
 /// decision event stream does not.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 
@@ -40,8 +41,23 @@
 
 namespace ecocloud::obs {
 
+/// Pull-mode snapshot of the robustness machinery (checkpoint manager +
+/// runtime auditor), supplied by a callback so obs stays decoupled from
+/// the ckpt module.
+struct RobustnessSample {
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t snapshot_bytes_last = 0;
+  double save_wall_seconds_total = 0.0;
+  std::uint64_t audits_run = 0;
+  std::uint64_t audits_failed = 0;
+  std::uint64_t heals_applied = 0;
+};
+
 class Instrumentation {
  public:
+  /// Snapshot-stable event kinds (tag_owner::kObsFlush). Append only.
+  enum EventKind : std::uint16_t { kEvFlush = 1 };
+
   /// \p registry and \p logger must outlive the Instrumentation; \p trace
   /// may be null to disable timeline capture. None of them are owned.
   Instrumentation(MetricRegistry& registry, Logger& logger,
@@ -66,10 +82,20 @@ class Instrumentation {
   /// stats and redeploy queue.
   void attach_faults(const faults::FaultInjector& injector);
 
+  /// Register pull-mode metrics over the checkpoint/audit machinery.
+  /// \p sample is polled when an exporter reads the registry.
+  void attach_robustness(std::function<RobustnessSample()> sample);
+
   /// Schedule a periodic sim-time hook that flushes the logger and, when
   /// tracing, samples fleet counters onto the timeline. The event runs
   /// no simulation logic (see file comment for the determinism argument).
+  /// Do not call on a resumed run: the tagged flush event comes back with
+  /// the imported calendar (register make_flush_callback for it).
   void start_flush(sim::Simulator& simulator, sim::SimTime period_s);
+
+  /// The flush event's body, for checkpoint restore (tag_owner::kObsFlush).
+  [[nodiscard]] sim::Simulator::Callback make_flush_callback(
+      sim::Simulator& simulator);
 
   /// Close open trace spans (server states, in-flight migrations) at
   /// \p end and flush the logger. Call once, after the run.

@@ -1,5 +1,6 @@
 #include "ecocloud/obs/instrumentation.hpp"
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -480,17 +481,50 @@ void Instrumentation::attach_faults(const faults::FaultInjector& injector) {
       "Accumulated VM downtime attributed to faults");
 }
 
+void Instrumentation::attach_robustness(std::function<RobustnessSample()> sample) {
+  const auto poll =
+      std::make_shared<std::function<RobustnessSample()>>(std::move(sample));
+  registry_.counter_fn(
+      "ecocloud_checkpoints_written_total",
+      [poll] { return (*poll)().checkpoints_written; }, {},
+      "Crash-safe snapshots written");
+  registry_.gauge_fn(
+      "ecocloud_checkpoint_bytes_last",
+      [poll] { return static_cast<double>((*poll)().snapshot_bytes_last); }, {},
+      "Payload size of the most recent snapshot");
+  registry_.gauge_fn(
+      "ecocloud_checkpoint_save_seconds_total",
+      [poll] { return (*poll)().save_wall_seconds_total; }, {},
+      "Wall-clock time spent writing snapshots");
+  registry_.counter_fn(
+      "ecocloud_audits_run_total", [poll] { return (*poll)().audits_run; }, {},
+      "Invariant audits executed");
+  registry_.counter_fn(
+      "ecocloud_audits_failed_total", [poll] { return (*poll)().audits_failed; },
+      {}, "Invariant audits that found at least one violation");
+  registry_.counter_fn(
+      "ecocloud_audit_heals_total", [poll] { return (*poll)().heals_applied; },
+      {}, "Cache-rebuild heal actions applied by the auditor");
+}
+
 void Instrumentation::start_flush(sim::Simulator& simulator,
                                   sim::SimTime period_s) {
   util::require(period_s > 0.0, "Instrumentation: flush period must be > 0");
-  sim::Simulator* sim = &simulator;
   // The flush event is telemetry's only entry in the event queue. It runs
   // no simulation logic and draws no randomness, so the decision stream is
   // unchanged; only seq numbers (and executed_events) shift.
-  simulator.schedule_periodic(period_s, [this, sim] {
+  simulator.schedule_periodic(
+      period_s, sim::EventTag{sim::tag_owner::kObsFlush, kEvFlush, 0, 0},
+      make_flush_callback(simulator));
+}
+
+sim::Simulator::Callback Instrumentation::make_flush_callback(
+    sim::Simulator& simulator) {
+  sim::Simulator* sim = &simulator;
+  return [this, sim] {
     sample_trace_counters(sim->now());
     logger_.flush();
-  });
+  };
 }
 
 void Instrumentation::finalize(sim::SimTime end) {

@@ -72,6 +72,29 @@ void load_faults(const util::KeyValueConfig& kv, faults::FaultParams& params) {
   params.validate();
 }
 
+void load_run_control(const util::KeyValueConfig& kv, RunControl& run) {
+  run.checkpoint_out = kv.get_string("checkpoint.out", run.checkpoint_out);
+  run.checkpoint_every_s =
+      kv.get_double("checkpoint.every_s", run.checkpoint_every_s);
+  util::require(run.checkpoint_every_s >= 0.0,
+                "config: 'checkpoint.every_s' must be >= 0");
+  util::require(run.checkpoint_every_s == 0.0 || !run.checkpoint_out.empty(),
+                "config: 'checkpoint.every_s' needs 'checkpoint.out'");
+  run.audit_every_s = kv.get_double("audit.every_s", run.audit_every_s);
+  util::require(run.audit_every_s >= 0.0, "config: 'audit.every_s' must be >= 0");
+  run.audit_action = kv.get_string("audit.action", run.audit_action);
+  util::require(run.audit_action == "log" || run.audit_action == "abort" ||
+                    run.audit_action == "heal",
+                "config: 'audit.action' must be log, abort, or heal");
+  run.audit_tolerance = kv.get_double("audit.tolerance", run.audit_tolerance);
+  util::require(run.audit_tolerance >= 0.0,
+                "config: 'audit.tolerance' must be >= 0");
+  run.audit_strict = kv.get_bool("audit.strict", run.audit_strict);
+  run.watchdog_stall_s = kv.get_double("watchdog.stall_s", run.watchdog_stall_s);
+  util::require(run.watchdog_stall_s >= 0.0,
+                "config: 'watchdog.stall_s' must be >= 0");
+}
+
 void load_workload(const util::KeyValueConfig& kv, trace::WorkloadConfig& workload) {
   workload.reference_mhz = kv.get_double("reference_mhz", workload.reference_mhz);
   workload.sample_period_s =
@@ -134,6 +157,7 @@ DailyConfig load_daily_config(std::istream& in) {
   load_params(kv, config.params);
   load_workload(kv, config.workload);
   load_faults(kv, config.faults);
+  load_run_control(kv, config.run);
   kv.require_all_used();
   config.params.validate();
   return config;
@@ -164,6 +188,10 @@ ConsolidationConfig load_consolidation_config(std::istream& in) {
 
   load_params(kv, config.params);
   load_workload(kv, config.workload);
+  // Departed VMs stay unowned forever in the open system, so the strict
+  // every-VM-owned audit would always fail here.
+  config.run.audit_strict = false;
+  load_run_control(kv, config.run);
   kv.require_all_used();
   return config;
 }

@@ -31,6 +31,11 @@ namespace ecocloud::scenario {
 /// redeploy_backoff_s, redeploy_backoff_max_s, redeploy_max_attempts,
 /// and schedule (e.g.
 /// "crash 10-20 3600 600, repair 5 7200"). All zero by default.
+///
+/// A `[checkpoint]` section (out, every_s), an `[audit]` section
+/// (every_s, action = log|abort|heal, tolerance, strict) and a
+/// `[watchdog]` section (stall_s) configure the robustness machinery
+/// (RunControl); all disabled by default.
 [[nodiscard]] DailyConfig load_daily_config(std::istream& in);
 
 /// Keys: servers, cores_per_server, core_mhz, initial_vms, horizon_hours,

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "ecocloud/baseline/centralized_controller.hpp"
 #include "ecocloud/net/topology.hpp"
@@ -26,7 +27,39 @@
 #include "ecocloud/trace/rate_estimator.hpp"
 #include "ecocloud/trace/trace_set.hpp"
 
+namespace ecocloud::ckpt {
+class CheckpointManager;
+}
+
 namespace ecocloud::scenario {
+
+/// Robustness knobs shared by both experiments: periodic crash-safe
+/// checkpoints, the runtime invariant auditor, and the wall-clock
+/// watchdog. Parsed from `[checkpoint]` / `[audit]` / `[watchdog]`
+/// config sections (config_io) and overridable from the CLI. Not part
+/// of the config digest: a snapshot carries its own checkpoint/audit
+/// events, so resuming with different cadences or output paths is safe.
+struct RunControl {
+  /// Snapshot file written every checkpoint_every_s of sim time. Empty
+  /// disables periodic checkpointing.
+  std::string checkpoint_out;
+  sim::SimTime checkpoint_every_s = 0.0;
+
+  /// Invariant-audit cadence; 0 disables the auditor.
+  sim::SimTime audit_every_s = 0.0;
+  /// "log" | "abort" | "heal" (ckpt::parse_audit_action).
+  std::string audit_action = "log";
+  /// Relative tolerance of the floating-point conservation checks.
+  double audit_tolerance = 1e-6;
+  /// Require every live VM to be owned exactly once. On by default for
+  /// the daily scenario; the consolidation scenario's departed VMs are
+  /// legitimately unowned, so its loader defaults this to false.
+  bool audit_strict = true;
+
+  /// Wall-clock seconds of event-loop silence before the watchdog aborts
+  /// with a diagnostic; 0 disables the watchdog.
+  double watchdog_stall_s = 0.0;
+};
 
 /// Fleet mix of the Sec. III experiment.
 struct FleetConfig {
@@ -58,6 +91,8 @@ struct DailyConfig {
   /// failures). All-zero (the default) runs the exact fault-free code
   /// paths; see src/faults. ecoCloud only.
   faults::FaultParams faults;
+  /// Checkpoint/audit/watchdog wiring (not part of the config digest).
+  RunControl run;
 };
 
 /// Which algorithm drives the daily scenario.
@@ -84,6 +119,22 @@ class DailyScenario {
 
   /// Deploy all VMs at t=0 and simulate the full horizon.
   void run();
+
+  /// Finish the horizon of a run restored from a snapshot. Deployment and
+  /// service start are skipped — state and the event calendar came back
+  /// with the snapshot — and the warmup reset still happens if the
+  /// snapshot predates it.
+  void run_resumed();
+
+  /// Register this scenario's state sections and calendar-event owners
+  /// (controller, trace driver, collector, faults, scenario flags) plus
+  /// the config digest. ecoCloud only: the baseline controllers schedule
+  /// untagged events and cannot be checkpointed.
+  void register_checkpoint(ckpt::CheckpointManager& manager);
+
+  /// Fingerprint of the immutable configuration; snapshots only restore
+  /// into a scenario with an identical digest.
+  [[nodiscard]] std::string config_digest() const;
 
   [[nodiscard]] const DailyConfig& config() const { return config_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -115,6 +166,10 @@ class DailyScenario {
   std::unique_ptr<baseline::CentralizedController> central_;
   std::unique_ptr<metrics::MetricsCollector> collector_;
   std::unique_ptr<faults::FaultInjector> injector_;
+  /// Whether the warmup accounting reset already happened (part of the
+  /// scenario snapshot section, so a resume before/after warmup behaves
+  /// exactly like the uninterrupted run).
+  bool warmup_done_ = false;
 };
 
 /// Parameters of the Sec. IV consolidation experiment.
@@ -135,6 +190,8 @@ struct ConsolidationConfig {
   std::uint64_t seed = 19731123;
   /// Metrics sampling period (finer than 30 min to resolve the transient).
   sim::SimTime sample_period_s = 900.0;
+  /// Checkpoint/audit/watchdog wiring (not part of the config digest).
+  RunControl run;
 };
 
 /// The migration-free consolidation experiment with open arrivals.
@@ -143,6 +200,17 @@ class ConsolidationScenario {
   explicit ConsolidationScenario(ConsolidationConfig config);
 
   void run();
+
+  /// Finish the horizon of a run restored from a snapshot (see
+  /// DailyScenario::run_resumed).
+  void run_resumed();
+
+  /// Register state sections and event owners with a checkpoint manager
+  /// (datacenter, controller, trace driver, open system, rate estimator,
+  /// collector) plus the config digest.
+  void register_checkpoint(ckpt::CheckpointManager& manager);
+
+  [[nodiscard]] std::string config_digest() const;
 
   [[nodiscard]] const ConsolidationConfig& config() const { return config_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }

@@ -1,10 +1,86 @@
 #include "ecocloud/scenario/scenario.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "ecocloud/ckpt/checkpoint.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::scenario {
+
+namespace {
+
+/// Digest helpers: every field that shapes the deterministic run is
+/// printed exactly (%.17g round-trips doubles) so a snapshot refuses to
+/// restore into even a slightly different experiment.
+void digest_f(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%.17g", key, value);
+  out += buf;
+}
+
+void digest_u(std::string& out, const char* key, std::uint64_t value) {
+  out += ' ';
+  out += key;
+  out += '=';
+  out += std::to_string(value);
+}
+
+void digest_params(std::string& out, const core::EcoCloudParams& p) {
+  digest_f(out, "ta", p.ta);
+  digest_f(out, "p", p.p);
+  digest_f(out, "tl", p.tl);
+  digest_f(out, "th", p.th);
+  digest_f(out, "alpha", p.alpha);
+  digest_f(out, "beta", p.beta);
+  digest_f(out, "hdf", p.high_dest_factor);
+  digest_f(out, "monitor", p.monitor_period_s);
+  digest_f(out, "cooldown", p.migration_cooldown_s);
+  digest_f(out, "mig_latency", p.migration_latency_s);
+  digest_f(out, "boot", p.boot_time_s);
+  digest_f(out, "grace", p.grace_period_s);
+  digest_f(out, "hib_delay", p.hibernate_delay_s);
+  digest_u(out, "fit", p.require_fit ? 1 : 0);
+  digest_u(out, "migrations", p.enable_migrations ? 1 : 0);
+  digest_u(out, "invite_group", p.invite_group_size);
+}
+
+void digest_workload(std::string& out, const trace::WorkloadConfig& w) {
+  digest_f(out, "ref_mhz", w.reference_mhz);
+  digest_f(out, "sample", w.sample_period_s);
+  digest_f(out, "diurnal_amp", w.diurnal.amplitude());
+  digest_f(out, "diurnal_peak", w.diurnal.peak_hour());
+  digest_f(out, "rho", w.ar1_rho);
+  digest_f(out, "dev_base", w.dev_base);
+  digest_f(out, "dev_slope", w.dev_slope);
+  digest_f(out, "ram_min", w.ram_min_mb);
+  digest_f(out, "ram_max", w.ram_max_mb);
+}
+
+void digest_faults(std::string& out, const faults::FaultParams& f) {
+  digest_f(out, "mtbf", f.server_mtbf_s);
+  digest_f(out, "mttr", f.server_mttr_s);
+  digest_f(out, "mig_abort", f.migration_abort_prob);
+  digest_f(out, "boot_fail", f.boot_failure_prob);
+  digest_u(out, "boot_retries", f.max_boot_retries);
+  digest_f(out, "inv_loss", f.invitation_loss_prob);
+  digest_f(out, "reply_loss", f.reply_loss_prob);
+  digest_u(out, "invite_rounds", f.max_invite_rounds);
+  digest_f(out, "redeploy_delay", f.redeploy_delay_s);
+  digest_f(out, "backoff", f.redeploy_backoff_s);
+  digest_f(out, "backoff_max", f.redeploy_backoff_max_s);
+  digest_u(out, "redeploy_attempts", f.redeploy_max_attempts);
+  digest_u(out, "scripted", f.schedule.size());
+  for (const faults::ScriptedFault& fault : f.schedule) {
+    digest_u(out, "kind", fault.kind == faults::ScriptedFault::Kind::kCrash ? 0 : 1);
+    digest_f(out, "at", fault.time);
+    digest_u(out, "first", fault.first);
+    digest_u(out, "last", fault.last);
+    digest_f(out, "repair_after", fault.repair_after_s);
+  }
+}
+
+}  // namespace
 
 void build_fleet(dc::DataCenter& datacenter, const FleetConfig& fleet) {
   util::require(!fleet.core_mix.empty(), "build_fleet: empty core mix");
@@ -114,10 +190,108 @@ void DailyScenario::run() {
     dc_->reset_accounting(sim_.now());
     collector_->rebase();
     if (eco_) eco_->reset_counters();
+    warmup_done_ = true;
   }
   sim_.run_until(config_.horizon_s);
   dc_->advance_to(config_.horizon_s);
   if (injector_) injector_->finalize(config_.horizon_s);
+}
+
+void DailyScenario::run_resumed() {
+  if (config_.warmup_s > 0.0 && !warmup_done_) {
+    sim_.run_until(config_.warmup_s);
+    dc_->reset_accounting(sim_.now());
+    collector_->rebase();
+    if (eco_) eco_->reset_counters();
+    warmup_done_ = true;
+  }
+  sim_.run_until(config_.horizon_s);
+  dc_->advance_to(config_.horizon_s);
+  if (injector_) injector_->finalize(config_.horizon_s);
+}
+
+std::string DailyScenario::config_digest() const {
+  std::string digest = "daily algo=";
+  digest += algorithm_ == Algorithm::kEcoCloud       ? "eco"
+            : algorithm_ == Algorithm::kCentralized ? "centralized"
+                                                    : "static";
+  digest_u(digest, "seed", config_.seed);
+  digest_u(digest, "servers", config_.fleet.num_servers);
+  digest_f(digest, "core_mhz", config_.fleet.core_mhz);
+  digest += " mix=";
+  for (unsigned cores : config_.fleet.core_mix) {
+    digest += std::to_string(cores);
+    digest += ',';
+  }
+  digest_f(digest, "ram_per_core", config_.fleet.ram_per_core_mb);
+  digest_u(digest, "vms", config_.num_vms);
+  digest_f(digest, "horizon", config_.horizon_s);
+  digest_f(digest, "warmup", config_.warmup_s);
+  digest_params(digest, config_.params);
+  digest_workload(digest, config_.workload);
+  digest_faults(digest, config_.faults);
+  if (config_.topology) {
+    digest_u(digest, "racks", config_.topology->num_racks);
+    digest_f(digest, "intra_gbps", config_.topology->intra_rack_gbps);
+    digest_f(digest, "inter_gbps", config_.topology->inter_rack_gbps);
+  } else {
+    digest += " topo=none";
+  }
+  return digest;
+}
+
+void DailyScenario::register_checkpoint(ckpt::CheckpointManager& manager) {
+  util::require(eco_ != nullptr,
+                "checkpointing supports the ecoCloud algorithm only (the "
+                "baseline controllers schedule untagged events)");
+  manager.set_config_digest(config_digest());
+
+  manager.add_section(
+      "scenario", [this](util::BinWriter& w) { w.boolean(warmup_done_); },
+      [this](util::BinReader& r) { warmup_done_ = r.boolean(); });
+  manager.add_section(
+      "datacenter", [this](util::BinWriter& w) { dc_->save_state(w); },
+      [this](util::BinReader& r) { dc_->load_state(r); });
+  manager.add_section(
+      "controller", [this](util::BinWriter& w) { eco_->save_state(w); },
+      [this](util::BinReader& r) { eco_->load_state(r); });
+  manager.add_section(
+      "trace_driver", [this](util::BinWriter& w) { trace_driver_->save_state(w); },
+      [this](util::BinReader& r) { trace_driver_->load_state(r); });
+  manager.add_section(
+      "collector", [this](util::BinWriter& w) { collector_->save_state(w); },
+      [this](util::BinReader& r) { collector_->load_state(r); });
+  if (injector_) {
+    manager.add_section(
+        "faults", [this](util::BinWriter& w) { injector_->save_state(w); },
+        [this](util::BinReader& r) { injector_->load_state(r); });
+  }
+
+  manager.add_owner(
+      sim::tag_owner::kController,
+      [this](const sim::EventTag& tag) { return eco_->rebuild_event(tag); },
+      [this](const sim::EventTag& tag, sim::EventHandle handle) {
+        eco_->bind_event(tag, handle);
+      });
+  manager.add_owner(sim::tag_owner::kTraceDriver, [this](const sim::EventTag& tag) {
+    return trace_driver_->rebuild_event(tag);
+  });
+  manager.add_owner(sim::tag_owner::kCollector, [this](const sim::EventTag& tag) {
+    return collector_->rebuild_event(tag);
+  });
+  if (injector_) {
+    manager.add_owner(sim::tag_owner::kFaults, [this](const sim::EventTag& tag) {
+      return injector_->rebuild_event(tag);
+    });
+    manager.add_owner(
+        sim::tag_owner::kRedeploy,
+        [this](const sim::EventTag& tag) {
+          return injector_->redeploy().rebuild_event(tag);
+        },
+        [this](const sim::EventTag& tag, sim::EventHandle handle) {
+          injector_->redeploy().bind_event(tag, handle);
+        });
+  }
 }
 
 ConsolidationScenario::ConsolidationScenario(ConsolidationConfig config)
@@ -192,6 +366,65 @@ void ConsolidationScenario::run() {
 
   sim_.run_until(config_.horizon_s);
   dc_->advance_to(config_.horizon_s);
+}
+
+void ConsolidationScenario::run_resumed() {
+  sim_.run_until(config_.horizon_s);
+  dc_->advance_to(config_.horizon_s);
+}
+
+std::string ConsolidationScenario::config_digest() const {
+  std::string digest = "consolidation";
+  digest_u(digest, "seed", config_.seed);
+  digest_u(digest, "servers", config_.num_servers);
+  digest_u(digest, "cores", config_.cores_per_server);
+  digest_f(digest, "core_mhz", config_.core_mhz);
+  digest_u(digest, "initial_vms", config_.initial_vms);
+  digest_f(digest, "horizon", config_.horizon_s);
+  digest_f(digest, "lifetime", config_.mean_lifetime_s);
+  digest_f(digest, "sample", config_.sample_period_s);
+  digest_params(digest, config_.params);
+  digest_workload(digest, config_.workload);
+  return digest;
+}
+
+void ConsolidationScenario::register_checkpoint(ckpt::CheckpointManager& manager) {
+  manager.set_config_digest(config_digest());
+
+  manager.add_section(
+      "datacenter", [this](util::BinWriter& w) { dc_->save_state(w); },
+      [this](util::BinReader& r) { dc_->load_state(r); });
+  manager.add_section(
+      "controller", [this](util::BinWriter& w) { eco_->save_state(w); },
+      [this](util::BinReader& r) { eco_->load_state(r); });
+  manager.add_section(
+      "trace_driver", [this](util::BinWriter& w) { trace_driver_->save_state(w); },
+      [this](util::BinReader& r) { trace_driver_->load_state(r); });
+  manager.add_section(
+      "open_system", [this](util::BinWriter& w) { open_->save_state(w); },
+      [this](util::BinReader& r) { open_->load_state(r); });
+  manager.add_section(
+      "rates", [this](util::BinWriter& w) { rates_->save_state(w); },
+      [this](util::BinReader& r) { rates_->load_state(r); });
+  manager.add_section(
+      "collector", [this](util::BinWriter& w) { collector_->save_state(w); },
+      [this](util::BinReader& r) { collector_->load_state(r); });
+
+  manager.add_owner(
+      sim::tag_owner::kController,
+      [this](const sim::EventTag& tag) { return eco_->rebuild_event(tag); },
+      [this](const sim::EventTag& tag, sim::EventHandle handle) {
+        eco_->bind_event(tag, handle);
+      });
+  manager.add_owner(sim::tag_owner::kTraceDriver, [this](const sim::EventTag& tag) {
+    return trace_driver_->rebuild_event(tag);
+  });
+  manager.add_owner(sim::tag_owner::kOpenSystem, [this](const sim::EventTag& tag) {
+    return open_->rebuild_event(tag);
+  });
+  manager.add_owner(sim::tag_owner::kCollector, [this](const sim::EventTag& tag) {
+    return collector_->rebuild_event(tag);
+  });
 }
 
 }  // namespace ecocloud::scenario

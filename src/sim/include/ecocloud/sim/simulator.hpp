@@ -31,8 +31,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "ecocloud/sim/event_tag.hpp"
 #include "ecocloud/sim/time.hpp"
 
 namespace ecocloud::sim {
@@ -82,10 +84,40 @@ struct EngineStats {
   std::uint32_t slab_high_water = 0;     ///< Max concurrently live records.
 };
 
+/// Single queued occurrence exported from / imported into the calendar.
+/// `source` is the queue holding it (-1 = heap, otherwise a ring index);
+/// preserving (time, seq) plus the FIFO position inside each ring is what
+/// makes the restored pop order bit-identical to the saved run's.
+struct CalendarEntry {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  SimTime period = 0.0;     ///< > 0 marks a periodic chain.
+  std::int32_t source = -1;
+  bool cancelled = false;   ///< Tombstone: restored as an inert entry.
+  EventTag tag;
+};
+
+/// Complete serializable engine state: the clock, counters, the period of
+/// every ring in creation order (ring assignment is first-come), and every
+/// queued entry.
+struct EngineCheckpoint {
+  SimTime now = 0.0;
+  std::uint64_t next_seq = 0;
+  std::uint64_t executed = 0;
+  EngineStats stats;
+  std::vector<SimTime> ring_periods;
+  std::vector<CalendarEntry> entries;
+};
+
 /// Single-threaded discrete-event simulator.
 class Simulator {
  public:
   using Callback = std::function<void()>;
+  /// Builds the callback for a restored event from its tag.
+  using RebuildFn = std::function<Callback(const EventTag&)>;
+  /// Hands the restored event's handle back to its owner (boot/migration
+  /// completions keep their handles for cancellation).
+  using BindFn = std::function<void(const EventTag&, EventHandle)>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -103,6 +135,31 @@ class Simulator {
   /// Schedule \p fn every \p period seconds starting at now() + phase.
   /// The returned handle cancels the *whole* periodic chain.
   EventHandle schedule_periodic(SimTime period, Callback fn, SimTime phase = 0.0);
+
+  /// Tagged variants: identical scheduling semantics, but the event carries
+  /// an EventTag so it survives checkpoint/restore (see event_tag.hpp).
+  EventHandle schedule_at(SimTime at, const EventTag& tag, Callback fn);
+  EventHandle schedule_after(SimTime delay, const EventTag& tag, Callback fn);
+  EventHandle schedule_periodic(SimTime period, const EventTag& tag, Callback fn,
+                                SimTime phase = 0.0);
+
+  /// Export the full calendar for a snapshot. Heap entries come first (array
+  /// order), then each ring front-to-back.
+  [[nodiscard]] EngineCheckpoint export_calendar() const;
+
+  /// Rebuild the calendar from a snapshot into a *fresh* simulator (nothing
+  /// scheduled or executed yet; throws otherwise). \p rebuild is invoked for
+  /// every live entry's tag and must return a non-empty callback; \p bind
+  /// (optional) receives each live entry's new handle. Cancelled entries are
+  /// restored as inert tombstones so the lazy-drop accounting of the resumed
+  /// run matches the uninterrupted one.
+  void import_calendar(const EngineCheckpoint& ck, const RebuildFn& rebuild,
+                       const BindFn& bind = {});
+
+  /// Structural self-check of heap order, ring monotonicity, slab reference
+  /// counts, and free-list integrity. Returns an empty string when
+  /// consistent, else a description of the first violation found.
+  [[nodiscard]] std::string check_integrity() const;
 
   /// Execute the next pending event; returns false if none remain.
   bool step();
@@ -132,6 +189,7 @@ class Simulator {
   struct Record {
     Callback fn;
     SimTime period = 0.0;  ///< > 0 marks a periodic chain.
+    EventTag tag;          ///< Serializable identity (owner 0 = untagged).
     std::uint32_t generation = 0;
     std::uint32_t queue_refs = 0;  ///< Heap entries referencing this slot.
     bool cancelled = false;

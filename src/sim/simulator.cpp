@@ -46,6 +46,7 @@ void Simulator::release_slot(std::uint32_t slot) {
   ++rec.generation;   // outstanding handles go stale
   rec.fn = nullptr;   // recycle the closure's state now, not at reuse
   rec.period = 0.0;
+  rec.tag = EventTag{};
   rec.cancelled = false;
   rec.fired = false;
   free_slots_.push_back(slot);
@@ -257,6 +258,186 @@ EventHandle Simulator::schedule_periodic(SimTime period, Callback fn, SimTime ph
   push(now_ + phase, slot);
   ++stats_.scheduled_periodic;
   return EventHandle(this, slot, rec.generation);
+}
+
+EventHandle Simulator::schedule_at(SimTime at, const EventTag& tag, Callback fn) {
+  const EventHandle handle = schedule_at(at, std::move(fn));
+  record(handle.slot_).tag = tag;
+  return handle;
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, const EventTag& tag,
+                                      Callback fn) {
+  const EventHandle handle = schedule_after(delay, std::move(fn));
+  record(handle.slot_).tag = tag;
+  return handle;
+}
+
+EventHandle Simulator::schedule_periodic(SimTime period, const EventTag& tag,
+                                         Callback fn, SimTime phase) {
+  const EventHandle handle = schedule_periodic(period, std::move(fn), phase);
+  record(handle.slot_).tag = tag;
+  return handle;
+}
+
+EngineCheckpoint Simulator::export_calendar() const {
+  EngineCheckpoint ck;
+  ck.now = now_;
+  ck.next_seq = next_seq_;
+  ck.executed = executed_;
+  ck.stats = stats_;
+  ck.ring_periods.reserve(rings_.size());
+  for (const PeriodRing& ring : rings_) ck.ring_periods.push_back(ring.period);
+  ck.entries.reserve(pending_events());
+  const auto append = [this, &ck](const QueueEntry& e, std::int32_t source) {
+    const Record& rec = record(entry_slot(e));
+    CalendarEntry entry;
+    entry.time = e.time;
+    entry.seq = e.key >> kSlotBits;
+    entry.period = rec.period;
+    entry.source = source;
+    entry.cancelled = rec.cancelled;
+    entry.tag = rec.tag;
+    ck.entries.push_back(entry);
+  };
+  for (const QueueEntry& e : heap_) append(e, kFromHeap);
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    const PeriodRing& ring = rings_[r];
+    for (std::size_t i = 0; i < ring.count; ++i) {
+      append(ring.buf[(ring.head + i) & (ring.buf.size() - 1)],
+             static_cast<std::int32_t>(r));
+    }
+  }
+  return ck;
+}
+
+void Simulator::import_calendar(const EngineCheckpoint& ck,
+                                const RebuildFn& rebuild, const BindFn& bind) {
+  util::require(next_seq_ == 0 && executed_ == 0 && pending_events() == 0 &&
+                    rings_.empty(),
+                "Simulator::import_calendar: target simulator is not fresh");
+  util::require(static_cast<bool>(rebuild),
+                "Simulator::import_calendar: rebuild function required");
+  util::require(ck.ring_periods.size() <= kMaxRings,
+                "Simulator::import_calendar: snapshot has too many rings");
+  for (SimTime period : ck.ring_periods) {
+    rings_.push_back(PeriodRing{});
+    rings_.back().period = period;
+  }
+  for (const CalendarEntry& entry : ck.entries) {
+    util::require(entry.seq < ck.next_seq,
+                  "Simulator::import_calendar: entry seq beyond next_seq");
+    const std::uint32_t slot = acquire_slot();
+    Record& rec = record(slot);
+    rec.period = entry.period;
+    rec.tag = entry.tag;
+    rec.cancelled = entry.cancelled;
+    rec.queue_refs = 1;
+    if (!entry.cancelled) {
+      rec.fn = rebuild(entry.tag);
+      util::require(static_cast<bool>(rec.fn),
+                    "Simulator::import_calendar: rebuild returned an empty "
+                    "callback");
+    }
+    const QueueEntry qe{entry.time, (entry.seq << kSlotBits) | slot};
+    if (entry.source == kFromHeap) {
+      heap_.push_back(qe);
+      sift_up(heap_.size() - 1);
+    } else {
+      util::require(entry.source >= 0 &&
+                        static_cast<std::size_t>(entry.source) < rings_.size(),
+                    "Simulator::import_calendar: entry references an unknown "
+                    "ring");
+      PeriodRing& ring = rings_[static_cast<std::size_t>(entry.source)];
+      util::require(ring.period == entry.period,
+                    "Simulator::import_calendar: ring period mismatch");
+      ring_push(ring, qe);
+    }
+    if (!entry.cancelled && bind) {
+      bind(entry.tag, EventHandle(this, slot, rec.generation));
+    }
+  }
+  // Counters restored wholesale (acquire_slot above touched slab_high_water;
+  // the saved stats override it with the true lifetime value).
+  now_ = ck.now;
+  next_seq_ = ck.next_seq;
+  executed_ = ck.executed;
+  stats_ = ck.stats;
+}
+
+std::string Simulator::check_integrity() const {
+  std::vector<std::uint32_t> refs(allocated_slots_, 0);
+  const auto check_entry = [this, &refs](const QueueEntry& e,
+                                         std::string& err) {
+    const std::uint32_t slot = entry_slot(e);
+    if (slot >= allocated_slots_) {
+      err = "queued entry references unallocated slot " + std::to_string(slot);
+      return false;
+    }
+    ++refs[slot];
+    if (e.time < now_) {
+      err = "queued entry at t=" + std::to_string(e.time) +
+            " is in the past (now=" + std::to_string(now_) + ")";
+      return false;
+    }
+    return true;
+  };
+  std::string err;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (!check_entry(heap_[i], err)) return err;
+    if (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (earlier(heap_[i], heap_[parent])) {
+        return "heap property violated at index " + std::to_string(i);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    const PeriodRing& ring = rings_[r];
+    const QueueEntry* prev = nullptr;
+    for (std::size_t i = 0; i < ring.count; ++i) {
+      const QueueEntry& e = ring.buf[(ring.head + i) & (ring.buf.size() - 1)];
+      if (!check_entry(e, err)) return err;
+      if (record(entry_slot(e)).period != ring.period) {
+        return "ring " + std::to_string(r) +
+               " holds an entry whose record has a different period";
+      }
+      if (prev != nullptr && earlier(e, *prev)) {
+        return "ring " + std::to_string(r) + " is not sorted at position " +
+               std::to_string(i);
+      }
+      prev = &e;
+    }
+  }
+  std::vector<bool> is_free(allocated_slots_, false);
+  for (std::uint32_t slot : free_slots_) {
+    if (slot >= allocated_slots_) {
+      return "free list references unallocated slot " + std::to_string(slot);
+    }
+    if (is_free[slot]) {
+      return "slot " + std::to_string(slot) + " appears twice in the free list";
+    }
+    is_free[slot] = true;
+  }
+  for (std::uint32_t slot = 0; slot < allocated_slots_; ++slot) {
+    const Record& rec = record(slot);
+    if (is_free[slot]) {
+      if (refs[slot] != 0) {
+        return "free slot " + std::to_string(slot) + " has queued entries";
+      }
+      continue;
+    }
+    if (rec.queue_refs != refs[slot]) {
+      return "slot " + std::to_string(slot) + " queue_refs=" +
+             std::to_string(rec.queue_refs) + " but " +
+             std::to_string(refs[slot]) + " queued entries";
+    }
+    if (refs[slot] == 0 && slot != executing_slot_) {
+      return "live slot " + std::to_string(slot) +
+             " has no queued entries and is not executing";
+    }
+  }
+  return {};
 }
 
 bool Simulator::step() {

@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "ecocloud/util/binio.hpp"
+
 namespace ecocloud::stats {
 
 /// Collects samples and answers exact quantile queries (linear
@@ -26,6 +28,11 @@ class QuantileSketch {
 
   /// Fraction of samples <= x.
   [[nodiscard]] double cdf(double x) const;
+
+  /// Checkpoint surface: preserves the retained samples in their current
+  /// order plus the lazy-sort flag, so restored quantiles are identical.
+  void save(util::BinWriter& w) const;
+  void load(util::BinReader& r);
 
  private:
   void sort_if_needed() const;

@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "ecocloud/util/binio.hpp"
+
 namespace ecocloud::stats {
 
 /// Counts timestamped events and bins them into fixed windows.
@@ -34,6 +36,11 @@ class RateWindow {
   [[nodiscard]] std::size_t total() const { return total_; }
 
   [[nodiscard]] double window_seconds() const { return window_; }
+
+  /// Checkpoint surface; the window width must already match (it comes
+  /// from configuration, not from the snapshot).
+  void save(util::BinWriter& w) const;
+  void load(util::BinReader& r);
 
  private:
   double window_;

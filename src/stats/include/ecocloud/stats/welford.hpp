@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <limits>
 
+#include "ecocloud/util/binio.hpp"
+
 namespace ecocloud::stats {
 
 /// Online accumulator for count, mean, variance, min, max.
@@ -59,6 +61,23 @@ class Welford {
   [[nodiscard]] double min() const { return min_; }
   /// Maximum observed value; -inf if empty.
   [[nodiscard]] double max() const { return max_; }
+
+  /// Checkpoint surface: bit-exact state round trip (m2_ is not derivable
+  /// from the public accessors without re-rounding).
+  void save(util::BinWriter& w) const {
+    w.u64(count_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(min_);
+    w.f64(max_);
+  }
+  void load(util::BinReader& r) {
+    count_ = static_cast<std::size_t>(r.u64());
+    mean_ = r.f64();
+    m2_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+  }
 
  private:
   std::size_t count_ = 0;

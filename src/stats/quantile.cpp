@@ -44,6 +44,20 @@ double QuantileSketch::cdf(double x) const {
          static_cast<double>(samples_.size());
 }
 
+void QuantileSketch::save(util::BinWriter& w) const {
+  w.u64(samples_.size());
+  for (double x : samples_) w.f64(x);
+  w.boolean(sorted_);
+}
+
+void QuantileSketch::load(util::BinReader& r) {
+  const std::uint64_t n = r.u64();
+  samples_.clear();
+  samples_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) samples_.push_back(r.f64());
+  sorted_ = r.boolean();
+}
+
 double quantile_of(std::vector<double> values, double q) {
   QuantileSketch sketch;
   sketch.add_all(values);

@@ -24,4 +24,20 @@ double RateWindow::hourly_rate(std::size_t i) const {
   return static_cast<double>(count_in_window(i)) * (3600.0 / window_);
 }
 
+void RateWindow::save(util::BinWriter& w) const {
+  w.u64(counts_.size());
+  for (std::size_t c : counts_) w.u64(c);
+  w.u64(total_);
+}
+
+void RateWindow::load(util::BinReader& r) {
+  const std::uint64_t n = r.u64();
+  counts_.clear();
+  counts_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    counts_.push_back(static_cast<std::size_t>(r.u64()));
+  }
+  total_ = static_cast<std::size_t>(r.u64());
+}
+
 }  // namespace ecocloud::stats

@@ -12,6 +12,7 @@
 
 #include "ecocloud/sim/time.hpp"
 #include "ecocloud/trace/arrivals.hpp"
+#include "ecocloud/util/binio.hpp"
 
 namespace ecocloud::trace {
 
@@ -44,6 +45,10 @@ class RateEstimator {
 
   [[nodiscard]] double window_s() const { return window_; }
   [[nodiscard]] std::size_t num_windows() const { return arrivals_.size(); }
+
+  /// Checkpoint surface (window width comes from the constructor).
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
 
  private:
   void grow_to(std::size_t idx);

@@ -67,4 +67,24 @@ double RateEstimator::lambda_max() const {
   return best;
 }
 
+void RateEstimator::save_state(util::BinWriter& w) const {
+  w.u64(arrivals_.size());
+  for (std::size_t n : arrivals_) w.u64(n);
+  w.u64(departures_.size());
+  for (std::size_t n : departures_) w.u64(n);
+  w.u64(population_sum_.size());
+  for (double v : population_sum_) w.f64(v);
+}
+
+void RateEstimator::load_state(util::BinReader& r) {
+  const auto load_sizes = [&r](std::vector<std::size_t>& out) {
+    out.assign(static_cast<std::size_t>(r.u64()), 0);
+    for (std::size_t& n : out) n = static_cast<std::size_t>(r.u64());
+  };
+  load_sizes(arrivals_);
+  load_sizes(departures_);
+  population_sum_.assign(static_cast<std::size_t>(r.u64()), 0.0);
+  for (double& v : population_sum_) v = r.f64();
+}
+
 }  // namespace ecocloud::trace

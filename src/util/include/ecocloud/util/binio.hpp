@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file binio.hpp
+/// \brief Bounds-checked binary serialization primitives for snapshots.
+///
+/// BinWriter appends fixed-width little-endian fields to a byte buffer;
+/// BinReader consumes them in the same order and throws std::runtime_error
+/// on any overrun, so a truncated or corrupted payload can never read out
+/// of bounds. Doubles round-trip through their raw 64-bit pattern, which
+/// keeps restored floating-point state bit-identical (including NaNs and
+/// signed zeros) instead of re-rounding through text.
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ecocloud::util {
+
+/// Append-only little-endian binary encoder.
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void u16(std::uint16_t v) { put_le(v, 2); }
+  void u32(std::uint32_t v) { put_le(v, 4); }
+  void u64(std::uint64_t v) { put_le(v, 8); }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Raw IEEE-754 bit pattern; bit-exact round trip.
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Length-prefixed byte string.
+  void str(std::string_view v) {
+    u64(v.size());
+    buf_.append(v.data(), v.size());
+  }
+
+  /// Raw bytes, no length prefix (container framing writes its own).
+  void bytes(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  [[nodiscard]] const std::string& buffer() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+
+ private:
+  void put_le(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  std::string buf_;
+};
+
+/// Sequential decoder over a byte range; throws on overrun.
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data)
+      : p_(data.data()), end_(data.data() + data.size()) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(*p_++);
+  }
+
+  [[nodiscard]] std::uint16_t u16() {
+    return static_cast<std::uint16_t>(get_le(2));
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    return static_cast<std::uint32_t>(get_le(4));
+  }
+  [[nodiscard]] std::uint64_t u64() { return get_le(8); }
+
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(u64());
+  }
+
+  [[nodiscard]] bool boolean() {
+    const auto v = u8();
+    if (v > 1) throw std::runtime_error("binio: invalid boolean byte");
+    return v == 1;
+  }
+
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  [[nodiscard]] std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string out(p_, static_cast<std::size_t>(n));
+    p_ += n;
+    return out;
+  }
+
+  /// Raw bytes, no length prefix; bounds-checked like every other getter.
+  void bytes(void* out, std::size_t size) {
+    need(size);
+    std::memcpy(out, p_, size);
+    p_ += size;
+  }
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+  /// Throws unless the payload was consumed exactly; catches size-drift
+  /// bugs between save() and load() implementations.
+  void expect_exhausted(const std::string& what) const {
+    if (p_ != end_) {
+      throw std::runtime_error("binio: section '" + what + "' has " +
+                               std::to_string(remaining()) +
+                               " unconsumed trailing bytes");
+    }
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (static_cast<std::uint64_t>(end_ - p_) < n) {
+      throw std::runtime_error("binio: truncated payload (wanted " +
+                               std::to_string(n) + " bytes, have " +
+                               std::to_string(end_ - p_) + ")");
+    }
+  }
+
+  std::uint64_t get_le(int bytes) {
+    need(static_cast<std::uint64_t>(bytes));
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p_[i]))
+           << (8 * i);
+    }
+    p_ += bytes;
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace ecocloud::util

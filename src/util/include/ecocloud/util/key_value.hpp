@@ -40,14 +40,19 @@ class KeyValueConfig {
   /// Keys present in the file but never requested by any getter.
   [[nodiscard]] std::vector<std::string> unused_keys() const;
 
-  /// Throws std::invalid_argument listing unused keys, if any. Call after
-  /// reading every expected field to reject misspelled options.
+  /// Source line a key was defined on (0 if unknown, e.g. parsed by hand).
+  [[nodiscard]] std::size_t line_of(const std::string& key) const;
+
+  /// Throws std::invalid_argument listing each unused key with the line it
+  /// appears on. Call after reading every expected field so misspelled
+  /// options and unknown sections are rejected instead of silently ignored.
   void require_all_used() const;
 
   [[nodiscard]] std::size_t size() const { return values_.size(); }
 
  private:
   std::map<std::string, std::string> values_;
+  std::map<std::string, std::size_t> lines_;
   mutable std::set<std::string> used_;
 };
 

@@ -71,6 +71,18 @@ class Rng {
   /// Fisher-Yates shuffle of an index permutation [0, n).
   [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
 
+  /// Complete generator state, exposed for checkpoint/restore. Restoring a
+  /// saved State resumes the stream exactly where it left off, including
+  /// the Box-Muller cached second normal.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  [[nodiscard]] State state() const;
+  void set_state(const State& state);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;

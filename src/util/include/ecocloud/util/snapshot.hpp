@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// \brief Serialization helpers shared by component save/load surfaces.
+///
+/// Two things live here: RNG stream persistence, and order-preserving
+/// unordered_map persistence. The latter matters because several hot-path
+/// containers (boot queues, in-flight migrations, redeploy entries) are
+/// iterated during simulation, so a resumed run must reproduce not just
+/// their contents but their *iteration order* to stay bit-identical.
+///
+/// libstdc++'s hashtable keeps all elements on one global forward list;
+/// inserting a key prepends it to its bucket's segment, and the first key
+/// of a fresh bucket lands at the global head. Re-inserting the saved
+/// items in REVERSE iteration order into a table pre-sized to the saved
+/// bucket_count() therefore reconstructs the exact original list — and the
+/// original bucket count guarantees no rehash mid-restore (load factor
+/// never exceeds what the source table already sustained). This is an
+/// implementation-detail dependency on libstdc++, so the snapshot header
+/// records an ABI tag and a property test (ckpt_test) pins the behaviour.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ecocloud/util/binio.hpp"
+#include "ecocloud/util/rng.hpp"
+
+namespace ecocloud::util {
+
+inline void save_rng(BinWriter& w, const Rng& rng) {
+  const Rng::State st = rng.state();
+  for (std::uint64_t word : st.s) w.u64(word);
+  w.f64(st.cached_normal);
+  w.boolean(st.has_cached_normal);
+}
+
+inline void load_rng(BinReader& r, Rng& rng) {
+  Rng::State st;
+  for (std::uint64_t& word : st.s) word = r.u64();
+  st.cached_normal = r.f64();
+  st.has_cached_normal = r.boolean();
+  rng.set_state(st);
+}
+
+/// Save an unordered_map preserving enough structure to restore its exact
+/// iteration order. \p save_item receives (writer, key, mapped).
+template <class Map, class SaveItem>
+void save_unordered(BinWriter& w, const Map& map, SaveItem save_item) {
+  w.u64(map.bucket_count());
+  w.u64(map.size());
+  for (const auto& [key, value] : map) save_item(w, key, value);
+}
+
+/// Restore a map saved with save_unordered. \p load_item receives a reader
+/// and returns std::pair<Key, Mapped>. See file comment for why reverse
+/// insertion reproduces the original iteration order.
+///
+/// A table that has never held an element reports bucket_count() == 1
+/// (libstdc++'s inline single-bucket state). rehash(1) cannot recreate
+/// that state — it allocates a real 2-bucket table whose future growth
+/// sequence (2, 5, 11, ...) differs from a virgin table's (13, 29, ...),
+/// so the restored map would diverge from the original at the first
+/// rehash after resume. Restore a virgin table by assignment instead.
+template <class Map, class LoadItem>
+void load_unordered(BinReader& r, Map& map, LoadItem load_item) {
+  const std::uint64_t buckets = r.u64();
+  const std::uint64_t count = r.u64();
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) items.push_back(load_item(r));
+  if (buckets <= 1) {
+    map = Map();
+  } else {
+    map.clear();
+    map.rehash(static_cast<std::size_t>(buckets));
+  }
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    map.emplace(std::move(it->first), std::move(it->second));
+  }
+}
+
+}  // namespace ecocloud::util

@@ -39,7 +39,9 @@ KeyValueConfig KeyValueConfig::parse(std::istream& in) {
     require(!key.empty(),
             "KeyValueConfig: empty key on line " + std::to_string(line_number));
     require(config.values_.emplace(key, value).second,
-            "KeyValueConfig: duplicate key '" + key + "'");
+            "KeyValueConfig: duplicate key '" + key + "' on line " +
+                std::to_string(line_number));
+    config.lines_[key] = line_number;
   }
   return config;
 }
@@ -97,11 +99,20 @@ std::vector<std::string> KeyValueConfig::unused_keys() const {
   return unused;
 }
 
+std::size_t KeyValueConfig::line_of(const std::string& key) const {
+  const auto it = lines_.find(key);
+  return it == lines_.end() ? 0 : it->second;
+}
+
 void KeyValueConfig::require_all_used() const {
   const auto unused = unused_keys();
   if (unused.empty()) return;
   std::string message = "KeyValueConfig: unknown keys:";
-  for (const auto& key : unused) message += " " + key;
+  for (const auto& key : unused) {
+    message += " '" + key + "'";
+    const auto line = line_of(key);
+    if (line > 0) message += " (line " + std::to_string(line) + ")";
+  }
   throw std::invalid_argument(message);
 }
 

@@ -44,6 +44,22 @@ Rng::result_type Rng::operator()() {
   return result;
 }
 
+Rng::State Rng::state() const {
+  State st;
+  st.s = state_;
+  st.cached_normal = cached_normal_;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const State& state) {
+  require((state.s[0] | state.s[1] | state.s[2] | state.s[3]) != 0,
+          "Rng::set_state: all-zero state is invalid");
+  state_ = state.s;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 Rng Rng::split(std::uint64_t stream_id) const {
   std::uint64_t sm = state_[0] ^ rotl(state_[3], 23) ^ (stream_id * 0xD1342543DE82EF95ULL);
   return Rng(splitmix64(sm));

@@ -355,3 +355,82 @@ TEST(ConfigIo, DailyRejectsNegativeInviteGroupSize) {
   std::istringstream in("invite_group_size = -3\n");
   EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
 }
+
+// --- Robustness sections + strict parsing diagnostics ------------------------
+
+TEST(ConfigIo, DailyParsesRobustnessSections) {
+  std::istringstream in(
+      "[checkpoint]\n"
+      "out = /tmp/run.ckpt\n"
+      "every_s = 1800\n"
+      "[audit]\n"
+      "every_s = 600\n"
+      "action = heal\n"
+      "tolerance = 1e-9\n"
+      "strict = false\n"
+      "[watchdog]\n"
+      "stall_s = 120\n");
+  const auto config = scenario::load_daily_config(in);
+  EXPECT_EQ(config.run.checkpoint_out, "/tmp/run.ckpt");
+  EXPECT_DOUBLE_EQ(config.run.checkpoint_every_s, 1800.0);
+  EXPECT_DOUBLE_EQ(config.run.audit_every_s, 600.0);
+  EXPECT_EQ(config.run.audit_action, "heal");
+  EXPECT_DOUBLE_EQ(config.run.audit_tolerance, 1e-9);
+  EXPECT_FALSE(config.run.audit_strict);
+  EXPECT_DOUBLE_EQ(config.run.watchdog_stall_s, 120.0);
+}
+
+TEST(ConfigIo, RobustnessDefaultsAreAllDisabled) {
+  std::istringstream daily_in;
+  const auto daily = scenario::load_daily_config(daily_in);
+  EXPECT_TRUE(daily.run.checkpoint_out.empty());
+  EXPECT_DOUBLE_EQ(daily.run.checkpoint_every_s, 0.0);
+  EXPECT_DOUBLE_EQ(daily.run.audit_every_s, 0.0);
+  EXPECT_EQ(daily.run.audit_action, "log");
+  EXPECT_TRUE(daily.run.audit_strict);
+  EXPECT_DOUBLE_EQ(daily.run.watchdog_stall_s, 0.0);
+
+  // The consolidation loader relaxes strict VM accounting: departed VMs
+  // stay unowned forever in the open system.
+  std::istringstream cons_in;
+  const auto cons = scenario::load_consolidation_config(cons_in);
+  EXPECT_FALSE(cons.run.audit_strict);
+}
+
+TEST(ConfigIo, RejectsInvalidRobustnessValues) {
+  {
+    std::istringstream in("[checkpoint]\nevery_s = 1800\n");  // no out path
+    EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("[audit]\naction = explode\n");
+    EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("[audit]\ntolerance = -1\n");
+    EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("[watchdog]\nstall_s = -5\n");
+    EXPECT_THROW(scenario::load_daily_config(in), std::invalid_argument);
+  }
+}
+
+// Satellite regression: a typo'd key is reported with its name and the
+// line it sits on, so multi-section files stay debuggable.
+TEST(ConfigIo, UnknownKeyErrorCarriesLineNumber) {
+  std::istringstream in(
+      "servers = 40\n"
+      "\n"
+      "# comment\n"
+      "[checkpoint]\n"
+      "ouut = /tmp/x.ckpt\n");
+  try {
+    (void)scenario::load_daily_config(in);
+    FAIL() << "unknown key accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("checkpoint.ouut"), std::string::npos) << what;
+    EXPECT_NE(what.find("(line 5)"), std::string::npos) << what;
+  }
+}
