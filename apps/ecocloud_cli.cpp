@@ -10,6 +10,7 @@
 // Experiments are configured with `key = value` files (see help-config);
 // absent keys keep the paper's defaults, unknown keys are rejected.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +20,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "ecocloud/ckpt/auditor.hpp"
 #include "ecocloud/ckpt/checkpoint.hpp"
@@ -32,6 +34,7 @@
 #include "ecocloud/obs/instrumentation.hpp"
 #include "ecocloud/obs/logger.hpp"
 #include "ecocloud/obs/metric_registry.hpp"
+#include "ecocloud/par/sharded_runner.hpp"
 #include "ecocloud/scenario/config_io.hpp"
 #include "ecocloud/trace/planetlab_io.hpp"
 #include "ecocloud/util/csv.hpp"
@@ -377,6 +380,11 @@ int usage() {
       "    --audit-every S      run the invariant auditor every S sim secs\n"
       "    --audit-action A     log | abort | heal on a failed audit\n"
       "    --watchdog-stall S   abort after S wall seconds without progress\n"
+      "    --shards K       sharded parallel engine: K independent shards,\n"
+      "                     deterministic output for fixed K regardless of\n"
+      "                     thread count (excludes checkpoint/telemetry)\n"
+      "    --threads N      worker threads for --shards (default: all cores)\n"
+      "    --sync-interval S  epoch barrier period in sim seconds (300)\n"
       "  run-consolidation  assignment-only experiment (paper Sec. IV)\n"
       "    --config FILE, --csv FILE, telemetry and robustness options as\n"
       "    above\n"
@@ -389,20 +397,20 @@ int usage() {
 }
 
 void write_series_csv(const std::string& path,
-                      const metrics::MetricsCollector& collector) {
+                      const std::vector<metrics::Sample>& samples) {
   std::ofstream out(path);
   util::require(out.good(), "cannot open " + path);
   util::CsvWriter csv(out);
   csv.header({"time_s", "active_servers", "booting", "overall_load", "power_w",
               "overload_percent", "window_energy_j"});
-  for (const auto& s : collector.samples()) {
+  for (const auto& s : samples) {
     csv.row(std::vector<double>{s.time, static_cast<double>(s.active_servers),
                                 static_cast<double>(s.booting_servers),
                                 s.overall_load, s.power_w, s.overload_percent,
                                 s.window_energy_j});
   }
   std::printf("series written to %s (%zu samples)\n", path.c_str(),
-              collector.samples().size());
+              samples.size());
 }
 
 template <typename LoadFn>
@@ -416,8 +424,92 @@ auto load_config(Options& options, LoadFn load) {
   return load(empty);
 }
 
+int run_daily_sharded(Options& options, scenario::DailyConfig config,
+                      std::size_t shards) {
+  // A snapshot describes ONE event calendar; the sharded engine runs K of
+  // them. Refuse the combination loudly instead of silently checkpointing
+  // (or resuming) a fraction of the state. Telemetry hooks are per-
+  // controller and equally unwired here.
+  for (const char* flag :
+       {"resume-from", "checkpoint-out", "checkpoint-every", "audit-every",
+        "audit-action", "audit-tolerance", "watchdog-stall", "metrics-out",
+        "metrics-json", "trace-out", "log-out", "log-level"}) {
+    if (options.get(flag)) {
+      throw std::invalid_argument(
+          "--" + std::string(flag) +
+          " is not supported with --shards: the sharded engine cannot "
+          "checkpoint, resume, audit, or trace a multi-calendar run; drop "
+          "--shards or drop --" + std::string(flag));
+    }
+  }
+  const auto csv_path = options.get("csv");
+  const auto events_path = options.get("events");
+  par::ParConfig par;
+  par.shards = shards;
+  par.threads = static_cast<std::size_t>(options.get_double("threads", 0.0));
+  par.sync_interval_s = options.get_double("sync-interval", par.sync_interval_s);
+  options.reject_unknown();
+  for (const auto& path : {csv_path, events_path}) {
+    if (path) require_writable(*path);
+  }
+
+  const std::size_t threads =
+      par.threads != 0
+          ? par.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::printf(
+      "daily run: %zu servers, %zu VMs, %.0f h (+%.0f h warm-up), "
+      "%zu shards on %zu threads\n",
+      config.fleet.num_servers, config.num_vms,
+      (config.horizon_s - config.warmup_s) / sim::kHour,
+      config.warmup_s / sim::kHour, par.shards, threads);
+
+  par::ShardedDailyRun run(std::move(config), par);
+  run.run();
+  const par::ParStats& s = run.stats();
+
+  double vm_seconds = 0.0;
+  double overload_vm_seconds = 0.0;
+  for (std::size_t k = 0; k < run.num_shards(); ++k) {
+    vm_seconds += run.shard(k).datacenter().vm_seconds();
+    overload_vm_seconds += run.shard(k).datacenter().overload_vm_seconds();
+  }
+  std::printf("energy            %.1f kWh\n", run.total_energy_kwh());
+  std::printf("migrations        %llu (%llu low / %llu high, %llu cross-shard)\n",
+              static_cast<unsigned long long>(s.migrations),
+              static_cast<unsigned long long>(s.low_migrations),
+              static_cast<unsigned long long>(s.high_migrations),
+              static_cast<unsigned long long>(s.cross_shard_migrations));
+  std::printf("switches          %llu on / %llu off\n",
+              static_cast<unsigned long long>(s.activations),
+              static_cast<unsigned long long>(s.hibernations));
+  std::printf("over-demand       %.4f%% of VM-time\n",
+              vm_seconds > 0.0 ? 100.0 * overload_vm_seconds / vm_seconds
+                               : 0.0);
+  std::printf("engine            %llu events over %llu barriers; "
+              "%llu stranded wishes\n",
+              static_cast<unsigned long long>(s.executed_events),
+              static_cast<unsigned long long>(s.barriers),
+              static_cast<unsigned long long>(s.stranded_wishes));
+  if (csv_path) write_series_csv(*csv_path, run.merged_samples());
+  if (events_path) {
+    std::ofstream out(*events_path);
+    util::require(out.good(), "cannot open " + *events_path);
+    run.write_events_csv(out);
+    std::printf("event log written to %s\n", events_path->c_str());
+  }
+  return 0;
+}
+
 int run_daily(Options& options) {
   auto config = load_config(options, scenario::load_daily_config);
+  if (const auto shards = options.get("shards")) {
+    const auto k = util::parse_double(*shards);
+    util::require(k >= 1.0 && k == static_cast<double>(static_cast<std::size_t>(k)),
+                  "--shards wants a positive integer");
+    return run_daily_sharded(options, std::move(config),
+                             static_cast<std::size_t>(k));
+  }
   const auto csv_path = options.get("csv");
   const auto events_path = options.get("events");
   Robustness robustness(options, config.run);
@@ -501,7 +593,7 @@ int run_daily(Options& options) {
                 r.redeployed_vms() > 0 ? r.redeploy_quantiles().quantile(0.5)
                                        : 0.0);
   }
-  if (csv_path) write_series_csv(*csv_path, daily.collector());
+  if (csv_path) write_series_csv(*csv_path, daily.collector().samples());
   if (events_path) {
     std::ofstream out(*events_path);
     util::require(out.good(), "cannot open " + *events_path);
@@ -548,7 +640,7 @@ int run_consolidation(Options& options) {
               static_cast<unsigned long long>(cons.open_system().total_arrivals()),
               static_cast<unsigned long long>(cons.open_system().total_departures()),
               static_cast<unsigned long long>(cons.open_system().total_rejections()));
-  if (csv_path) write_series_csv(*csv_path, cons.collector());
+  if (csv_path) write_series_csv(*csv_path, cons.collector().samples());
   return 0;
 }
 

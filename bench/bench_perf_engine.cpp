@@ -5,15 +5,25 @@
 // so the numbers are tracked across PRs via BENCH_engine.json.
 //
 // Scenarios:
-//   paper    — the paper's Sec. III experiment: 400 servers / 6,000 VMs /
-//              48 h (+ 6 h warm-up).
-//   scaleup  — 10x the paper: 4,000 servers / 60,000 VMs / 48 h, where any
-//              O(num_servers) cost on the per-event path dominates.
-//   ci       — reduced smoke: 100 servers / 1,500 VMs / 6 h (CI runners).
+//   paper      — the paper's Sec. III experiment: 400 servers / 6,000 VMs /
+//                48 h (+ 6 h warm-up).
+//   scaleup    — 10x the paper: 4,000 servers / 60,000 VMs / 48 h, where any
+//                O(num_servers) cost on the per-event path dominates.
+//   sharded    — the scaleup fleet through the sharded parallel engine
+//                (par::ShardedDailyRun), one row per entry of the
+//                --threads list at a fixed --shards count.
+//   scaleup16k — 40x the paper: 16,000 servers / 240,000 VMs / 48 h, run
+//                both single-threaded and sharded.
+//   ci         — reduced smoke: 100 servers / 1,500 VMs / 6 h (CI runners).
 //
-// Output: one JSON object per scenario (events, wall seconds, events/sec,
-// peak RSS, heap allocations) written to --out (default BENCH_engine.json).
-// CI fails on crash or malformed JSON only — never on wall time.
+// Output: one JSON object per run (events, wall seconds, events/sec,
+// peak RSS, heap allocations, execution mode/shards/threads) written to
+// --out (default BENCH_engine.json). The file also records
+// host_hardware_threads: sharded-mode wall times are only meaningful
+// relative to that number — on a single-core host every thread count
+// serializes onto the same core and the matrix degenerates to overhead
+// measurement. CI fails on crash or malformed JSON only — never on wall
+// time.
 
 #include "bench_common.hpp"
 
@@ -24,7 +34,10 @@
 #include <cstdlib>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "ecocloud/par/sharded_runner.hpp"
 
 // Heap-allocation counter: the engine claims "no allocation per event", so
 // the bench counts global operator new calls around each run. Replacing
@@ -52,6 +65,9 @@ using namespace ecocloud;
 
 struct EngineRun {
   std::string name;
+  std::string mode = "single";  // "single" | "sharded"
+  std::size_t shards = 1;
+  std::size_t threads = 1;
   std::size_t servers = 0;
   std::size_t vms = 0;
   double sim_hours = 0.0;  // reported horizon, warm-up excluded
@@ -61,6 +77,7 @@ struct EngineRun {
   double peak_rss_mb = 0.0;
   std::uint64_t allocations = 0;
   std::uint64_t migrations = 0;
+  std::uint64_t cross_shard_migrations = 0;
   double energy_kwh = 0.0;
 };
 
@@ -69,6 +86,14 @@ double peak_rss_mb() {
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
   // Linux reports ru_maxrss in KiB.
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+void print_row(const EngineRun& r) {
+  std::printf("%s,%s,%zu,%zu,%zu,%zu,%.0f,%llu,%.3f,%.0f,%.1f,%llu\n",
+              r.name.c_str(), r.mode.c_str(), r.shards, r.threads, r.servers,
+              r.vms, r.sim_hours, static_cast<unsigned long long>(r.events),
+              r.wall_s, r.events_per_sec, r.peak_rss_mb,
+              static_cast<unsigned long long>(r.allocations));
 }
 
 EngineRun run_scenario(const char* name, std::size_t servers, std::size_t vms,
@@ -97,10 +122,43 @@ EngineRun run_scenario(const char* name, std::size_t servers, std::size_t vms,
   out.peak_rss_mb = peak_rss_mb();
   out.migrations = daily.datacenter().total_migrations();
   out.energy_kwh = daily.datacenter().energy_joules() / 3.6e6;
-  std::printf("%s,%zu,%zu,%.0f,%llu,%.3f,%.0f,%.1f,%llu\n", name, servers, vms,
-              hours, static_cast<unsigned long long>(out.events), out.wall_s,
-              out.events_per_sec, out.peak_rss_mb,
-              static_cast<unsigned long long>(out.allocations));
+  print_row(out);
+  return out;
+}
+
+EngineRun run_sharded_scenario(const char* name, std::size_t servers,
+                               std::size_t vms, double hours,
+                               std::size_t shards, std::size_t threads) {
+  EngineRun out;
+  out.name = name;
+  out.mode = "sharded";
+  out.shards = shards;
+  out.threads = threads;
+  out.servers = servers;
+  out.vms = vms;
+  out.sim_hours = hours;
+
+  const scenario::DailyConfig config =
+      bench::scaled_daily_config(servers, vms, hours);
+  par::ShardedDailyRun run(config, {.shards = shards, .threads = threads});
+
+  const std::uint64_t allocs_before =
+      g_allocation_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  run.run();
+  const auto stop = std::chrono::steady_clock::now();
+  out.allocations =
+      g_allocation_count.load(std::memory_order_relaxed) - allocs_before;
+
+  out.events = run.stats().executed_events;
+  out.wall_s = std::chrono::duration<double>(stop - start).count();
+  out.events_per_sec =
+      out.wall_s > 0.0 ? static_cast<double>(out.events) / out.wall_s : 0.0;
+  out.peak_rss_mb = peak_rss_mb();
+  out.migrations = run.stats().migrations;
+  out.cross_shard_migrations = run.stats().cross_shard_migrations;
+  out.energy_kwh = run.total_energy_kwh();
+  print_row(out);
   return out;
 }
 
@@ -110,12 +168,18 @@ void write_json(const std::string& path, const std::vector<EngineRun>& runs) {
     std::fprintf(stderr, "bench_perf_engine: cannot open %s\n", path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"engine_throughput\",\n  \"runs\": [\n");
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"engine_throughput\",\n"
+               "  \"host_hardware_threads\": %u,\n  \"runs\": [\n",
+               std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const EngineRun& r = runs[i];
     std::fprintf(f,
                  "    {\n"
                  "      \"name\": \"%s\",\n"
+                 "      \"mode\": \"%s\",\n"
+                 "      \"shards\": %zu,\n"
+                 "      \"threads\": %zu,\n"
                  "      \"servers\": %zu,\n"
                  "      \"vms\": %zu,\n"
                  "      \"sim_hours\": %.1f,\n"
@@ -126,9 +190,11 @@ void write_json(const std::string& path, const std::vector<EngineRun>& runs) {
                  "      \"allocations\": %llu,\n"
                  "      \"allocations_per_event\": %.4f,\n"
                  "      \"migrations\": %llu,\n"
+                 "      \"cross_shard_migrations\": %llu,\n"
                  "      \"energy_kwh\": %.3f\n"
                  "    }%s\n",
-                 r.name.c_str(), r.servers, r.vms, r.sim_hours,
+                 r.name.c_str(), r.mode.c_str(), r.shards, r.threads,
+                 r.servers, r.vms, r.sim_hours,
                  static_cast<unsigned long long>(r.events), r.wall_s,
                  r.events_per_sec, r.peak_rss_mb,
                  static_cast<unsigned long long>(r.allocations),
@@ -136,12 +202,28 @@ void write_json(const std::string& path, const std::vector<EngineRun>& runs) {
                      ? static_cast<double>(r.allocations) /
                            static_cast<double>(r.events)
                      : 0.0,
-                 static_cast<unsigned long long>(r.migrations), r.energy_kwh,
-                 i + 1 < runs.size() ? "," : "");
+                 static_cast<unsigned long long>(r.migrations),
+                 static_cast<unsigned long long>(r.cross_shard_migrations),
+                 r.energy_kwh, i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("# wrote %s\n", path.c_str());
+}
+
+std::vector<std::size_t> parse_size_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(static_cast<std::size_t>(std::strtoull(tok.c_str(),
+                                                         nullptr, 10)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -149,26 +231,44 @@ void write_json(const std::string& path, const std::vector<EngineRun>& runs) {
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_engine.json";
   std::string which = "all";
+  std::size_t shards = 8;
+  std::vector<std::size_t> thread_counts = {1, 2, 8};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (arg == "--scenario" && i + 1 < argc) {
       which = argv[++i];
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      thread_counts = parse_size_list(argv[++i]);
     } else if (arg == "--series-only") {
       // Accepted for CI uniformity with the other benches: the series *is*
       // the measurement here, so there is nothing to skip.
     } else {
-      std::fprintf(stderr,
-                   "usage: bench_perf_engine [--scenario paper|scaleup|ci|all] "
-                   "[--out PATH]\n");
+      std::fprintf(
+          stderr,
+          "usage: bench_perf_engine "
+          "[--scenario paper|scaleup|sharded|scaleup16k|ci|all]\n"
+          "                         [--shards K] [--threads N1,N2,...] "
+          "[--out PATH]\n");
       return 2;
     }
   }
+  if (shards == 0 || thread_counts.empty()) {
+    std::fprintf(stderr,
+                 "bench_perf_engine: --shards and --threads need values >= 1\n");
+    return 2;
+  }
 
   bench::banner("Engine", "simulation-engine throughput (events/sec)");
-  std::printf("scenario,servers,vms,sim_hours,events,wall_s,events_per_sec,"
-              "peak_rss_mb,allocations\n");
+  std::printf("# host hardware threads: %u (sharded wall times only show "
+              "scaling when this exceeds the thread count)\n",
+              std::thread::hardware_concurrency());
+  std::printf("scenario,mode,shards,threads,servers,vms,sim_hours,events,"
+              "wall_s,events_per_sec,peak_rss_mb,allocations\n");
 
   std::vector<EngineRun> runs;
   if (which == "paper" || which == "all") {
@@ -177,8 +277,23 @@ int main(int argc, char** argv) {
   if (which == "scaleup" || which == "all") {
     runs.push_back(run_scenario("scaleup_4000", 4000, 60000, 48.0));
   }
+  if (which == "sharded" || which == "all") {
+    // Thread matrix at fixed K: same work split, different worker counts —
+    // the outputs are bit-identical by construction; only wall time moves.
+    for (const std::size_t t : thread_counts) {
+      runs.push_back(run_sharded_scenario("scaleup_4000", 4000, 60000, 48.0,
+                                          shards, t));
+    }
+  }
+  if (which == "scaleup16k" || which == "all") {
+    runs.push_back(run_scenario("scaleup_16000", 16000, 240000, 48.0));
+    runs.push_back(run_sharded_scenario("scaleup_16000", 16000, 240000, 48.0,
+                                        shards, thread_counts.back()));
+  }
   if (which == "ci") {
     runs.push_back(run_scenario("ci_smoke", 100, 1500, 6.0));
+    runs.push_back(
+        run_sharded_scenario("ci_smoke", 100, 1500, 6.0, 4, 2));
   }
   if (runs.empty()) {
     std::fprintf(stderr, "bench_perf_engine: unknown scenario '%s'\n",

@@ -251,7 +251,15 @@ void EcoCloudController::monitor_server(dc::ServerId s) {
     dc_.server_mutable(s).set_migration_cooldown_until(now +
                                                        params_.migration_cooldown_s);
   }
-  if (plan) execute_plan(*plan, s);
+  if (plan) {
+    execute_plan(*plan, s);
+  } else if (fired && events_.on_migration_stranded) {
+    // Trial fired but produced no plan: nothing movable, or no volunteer
+    // for a low migration.
+    const double u =
+        MigrationProcedure::effective_utilization(dc_, dc_.server(s));
+    events_.on_migration_stranded(now, s, u > params_.th);
+  }
 }
 
 void EcoCloudController::execute_plan(const MigrationPlan& plan, dc::ServerId source) {
@@ -279,8 +287,10 @@ void EcoCloudController::execute_plan(const MigrationPlan& plan, dc::ServerId so
       const sim::SimTime complete_at = std::max(
           now + migration_duration(plan.vm, source, *dest), boot_done + 1.0);
       start_migration(plan.vm, *dest, plan.is_high, complete_at);
+    } else if (events_.on_migration_stranded) {
+      // With no hibernated server left the overload must be ridden out.
+      events_.on_migration_stranded(now, source, /*is_high=*/true);
     }
-    // With no hibernated server left the overload must be ridden out.
   }
 
   if (plan.recheck_suggested) {

@@ -67,6 +67,13 @@ class EcoCloudController {
     /// Fired at the start of every departure, before any state is touched
     /// (the faults module drops departing orphans from its redeploy queue).
     std::function<void(sim::SimTime, dc::VmId)> on_vm_departed;
+    /// A migration trial fired but no local destination exists: either no
+    /// server volunteered for a low migration, or a high migration found
+    /// neither a volunteer nor a wakeable server. Within a single
+    /// datacenter the situation is simply ridden out (paper Sec. II); the
+    /// sharded engine records it as a cross-shard hand-off wish.
+    std::function<void(sim::SimTime, dc::ServerId, bool is_high)>
+        on_migration_stranded;
     // --- Failure-path events (only fired when faults are injected) ---
     std::function<void(sim::SimTime, dc::ServerId)> on_server_failed;
     std::function<void(sim::SimTime, dc::ServerId)> on_server_repaired;

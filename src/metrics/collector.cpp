@@ -61,6 +61,8 @@ void MetricsCollector::sample_now() {
   const double d_overload = dc_.overload_vm_seconds() - last_overload_vm_seconds_;
   const double d_vmsec = dc_.vm_seconds() - last_vm_seconds_;
   sample.overload_percent = d_vmsec > 0.0 ? 100.0 * d_overload / d_vmsec : 0.0;
+  sample.window_vm_seconds = d_vmsec;
+  sample.window_overload_vm_seconds = d_overload;
   last_overload_vm_seconds_ = dc_.overload_vm_seconds();
   last_vm_seconds_ = dc_.vm_seconds();
 
@@ -94,6 +96,8 @@ void MetricsCollector::save_state(util::BinWriter& w) const {
     w.f64(s.power_w);
     w.f64(s.overload_percent);
     w.f64(s.window_energy_j);
+    w.f64(s.window_vm_seconds);
+    w.f64(s.window_overload_vm_seconds);
   }
   w.u64(snapshots_.size());
   for (const std::vector<double>& snapshot : snapshots_) {
@@ -120,6 +124,8 @@ void MetricsCollector::load_state(util::BinReader& r) {
     s.power_w = r.f64();
     s.overload_percent = r.f64();
     s.window_energy_j = r.f64();
+    s.window_vm_seconds = r.f64();
+    s.window_overload_vm_seconds = r.f64();
   }
   snapshots_.assign(static_cast<std::size_t>(r.u64()), {});
   for (std::vector<double>& snapshot : snapshots_) {

@@ -47,6 +47,11 @@ struct Sample {
   double overload_percent = 0.0;
   /// Energy (J) consumed within the window ending at `time`.
   double window_energy_j = 0.0;
+  /// Raw VM-time integrals behind overload_percent, kept so samples from
+  /// independent shards can be merged exactly (percentages do not add;
+  /// their numerators and denominators do).
+  double window_vm_seconds = 0.0;
+  double window_overload_vm_seconds = 0.0;
 };
 
 class MetricsCollector {

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file partition.hpp
+/// \brief Deterministic round-robin partition of a daily run into K shards.
+///
+/// ecoCloud's fleet mix is itself assigned round-robin (one third each of
+/// 4/6/8-core servers, scenario::build_fleet), so a round-robin partition
+/// gives every shard the same class mix: global server g lives in shard
+/// g mod K as local server g / K, and trace row (VM) i is owned by shard
+/// i mod K. Both maps are pure arithmetic — no tables, no RNG — and reduce
+/// to the identity when K = 1, which is what pins the K=1 sharded engine
+/// bit-identical to the single-threaded DailyScenario.
+
+#include <cstddef>
+
+#include "ecocloud/dc/ids.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::par {
+
+class ShardPlan {
+ public:
+  ShardPlan(std::size_t num_shards, std::size_t num_servers,
+            std::size_t num_traces)
+      : k_(num_shards), servers_(num_servers), traces_(num_traces) {
+    util::require(k_ >= 1, "ShardPlan: need at least one shard");
+    util::require(k_ <= servers_, "ShardPlan: more shards than servers");
+  }
+
+  [[nodiscard]] std::size_t num_shards() const { return k_; }
+  [[nodiscard]] std::size_t num_servers() const { return servers_; }
+  [[nodiscard]] std::size_t num_traces() const { return traces_; }
+
+  // --- Servers ---
+  [[nodiscard]] std::size_t shard_of_server(dc::ServerId global) const {
+    return static_cast<std::size_t>(global) % k_;
+  }
+  [[nodiscard]] dc::ServerId local_server(dc::ServerId global) const {
+    return static_cast<dc::ServerId>(static_cast<std::size_t>(global) / k_);
+  }
+  [[nodiscard]] dc::ServerId global_server(std::size_t shard,
+                                           dc::ServerId local) const {
+    return static_cast<dc::ServerId>(static_cast<std::size_t>(local) * k_ +
+                                     shard);
+  }
+  /// Count of global servers owned by \p shard (|{g < N : g mod K == shard}|).
+  [[nodiscard]] std::size_t servers_in(std::size_t shard) const {
+    return shard < servers_ ? (servers_ - shard - 1) / k_ + 1 : 0;
+  }
+
+  // --- Traces / VMs (trace row doubles as the global VM id) ---
+  [[nodiscard]] std::size_t shard_of_trace(std::size_t trace_index) const {
+    return trace_index % k_;
+  }
+
+ private:
+  std::size_t k_;
+  std::size_t servers_;
+  std::size_t traces_;
+};
+
+}  // namespace ecocloud::par

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file sharded_runner.hpp
+/// \brief Coordinator of a sharded daily run: conservative epoch
+/// synchronization over K independent shards.
+///
+/// Execution model (DESIGN.md Sec. 12):
+///  * the horizon is cut into epochs of sync_interval_s (aligned so the
+///    warmup boundary and the horizon are barrier times);
+///  * within an epoch every shard advances its own calendar independently
+///    — a ThreadPool runs them concurrently, but nothing they touch is
+///    shared, so any interleaving computes the same states;
+///  * at the barrier the coordinator runs SERIALLY, in shard order: it
+///    drains each shard's migration wishes (trials that fired with no
+///    local destination) and re-runs the destination search over the
+///    other shards' fleets, transferring the VM when someone volunteers.
+///
+/// Determinism for a fixed K: shard streams never interleave (each shard
+/// owns its RNG, calendar, and fleet slice), barrier decisions are made in
+/// shard order by serial code, and output merging orders rows by
+/// (time, shard). None of that depends on how many worker threads execute
+/// the epochs, so 1, 2, or 16 threads produce identical bytes.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "ecocloud/metrics/collector.hpp"
+#include "ecocloud/metrics/event_log.hpp"
+#include "ecocloud/par/partition.hpp"
+#include "ecocloud/par/shard.hpp"
+#include "ecocloud/scenario/scenario.hpp"
+#include "ecocloud/trace/trace_set.hpp"
+#include "ecocloud/util/thread_pool.hpp"
+
+namespace ecocloud::par {
+
+struct ParConfig {
+  /// Number of shards K. Fixed K fixes the trajectory; the thread count
+  /// only changes wall-clock time.
+  std::size_t shards = 1;
+  /// Worker threads (0 -> hardware concurrency).
+  std::size_t threads = 0;
+  /// Epoch length between barriers. The default matches the 5-minute
+  /// trace tick: cross-shard relief then reacts on the same timescale as
+  /// the demand changes that cause it.
+  sim::SimTime sync_interval_s = 300.0;
+};
+
+/// Aggregate results of a sharded run (sums over shards + coordinator).
+struct ParStats {
+  std::uint64_t executed_events = 0;
+  std::uint64_t migrations = 0;      ///< intra-shard + cross-shard
+  std::uint64_t low_migrations = 0;  ///< ditto
+  std::uint64_t high_migrations = 0;
+  std::uint64_t cross_shard_migrations = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t hibernations = 0;
+  std::uint64_t wake_ups = 0;
+  std::uint64_t assignment_failures = 0;
+  std::uint64_t stranded_wishes = 0;   ///< wishes drained at barriers
+  std::uint64_t handoff_attempts = 0;  ///< wishes still valid at the barrier
+  std::uint64_t barriers = 0;
+  double energy_joules = 0.0;
+};
+
+class ShardedDailyRun {
+ public:
+  /// Builds the K shards. Rejects configs the sharded engine does not
+  /// support: topology, fault injection, and checkpoint/audit wiring.
+  ShardedDailyRun(scenario::DailyConfig config, ParConfig par);
+  ~ShardedDailyRun();
+
+  ShardedDailyRun(const ShardedDailyRun&) = delete;
+  ShardedDailyRun& operator=(const ShardedDailyRun&) = delete;
+
+  /// Deploy all VMs at t=0 and simulate the full horizon. Call once.
+  void run();
+
+  [[nodiscard]] const ParStats& stats() const { return stats_; }
+  [[nodiscard]] double total_energy_kwh() const {
+    return stats_.energy_joules / 3.6e6;
+  }
+
+  /// Per-window samples merged across shards: counts, power and energy
+  /// add; overall load is the capacity-weighted mean; overload percent is
+  /// recomputed from the summed VM-time integrals. For K=1 the samples are
+  /// shard 0's verbatim (bit-identical to the single-threaded collector).
+  [[nodiscard]] std::vector<metrics::Sample> merged_samples() const;
+
+  /// Decision event log stitched across shards in (time, shard) order with
+  /// ids translated to global: byte-identical to EventLog::write_csv
+  /// format, and to the single-threaded log when K=1.
+  void write_events_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] const Shard& shard(std::size_t k) const { return *shards_[k]; }
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] const scenario::DailyConfig& config() const { return config_; }
+
+ private:
+  void barrier_handoff(sim::SimTime now);
+  void resolve_wish(std::size_t source_shard, const MigrationWish& wish,
+                    sim::SimTime now);
+
+  scenario::DailyConfig config_;
+  ParConfig par_;
+  ShardPlan plan_;
+  std::unique_ptr<trace::TraceSet> traces_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  /// Cross-shard migrations recorded by the coordinator with GLOBAL ids
+  /// (the shard logs never see them; dc unplace/place is not a migration
+  /// to either side's accounting).
+  std::vector<metrics::Event> coordinator_events_;
+  std::uint64_t cross_low_ = 0;
+  std::uint64_t cross_high_ = 0;
+
+  ParStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace ecocloud::par

@@ -1,0 +1,123 @@
+#include "ecocloud/par/shard.hpp"
+
+#include "ecocloud/util/rng.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::par {
+
+namespace {
+
+/// Seed derivation for shard k: XOR with k spread over the full 64 bits
+/// (multiples of the golden-ratio increment, as in splitmix64). Shard 0's
+/// term is zero, so its stream is exactly the single-threaded engine's.
+std::uint64_t shard_seed(std::uint64_t seed, std::size_t shard_id) {
+  return seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(shard_id));
+}
+
+}  // namespace
+
+Shard::Shard(const scenario::DailyConfig& config, const ShardPlan& plan,
+             std::size_t shard_id, const trace::TraceSet& traces)
+    : plan_(plan), id_(shard_id), traces_(traces) {
+  // Mirror DailyScenario's construction exactly (scenario.cpp): fleet,
+  // trace driver, controller from Rng(seed).split(1), collector, log. Any
+  // divergence here breaks the K=1 bit-identity pin.
+  dc_ = std::make_unique<dc::DataCenter>();
+  const scenario::FleetConfig& fleet = config.fleet;
+  util::require(!fleet.core_mix.empty(), "Shard: empty core mix");
+  const std::size_t locals = plan_.servers_in(id_);
+  for (std::size_t l = 0; l < locals; ++l) {
+    // The class mix follows the *global* index, so every shard inherits
+    // the fleet's 4/6/8-core round-robin proportions.
+    const auto global = static_cast<std::size_t>(
+        plan_.global_server(id_, static_cast<dc::ServerId>(l)));
+    const unsigned cores = fleet.core_mix[global % fleet.core_mix.size()];
+    dc_->add_server(cores, fleet.core_mhz,
+                    fleet.ram_per_core_mb * static_cast<double>(cores));
+  }
+
+  trace_driver_ = std::make_unique<core::TraceDriver>(sim_, *dc_, traces_);
+
+  util::Rng rng(shard_seed(config.seed, id_));
+  eco_ = std::make_unique<core::EcoCloudController>(sim_, *dc_, config.params,
+                                                    rng.split(1));
+
+  collector_ = std::make_unique<metrics::MetricsCollector>(sim_, *dc_);
+  collector_->attach(*eco_);
+  log_ = std::make_unique<metrics::EventLog>();
+  log_->attach(*eco_);
+
+  wished_.assign(locals, 0);
+  eco_->events().on_migration_stranded = [this](sim::SimTime t,
+                                                dc::ServerId server,
+                                                bool is_high) {
+    // Record-only: no RNG draw, no state change, so single-threaded
+    // behavior is untouched whether or not anyone drains the wishes.
+    if (wished_[server]) return;
+    wished_[server] = 1;
+    wishes_.push_back(MigrationWish{t, server, is_high});
+  };
+}
+
+bool Shard::deploy(std::size_t trace_index) {
+  const dc::VmId vm = dc_->create_vm(0.0, traces_.ram_mb(trace_index));
+  vm_trace_.push_back(trace_index);
+  trace_driver_->map_vm(trace_index, vm);
+  last_deployed_ = vm;
+  return eco_->deploy_vm(vm);
+}
+
+void Shard::abandon_last_deploy() {
+  util::require(last_deployed_ != dc::kNoVm,
+                "Shard::abandon_last_deploy: nothing to abandon");
+  trace_driver_->unmap_vm(last_deployed_);
+  last_deployed_ = dc::kNoVm;
+}
+
+void Shard::start_services() {
+  trace_driver_->start();
+  eco_->start();
+  collector_->start();
+}
+
+void Shard::run_until(sim::SimTime t) { sim_.run_until(t); }
+
+void Shard::warmup_reset() {
+  dc_->reset_accounting(sim_.now());
+  collector_->rebase();
+  eco_->reset_counters();
+}
+
+void Shard::finish(sim::SimTime horizon) { dc_->advance_to(horizon); }
+
+std::optional<dc::ServerId> Shard::invite(sim::SimTime now, double demand_mhz,
+                                          double ram_mb, double ta_override) {
+  return eco_->assignment()
+      .invite(*dc_, now, demand_mhz, ram_mb, ta_override)
+      .server;
+}
+
+dc::VmId Shard::accept_transfer(sim::SimTime t, std::size_t trace_index,
+                                dc::ServerId dest) {
+  const dc::VmId vm = dc_->create_vm(0.0, traces_.ram_mb(trace_index));
+  vm_trace_.push_back(trace_index);
+  trace_driver_->map_vm(trace_index, vm);  // sets the live trace demand
+  dc_->place_vm(t, vm, dest);
+  return vm;
+}
+
+void Shard::release_vm(dc::VmId vm) {
+  trace_driver_->unmap_vm(vm);
+  // The normal departure path: unplaces, settles accounting, and
+  // re-evaluates hibernation of the (possibly now empty) source server.
+  eco_->depart_vm(vm);
+}
+
+std::vector<MigrationWish> Shard::take_wishes() {
+  std::vector<MigrationWish> out = std::move(wishes_);
+  wishes_.clear();
+  for (const MigrationWish& wish : out) wished_[wish.server] = 0;
+  return out;
+}
+
+}  // namespace ecocloud::par

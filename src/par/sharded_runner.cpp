@@ -1,0 +1,313 @@
+#include "ecocloud/par/sharded_runner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "ecocloud/core/migration.hpp"
+#include "ecocloud/util/csv.hpp"
+#include "ecocloud/util/rng.hpp"
+#include "ecocloud/util/validation.hpp"
+
+namespace ecocloud::par {
+
+ShardedDailyRun::ShardedDailyRun(scenario::DailyConfig config, ParConfig par)
+    : config_(std::move(config)),
+      par_(par),
+      plan_(par.shards, config_.fleet.num_servers, config_.num_vms) {
+  config_.params.validate();
+  util::require(par_.sync_interval_s > 0.0,
+                "ShardedDailyRun: sync interval must be > 0");
+  util::require(!config_.topology,
+                "ShardedDailyRun: rack topology is not supported in sharded "
+                "mode (invitations would need cross-shard rack scoping)");
+  util::require(!config_.faults.enabled(),
+                "ShardedDailyRun: fault injection is not supported in "
+                "sharded mode");
+  util::require(config_.run.checkpoint_out.empty() &&
+                    config_.run.checkpoint_every_s <= 0.0 &&
+                    config_.run.audit_every_s <= 0.0 &&
+                    config_.run.watchdog_stall_s <= 0.0,
+                "ShardedDailyRun: checkpoint/audit/watchdog wiring is not "
+                "supported in sharded mode");
+
+  // The trace set is generated once from the bare seed — exactly as
+  // DailyScenario does — and shared read-only by every shard, so the
+  // workload is a function of the config alone, not of K.
+  util::Rng rng(config_.seed);
+  const auto num_steps =
+      static_cast<std::size_t>(config_.horizon_s /
+                               config_.workload.sample_period_s) +
+      2;
+  trace::WorkloadModel model(config_.workload);
+  traces_ = std::make_unique<trace::TraceSet>(
+      trace::TraceSet::generate(model, config_.num_vms, num_steps, rng));
+
+  shards_.reserve(par_.shards);
+  for (std::size_t k = 0; k < par_.shards; ++k) {
+    shards_.push_back(std::make_unique<Shard>(config_, plan_, k, *traces_));
+  }
+  pool_ = std::make_unique<util::ThreadPool>(par_.threads);
+}
+
+ShardedDailyRun::~ShardedDailyRun() = default;
+
+void ShardedDailyRun::run() {
+  util::ensure(!ran_, "ShardedDailyRun::run called twice");
+  ran_ = true;
+  const std::size_t K = shards_.size();
+
+  // t=0 deployment wave, in global trace order. A VM refused by its owner
+  // shard (saturation) is retried on the remaining shards in order; with
+  // K=1 there is nobody to retry on and the behavior is DailyScenario's.
+  for (std::size_t i = 0; i < plan_.num_traces(); ++i) {
+    const std::size_t owner = plan_.shard_of_trace(i);
+    if (shards_[owner]->deploy(i) || K == 1) continue;
+    shards_[owner]->abandon_last_deploy();
+    for (std::size_t off = 1; off < K; ++off) {
+      Shard& next = *shards_[(owner + off) % K];
+      if (next.deploy(i)) break;
+      next.abandon_last_deploy();
+    }
+  }
+
+  for (auto& shard : shards_) shard->start_services();
+
+  // Epoch loop. Barrier times are multiples of the sync interval clipped
+  // to the warmup boundary and the horizon, so the accounting reset and
+  // the final settle happen at exactly the single-threaded times.
+  const sim::SimTime horizon = config_.horizon_s;
+  const sim::SimTime warmup = config_.warmup_s;
+  bool warmup_done = warmup <= 0.0;
+  sim::SimTime t = 0.0;
+  while (t < horizon) {
+    sim::SimTime next = t + par_.sync_interval_s;
+    if (!warmup_done && warmup > t) next = std::min(next, warmup);
+    next = std::min(next, horizon);
+
+    pool_->parallel_for(0, K,
+                        [&](std::size_t k) { shards_[k]->run_until(next); });
+
+    if (!warmup_done && next >= warmup) {
+      for (auto& shard : shards_) shard->warmup_reset();
+      warmup_done = true;
+    }
+    barrier_handoff(next);
+    ++stats_.barriers;
+    t = next;
+  }
+  for (auto& shard : shards_) shard->finish(horizon);
+
+  for (auto& shard : shards_) {
+    stats_.executed_events += shard->simulator().executed_events();
+    const dc::DataCenter& sdc = shard->datacenter();
+    stats_.migrations += sdc.total_migrations();
+    stats_.activations += sdc.total_activations();
+    stats_.hibernations += sdc.total_hibernations();
+    stats_.energy_joules += sdc.energy_joules();
+    const core::EcoCloudController& eco = shard->controller();
+    stats_.low_migrations += eco.low_migrations();
+    stats_.high_migrations += eco.high_migrations();
+    stats_.wake_ups += eco.wake_ups();
+    stats_.assignment_failures += eco.assignment_failures();
+  }
+  stats_.migrations += stats_.cross_shard_migrations;
+  stats_.low_migrations += cross_low_;
+  stats_.high_migrations += cross_high_;
+}
+
+void ShardedDailyRun::barrier_handoff(sim::SimTime now) {
+  // Serial and in shard order: the ONLY place where shards interact, and
+  // the order never depends on thread scheduling.
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const std::vector<MigrationWish> wishes = shards_[k]->take_wishes();
+    stats_.stranded_wishes += wishes.size();
+    if (shards_.size() == 1) continue;  // nowhere to hand off
+    for (const MigrationWish& wish : wishes) resolve_wish(k, wish, now);
+  }
+}
+
+void ShardedDailyRun::resolve_wish(std::size_t source_shard,
+                                   const MigrationWish& wish,
+                                   sim::SimTime now) {
+  Shard& src = *shards_[source_shard];
+  const dc::DataCenter& sdc = src.datacenter();
+  const dc::Server& server = sdc.server(wish.server);
+  if (!server.active() || server.empty()) return;
+
+  // Re-validate against the band: the epoch may have resolved the excess
+  // (or the deficit) locally since the wish was recorded.
+  const core::EcoCloudParams& p = config_.params;
+  const double u_eff =
+      core::MigrationProcedure::effective_utilization(sdc, server);
+  const bool is_high = u_eff > p.th;
+  if (!is_high && u_eff >= p.tl) return;
+  ++stats_.handoff_attempts;
+
+  // VM selection mirrors MigrationProcedure's rules (share > u - Th for
+  // high, any movable VM for low) but replaces the uniform draw with a
+  // (demand, id) order: the coordinator must not consume any shard's RNG,
+  // or a K=1 run would diverge from the single-threaded engine.
+  dc::VmId pick = dc::kNoVm;
+  if (is_high) {
+    const double share_needed = u_eff - p.th;
+    dc::VmId smallest_fit = dc::kNoVm;
+    double smallest_fit_demand = std::numeric_limits<double>::infinity();
+    dc::VmId largest = dc::kNoVm;
+    double largest_demand = -1.0;
+    for (dc::VmId v : server.vms()) {
+      const dc::Vm& vm = sdc.vm(v);
+      if (vm.migrating()) continue;
+      const double share = vm.demand_mhz / server.capacity_mhz();
+      if (share > share_needed &&
+          (vm.demand_mhz < smallest_fit_demand ||
+           (vm.demand_mhz == smallest_fit_demand && v < smallest_fit))) {
+        smallest_fit = v;
+        smallest_fit_demand = vm.demand_mhz;
+      }
+      if (vm.demand_mhz > largest_demand ||
+          (vm.demand_mhz == largest_demand && v < largest)) {
+        largest = v;
+        largest_demand = vm.demand_mhz;
+      }
+    }
+    // Smallest sufficient shedding, else the largest VM (footnote 3).
+    pick = smallest_fit != dc::kNoVm ? smallest_fit : largest;
+  } else {
+    double smallest_demand = std::numeric_limits<double>::infinity();
+    for (dc::VmId v : server.vms()) {
+      const dc::Vm& vm = sdc.vm(v);
+      if (vm.migrating()) continue;
+      if (vm.demand_mhz < smallest_demand ||
+          (vm.demand_mhz == smallest_demand && v < pick)) {
+        pick = v;
+        smallest_demand = vm.demand_mhz;
+      }
+    }
+  }
+  if (pick == dc::kNoVm) return;  // everything is already leaving
+
+  const double demand_mhz = sdc.vm(pick).demand_mhz;
+  const double ram_mb = sdc.vm(pick).ram_mb;
+  const double ta_override =
+      is_high ? std::min(1.0, p.high_dest_factor * server.utilization()) : -1.0;
+
+  // Destination search over the OTHER shards, starting after the source
+  // and wrapping: each destination shard answers with its own invitation
+  // round (its controller's RNG — drawn serially, so deterministic).
+  for (std::size_t off = 1; off < shards_.size(); ++off) {
+    const std::size_t d = (source_shard + off) % shards_.size();
+    const std::optional<dc::ServerId> dest =
+        shards_[d]->invite(now, demand_mhz, ram_mb, ta_override);
+    if (!dest) continue;
+
+    const std::size_t row = src.trace_of(pick);
+    src.release_vm(pick);
+    shards_[d]->accept_transfer(now, row, *dest);
+
+    ++stats_.cross_shard_migrations;
+    ++(is_high ? cross_high_ : cross_low_);
+    const auto global_vm = static_cast<dc::VmId>(row);
+    coordinator_events_.push_back(metrics::Event{
+        now, metrics::EventKind::kMigrationStart, global_vm, dc::kNoServer,
+        is_high});
+    coordinator_events_.push_back(metrics::Event{
+        now, metrics::EventKind::kMigrationComplete, global_vm, dc::kNoServer,
+        is_high});
+    return;
+  }
+}
+
+std::vector<metrics::Sample> ShardedDailyRun::merged_samples() const {
+  // K=1: hand back shard 0's samples verbatim — no re-derivation, so the
+  // bytes a CSV writer produces match the single-threaded run exactly.
+  if (shards_.size() == 1) return shards_[0]->collector().samples();
+
+  const std::size_t n = shards_[0]->collector().samples().size();
+  for (const auto& shard : shards_) {
+    util::ensure(shard->collector().samples().size() == n,
+                 "ShardedDailyRun: shards sampled different window counts");
+  }
+  std::vector<metrics::Sample> merged(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    metrics::Sample& m = merged[i];
+    m.time = shards_[0]->collector().samples()[i].time;
+    double capacity = 0.0;
+    double demand = 0.0;
+    for (const auto& shard : shards_) {
+      const metrics::Sample& s = shard->collector().samples()[i];
+      m.active_servers += s.active_servers;
+      m.booting_servers += s.booting_servers;
+      m.power_w += s.power_w;
+      m.window_energy_j += s.window_energy_j;
+      m.window_vm_seconds += s.window_vm_seconds;
+      m.window_overload_vm_seconds += s.window_overload_vm_seconds;
+      const double cap = shard->datacenter().total_capacity_mhz();
+      capacity += cap;
+      demand += s.overall_load * cap;
+    }
+    // Capacity-weighted mean == global demand / global capacity, the
+    // single-datacenter definition of overall_load.
+    m.overall_load = capacity > 0.0 ? demand / capacity : 0.0;
+    m.overload_percent =
+        m.window_vm_seconds > 0.0
+            ? 100.0 * m.window_overload_vm_seconds / m.window_vm_seconds
+            : 0.0;
+  }
+  return merged;
+}
+
+void ShardedDailyRun::write_events_csv(std::ostream& out) const {
+  // (K+1)-way merge over per-shard segments (each already time-ordered)
+  // plus the coordinator's cross-shard rows, keyed by (time, source) with
+  // the coordinator last. Row format is EventLog::write_csv's, with local
+  // ids translated to global — K=1 reproduces its bytes exactly.
+  const std::size_t K = shards_.size();
+  std::vector<std::size_t> pos(K + 1, 0);
+  const auto size_of = [&](std::size_t s) {
+    return s < K ? shards_[s]->event_log().events().size()
+                 : coordinator_events_.size();
+  };
+  const auto translated = [&](std::size_t s) {
+    if (s == K) return coordinator_events_[pos[s]];
+    metrics::Event e = shards_[s]->event_log().events()[pos[s]];
+    if (e.vm != dc::kNoVm) {
+      e.vm = static_cast<dc::VmId>(shards_[s]->trace_of(e.vm));
+    }
+    if (e.server != dc::kNoServer) {
+      e.server = plan_.global_server(s, e.server);
+    }
+    return e;
+  };
+
+  util::CsvWriter csv(out, 10);
+  csv.header({"time_s", "kind", "vm", "server", "is_high"});
+  for (;;) {
+    std::size_t best = K + 1;
+    double best_time = 0.0;
+    for (std::size_t s = 0; s <= K; ++s) {
+      if (pos[s] >= size_of(s)) continue;
+      const double time = s < K ? shards_[s]->event_log().events()[pos[s]].time
+                                : coordinator_events_[pos[s]].time;
+      if (best == K + 1 || time < best_time) {
+        best = s;
+        best_time = time;
+      }
+    }
+    if (best == K + 1) break;
+    const metrics::Event e = translated(best);
+    ++pos[best];
+    csv.field(e.time)
+        .field(metrics::to_string(e.kind))
+        .field(static_cast<long long>(
+            e.vm == dc::kNoVm ? -1 : static_cast<long long>(e.vm)))
+        .field(static_cast<long long>(
+            e.server == dc::kNoServer ? -1
+                                      : static_cast<long long>(e.server)))
+        .field(static_cast<long long>(e.is_high ? 1 : 0));
+    csv.end_row();
+  }
+}
+
+}  // namespace ecocloud::par

@@ -16,6 +16,7 @@
 #include <queue>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ecocloud::util {
@@ -52,10 +53,21 @@ class ThreadPool {
     return result;
   }
 
-  /// Run fn(i) for every i in [begin, end) across the pool; blocks until all
-  /// complete. Exceptions from fn propagate (the first one encountered).
+  /// Run fn(i) for every i in [begin, end) across the pool; blocks until
+  /// every chunk has finished, then rethrows the first exception any chunk
+  /// raised (in chunk order). Draining all chunks before rethrowing matters:
+  /// fn is captured by reference, so returning while a chunk is still
+  /// running would leave a worker touching a dead stack frame.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
+
+  /// The static chunking used by parallel_for: [begin, end) split into at
+  /// most workers*4 equal chunks (last one short). Pure function of
+  /// (begin, end, workers) — the index→chunk mapping never depends on
+  /// scheduling, which is what keeps sharded runs deterministic for a fixed
+  /// shard count regardless of how many workers execute them.
+  [[nodiscard]] static std::vector<std::pair<std::size_t, std::size_t>>
+  chunk_bounds(std::size_t begin, std::size_t end, std::size_t workers);
 
  private:
   void worker_loop();

@@ -41,26 +41,43 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
+std::vector<std::pair<std::size_t, std::size_t>> ThreadPool::chunk_bounds(
+    std::size_t begin, std::size_t end, std::size_t workers) {
+  std::vector<std::pair<std::size_t, std::size_t>> bounds;
+  if (begin >= end) return bounds;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size() * 4));
+  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, workers * 4));
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
-
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
+  bounds.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     if (lo >= end) break;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    futures.push_back(submit([lo, hi, &fn] {
+    bounds.emplace_back(lo, std::min(end, lo + chunk_size));
+  }
+  return bounds;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  const auto bounds = chunk_bounds(begin, end, size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(bounds.size());
+  for (const auto& [lo, hi] : bounds) {
+    futures.push_back(submit([lo = lo, hi = hi, &fn] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
+  // Wait for every chunk before surfacing failures: fn is borrowed by
+  // reference, so no worker may outlive this frame.
+  std::exception_ptr first;
   for (auto& f : futures) {
-    f.get();  // rethrows the first exception, if any
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
   }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace ecocloud::util

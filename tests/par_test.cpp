@@ -1,0 +1,211 @@
+// Tests for ecocloud::par — the deterministic sharded parallel engine.
+//
+// The two load-bearing properties:
+//  * K=1 sharded mode is BIT-IDENTICAL to the single-threaded engine
+//    (same event CSV bytes, same samples, same aggregate totals);
+//  * for fixed K, output is bit-identical on 1, 2, or 8 worker threads.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "ecocloud/metrics/event_log.hpp"
+#include "ecocloud/par/partition.hpp"
+#include "ecocloud/par/sharded_runner.hpp"
+#include "ecocloud/scenario/scenario.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+scenario::DailyConfig small_config() {
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 48;
+  config.num_vms = 600;
+  config.horizon_s = 3.0 * sim::kHour;
+  config.warmup_s = 0.5 * sim::kHour;
+  config.seed = 7;
+  return config;
+}
+
+std::string events_csv(const par::ShardedDailyRun& run) {
+  std::ostringstream out;
+  run.write_events_csv(out);
+  return out.str();
+}
+
+void expect_samples_identical(const std::vector<metrics::Sample>& a,
+                              const std::vector<metrics::Sample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].active_servers, b[i].active_servers);
+    EXPECT_EQ(a[i].booting_servers, b[i].booting_servers);
+    EXPECT_EQ(a[i].overall_load, b[i].overall_load);
+    EXPECT_EQ(a[i].power_w, b[i].power_w);
+    EXPECT_EQ(a[i].overload_percent, b[i].overload_percent);
+    EXPECT_EQ(a[i].window_energy_j, b[i].window_energy_j);
+    EXPECT_EQ(a[i].window_vm_seconds, b[i].window_vm_seconds);
+    EXPECT_EQ(a[i].window_overload_vm_seconds,
+              b[i].window_overload_vm_seconds);
+  }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- partition
+
+TEST(ShardPlan, RoundTripsServerIds) {
+  for (const std::size_t k : {1u, 3u, 5u}) {
+    const par::ShardPlan plan(k, 48, 600);
+    std::size_t covered = 0;
+    for (std::size_t shard = 0; shard < k; ++shard) {
+      covered += plan.servers_in(shard);
+    }
+    EXPECT_EQ(covered, 48u);
+    for (dc::ServerId g = 0; g < 48; ++g) {
+      const std::size_t shard = plan.shard_of_server(g);
+      EXPECT_LT(shard, k);
+      const dc::ServerId local = plan.local_server(g);
+      EXPECT_LT(local, plan.servers_in(shard));
+      EXPECT_EQ(plan.global_server(shard, local), g);
+    }
+  }
+}
+
+TEST(ShardPlan, IsIdentityForOneShard) {
+  const par::ShardPlan plan(1, 16, 100);
+  for (dc::ServerId g = 0; g < 16; ++g) {
+    EXPECT_EQ(plan.shard_of_server(g), 0u);
+    EXPECT_EQ(plan.local_server(g), g);
+  }
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(plan.shard_of_trace(i), 0u);
+  }
+}
+
+TEST(ShardPlan, RejectsMoreShardsThanServers) {
+  EXPECT_THROW(par::ShardPlan(10, 4, 100), std::invalid_argument);
+}
+
+// --------------------------------------------------------- unsupported modes
+
+TEST(ShardedDailyRun, RejectsFaultsTopologyAndCheckpointing) {
+  {
+    auto config = small_config();
+    config.faults.server_mtbf_s = 3600.0;
+    config.faults.server_mttr_s = 60.0;
+    EXPECT_THROW(par::ShardedDailyRun(config, {.shards = 2}),
+                 std::invalid_argument);
+  }
+  {
+    auto config = small_config();
+    config.topology = net::TopologyConfig{};
+    EXPECT_THROW(par::ShardedDailyRun(config, {.shards = 2}),
+                 std::invalid_argument);
+  }
+  {
+    auto config = small_config();
+    config.run.checkpoint_out = "x.ckpt";
+    config.run.checkpoint_every_s = 300.0;
+    EXPECT_THROW(par::ShardedDailyRun(config, {.shards = 2}),
+                 std::invalid_argument);
+  }
+}
+
+// -------------------------------------------------- K=1 == single-threaded
+
+TEST(ShardedDailyRun, SingleShardIsBitIdenticalToSingleThreadedEngine) {
+  const auto config = small_config();
+
+  scenario::DailyScenario reference(config);
+  metrics::EventLog reference_log;
+  reference_log.attach(*reference.ecocloud());
+  reference.run();
+
+  par::ShardedDailyRun sharded(config, {.shards = 1, .threads = 2});
+  sharded.run();
+
+  // Aggregate totals: exact, not approximate.
+  const dc::DataCenter& rdc = reference.datacenter();
+  EXPECT_EQ(sharded.stats().executed_events,
+            reference.simulator().executed_events());
+  EXPECT_EQ(sharded.stats().migrations, rdc.total_migrations());
+  EXPECT_EQ(sharded.stats().activations, rdc.total_activations());
+  EXPECT_EQ(sharded.stats().hibernations, rdc.total_hibernations());
+  EXPECT_EQ(sharded.stats().energy_joules, rdc.energy_joules());
+  EXPECT_EQ(sharded.stats().low_migrations,
+            reference.ecocloud()->low_migrations());
+  EXPECT_EQ(sharded.stats().high_migrations,
+            reference.ecocloud()->high_migrations());
+  EXPECT_EQ(sharded.stats().cross_shard_migrations, 0u);
+
+  // Samples: field-exact.
+  expect_samples_identical(sharded.merged_samples(),
+                           reference.collector().samples());
+
+  // Event log: byte-exact.
+  std::ostringstream reference_csv;
+  reference_log.write_csv(reference_csv);
+  EXPECT_EQ(events_csv(sharded), reference_csv.str());
+}
+
+// ------------------------------------------- thread-count independence (K=4)
+
+TEST(ShardedDailyRun, FixedShardCountIsDeterministicAcrossThreadCounts) {
+  const auto config = small_config();
+
+  par::ShardedDailyRun t1(config, {.shards = 4, .threads = 1});
+  par::ShardedDailyRun t2(config, {.shards = 4, .threads = 2});
+  par::ShardedDailyRun t8(config, {.shards = 4, .threads = 8});
+  t1.run();
+  t2.run();
+  t8.run();
+
+  for (const par::ShardedDailyRun* other : {&t2, &t8}) {
+    EXPECT_EQ(t1.stats().executed_events, other->stats().executed_events);
+    EXPECT_EQ(t1.stats().migrations, other->stats().migrations);
+    EXPECT_EQ(t1.stats().cross_shard_migrations,
+              other->stats().cross_shard_migrations);
+    EXPECT_EQ(t1.stats().energy_joules, other->stats().energy_joules);
+    EXPECT_EQ(t1.stats().stranded_wishes, other->stats().stranded_wishes);
+    expect_samples_identical(t1.merged_samples(), other->merged_samples());
+    EXPECT_EQ(events_csv(t1), events_csv(*other));
+  }
+}
+
+// ------------------------------------------------------ cross-shard hand-off
+
+TEST(ShardedDailyRun, HandsOffStrandedMigrationsAcrossShards) {
+  // Small shards saturate locally long before the whole fleet does, so a
+  // multi-shard run must exercise the barrier hand-off path.
+  const auto config = small_config();
+  par::ShardedDailyRun run(config, {.shards = 4, .threads = 2});
+  run.run();
+
+  EXPECT_GT(run.stats().stranded_wishes, 0u);
+  EXPECT_GT(run.stats().cross_shard_migrations, 0u);
+  EXPECT_GT(run.stats().barriers, 0u);
+  // Cross-shard transfers are counted into the migration totals.
+  std::uint64_t intra = 0;
+  for (std::size_t k = 0; k < run.num_shards(); ++k) {
+    intra += run.shard(k).datacenter().total_migrations();
+  }
+  EXPECT_EQ(run.stats().migrations,
+            intra + run.stats().cross_shard_migrations);
+  // Every VM is driven by exactly one shard: total demand conservation at
+  // the end (each shard's datacenter only knows its own VMs).
+  EXPECT_EQ(run.stats().low_migrations + run.stats().high_migrations,
+            run.stats().migrations);
+}
+
+TEST(ShardedDailyRun, SameShardCountSameSeedReproduces) {
+  const auto config = small_config();
+  par::ShardedDailyRun a(config, {.shards = 2, .threads = 2});
+  par::ShardedDailyRun b(config, {.shards = 2, .threads = 2});
+  a.run();
+  b.run();
+  EXPECT_EQ(events_csv(a), events_csv(b));
+  EXPECT_EQ(a.stats().energy_joules, b.stats().energy_joules);
+}

@@ -329,6 +329,59 @@ TEST(ThreadPool, ParallelForPropagatesException) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForRunsEveryIndexEvenWhenOneThrows) {
+  // An early chunk failing must not abandon the others: parallel_for
+  // drains every chunk before rethrowing (fn is borrowed by reference, so
+  // a still-running chunk after return would be use-after-scope).
+  util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  // Throw from the END of the first chunk: the rest of a throwing chunk is
+  // legitimately skipped, but every other chunk must still run to
+  // completion before parallel_for rethrows.
+  const std::size_t first_chunk_last =
+      util::ThreadPool::chunk_bounds(0, 64, pool.size())[0].second - 1;
+  EXPECT_THROW(pool.parallel_for(0, 64,
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i == first_chunk_last) {
+                                     throw std::runtime_error("x");
+                                   }
+                                 }),
+               std::runtime_error);
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ChunkBoundsAreDeterministicAndCoverRange) {
+  // Static chunking: the index->chunk mapping is a pure function of
+  // (range, worker count) — never of scheduling.
+  const auto a = util::ThreadPool::chunk_bounds(0, 1000, 4);
+  const auto b = util::ThreadPool::chunk_bounds(0, 1000, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+  // Contiguous cover of [0, 1000), at most workers*4 chunks.
+  EXPECT_LE(a.size(), 16u);
+  std::size_t expect_lo = 0;
+  for (const auto& [lo, hi] : a) {
+    EXPECT_EQ(lo, expect_lo);
+    EXPECT_LT(lo, hi);
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, 1000u);
+}
+
+TEST(ThreadPool, ChunkBoundsEdgeCases) {
+  EXPECT_TRUE(util::ThreadPool::chunk_bounds(5, 5, 4).empty());
+  // Fewer items than chunk slots: one chunk per item.
+  const auto tiny = util::ThreadPool::chunk_bounds(10, 13, 8);
+  ASSERT_EQ(tiny.size(), 3u);
+  EXPECT_EQ(tiny[0], (std::pair<std::size_t, std::size_t>{10, 11}));
+  EXPECT_EQ(tiny[2], (std::pair<std::size_t, std::size_t>{12, 13}));
+}
+
 TEST(ThreadPool, ManyTasksComplete) {
   util::ThreadPool pool(3);
   std::atomic<int> counter{0};
