@@ -35,9 +35,11 @@
 #include "ecocloud/obs/logger.hpp"
 #include "ecocloud/obs/metric_registry.hpp"
 #include "ecocloud/par/sharded_runner.hpp"
+#include "ecocloud/par/sharded_telemetry.hpp"
 #include "ecocloud/scenario/config_io.hpp"
 #include "ecocloud/trace/planetlab_io.hpp"
 #include "ecocloud/util/csv.hpp"
+#include "ecocloud/util/exit_codes.hpp"
 #include "ecocloud/util/string_util.hpp"
 #include "ecocloud/util/validation.hpp"
 
@@ -90,8 +92,10 @@ void require_writable(const std::string& path) {
   const bool existed = static_cast<bool>(std::ifstream(path));
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
-    throw std::runtime_error("cannot write to '" + path +
-                             "' (checked before starting the run)");
+    // A bad output path is a configuration error (exit code 2), caught
+    // before the (possibly hours-long) run instead of at exit.
+    throw std::invalid_argument("cannot write to '" + path +
+                                "' (checked before starting the run)");
   }
   std::fclose(file);
   if (!existed) std::remove(path.c_str());
@@ -382,7 +386,8 @@ int usage() {
       "    --watchdog-stall S   abort after S wall seconds without progress\n"
       "    --shards K       sharded parallel engine: K independent shards,\n"
       "                     deterministic output for fixed K regardless of\n"
-      "                     thread count (excludes checkpoint/telemetry)\n"
+      "                     thread count; composes with checkpointing,\n"
+      "                     auditing, faults, and telemetry\n"
       "    --threads N      worker threads for --shards (default: all cores)\n"
       "    --sync-interval S  epoch barrier period in sim seconds (300)\n"
       "  run-consolidation  assignment-only experiment (paper Sec. IV)\n"
@@ -392,8 +397,11 @@ int usage() {
       "    --out DIR [--vms N] [--hours H] [--seed S]\n"
       "  functions          print f_a / f_l / f_h tables\n"
       "    [--ta X] [--p X] [--tl X] [--th X] [--alpha X] [--beta X]\n"
-      "  help-config        list every configuration key");
-  return 2;
+      "  help-config        list every configuration key\n"
+      "\n"
+      "exit codes: 0 success, 1 runtime failure, 2 configuration error,\n"
+      "            4 audit violation (action=abort), 5 watchdog stall");
+  return util::exit_code::kConfigError;
 }
 
 void write_series_csv(const std::string& path,
@@ -426,30 +434,69 @@ auto load_config(Options& options, LoadFn load) {
 
 int run_daily_sharded(Options& options, scenario::DailyConfig config,
                       std::size_t shards) {
-  // A snapshot describes ONE event calendar; the sharded engine runs K of
-  // them. Refuse the combination loudly instead of silently checkpointing
-  // (or resuming) a fraction of the state. Telemetry hooks are per-
-  // controller and equally unwired here.
-  for (const char* flag :
-       {"resume-from", "checkpoint-out", "checkpoint-every", "audit-every",
-        "audit-action", "audit-tolerance", "watchdog-stall", "metrics-out",
-        "metrics-json", "trace-out", "log-out", "log-level"}) {
-    if (options.get(flag)) {
-      throw std::invalid_argument(
-          "--" + std::string(flag) +
-          " is not supported with --shards: the sharded engine cannot "
-          "checkpoint, resume, audit, or trace a multi-calendar run; drop "
-          "--shards or drop --" + std::string(flag));
-    }
-  }
   const auto csv_path = options.get("csv");
   const auto events_path = options.get("events");
+
+  // Run-control flags override the config file's sections, exactly as the
+  // single-calendar Robustness wiring does. The one relaxation: no
+  // watchdog-needs-audit coupling, because the sharded coordinator beats
+  // the watchdog at every barrier whether or not audits are enabled.
+  if (const auto v = options.get("checkpoint-out")) config.run.checkpoint_out = *v;
+  config.run.checkpoint_every_s =
+      options.get_double("checkpoint-every", config.run.checkpoint_every_s);
+  const auto resume_path = options.get("resume-from");
+  config.run.audit_every_s =
+      options.get_double("audit-every", config.run.audit_every_s);
+  if (const auto v = options.get("audit-action")) config.run.audit_action = *v;
+  config.run.watchdog_stall_s =
+      options.get_double("watchdog-stall", config.run.watchdog_stall_s);
+  if (!config.run.checkpoint_out.empty()) {
+    util::require(
+        config.run.checkpoint_every_s > 0.0 || resume_path.has_value(),
+        "--checkpoint-out needs --checkpoint-every SECONDS (> 0)");
+    require_writable(config.run.checkpoint_out);
+  }
+
+  // Telemetry flags (same surface as the single-threaded runs; the merge
+  // back into one metrics/log/trace output happens after the run).
+  const auto metrics_path = options.get("metrics-out");
+  const auto json_path = options.get("metrics-json");
+  const auto trace_path = options.get("trace-out");
+  const auto log_path = options.get("log-out");
+  obs::LogLevel log_level = obs::LogLevel::kOff;
+  if (const auto level = options.get("log-level")) {
+    const auto parsed = obs::parse_log_level(*level);
+    util::require(parsed.has_value(),
+                  "bad --log-level '" + *level +
+                      "' (want trace|debug|info|warn|error|off)");
+    log_level = *parsed;
+  }
+  if (log_path && log_level == obs::LogLevel::kOff) {
+    log_level = obs::LogLevel::kInfo;
+  }
+
   par::ParConfig par;
   par.shards = shards;
   par.threads = static_cast<std::size_t>(options.get_double("threads", 0.0));
   par.sync_interval_s = options.get_double("sync-interval", par.sync_interval_s);
+  util::require(par.sync_interval_s > 0.0,
+                "--sync-interval wants a positive number of sim seconds");
+  if (par.sync_interval_s > config.horizon_s) {
+    std::fprintf(stderr,
+                 "warning: --sync-interval %.0f s exceeds the %.0f s horizon; "
+                 "the whole run is one epoch and cross-shard hand-off only "
+                 "happens at the end\n",
+                 par.sync_interval_s, config.horizon_s);
+  } else if (par.sync_interval_s > 86400.0) {
+    std::fprintf(stderr,
+                 "warning: --sync-interval %.0f s exceeds a simulated day; "
+                 "stranded migrations wait that long for a cross-shard "
+                 "hand-off\n",
+                 par.sync_interval_s);
+  }
   options.reject_unknown();
-  for (const auto& path : {csv_path, events_path}) {
+  for (const auto& path :
+       {csv_path, events_path, metrics_path, json_path, trace_path, log_path}) {
     if (path) require_writable(*path);
   }
 
@@ -465,8 +512,26 @@ int run_daily_sharded(Options& options, scenario::DailyConfig config,
       config.warmup_s / sim::kHour, par.shards, threads);
 
   par::ShardedDailyRun run(std::move(config), par);
+  if (resume_path) {
+    run.restore_snapshot(*resume_path);
+  }
+
+  std::optional<par::ShardedTelemetry> telemetry;
+  if (metrics_path || json_path || trace_path || log_path ||
+      log_level != obs::LogLevel::kOff) {
+    par::ShardedTelemetry::Options topt;
+    topt.trace = trace_path.has_value();
+    topt.log_level = log_level;
+    telemetry.emplace(run, topt);
+  }
+  if (resume_path) {
+    std::printf("resumed from %s (sharded snapshot)\n", resume_path->c_str());
+  }
+
   run.run();
   const par::ParStats& s = run.stats();
+  const sim::SimTime horizon = run.config().horizon_s;
+  if (telemetry) telemetry->finalize(horizon);
 
   double vm_seconds = 0.0;
   double overload_vm_seconds = 0.0;
@@ -491,12 +556,77 @@ int run_daily_sharded(Options& options, scenario::DailyConfig config,
               static_cast<unsigned long long>(s.executed_events),
               static_cast<unsigned long long>(s.barriers),
               static_cast<unsigned long long>(s.stranded_wishes));
+  if (run.shard(0).fault_injector() != nullptr) {
+    std::uint64_t crashes = 0, repairs = 0, orphans = 0, redeployed = 0,
+                  abandoned = 0;
+    double downtime = 0.0;
+    for (std::size_t k = 0; k < run.num_shards(); ++k) {
+      const auto& r = run.shard(k).fault_injector()->stats();
+      crashes += r.crashes();
+      repairs += r.repairs();
+      orphans += r.orphaned_vms();
+      redeployed += r.redeployed_vms();
+      abandoned += r.abandoned_vms();
+      downtime += r.downtime_vm_seconds();
+    }
+    std::printf("faults            %llu crashes / %llu repairs; "
+                "%llu orphans (%llu redeployed, %llu abandoned); "
+                "%.1f VM-min downtime\n",
+                static_cast<unsigned long long>(crashes),
+                static_cast<unsigned long long>(repairs),
+                static_cast<unsigned long long>(orphans),
+                static_cast<unsigned long long>(redeployed),
+                static_cast<unsigned long long>(abandoned), downtime / 60.0);
+  }
+  if (s.audits_run > 0) {
+    std::printf("audits            %llu barrier rounds, %llu failed checks "
+                "(action=%s)\n",
+                static_cast<unsigned long long>(s.audits_run),
+                static_cast<unsigned long long>(s.audit_failures),
+                run.config().run.audit_action.c_str());
+  }
+  if (s.checkpoints_written > 0) {
+    std::printf("checkpoints       %llu written\n",
+                static_cast<unsigned long long>(s.checkpoints_written));
+  }
   if (csv_path) write_series_csv(*csv_path, run.merged_samples());
   if (events_path) {
     std::ofstream out(*events_path);
     util::require(out.good(), "cannot open " + *events_path);
     run.write_events_csv(out);
     std::printf("event log written to %s\n", events_path->c_str());
+  }
+  if (telemetry) {
+    if (metrics_path) {
+      std::ofstream out(*metrics_path);
+      util::require(out.good(), "cannot open " + *metrics_path);
+      obs::write_prometheus(telemetry->registry(), out);
+      std::printf("metrics written to %s (%zu series)\n", metrics_path->c_str(),
+                  telemetry->registry().num_instances());
+    }
+    if (json_path) {
+      std::ofstream out(*json_path);
+      util::require(out.good(), "cannot open " + *json_path);
+      obs::write_json(telemetry->registry(), out);
+      std::printf("metrics JSON written to %s\n", json_path->c_str());
+    }
+    if (trace_path) {
+      std::ofstream out(*trace_path);
+      util::require(out.good(), "cannot open " + *trace_path);
+      telemetry->write_trace(out);
+      std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                  trace_path->c_str());
+    }
+    if (log_path) {
+      std::ofstream out(*log_path);
+      util::require(out.good(), "cannot open " + *log_path);
+      telemetry->write_log(out);
+      std::printf("log written to %s (%llu lines, shard-merged)\n",
+                  log_path->c_str(),
+                  static_cast<unsigned long long>(telemetry->log_lines()));
+    } else if (log_level != obs::LogLevel::kOff) {
+      telemetry->write_log(std::clog);
+    }
   }
   return 0;
 }
@@ -731,8 +861,13 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return usage();
+  } catch (const std::invalid_argument& error) {
+    // Bad flags, bad config keys, incompatible option combinations: the
+    // user asked for something the tool cannot parse or honor.
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return util::exit_code::kConfigError;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
-    return 1;
+    return util::exit_code::kRuntimeFailure;
   }
 }

@@ -125,6 +125,15 @@ const CheckpointManager::Owner& CheckpointManager::owner_for(
       "telemetry, auditing) as the run that wrote the snapshot");
 }
 
+void CheckpointManager::collect(Snapshot& snapshot, const std::string& prefix) {
+  for (const Section& section : sections_) {
+    util::BinWriter w;
+    section.save(w);
+    snapshot.add(prefix + section.name, w.take());
+  }
+  snapshot.add(prefix + kEngineSection, save_engine(sim_));
+}
+
 void CheckpointManager::save(const std::string& path) {
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -134,12 +143,7 @@ void CheckpointManager::save(const std::string& path) {
     w.str(digest_);
     snapshot.add(kMetaSection, w.take());
   }
-  for (const Section& section : sections_) {
-    util::BinWriter w;
-    section.save(w);
-    snapshot.add(section.name, w.take());
-  }
-  snapshot.add(kEngineSection, save_engine(sim_));
+  collect(snapshot, "");
   write_snapshot_file(snapshot, path);
 
   const auto t1 = std::chrono::steady_clock::now();
@@ -154,8 +158,56 @@ void CheckpointManager::save(const std::string& path) {
   if (on_saved) on_saved(path);
 }
 
-void CheckpointManager::restore(const std::string& path) {
+void CheckpointManager::restore_from(const Snapshot& snapshot,
+                                     const std::string& prefix,
+                                     const std::string& context) {
   util::require(!restored_, "CheckpointManager: restore called twice");
+
+  for (const Section& section : sections_) {
+    const std::string name = prefix + section.name;
+    const SnapshotSection* stored = snapshot.find(name);
+    if (stored == nullptr) {
+      throw SnapshotError("snapshot: '" + context + "' is missing section '" +
+                          name + "'");
+    }
+    util::BinReader r(stored->payload);
+    try {
+      section.load(r);
+      r.expect_exhausted(name);
+    } catch (const SnapshotError&) {
+      throw;
+    } catch (const std::exception& error) {
+      throw SnapshotError("snapshot: '" + context + "' section '" + name +
+                          "' failed to load: " + error.what());
+    }
+  }
+
+  const std::string engine_name = prefix + kEngineSection;
+  const SnapshotSection* engine = snapshot.find(engine_name);
+  if (engine == nullptr) {
+    throw SnapshotError("snapshot: '" + context + "' has no '" + engine_name +
+                        "' section");
+  }
+  util::BinReader r(engine->payload);
+  sim::EngineCheckpoint ck;
+  try {
+    ck = load_engine(r);
+    r.expect_exhausted(engine_name);
+  } catch (const std::exception& error) {
+    throw SnapshotError("snapshot: '" + context + "' section '" + engine_name +
+                        "' failed to load: " + error.what());
+  }
+  sim_.import_calendar(
+      ck,
+      [this](const sim::EventTag& tag) { return owner_for(tag).rebuild(tag); },
+      [this](const sim::EventTag& tag, sim::EventHandle handle) {
+        const Owner& owner = owner_for(tag);
+        if (owner.bind) owner.bind(tag, handle);
+      });
+  restored_ = true;
+}
+
+void CheckpointManager::restore(const std::string& path) {
   const Snapshot snapshot = read_snapshot_file(path);
 
   const SnapshotSection* meta = snapshot.find(kMetaSection);
@@ -173,23 +225,6 @@ void CheckpointManager::restore(const std::string& path) {
     }
   }
 
-  for (const Section& section : sections_) {
-    const SnapshotSection* stored = snapshot.find(section.name);
-    if (stored == nullptr) {
-      throw SnapshotError("snapshot: '" + path + "' is missing section '" +
-                          section.name + "'");
-    }
-    util::BinReader r(stored->payload);
-    try {
-      section.load(r);
-      r.expect_exhausted(section.name);
-    } catch (const SnapshotError&) {
-      throw;
-    } catch (const std::exception& error) {
-      throw SnapshotError("snapshot: '" + path + "' section '" + section.name +
-                          "' failed to load: " + error.what());
-    }
-  }
   // Every non-registered section except the engine is a mismatch between
   // the writing and restoring wiring — refuse rather than silently drop
   // state (e.g. a run that recorded an event log resumed without one).
@@ -209,27 +244,7 @@ void CheckpointManager::restore(const std::string& path) {
     }
   }
 
-  const SnapshotSection* engine = snapshot.find(kEngineSection);
-  if (engine == nullptr) {
-    throw SnapshotError("snapshot: '" + path + "' has no engine section");
-  }
-  util::BinReader r(engine->payload);
-  sim::EngineCheckpoint ck;
-  try {
-    ck = load_engine(r);
-    r.expect_exhausted(kEngineSection);
-  } catch (const std::exception& error) {
-    throw SnapshotError("snapshot: '" + path +
-                        "' engine section failed to load: " + error.what());
-  }
-  sim_.import_calendar(
-      ck,
-      [this](const sim::EventTag& tag) { return owner_for(tag).rebuild(tag); },
-      [this](const sim::EventTag& tag, sim::EventHandle handle) {
-        const Owner& owner = owner_for(tag);
-        if (owner.bind) owner.bind(tag, handle);
-      });
-  restored_ = true;
+  restore_from(snapshot, "", path);
 }
 
 void CheckpointManager::start_periodic(sim::SimTime period_s, std::string path) {

@@ -42,6 +42,8 @@
 
 namespace ecocloud::ckpt {
 
+struct Snapshot;
+
 class CheckpointManager {
  public:
   /// Snapshot-stable event kinds (tag_owner::kCheckpoint). Append only.
@@ -77,6 +79,22 @@ class CheckpointManager {
   /// imported (the Simulator must not have run yet). Throws SnapshotError
   /// on any structural, version, CRC, digest, or section mismatch.
   void restore(const std::string& path);
+
+  /// Append every registered section (named \p prefix + name) plus the
+  /// engine calendar (\p prefix + "engine") to \p snapshot, without meta
+  /// or file I/O. The sharded coordinator collects one manager per shard
+  /// (prefix "s<k>.") into a single atomically written snapshot.
+  void collect(Snapshot& snapshot, const std::string& prefix);
+
+  /// Counterpart of collect(): load the prefixed sections out of an
+  /// already-read snapshot and import the engine calendar. \p context
+  /// names the snapshot in error messages. Leaves meta/digest checking
+  /// and foreign-section detection to the caller.
+  void restore_from(const Snapshot& snapshot, const std::string& prefix,
+                    const std::string& context);
+
+  /// Number of registered sections (excluding meta and the engine).
+  [[nodiscard]] std::size_t num_sections() const { return sections_.size(); }
 
   /// Schedule the periodic snapshot event (sim-time cadence). Do NOT call
   /// on a resumed run: the event comes back with the imported calendar,

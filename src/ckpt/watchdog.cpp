@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "ecocloud/util/exit_codes.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::ckpt {
@@ -67,7 +68,7 @@ void Watchdog::report_stall(double silent_seconds) {
                 "[watchdog] last observed progress: sim_time=%.3f "
                 "executed_events=%llu\n"
                 "[watchdog] the loop is livelocked or an event storm is not "
-                "advancing sim time; aborting for a backtrace\n",
+                "advancing sim time; exiting with the stall code\n",
                 silent_seconds, config_.stall_seconds, sim_now,
                 static_cast<unsigned long long>(executed));
   std::fputs(report, stderr);
@@ -77,7 +78,10 @@ void Watchdog::report_stall(double silent_seconds) {
       std::fclose(file);
     }
   }
-  std::abort();
+  // _Exit keeps the distinct exit code (abort would report SIGABRT) and
+  // avoids running static destructors from the monitor thread while the
+  // stalled simulation thread may still hold them.
+  std::_Exit(util::exit_code::kWatchdogStall);
 }
 
 }  // namespace ecocloud::ckpt

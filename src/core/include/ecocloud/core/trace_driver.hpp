@@ -39,6 +39,13 @@ class TraceDriver {
 
   [[nodiscard]] std::size_t mapped_count() const { return vm_to_trace_.size(); }
 
+  /// Current VM -> trace-row binding. The sharded auditor walks this to
+  /// assert each global trace row is driven by at most one shard.
+  [[nodiscard]] const std::unordered_map<dc::VmId, std::size_t>& mapped_vms()
+      const {
+    return vm_to_trace_;
+  }
+
   /// Checkpoint surface. The VM->trace map is restored with its exact
   /// iteration order preserved: tick() refreshes demands in map order and
   /// the DataCenter accumulates load deltas in that order, so a different

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,17 @@ class ChromeTraceWriter {
   void name_process(int pid, std::string name);
 
   [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Append every event of \p other to this writer (merging per-shard
+  /// timelines into one trace file). Call in shard order so the merged
+  /// event order — and the serialized bytes — are deterministic; the
+  /// per-shard pid offsets keep the track groups disjoint.
+  void absorb(ChromeTraceWriter&& other) {
+    events_.insert(events_.end(),
+                   std::make_move_iterator(other.events_.begin()),
+                   std::make_move_iterator(other.events_.end()));
+    other.events_.clear();
+  }
 
   /// Serialize all events as one JSON trace object.
   void write(std::ostream& out) const;

@@ -53,6 +53,22 @@ struct RobustnessSample {
   std::uint64_t heals_applied = 0;
 };
 
+/// Identity of the shard an Instrumentation observes. A sharded run gives
+/// every shard its own Instrumentation over ONE shared registry: the
+/// shard label keeps the series apart, the pid offset keeps the trace
+/// track groups apart, and the id translations rewrite local server/VM
+/// ids into the global namespace so merged telemetry reads like the
+/// single-threaded run's. Default-constructed = not sharded (no label,
+/// no offset, ids pass through).
+struct ShardContext {
+  bool sharded = false;
+  std::size_t shard = 0;
+  /// Local server id -> global server id (ShardPlan::global_server).
+  std::function<std::uint64_t(std::uint64_t)> global_server;
+  /// Local VM id -> global trace row (Shard::trace_of).
+  std::function<std::uint64_t(std::uint64_t)> global_vm;
+};
+
 class Instrumentation {
  public:
   /// Snapshot-stable event kinds (tag_owner::kObsFlush). Append only.
@@ -61,7 +77,7 @@ class Instrumentation {
   /// \p registry and \p logger must outlive the Instrumentation; \p trace
   /// may be null to disable timeline capture. None of them are owned.
   Instrumentation(MetricRegistry& registry, Logger& logger,
-                  ChromeTraceWriter* trace = nullptr);
+                  ChromeTraceWriter* trace = nullptr, ShardContext shard = {});
 
   /// Register pull-mode metrics over the event kernel's EngineStats.
   void attach_engine(const sim::Simulator& simulator);
@@ -97,6 +113,12 @@ class Instrumentation {
   [[nodiscard]] sim::Simulator::Callback make_flush_callback(
       sim::Simulator& simulator);
 
+  /// Flush the logger and sample the trace counters right now. The
+  /// sharded coordinator drives this from its barrier hook instead of
+  /// start_flush: no calendar event means no seq perturbation, so the
+  /// telemetry-off bit-identity holds exactly (not just modulo seq).
+  void flush_now(sim::SimTime now);
+
   /// Close open trace spans (server states, in-flight migrations) at
   /// \p end and flush the logger. Call once, after the run.
   void finalize(sim::SimTime end);
@@ -110,9 +132,17 @@ class Instrumentation {
   void close_server_span(dc::ServerId server, sim::SimTime at);
   void sample_trace_counters(sim::SimTime now);
 
+  /// Shard-aware wrappers: label sets gain {"shard", k}, trace pids shift
+  /// by 3*k, and ids translate to global — all identity when not sharded.
+  [[nodiscard]] Labels labels(Labels base) const;
+  [[nodiscard]] int pid(int base) const;
+  [[nodiscard]] std::uint64_t gsrv(dc::ServerId server) const;
+  [[nodiscard]] std::uint64_t gvm(dc::VmId vm) const;
+
   MetricRegistry& registry_;
   Logger& logger_;
   ChromeTraceWriter* trace_;
+  ShardContext shard_;
 
   const dc::DataCenter* dc_ = nullptr;
 

@@ -80,6 +80,14 @@ class Logger {
   /// Sim-time source for the ts_sim field; unset logs ts_sim 0.
   void set_clock(std::function<double()> now) { now_ = std::move(now); }
 
+  /// Bind one field that is appended to every record (after msg, before
+  /// the call-site fields). Sharded runs bind {"shard": k} so the merged
+  /// JSONL stream keeps its provenance. Empty key (default) emits nothing.
+  void bind_field(std::string key, std::uint64_t value) {
+    bound_key_ = std::move(key);
+    bound_value_ = value;
+  }
+
   /// Fast gate for call sites that build expensive fields.
   [[nodiscard]] bool enabled(LogLevel level) const {
     return sink_ != nullptr && level >= level_ && level_ != LogLevel::kOff;
@@ -119,6 +127,8 @@ class Logger {
   std::ostream* sink_ = nullptr;
   LogLevel level_ = LogLevel::kOff;
   std::function<double()> now_;
+  std::string bound_key_;
+  std::uint64_t bound_value_ = 0;
   std::uint64_t lines_ = 0;
 };
 

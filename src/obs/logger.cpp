@@ -76,6 +76,12 @@ void Logger::log(LogLevel level, std::string_view component, std::string_view ms
   append_json_string(line, component);
   line += ",\"msg\":";
   append_json_string(line, msg);
+  if (!bound_key_.empty()) {
+    line.push_back(',');
+    append_json_string(line, bound_key_);
+    line.push_back(':');
+    line += std::to_string(bound_value_);
+  }
   for (const LogField& field : fields) {
     line.push_back(',');
     append_json_string(line, field.key);

@@ -1,0 +1,56 @@
+#include "ecocloud/par/event_merge.hpp"
+
+#include <ostream>
+
+#include "ecocloud/util/csv.hpp"
+
+namespace ecocloud::par {
+
+std::vector<metrics::Event> merge_event_streams(
+    const std::vector<EventStream>& streams) {
+  std::size_t total = 0;
+  for (const EventStream& stream : streams) total += stream.events->size();
+
+  std::vector<metrics::Event> merged;
+  merged.reserve(total);
+  std::vector<std::size_t> pos(streams.size(), 0);
+  for (;;) {
+    std::size_t best = streams.size();
+    double best_time = 0.0;
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (pos[s] >= streams[s].events->size()) continue;
+      const double time = (*streams[s].events)[pos[s]].time;
+      // Strict <: on equal timestamps the earliest stream index wins, so
+      // the order never depends on scan direction or input sizes.
+      if (best == streams.size() || time < best_time) {
+        best = s;
+        best_time = time;
+      }
+    }
+    if (best == streams.size()) break;
+    const metrics::Event& raw = (*streams[best].events)[pos[best]];
+    merged.push_back(streams[best].translate ? streams[best].translate(raw)
+                                             : raw);
+    ++pos[best];
+  }
+  return merged;
+}
+
+void write_merged_events_csv(std::ostream& out,
+                             const std::vector<metrics::Event>& events) {
+  util::CsvWriter csv(out, 10);
+  csv.header({"time_s", "kind", "vm", "server", "is_high"});
+  for (const metrics::Event& e : events) {
+    csv.field(e.time)
+        .field(metrics::to_string(e.kind))
+        .field(static_cast<long long>(
+            e.vm == dc::kNoVm ? -1 : static_cast<long long>(e.vm)))
+        .field(static_cast<long long>(
+            e.server == dc::kNoServer ? -1
+                                      : static_cast<long long>(e.server)))
+        .field(static_cast<long long>(e.is_high ? 1 : 0));
+    csv.end_row();
+  }
+}
+
+}  // namespace ecocloud::par

@@ -24,12 +24,18 @@
 #include "ecocloud/core/controller.hpp"
 #include "ecocloud/core/trace_driver.hpp"
 #include "ecocloud/dc/datacenter.hpp"
+#include "ecocloud/faults/fault_injector.hpp"
 #include "ecocloud/metrics/collector.hpp"
 #include "ecocloud/metrics/event_log.hpp"
 #include "ecocloud/par/partition.hpp"
 #include "ecocloud/scenario/scenario.hpp"
 #include "ecocloud/sim/simulator.hpp"
 #include "ecocloud/trace/trace_set.hpp"
+#include "ecocloud/util/binio.hpp"
+
+namespace ecocloud::ckpt {
+class CheckpointManager;
+}
 
 namespace ecocloud::par {
 
@@ -61,6 +67,11 @@ class Shard {
   /// retry the VM on another shard without this one double-driving it.
   void abandon_last_deploy();
 
+  /// Install fault hooks and schedule this shard's fault processes. Call
+  /// once, BEFORE the first deploy (message loss applies to the initial
+  /// placement wave, exactly as in DailyScenario). No-op without faults.
+  void start_faults();
+
   /// Start the periodic services (trace ticks, monitors, sampling). Call
   /// once, after the t=0 deployment wave.
   void start_services();
@@ -72,8 +83,21 @@ class Shard {
   /// End-of-warmup accounting reset (DailyScenario semantics).
   void warmup_reset();
 
-  /// Settle energy/SLA integrals at the horizon.
+  /// Settle energy/SLA integrals (and open orphan downtime) at the horizon.
   void finish(sim::SimTime horizon);
+
+  /// Checkpoint surface for the shard's own coordination state: the
+  /// VM->trace map, the pending migration wishes, and the dedup flags.
+  /// Everything else (datacenter, controller, collector, ...) registers
+  /// its own section via register_checkpoint.
+  void save_state(util::BinWriter& w) const;
+  void load_state(util::BinReader& r);
+
+  /// Register every stateful component of this shard (sections and
+  /// calendar-event owners) with \p manager — the per-shard mirror of
+  /// DailyScenario::register_checkpoint plus the shard coordination
+  /// section and the event-log segment.
+  void register_checkpoint(ckpt::CheckpointManager& manager);
 
   // --- Coordinator surface (serial, between epochs) ---
 
@@ -114,6 +138,16 @@ class Shard {
     return *collector_;
   }
   [[nodiscard]] const metrics::EventLog& event_log() const { return *log_; }
+  [[nodiscard]] const core::TraceDriver& trace_driver() const {
+    return *trace_driver_;
+  }
+  /// Non-null only when the run's FaultParams are enabled.
+  [[nodiscard]] faults::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+  [[nodiscard]] const faults::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
 
  private:
   const ShardPlan& plan_;
@@ -126,6 +160,7 @@ class Shard {
   std::unique_ptr<core::EcoCloudController> eco_;
   std::unique_ptr<metrics::MetricsCollector> collector_;
   std::unique_ptr<metrics::EventLog> log_;
+  std::unique_ptr<faults::FaultInjector> injector_;
 
   /// Local VmId -> global trace row; append-only, so event rows translate
   /// even for VMs that have since been handed off.

@@ -22,8 +22,10 @@
 /// the epochs, so 1, 2, or 16 threads produce identical bytes.
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ecocloud/metrics/collector.hpp"
@@ -33,6 +35,12 @@
 #include "ecocloud/scenario/scenario.hpp"
 #include "ecocloud/trace/trace_set.hpp"
 #include "ecocloud/util/thread_pool.hpp"
+
+namespace ecocloud::ckpt {
+class CheckpointManager;
+class RuntimeAuditor;
+class Watchdog;
+}  // namespace ecocloud::ckpt
 
 namespace ecocloud::par {
 
@@ -46,6 +54,12 @@ struct ParConfig {
   /// trace tick: cross-shard relief then reacts on the same timescale as
   /// the demand changes that cause it.
   sim::SimTime sync_interval_s = 300.0;
+  /// Interleaving-explorer hook: when set, each epoch runs its shards
+  /// SERIALLY in the permutation this returns for (epoch, K) instead of
+  /// on the thread pool. The correctness harness sweeps permutations to
+  /// prove the epoch execution order cannot influence the trajectory.
+  std::function<std::vector<std::size_t>(std::uint64_t, std::size_t)>
+      epoch_order = {};
 };
 
 /// Aggregate results of a sharded run (sums over shards + coordinator).
@@ -62,21 +76,53 @@ struct ParStats {
   std::uint64_t stranded_wishes = 0;   ///< wishes drained at barriers
   std::uint64_t handoff_attempts = 0;  ///< wishes still valid at the barrier
   std::uint64_t barriers = 0;
+  std::uint64_t audits_run = 0;       ///< barrier audit rounds
+  std::uint64_t audit_failures = 0;   ///< failed checks across all rounds
+  std::uint64_t checkpoints_written = 0;
   double energy_joules = 0.0;
 };
 
 class ShardedDailyRun {
  public:
-  /// Builds the K shards. Rejects configs the sharded engine does not
-  /// support: topology, fault injection, and checkpoint/audit wiring.
+  /// Builds the K shards. Rejects the one config the sharded engine does
+  /// not support: rack topology (invitations would need cross-shard rack
+  /// scoping). Faults, checkpointing, auditing, the watchdog, and
+  /// telemetry all compose with sharding.
   ShardedDailyRun(scenario::DailyConfig config, ParConfig par);
   ~ShardedDailyRun();
 
   ShardedDailyRun(const ShardedDailyRun&) = delete;
   ShardedDailyRun& operator=(const ShardedDailyRun&) = delete;
 
-  /// Deploy all VMs at t=0 and simulate the full horizon. Call once.
+  /// Deploy all VMs at t=0 (skipped on a resumed run) and simulate to the
+  /// horizon, honoring config.run: barrier-aligned checkpoints, audits,
+  /// and watchdog beats. Call once.
   void run();
+
+  /// Write one atomic snapshot of the whole sharded run (coordinator
+  /// state plus every shard's sections) to \p path. Normally driven by
+  /// config.run at barriers; public for tests and manual checkpoints.
+  /// Snapshots are only taken at barriers, where the hand-off queue is
+  /// empty and every shard sits at the same sim time.
+  void save_snapshot(const std::string& path);
+
+  /// Restore a snapshot written by save_snapshot into this freshly
+  /// constructed run (same config, same K, same sync interval — enforced
+  /// via the stored digest; the thread count is free). run() then
+  /// continues from the snapshot's barrier and produces byte-identical
+  /// output to the uninterrupted run.
+  void restore_snapshot(const std::string& path);
+
+  [[nodiscard]] bool resumed() const { return resumed_; }
+
+  /// Called after each barrier's hand-off/audit/checkpoint work with the
+  /// barrier time — the telemetry layer flushes its per-shard streams
+  /// here instead of scheduling calendar events (which would perturb seq
+  /// numbers and break the telemetry-off bit-identity).
+  std::function<void(sim::SimTime)> on_barrier;
+
+  /// Called after every successful snapshot write with the path.
+  std::function<void(const std::string&)> on_checkpoint;
 
   [[nodiscard]] const ParStats& stats() const { return stats_; }
   [[nodiscard]] double total_energy_kwh() const {
@@ -96,6 +142,7 @@ class ShardedDailyRun {
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   [[nodiscard]] const Shard& shard(std::size_t k) const { return *shards_[k]; }
+  [[nodiscard]] Shard& shard(std::size_t k) { return *shards_[k]; }
   [[nodiscard]] const ShardPlan& plan() const { return plan_; }
   [[nodiscard]] const scenario::DailyConfig& config() const { return config_; }
 
@@ -103,6 +150,18 @@ class ShardedDailyRun {
   void barrier_handoff(sim::SimTime now);
   void resolve_wish(std::size_t source_shard, const MigrationWish& wish,
                     sim::SimTime now);
+  /// Lazily build one CheckpointManager per shard (sections + owners).
+  void ensure_managers();
+  /// Digest stored in snapshots: the daily digest plus shard count and
+  /// sync interval, so snapshots only restore into the same trajectory.
+  [[nodiscard]] std::string config_digest() const;
+  /// Audits, checkpoint, watchdog beat, and the on_barrier hook — runs
+  /// serially after the hand-off with t_ already at the barrier time.
+  void at_barrier();
+  void run_audits();
+  /// Cross-shard invariants: unique trace-row ownership, fleet capacity
+  /// conservation, per-shard energy monotonicity.
+  [[nodiscard]] std::vector<std::string> cross_shard_failures();
 
   scenario::DailyConfig config_;
   ParConfig par_;
@@ -118,8 +177,25 @@ class ShardedDailyRun {
   std::uint64_t cross_low_ = 0;
   std::uint64_t cross_high_ = 0;
 
+  /// Operability wiring (built on demand from config_.run).
+  std::vector<std::unique_ptr<ckpt::CheckpointManager>> managers_;
+  std::vector<std::unique_ptr<ckpt::RuntimeAuditor>> auditors_;
+  std::unique_ptr<ckpt::Watchdog> watchdog_;
+  std::vector<double> last_energy_;  ///< per shard, for the monotonicity check
+  std::string ckpt_path_;
+  std::string resume_path_;
+  double next_ckpt_due_ = 0.0;
+  double next_audit_due_ = 0.0;
+
+  /// Coordinator clock: the last completed barrier time. Persisted, so a
+  /// resumed run continues the epoch loop exactly where the snapshot was
+  /// taken.
+  sim::SimTime t_ = 0.0;
+  bool warmup_done_ = false;
+
   ParStats stats_;
   bool ran_ = false;
+  bool resumed_ = false;
 };
 
 }  // namespace ecocloud::par

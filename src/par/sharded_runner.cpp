@@ -1,12 +1,19 @@
 #include "ecocloud/par/sharded_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <limits>
 #include <ostream>
 #include <utility>
 
+#include "ecocloud/ckpt/auditor.hpp"
+#include "ecocloud/ckpt/checkpoint.hpp"
+#include "ecocloud/ckpt/snapshot_io.hpp"
+#include "ecocloud/ckpt/watchdog.hpp"
 #include "ecocloud/core/migration.hpp"
-#include "ecocloud/util/csv.hpp"
+#include "ecocloud/par/event_merge.hpp"
+#include "ecocloud/util/exit_codes.hpp"
 #include "ecocloud/util/rng.hpp"
 #include "ecocloud/util/validation.hpp"
 
@@ -14,23 +21,16 @@ namespace ecocloud::par {
 
 ShardedDailyRun::ShardedDailyRun(scenario::DailyConfig config, ParConfig par)
     : config_(std::move(config)),
-      par_(par),
-      plan_(par.shards, config_.fleet.num_servers, config_.num_vms) {
+      par_(std::move(par)),
+      plan_(par_.shards, config_.fleet.num_servers, config_.num_vms) {
   config_.params.validate();
+  config_.faults.validate();
   util::require(par_.sync_interval_s > 0.0,
                 "ShardedDailyRun: sync interval must be > 0");
   util::require(!config_.topology,
                 "ShardedDailyRun: rack topology is not supported in sharded "
                 "mode (invitations would need cross-shard rack scoping)");
-  util::require(!config_.faults.enabled(),
-                "ShardedDailyRun: fault injection is not supported in "
-                "sharded mode");
-  util::require(config_.run.checkpoint_out.empty() &&
-                    config_.run.checkpoint_every_s <= 0.0 &&
-                    config_.run.audit_every_s <= 0.0 &&
-                    config_.run.watchdog_stall_s <= 0.0,
-                "ShardedDailyRun: checkpoint/audit/watchdog wiring is not "
-                "supported in sharded mode");
+  warmup_done_ = config_.warmup_s <= 0.0;
 
   // The trace set is generated once from the bare seed — exactly as
   // DailyScenario does — and shared read-only by every shard, so the
@@ -53,50 +53,243 @@ ShardedDailyRun::ShardedDailyRun(scenario::DailyConfig config, ParConfig par)
 
 ShardedDailyRun::~ShardedDailyRun() = default;
 
+void ShardedDailyRun::ensure_managers() {
+  if (!managers_.empty()) return;
+  managers_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    auto manager = std::make_unique<ckpt::CheckpointManager>(shard->simulator());
+    shard->register_checkpoint(*manager);
+    managers_.push_back(std::move(manager));
+  }
+}
+
+std::string ShardedDailyRun::config_digest() const {
+  std::string digest = scenario::daily_config_digest(config_, "eco");
+  digest += " shards=" + std::to_string(plan_.num_shards());
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " sync=%.17g", par_.sync_interval_s);
+  digest += buf;
+  return digest;
+}
+
+void ShardedDailyRun::save_snapshot(const std::string& path) {
+  ensure_managers();
+  ckpt::Snapshot snapshot;
+  {
+    util::BinWriter w;
+    w.str(config_digest());
+    snapshot.add("meta", w.take());
+  }
+  {
+    // Coordinator state. Snapshots are written after barrier_handoff, so
+    // the wish queue is empty by construction; what remains is the epoch
+    // clock and the cross-shard accounting.
+    util::BinWriter w;
+    w.f64(t_);
+    w.boolean(warmup_done_);
+    w.u64(stats_.barriers);
+    w.u64(stats_.stranded_wishes);
+    w.u64(stats_.handoff_attempts);
+    w.u64(stats_.cross_shard_migrations);
+    w.u64(cross_low_);
+    w.u64(cross_high_);
+    w.u64(coordinator_events_.size());
+    for (const metrics::Event& e : coordinator_events_) {
+      w.f64(e.time);
+      w.u16(static_cast<std::uint16_t>(e.kind));
+      w.u64(static_cast<std::uint64_t>(e.vm));
+      w.u64(static_cast<std::uint64_t>(e.server));
+      w.boolean(e.is_high);
+    }
+    snapshot.add("coordinator", w.take());
+  }
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    managers_[k]->collect(snapshot, "s" + std::to_string(k) + ".");
+  }
+  ckpt::write_snapshot_file(snapshot, path);
+  ++stats_.checkpoints_written;
+  if (on_checkpoint) on_checkpoint(path);
+}
+
+void ShardedDailyRun::restore_snapshot(const std::string& path) {
+  util::require(!ran_, "ShardedDailyRun: restore_snapshot after run");
+  util::require(!resumed_, "ShardedDailyRun: restore_snapshot called twice");
+  ensure_managers();
+  const ckpt::Snapshot snapshot = ckpt::read_snapshot_file(path);
+
+  const ckpt::SnapshotSection* meta = snapshot.find("meta");
+  if (meta == nullptr) {
+    throw ckpt::SnapshotError("snapshot: '" + path + "' has no meta section");
+  }
+  {
+    util::BinReader r(meta->payload);
+    const std::string stored = r.str();
+    r.expect_exhausted("meta");
+    if (stored != config_digest()) {
+      throw ckpt::SnapshotError(
+          "snapshot: '" + path +
+          "' was written for a different configuration\n  stored:  " + stored +
+          "\n  current: " + config_digest());
+    }
+  }
+
+  const ckpt::SnapshotSection* coord = snapshot.find("coordinator");
+  if (coord == nullptr) {
+    throw ckpt::SnapshotError("snapshot: '" + path +
+                              "' has no coordinator section");
+  }
+  {
+    util::BinReader r(coord->payload);
+    t_ = r.f64();
+    warmup_done_ = r.boolean();
+    stats_.barriers = r.u64();
+    stats_.stranded_wishes = r.u64();
+    stats_.handoff_attempts = r.u64();
+    stats_.cross_shard_migrations = r.u64();
+    cross_low_ = r.u64();
+    cross_high_ = r.u64();
+    coordinator_events_.assign(static_cast<std::size_t>(r.u64()),
+                               metrics::Event{});
+    for (metrics::Event& e : coordinator_events_) {
+      e.time = r.f64();
+      e.kind = static_cast<metrics::EventKind>(r.u16());
+      e.vm = static_cast<dc::VmId>(r.u64());
+      e.server = static_cast<dc::ServerId>(r.u64());
+      e.is_high = r.boolean();
+    }
+    r.expect_exhausted("coordinator");
+  }
+
+  std::size_t expected = 2;  // meta + coordinator
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    managers_[k]->restore_from(snapshot, "s" + std::to_string(k) + ".", path);
+    expected += managers_[k]->num_sections() + 1;  // sections + engine
+  }
+  if (snapshot.sections.size() != expected) {
+    throw ckpt::SnapshotError(
+        "snapshot: '" + path + "' has " +
+        std::to_string(snapshot.sections.size()) + " sections, expected " +
+        std::to_string(expected) +
+        " — the resumed run must enable the same subsystems (faults) and "
+        "shard count as the run that wrote the snapshot");
+  }
+  resume_path_ = path;
+  resumed_ = true;
+}
+
 void ShardedDailyRun::run() {
   util::ensure(!ran_, "ShardedDailyRun::run called twice");
   ran_ = true;
   const std::size_t K = shards_.size();
 
-  // t=0 deployment wave, in global trace order. A VM refused by its owner
-  // shard (saturation) is retried on the remaining shards in order; with
-  // K=1 there is nobody to retry on and the behavior is DailyScenario's.
-  for (std::size_t i = 0; i < plan_.num_traces(); ++i) {
-    const std::size_t owner = plan_.shard_of_trace(i);
-    if (shards_[owner]->deploy(i) || K == 1) continue;
-    shards_[owner]->abandon_last_deploy();
-    for (std::size_t off = 1; off < K; ++off) {
-      Shard& next = *shards_[(owner + off) % K];
-      if (next.deploy(i)) break;
-      next.abandon_last_deploy();
+  // Operability wiring from config_.run. All of it is barrier-driven —
+  // none of it schedules calendar events — so enabling checkpoints,
+  // audits, or the watchdog never perturbs the simulated trajectory.
+  const scenario::RunControl& rc = config_.run;
+  ckpt_path_ = rc.checkpoint_out;
+  if (ckpt_path_.empty() && resumed_) ckpt_path_ = resume_path_;
+  if (!ckpt_path_.empty() && rc.checkpoint_every_s > 0.0) {
+    ensure_managers();
+    next_ckpt_due_ =
+        (std::floor(t_ / rc.checkpoint_every_s) + 1.0) * rc.checkpoint_every_s;
+  } else {
+    ckpt_path_.clear();
+  }
+  if (rc.audit_every_s > 0.0) {
+    const ckpt::AuditAction action = ckpt::parse_audit_action(rc.audit_action);
+    auditors_.reserve(K);
+    for (auto& shard : shards_) {
+      ckpt::AuditorConfig ac;
+      ac.period_s = 0.0;  // manual mode: the coordinator drives run_audit
+      ac.action = action;
+      ac.tolerance = rc.audit_tolerance;
+      // Handed-off VMs are departed (unowned) on their source shard, so
+      // strict ownership only holds for K=1.
+      ac.strict_vm_accounting = rc.audit_strict && K == 1;
+      auto auditor = std::make_unique<ckpt::RuntimeAuditor>(
+          shard->simulator(), shard->datacenter(), ac);
+      auditor->attach_controller(&shard->controller());
+      if (shard->fault_injector() != nullptr) {
+        auditor->attach_redeploy(&shard->fault_injector()->redeploy());
+      }
+      auditors_.push_back(std::move(auditor));
     }
+    last_energy_.assign(K, 0.0);
+    next_audit_due_ =
+        (std::floor(t_ / rc.audit_every_s) + 1.0) * rc.audit_every_s;
+  }
+  if (rc.watchdog_stall_s > 0.0) {
+    watchdog_ = std::make_unique<ckpt::Watchdog>(
+        ckpt::Watchdog::Config{rc.watchdog_stall_s, {}});
   }
 
-  for (auto& shard : shards_) shard->start_services();
+  if (!resumed_) {
+    // Fault hooks must be live before the first deployment: message loss
+    // applies to the initial placement wave (DailyScenario ordering).
+    for (auto& shard : shards_) shard->start_faults();
+
+    // t=0 deployment wave, in global trace order. A VM refused by its
+    // owner shard (saturation) is retried on the remaining shards in
+    // order; with K=1 there is nobody to retry on and the behavior is
+    // DailyScenario's.
+    for (std::size_t i = 0; i < plan_.num_traces(); ++i) {
+      const std::size_t owner = plan_.shard_of_trace(i);
+      if (shards_[owner]->deploy(i) || K == 1) continue;
+      shards_[owner]->abandon_last_deploy();
+      for (std::size_t off = 1; off < K; ++off) {
+        Shard& next = *shards_[(owner + off) % K];
+        if (next.deploy(i)) break;
+        next.abandon_last_deploy();
+      }
+    }
+
+    for (auto& shard : shards_) shard->start_services();
+  }
+
+  if (watchdog_) watchdog_->arm();
 
   // Epoch loop. Barrier times are multiples of the sync interval clipped
   // to the warmup boundary and the horizon, so the accounting reset and
-  // the final settle happen at exactly the single-threaded times.
+  // the final settle happen at exactly the single-threaded times. On a
+  // resumed run t_ starts at the snapshot's barrier and the loop simply
+  // continues.
   const sim::SimTime horizon = config_.horizon_s;
   const sim::SimTime warmup = config_.warmup_s;
-  bool warmup_done = warmup <= 0.0;
-  sim::SimTime t = 0.0;
-  while (t < horizon) {
-    sim::SimTime next = t + par_.sync_interval_s;
-    if (!warmup_done && warmup > t) next = std::min(next, warmup);
+  while (t_ < horizon) {
+    sim::SimTime next = t_ + par_.sync_interval_s;
+    if (!warmup_done_ && warmup > t_) next = std::min(next, warmup);
     next = std::min(next, horizon);
 
-    pool_->parallel_for(0, K,
-                        [&](std::size_t k) { shards_[k]->run_until(next); });
+    if (par_.epoch_order) {
+      const std::vector<std::size_t> order =
+          par_.epoch_order(stats_.barriers, K);
+      util::require(order.size() == K,
+                    "ShardedDailyRun: epoch_order must return a permutation "
+                    "of the shard indices");
+      std::vector<std::uint8_t> seen(K, 0);
+      for (std::size_t k : order) {
+        util::require(k < K && seen[k] == 0,
+                      "ShardedDailyRun: epoch_order must return a "
+                      "permutation of the shard indices");
+        seen[k] = 1;
+        shards_[k]->run_until(next);
+      }
+    } else {
+      pool_->parallel_for(0, K,
+                          [&](std::size_t k) { shards_[k]->run_until(next); });
+    }
 
-    if (!warmup_done && next >= warmup) {
+    if (!warmup_done_ && next >= warmup) {
       for (auto& shard : shards_) shard->warmup_reset();
-      warmup_done = true;
+      last_energy_.assign(last_energy_.size(), 0.0);
+      warmup_done_ = true;
     }
     barrier_handoff(next);
     ++stats_.barriers;
-    t = next;
+    t_ = next;
+    at_barrier();
   }
+  if (watchdog_) watchdog_->disarm();
   for (auto& shard : shards_) shard->finish(horizon);
 
   for (auto& shard : shards_) {
@@ -258,56 +451,131 @@ std::vector<metrics::Sample> ShardedDailyRun::merged_samples() const {
   return merged;
 }
 
-void ShardedDailyRun::write_events_csv(std::ostream& out) const {
-  // (K+1)-way merge over per-shard segments (each already time-ordered)
-  // plus the coordinator's cross-shard rows, keyed by (time, source) with
-  // the coordinator last. Row format is EventLog::write_csv's, with local
-  // ids translated to global — K=1 reproduces its bytes exactly.
-  const std::size_t K = shards_.size();
-  std::vector<std::size_t> pos(K + 1, 0);
-  const auto size_of = [&](std::size_t s) {
-    return s < K ? shards_[s]->event_log().events().size()
-                 : coordinator_events_.size();
-  };
-  const auto translated = [&](std::size_t s) {
-    if (s == K) return coordinator_events_[pos[s]];
-    metrics::Event e = shards_[s]->event_log().events()[pos[s]];
-    if (e.vm != dc::kNoVm) {
-      e.vm = static_cast<dc::VmId>(shards_[s]->trace_of(e.vm));
+void ShardedDailyRun::at_barrier() {
+  if (!auditors_.empty() && t_ >= next_audit_due_) {
+    run_audits();
+    next_audit_due_ = (std::floor(t_ / config_.run.audit_every_s) + 1.0) *
+                      config_.run.audit_every_s;
+  }
+  if (!ckpt_path_.empty() && t_ >= next_ckpt_due_) {
+    save_snapshot(ckpt_path_);
+    next_ckpt_due_ = (std::floor(t_ / config_.run.checkpoint_every_s) + 1.0) *
+                     config_.run.checkpoint_every_s;
+  }
+  if (watchdog_) {
+    std::uint64_t executed = 0;
+    for (const auto& shard : shards_) {
+      executed += shard->simulator().executed_events();
     }
-    if (e.server != dc::kNoServer) {
-      e.server = plan_.global_server(s, e.server);
-    }
-    return e;
-  };
+    watchdog_->beat(executed, t_);
+  }
+  if (on_barrier) on_barrier(t_);
+}
 
-  util::CsvWriter csv(out, 10);
-  csv.header({"time_s", "kind", "vm", "server", "is_high"});
-  for (;;) {
-    std::size_t best = K + 1;
-    double best_time = 0.0;
-    for (std::size_t s = 0; s <= K; ++s) {
-      if (pos[s] >= size_of(s)) continue;
-      const double time = s < K ? shards_[s]->event_log().events()[pos[s]].time
-                                : coordinator_events_[pos[s]].time;
-      if (best == K + 1 || time < best_time) {
-        best = s;
-        best_time = time;
+void ShardedDailyRun::run_audits() {
+  ++stats_.audits_run;
+  // Per-shard invariants first (calendar integrity, fleet accounting, VM
+  // ownership vs controller/redeploy tracking) — each shard's auditor
+  // applies the configured action itself (log/heal/abort).
+  for (auto& auditor : auditors_) {
+    if (!auditor->run_audit().empty()) ++stats_.audit_failures;
+  }
+  // Then the invariants no single shard can see.
+  const std::vector<std::string> cross = cross_shard_failures();
+  if (cross.empty()) return;
+  stats_.audit_failures += cross.size();
+  std::fprintf(stderr, "[audit] t=%.3f: %zu cross-shard violation(s):\n", t_,
+               cross.size());
+  for (const std::string& failure : cross) {
+    std::fprintf(stderr, "[audit]   %s\n", failure.c_str());
+  }
+  // kHeal has no cross-shard remedy (nothing cacheable spans shards), so
+  // it degrades to logging; abort keeps its distinct exit code.
+  if (ckpt::parse_audit_action(config_.run.audit_action) ==
+      ckpt::AuditAction::kAbort) {
+    std::fprintf(stderr, "[audit] aborting (action=abort)\n");
+    std::_Exit(util::exit_code::kAuditViolation);
+  }
+}
+
+std::vector<std::string> ShardedDailyRun::cross_shard_failures() {
+  std::vector<std::string> failures;
+
+  // Every global trace row must be driven by at most one shard: a row
+  // driven twice means a cross-shard hand-off duplicated a VM instead of
+  // moving it.
+  std::vector<std::uint8_t> driven(plan_.num_traces(), 0);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const Shard& shard = *shards_[k];
+    for (const auto& [vm, row] : shard.trace_driver().mapped_vms()) {
+      (void)vm;
+      if (driven[row]++ != 0) {
+        failures.push_back("trace row " + std::to_string(row) +
+                           " is driven by more than one shard (duplicate VM "
+                           "after hand-off; last seen on shard " +
+                           std::to_string(k) + ")");
       }
     }
-    if (best == K + 1) break;
-    const metrics::Event e = translated(best);
-    ++pos[best];
-    csv.field(e.time)
-        .field(metrics::to_string(e.kind))
-        .field(static_cast<long long>(
-            e.vm == dc::kNoVm ? -1 : static_cast<long long>(e.vm)))
-        .field(static_cast<long long>(
-            e.server == dc::kNoServer ? -1
-                                      : static_cast<long long>(e.server)))
-        .field(static_cast<long long>(e.is_high ? 1 : 0));
-    csv.end_row();
   }
+
+  // Fleet capacity conservation: the shards must partition the configured
+  // fleet exactly — capacity can neither appear nor vanish at hand-offs.
+  double capacity = 0.0;
+  for (const auto& shard : shards_) {
+    capacity += shard->datacenter().total_capacity_mhz();
+  }
+  double expected = 0.0;
+  const scenario::FleetConfig& fleet = config_.fleet;
+  for (std::size_t i = 0; i < fleet.num_servers; ++i) {
+    expected += static_cast<double>(fleet.core_mix[i % fleet.core_mix.size()]) *
+                fleet.core_mhz;
+  }
+  if (std::abs(capacity - expected) >
+      config_.run.audit_tolerance * expected) {
+    failures.push_back("fleet capacity is " + std::to_string(capacity) +
+                       " MHz across shards, expected " +
+                       std::to_string(expected) + " MHz from the config");
+  }
+
+  // Energy conservation: each shard's cumulative energy integral must be
+  // non-decreasing between barriers (it only resets at the warmup
+  // boundary, where last_energy_ is cleared too).
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const double energy = shards_[k]->datacenter().energy_joules();
+    if (energy < last_energy_[k]) {
+      failures.push_back("shard " + std::to_string(k) +
+                         " energy integral went backwards: " +
+                         std::to_string(last_energy_[k]) + " J -> " +
+                         std::to_string(energy) + " J");
+    }
+    last_energy_[k] = energy;
+  }
+  return failures;
+}
+
+void ShardedDailyRun::write_events_csv(std::ostream& out) const {
+  // (K+1)-way merge over per-shard segments (each already time-ordered)
+  // plus the coordinator's cross-shard rows, keyed by (time, stream) with
+  // the coordinator last. Row format is EventLog::write_csv's, with local
+  // ids translated to global — K=1 reproduces its bytes exactly.
+  std::vector<EventStream> streams;
+  streams.reserve(shards_.size() + 1);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard* shard = shards_[s].get();
+    streams.push_back(EventStream{
+        &shard->event_log().events(), [this, shard, s](const metrics::Event& raw) {
+          metrics::Event e = raw;
+          if (e.vm != dc::kNoVm) {
+            e.vm = static_cast<dc::VmId>(shard->trace_of(e.vm));
+          }
+          if (e.server != dc::kNoServer) {
+            e.server = plan_.global_server(s, e.server);
+          }
+          return e;
+        }});
+  }
+  streams.push_back(EventStream{&coordinator_events_, {}});
+  write_merged_events_csv(out, merge_event_streams(streams));
 }
 
 }  // namespace ecocloud::par

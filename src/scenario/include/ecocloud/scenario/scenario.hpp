@@ -103,6 +103,14 @@ struct DailyConfig {
 ///    motivates the paper's Sec. I under-utilization discussion).
 enum class Algorithm { kEcoCloud, kCentralized, kStatic };
 
+/// Configuration fingerprint of a daily run (every field that shapes the
+/// deterministic event stream, printed with round-tripping precision).
+/// Shared by DailyScenario::config_digest and the sharded runner, which
+/// appends its shard count so single- and sharded-run snapshots never
+/// restore into each other.
+[[nodiscard]] std::string daily_config_digest(const DailyConfig& config,
+                                              const char* algo);
+
 /// A fully wired daily-cycle experiment. Construct, then run().
 class DailyScenario {
  public:

@@ -210,34 +210,39 @@ void DailyScenario::run_resumed() {
   if (injector_) injector_->finalize(config_.horizon_s);
 }
 
-std::string DailyScenario::config_digest() const {
+std::string daily_config_digest(const DailyConfig& config, const char* algo) {
   std::string digest = "daily algo=";
-  digest += algorithm_ == Algorithm::kEcoCloud       ? "eco"
-            : algorithm_ == Algorithm::kCentralized ? "centralized"
-                                                    : "static";
-  digest_u(digest, "seed", config_.seed);
-  digest_u(digest, "servers", config_.fleet.num_servers);
-  digest_f(digest, "core_mhz", config_.fleet.core_mhz);
+  digest += algo;
+  digest_u(digest, "seed", config.seed);
+  digest_u(digest, "servers", config.fleet.num_servers);
+  digest_f(digest, "core_mhz", config.fleet.core_mhz);
   digest += " mix=";
-  for (unsigned cores : config_.fleet.core_mix) {
+  for (unsigned cores : config.fleet.core_mix) {
     digest += std::to_string(cores);
     digest += ',';
   }
-  digest_f(digest, "ram_per_core", config_.fleet.ram_per_core_mb);
-  digest_u(digest, "vms", config_.num_vms);
-  digest_f(digest, "horizon", config_.horizon_s);
-  digest_f(digest, "warmup", config_.warmup_s);
-  digest_params(digest, config_.params);
-  digest_workload(digest, config_.workload);
-  digest_faults(digest, config_.faults);
-  if (config_.topology) {
-    digest_u(digest, "racks", config_.topology->num_racks);
-    digest_f(digest, "intra_gbps", config_.topology->intra_rack_gbps);
-    digest_f(digest, "inter_gbps", config_.topology->inter_rack_gbps);
+  digest_f(digest, "ram_per_core", config.fleet.ram_per_core_mb);
+  digest_u(digest, "vms", config.num_vms);
+  digest_f(digest, "horizon", config.horizon_s);
+  digest_f(digest, "warmup", config.warmup_s);
+  digest_params(digest, config.params);
+  digest_workload(digest, config.workload);
+  digest_faults(digest, config.faults);
+  if (config.topology) {
+    digest_u(digest, "racks", config.topology->num_racks);
+    digest_f(digest, "intra_gbps", config.topology->intra_rack_gbps);
+    digest_f(digest, "inter_gbps", config.topology->inter_rack_gbps);
   } else {
     digest += " topo=none";
   }
   return digest;
+}
+
+std::string DailyScenario::config_digest() const {
+  return daily_config_digest(config_,
+                             algorithm_ == Algorithm::kEcoCloud       ? "eco"
+                             : algorithm_ == Algorithm::kCentralized ? "centralized"
+                                                                     : "static");
 }
 
 void DailyScenario::register_checkpoint(ckpt::CheckpointManager& manager) {

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file exit_codes.hpp
+/// \brief Process exit codes shared by the CLI and the in-process guards.
+///
+/// The nemesis harness and CI scripts distinguish *why* a run died:
+/// a misconfigured invocation, an ordinary runtime failure, an invariant
+/// violation caught by the auditor, or a wall-clock stall caught by the
+/// watchdog. Each failure class gets its own code so shell checks can
+/// assert on `$?` instead of grepping stderr. Documented in README
+/// ("Exit codes"); values are part of the CLI's interface — append,
+/// never renumber.
+
+namespace ecocloud::util::exit_code {
+
+inline constexpr int kSuccess = 0;
+/// Unhandled runtime error (I/O failure, internal logic error, ...).
+inline constexpr int kRuntimeFailure = 1;
+/// Invalid configuration or command line (util::require violations).
+inline constexpr int kConfigError = 2;
+/// The runtime auditor found an invariant violation under --audit-action
+/// abort.
+inline constexpr int kAuditViolation = 4;
+/// The watchdog detected a stalled event loop (--watchdog-stall).
+inline constexpr int kWatchdogStall = 5;
+
+}  // namespace ecocloud::util::exit_code

@@ -7,10 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "ecocloud/metrics/event_log.hpp"
+#include "ecocloud/par/event_merge.hpp"
 #include "ecocloud/par/partition.hpp"
 #include "ecocloud/par/sharded_runner.hpp"
 #include "ecocloud/scenario/scenario.hpp"
@@ -27,6 +31,25 @@ scenario::DailyConfig small_config() {
   config.warmup_s = 0.5 * sim::kHour;
   config.seed = 7;
   return config;
+}
+
+scenario::DailyConfig faulted_config() {
+  auto config = small_config();
+  config.faults.server_mtbf_s = 2.0 * sim::kHour;
+  config.faults.server_mttr_s = 600.0;
+  config.faults.migration_abort_prob = 0.05;
+  return config;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "par_test_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
 }
 
 std::string events_csv(const par::ShardedDailyRun& run) {
@@ -91,14 +114,10 @@ TEST(ShardPlan, RejectsMoreShardsThanServers) {
 
 // --------------------------------------------------------- unsupported modes
 
-TEST(ShardedDailyRun, RejectsFaultsTopologyAndCheckpointing) {
-  {
-    auto config = small_config();
-    config.faults.server_mtbf_s = 3600.0;
-    config.faults.server_mttr_s = 60.0;
-    EXPECT_THROW(par::ShardedDailyRun(config, {.shards = 2}),
-                 std::invalid_argument);
-  }
+TEST(ShardedDailyRun, RejectsTopologyAndBadSyncInterval) {
+  // Rack topology is the one remaining exclusion (invitations would need
+  // cross-shard rack scoping); faults, checkpointing, auditing, and
+  // telemetry all compose with sharding now.
   {
     auto config = small_config();
     config.topology = net::TopologyConfig{};
@@ -106,11 +125,13 @@ TEST(ShardedDailyRun, RejectsFaultsTopologyAndCheckpointing) {
                  std::invalid_argument);
   }
   {
-    auto config = small_config();
-    config.run.checkpoint_out = "x.ckpt";
-    config.run.checkpoint_every_s = 300.0;
-    EXPECT_THROW(par::ShardedDailyRun(config, {.shards = 2}),
-                 std::invalid_argument);
+    const auto config = small_config();
+    EXPECT_THROW(
+        par::ShardedDailyRun(config, {.shards = 2, .sync_interval_s = 0.0}),
+        std::invalid_argument);
+    EXPECT_THROW(
+        par::ShardedDailyRun(config, {.shards = 2, .sync_interval_s = -5.0}),
+        std::invalid_argument);
   }
 }
 
@@ -208,4 +229,356 @@ TEST(ShardedDailyRun, SameShardCountSameSeedReproduces) {
   b.run();
   EXPECT_EQ(events_csv(a), events_csv(b));
   EXPECT_EQ(a.stats().energy_joules, b.stats().energy_joules);
+}
+
+// ------------------------------------------------------- faults under shards
+
+TEST(ShardedDailyRun, SingleShardFaultedMatchesSingleThreadedEngine) {
+  // K=1 with fault injection replays the single-threaded faulted run
+  // exactly: same crash/repair draws, same redeploys, same bytes.
+  const auto config = faulted_config();
+
+  scenario::DailyScenario reference(config);
+  metrics::EventLog reference_log;
+  reference_log.attach(*reference.ecocloud());
+  reference.run();
+  ASSERT_NE(reference.fault_injector(), nullptr);
+
+  par::ShardedDailyRun sharded(config, {.shards = 1, .threads = 2});
+  ASSERT_NE(sharded.shard(0).fault_injector(), nullptr);
+  sharded.run();
+
+  EXPECT_EQ(sharded.stats().executed_events,
+            reference.simulator().executed_events());
+  EXPECT_EQ(sharded.stats().migrations,
+            reference.datacenter().total_migrations());
+  EXPECT_EQ(sharded.stats().energy_joules,
+            reference.datacenter().energy_joules());
+  expect_samples_identical(sharded.merged_samples(),
+                           reference.collector().samples());
+
+  std::ostringstream reference_csv;
+  reference_log.write_csv(reference_csv);
+  EXPECT_EQ(events_csv(sharded), reference_csv.str());
+}
+
+TEST(ShardedDailyRun, FaultedRunIsDeterministicAcrossThreadCounts) {
+  const auto config = faulted_config();
+
+  par::ShardedDailyRun t1(config, {.shards = 4, .threads = 1});
+  par::ShardedDailyRun t2(config, {.shards = 4, .threads = 2});
+  par::ShardedDailyRun t8(config, {.shards = 4, .threads = 8});
+  t1.run();
+  t2.run();
+  t8.run();
+
+  // The faulted trajectory actually exercises the failure path.
+  std::uint64_t crashes = 0;
+  for (std::size_t k = 0; k < t1.num_shards(); ++k) {
+    ASSERT_NE(t1.shard(k).fault_injector(), nullptr);
+    crashes += t1.shard(k).fault_injector()->stats().crashes();
+  }
+  EXPECT_GT(crashes, 0u);
+
+  for (const par::ShardedDailyRun* other : {&t2, &t8}) {
+    EXPECT_EQ(t1.stats().executed_events, other->stats().executed_events);
+    EXPECT_EQ(t1.stats().energy_joules, other->stats().energy_joules);
+    expect_samples_identical(t1.merged_samples(), other->merged_samples());
+    EXPECT_EQ(events_csv(t1), events_csv(*other));
+  }
+}
+
+// --------------------------------------------------------- checkpoint/resume
+
+TEST(ShardedDailyRun, CheckpointResumeIsBitIdenticalAcrossThreadCounts) {
+  const auto config = small_config();
+
+  // Uninterrupted reference: no checkpointing at all.
+  par::ShardedDailyRun reference(config, {.shards = 4, .threads = 2});
+  reference.run();
+
+  // Checkpointed run: snapshot every 1800 s of sim time; keep a copy of
+  // the FIRST snapshot (later barriers overwrite checkpoint_out).
+  auto ckpt_config = config;
+  ckpt_config.run.checkpoint_out = temp_path("shard.ckpt");
+  ckpt_config.run.checkpoint_every_s = 1800.0;
+  const std::string first_snapshot = temp_path("shard_first.ckpt");
+  par::ShardedDailyRun checkpointed(ckpt_config, {.shards = 4, .threads = 2});
+  std::size_t snapshots = 0;
+  checkpointed.on_checkpoint = [&](const std::string& path) {
+    if (snapshots++ == 0) {
+      std::ofstream out(first_snapshot, std::ios::binary);
+      out << slurp(path);
+    }
+  };
+  checkpointed.run();
+  ASSERT_GT(snapshots, 1u);
+  EXPECT_EQ(checkpointed.stats().checkpoints_written, snapshots);
+
+  // Checkpointing must not perturb the trajectory.
+  EXPECT_EQ(events_csv(checkpointed), events_csv(reference));
+  EXPECT_EQ(checkpointed.stats().energy_joules,
+            reference.stats().energy_joules);
+
+  // Resume the first mid-run snapshot at two other thread counts; both
+  // must land byte-identical to the uninterrupted reference.
+  for (const std::size_t threads : {1u, 8u}) {
+    par::ShardedDailyRun resumed(config, {.shards = 4, .threads = threads});
+    resumed.restore_snapshot(first_snapshot);
+    ASSERT_TRUE(resumed.resumed());
+    resumed.run();
+    EXPECT_EQ(events_csv(resumed), events_csv(reference));
+    EXPECT_EQ(resumed.stats().energy_joules, reference.stats().energy_joules);
+    expect_samples_identical(resumed.merged_samples(),
+                             reference.merged_samples());
+  }
+
+  std::remove(first_snapshot.c_str());
+  std::remove(ckpt_config.run.checkpoint_out.c_str());
+}
+
+TEST(ShardedDailyRun, FaultedCheckpointResumeReplaysExactly) {
+  // The hard case: snapshots must carry every shard's fault-process RNG
+  // and pending repair/redeploy state.
+  const auto config = faulted_config();
+
+  par::ShardedDailyRun reference(config, {.shards = 2, .threads = 2});
+  reference.run();
+
+  auto ckpt_config = config;
+  ckpt_config.run.checkpoint_out = temp_path("faulted.ckpt");
+  ckpt_config.run.checkpoint_every_s = 3600.0;
+  const std::string snapshot = temp_path("faulted_first.ckpt");
+  par::ShardedDailyRun checkpointed(ckpt_config, {.shards = 2, .threads = 2});
+  bool captured = false;
+  checkpointed.on_checkpoint = [&](const std::string& path) {
+    if (!captured) {
+      captured = true;
+      std::ofstream out(snapshot, std::ios::binary);
+      out << slurp(path);
+    }
+  };
+  checkpointed.run();
+  ASSERT_TRUE(captured);
+
+  par::ShardedDailyRun resumed(config, {.shards = 2, .threads = 1});
+  resumed.restore_snapshot(snapshot);
+  resumed.run();
+  EXPECT_EQ(events_csv(resumed), events_csv(reference));
+  EXPECT_EQ(resumed.stats().energy_joules, reference.stats().energy_joules);
+
+  std::remove(snapshot.c_str());
+  std::remove(ckpt_config.run.checkpoint_out.c_str());
+}
+
+TEST(ShardedDailyRun, RestoreRejectsDigestMismatch) {
+  const auto config = small_config();
+  const std::string snapshot = temp_path("digest.ckpt");
+  par::ShardedDailyRun source(config, {.shards = 2, .threads = 1});
+  source.save_snapshot(snapshot);
+
+  // Different shard count -> different trajectory -> refuse to restore.
+  par::ShardedDailyRun wrong_shards(config, {.shards = 4, .threads = 1});
+  EXPECT_THROW(wrong_shards.restore_snapshot(snapshot), std::exception);
+
+  // Different sync interval too.
+  par::ShardedDailyRun wrong_sync(
+      config, {.shards = 2, .threads = 1, .sync_interval_s = 600.0});
+  EXPECT_THROW(wrong_sync.restore_snapshot(snapshot), std::exception);
+
+  std::remove(snapshot.c_str());
+}
+
+// -------------------------------------------------- epoch-order explorer
+
+TEST(ShardedDailyRun, EpochExecutionOrderCannotChangeTrajectory) {
+  // Run K=3 under adversarial epoch interleavings: identity, reversed,
+  // and a per-epoch rotation. If any shard peeked at another shard's
+  // in-epoch state, some permutation would diverge.
+  const auto config = small_config();
+
+  par::ShardedDailyRun reference(config, {.shards = 3, .threads = 2});
+  reference.run();
+  const std::string reference_csv = events_csv(reference);
+
+  using Order = std::vector<std::size_t>;
+  const std::vector<
+      std::function<Order(std::uint64_t, std::size_t)>>
+      orders = {
+          [](std::uint64_t, std::size_t k) {
+            Order order(k);
+            for (std::size_t i = 0; i < k; ++i) order[i] = i;
+            return order;
+          },
+          [](std::uint64_t, std::size_t k) {
+            Order order(k);
+            for (std::size_t i = 0; i < k; ++i) order[i] = k - 1 - i;
+            return order;
+          },
+          [](std::uint64_t epoch, std::size_t k) {
+            Order order(k);
+            for (std::size_t i = 0; i < k; ++i) {
+              order[i] = (i + epoch) % k;
+            }
+            return order;
+          },
+      };
+
+  for (const auto& order : orders) {
+    par::ShardedDailyRun explored(
+        config, {.shards = 3, .threads = 1, .epoch_order = order});
+    explored.run();
+    EXPECT_EQ(events_csv(explored), reference_csv);
+    EXPECT_EQ(explored.stats().energy_joules, reference.stats().energy_joules);
+    expect_samples_identical(explored.merged_samples(),
+                             reference.merged_samples());
+  }
+}
+
+TEST(ShardedDailyRun, RejectsInvalidEpochOrder) {
+  const auto config = small_config();
+  // Duplicate index: not a permutation.
+  par::ShardedDailyRun run(
+      config, {.shards = 2, .threads = 1, .epoch_order = [](std::uint64_t,
+                                                            std::size_t) {
+                 return std::vector<std::size_t>{0, 0};
+               }});
+  EXPECT_THROW(run.run(), std::exception);
+}
+
+// ------------------------------------------------------------ barrier audits
+
+TEST(ShardedDailyRun, BarrierAuditsPassAndDoNotPerturbTheTrajectory) {
+  const auto config = small_config();
+
+  par::ShardedDailyRun reference(config, {.shards = 4, .threads = 2});
+  reference.run();
+
+  auto audited_config = config;
+  audited_config.run.audit_every_s = 600.0;
+  audited_config.run.audit_action = "log";
+  par::ShardedDailyRun audited(audited_config, {.shards = 4, .threads = 2});
+  audited.run();
+
+  EXPECT_GT(audited.stats().audits_run, 0u);
+  EXPECT_EQ(audited.stats().audit_failures, 0u);
+  EXPECT_EQ(events_csv(audited), events_csv(reference));
+  EXPECT_EQ(audited.stats().energy_joules, reference.stats().energy_joules);
+}
+
+TEST(ShardedDailyRun, FaultedBarrierAuditsStayClean) {
+  // Crash/repair churn plus cross-shard hand-offs must not trip the
+  // cross-shard ownership or conservation checks.
+  auto config = faulted_config();
+  config.run.audit_every_s = 900.0;
+  config.run.audit_action = "log";
+  par::ShardedDailyRun run(config, {.shards = 4, .threads = 2});
+  run.run();
+  EXPECT_GT(run.stats().audits_run, 0u);
+  EXPECT_EQ(run.stats().audit_failures, 0u);
+}
+
+// ---------------------------------------------------------- event-log merge
+
+TEST(EventMerge, EqualTimestampsKeepStreamOrder) {
+  using metrics::Event;
+  using metrics::EventKind;
+  // Three streams, all rows at the same instant: the merge must emit
+  // stream 0's rows first, then stream 1's, then stream 2's, keeping the
+  // within-stream order — the tie-break that makes shard stitching a pure
+  // function of (time, shard index).
+  const std::vector<Event> s0 = {
+      {100.0, EventKind::kAssignment, 0, 10, false},
+      {100.0, EventKind::kAssignment, 1, 11, false}};
+  const std::vector<Event> s1 = {
+      {100.0, EventKind::kActivation, dc::kNoVm, 20, false}};
+  const std::vector<Event> s2 = {
+      {100.0, EventKind::kMigrationStart, 2, 30, true}};
+  const std::vector<par::EventStream> streams = {
+      {&s0, {}}, {&s1, {}}, {&s2, {}}};
+
+  const auto merged = par::merge_event_streams(streams);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].server, 10u);
+  EXPECT_EQ(merged[1].server, 11u);
+  EXPECT_EQ(merged[2].server, 20u);
+  EXPECT_EQ(merged[3].server, 30u);
+
+  // Deterministic: merging twice yields the same rows.
+  const auto again = par::merge_event_streams(streams);
+  ASSERT_EQ(again.size(), merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(again[i].time, merged[i].time);
+    EXPECT_EQ(again[i].kind, merged[i].kind);
+    EXPECT_EQ(again[i].server, merged[i].server);
+  }
+}
+
+TEST(EventMerge, InterleavesStrictlyByTimeAcrossStreams) {
+  using metrics::Event;
+  using metrics::EventKind;
+  const std::vector<Event> s0 = {{1.0, EventKind::kAssignment, 0, 0, false},
+                                 {5.0, EventKind::kAssignment, 1, 0, false}};
+  const std::vector<Event> s1 = {{2.0, EventKind::kAssignment, 2, 1, false},
+                                 {4.0, EventKind::kAssignment, 3, 1, false}};
+  const auto merged = par::merge_event_streams({{&s0, {}}, {&s1, {}}});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].time, 1.0);
+  EXPECT_EQ(merged[1].time, 2.0);
+  EXPECT_EQ(merged[2].time, 4.0);
+  EXPECT_EQ(merged[3].time, 5.0);
+}
+
+TEST(EventMerge, TranslationRoundTripsLocalIdsThroughShardPlan) {
+  using metrics::Event;
+  using metrics::EventKind;
+  constexpr std::size_t kShards = 3;
+  const par::ShardPlan plan(kShards, 12, 30);
+
+  // Each shard stream holds LOCAL ids; translation lifts them to global
+  // via the plan. Round-trip: the merged global ids map back to exactly
+  // the (shard, local) pair that emitted them.
+  std::vector<std::vector<Event>> local(kShards);
+  for (std::size_t k = 0; k < kShards; ++k) {
+    for (dc::ServerId s = 0; s < plan.servers_in(k); ++s) {
+      local[k].push_back(
+          {static_cast<double>(k), EventKind::kActivation, dc::kNoVm, s,
+           false});
+    }
+  }
+  std::vector<par::EventStream> streams;
+  for (std::size_t k = 0; k < kShards; ++k) {
+    streams.push_back({&local[k], [&plan, k](const Event& raw) {
+                         Event e = raw;
+                         e.server = plan.global_server(k, raw.server);
+                         return e;
+                       }});
+  }
+
+  const auto merged = par::merge_event_streams(streams);
+  ASSERT_EQ(merged.size(), 12u);
+  std::vector<bool> seen(12, false);
+  for (const Event& e : merged) {
+    const std::size_t k = plan.shard_of_server(e.server);
+    EXPECT_EQ(static_cast<double>(k), e.time);  // emitted by that shard
+    EXPECT_EQ(plan.global_server(k, plan.local_server(e.server)), e.server);
+    EXPECT_FALSE(seen[e.server]);
+    seen[e.server] = true;
+  }
+}
+
+TEST(EventMerge, CsvMatchesEventLogFormat) {
+  using metrics::Event;
+  using metrics::EventKind;
+  // -1 sentinels and precision must match EventLog::write_csv exactly;
+  // the K=1 bit-identity tests depend on it, pin it directly too.
+  const std::vector<Event> rows = {
+      {0.125, EventKind::kActivation, dc::kNoVm, 3, false},
+      {7.5, EventKind::kMigrationStart, 42, 1, true}};
+  std::ostringstream out;
+  par::write_merged_events_csv(out, rows);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("time_s,kind,vm,server,is_high"), std::string::npos);
+  EXPECT_NE(csv.find(",-1,3,"), std::string::npos);  // kNoVm -> -1
+  EXPECT_NE(csv.find(",42,1,1"), std::string::npos);
 }

@@ -85,7 +85,13 @@ def validate_prometheus(path):
             if family_type is None:
                 fail(f"{where}: sample {name} has no preceding # TYPE")
             if family_type == "histogram":
-                h = histograms.setdefault(base, {"buckets": [], "sum": None, "count": None})
+                # One logical histogram per label set (minus "le"): sharded
+                # runs export e.g. {shard="0"} and {shard="1"} instances of
+                # the same family, each cumulative on its own.
+                series = tuple(sorted(
+                    (k, v) for k, v in label_map.items() if k != "le"))
+                h = histograms.setdefault(
+                    (base, series), {"buckets": [], "sum": None, "count": None})
                 if name.endswith("_bucket"):
                     if "le" not in label_map:
                         fail(f"{where}: histogram bucket without le label")
@@ -101,16 +107,17 @@ def validate_prometheus(path):
                     fail(f"{where}: negative counter {name}")
     if n_samples == 0:
         fail(f"{path}: no samples")
-    for base, h in histograms.items():
+    for (base, series), h in histograms.items():
+        what = base + (str(dict(series)) if series else "")
         if h["sum"] is None or h["count"] is None:
-            fail(f"{base}: histogram missing _sum or _count")
+            fail(f"{what}: histogram missing _sum or _count")
         if not h["buckets"] or not math.isinf(h["buckets"][-1][0]):
-            fail(f"{base}: histogram missing +Inf bucket")
+            fail(f"{what}: histogram missing +Inf bucket")
         counts = [v for _, v in h["buckets"]]
         if any(b > a for a, b in zip(counts[1:], counts)):
-            fail(f"{base}: histogram buckets not cumulative")
+            fail(f"{what}: histogram buckets not cumulative")
         if counts[-1] != h["count"]:
-            fail(f"{base}: +Inf bucket != _count")
+            fail(f"{what}: +Inf bucket != _count")
     print(f"{path}: OK ({n_samples} samples, {len(families)} families, "
           f"{len(histograms)} histograms)")
 
