@@ -29,6 +29,7 @@
 #include "ecocloud/core/probability.hpp"
 #include "ecocloud/metrics/episode_summary.hpp"
 #include "ecocloud/metrics/event_log.hpp"
+#include "ecocloud/metrics/event_log_binary.hpp"
 #include "ecocloud/obs/chrome_trace.hpp"
 #include "ecocloud/obs/exporters.hpp"
 #include "ecocloud/obs/instrumentation.hpp"
@@ -361,6 +362,12 @@ class Robustness {
   std::optional<ckpt::CheckpointManager> manager_;
 };
 
+/// --events output format: compact binary records by default (decode with
+/// eventlog2csv); an explicit .csv suffix keeps the legacy text format.
+bool events_path_wants_csv(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
 int usage() {
   std::puts(
       "usage: ecocloud_cli <command> [options]\n"
@@ -369,7 +376,9 @@ int usage() {
       "  run-daily          48-hour trace-driven experiment (paper Sec. III)\n"
       "    --config FILE    key=value configuration (default: paper setup)\n"
       "    --csv FILE       also write the 30-minute series as CSV\n"
-      "    --events FILE    also write the full decision event log as CSV\n"
+      "    --events FILE    also write the full decision event log (compact\n"
+      "                     binary; convert with eventlog2csv; a .csv suffix\n"
+      "                     writes the legacy text format directly)\n"
       "    --metrics-out F  write Prometheus text-format metrics at exit\n"
       "    --metrics-json F write a JSON metrics snapshot at exit\n"
       "    --trace-out F    write a Chrome trace-event timeline (open the\n"
@@ -591,10 +600,17 @@ int run_daily_sharded(Options& options, scenario::DailyConfig config,
   }
   if (csv_path) write_series_csv(*csv_path, run.merged_samples());
   if (events_path) {
-    std::ofstream out(*events_path);
+    const bool as_csv = events_path_wants_csv(*events_path);
+    std::ofstream out(*events_path,
+                      as_csv ? std::ios::out : std::ios::out | std::ios::binary);
     util::require(out.good(), "cannot open " + *events_path);
-    run.write_events_csv(out);
-    std::printf("event log written to %s\n", events_path->c_str());
+    if (as_csv) {
+      run.write_events_csv(out);
+    } else {
+      run.write_events_binary(out);
+    }
+    std::printf("event log written to %s%s\n", events_path->c_str(),
+                as_csv ? "" : " (binary; convert with eventlog2csv)");
   }
   if (telemetry) {
     if (metrics_path) {
@@ -725,11 +741,18 @@ int run_daily(Options& options) {
   }
   if (csv_path) write_series_csv(*csv_path, daily.collector().samples());
   if (events_path) {
-    std::ofstream out(*events_path);
+    const bool as_csv = events_path_wants_csv(*events_path);
+    std::ofstream out(*events_path,
+                      as_csv ? std::ios::out : std::ios::out | std::ios::binary);
     util::require(out.good(), "cannot open " + *events_path);
-    event_log.write_csv(out);
-    std::printf("event log written to %s (%zu events)\n", events_path->c_str(),
-                event_log.size());
+    if (as_csv) {
+      event_log.write_csv(out);
+    } else {
+      metrics::write_binary_events(out, event_log.events());
+    }
+    std::printf("event log written to %s (%zu events%s)\n", events_path->c_str(),
+                event_log.size(),
+                as_csv ? "" : "; binary, convert with eventlog2csv");
   }
   return 0;
 }
@@ -824,7 +847,9 @@ int help_config() {
       "             monitor_period_s, migration_cooldown_s,\n"
       "             migration_latency_s, boot_time_s, grace_period_s,\n"
       "             hibernate_delay_s, require_fit, enable_migrations,\n"
-      "             invite_group_size\n"
+      "             invite_group_size, fast_sampler\n"
+      "  memory:    streaming_traces (O(VMs) trace cursors, bit-identical\n"
+      "             stream; DESIGN.md Sec. 14)\n"
       "  faults:    under a [faults] section (or faults.-prefixed):\n"
       "             server_mtbf_s, server_mttr_s, migration_abort_prob,\n"
       "             boot_failure_prob, max_boot_retries,\n"

@@ -1,0 +1,56 @@
+// eventlog2csv — convert a binary decision event log (event_log_binary.hpp)
+// to the legacy CSV format, byte-identical to what EventLog::write_csv
+// would have produced for the same events.
+//
+//   eventlog2csv IN.bin [OUT.csv]
+//
+// With no OUT.csv the CSV goes to stdout. Exits 0 on success, 3 when the
+// input ends in a partial record (crash tail: the complete prefix is still
+// converted), and 1 on a corrupt or unrecognized input.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+
+#include "ecocloud/metrics/event_log_binary.hpp"
+
+namespace metrics = ecocloud::metrics;
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: eventlog2csv IN.bin [OUT.csv]\n");
+    return 2;
+  }
+
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "eventlog2csv: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  try {
+    metrics::BinaryReadResult result;
+    if (argc == 3) {
+      std::ofstream out(argv[2]);
+      if (!out.good()) {
+        std::fprintf(stderr, "eventlog2csv: cannot open %s\n", argv[2]);
+        return 1;
+      }
+      result = metrics::convert_binary_events_to_csv(in, out);
+    } else {
+      result = metrics::convert_binary_events_to_csv(in, std::cout);
+    }
+    if (result.truncated_tail) {
+      std::fprintf(stderr,
+                   "eventlog2csv: warning: input ends in a partial record "
+                   "(crash tail); converted the %zu complete events\n",
+                   result.events.size());
+      return 3;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "eventlog2csv: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,6 +29,29 @@ namespace ecocloud::bench {
 
 /// Warm-up skipped before the reported 48 hours.
 inline constexpr sim::SimTime kWarmup = 6.0 * sim::kHour;
+
+/// True high-water resident set size of this process in MB, from the
+/// kernel's VmHWM counter in /proc/self/status — the peak over the whole
+/// process lifetime, which is what a memory *budget* must be checked
+/// against (a current-RSS sample at measurement time misses transients
+/// like trace generation). Falls back to getrusage's ru_maxrss (also a
+/// high-water mark, but coarser on some kernels) where /proc is absent.
+inline double peak_rss_mb() {
+  if (std::FILE* status = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), status) != nullptr) {
+      long kib = 0;
+      if (std::sscanf(line, "VmHWM: %ld", &kib) == 1) {
+        std::fclose(status);
+        return static_cast<double>(kib) / 1024.0;
+      }
+    }
+    std::fclose(status);
+  }
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
+}
 
 /// The paper's Sec. III configuration plus warm-up.
 inline scenario::DailyConfig paper_daily_config() {

@@ -38,7 +38,8 @@ void emit_series() {
 
 void BM_PowerModelEval(benchmark::State& state) {
   dc::PowerModel pm;
-  dc::Server server(0, 6, 2000.0);
+  dc::ServerSoA server_soa;
+  dc::Server server = server_soa.add(6, 2000.0);
   server.set_state(dc::ServerState::kActive);
   server.host_vm(0, 6000.0, 0.0);
   for (auto _ : state) {

@@ -14,6 +14,11 @@
 //                --threads list at a fixed --shards count.
 //   scaleup16k — 40x the paper: 16,000 servers / 240,000 VMs / 48 h, run
 //                both single-threaded and sharded.
+//   planet100k — 100,000 servers / 1.5M VMs on a short horizon, run single
+//                (streaming traces) and sharded (materialized); both rows
+//                use the O(1) sampler with invite_group_size = 64.
+//   planet1m   — 1,000,000 servers / 15M VMs, streaming traces, single
+//                only (the sharded engine materializes a shared TraceSet).
 //   ci         — reduced smoke: 100 servers / 1,500 VMs / 6 h (CI runners).
 //
 // Output: one JSON object per run (events, wall seconds, events/sec,
@@ -27,7 +32,6 @@
 
 #include "bench_common.hpp"
 
-#include <sys/resource.h>
 
 #include <atomic>
 #include <chrono>
@@ -81,13 +85,6 @@ struct EngineRun {
   double energy_kwh = 0.0;
 };
 
-double peak_rss_mb() {
-  rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
-  // Linux reports ru_maxrss in KiB.
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
-
 void print_row(const EngineRun& r) {
   std::printf("%s,%s,%zu,%zu,%zu,%zu,%.0f,%llu,%.3f,%.0f,%.1f,%llu\n",
               r.name.c_str(), r.mode.c_str(), r.shards, r.threads, r.servers,
@@ -96,16 +93,15 @@ void print_row(const EngineRun& r) {
               static_cast<unsigned long long>(r.allocations));
 }
 
-EngineRun run_scenario(const char* name, std::size_t servers, std::size_t vms,
-                       double hours) {
+EngineRun run_scenario_config(const char* name, scenario::DailyConfig config,
+                              double hours) {
   EngineRun out;
   out.name = name;
-  out.servers = servers;
-  out.vms = vms;
+  out.servers = config.fleet.num_servers;
+  out.vms = config.num_vms;
   out.sim_hours = hours;
 
-  scenario::DailyConfig config = bench::scaled_daily_config(servers, vms, hours);
-  scenario::DailyScenario daily(config);
+  scenario::DailyScenario daily(std::move(config));
 
   const std::uint64_t allocs_before =
       g_allocation_count.load(std::memory_order_relaxed);
@@ -119,27 +115,51 @@ EngineRun run_scenario(const char* name, std::size_t servers, std::size_t vms,
   out.wall_s = std::chrono::duration<double>(stop - start).count();
   out.events_per_sec =
       out.wall_s > 0.0 ? static_cast<double>(out.events) / out.wall_s : 0.0;
-  out.peak_rss_mb = peak_rss_mb();
+  out.peak_rss_mb = bench::peak_rss_mb();
   out.migrations = daily.datacenter().total_migrations();
   out.energy_kwh = daily.datacenter().energy_joules() / 3.6e6;
   print_row(out);
   return out;
 }
 
-EngineRun run_sharded_scenario(const char* name, std::size_t servers,
-                               std::size_t vms, double hours,
-                               std::size_t shards, std::size_t threads) {
+EngineRun run_scenario(const char* name, std::size_t servers, std::size_t vms,
+                       double hours) {
+  return run_scenario_config(name, bench::scaled_daily_config(servers, vms, hours),
+                             hours);
+}
+
+// Planet-tier configuration: the compat sampler broadcasts every invitation
+// to the whole active fleet, which is O(servers) per deploy and would turn
+// these rows into a measurement of that known quadratic — so the planet
+// rows run the O(1) sampler with a bounded invite group (DESIGN.md §14).
+// Streaming traces replace the materialized VMs x steps matrix with an
+// O(VMs) cursor bank; the sharded engine still shares one materialized
+// TraceSet, so its planet row keeps streaming off and relies on the short
+// horizon to bound the matrix.
+scenario::DailyConfig planet_daily_config(std::size_t servers, std::size_t vms,
+                                          double hours, double warmup_hours,
+                                          bool streaming) {
+  scenario::DailyConfig config = bench::scaled_daily_config(
+      servers, vms, hours, warmup_hours * sim::kHour);
+  config.params.fast_sampler = true;
+  config.params.invite_group_size = 64;
+  config.streaming_traces = streaming;
+  return config;
+}
+
+EngineRun run_sharded_scenario_config(const char* name,
+                                      const scenario::DailyConfig& config,
+                                      double hours, std::size_t shards,
+                                      std::size_t threads) {
   EngineRun out;
   out.name = name;
   out.mode = "sharded";
   out.shards = shards;
   out.threads = threads;
-  out.servers = servers;
-  out.vms = vms;
+  out.servers = config.fleet.num_servers;
+  out.vms = config.num_vms;
   out.sim_hours = hours;
 
-  const scenario::DailyConfig config =
-      bench::scaled_daily_config(servers, vms, hours);
   par::ShardedDailyRun run(config, {.shards = shards, .threads = threads});
 
   const std::uint64_t allocs_before =
@@ -154,12 +174,20 @@ EngineRun run_sharded_scenario(const char* name, std::size_t servers,
   out.wall_s = std::chrono::duration<double>(stop - start).count();
   out.events_per_sec =
       out.wall_s > 0.0 ? static_cast<double>(out.events) / out.wall_s : 0.0;
-  out.peak_rss_mb = peak_rss_mb();
+  out.peak_rss_mb = bench::peak_rss_mb();
   out.migrations = run.stats().migrations;
   out.cross_shard_migrations = run.stats().cross_shard_migrations;
   out.energy_kwh = run.total_energy_kwh();
   print_row(out);
   return out;
+}
+
+EngineRun run_sharded_scenario(const char* name, std::size_t servers,
+                               std::size_t vms, double hours,
+                               std::size_t shards, std::size_t threads) {
+  return run_sharded_scenario_config(
+      name, bench::scaled_daily_config(servers, vms, hours), hours, shards,
+      threads);
 }
 
 void write_json(const std::string& path, const std::vector<EngineRun>& runs) {
@@ -251,7 +279,8 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: bench_perf_engine "
-          "[--scenario paper|scaleup|sharded|scaleup16k|ci|all]\n"
+          "[--scenario paper|scaleup|sharded|scaleup16k|planet100k|"
+          "planet1m|ci|all]\n"
           "                         [--shards K] [--threads N1,N2,...] "
           "[--out PATH]\n");
       return 2;
@@ -289,6 +318,26 @@ int main(int argc, char** argv) {
     runs.push_back(run_scenario("scaleup_16000", 16000, 240000, 48.0));
     runs.push_back(run_sharded_scenario("scaleup_16000", 16000, 240000, 48.0,
                                         shards, thread_counts.back()));
+  }
+  if (which == "planet100k" || which == "all") {
+    // 100,000 servers / 1.5M VMs, 3 reported hours after a 1 h warm-up.
+    runs.push_back(run_scenario_config(
+        "planet_100k",
+        planet_daily_config(100'000, 1'500'000, 3.0, 1.0, /*streaming=*/true),
+        3.0));
+    runs.push_back(run_sharded_scenario_config(
+        "planet_100k",
+        planet_daily_config(100'000, 1'500'000, 3.0, 1.0, /*streaming=*/false),
+        3.0, shards, thread_counts.back()));
+  }
+  if (which == "planet1m" || which == "all") {
+    // 1,000,000 servers / 15M VMs, streaming only: a materialized trace
+    // matrix at this scale is tens of GB, the cursor bank ~1.1 GB.
+    runs.push_back(run_scenario_config(
+        "planet_1m",
+        planet_daily_config(1'000'000, 15'000'000, 0.5, 0.0,
+                            /*streaming=*/true),
+        0.5));
   }
   if (which == "ci") {
     runs.push_back(run_scenario("ci_smoke", 100, 1500, 6.0));

@@ -46,8 +46,12 @@ AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,
       ta_override >= 0.0 ? fa_.with_threshold(std::min(ta_override, 1.0)) : fa_;
 
   // Collect the servers to contact: the given group, or all active ones,
-  // optionally thinned to a random invite_group_size-sized subset.
-  std::vector<dc::ServerId> contacted;
+  // optionally thinned to a random invite_group_size-sized subset. The
+  // scratch buffers are rebuilt from empty every round, so reusing their
+  // capacity changes allocation only, never values or RNG draws.
+  std::vector<dc::ServerId>& contacted = scratch_contacted_;
+  contacted.clear();
+  bool already_sampled = false;
   if (subset) {
     contacted.reserve(subset->size());
     for (dc::ServerId id : *subset) {
@@ -55,6 +59,48 @@ AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,
         contacted.push_back(id);
       }
     }
+  } else if (params_.fast_sampler) {
+    // Fast sampler: draw straight from the dense membership set. With a
+    // group size k this is O(k) instead of copying the whole active set;
+    // a broadcast still walks every active server (that is what broadcast
+    // means) but skips the copy and the sort behind servers_with().
+    const std::vector<dc::ServerId>& active =
+        datacenter.state_members(dc::ServerState::kActive);
+    const bool exclude_active =
+        exclude != dc::kNoServer && datacenter.server(exclude).active();
+    // Draws over [0, eligible) are remapped around the excluded server's
+    // membership slot, covering the active set minus the exclusion without
+    // materializing it. When nothing is excluded excl_pos sits past the
+    // end and the remap never fires.
+    const std::size_t excl_pos =
+        exclude_active
+            ? static_cast<std::size_t>(datacenter.position_in_state(exclude))
+            : active.size();
+    const std::size_t eligible = active.size() - (exclude_active ? 1 : 0);
+    const std::size_t group = params_.invite_group_size;
+    if (group == 0 || eligible <= group) {
+      contacted.reserve(eligible);
+      for (dc::ServerId id : active) {
+        if (id != exclude) contacted.push_back(id);
+      }
+    } else {
+      // Floyd's subset sampling: `group` distinct positions out of
+      // [0, eligible) in O(group) draws; the dedup scan is linear in the
+      // group size (a few tens at most, per paper footnote 1).
+      std::vector<std::uint32_t>& picked = scratch_positions_;
+      picked.clear();
+      contacted.reserve(group);
+      for (std::size_t j = eligible - group; j < eligible; ++j) {
+        const auto t = static_cast<std::uint32_t>(rng_.uniform_int(j + 1));
+        const bool duplicate =
+            std::find(picked.begin(), picked.end(), t) != picked.end();
+        const std::uint32_t pos = duplicate ? static_cast<std::uint32_t>(j) : t;
+        picked.push_back(pos);
+        const std::size_t slot = pos + (pos >= excl_pos ? 1 : 0);
+        contacted.push_back(active[slot]);
+      }
+    }
+    already_sampled = true;
   } else {
     // The active index is already sorted ascending — the same order the old
     // full-fleet scan produced, so downstream RNG draws are unchanged.
@@ -65,7 +111,8 @@ AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,
       if (id != exclude) contacted.push_back(id);
     }
   }
-  if (params_.invite_group_size > 0 && contacted.size() > params_.invite_group_size) {
+  if (!already_sampled && params_.invite_group_size > 0 &&
+      contacted.size() > params_.invite_group_size) {
     // Partial Fisher-Yates: the first invite_group_size entries become a
     // uniformly random subset.
     for (std::size_t i = 0; i < params_.invite_group_size; ++i) {
@@ -86,7 +133,8 @@ AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,
   std::uint64_t replies_sent = 0;
   std::uint64_t invitations_lost = 0;
   std::uint64_t replies_lost = 0;
-  std::vector<dc::ServerId> volunteers;
+  std::vector<dc::ServerId>& volunteers = scratch_volunteers_;
+  volunteers.clear();
   for (dc::ServerId id : contacted) {
     if (faults_ && faults_->drop_invitation && faults_->drop_invitation()) {
       ++invitations_lost;

@@ -105,6 +105,26 @@ bool EcoCloudController::deploy_vm(dc::VmId vm) {
 
 bool EcoCloudController::queue_on_booting(dc::VmId vm) {
   const dc::Vm& machine = dc_.vm(vm);
+  if (params_.fast_sampler) {
+    // Probe a few random open-boot entries instead of scanning every boot
+    // queue. Closure keeps the registry mostly-fit, so the first probe
+    // nearly always lands; when all probes miss, the caller wakes another
+    // server — at worst a slightly eager wake, never an over-commitment.
+    for (std::size_t probe = 0;
+         probe < kBootProbeCount && !open_boot_.empty(); ++probe) {
+      const dc::ServerId sid = open_boot_[rng_.index(open_boot_.size())];
+      const auto it = boot_queues_.find(sid);
+      const dc::Server& server = dc_.server(sid);
+      if (it == boot_queues_.end() || !server.booting()) continue;
+      const double committed =
+          it->second.queued_mhz + server.reserved_mhz() + machine.demand_mhz;
+      if (committed / server.capacity_mhz() <= params_.ta) {
+        queue_vm(sid, vm);
+        return true;
+      }
+    }
+    return false;
+  }
   for (auto& [server_id, queue] : boot_queues_) {
     const dc::Server& server = dc_.server(server_id);
     if (!server.booting()) continue;
@@ -122,8 +142,14 @@ bool EcoCloudController::queue_on_booting(dc::VmId vm) {
 }
 
 std::optional<dc::ServerId> EcoCloudController::wake_one_server() {
+  // A uniform pick needs no particular order. The compat sampler draws
+  // from the sorted view (the original behavior, re-sorted lazily after
+  // transitions); the fast sampler draws from the dense membership set
+  // directly, skipping the O(n log n) re-sort a planet-scale fleet would
+  // pay on almost every wake.
   const std::vector<dc::ServerId>& sleeping =
-      dc_.servers_with(dc::ServerState::kHibernated);
+      params_.fast_sampler ? dc_.state_members(dc::ServerState::kHibernated)
+                           : dc_.servers_with(dc::ServerState::kHibernated);
   if (sleeping.empty()) return std::nullopt;
   const dc::ServerId chosen = sleeping[rng_.index(sleeping.size())];
   const sim::SimTime now = sim_.now();
@@ -134,6 +160,7 @@ std::optional<dc::ServerId> EcoCloudController::wake_one_server() {
   BootQueue& queue = boot_queues_[chosen];
   queue.finish_at = now + params_.boot_time_s;
   queue.boot_attempts = 1;
+  if (params_.fast_sampler) open_boot_insert(chosen);
   queue.boot_event = sim_.schedule_after(
       params_.boot_time_s,
       sim::EventTag{sim::tag_owner::kController, kEvBootDone, chosen, 0},
@@ -142,7 +169,20 @@ std::optional<dc::ServerId> EcoCloudController::wake_one_server() {
 }
 
 std::optional<dc::ServerId> EcoCloudController::booting_with_room(
-    double demand_mhz) const {
+    double demand_mhz) {
+  if (params_.fast_sampler) {
+    for (std::size_t probe = 0;
+         probe < kBootProbeCount && !open_boot_.empty(); ++probe) {
+      const dc::ServerId sid = open_boot_[rng_.index(open_boot_.size())];
+      const auto it = boot_queues_.find(sid);
+      const dc::Server& server = dc_.server(sid);
+      if (it == boot_queues_.end() || !server.booting()) continue;
+      const double committed =
+          it->second.queued_mhz + server.reserved_mhz() + demand_mhz;
+      if (committed / server.capacity_mhz() <= params_.ta) return sid;
+    }
+    return std::nullopt;
+  }
   for (const auto& [server_id, queue] : boot_queues_) {
     const dc::Server& server = dc_.server(server_id);
     if (!server.booting()) continue;
@@ -157,6 +197,7 @@ void EcoCloudController::queue_vm(dc::ServerId booting_server, dc::VmId vm) {
   queue.vms.push_back(vm);
   queue.queued_mhz += dc_.vm(vm).demand_mhz;
   queued_on_[vm] = booting_server;
+  if (params_.fast_sampler) open_boot_update(booting_server);
 }
 
 void EcoCloudController::on_boot_finished(dc::ServerId s) {
@@ -188,6 +229,7 @@ void EcoCloudController::on_boot_finished(dc::ServerId s) {
   }
 
   dc_.finish_booting(now, s);
+  open_boot_erase(s);
   dc_.server_mutable(s).set_grace_until(now + params_.grace_period_s);
   if (events_.on_activation) events_.on_activation(now, s);
 
@@ -213,10 +255,12 @@ void EcoCloudController::depart_vm(dc::VmId vm) {
   if (events_.on_vm_departed) events_.on_vm_departed(now, vm);
 
   if (auto it = queued_on_.find(vm); it != queued_on_.end()) {
-    BootQueue& queue = boot_queues_[it->second];
+    const dc::ServerId booting_server = it->second;
+    BootQueue& queue = boot_queues_[booting_server];
     queue.vms.erase(std::find(queue.vms.begin(), queue.vms.end(), vm));
     queue.queued_mhz -= machine.demand_mhz;
     queued_on_.erase(it);
+    if (params_.fast_sampler) open_boot_update(booting_server);
     return;
   }
 
@@ -411,6 +455,7 @@ std::vector<dc::VmId> EcoCloudController::fail_server(dc::ServerId server) {
     }
     boot_queues_.erase(it);
   }
+  open_boot_erase(server);
 
   const std::vector<dc::VmId> hosted = dc_.fail_server(now, server);
   orphans.insert(orphans.end(), hosted.begin(), hosted.end());
@@ -459,6 +504,37 @@ void EcoCloudController::hibernation_check(dc::ServerId s) {
 
 void EcoCloudController::grace_recheck(dc::ServerId s) {
   if (dc_.server(s).empty()) schedule_hibernation_check(s);
+}
+
+void EcoCloudController::open_boot_insert(dc::ServerId s) {
+  if (open_boot_pos_.find(s) != open_boot_pos_.end()) return;
+  open_boot_pos_[s] = static_cast<std::uint32_t>(open_boot_.size());
+  open_boot_.push_back(s);
+}
+
+void EcoCloudController::open_boot_erase(dc::ServerId s) {
+  const auto it = open_boot_pos_.find(s);
+  if (it == open_boot_pos_.end()) return;
+  const std::uint32_t pos = it->second;
+  open_boot_[pos] = open_boot_.back();
+  open_boot_pos_[open_boot_[pos]] = pos;
+  open_boot_.pop_back();
+  open_boot_pos_.erase(s);
+}
+
+void EcoCloudController::open_boot_update(dc::ServerId s) {
+  const auto it = boot_queues_.find(s);
+  const dc::Server& server = dc_.server(s);
+  if (it == boot_queues_.end() || !server.booting()) {
+    open_boot_erase(s);
+    return;
+  }
+  const double committed = it->second.queued_mhz + server.reserved_mhz();
+  if (committed / server.capacity_mhz() <= params_.ta) {
+    open_boot_insert(s);
+  } else {
+    open_boot_erase(s);
+  }
 }
 
 void EcoCloudController::save_state(util::BinWriter& w) const {
@@ -511,6 +587,10 @@ void EcoCloudController::save_state(util::BinWriter& w) const {
         out.boolean(flight.will_abort);
         // flight.done is rebuilt by bind_event at calendar import.
       });
+  // Open-boot registry in vector order: probes index into it, so the
+  // order is behavior. Always empty in compat mode.
+  w.u64(open_boot_.size());
+  for (dc::ServerId s : open_boot_) w.u64(s);
 }
 
 void EcoCloudController::load_state(util::BinReader& r) {
@@ -567,6 +647,15 @@ void EcoCloudController::load_state(util::BinReader& r) {
     flight.will_abort = in.boolean();
     return std::make_pair(vm, std::move(flight));
   });
+  open_boot_.clear();
+  open_boot_pos_.clear();
+  const std::uint64_t n_open = r.u64();
+  open_boot_.reserve(static_cast<std::size_t>(n_open));
+  for (std::uint64_t i = 0; i < n_open; ++i) {
+    const auto server = static_cast<dc::ServerId>(r.u64());
+    open_boot_pos_[server] = static_cast<std::uint32_t>(i);
+    open_boot_.push_back(server);
+  }
 }
 
 sim::Simulator::Callback EcoCloudController::rebuild_event(

@@ -86,6 +86,13 @@ class AssignmentProcedure {
   /// Mutable because trials happen inside the logically-const invite path,
   /// like the message log; pure accounting, no behavioral state.
   mutable BernoulliTally fa_tally_;
+  /// Per-round scratch buffers, rebuilt from empty on every invite() so
+  /// the hot path stops allocating once their capacity has grown to the
+  /// steady-state round size. Contents never survive a call; mutable for
+  /// the same reason as the tally.
+  mutable std::vector<dc::ServerId> scratch_contacted_;
+  mutable std::vector<dc::ServerId> scratch_volunteers_;
+  mutable std::vector<std::uint32_t> scratch_positions_;
 };
 
 }  // namespace ecocloud::core

@@ -258,10 +258,28 @@ class EcoCloudController {
   };
 
   /// Booting server with room for an inbound migration of \p demand_mhz.
-  std::optional<dc::ServerId> booting_with_room(double demand_mhz) const;
+  /// Non-const: the fast sampler probes the open-boot registry with RNG
+  /// draws instead of scanning every boot queue.
+  std::optional<dc::ServerId> booting_with_room(double demand_mhz);
   std::unordered_map<dc::ServerId, BootQueue> boot_queues_;
   std::unordered_map<dc::VmId, dc::ServerId> queued_on_;
   std::unordered_map<dc::VmId, Inflight> inflight_;
+
+  // --- Fast-sampler open-boot registry (params_.fast_sampler only) ---
+  // Booting servers believed to still have queue room under Ta. Deploy
+  // and migration paths probe kBootProbeCount random entries instead of
+  // scanning boot_queues_, re-checking fit at probe time — so a stale
+  // entry costs a wasted probe, never a wrong placement. A server leaves
+  // when its committed load passes Ta (or its boot resolves) and returns
+  // when a queued departure frees room. Probes index into open_boot_, so
+  // its order is deterministic state and is checkpointed verbatim.
+  static constexpr std::size_t kBootProbeCount = 8;
+  std::vector<dc::ServerId> open_boot_;
+  std::unordered_map<dc::ServerId, std::uint32_t> open_boot_pos_;
+  void open_boot_insert(dc::ServerId s);
+  void open_boot_erase(dc::ServerId s);
+  /// Re-derive open/closed for \p s from its committed-vs-Ta ratio.
+  void open_boot_update(dc::ServerId s);
 
   const FaultHooks* faults_ = nullptr;
   std::function<void(dc::VmId)> orphan_handler_;

@@ -61,6 +61,17 @@ struct EcoCloudParams {
   /// footnote 1); otherwise a uniformly random subset of this size.
   std::size_t invite_group_size = 0;
 
+  /// Sampling strategy for invitation rounds, wake-up picks, and booting
+  /// destination lookups. false = compatibility sampler: sorted-id scans
+  /// reproducing the original event stream bit-for-bit (the regression
+  /// pins in tests/engine_regression_test depend on this). true = O(k)
+  /// sampling over the DataCenter's dense per-state membership sets —
+  /// the planet-scale hot path (DESIGN.md §14). The two modes draw the
+  /// RNG differently, so they produce *different* but distributionally
+  /// equivalent runs (tests/sampler_equivalence_test); the flag is part
+  /// of the config digest, so snapshots never cross modes.
+  bool fast_sampler = false;
+
   /// Throws std::invalid_argument if any parameter is out of range or the
   /// thresholds are inconsistent (requires Tl < Ta < Th, per Sec. III's
   /// sensitivity discussion).

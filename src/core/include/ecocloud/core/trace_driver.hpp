@@ -1,16 +1,23 @@
 #pragma once
 
 /// \file trace_driver.hpp
-/// \brief Replays a TraceSet onto DataCenter VMs every sampling period.
+/// \brief Replays per-VM demand traces onto DataCenter VMs every sampling
+///        period.
 ///
 /// Each mapped VM's demand is refreshed from its trace series at every
 /// 5-minute tick (the CoMon sampling period), exactly as the paper's
-/// trace-driven simulations do.
+/// trace-driven simulations do. The driver reads from one of two sources:
+/// a materialized trace::TraceSet (the full sample matrix, O(VMs x
+/// horizon) memory) or a trace::StreamingTraces cursor bank (O(VMs)
+/// memory, samples produced lazily as the clock advances — DESIGN.md §14).
+/// Both sources yield bit-identical demands, so the event stream does not
+/// depend on which one backs the driver.
 
 #include <unordered_map>
 
 #include "ecocloud/dc/datacenter.hpp"
 #include "ecocloud/sim/simulator.hpp"
+#include "ecocloud/trace/streaming_traces.hpp"
 #include "ecocloud/trace/trace_set.hpp"
 #include "ecocloud/util/binio.hpp"
 
@@ -23,6 +30,12 @@ class TraceDriver {
 
   TraceDriver(sim::Simulator& simulator, dc::DataCenter& datacenter,
               const trace::TraceSet& traces);
+
+  /// Streaming-source driver. The cursor bank is advanced on demand
+  /// (monotonically) as ticks and VM arrivals query it; it must outlive
+  /// the driver, like the TraceSet in the materialized overload.
+  TraceDriver(sim::Simulator& simulator, dc::DataCenter& datacenter,
+              trace::StreamingTraces& streaming);
 
   /// Bind DataCenter VM \p vm to trace row \p trace_index and set its
   /// demand to the current sample.
@@ -50,16 +63,26 @@ class TraceDriver {
   /// iteration order preserved: tick() refreshes demands in map order and
   /// the DataCenter accumulates load deltas in that order, so a different
   /// order would change floating-point rounding and break bit-exact resume.
+  /// A streaming source carries no snapshot state of its own: it restarts
+  /// at step 0 and deterministically fast-forwards on the first query after
+  /// a restore.
   void save_state(util::BinWriter& w) const;
   void load_state(util::BinReader& r);
   [[nodiscard]] sim::Simulator::Callback rebuild_event(const sim::EventTag& tag);
 
  private:
   void tick();
+  [[nodiscard]] std::size_t source_num_vms() const;
+  [[nodiscard]] sim::SimTime source_sample_period_s() const;
+  /// Move streaming cursors to the step active at \p now. No-op for a
+  /// materialized source or when already there (ticks and same-tick VM
+  /// arrivals land on the same step regardless of event order).
+  void sync_streaming(sim::SimTime now) const;
 
   sim::Simulator& sim_;
   dc::DataCenter& dc_;
-  const trace::TraceSet& traces_;
+  const trace::TraceSet* traces_ = nullptr;
+  trace::StreamingTraces* streaming_ = nullptr;
   std::unordered_map<dc::VmId, std::size_t> vm_to_trace_;
   bool started_ = false;
 };

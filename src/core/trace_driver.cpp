@@ -11,10 +11,28 @@ namespace ecocloud::core {
 
 TraceDriver::TraceDriver(sim::Simulator& simulator, dc::DataCenter& datacenter,
                          const trace::TraceSet& traces)
-    : sim_(simulator), dc_(datacenter), traces_(traces) {}
+    : sim_(simulator), dc_(datacenter), traces_(&traces) {}
+
+TraceDriver::TraceDriver(sim::Simulator& simulator, dc::DataCenter& datacenter,
+                         trace::StreamingTraces& streaming)
+    : sim_(simulator), dc_(datacenter), streaming_(&streaming) {}
+
+std::size_t TraceDriver::source_num_vms() const {
+  return traces_ != nullptr ? traces_->num_vms() : streaming_->num_vms();
+}
+
+sim::SimTime TraceDriver::source_sample_period_s() const {
+  return traces_ != nullptr ? traces_->sample_period_s()
+                            : streaming_->sample_period_s();
+}
+
+void TraceDriver::sync_streaming(sim::SimTime now) const {
+  if (streaming_ != nullptr) streaming_->advance_to(streaming_->step_at(now));
+}
 
 void TraceDriver::map_vm(std::size_t trace_index, dc::VmId vm) {
-  util::require(trace_index < traces_.num_vms(), "TraceDriver::map_vm: bad trace index");
+  util::require(trace_index < source_num_vms(),
+                "TraceDriver::map_vm: bad trace index");
   vm_to_trace_[vm] = trace_index;
   dc_.set_vm_demand(sim_.now(), vm, current_demand_mhz(trace_index));
 }
@@ -22,15 +40,20 @@ void TraceDriver::map_vm(std::size_t trace_index, dc::VmId vm) {
 void TraceDriver::unmap_vm(dc::VmId vm) { vm_to_trace_.erase(vm); }
 
 double TraceDriver::current_demand_mhz(std::size_t trace_index) const {
-  return traces_.demand_mhz_at(trace_index, traces_.step_at(sim_.now()));
+  if (traces_ != nullptr) {
+    return traces_->demand_mhz_at(trace_index, traces_->step_at(sim_.now()));
+  }
+  sync_streaming(sim_.now());
+  return streaming_->demand_mhz_current(trace_index);
 }
 
 void TraceDriver::start() {
   util::ensure(!started_, "TraceDriver::start called twice");
   started_ = true;
-  sim_.schedule_periodic(traces_.sample_period_s(),
+  const sim::SimTime period = source_sample_period_s();
+  sim_.schedule_periodic(period,
                          sim::EventTag{sim::tag_owner::kTraceDriver, kEvTick, 0, 0},
-                         [this] { tick(); }, traces_.sample_period_s());
+                         [this] { tick(); }, period);
 }
 
 void TraceDriver::save_state(util::BinWriter& w) const {
@@ -47,7 +70,7 @@ void TraceDriver::load_state(util::BinReader& r) {
   util::load_unordered(r, vm_to_trace_, [this](util::BinReader& in) {
     const auto vm = static_cast<dc::VmId>(in.u64());
     const auto trace_index = static_cast<std::size_t>(in.u64());
-    util::require(trace_index < traces_.num_vms(),
+    util::require(trace_index < source_num_vms(),
                   "TraceDriver: snapshot trace index out of range");
     return std::make_pair(vm, trace_index);
   });
@@ -61,9 +84,16 @@ sim::Simulator::Callback TraceDriver::rebuild_event(const sim::EventTag& tag) {
 
 void TraceDriver::tick() {
   const sim::SimTime now = sim_.now();
-  const std::size_t step = traces_.step_at(now);
+  if (traces_ != nullptr) {
+    const std::size_t step = traces_->step_at(now);
+    for (const auto& [vm, trace_index] : vm_to_trace_) {
+      dc_.set_vm_demand(now, vm, traces_->demand_mhz_at(trace_index, step));
+    }
+    return;
+  }
+  sync_streaming(now);
   for (const auto& [vm, trace_index] : vm_to_trace_) {
-    dc_.set_vm_demand(now, vm, traces_.demand_mhz_at(trace_index, step));
+    dc_.set_vm_demand(now, vm, streaming_->demand_mhz_current(trace_index));
   }
 }
 

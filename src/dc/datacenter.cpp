@@ -11,13 +11,16 @@ namespace ecocloud::dc {
 DataCenter::DataCenter(PowerModel power_model) : power_model_(power_model) {}
 
 ServerId DataCenter::add_server(unsigned num_cores, double core_mhz, double ram_mb) {
-  const auto id = static_cast<ServerId>(servers_.size());
-  servers_.emplace_back(id, num_cores, core_mhz, ram_mb);
-  // Ids are handed out in increasing order, so push_back keeps the
-  // hibernated index sorted.
-  state_index(ServerState::kHibernated).push_back(id);
-  total_capacity_mhz_ += servers_.back().capacity_mhz();
-  power_contrib_w_.push_back(power_model_.power_w(servers_.back()));
+  const Server srv = servers_.add(num_cores, core_mhz, ram_mb);
+  const ServerId id = srv.id();
+  // Ids are handed out in increasing order, so the hibernated membership
+  // set starts out sorted (and the cached sorted view with it).
+  auto& hibernated = state_members_[static_cast<std::size_t>(ServerState::kHibernated)];
+  state_pos_.push_back(static_cast<std::uint32_t>(hibernated.size()));
+  hibernated.push_back(id);
+  sorted_dirty_[static_cast<std::size_t>(ServerState::kHibernated)] = true;
+  total_capacity_mhz_ += srv.capacity_mhz();
+  power_contrib_w_.push_back(power_model_.power_w(srv));
   total_power_w_ += power_contrib_w_.back();
   overload_vm_contrib_.push_back(0);
   overload_since_.push_back(-1.0);
@@ -29,17 +32,21 @@ ServerId DataCenter::add_server(unsigned num_cores, double core_mhz, double ram_
 VmId DataCenter::create_vm(double demand_mhz, double ram_mb) {
   util::require(demand_mhz >= 0.0, "DataCenter::create_vm: demand must be >= 0");
   util::require(ram_mb >= 0.0, "DataCenter::create_vm: ram must be >= 0");
-  const auto id = static_cast<VmId>(vms_.size());
-  Vm v;
-  v.id = id;
-  v.demand_mhz = demand_mhz;
-  v.ram_mb = ram_mb;
-  vms_.push_back(v);
-  return id;
+  return vms_.add(demand_mhz, ram_mb);
 }
 
 double DataCenter::overall_load() const {
   return total_capacity_mhz_ > 0.0 ? total_demand_mhz_ / total_capacity_mhz_ : 0.0;
+}
+
+const std::vector<ServerId>& DataCenter::servers_with(ServerState state) const {
+  const auto i = static_cast<std::size_t>(state);
+  if (sorted_dirty_[i]) {
+    sorted_view_[i] = state_members_[i];
+    std::sort(sorted_view_[i].begin(), sorted_view_[i].end());
+    sorted_dirty_[i] = false;
+  }
+  return sorted_view_[i];
 }
 
 std::vector<ServerId> DataCenter::servers_in_state(ServerState state) const {
@@ -50,15 +57,21 @@ std::vector<double> DataCenter::active_utilizations() const {
   const std::vector<ServerId>& active = servers_with(ServerState::kActive);
   std::vector<double> out;
   out.reserve(active.size());
-  for (ServerId s : active) out.push_back(servers_[s].utilization());
+  for (ServerId s : active) out.push_back(server(s).utilization());
   return out;
 }
 
-void DataCenter::move_server_index(ServerId s, ServerState from, ServerState to) {
-  std::vector<ServerId>& src = state_index(from);
-  src.erase(std::lower_bound(src.begin(), src.end(), s));
-  std::vector<ServerId>& dst = state_index(to);
-  dst.insert(std::lower_bound(dst.begin(), dst.end(), s), s);
+void DataCenter::move_server_state(ServerId s, ServerState from, ServerState to) {
+  std::vector<ServerId>& src = state_members_[static_cast<std::size_t>(from)];
+  const std::uint32_t pos = state_pos_[s];
+  src[pos] = src.back();
+  state_pos_[src[pos]] = pos;
+  src.pop_back();
+  std::vector<ServerId>& dst = state_members_[static_cast<std::size_t>(to)];
+  state_pos_[s] = static_cast<std::uint32_t>(dst.size());
+  dst.push_back(s);
+  sorted_dirty_[static_cast<std::size_t>(from)] = true;
+  sorted_dirty_[static_cast<std::size_t>(to)] = true;
 }
 
 void DataCenter::advance_to(sim::SimTime t) {
@@ -87,7 +100,7 @@ void DataCenter::reset_accounting(sim::SimTime t) {
 }
 
 void DataCenter::refresh_server(sim::SimTime t, ServerId s) {
-  Server& srv = servers_.at(s);
+  const Server srv = Server(servers_, s);
 
   const double new_power = power_model_.power_w(srv);
   total_power_w_ += new_power - power_contrib_w_[s];
@@ -124,38 +137,38 @@ double DataCenter::server_overload_seconds(ServerId s, sim::SimTime t) const {
 }
 
 double DataCenter::vm_overload_seconds(VmId v, sim::SimTime t) const {
-  const Vm& machine = vms_.at(v);
-  if (!machine.placed()) return machine.overload_total_s;
-  return machine.overload_total_s +
-         server_overload_seconds(machine.host, t) - machine.overload_baseline_s;
+  util::require(v < vms_.size(), "vm_overload_seconds: unknown VM");
+  if (vms_.host[v] == kNoServer) return vms_.overload_total_s[v];
+  return vms_.overload_total_s[v] +
+         server_overload_seconds(vms_.host[v], t) - vms_.overload_baseline_s[v];
 }
 
 void DataCenter::place_vm(sim::SimTime t, VmId v, ServerId s) {
   advance_to(t);
-  Vm& machine = vms_.at(v);
-  Server& srv = servers_.at(s);
-  util::require(!machine.placed(), "DataCenter::place_vm: VM already placed");
+  util::require(v < vms_.size(), "DataCenter::place_vm: unknown VM");
+  Server srv = server_mutable(s);
+  util::require(vms_.host[v] == kNoServer, "DataCenter::place_vm: VM already placed");
   util::require(srv.active(), "DataCenter::place_vm: server not active");
-  machine.host = s;
-  srv.host_vm(v, machine.demand_mhz, machine.ram_mb);
-  total_demand_mhz_ += machine.demand_mhz;
+  vms_.host[v] = s;
+  srv.host_vm(v, vms_.demand_mhz[v], vms_.ram_mb[v]);
+  total_demand_mhz_ += vms_.demand_mhz[v];
   ++placed_vm_count_;
   refresh_server(t, s);
-  machine.overload_baseline_s = server_overload_seconds(s, t);
+  vms_.overload_baseline_s[v] = server_overload_seconds(s, t);
 }
 
 void DataCenter::unplace_vm(sim::SimTime t, VmId v) {
   advance_to(t);
-  Vm& machine = vms_.at(v);
-  util::require(machine.placed(), "DataCenter::unplace_vm: VM not placed");
-  util::require(!machine.migrating(),
+  util::require(v < vms_.size(), "DataCenter::unplace_vm: unknown VM");
+  util::require(vms_.host[v] != kNoServer, "DataCenter::unplace_vm: VM not placed");
+  util::require(vms_.migrating_to[v] == kNoServer,
                 "DataCenter::unplace_vm: cancel the migration first");
-  const ServerId s = machine.host;
-  machine.overload_total_s +=
-      server_overload_seconds(s, t) - machine.overload_baseline_s;
-  servers_.at(s).unhost_vm(v, machine.demand_mhz, machine.ram_mb);
-  machine.host = kNoServer;
-  total_demand_mhz_ -= machine.demand_mhz;
+  const ServerId s = vms_.host[v];
+  vms_.overload_total_s[v] +=
+      server_overload_seconds(s, t) - vms_.overload_baseline_s[v];
+  server_mutable(s).unhost_vm(v, vms_.demand_mhz[v], vms_.ram_mb[v]);
+  vms_.host[v] = kNoServer;
+  total_demand_mhz_ -= vms_.demand_mhz[v];
   --placed_vm_count_;
   refresh_server(t, s);
 }
@@ -163,111 +176,119 @@ void DataCenter::unplace_vm(sim::SimTime t, VmId v) {
 void DataCenter::set_vm_demand(sim::SimTime t, VmId v, double demand_mhz) {
   util::require(demand_mhz >= 0.0, "DataCenter::set_vm_demand: demand must be >= 0");
   advance_to(t);
-  Vm& machine = vms_.at(v);
-  const double delta = demand_mhz - machine.demand_mhz;
-  machine.demand_mhz = demand_mhz;
-  if (machine.placed()) {
-    servers_.at(machine.host).change_demand(delta);
+  util::require(v < vms_.size(), "DataCenter::set_vm_demand: unknown VM");
+  const double delta = demand_mhz - vms_.demand_mhz[v];
+  vms_.demand_mhz[v] = demand_mhz;
+  const ServerId host = vms_.host[v];
+  if (host != kNoServer) {
+    Server(servers_, host).change_demand(delta);
     total_demand_mhz_ += delta;
-    refresh_server(t, machine.host);
+    refresh_server(t, host);
   }
-  if (machine.migrating()) {
+  const ServerId dest = vms_.migrating_to[v];
+  if (dest != kNoServer) {
     // Keep the destination reservation in sync with the new demand.
-    Server& target = servers_.at(machine.migrating_to);
-    target.remove_reservation(machine.reserved_at_dest_mhz);
-    machine.reserved_at_dest_mhz = demand_mhz;
+    Server target = Server(servers_, dest);
+    target.remove_reservation(vms_.reserved_at_dest_mhz[v]);
+    vms_.reserved_at_dest_mhz[v] = demand_mhz;
     target.add_reservation(demand_mhz);
   }
 }
 
 void DataCenter::begin_migration(sim::SimTime t, VmId v, ServerId dest) {
   advance_to(t);
-  Vm& machine = vms_.at(v);
-  util::require(machine.placed(), "DataCenter::begin_migration: VM not placed");
-  util::require(!machine.migrating(), "DataCenter::begin_migration: already migrating");
-  util::require(dest != machine.host, "DataCenter::begin_migration: dest == source");
-  Server& target = servers_.at(dest);
+  util::require(v < vms_.size(), "DataCenter::begin_migration: unknown VM");
+  util::require(vms_.host[v] != kNoServer,
+                "DataCenter::begin_migration: VM not placed");
+  util::require(vms_.migrating_to[v] == kNoServer,
+                "DataCenter::begin_migration: already migrating");
+  util::require(dest != vms_.host[v], "DataCenter::begin_migration: dest == source");
+  Server target = server_mutable(dest);
   util::require(target.active() || target.booting(),
                 "DataCenter::begin_migration: destination is hibernated");
-  machine.migrating_to = dest;
-  machine.reserved_at_dest_mhz = machine.demand_mhz;
-  target.add_reservation(machine.reserved_at_dest_mhz);
-  servers_.at(machine.host).add_migrating_out();
+  vms_.migrating_to[v] = dest;
+  vms_.reserved_at_dest_mhz[v] = vms_.demand_mhz[v];
+  target.add_reservation(vms_.reserved_at_dest_mhz[v]);
+  Server(servers_, vms_.host[v]).add_migrating_out();
   ++inflight_;
   max_inflight_ = std::max(max_inflight_, inflight_);
 }
 
 void DataCenter::complete_migration(sim::SimTime t, VmId v) {
   advance_to(t);
-  Vm& machine = vms_.at(v);
-  util::require(machine.migrating(), "DataCenter::complete_migration: not migrating");
-  const ServerId src = machine.host;
-  const ServerId dest = machine.migrating_to;
-  Server& target = servers_.at(dest);
+  util::require(v < vms_.size(), "DataCenter::complete_migration: unknown VM");
+  util::require(vms_.migrating_to[v] != kNoServer,
+                "DataCenter::complete_migration: not migrating");
+  const ServerId src = vms_.host[v];
+  const ServerId dest = vms_.migrating_to[v];
+  Server target = server_mutable(dest);
   util::require(target.active(), "DataCenter::complete_migration: dest not active");
 
-  target.remove_reservation(machine.reserved_at_dest_mhz);
-  machine.reserved_at_dest_mhz = 0.0;
-  machine.overload_total_s +=
-      server_overload_seconds(src, t) - machine.overload_baseline_s;
-  servers_.at(src).remove_migrating_out();
-  servers_.at(src).unhost_vm(v, machine.demand_mhz, machine.ram_mb);
-  target.host_vm(v, machine.demand_mhz, machine.ram_mb);
-  machine.host = dest;
-  machine.migrating_to = kNoServer;
+  target.remove_reservation(vms_.reserved_at_dest_mhz[v]);
+  vms_.reserved_at_dest_mhz[v] = 0.0;
+  vms_.overload_total_s[v] +=
+      server_overload_seconds(src, t) - vms_.overload_baseline_s[v];
+  Server source = Server(servers_, src);
+  source.remove_migrating_out();
+  source.unhost_vm(v, vms_.demand_mhz[v], vms_.ram_mb[v]);
+  target.host_vm(v, vms_.demand_mhz[v], vms_.ram_mb[v]);
+  vms_.host[v] = dest;
+  vms_.migrating_to[v] = kNoServer;
   --inflight_;
   ++migrations_;
   refresh_server(t, src);
   refresh_server(t, dest);
-  machine.overload_baseline_s = server_overload_seconds(dest, t);
+  vms_.overload_baseline_s[v] = server_overload_seconds(dest, t);
 }
 
 void DataCenter::cancel_migration(sim::SimTime t, VmId v) {
   advance_to(t);
-  Vm& machine = vms_.at(v);
-  util::require(machine.migrating(), "DataCenter::cancel_migration: not migrating");
-  servers_.at(machine.migrating_to).remove_reservation(machine.reserved_at_dest_mhz);
-  servers_.at(machine.host).remove_migrating_out();
-  machine.reserved_at_dest_mhz = 0.0;
-  machine.migrating_to = kNoServer;
+  util::require(v < vms_.size(), "DataCenter::cancel_migration: unknown VM");
+  util::require(vms_.migrating_to[v] != kNoServer,
+                "DataCenter::cancel_migration: not migrating");
+  Server(servers_, vms_.migrating_to[v])
+      .remove_reservation(vms_.reserved_at_dest_mhz[v]);
+  Server(servers_, vms_.host[v]).remove_migrating_out();
+  vms_.reserved_at_dest_mhz[v] = 0.0;
+  vms_.migrating_to[v] = kNoServer;
   --inflight_;
 }
 
 void DataCenter::start_booting(sim::SimTime t, ServerId s) {
   advance_to(t);
-  Server& srv = servers_.at(s);
+  Server srv = server_mutable(s);
   util::require(srv.hibernated(), "DataCenter::start_booting: server not hibernated");
   srv.set_state(ServerState::kBooting);
-  move_server_index(s, ServerState::kHibernated, ServerState::kBooting);
+  move_server_state(s, ServerState::kHibernated, ServerState::kBooting);
   refresh_server(t, s);
 }
 
 void DataCenter::finish_booting(sim::SimTime t, ServerId s) {
   advance_to(t);
-  Server& srv = servers_.at(s);
+  Server srv = server_mutable(s);
   util::require(srv.booting(), "DataCenter::finish_booting: server not booting");
   srv.set_state(ServerState::kActive);
-  move_server_index(s, ServerState::kBooting, ServerState::kActive);
+  move_server_state(s, ServerState::kBooting, ServerState::kActive);
   ++activations_;
   refresh_server(t, s);
 }
 
 void DataCenter::hibernate(sim::SimTime t, ServerId s) {
   advance_to(t);
-  Server& srv = servers_.at(s);
+  Server srv = server_mutable(s);
   util::require(srv.active(), "DataCenter::hibernate: server not active");
   util::require(srv.empty(), "DataCenter::hibernate: server still hosts VMs");
   util::require(srv.reserved_mhz() == 0.0,
                 "DataCenter::hibernate: inbound migration reservation pending");
   srv.set_state(ServerState::kHibernated);
-  move_server_index(s, ServerState::kActive, ServerState::kHibernated);
+  move_server_state(s, ServerState::kActive, ServerState::kHibernated);
   ++hibernations_;
   refresh_server(t, s);
 }
 
 std::vector<VmId> DataCenter::fail_server(sim::SimTime t, ServerId s) {
   advance_to(t);
-  Server& srv = servers_.at(s);
+  Server srv = server_mutable(s);
   util::require(!srv.failed(), "DataCenter::fail_server: server already failed");
   // Check the reservation *count*, not the float sum: out-of-order releases
   // of concurrent reservations can leave sub-epsilon residue in the sum.
@@ -279,18 +300,17 @@ std::vector<VmId> DataCenter::fail_server(sim::SimTime t, ServerId s) {
   // unplace_vm would. The vector is copied because unhosting mutates it.
   const std::vector<VmId> orphans = srv.vms();
   for (VmId v : orphans) {
-    Vm& machine = vms_.at(v);
-    util::require(!machine.migrating(),
+    util::require(vms_.migrating_to[v] == kNoServer,
                   "DataCenter::fail_server: roll back outbound migrations first");
-    machine.overload_total_s +=
-        server_overload_seconds(s, t) - machine.overload_baseline_s;
-    srv.unhost_vm(v, machine.demand_mhz, machine.ram_mb);
-    machine.host = kNoServer;
-    total_demand_mhz_ -= machine.demand_mhz;
+    vms_.overload_total_s[v] +=
+        server_overload_seconds(s, t) - vms_.overload_baseline_s[v];
+    srv.unhost_vm(v, vms_.demand_mhz[v], vms_.ram_mb[v]);
+    vms_.host[v] = kNoServer;
+    total_demand_mhz_ -= vms_.demand_mhz[v];
     --placed_vm_count_;
   }
 
-  move_server_index(s, srv.state(), ServerState::kFailed);
+  move_server_state(s, srv.state(), ServerState::kFailed);
   srv.set_state(ServerState::kFailed);
   srv.set_grace_until(-1.0);
   srv.set_migration_cooldown_until(-1.0);
@@ -301,10 +321,10 @@ std::vector<VmId> DataCenter::fail_server(sim::SimTime t, ServerId s) {
 
 void DataCenter::repair_server(sim::SimTime t, ServerId s) {
   advance_to(t);
-  Server& srv = servers_.at(s);
+  Server srv = server_mutable(s);
   util::require(srv.failed(), "DataCenter::repair_server: server not failed");
   srv.set_state(ServerState::kHibernated);
-  move_server_index(s, ServerState::kFailed, ServerState::kHibernated);
+  move_server_state(s, ServerState::kFailed, ServerState::kHibernated);
   ++repairs_;
   refresh_server(t, s);
 }
@@ -341,21 +361,22 @@ void load_double_vector(util::BinReader& r, std::vector<double>& xs) {
 
 void DataCenter::save_state(util::BinWriter& w) const {
   w.u64(servers_.size());
-  for (const Server& srv : servers_) {
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const Server srv = server(static_cast<ServerId>(s));
     w.u32(srv.num_cores());
     w.f64(srv.core_mhz());
     w.f64(srv.ram_capacity_mb());
     srv.save_state(w);
   }
   w.u64(vms_.size());
-  for (const Vm& v : vms_) {
-    w.f64(v.demand_mhz);
-    w.f64(v.ram_mb);
-    w.u64(v.host);
-    w.u64(v.migrating_to);
-    w.f64(v.reserved_at_dest_mhz);
-    w.f64(v.overload_total_s);
-    w.f64(v.overload_baseline_s);
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    w.f64(vms_.demand_mhz[i]);
+    w.f64(vms_.ram_mb[i]);
+    w.u64(vms_.host[i]);
+    w.u64(vms_.migrating_to[i]);
+    w.f64(vms_.reserved_at_dest_mhz[i]);
+    w.f64(vms_.overload_total_s[i]);
+    w.f64(vms_.overload_baseline_s[i]);
   }
   save_double_vector(w, power_contrib_w_);
   w.u64(overload_vm_contrib_.size());
@@ -363,7 +384,9 @@ void DataCenter::save_state(util::BinWriter& w) const {
   save_double_vector(w, overload_since_);
   save_double_vector(w, overload_min_granted_);
   save_double_vector(w, overload_accum_s_);
-  for (const auto& index : state_index_) save_id_vector(w, index);
+  // Dense membership sets, in membership order: the O(1) samplers draw by
+  // position, so the order itself is part of the deterministic state.
+  for (const auto& members : state_members_) save_id_vector(w, members);
   w.u64(placed_vm_count_);
   w.f64(total_capacity_mhz_);
   w.f64(total_demand_mhz_);
@@ -397,7 +420,8 @@ void DataCenter::load_state(util::BinReader& r) {
         " servers but the configured fleet has " +
         std::to_string(servers_.size()));
   }
-  for (Server& srv : servers_) {
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    Server srv = Server(servers_, static_cast<ServerId>(s));
     const std::uint32_t cores = r.u32();
     const double core_mhz = r.f64();
     const double ram_mb = r.f64();
@@ -413,16 +437,14 @@ void DataCenter::load_state(util::BinReader& r) {
   vms_.clear();
   vms_.reserve(static_cast<std::size_t>(num_vms));
   for (std::uint64_t i = 0; i < num_vms; ++i) {
-    Vm v;
-    v.id = static_cast<VmId>(i);
-    v.demand_mhz = r.f64();
-    v.ram_mb = r.f64();
-    v.host = static_cast<ServerId>(r.u64());
-    v.migrating_to = static_cast<ServerId>(r.u64());
-    v.reserved_at_dest_mhz = r.f64();
-    v.overload_total_s = r.f64();
-    v.overload_baseline_s = r.f64();
-    vms_.push_back(v);
+    const double demand = r.f64();
+    const double ram = r.f64();
+    const VmId id = vms_.add(demand, ram);
+    vms_.host[id] = static_cast<ServerId>(r.u64());
+    vms_.migrating_to[id] = static_cast<ServerId>(r.u64());
+    vms_.reserved_at_dest_mhz[id] = r.f64();
+    vms_.overload_total_s[id] = r.f64();
+    vms_.overload_baseline_s[id] = r.f64();
   }
   load_double_vector(r, power_contrib_w_);
   const std::uint64_t num_contrib = r.u64();
@@ -443,7 +465,26 @@ void DataCenter::load_state(util::BinReader& r) {
         "DataCenter::load_state: per-server cache arrays do not match the "
         "fleet size");
   }
-  for (auto& index : state_index_) load_id_vector(r, index);
+  std::size_t member_total = 0;
+  for (auto& members : state_members_) {
+    load_id_vector(r, members);
+    member_total += members.size();
+  }
+  if (member_total != servers_.size()) {
+    throw std::runtime_error(
+        "DataCenter::load_state: state membership does not cover the fleet");
+  }
+  state_pos_.assign(servers_.size(), 0);
+  for (const auto& members : state_members_) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] >= servers_.size()) {
+        throw std::runtime_error(
+            "DataCenter::load_state: state membership names unknown server");
+      }
+      state_pos_[members[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+  sorted_dirty_.fill(true);
   placed_vm_count_ = static_cast<std::size_t>(r.u64());
   total_capacity_mhz_ = r.f64();
   total_demand_mhz_ = r.f64();
@@ -483,7 +524,7 @@ std::vector<std::string> DataCenter::audit_invariants(double tolerance) const {
   std::vector<std::size_t> times_hosted(vms_.size(), 0);
   std::size_t hosted_total = 0;
   double demand_total_recomputed = 0.0;
-  for (const Server& srv : servers_) {
+  for (const Server srv : servers()) {
     double demand_sum = 0.0;
     double ram_sum = 0.0;
     std::size_t migrating_out = 0;
@@ -494,15 +535,14 @@ std::vector<std::string> DataCenter::audit_invariants(double tolerance) const {
         continue;
       }
       ++times_hosted[v];
-      const Vm& machine = vms_[v];
-      if (machine.host != srv.id()) {
+      if (vms_.host[v] != srv.id()) {
         complain("VM " + std::to_string(v) + " is listed on server " +
                  std::to_string(srv.id()) + " but records host " +
-                 std::to_string(machine.host));
+                 std::to_string(vms_.host[v]));
       }
-      demand_sum += machine.demand_mhz;
-      ram_sum += machine.ram_mb;
-      if (machine.migrating()) ++migrating_out;
+      demand_sum += vms_.demand_mhz[v];
+      ram_sum += vms_.ram_mb[v];
+      if (vms_.migrating_to[v] != kNoServer) ++migrating_out;
     }
     hosted_total += srv.vm_count();
     demand_total_recomputed += srv.demand_mhz();
@@ -531,26 +571,27 @@ std::vector<std::string> DataCenter::audit_invariants(double tolerance) const {
   // reservation counts match.
   std::vector<std::size_t> inbound(servers_.size(), 0);
   std::size_t migrating_vms = 0;
-  for (const Vm& machine : vms_) {
-    const std::size_t expected = machine.placed() ? 1 : 0;
-    if (times_hosted[machine.id] != expected) {
-      complain("VM " + std::to_string(machine.id) + " appears " +
-               std::to_string(times_hosted[machine.id]) +
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    const auto v = static_cast<VmId>(i);
+    const std::size_t expected = vms_.host[v] != kNoServer ? 1 : 0;
+    if (times_hosted[v] != expected) {
+      complain("VM " + std::to_string(v) + " appears " +
+               std::to_string(times_hosted[v]) +
                " times in server host lists but placed()=" +
                std::to_string(expected));
     }
-    if (machine.migrating()) {
+    if (vms_.migrating_to[v] != kNoServer) {
       ++migrating_vms;
-      if (machine.migrating_to < servers_.size()) {
-        ++inbound[machine.migrating_to];
+      if (vms_.migrating_to[v] < servers_.size()) {
+        ++inbound[vms_.migrating_to[v]];
       } else {
-        complain("VM " + std::to_string(machine.id) +
+        complain("VM " + std::to_string(v) +
                  " is migrating to unknown server " +
-                 std::to_string(machine.migrating_to));
+                 std::to_string(vms_.migrating_to[v]));
       }
     }
   }
-  for (const Server& srv : servers_) {
+  for (const Server srv : servers()) {
     if (srv.reservation_count() != inbound[srv.id()]) {
       complain("server " + std::to_string(srv.id()) + " reservation_count " +
                std::to_string(srv.reservation_count()) + " != " +
@@ -562,18 +603,35 @@ std::vector<std::string> DataCenter::audit_invariants(double tolerance) const {
              " != " + std::to_string(migrating_vms) + " migrating VMs");
   }
 
-  // State indices == brute-force scan (membership and sorted order).
-  for (std::size_t st = 0; st < state_index_.size(); ++st) {
+  // Dense state membership == brute-force scan (as a set), and the position
+  // map points every server at its own slot.
+  for (std::size_t st = 0; st < state_members_.size(); ++st) {
     std::vector<ServerId> expected;
-    for (const Server& srv : servers_) {
-      if (static_cast<std::size_t>(srv.state()) == st) {
-        expected.push_back(srv.id());
-      }
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      if (servers_.state[s] == st) expected.push_back(static_cast<ServerId>(s));
     }
-    if (state_index_[st] != expected) {
-      complain(std::string("state index for '") +
+    std::vector<ServerId> got = state_members_[st];
+    std::sort(got.begin(), got.end());
+    if (got != expected) {
+      complain(std::string("state membership for '") +
                to_string(static_cast<ServerState>(st)) +
                "' differs from a brute-force fleet scan");
+    }
+    const std::vector<ServerId>& members = state_members_[st];
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i] >= state_pos_.size() || state_pos_[members[i]] != i) {
+        complain("state position map is inconsistent for server " +
+                 std::to_string(members[i]));
+        break;
+      }
+    }
+    if (!sorted_dirty_[st]) {
+      std::vector<ServerId> sorted = state_members_[st];
+      std::sort(sorted.begin(), sorted.end());
+      if (sorted_view_[st] != sorted) {
+        complain(std::string("cached sorted view for '") +
+                 to_string(static_cast<ServerState>(st)) + "' is stale");
+      }
     }
   }
 
@@ -588,7 +646,7 @@ std::vector<std::string> DataCenter::audit_invariants(double tolerance) const {
   }
   double power_sum = 0.0;
   std::size_t overload_vms = 0;
-  for (const Server& srv : servers_) {
+  for (const Server srv : servers()) {
     const double expected_power = power_model_.power_w(srv);
     if (std::abs(power_contrib_w_[srv.id()] - expected_power) >
         tolerance * std::max(1.0, expected_power)) {
@@ -617,19 +675,42 @@ std::vector<std::string> DataCenter::audit_invariants(double tolerance) const {
 std::size_t DataCenter::heal_caches() {
   std::size_t healed = 0;
 
-  std::array<std::vector<ServerId>, 4> index;
-  for (const Server& srv : servers_) {
-    index[static_cast<std::size_t>(srv.state())].push_back(srv.id());
+  // Rebuild the dense membership sets when they disagree with the state
+  // column *as sets* (healing re-derives membership in ascending id order —
+  // a healed run may therefore sample in a different order, exactly as
+  // documented for the heal audit action).
+  bool members_ok = state_pos_.size() == servers_.size();
+  if (members_ok) {
+    std::array<std::size_t, 4> counts{};
+    for (std::size_t s = 0; s < servers_.size() && members_ok; ++s) {
+      const auto st = static_cast<std::size_t>(servers_.state[s]);
+      const std::vector<ServerId>& members = state_members_[st];
+      const std::uint32_t pos = state_pos_[s];
+      if (pos >= members.size() || members[pos] != static_cast<ServerId>(s)) {
+        members_ok = false;
+      }
+      ++counts[st];
+    }
+    for (std::size_t st = 0; st < 4 && members_ok; ++st) {
+      if (counts[st] != state_members_[st].size()) members_ok = false;
+    }
   }
-  if (index != state_index_) {
-    state_index_ = std::move(index);
+  if (!members_ok) {
+    for (auto& members : state_members_) members.clear();
+    state_pos_.assign(servers_.size(), 0);
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      auto& members = state_members_[static_cast<std::size_t>(servers_.state[s])];
+      state_pos_[s] = static_cast<std::uint32_t>(members.size());
+      members.push_back(static_cast<ServerId>(s));
+    }
     ++healed;
   }
+  sorted_dirty_.fill(true);
 
   double power_sum = 0.0;
   std::size_t overload_vms = 0;
   bool contrib_changed = false;
-  for (const Server& srv : servers_) {
+  for (const Server srv : servers()) {
     const double power = power_model_.power_w(srv);
     if (power_contrib_w_[srv.id()] != power) {
       power_contrib_w_[srv.id()] = power;
@@ -654,13 +735,13 @@ std::size_t DataCenter::heal_caches() {
   double demand = 0.0;
   double capacity = 0.0;
   std::size_t migrating = 0;
-  for (const Server& srv : servers_) {
+  for (const Server srv : servers()) {
     hosted += srv.vm_count();
     demand += srv.demand_mhz();
     capacity += srv.capacity_mhz();
   }
-  for (const Vm& machine : vms_) {
-    if (machine.migrating()) ++migrating;
+  for (ServerId dest : vms_.migrating_to) {
+    if (dest != kNoServer) ++migrating;
   }
   if (placed_vm_count_ != hosted || total_demand_mhz_ != demand ||
       total_capacity_mhz_ != capacity || inflight_ != migrating) {

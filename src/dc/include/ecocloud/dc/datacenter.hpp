@@ -11,6 +11,13 @@
 /// The class is deliberately policy-free: ecoCloud and the centralized
 /// baselines drive it through the same interface, which is what makes the
 /// comparison benches apples-to-apples.
+///
+/// Fleet storage is structure-of-arrays (ServerSoA / VmSoA, see server.hpp
+/// and vm.hpp): server(s)/vm(v) hand out views/snapshots over parallel POD
+/// columns. Per-state membership is a dense swap-erase index set per state
+/// (O(1) transitions, contiguous walks for the O(1) samplers); the sorted
+/// ascending-id view that pins the legacy RNG draw order is materialized
+/// lazily and cached until the next transition (DESIGN.md §14).
 
 #include <array>
 #include <cstdint>
@@ -22,6 +29,7 @@
 #include "ecocloud/dc/server.hpp"
 #include "ecocloud/dc/vm.hpp"
 #include "ecocloud/sim/time.hpp"
+#include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::dc {
 
@@ -33,6 +41,41 @@ struct OverloadEpisode {
   double duration_s = 0.0;
   /// Worst (lowest) fraction of demanded CPU granted during the episode.
   double min_granted_fraction = 1.0;
+};
+
+/// Iterable fleet view: yields a Server view per id, ascending. Replaces
+/// the former `const std::vector<Server>&` (the records no longer exist as
+/// contiguous structs); every call site was already a range-for.
+class ServerRange {
+ public:
+  class iterator {
+   public:
+    iterator(ServerSoA* soa, ServerId id) : soa_(soa), id_(id) {}
+    Server operator*() const { return Server(*soa_, id_); }
+    iterator& operator++() {
+      ++id_;
+      return *this;
+    }
+    bool operator==(const iterator& other) const { return id_ == other.id_; }
+    bool operator!=(const iterator& other) const { return id_ != other.id_; }
+
+   private:
+    ServerSoA* soa_;
+    ServerId id_;
+  };
+
+  explicit ServerRange(ServerSoA* soa) : soa_(soa) {}
+  [[nodiscard]] std::size_t size() const { return soa_->size(); }
+  [[nodiscard]] iterator begin() const { return iterator(soa_, 0); }
+  [[nodiscard]] iterator end() const {
+    return iterator(soa_, static_cast<ServerId>(soa_->size()));
+  }
+  [[nodiscard]] Server operator[](std::size_t i) const {
+    return Server(*soa_, static_cast<ServerId>(i));
+  }
+
+ private:
+  ServerSoA* soa_;
 };
 
 class DataCenter {
@@ -47,21 +90,54 @@ class DataCenter {
   /// Create an unplaced VM. Returns its id.
   VmId create_vm(double demand_mhz, double ram_mb = 0.0);
 
+  /// Pre-size the VM columns (planet-scale fleets know their VM count).
+  void reserve_vms(std::size_t n) { vms_.reserve(n); }
+
   // --- Queries -------------------------------------------------------------
 
   [[nodiscard]] std::size_t num_servers() const { return servers_.size(); }
   [[nodiscard]] std::size_t num_vms() const { return vms_.size(); }
-  [[nodiscard]] const Server& server(ServerId s) const { return servers_.at(s); }
-  [[nodiscard]] Server& server_mutable(ServerId s) { return servers_.at(s); }
-  [[nodiscard]] const Vm& vm(VmId v) const { return vms_.at(v); }
-  [[nodiscard]] const std::vector<Server>& servers() const { return servers_; }
+  /// View of one server. Views read/write the columns live; the const
+  /// qualifier here guards the *DataCenter* API surface (aggregate caches),
+  /// not the view itself — mutate servers only through DataCenter, or
+  /// through server_mutable() for the cooldown/grace fields it owns.
+  [[nodiscard]] Server server(ServerId s) const {
+    util::require(s < servers_.size(), "DataCenter::server: unknown server");
+    return Server(const_cast<ServerSoA&>(servers_), s);
+  }
+  [[nodiscard]] Server server_mutable(ServerId s) {
+    util::require(s < servers_.size(),
+                  "DataCenter::server_mutable: unknown server");
+    return Server(servers_, s);
+  }
+  /// Snapshot of one VM's record, assembled from the columns. Does NOT
+  /// track later mutations — hot paths use the vm_*() column accessors.
+  [[nodiscard]] Vm vm(VmId v) const {
+    util::require(v < vms_.size(), "DataCenter::vm: unknown VM");
+    return vms_.get(v);
+  }
+  [[nodiscard]] ServerRange servers() const {
+    return ServerRange(const_cast<ServerSoA*>(&servers_));
+  }
   [[nodiscard]] const PowerModel& power_model() const { return power_model_; }
 
+  // O(1) column reads for the hot paths (trace ticks, migration checks).
+  [[nodiscard]] double vm_demand_mhz(VmId v) const { return vms_.demand_mhz[v]; }
+  [[nodiscard]] double vm_ram_mb(VmId v) const { return vms_.ram_mb[v]; }
+  [[nodiscard]] ServerId vm_host(VmId v) const { return vms_.host[v]; }
+  [[nodiscard]] ServerId vm_migrating_to(VmId v) const {
+    return vms_.migrating_to[v];
+  }
+  [[nodiscard]] bool vm_placed(VmId v) const { return vms_.host[v] != kNoServer; }
+  [[nodiscard]] bool vm_migrating(VmId v) const {
+    return vms_.migrating_to[v] != kNoServer;
+  }
+
   [[nodiscard]] std::size_t active_server_count() const {
-    return servers_with(ServerState::kActive).size();
+    return state_members(ServerState::kActive).size();
   }
   [[nodiscard]] std::size_t booting_server_count() const {
-    return servers_with(ServerState::kBooting).size();
+    return state_members(ServerState::kBooting).size();
   }
   [[nodiscard]] std::size_t placed_vm_count() const { return placed_vm_count_; }
 
@@ -78,18 +154,34 @@ class DataCenter {
   /// Instantaneous total power draw (W) over all servers.
   [[nodiscard]] double total_power_w() const { return total_power_w_; }
 
-  /// Ids of servers currently in the given state, ascending by id — a live
-  /// view of the incremental per-state index, maintained inside the state
-  /// transitions so no reader ever scans the full fleet. The ascending
-  /// order matches what a full scan of servers_ would produce, which pins
-  /// the RNG draw sequence of every consumer (invitation rounds, wake-up
-  /// picks) to the pre-index behavior. The reference is invalidated by any
-  /// state transition; copy it before mutating.
-  [[nodiscard]] const std::vector<ServerId>& servers_with(ServerState state) const {
-    return state_index_[static_cast<std::size_t>(state)];
+  /// Ids of servers currently in the given state, ascending by id. The
+  /// ascending order matches what a full scan would produce, which pins
+  /// the RNG draw sequence of every legacy consumer (invitation rounds,
+  /// wake-up picks). Materialized lazily from the dense membership set and
+  /// cached until the next state transition, so repeated reads between
+  /// transitions cost nothing. The reference is invalidated by any state
+  /// transition; copy it before mutating.
+  [[nodiscard]] const std::vector<ServerId>& servers_with(ServerState state) const;
+
+  /// Ids of servers currently in the given state, in *membership* order:
+  /// dense, contiguous, swap-erase maintained — the order servers entered
+  /// the state, with unordered O(1) removal. Deterministic given the event
+  /// history (and checkpointed verbatim), but NOT sorted; this is what the
+  /// O(1)/O(k) samplers draw from. The reference is invalidated by any
+  /// state transition.
+  [[nodiscard]] const std::vector<ServerId>& state_members(ServerState state) const {
+    return state_members_[static_cast<std::size_t>(state)];
   }
 
-  /// Ids of servers currently in the given state (owning copy).
+  /// Position of server \p s inside state_members(<its current state>).
+  /// Lets samplers exclude a specific server in O(1): a draw over
+  /// [0, members-1) is remapped around this slot instead of copying the
+  /// membership set without it.
+  [[nodiscard]] std::uint32_t position_in_state(ServerId s) const {
+    return state_pos_[s];
+  }
+
+  /// Ids of servers currently in the given state (owning copy, ascending).
   [[nodiscard]] std::vector<ServerId> servers_in_state(ServerState state) const;
 
   /// Utilizations of all active servers (ascending server id).
@@ -178,7 +270,7 @@ class DataCenter {
   [[nodiscard]] std::uint64_t total_failures() const { return failures_; }
   [[nodiscard]] std::uint64_t total_repairs() const { return repairs_; }
   [[nodiscard]] std::size_t failed_server_count() const {
-    return servers_with(ServerState::kFailed).size();
+    return state_members(ServerState::kFailed).size();
   }
 
   /// Migrations currently in flight, and the historical maximum — the
@@ -190,10 +282,11 @@ class DataCenter {
   // --- Checkpoint / audit ---------------------------------------------------
 
   /// Serialize the complete mutable state: every server and VM record, the
-  /// per-server contribution caches, state indices, and the incrementally
-  /// accumulated aggregates — the latter verbatim, never re-summed, because
-  /// a different summation order would round differently and break
-  /// bit-exact resume.
+  /// per-server contribution caches, the dense state-membership sets (in
+  /// membership order — the samplers' draw order is part of the state), and
+  /// the incrementally accumulated aggregates — the latter verbatim, never
+  /// re-summed, because a different summation order would round differently
+  /// and break bit-exact resume.
   void save_state(util::BinWriter& w) const;
 
   /// Restore a snapshot into a fleet built from the same configuration.
@@ -202,17 +295,18 @@ class DataCenter {
   void load_state(util::BinReader& r);
 
   /// Conservation-invariant audit: per-server load == sum of hosted VM
-  /// demands, every VM placed on exactly the server that lists it, state
-  /// indices == brute-force scan, cached aggregates == recomputation
-  /// (within \p tolerance for floating-point accumulators). Returns one
-  /// human-readable string per violation; empty means consistent.
+  /// demands, every VM placed on exactly the server that lists it, dense
+  /// state membership == brute-force scan (as a set, plus position-map
+  /// consistency), cached aggregates == recomputation (within \p tolerance
+  /// for floating-point accumulators). Returns one human-readable string
+  /// per violation; empty means consistent.
   [[nodiscard]] std::vector<std::string> audit_invariants(double tolerance) const;
 
-  /// Rebuild derived caches (state indices, per-server power and overload
-  /// contributions, aggregate totals) from the ground-truth server and VM
-  /// records. Returns the number of cache groups that changed. This *can*
-  /// change subsequent behavior relative to an unhealed run — it is the
-  /// `heal` audit action's repair step, not a no-op.
+  /// Rebuild derived caches (state membership sets, per-server power and
+  /// overload contributions, aggregate totals) from the ground-truth server
+  /// and VM records. Returns the number of cache groups that changed. This
+  /// *can* change subsequent behavior relative to an unhealed run — it is
+  /// the `heal` audit action's repair step, not a no-op.
   std::size_t heal_caches();
 
  private:
@@ -220,16 +314,13 @@ class DataCenter {
   /// after server \p s changed; updates overload episode tracking at time t.
   void refresh_server(sim::SimTime t, ServerId s);
 
-  [[nodiscard]] std::vector<ServerId>& state_index(ServerState state) {
-    return state_index_[static_cast<std::size_t>(state)];
-  }
-
-  /// Move \p s between per-state index sets, keeping both sorted by id.
-  void move_server_index(ServerId s, ServerState from, ServerState to);
+  /// Move \p s between dense state sets: swap-erase from \p from, append to
+  /// \p to, O(1); invalidates the sorted views of both states.
+  void move_server_state(ServerId s, ServerState from, ServerState to);
 
   PowerModel power_model_;
-  std::vector<Server> servers_;
-  std::vector<Vm> vms_;
+  ServerSoA servers_;
+  VmSoA vms_;
 
   // Cached per-server contributions to the aggregates.
   std::vector<double> power_contrib_w_;
@@ -241,10 +332,16 @@ class DataCenter {
   // Closed-episode overload seconds per server (open episode added lazily).
   std::vector<double> overload_accum_s_;
 
-  // Per-state server-id sets, each kept sorted ascending (one slot per
-  // ServerState enumerator). Updated incrementally by the state-transition
-  // mutators; every "which servers are <state>" read goes through these.
-  std::array<std::vector<ServerId>, 4> state_index_;
+  // Dense per-state membership (one slot per ServerState enumerator):
+  // membership order with swap-erase removal, plus each server's position
+  // in its state's set. All "which servers are <state>" reads go through
+  // these; the sorted ascending-id view consumed by the legacy (compat)
+  // sampler is cached per state and re-derived only after a transition
+  // dirtied it.
+  std::array<std::vector<ServerId>, 4> state_members_;
+  std::vector<std::uint32_t> state_pos_;
+  mutable std::array<std::vector<ServerId>, 4> sorted_view_;
+  mutable std::array<bool, 4> sorted_dirty_{};
 
   std::size_t placed_vm_count_ = 0;
   double total_capacity_mhz_ = 0.0;

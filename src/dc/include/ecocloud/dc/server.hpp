@@ -8,7 +8,16 @@
 /// proportionally (see DataCenter overload accounting). Decision-time
 /// utilization additionally counts capacity reserved for in-flight inbound
 /// migrations so concurrent decisions do not oversubscribe a server.
+///
+/// Storage is structure-of-arrays (ServerSoA): each attribute lives in its
+/// own dense column indexed by ServerId, so fleet-wide walks (invitation
+/// rounds, power/overload scans) touch only the columns they need instead
+/// of striding over 150-byte records. `Server` is a lightweight *view* —
+/// a (columns, id) pair — that keeps the member-function API every policy
+/// and test was written against. Views are cheap to copy but never own
+/// storage; they are invalidated only by destroying the ServerSoA.
 
+#include <cstdint>
 #include <vector>
 
 #include "ecocloud/dc/ids.hpp"
@@ -27,37 +36,76 @@ enum class ServerState {
 
 [[nodiscard]] const char* to_string(ServerState state);
 
+class Server;
+
+/// Parallel POD columns of the whole fleet, indexed by ServerId. The
+/// immutable identity columns (cores, frequency, capacity, RAM) are set by
+/// add(); everything else is mutated through Server views. Kept as a plain
+/// aggregate so DataCenter (and tests) can build fleets without ceremony.
+struct ServerSoA {
+  // Identity / capacity (immutable after add()).
+  std::vector<std::uint32_t> num_cores;
+  std::vector<double> core_mhz;
+  std::vector<double> capacity_mhz;
+  std::vector<double> ram_capacity_mb;
+
+  // Power/placement state (hot columns; see DESIGN.md §14).
+  std::vector<std::uint8_t> state;
+  std::vector<double> demand_mhz;
+  std::vector<double> ram_used_mb;
+  std::vector<double> reserved_mhz;
+  std::vector<std::uint32_t> reservation_count;
+  std::vector<std::uint32_t> migrating_out_count;
+  std::vector<sim::SimTime> grace_until;
+  std::vector<sim::SimTime> migration_cooldown_until;
+  std::vector<std::vector<VmId>> vms;
+
+  [[nodiscard]] std::size_t size() const { return state.size(); }
+
+  /// Append a server (initially hibernated) and return a view of it.
+  /// Validates like the old Server constructor: cores > 0, core_mhz > 0,
+  /// ram_mb >= 0 (throws std::invalid_argument otherwise).
+  Server add(unsigned cores, double mhz, double ram_mb = 0.0);
+};
+
+/// A view of one server's row across the ServerSoA columns. Same public
+/// API as the former array-of-structs Server class; copyable, pointer-sized
+/// twice over, never owning.
 class Server {
  public:
-  /// \param id        server identifier.
-  /// \param num_cores number of CPU cores (> 0).
-  /// \param core_mhz  per-core frequency in MHz (> 0).
-  /// \param ram_mb    RAM capacity in MB (>= 0; multi-resource extension).
-  Server(ServerId id, unsigned num_cores, double core_mhz, double ram_mb = 0.0);
+  Server(ServerSoA& soa, ServerId id) : soa_(&soa), id_(id) {}
 
   [[nodiscard]] ServerId id() const { return id_; }
-  [[nodiscard]] unsigned num_cores() const { return num_cores_; }
-  [[nodiscard]] double core_mhz() const { return core_mhz_; }
-  [[nodiscard]] double capacity_mhz() const { return capacity_mhz_; }
-  [[nodiscard]] double ram_capacity_mb() const { return ram_mb_; }
+  [[nodiscard]] unsigned num_cores() const { return soa_->num_cores[id_]; }
+  [[nodiscard]] double core_mhz() const { return soa_->core_mhz[id_]; }
+  [[nodiscard]] double capacity_mhz() const { return soa_->capacity_mhz[id_]; }
+  [[nodiscard]] double ram_capacity_mb() const {
+    return soa_->ram_capacity_mb[id_];
+  }
 
-  [[nodiscard]] ServerState state() const { return state_; }
-  [[nodiscard]] bool active() const { return state_ == ServerState::kActive; }
-  [[nodiscard]] bool hibernated() const { return state_ == ServerState::kHibernated; }
-  [[nodiscard]] bool booting() const { return state_ == ServerState::kBooting; }
-  [[nodiscard]] bool failed() const { return state_ == ServerState::kFailed; }
+  [[nodiscard]] ServerState state() const {
+    return static_cast<ServerState>(soa_->state[id_]);
+  }
+  [[nodiscard]] bool active() const { return state() == ServerState::kActive; }
+  [[nodiscard]] bool hibernated() const {
+    return state() == ServerState::kHibernated;
+  }
+  [[nodiscard]] bool booting() const { return state() == ServerState::kBooting; }
+  [[nodiscard]] bool failed() const { return state() == ServerState::kFailed; }
 
   /// Total CPU demand of hosted VMs, in MHz.
-  [[nodiscard]] double demand_mhz() const { return demand_mhz_; }
+  [[nodiscard]] double demand_mhz() const { return soa_->demand_mhz[id_]; }
 
   /// Total RAM of hosted VMs, in MB.
-  [[nodiscard]] double ram_used_mb() const { return ram_used_mb_; }
+  [[nodiscard]] double ram_used_mb() const { return soa_->ram_used_mb[id_]; }
 
   /// CPU demand reserved for in-flight inbound migrations, in MHz.
-  [[nodiscard]] double reserved_mhz() const { return reserved_mhz_; }
+  [[nodiscard]] double reserved_mhz() const { return soa_->reserved_mhz[id_]; }
 
   /// Demand ratio: hosted demand / capacity; may exceed 1 under overload.
-  [[nodiscard]] double demand_ratio() const { return demand_mhz_ / capacity_mhz_; }
+  [[nodiscard]] double demand_ratio() const {
+    return demand_mhz() / capacity_mhz();
+  }
 
   /// CPU utilization u in [0, 1]: demand ratio clamped to 1. This is the
   /// quantity the paper's probability functions take as input.
@@ -67,54 +115,68 @@ class Server {
   [[nodiscard]] double decision_utilization() const;
 
   /// True when hosted demand exceeds capacity.
-  [[nodiscard]] bool overloaded() const { return demand_mhz_ > capacity_mhz_; }
+  [[nodiscard]] bool overloaded() const {
+    return demand_mhz() > capacity_mhz();
+  }
 
   /// Fraction of demanded CPU actually granted (1 when not overloaded).
   [[nodiscard]] double granted_fraction() const;
 
   /// Hosted VM ids (unordered).
-  [[nodiscard]] const std::vector<VmId>& vms() const { return vms_; }
-  [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
-  [[nodiscard]] bool empty() const { return vms_.empty(); }
+  [[nodiscard]] const std::vector<VmId>& vms() const { return soa_->vms[id_]; }
+  [[nodiscard]] std::size_t vm_count() const { return soa_->vms[id_].size(); }
+  [[nodiscard]] bool empty() const { return soa_->vms[id_].empty(); }
 
   /// End of the post-boot grace period during which the server accepts all
   /// assignment invitations unconditionally (paper Sec. IV); -inf when none.
-  [[nodiscard]] sim::SimTime grace_until() const { return grace_until_; }
-  void set_grace_until(sim::SimTime t) { grace_until_ = t; }
-  [[nodiscard]] bool in_grace(sim::SimTime now) const { return now < grace_until_; }
+  [[nodiscard]] sim::SimTime grace_until() const {
+    return soa_->grace_until[id_];
+  }
+  void set_grace_until(sim::SimTime t) { soa_->grace_until[id_] = t; }
+  [[nodiscard]] bool in_grace(sim::SimTime now) const {
+    return now < soa_->grace_until[id_];
+  }
 
   /// Earliest time this server may issue another migration request
   /// (request-storm cooldown); -inf when unrestricted.
   [[nodiscard]] sim::SimTime migration_cooldown_until() const {
-    return migration_cooldown_until_;
+    return soa_->migration_cooldown_until[id_];
   }
-  void set_migration_cooldown_until(sim::SimTime t) { migration_cooldown_until_ = t; }
+  void set_migration_cooldown_until(sim::SimTime t) {
+    soa_->migration_cooldown_until[id_] = t;
+  }
 
   // --- Mutators used by DataCenter (keep aggregates in sync there) ---
 
-  void set_state(ServerState state) { state_ = state; }
+  void set_state(ServerState state) {
+    soa_->state[id_] = static_cast<std::uint8_t>(state);
+  }
   void host_vm(VmId vm, double demand_mhz, double ram_mb);
   void unhost_vm(VmId vm, double demand_mhz, double ram_mb);
   void change_demand(double delta_mhz);
   void add_reservation(double mhz) {
-    reserved_mhz_ += mhz;
-    ++reservation_count_;
+    soa_->reserved_mhz[id_] += mhz;
+    ++soa_->reservation_count[id_];
   }
   void remove_reservation(double mhz);
-  /// Open reservations backing reserved_mhz_. The float sum can carry
+  /// Open reservations backing reserved_mhz. The float sum can carry
   /// sub-epsilon residue when concurrent reservations release out of
   /// order, so exact "no inbound migration" checks must use this count.
-  [[nodiscard]] std::size_t reservation_count() const { return reservation_count_; }
+  [[nodiscard]] std::size_t reservation_count() const {
+    return soa_->reservation_count[id_];
+  }
   /// Hosted VMs currently migrating out. Zero means every hosted VM's
   /// demand counts fully here, so effective utilization equals demand
   /// ratio exactly — the fast path the load evaluator relies on.
-  [[nodiscard]] std::size_t migrating_out_count() const { return migrating_out_count_; }
-  void add_migrating_out() { ++migrating_out_count_; }
-  void remove_migrating_out() { --migrating_out_count_; }
+  [[nodiscard]] std::size_t migrating_out_count() const {
+    return soa_->migrating_out_count[id_];
+  }
+  void add_migrating_out() { ++soa_->migrating_out_count[id_]; }
+  void remove_migrating_out() { --soa_->migrating_out_count[id_]; }
   /// Drop all reservations, residue included (fail-stop teardown only).
   void clear_reservations() {
-    reserved_mhz_ = 0.0;
-    reservation_count_ = 0;
+    soa_->reserved_mhz[id_] = 0.0;
+    soa_->reservation_count[id_] = 0;
   }
 
   /// Checkpoint surface: mutable state only. Identity and capacity come
@@ -125,20 +187,8 @@ class Server {
   void load_state(util::BinReader& r);
 
  private:
+  ServerSoA* soa_;
   ServerId id_;
-  unsigned num_cores_;
-  double core_mhz_;
-  double capacity_mhz_;
-  double ram_mb_;
-  ServerState state_ = ServerState::kHibernated;
-  double demand_mhz_ = 0.0;
-  double ram_used_mb_ = 0.0;
-  double reserved_mhz_ = 0.0;
-  std::size_t reservation_count_ = 0;
-  std::size_t migrating_out_count_ = 0;
-  std::vector<VmId> vms_;
-  sim::SimTime grace_until_ = -1.0;
-  sim::SimTime migration_cooldown_until_ = -1.0;
 };
 
 }  // namespace ecocloud::dc

@@ -18,89 +18,106 @@ const char* to_string(ServerState state) {
   return "unknown";
 }
 
-Server::Server(ServerId id, unsigned num_cores, double core_mhz, double ram_mb)
-    : id_(id),
-      num_cores_(num_cores),
-      core_mhz_(core_mhz),
-      capacity_mhz_(static_cast<double>(num_cores) * core_mhz),
-      ram_mb_(ram_mb) {
-  util::require(num_cores > 0, "Server: num_cores must be > 0");
-  util::require(core_mhz > 0.0, "Server: core_mhz must be > 0");
+Server ServerSoA::add(unsigned cores, double mhz, double ram_mb) {
+  util::require(cores > 0, "Server: num_cores must be > 0");
+  util::require(mhz > 0.0, "Server: core_mhz must be > 0");
   util::require(ram_mb >= 0.0, "Server: ram_mb must be >= 0");
+  const auto id = static_cast<ServerId>(size());
+  num_cores.push_back(cores);
+  core_mhz.push_back(mhz);
+  capacity_mhz.push_back(static_cast<double>(cores) * mhz);
+  ram_capacity_mb.push_back(ram_mb);
+  state.push_back(static_cast<std::uint8_t>(ServerState::kHibernated));
+  demand_mhz.push_back(0.0);
+  ram_used_mb.push_back(0.0);
+  reserved_mhz.push_back(0.0);
+  reservation_count.push_back(0);
+  migrating_out_count.push_back(0);
+  grace_until.push_back(-1.0);
+  migration_cooldown_until.push_back(-1.0);
+  vms.emplace_back();
+  return Server(*this, id);
 }
 
 double Server::utilization() const { return util::clamp01(demand_ratio()); }
 
 double Server::decision_utilization() const {
-  return util::clamp01((demand_mhz_ + reserved_mhz_) / capacity_mhz_);
+  return util::clamp01((demand_mhz() + reserved_mhz()) / capacity_mhz());
 }
 
 double Server::granted_fraction() const {
-  return overloaded() ? capacity_mhz_ / demand_mhz_ : 1.0;
+  return overloaded() ? capacity_mhz() / demand_mhz() : 1.0;
 }
 
-void Server::host_vm(VmId vm, double demand_mhz, double ram_mb) {
-  vms_.push_back(vm);
-  demand_mhz_ += demand_mhz;
-  ram_used_mb_ += ram_mb;
+void Server::host_vm(VmId vm, double demand, double ram) {
+  soa_->vms[id_].push_back(vm);
+  soa_->demand_mhz[id_] += demand;
+  soa_->ram_used_mb[id_] += ram;
 }
 
-void Server::unhost_vm(VmId vm, double demand_mhz, double ram_mb) {
-  const auto it = std::find(vms_.begin(), vms_.end(), vm);
-  util::ensure(it != vms_.end(), "Server::unhost_vm: VM not hosted here");
-  *it = vms_.back();
-  vms_.pop_back();
-  demand_mhz_ -= demand_mhz;
-  ram_used_mb_ -= ram_mb;
+void Server::unhost_vm(VmId vm, double demand, double ram) {
+  std::vector<VmId>& hosted = soa_->vms[id_];
+  const auto it = std::find(hosted.begin(), hosted.end(), vm);
+  util::ensure(it != hosted.end(), "Server::unhost_vm: VM not hosted here");
+  *it = hosted.back();
+  hosted.pop_back();
+  double& load = soa_->demand_mhz[id_];
+  double& ram_used = soa_->ram_used_mb[id_];
+  load -= demand;
+  ram_used -= ram;
   // Cancel accumulated floating-point drift near zero.
-  if (vms_.empty() || demand_mhz_ < 0.0) demand_mhz_ = std::max(0.0, demand_mhz_);
-  if (vms_.empty()) demand_mhz_ = 0.0;
-  if (vms_.empty() || ram_used_mb_ < 0.0) ram_used_mb_ = std::max(0.0, ram_used_mb_);
-  if (vms_.empty()) ram_used_mb_ = 0.0;
+  if (hosted.empty() || load < 0.0) load = std::max(0.0, load);
+  if (hosted.empty()) load = 0.0;
+  if (hosted.empty() || ram_used < 0.0) ram_used = std::max(0.0, ram_used);
+  if (hosted.empty()) ram_used = 0.0;
 }
 
 void Server::change_demand(double delta_mhz) {
-  demand_mhz_ += delta_mhz;
-  if (demand_mhz_ < 0.0) demand_mhz_ = 0.0;
+  double& load = soa_->demand_mhz[id_];
+  load += delta_mhz;
+  if (load < 0.0) load = 0.0;
 }
 
 void Server::remove_reservation(double mhz) {
-  reserved_mhz_ -= mhz;
-  if (reservation_count_ > 0) --reservation_count_;
-  if (reserved_mhz_ < 0.0) reserved_mhz_ = 0.0;
+  double& reserved = soa_->reserved_mhz[id_];
+  reserved -= mhz;
+  if (soa_->reservation_count[id_] > 0) --soa_->reservation_count[id_];
+  if (reserved < 0.0) reserved = 0.0;
 }
 
 void Server::save_state(util::BinWriter& w) const {
-  w.u8(static_cast<std::uint8_t>(state_));
-  w.f64(demand_mhz_);
-  w.f64(ram_used_mb_);
-  w.f64(reserved_mhz_);
-  w.u64(reservation_count_);
-  w.u64(migrating_out_count_);
-  w.u64(vms_.size());
-  for (VmId vm : vms_) w.u64(static_cast<std::uint64_t>(vm));
-  w.f64(grace_until_);
-  w.f64(migration_cooldown_until_);
+  w.u8(soa_->state[id_]);
+  w.f64(demand_mhz());
+  w.f64(ram_used_mb());
+  w.f64(reserved_mhz());
+  w.u64(reservation_count());
+  w.u64(migrating_out_count());
+  const std::vector<VmId>& hosted = vms();
+  w.u64(hosted.size());
+  for (VmId vm : hosted) w.u64(static_cast<std::uint64_t>(vm));
+  w.f64(grace_until());
+  w.f64(migration_cooldown_until());
 }
 
 void Server::load_state(util::BinReader& r) {
   const auto state = r.u8();
   util::require(state <= static_cast<std::uint8_t>(ServerState::kFailed),
                 "Server::load_state: invalid power state byte");
-  state_ = static_cast<ServerState>(state);
-  demand_mhz_ = r.f64();
-  ram_used_mb_ = r.f64();
-  reserved_mhz_ = r.f64();
-  reservation_count_ = static_cast<std::size_t>(r.u64());
-  migrating_out_count_ = static_cast<std::size_t>(r.u64());
+  soa_->state[id_] = state;
+  soa_->demand_mhz[id_] = r.f64();
+  soa_->ram_used_mb[id_] = r.f64();
+  soa_->reserved_mhz[id_] = r.f64();
+  soa_->reservation_count[id_] = static_cast<std::uint32_t>(r.u64());
+  soa_->migrating_out_count[id_] = static_cast<std::uint32_t>(r.u64());
   const std::uint64_t n = r.u64();
-  vms_.clear();
-  vms_.reserve(static_cast<std::size_t>(n));
+  std::vector<VmId>& hosted = soa_->vms[id_];
+  hosted.clear();
+  hosted.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    vms_.push_back(static_cast<VmId>(r.u64()));
+    hosted.push_back(static_cast<VmId>(r.u64()));
   }
-  grace_until_ = r.f64();
-  migration_cooldown_until_ = r.f64();
+  soa_->grace_until[id_] = r.f64();
+  soa_->migration_cooldown_until[id_] = r.f64();
 }
 
 }  // namespace ecocloud::dc

@@ -85,10 +85,10 @@ void EventLog::attach(core::EcoCloudController& controller) {
       };
 }
 
-void EventLog::write_csv(std::ostream& out) const {
+void write_events_csv(std::ostream& out, const std::vector<Event>& events) {
   util::CsvWriter csv(out, 10);
   csv.header({"time_s", "kind", "vm", "server", "is_high"});
-  for (const Event& event : events_) {
+  for (const Event& event : events) {
     csv.field(event.time)
         .field(to_string(event.kind))
         .field(static_cast<long long>(
@@ -99,6 +99,10 @@ void EventLog::write_csv(std::ostream& out) const {
         .field(static_cast<long long>(event.is_high ? 1 : 0));
     csv.end_row();
   }
+}
+
+void EventLog::write_csv(std::ostream& out) const {
+  write_events_csv(out, events_);
 }
 
 }  // namespace ecocloud::metrics

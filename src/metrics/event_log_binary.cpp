@@ -1,0 +1,147 @@
+#include "ecocloud/metrics/event_log_binary.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ecocloud::metrics {
+
+namespace {
+
+/// Flush threshold: 64 KiB blocks amortize ostream overhead while keeping
+/// the writer's footprint negligible next to the fleet state.
+constexpr std::size_t kFlushBytes = 64 * 1024;
+
+void put_u16(std::vector<char>& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v & 0xFF));
+  buf.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<char>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::vector<char>& buf, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_record(std::vector<char>& buf, const Event& e) {
+  put_f64(buf, e.time);
+  buf.push_back(static_cast<char>(static_cast<std::uint8_t>(e.kind)));
+  put_u32(buf, e.vm);
+  put_u32(buf, e.server);
+  buf.push_back(static_cast<char>(e.is_high ? 1 : 0));
+}
+
+void put_header(std::vector<char>& buf) {
+  buf.insert(buf.end(), kEventLogMagic, kEventLogMagic + 4);
+  put_u16(buf, kEventLogFormatVersion);
+  put_u16(buf, static_cast<std::uint16_t>(kEventRecordSize));
+}
+
+std::uint16_t get_u16(const char* p) {
+  return static_cast<std::uint16_t>(static_cast<unsigned char>(p[0]) |
+                                    (static_cast<unsigned char>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+double get_f64(const char* p) {
+  std::uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i) bits = (bits << 8) | static_cast<unsigned char>(p[i]);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+BinaryEventWriter::BinaryEventWriter(std::ostream& out) : out_(out) {
+  buffer_.reserve(kFlushBytes + kEventRecordSize);
+  put_header(buffer_);
+}
+
+BinaryEventWriter::~BinaryEventWriter() { flush(); }
+
+void BinaryEventWriter::write(const Event& event) {
+  put_record(buffer_, event);
+  ++written_;
+  if (buffer_.size() >= kFlushBytes) flush();
+}
+
+void BinaryEventWriter::flush() {
+  if (buffer_.empty()) return;
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  buffer_.clear();
+}
+
+void write_binary_events(std::ostream& out, const std::vector<Event>& events) {
+  BinaryEventWriter writer(out);
+  for (const Event& e : events) writer.write(e);
+}
+
+BinaryReadResult read_binary_events(std::istream& in) {
+  char header[kEventLogHeaderSize];
+  in.read(header, static_cast<std::streamsize>(kEventLogHeaderSize));
+  if (in.gcount() != static_cast<std::streamsize>(kEventLogHeaderSize) ||
+      std::memcmp(header, kEventLogMagic, 4) != 0) {
+    throw std::runtime_error("event log: not a binary event log (bad magic)");
+  }
+  const std::uint16_t version = get_u16(header + 4);
+  if (version != kEventLogFormatVersion) {
+    throw std::runtime_error("event log: unsupported format version " +
+                             std::to_string(version));
+  }
+  const std::uint16_t record_size = get_u16(header + 6);
+  if (record_size != kEventRecordSize) {
+    throw std::runtime_error("event log: unexpected record size " +
+                             std::to_string(record_size));
+  }
+
+  BinaryReadResult result;
+  char record[kEventRecordSize];
+  for (;;) {
+    in.read(record, static_cast<std::streamsize>(kEventRecordSize));
+    const std::streamsize got = in.gcount();
+    if (got == 0) break;
+    if (got < static_cast<std::streamsize>(kEventRecordSize)) {
+      // Crash tail: the writer died mid-record. Keep the complete prefix.
+      result.truncated_tail = true;
+      break;
+    }
+    Event e;
+    e.time = get_f64(record);
+    const auto kind = static_cast<std::uint8_t>(record[8]);
+    if (kind >= kNumEventKinds) {
+      throw std::runtime_error("event log: unknown event kind " +
+                               std::to_string(kind));
+    }
+    e.kind = static_cast<EventKind>(kind);
+    e.vm = static_cast<dc::VmId>(get_u32(record + 9));
+    e.server = static_cast<dc::ServerId>(get_u32(record + 13));
+    e.is_high = record[17] != 0;
+    result.events.push_back(e);
+  }
+  return result;
+}
+
+BinaryReadResult convert_binary_events_to_csv(std::istream& in,
+                                              std::ostream& out) {
+  BinaryReadResult result = read_binary_events(in);
+  write_events_csv(out, result.events);
+  return result;
+}
+
+}  // namespace ecocloud::metrics

@@ -48,6 +48,12 @@ struct Event {
   bool is_high = false;             // migration events only
 };
 
+/// The canonical event CSV row format (header, 10-digit precision, -1
+/// sentinels for missing ids). Every producer — EventLog::write_csv, the
+/// sharded merge, eventlog2csv — funnels through this one function so
+/// their outputs are byte-comparable.
+void write_events_csv(std::ostream& out, const std::vector<Event>& events);
+
 class EventLog {
  public:
   /// Subscribe to \p controller's events, chaining existing callbacks.

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file event_log_binary.hpp
+/// \brief Compact binary serialization of the decision event log.
+///
+/// The CSV event log is the human-facing format, but at planet scale it is
+/// the wrong interchange format: ~34 bytes of text per row, formatted with
+/// snprintf on the output path. This header defines a fixed-width binary
+/// format (18 bytes per event, little-endian, no per-row formatting) that
+/// the CLI and benches write by default; the offline `eventlog2csv` tool
+/// converts it to the exact legacy CSV bytes (byte-equality is pinned in
+/// CI), so downstream tooling keeps working unchanged.
+///
+/// Layout (all little-endian, independent of host byte order):
+///
+///   header   4 bytes  magic "ECEV"
+///            2 bytes  u16 format version (currently 1)
+///            2 bytes  u16 record size in bytes (currently 18)
+///   record   8 bytes  f64 time_s (IEEE-754 bit pattern)
+///            1 byte   u8  EventKind
+///            4 bytes  u32 vm id       (0xFFFFFFFF = none)
+///            4 bytes  u32 server id   (0xFFFFFFFF = none)
+///            1 byte   u8  is_high (0/1)
+///
+/// Records are appended as events happen, so a crashed run leaves a valid
+/// prefix: read_binary_events tolerates a partial trailing record (the
+/// crash tail) and reports it, but rejects a corrupt header or an unknown
+/// event kind loudly.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ecocloud/metrics/event_log.hpp"
+
+namespace ecocloud::metrics {
+
+inline constexpr char kEventLogMagic[4] = {'E', 'C', 'E', 'V'};
+inline constexpr std::uint16_t kEventLogFormatVersion = 1;
+inline constexpr std::size_t kEventLogHeaderSize = 8;
+inline constexpr std::size_t kEventRecordSize = 18;
+
+/// Incremental writer: header on construction, one fixed-width record per
+/// write(). Buffers rows internally and flushes in blocks, so the per-event
+/// cost is a few stores, not an ostream call.
+class BinaryEventWriter {
+ public:
+  /// Writes the format header. \p out must outlive the writer.
+  explicit BinaryEventWriter(std::ostream& out);
+  ~BinaryEventWriter();
+  BinaryEventWriter(const BinaryEventWriter&) = delete;
+  BinaryEventWriter& operator=(const BinaryEventWriter&) = delete;
+
+  void write(const Event& event);
+
+  /// Flush buffered records to the stream (also runs on destruction).
+  void flush();
+
+  [[nodiscard]] std::size_t written() const { return written_; }
+
+ private:
+  std::ostream& out_;
+  std::vector<char> buffer_;
+  std::size_t written_ = 0;
+};
+
+/// Write header + all \p events in one call.
+void write_binary_events(std::ostream& out, const std::vector<Event>& events);
+
+struct BinaryReadResult {
+  std::vector<Event> events;
+  /// True when the stream ended inside a record (e.g. the run crashed
+  /// mid-append); the complete prefix is still returned.
+  bool truncated_tail = false;
+};
+
+/// Parse a binary event log. Throws std::runtime_error on a bad magic,
+/// unsupported version, wrong record size, or out-of-range event kind;
+/// a partial trailing record is dropped and flagged instead (crash tail).
+[[nodiscard]] BinaryReadResult read_binary_events(std::istream& in);
+
+/// The eventlog2csv conversion: parse \p in as binary and write the exact
+/// legacy CSV bytes (EventLog::write_csv format) to \p out. Returns the
+/// read result so callers can surface a truncated tail. Shared between the
+/// offline tool and the CI byte-equality test.
+BinaryReadResult convert_binary_events_to_csv(std::istream& in,
+                                              std::ostream& out);
+
+}  // namespace ecocloud::metrics

@@ -38,19 +38,7 @@ std::vector<metrics::Event> merge_event_streams(
 
 void write_merged_events_csv(std::ostream& out,
                              const std::vector<metrics::Event>& events) {
-  util::CsvWriter csv(out, 10);
-  csv.header({"time_s", "kind", "vm", "server", "is_high"});
-  for (const metrics::Event& e : events) {
-    csv.field(e.time)
-        .field(metrics::to_string(e.kind))
-        .field(static_cast<long long>(
-            e.vm == dc::kNoVm ? -1 : static_cast<long long>(e.vm)))
-        .field(static_cast<long long>(
-            e.server == dc::kNoServer ? -1
-                                      : static_cast<long long>(e.server)))
-        .field(static_cast<long long>(e.is_high ? 1 : 0));
-    csv.end_row();
-  }
+  metrics::write_events_csv(out, events);
 }
 
 }  // namespace ecocloud::par

@@ -25,6 +25,14 @@ class ShardPlan {
       : k_(num_shards), servers_(num_servers), traces_(num_traces) {
     util::require(k_ >= 1, "ShardPlan: need at least one shard");
     util::require(k_ <= servers_, "ShardPlan: more shards than servers");
+    // Global ids are 32-bit (dc/ids.hpp) with the max value reserved as
+    // the kNoServer/kNoVm sentinel. A plan beyond that would mint ids
+    // that silently wrap through the ServerId/VmId casts below — refuse
+    // loudly instead (planet-scale fleets are still far below 4.29e9).
+    util::require(servers_ < static_cast<std::size_t>(dc::kNoServer),
+                  "ShardPlan: num_servers exceeds the 32-bit server id space");
+    util::require(traces_ < static_cast<std::size_t>(dc::kNoVm),
+                  "ShardPlan: num_traces exceeds the 32-bit VM id space");
   }
 
   [[nodiscard]] std::size_t num_shards() const { return k_; }
@@ -40,8 +48,12 @@ class ShardPlan {
   }
   [[nodiscard]] dc::ServerId global_server(std::size_t shard,
                                            dc::ServerId local) const {
-    return static_cast<dc::ServerId>(static_cast<std::size_t>(local) * k_ +
-                                     shard);
+    // Widened arithmetic + range check: a stale or corrupt local id must
+    // fail here, not truncate through the 32-bit cast.
+    const std::size_t global = static_cast<std::size_t>(local) * k_ + shard;
+    util::require(global < servers_,
+                  "ShardPlan::global_server: id outside the plan");
+    return static_cast<dc::ServerId>(global);
   }
   /// Count of global servers owned by \p shard (|{g < N : g mod K == shard}|).
   [[nodiscard]] std::size_t servers_in(std::size_t shard) const {

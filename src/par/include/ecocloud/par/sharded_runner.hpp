@@ -140,6 +140,13 @@ class ShardedDailyRun {
   /// format, and to the single-threaded log when K=1.
   void write_events_csv(std::ostream& out) const;
 
+  /// The stitched global event rows behind write_events_csv.
+  [[nodiscard]] std::vector<metrics::Event> merged_events() const;
+
+  /// merged_events() in the compact binary format (event_log_binary.hpp);
+  /// eventlog2csv converts it back to write_events_csv's exact bytes.
+  void write_events_binary(std::ostream& out) const;
+
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   [[nodiscard]] const Shard& shard(std::size_t k) const { return *shards_[k]; }
   [[nodiscard]] Shard& shard(std::size_t k) { return *shards_[k]; }

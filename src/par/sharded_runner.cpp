@@ -12,6 +12,7 @@
 #include "ecocloud/ckpt/snapshot_io.hpp"
 #include "ecocloud/ckpt/watchdog.hpp"
 #include "ecocloud/core/migration.hpp"
+#include "ecocloud/metrics/event_log_binary.hpp"
 #include "ecocloud/par/event_merge.hpp"
 #include "ecocloud/util/exit_codes.hpp"
 #include "ecocloud/util/rng.hpp"
@@ -553,11 +554,11 @@ std::vector<std::string> ShardedDailyRun::cross_shard_failures() {
   return failures;
 }
 
-void ShardedDailyRun::write_events_csv(std::ostream& out) const {
+std::vector<metrics::Event> ShardedDailyRun::merged_events() const {
   // (K+1)-way merge over per-shard segments (each already time-ordered)
   // plus the coordinator's cross-shard rows, keyed by (time, stream) with
-  // the coordinator last. Row format is EventLog::write_csv's, with local
-  // ids translated to global — K=1 reproduces its bytes exactly.
+  // the coordinator last, with local ids translated to global — K=1
+  // reproduces a single-threaded run's stream exactly.
   std::vector<EventStream> streams;
   streams.reserve(shards_.size() + 1);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -575,7 +576,15 @@ void ShardedDailyRun::write_events_csv(std::ostream& out) const {
         }});
   }
   streams.push_back(EventStream{&coordinator_events_, {}});
-  write_merged_events_csv(out, merge_event_streams(streams));
+  return merge_event_streams(streams);
+}
+
+void ShardedDailyRun::write_events_csv(std::ostream& out) const {
+  write_merged_events_csv(out, merged_events());
+}
+
+void ShardedDailyRun::write_events_binary(std::ostream& out) const {
+  metrics::write_binary_events(out, merged_events());
 }
 
 }  // namespace ecocloud::par

@@ -42,6 +42,7 @@ void load_params(const util::KeyValueConfig& kv, core::EcoCloudParams& params) {
       kv.get_bool("enable_migrations", params.enable_migrations);
   params.invite_group_size =
       get_size(kv, "invite_group_size", params.invite_group_size);
+  params.fast_sampler = kv.get_bool("fast_sampler", params.fast_sampler);
 }
 
 void load_faults(const util::KeyValueConfig& kv, faults::FaultParams& params) {
@@ -138,6 +139,8 @@ DailyConfig load_daily_config(std::istream& in) {
       kv.get_double("warmup_hours", config.warmup_s / sim::kHour) * sim::kHour;
   config.seed = static_cast<std::uint64_t>(
       kv.get_int("seed", static_cast<long long>(config.seed)));
+  config.streaming_traces =
+      kv.get_bool("streaming_traces", config.streaming_traces);
 
   const auto racks = kv.get_int("racks", 0);
   if (racks > 0) {

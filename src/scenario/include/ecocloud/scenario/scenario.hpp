@@ -81,6 +81,13 @@ struct DailyConfig {
   core::EcoCloudParams params;  // paper defaults
   trace::WorkloadConfig workload;
   std::uint64_t seed = 20130520;  // arbitrary but fixed
+  /// Back the trace driver with a trace::StreamingTraces cursor bank
+  /// instead of a materialized trace::TraceSet: O(VMs) memory instead of
+  /// O(VMs x horizon), same event stream bit for bit (DESIGN.md §14).
+  /// Deliberately NOT part of the config digest — snapshots are portable
+  /// across trace-memory modes. Ignored (forced off) when traces are
+  /// supplied externally.
+  bool streaming_traces = false;
   /// Skip accounting during the initial consolidation transient.
   sim::SimTime warmup_s = 0.0;
   /// When set, the fleet is organized into racks: invitations go to one
@@ -147,7 +154,13 @@ class DailyScenario {
   [[nodiscard]] const DailyConfig& config() const { return config_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] dc::DataCenter& datacenter() { return *dc_; }
-  [[nodiscard]] const trace::TraceSet& traces() const { return *traces_; }
+  /// The materialized trace set. Throws when the scenario runs in
+  /// streaming mode (config.streaming_traces) — use streaming() there.
+  [[nodiscard]] const trace::TraceSet& traces() const;
+  /// The cursor bank backing a streaming-mode run; null otherwise.
+  [[nodiscard]] const trace::StreamingTraces* streaming() const {
+    return streaming_.get();
+  }
   [[nodiscard]] metrics::MetricsCollector& collector() { return *collector_; }
   [[nodiscard]] core::EcoCloudController* ecocloud() { return eco_.get(); }
   [[nodiscard]] baseline::CentralizedController* centralized() {
@@ -159,9 +172,9 @@ class DailyScenario {
   [[nodiscard]] faults::FaultInjector* fault_injector() { return injector_.get(); }
 
  private:
-  /// Delegation target: traces first so both public constructors funnel here.
-  DailyScenario(trace::TraceSet traces, DailyConfig config, Algorithm algorithm,
-                baseline::CentralizedParams centralized_params);
+  /// Shared wiring once the trace source (traces_ or streaming_) exists:
+  /// fleet, trace driver, controller, collector, fault injector.
+  void init(const baseline::CentralizedParams& centralized_params);
 
   DailyConfig config_;
   Algorithm algorithm_;
@@ -169,6 +182,7 @@ class DailyScenario {
   std::unique_ptr<net::Topology> topology_;
   std::unique_ptr<dc::DataCenter> dc_;
   std::unique_ptr<trace::TraceSet> traces_;
+  std::unique_ptr<trace::StreamingTraces> streaming_;
   std::unique_ptr<core::TraceDriver> trace_driver_;
   std::unique_ptr<core::EcoCloudController> eco_;
   std::unique_ptr<baseline::CentralizedController> central_;

@@ -43,6 +43,7 @@ void digest_params(std::string& out, const core::EcoCloudParams& p) {
   digest_u(out, "fit", p.require_fit ? 1 : 0);
   digest_u(out, "migrations", p.enable_migrations ? 1 : 0);
   digest_u(out, "invite_group", p.invite_group_size);
+  digest_u(out, "fast_sampler", p.fast_sampler ? 1 : 0);
 }
 
 void digest_workload(std::string& out, const trace::WorkloadConfig& w) {
@@ -93,37 +94,48 @@ void build_fleet(dc::DataCenter& datacenter, const FleetConfig& fleet) {
 
 DailyScenario::DailyScenario(DailyConfig config, Algorithm algorithm,
                              baseline::CentralizedParams centralized_params)
-    : DailyScenario(
-          [&config] {
-            config.params.validate();
-            util::Rng rng(config.seed);
-            const auto num_steps = static_cast<std::size_t>(
-                                       config.horizon_s /
-                                       config.workload.sample_period_s) +
-                                   2;
-            trace::WorkloadModel model(config.workload);
-            return trace::TraceSet::generate(model, config.num_vms, num_steps,
-                                             rng);
-          }(),
-          config, algorithm, centralized_params) {}
+    : config_(std::move(config)), algorithm_(algorithm) {
+  config_.params.validate();
+  util::Rng rng(config_.seed);
+  const auto num_steps =
+      static_cast<std::size_t>(config_.horizon_s /
+                               config_.workload.sample_period_s) +
+      2;
+  trace::WorkloadModel model(config_.workload);
+  // Both generators consume the seed stream identically, so the two modes
+  // produce the same event stream bit for bit (engine_regression_test pins
+  // both against the same hashes).
+  if (config_.streaming_traces) {
+    streaming_ = std::make_unique<trace::StreamingTraces>(
+        trace::StreamingTraces::generate(model, config_.num_vms, num_steps, rng));
+  } else {
+    traces_ = std::make_unique<trace::TraceSet>(
+        trace::TraceSet::generate(model, config_.num_vms, num_steps, rng));
+  }
+  init(centralized_params);
+}
 
 DailyScenario::DailyScenario(DailyConfig config, trace::TraceSet traces,
                              Algorithm algorithm,
                              baseline::CentralizedParams centralized_params)
-    : DailyScenario(std::move(traces), config, algorithm, centralized_params) {}
-
-DailyScenario::DailyScenario(trace::TraceSet traces, DailyConfig config,
-                             Algorithm algorithm,
-                             baseline::CentralizedParams centralized_params)
     : config_(std::move(config)), algorithm_(algorithm) {
   config_.params.validate();
+  // Externally supplied traces are materialized by definition.
+  config_.streaming_traces = false;
   config_.num_vms = traces.num_vms();
+  traces_ = std::make_unique<trace::TraceSet>(std::move(traces));
+  init(centralized_params);
+}
 
+void DailyScenario::init(const baseline::CentralizedParams& centralized_params) {
   dc_ = std::make_unique<dc::DataCenter>();
   build_fleet(*dc_, config_.fleet);
 
-  traces_ = std::make_unique<trace::TraceSet>(std::move(traces));
-  trace_driver_ = std::make_unique<core::TraceDriver>(sim_, *dc_, *traces_);
+  if (streaming_) {
+    trace_driver_ = std::make_unique<core::TraceDriver>(sim_, *dc_, *streaming_);
+  } else {
+    trace_driver_ = std::make_unique<core::TraceDriver>(sim_, *dc_, *traces_);
+  }
 
   util::Rng rng(config_.seed);
   if (algorithm_ == Algorithm::kEcoCloud) {
@@ -169,7 +181,8 @@ void DailyScenario::run() {
   // Create all VMs with their t=0 demand and deploy them; the controllers
   // wake servers and queue VMs as boots complete.
   for (std::size_t i = 0; i < config_.num_vms; ++i) {
-    const dc::VmId vm = dc_->create_vm(0.0, traces_->ram_mb(i));
+    const double ram_mb = streaming_ ? streaming_->ram_mb(i) : traces_->ram_mb(i);
+    const dc::VmId vm = dc_->create_vm(0.0, ram_mb);
     trace_driver_->map_vm(i, vm);
     if (eco_) {
       eco_->deploy_vm(vm);
@@ -208,6 +221,13 @@ void DailyScenario::run_resumed() {
   sim_.run_until(config_.horizon_s);
   dc_->advance_to(config_.horizon_s);
   if (injector_) injector_->finalize(config_.horizon_s);
+}
+
+const trace::TraceSet& DailyScenario::traces() const {
+  util::require(traces_ != nullptr,
+                "DailyScenario::traces: run is in streaming mode "
+                "(config.streaming_traces) — no materialized TraceSet exists");
+  return *traces_;
 }
 
 std::string daily_config_digest(const DailyConfig& config, const char* algo) {

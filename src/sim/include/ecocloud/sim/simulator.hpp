@@ -197,10 +197,14 @@ class Simulator {
   };
 
   /// Slot bits packed into the low end of QueueEntry::key; the sequence
-  /// number lives in the remaining high 44 bits. 2^20 concurrent events and
-  /// 2^44 total events are both orders of magnitude beyond any simulated
-  /// scenario; acquire_slot() enforces the former.
-  static constexpr unsigned kSlotBits = 20;
+  /// number lives in the remaining high 39 bits. The planet-scale rows put
+  /// ~16M events in flight at once (one pending deploy per VM plus one
+  /// monitor per server), so the slot space must clear that; 2^39 total
+  /// events still exceeds the largest scenario by three orders of
+  /// magnitude. acquire_slot() enforces the concurrency bound. The split
+  /// never affects results: entries compare by (time, seq) and seq is
+  /// unique, so the slot bits never decide an ordering.
+  static constexpr unsigned kSlotBits = 25;
   static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
 
   /// 16-byte POD heap entry, so the four children of a heap node span a

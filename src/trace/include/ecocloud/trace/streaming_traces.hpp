@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file streaming_traces.hpp
+/// \brief Lazily generated per-VM demand cursors — TraceSet without the
+///        O(VMs x horizon) sample matrix.
+///
+/// TraceSet::generate materializes every 5-minute sample of every VM up
+/// front: 4 bytes x num_vms x num_steps, which is gigabytes at planet scale
+/// (DESIGN.md §14). StreamingTraces keeps only O(1) state per VM — the
+/// drawn average, the RAM footprint, the current AR(1) deviation, and a
+/// private RNG cursor positioned at the VM's slice of the generation
+/// stream — and advances all cursors one sampling step at a time as the
+/// simulation progresses.
+///
+/// Bit-compatibility contract: generate() consumes the shared RNG in
+/// EXACTLY the order TraceSet::generate does (avg, ram, then the series
+/// block of 1 + num_steps normal draws per VM), and the lazily produced
+/// demand at (v, k) equals TraceSet's series value bit for bit (same
+/// draws, same arithmetic, same clamp). A scenario that swaps TraceSet
+/// for StreamingTraces therefore produces the identical event stream —
+/// pinned by tests/engine_regression_test.
+///
+/// Access is monotone: advance_to(k) may only move forward. Rewinds throw,
+/// and the wrap-around replay TraceSet::percent_at offers for steps beyond
+/// num_steps is not supported — scenarios generate enough steps to cover
+/// their horizon, so neither limitation is reachable from DailyScenario.
+/// After a checkpoint restore the bank starts over at step 0 and the first
+/// advance_to fast-forwards deterministically; no cursor state needs to be
+/// part of the snapshot.
+
+#include <cstddef>
+#include <vector>
+
+#include "ecocloud/sim/time.hpp"
+#include "ecocloud/trace/workload_model.hpp"
+#include "ecocloud/util/rng.hpp"
+
+namespace ecocloud::trace {
+
+class StreamingTraces {
+ public:
+  /// Set up cursors for \p num_vms VMs of \p num_steps samples each,
+  /// consuming \p rng exactly as TraceSet::generate(model, num_vms,
+  /// num_steps, rng) would. O(num_vms x num_steps) time (the generation
+  /// draws must be replayed to keep the stream aligned) but O(num_vms)
+  /// memory.
+  static StreamingTraces generate(const WorkloadModel& model,
+                                  std::size_t num_vms, std::size_t num_steps,
+                                  util::Rng& rng);
+
+  [[nodiscard]] std::size_t num_vms() const { return averages_.size(); }
+  [[nodiscard]] std::size_t num_steps() const { return num_steps_; }
+  [[nodiscard]] sim::SimTime sample_period_s() const { return sample_period_s_; }
+  [[nodiscard]] double reference_mhz() const { return reference_mhz_; }
+
+  /// Average utilization (percent) drawn for VM \p v.
+  [[nodiscard]] double average_percent(std::size_t v) const {
+    return averages_.at(v);
+  }
+
+  /// RAM footprint of VM \p v (MB).
+  [[nodiscard]] double ram_mb(std::size_t v) const { return ram_mb_.at(v); }
+
+  /// Step index active at simulation time \p t (floor(t / period)).
+  [[nodiscard]] std::size_t step_at(sim::SimTime t) const;
+
+  /// The step all cursors are currently positioned at.
+  [[nodiscard]] std::size_t current_step() const { return current_step_; }
+
+  /// Advance every cursor to \p step (forward only; throws on rewind or
+  /// past num_steps). O(num_vms x steps advanced).
+  void advance_to(std::size_t step);
+
+  /// Punctual utilization (percent) of VM \p v at the current step —
+  /// bit-identical to TraceSet::percent_at(v, current_step()).
+  [[nodiscard]] double percent_current(std::size_t v) const {
+    return static_cast<double>(values_.at(v));
+  }
+
+  /// Demand (MHz) of VM \p v at the current step.
+  [[nodiscard]] double demand_mhz_current(std::size_t v) const {
+    return percent_current(v) / 100.0 * reference_mhz_;
+  }
+
+ private:
+  StreamingTraces() = default;
+
+  std::size_t num_steps_ = 0;
+  std::size_t current_step_ = 0;
+  sim::SimTime sample_period_s_ = 300.0;
+  double reference_mhz_ = 2000.0;
+  // AR(1) parameters shared by all cursors (from WorkloadConfig).
+  double ar1_rho_ = 0.0;
+  double dev_base_ = 0.0;
+  double dev_slope_ = 0.0;
+  DiurnalPattern diurnal_{};
+
+  // Per-VM columns (DESIGN.md §14: ~76 bytes/VM, horizon-independent).
+  std::vector<double> averages_;
+  std::vector<double> ram_mb_;
+  std::vector<double> dev_;        ///< AR(1) deviation at current_step_.
+  std::vector<float> values_;      ///< Clamped percent at current_step_.
+  std::vector<util::Rng> cursors_; ///< Positioned to draw the next innovation.
+};
+
+}  // namespace ecocloud::trace

@@ -18,7 +18,8 @@ dc::DataCenter make_dc() {
 // -------------------------------------------------------------------- server
 
 TEST(Server, CapacityAndUtilization) {
-  dc::Server s(0, 4, 2000.0);
+  dc::ServerSoA s_soa;
+  dc::Server s = s_soa.add(4, 2000.0);
   EXPECT_DOUBLE_EQ(s.capacity_mhz(), 8000.0);
   EXPECT_DOUBLE_EQ(s.utilization(), 0.0);
   s.host_vm(0, 2000.0, 0.0);
@@ -27,7 +28,8 @@ TEST(Server, CapacityAndUtilization) {
 }
 
 TEST(Server, UtilizationClampsAtOneButRatioDoesNot) {
-  dc::Server s(0, 2, 1000.0);
+  dc::ServerSoA s_soa;
+  dc::Server s = s_soa.add(2, 1000.0);
   s.host_vm(0, 3000.0, 0.0);
   EXPECT_DOUBLE_EQ(s.utilization(), 1.0);
   EXPECT_DOUBLE_EQ(s.demand_ratio(), 1.5);
@@ -36,7 +38,8 @@ TEST(Server, UtilizationClampsAtOneButRatioDoesNot) {
 }
 
 TEST(Server, DecisionUtilizationIncludesReservations) {
-  dc::Server s(0, 4, 2000.0);
+  dc::ServerSoA s_soa;
+  dc::Server s = s_soa.add(4, 2000.0);
   s.host_vm(0, 2000.0, 0.0);
   s.add_reservation(2000.0);
   EXPECT_DOUBLE_EQ(s.decision_utilization(), 0.5);
@@ -45,7 +48,8 @@ TEST(Server, DecisionUtilizationIncludesReservations) {
 }
 
 TEST(Server, UnhostRemovesCorrectVm) {
-  dc::Server s(0, 4, 2000.0);
+  dc::ServerSoA s_soa;
+  dc::Server s = s_soa.add(4, 2000.0);
   s.host_vm(7, 100.0, 0.0);
   s.host_vm(8, 200.0, 0.0);
   s.unhost_vm(7, 100.0, 0.0);
@@ -58,7 +62,8 @@ TEST(Server, UnhostRemovesCorrectVm) {
 }
 
 TEST(Server, GraceWindow) {
-  dc::Server s(0, 4, 2000.0);
+  dc::ServerSoA s_soa;
+  dc::Server s = s_soa.add(4, 2000.0);
   EXPECT_FALSE(s.in_grace(0.0));
   s.set_grace_until(100.0);
   EXPECT_TRUE(s.in_grace(99.0));
@@ -66,9 +71,10 @@ TEST(Server, GraceWindow) {
 }
 
 TEST(Server, RejectsBadConstruction) {
-  EXPECT_THROW(dc::Server(0, 0, 2000.0), std::invalid_argument);
-  EXPECT_THROW(dc::Server(0, 4, 0.0), std::invalid_argument);
-  EXPECT_THROW(dc::Server(0, 4, 2000.0, -1.0), std::invalid_argument);
+  dc::ServerSoA soa;
+  EXPECT_THROW(soa.add(0, 2000.0), std::invalid_argument);
+  EXPECT_THROW(soa.add(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(soa.add(4, 2000.0, -1.0), std::invalid_argument);
 }
 
 TEST(Server, StateToString) {
@@ -96,7 +102,8 @@ TEST(PowerModel, LinearInUtilization) {
 
 TEST(PowerModel, PerStatePower) {
   dc::PowerModel pm(0.70, 3.0, 20.0, 100.0);
-  dc::Server s(0, 6, 2000.0);
+  dc::ServerSoA s_soa;
+  dc::Server s = s_soa.add(6, 2000.0);
   EXPECT_DOUBLE_EQ(pm.power_w(s), 3.0);  // hibernated
   s.set_state(dc::ServerState::kBooting);
   EXPECT_DOUBLE_EQ(pm.power_w(s), 220.0);
@@ -417,14 +424,16 @@ TEST(DataCenter, VmOverloadSumsMatchGlobalAccounting) {
 }
 
 TEST(Server, ChangeDemandClampsAtZero) {
-  dc::Server s(0, 4, 2000.0);
+  dc::ServerSoA s_soa;
+  dc::Server s = s_soa.add(4, 2000.0);
   s.host_vm(0, 100.0, 0.0);
   s.change_demand(-500.0);
   EXPECT_DOUBLE_EQ(s.demand_mhz(), 0.0);
 }
 
 TEST(Server, RemoveReservationClampsAtZero) {
-  dc::Server s(0, 4, 2000.0);
+  dc::ServerSoA s_soa;
+  dc::Server s = s_soa.add(4, 2000.0);
   s.add_reservation(50.0);
   s.remove_reservation(100.0);
   EXPECT_DOUBLE_EQ(s.reserved_mhz(), 0.0);
@@ -542,7 +551,8 @@ TEST(DataCenter, FailServerRejectsPendingMigrations) {
 }
 
 TEST(Server, ReservationCountSnapsResidueOnlyWhenCleared) {
-  dc::Server s(0, 6, 2000.0, 1024.0);
+  dc::ServerSoA s_soa;
+  dc::Server s = s_soa.add(6, 2000.0, 1024.0);
   s.add_reservation(0.1);
   s.add_reservation(0.2);
   EXPECT_EQ(s.reservation_count(), 2u);

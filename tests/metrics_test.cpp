@@ -7,6 +7,7 @@
 #include "ecocloud/metrics/collector.hpp"
 #include "ecocloud/metrics/episode_summary.hpp"
 #include "ecocloud/metrics/event_log.hpp"
+#include "ecocloud/metrics/event_log_binary.hpp"
 #include "ecocloud/util/csv.hpp"
 #include "ecocloud/util/string_util.hpp"
 
@@ -330,4 +331,155 @@ TEST(Collector, RebaseAfterAccountingResetReportsNonNegativeWindows) {
   // Later windows are clean full windows again.
   EXPECT_NEAR(collector.samples()[2].window_energy_j, steady_power_w * 100.0,
               1e-6);
+}
+
+// ------------------------------------------------------ binary event log
+
+namespace {
+
+/// A corpus that exercises every field: all kinds, sentinel and large ids,
+/// fractional times, both is_high values.
+std::vector<metrics::Event> binary_corpus(std::size_t n) {
+  std::vector<metrics::Event> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    metrics::Event e;
+    e.time = 0.25 * static_cast<double>(i) + 1e-9;
+    e.kind = static_cast<metrics::EventKind>(i % metrics::kNumEventKinds);
+    e.vm = (i % 3 == 0) ? dc::kNoVm : static_cast<dc::VmId>(i * 7 + 1);
+    e.server =
+        (i % 5 == 0) ? dc::kNoServer : static_cast<dc::ServerId>(0xFFFF0000u + i);
+    e.is_high = (i % 2) != 0;
+    events.push_back(e);
+  }
+  return events;
+}
+
+bool same_event(const metrics::Event& a, const metrics::Event& b) {
+  return a.time == b.time && a.kind == b.kind && a.vm == b.vm &&
+         a.server == b.server && a.is_high == b.is_high;
+}
+
+}  // namespace
+
+TEST(EventLogBinary, RoundTripPreservesEveryField) {
+  const std::vector<metrics::Event> events = binary_corpus(257);
+  std::ostringstream out;
+  metrics::write_binary_events(out, events);
+  const std::string bytes = out.str();
+  EXPECT_EQ(bytes.size(), metrics::kEventLogHeaderSize +
+                              events.size() * metrics::kEventRecordSize);
+
+  std::istringstream in(bytes);
+  const metrics::BinaryReadResult result = metrics::read_binary_events(in);
+  EXPECT_FALSE(result.truncated_tail);
+  ASSERT_EQ(result.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_TRUE(same_event(result.events[i], events[i])) << "event " << i;
+  }
+}
+
+TEST(EventLogBinary, IncrementalWriterMatchesBatchWriter) {
+  // Enough records to cross the writer's internal flush threshold several
+  // times: block flushing must not reorder or drop bytes.
+  const std::vector<metrics::Event> events = binary_corpus(20000);
+  std::ostringstream batch;
+  metrics::write_binary_events(batch, events);
+  std::ostringstream incremental;
+  {
+    metrics::BinaryEventWriter writer(incremental);
+    for (const metrics::Event& e : events) writer.write(e);
+    EXPECT_EQ(writer.written(), events.size());
+  }  // destructor flushes the tail
+  EXPECT_EQ(incremental.str(), batch.str());
+}
+
+TEST(EventLogBinary, RecordLayoutIsFixedAndLittleEndian) {
+  metrics::Event e;
+  e.time = 1.5;  // IEEE-754: 0x3FF8000000000000
+  e.kind = metrics::EventKind::kMigrationStart;  // enumerator 2
+  e.vm = 0x01020304u;
+  e.server = dc::kNoServer;
+  e.is_high = true;
+  std::ostringstream out;
+  metrics::write_binary_events(out, {e});
+  const std::string b = out.str();
+  ASSERT_EQ(b.size(), 8u + 18u);
+  const unsigned char expected[26] = {
+      'E', 'C', 'E', 'V', 0x01, 0x00, 0x12, 0x00,            // header
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,        // time 1.5 LE
+      0x02,                                                  // kind
+      0x04, 0x03, 0x02, 0x01,                                // vm LE
+      0xFF, 0xFF, 0xFF, 0xFF,                                // server sentinel
+      0x01};                                                 // is_high
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(b[i]), expected[i]) << "byte " << i;
+  }
+}
+
+TEST(EventLogBinary, TruncatedTailRecoversCompletePrefix) {
+  const std::vector<metrics::Event> events = binary_corpus(3);
+  std::ostringstream out;
+  metrics::write_binary_events(out, events);
+  std::string bytes = out.str();
+  bytes.resize(bytes.size() - 5);  // cut into the last record
+
+  std::istringstream in(bytes);
+  const metrics::BinaryReadResult result = metrics::read_binary_events(in);
+  EXPECT_TRUE(result.truncated_tail);
+  ASSERT_EQ(result.events.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(same_event(result.events[i], events[i])) << "event " << i;
+  }
+}
+
+TEST(EventLogBinary, CorruptInputsAreRejected) {
+  const std::vector<metrics::Event> events = binary_corpus(2);
+  std::ostringstream out;
+  metrics::write_binary_events(out, events);
+  const std::string good = out.str();
+
+  {  // bad magic
+    std::string bytes = good;
+    bytes[0] = 'X';
+    std::istringstream in(bytes);
+    EXPECT_THROW((void)metrics::read_binary_events(in), std::runtime_error);
+  }
+  {  // unsupported version
+    std::string bytes = good;
+    bytes[4] = 0x7F;
+    std::istringstream in(bytes);
+    EXPECT_THROW((void)metrics::read_binary_events(in), std::runtime_error);
+  }
+  {  // wrong record size
+    std::string bytes = good;
+    bytes[6] = 0x13;
+    std::istringstream in(bytes);
+    EXPECT_THROW((void)metrics::read_binary_events(in), std::runtime_error);
+  }
+  {  // out-of-range event kind in the first record
+    std::string bytes = good;
+    bytes[8 + 8] = static_cast<char>(metrics::kNumEventKinds);
+    std::istringstream in(bytes);
+    EXPECT_THROW((void)metrics::read_binary_events(in), std::runtime_error);
+  }
+  {  // empty stream: not even a header
+    std::istringstream in("");
+    EXPECT_THROW((void)metrics::read_binary_events(in), std::runtime_error);
+  }
+}
+
+TEST(EventLogBinary, ConvertedCsvIsByteIdenticalToLegacyWriter) {
+  const std::vector<metrics::Event> events = binary_corpus(100);
+  std::ostringstream legacy;
+  metrics::write_events_csv(legacy, events);
+
+  std::ostringstream binary;
+  metrics::write_binary_events(binary, events);
+  std::istringstream in(binary.str());
+  std::ostringstream converted;
+  const metrics::BinaryReadResult result =
+      metrics::convert_binary_events_to_csv(in, converted);
+  EXPECT_FALSE(result.truncated_tail);
+  EXPECT_EQ(converted.str(), legacy.str());
 }

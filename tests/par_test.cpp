@@ -112,6 +112,37 @@ TEST(ShardPlan, RejectsMoreShardsThanServers) {
   EXPECT_THROW(par::ShardPlan(10, 4, 100), std::invalid_argument);
 }
 
+// 32-bit id boundary: global ids are dc::ServerId/dc::VmId (uint32_t) with
+// the max value reserved as the none-sentinel. Plans beyond the id space
+// must refuse loudly instead of letting the casts wrap; plans at planet
+// scale (1M servers, 15M VMs) and at the exact boundary must work.
+TEST(ShardPlan, RejectsPlansBeyondThe32BitIdSpace) {
+  const std::size_t id_space = static_cast<std::size_t>(dc::kNoServer);  // 2^32-1
+
+  // Planet scale round-trips fine, including the highest global id.
+  const par::ShardPlan planet(8, 1'000'000, 15'000'000);
+  const dc::ServerId top = 999'999;
+  EXPECT_EQ(planet.global_server(planet.shard_of_server(top),
+                                 planet.local_server(top)),
+            top);
+
+  // Exactly at the boundary: the largest representable plan (max id is the
+  // sentinel, so the last valid count is 2^32-2 ids... i.e. < sentinel).
+  const par::ShardPlan boundary(1, id_space - 1, id_space - 1);
+  const auto last = static_cast<dc::ServerId>(id_space - 2);
+  EXPECT_EQ(boundary.global_server(0, boundary.local_server(last)), last);
+
+  // One past: a fleet whose ids would collide with kNoServer/kNoVm or wrap.
+  EXPECT_THROW(par::ShardPlan(1, id_space, 100), std::invalid_argument);
+  EXPECT_THROW(par::ShardPlan(1, id_space + 1, 100), std::invalid_argument);
+  EXPECT_THROW(par::ShardPlan(1, 100, id_space), std::invalid_argument);
+
+  // A stale local id that would truncate through the 32-bit cast fails
+  // instead of minting a bogus global id.
+  const par::ShardPlan small(4, 48, 600);
+  EXPECT_THROW((void)small.global_server(3, 100), std::invalid_argument);
+}
+
 // --------------------------------------------------------- unsupported modes
 
 TEST(ShardedDailyRun, RejectsTopologyAndBadSyncInterval) {

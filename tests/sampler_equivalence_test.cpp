@@ -1,0 +1,186 @@
+// Validation of the fast O(k) sampler (params.fast_sampler) against the
+// compatibility sampler it replaces at planet scale.
+//
+// The two modes draw the shared RNG stream differently, so their runs are
+// *different by construction*; what must hold is that the fast sampler
+// implements the same randomized algorithm: uniform invitation groups that
+// never contact the excluded server, and end-to-end runs whose aggregate
+// physics (energy, active servers, migration activity) match the compat
+// sampler within sampling noise. DESIGN.md §14 documents the contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "ecocloud/core/assignment.hpp"
+#include "ecocloud/metrics/collector.hpp"
+#include "ecocloud/scenario/scenario.hpp"
+
+namespace core = ecocloud::core;
+namespace dc = ecocloud::dc;
+namespace scenario = ecocloud::scenario;
+namespace sim = ecocloud::sim;
+using ecocloud::util::Rng;
+
+namespace {
+
+struct Fixture {
+  dc::DataCenter datacenter;
+  core::EcoCloudParams params;
+  Rng rng{20130520};
+
+  /// Active server at the utilization where f_a peaks (f_a = 1), so every
+  /// contacted server volunteers and the invitation group is observable
+  /// through the volunteer count and the winner.
+  dc::ServerId add_argmax_server(const core::AssignmentFunction& fa) {
+    const auto s = datacenter.add_server(6, 2000.0);
+    datacenter.start_booting(0.0, s);
+    datacenter.finish_booting(0.0, s);
+    const auto v =
+        datacenter.create_vm(fa.argmax() * datacenter.server(s).capacity_mhz());
+    datacenter.place_vm(0.0, v, s);
+    return s;
+  }
+};
+
+/// Relative gap |a - b| / max(|a|, |b|).
+double rel_gap(double a, double b) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return scale == 0.0 ? 0.0 : std::abs(a - b) / scale;
+}
+
+struct RunStats {
+  double energy_kwh = 0.0;
+  double mean_active = 0.0;
+  std::uint64_t migrations = 0;
+  std::uint64_t wake_ups = 0;
+  std::uint64_t failures = 0;
+};
+
+RunStats run_daily(const scenario::DailyConfig& config) {
+  scenario::DailyScenario daily(config);
+  daily.run();
+  RunStats stats;
+  stats.energy_kwh = daily.collector().total_energy_kwh();
+  const auto& samples = daily.collector().samples();
+  for (const auto& sample : samples) {
+    stats.mean_active += static_cast<double>(sample.active_servers);
+  }
+  if (!samples.empty()) stats.mean_active /= static_cast<double>(samples.size());
+  stats.migrations =
+      daily.ecocloud()->low_migrations() + daily.ecocloud()->high_migrations();
+  stats.wake_ups = daily.ecocloud()->wake_ups();
+  stats.failures = daily.ecocloud()->assignment_failures();
+  return stats;
+}
+
+}  // namespace
+
+// Group sampling: every round contacts exactly invite_group_size servers,
+// all of them volunteer (f_a = 1 at argmax), the excluded server never
+// wins, and over many rounds every eligible server wins — the uniformity
+// and exclusion properties Floyd's subset sampling must provide.
+TEST(FastSampler, GroupSamplingIsUniformAndHonorsExclusion) {
+  Fixture f;
+  f.params.fast_sampler = true;
+  f.params.invite_group_size = 4;
+  core::AssignmentProcedure proc(f.params, f.rng);
+
+  constexpr std::size_t kServers = 12;
+  std::vector<dc::ServerId> servers;
+  for (std::size_t i = 0; i < kServers; ++i) {
+    servers.push_back(f.add_argmax_server(proc.fa()));
+  }
+  const dc::ServerId excluded = servers.front();
+
+  constexpr int kRounds = 600;
+  std::vector<int> wins(kServers, 0);
+  for (int round = 0; round < kRounds; ++round) {
+    const auto result = proc.invite(f.datacenter, 0.0, 10.0, 0.0,
+                                    /*ta_override=*/-1.0, excluded);
+    ASSERT_EQ(result.contacted, 4u);
+    ASSERT_EQ(result.volunteers, 4u);
+    ASSERT_TRUE(result.server.has_value());
+    ASSERT_NE(*result.server, excluded);
+    ++wins[*result.server];
+  }
+  EXPECT_EQ(wins[excluded], 0);
+  // Uniform over 11 eligible servers: expectation ~54.5 wins each. Require
+  // a loose floor; the probability of any server falling under it is
+  // negligible (normal tail beyond 5 sigma).
+  for (std::size_t i = 1; i < kServers; ++i) {
+    EXPECT_GE(wins[i], 20) << "server " << i << " undersampled";
+  }
+}
+
+// Broadcast (group size 0) in fast mode contacts every active server except
+// the excluded one — same coverage as the compat scan, just drawn from the
+// dense membership set.
+TEST(FastSampler, BroadcastContactsAllActiveMinusExclusion) {
+  Fixture f;
+  f.params.fast_sampler = true;
+  core::AssignmentProcedure proc(f.params, f.rng);
+  std::vector<dc::ServerId> servers;
+  for (int i = 0; i < 7; ++i) servers.push_back(f.add_argmax_server(proc.fa()));
+
+  const auto all = proc.invite(f.datacenter, 0.0, 10.0);
+  EXPECT_EQ(all.contacted, 7u);
+  const auto minus_one = proc.invite(f.datacenter, 0.0, 10.0, 0.0,
+                                     /*ta_override=*/-1.0, servers[3]);
+  EXPECT_EQ(minus_one.contacted, 6u);
+  ASSERT_TRUE(minus_one.server.has_value());
+  EXPECT_NE(*minus_one.server, servers[3]);
+}
+
+// When the eligible set is not larger than the group, fast mode degrades to
+// a broadcast instead of sampling (nothing to thin).
+TEST(FastSampler, SmallEligibleSetFallsBackToBroadcast) {
+  Fixture f;
+  f.params.fast_sampler = true;
+  f.params.invite_group_size = 8;
+  core::AssignmentProcedure proc(f.params, f.rng);
+  std::vector<dc::ServerId> servers;
+  for (int i = 0; i < 4; ++i) servers.push_back(f.add_argmax_server(proc.fa()));
+
+  const auto result = proc.invite(f.datacenter, 0.0, 10.0, 0.0,
+                                  /*ta_override=*/-1.0, servers[0]);
+  EXPECT_EQ(result.contacted, 3u);
+}
+
+// End-to-end distributional equivalence on the paper-scale scenario: the
+// fast sampler must reproduce the compat sampler's aggregate physics within
+// sampling noise, both for broadcast invitations and for group-limited ones.
+// Tolerances are deliberately loose — the two modes are independent samples
+// of the same stochastic process, not the same run.
+TEST(FastSampler, DailyScenarioAggregatesMatchCompatSampler) {
+  scenario::DailyConfig config;
+  config.fleet.num_servers = 200;
+  config.num_vms = 3000;
+  config.horizon_s = 24.0 * sim::kHour;
+  config.warmup_s = 6.0 * sim::kHour;
+
+  for (const std::size_t group : {std::size_t{0}, std::size_t{20}}) {
+    SCOPED_TRACE("invite_group_size = " + std::to_string(group));
+    config.params.invite_group_size = group;
+
+    config.params.fast_sampler = false;
+    const RunStats compat = run_daily(config);
+    config.params.fast_sampler = true;
+    const RunStats fast = run_daily(config);
+
+    EXPECT_LT(rel_gap(fast.energy_kwh, compat.energy_kwh), 0.05)
+        << "fast " << fast.energy_kwh << " vs compat " << compat.energy_kwh;
+    EXPECT_LT(rel_gap(fast.mean_active, compat.mean_active), 0.05)
+        << "fast " << fast.mean_active << " vs compat " << compat.mean_active;
+    EXPECT_LT(rel_gap(static_cast<double>(fast.migrations),
+                      static_cast<double>(compat.migrations)),
+              0.35)
+        << "fast " << fast.migrations << " vs compat " << compat.migrations;
+    // Saturation behavior must agree: neither mode should report deploy
+    // failures the other does not (the scenario is sized to never fail).
+    EXPECT_EQ(fast.failures, compat.failures);
+    EXPECT_EQ(fast.failures, 0u);
+  }
+}

@@ -12,6 +12,7 @@
 #include "ecocloud/trace/arrivals.hpp"
 #include "ecocloud/trace/diurnal.hpp"
 #include "ecocloud/trace/rate_estimator.hpp"
+#include "ecocloud/trace/streaming_traces.hpp"
 #include "ecocloud/trace/trace_set.hpp"
 #include "ecocloud/trace/workload_model.hpp"
 
@@ -339,4 +340,79 @@ TEST(RateEstimator, Validation) {
   trace::RateEstimator est(10.0);
   EXPECT_THROW(est.record_arrival(-1.0), std::invalid_argument);
   EXPECT_THROW(est.record_departure(0.0, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------- streaming traces
+
+TEST(StreamingTraces, BitIdenticalToMaterializedGeneration) {
+  trace::WorkloadConfig config;
+  trace::WorkloadModel model(config);
+  constexpr std::size_t kVms = 40;
+  constexpr std::size_t kSteps = 120;
+
+  Rng rng_a(12345);
+  Rng rng_b(12345);
+  const trace::TraceSet set = trace::TraceSet::generate(model, kVms, kSteps, rng_a);
+  trace::StreamingTraces bank =
+      trace::StreamingTraces::generate(model, kVms, kSteps, rng_b);
+
+  ASSERT_EQ(bank.num_vms(), set.num_vms());
+  ASSERT_EQ(bank.num_steps(), set.num_steps());
+  EXPECT_DOUBLE_EQ(bank.sample_period_s(), set.sample_period_s());
+  EXPECT_DOUBLE_EQ(bank.reference_mhz(), set.reference_mhz());
+  for (std::size_t v = 0; v < kVms; ++v) {
+    // Exact equality, not NEAR: the draws and arithmetic must be identical.
+    ASSERT_EQ(bank.average_percent(v), set.average_percent(v)) << "vm " << v;
+    ASSERT_EQ(bank.ram_mb(v), set.ram_mb(v)) << "vm " << v;
+  }
+  for (std::size_t k = 0; k < kSteps; ++k) {
+    bank.advance_to(k);
+    ASSERT_EQ(bank.current_step(), k);
+    for (std::size_t v = 0; v < kVms; ++v) {
+      ASSERT_EQ(bank.percent_current(v), set.percent_at(v, k))
+          << "vm " << v << " step " << k;
+      ASSERT_EQ(bank.demand_mhz_current(v), set.demand_mhz_at(v, k))
+          << "vm " << v << " step " << k;
+    }
+  }
+  // Both generators must consume the shared stream identically, or the
+  // controller/fault draws downstream of trace generation would diverge.
+  EXPECT_EQ(rng_a(), rng_b());
+}
+
+TEST(StreamingTraces, AdvancePastGapMatchesMaterialized) {
+  trace::WorkloadConfig config;
+  trace::WorkloadModel model(config);
+  Rng rng_a(777);
+  Rng rng_b(777);
+  const trace::TraceSet set = trace::TraceSet::generate(model, 5, 50, rng_a);
+  trace::StreamingTraces bank = trace::StreamingTraces::generate(model, 5, 50, rng_b);
+  // Jump straight to a far step: the lazy replay must land on the same
+  // values as stepping one at a time (checkpoint fast-forward path).
+  bank.advance_to(37);
+  for (std::size_t v = 0; v < 5; ++v) {
+    ASSERT_EQ(bank.percent_current(v), set.percent_at(v, 37)) << "vm " << v;
+  }
+}
+
+TEST(StreamingTraces, RejectsRewindAndOverrun) {
+  trace::WorkloadConfig config;
+  trace::WorkloadModel model(config);
+  Rng rng(1);
+  trace::StreamingTraces bank = trace::StreamingTraces::generate(model, 3, 10, rng);
+  bank.advance_to(4);
+  EXPECT_THROW(bank.advance_to(3), std::invalid_argument);
+  EXPECT_THROW(bank.advance_to(10), std::invalid_argument);
+  EXPECT_NO_THROW(bank.advance_to(4));  // idempotent at the current step
+  EXPECT_THROW((void)bank.step_at(-1.0), std::invalid_argument);
+}
+
+TEST(StreamingTraces, GenerateValidation) {
+  trace::WorkloadConfig config;
+  trace::WorkloadModel model(config);
+  Rng rng(1);
+  EXPECT_THROW(trace::StreamingTraces::generate(model, 0, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW(trace::StreamingTraces::generate(model, 3, 0, rng),
+               std::invalid_argument);
 }
