@@ -10,7 +10,10 @@
 // Experiments are configured with `key = value` files (see help-config);
 // absent keys keep the paper's defaults, unknown keys are rejected.
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,9 +35,12 @@
 #include "ecocloud/metrics/event_log_binary.hpp"
 #include "ecocloud/obs/chrome_trace.hpp"
 #include "ecocloud/obs/exporters.hpp"
+#include "ecocloud/obs/http_server.hpp"
 #include "ecocloud/obs/instrumentation.hpp"
 #include "ecocloud/obs/logger.hpp"
 #include "ecocloud/obs/metric_registry.hpp"
+#include "ecocloud/obs/profiler.hpp"
+#include "ecocloud/obs/progress.hpp"
 #include "ecocloud/par/sharded_runner.hpp"
 #include "ecocloud/par/sharded_telemetry.hpp"
 #include "ecocloud/scenario/config_io.hpp"
@@ -102,14 +108,134 @@ void require_writable(const std::string& path) {
   if (!existed) std::remove(path.c_str());
 }
 
+/// Live observability plane shared by all run modes: --serve-metrics
+/// (embedded HTTP scrape endpoint), --profile-out (phase profiler +
+/// folded-stacks dump), --progress (stderr ticker). Everything here is a
+/// pure observer — snapshots are rendered on the sim thread at safe
+/// points and the HTTP thread serves only the cached strings.
+class LivePlane {
+ public:
+  explicit LivePlane(Options& options) {
+    if (const auto port = options.get("serve-metrics")) {
+      const double p = util::parse_double(*port);
+      util::require(p >= 0.0 && p <= 65535.0 && p == std::floor(p),
+                    "--serve-metrics wants a TCP port (0..65535; 0 picks "
+                    "an ephemeral one)");
+      port_ = static_cast<std::uint16_t>(p);
+      serve_ = true;
+    }
+    profile_path_ = options.get("profile-out");
+    if (profile_path_) require_writable(*profile_path_);
+    if (const auto mode = options.get("progress")) {
+      if (*mode == "on") {
+        progress_ = true;
+      } else if (*mode == "off") {
+        progress_ = false;
+      } else if (*mode == "auto") {
+        // Auto: only when a human is plausibly watching.
+        progress_ = isatty(fileno(stderr)) != 0;
+      } else {
+        throw std::invalid_argument("bad --progress '" + *mode +
+                                    "' (want auto|on|off)");
+      }
+    }
+  }
+
+  [[nodiscard]] bool any() const {
+    return serve_ || profile_path_.has_value() || progress_;
+  }
+  [[nodiscard]] bool profiling() const { return profile_path_.has_value(); }
+
+  /// Build the profiler (when profiling) and bind the HTTP server (when
+  /// serving). \p num_domains: 1 single-calendar, K+1 sharded. The
+  /// registry must outlive this object.
+  void start(obs::MetricRegistry& registry, std::size_t num_domains) {
+    if (!any()) return;
+    registry_ = &registry;
+    if (profiling()) {
+      core_.emplace(num_domains);
+      profiler_.emplace(*core_, registry);
+    }
+    if (serve_) {
+      server_.emplace(hub_, port_);
+      std::printf(
+          "serving /metrics /progress /healthz on http://127.0.0.1:%u\n",
+          static_cast<unsigned>(server_->port()));
+    }
+  }
+
+  /// The profiler core, for ShardedDailyRun::set_profiler / the main
+  /// thread's domain installation. Null when not profiling.
+  [[nodiscard]] util::PhaseProfiler* core() {
+    return core_ ? &*core_ : nullptr;
+  }
+  [[nodiscard]] obs::Profiler* profiler() {
+    return profiler_ ? &*profiler_ : nullptr;
+  }
+
+  /// Anchor wall-clock zero and publish a first snapshot so a scrape
+  /// racing the run start already gets a document.
+  void begin(double sim_start_s, double horizon_s, std::uint64_t events) {
+    if (!any()) return;
+    tracker_.begin(sim_start_s, horizon_s);
+    publish(sim_start_s, events);
+  }
+
+  void set_shards(std::vector<obs::ShardProgress> shards) {
+    tracker_.set_shards(std::move(shards));
+  }
+
+  /// Refresh everything at a safe point: profiler registry mirrors, the
+  /// /metrics and /progress snapshots, and the stderr ticker.
+  void publish(double sim_now_s, std::uint64_t events) {
+    if (registry_ == nullptr) return;
+    tracker_.update(sim_now_s, events);
+    if (profiler_) profiler_->publish(tracker_.wall_seconds());
+    if (server_) {
+      std::ostringstream prom;
+      obs::write_prometheus(*registry_, prom);
+      hub_.publish_metrics(prom.str());
+      hub_.publish_progress(tracker_.to_json());
+    }
+    if (progress_) tracker_.maybe_tick(stderr);
+  }
+
+  /// Final publish, folded-stacks dump, and the overhead summary. The
+  /// HTTP server keeps answering until this object goes out of scope.
+  void finish(double sim_now_s, std::uint64_t events) {
+    if (registry_ == nullptr) return;
+    publish(sim_now_s, events);
+    if (profiler_) {
+      std::ofstream out(*profile_path_);
+      util::require(out.good(), "cannot open " + *profile_path_);
+      profiler_->write_folded(out);
+      std::printf("folded stacks written to %s\n", profile_path_->c_str());
+      profiler_->print_summary(stdout);
+    }
+  }
+
+ private:
+  bool serve_ = false;
+  std::uint16_t port_ = 0;
+  std::optional<std::string> profile_path_;
+  bool progress_ = false;
+  obs::MetricRegistry* registry_ = nullptr;
+  std::optional<util::PhaseProfiler> core_;
+  std::optional<obs::Profiler> profiler_;
+  obs::SnapshotHub hub_;
+  std::optional<obs::HttpServer> server_;
+  obs::ProgressTracker tracker_;
+};
+
 /// Telemetry wiring shared by run-daily and run-consolidation. Flags are
 /// consumed up front; attach() subscribes before the run (so it chains
 /// behind any EventLog/collector already installed), finish() closes the
 /// trace spans and writes the requested output files.
 class CliTelemetry {
  public:
-  explicit CliTelemetry(Options& options)
-      : metrics_path_(options.get("metrics-out")),
+  explicit CliTelemetry(Options& options, LivePlane& live)
+      : live_(live),
+        metrics_path_(options.get("metrics-out")),
         json_path_(options.get("metrics-json")),
         trace_path_(options.get("trace-out")),
         log_path_(options.get("log-out")) {
@@ -134,7 +260,7 @@ class CliTelemetry {
 
   [[nodiscard]] bool enabled() const {
     return metrics_path_ || json_path_ || trace_path_ || log_path_ ||
-           level_ != obs::LogLevel::kOff;
+           level_ != obs::LogLevel::kOff || live_.any();
   }
 
   void attach(sim::Simulator& sim, const dc::DataCenter& datacenter,
@@ -147,6 +273,21 @@ class CliTelemetry {
     instr_->attach_datacenter(datacenter);
     instr_->attach_controller(controller);
     if (injector != nullptr) instr_->attach_faults(*injector);
+    live_.start(registry_, /*num_domains=*/1);
+    if (live_.core() != nullptr) {
+      // Single-calendar runs execute on this thread; one domain covers it.
+      util::set_current_domain(&live_.core()->domain(0));
+    }
+    if (live_.any()) {
+      sim::Simulator* simp = &sim;
+      obs::ChromeTraceWriter* trace = trace_ ? &*trace_ : nullptr;
+      instr_->set_flush_hook([this, simp, trace](sim::SimTime now) {
+        live_.publish(now, simp->executed_events());
+        if (trace != nullptr && live_.profiler() != nullptr) {
+          live_.profiler()->emit_counter_track(*trace, now);
+        }
+      });
+    }
     // A resumed run re-arms the tagged flush event from the snapshot's
     // calendar (register_checkpoint) instead of scheduling a fresh one.
     if (!resumed) instr_->start_flush(sim, kFlushPeriodS);
@@ -180,6 +321,9 @@ class CliTelemetry {
   void finish(sim::SimTime end) {
     if (!instr_) return;
     instr_->finalize(end);
+    if (trace_ && live_.profiler() != nullptr) {
+      live_.profiler()->emit_counter_track(*trace_, end);
+    }
     if (metrics_path_) {
       std::ofstream out(*metrics_path_);
       util::require(out.good(), "cannot open " + *metrics_path_);
@@ -210,6 +354,7 @@ class CliTelemetry {
   /// Sim-time period of the logger/trace flush hook (5 min).
   static constexpr double kFlushPeriodS = 300.0;
 
+  LivePlane& live_;
   std::optional<std::string> metrics_path_;
   std::optional<std::string> json_path_;
   std::optional<std::string> trace_path_;
@@ -393,6 +538,14 @@ int usage() {
       "    --audit-every S      run the invariant auditor every S sim secs\n"
       "    --audit-action A     log | abort | heal on a failed audit\n"
       "    --watchdog-stall S   abort after S wall seconds without progress\n"
+      "    --serve-metrics P  live scrape endpoint on 127.0.0.1:P while the\n"
+      "                     run executes (GET /metrics /progress /healthz;\n"
+      "                     P=0 picks an ephemeral port, printed at start)\n"
+      "    --profile-out F  phase profiler: folded-stacks dump to F (feed to\n"
+      "                     flamegraph.pl) plus per-phase histograms in the\n"
+      "                     metrics outputs and a summary on stdout\n"
+      "    --progress M     auto|on|off stderr progress ticker (auto = only\n"
+      "                     when stderr is a TTY; at most one line/second)\n"
       "    --shards K       sharded parallel engine: K independent shards,\n"
       "                     deterministic output for fixed K regardless of\n"
       "                     thread count; composes with checkpointing,\n"
@@ -503,6 +656,7 @@ int run_daily_sharded(Options& options, scenario::DailyConfig config,
                  "hand-off\n",
                  par.sync_interval_s);
   }
+  LivePlane live(options);
   options.reject_unknown();
   for (const auto& path :
        {csv_path, events_path, metrics_path, json_path, trace_path, log_path}) {
@@ -527,7 +681,7 @@ int run_daily_sharded(Options& options, scenario::DailyConfig config,
 
   std::optional<par::ShardedTelemetry> telemetry;
   if (metrics_path || json_path || trace_path || log_path ||
-      log_level != obs::LogLevel::kOff) {
+      log_level != obs::LogLevel::kOff || live.any()) {
     par::ShardedTelemetry::Options topt;
     topt.trace = trace_path.has_value();
     topt.log_level = log_level;
@@ -537,10 +691,59 @@ int run_daily_sharded(Options& options, scenario::DailyConfig config,
     std::printf("resumed from %s (sharded snapshot)\n", resume_path->c_str());
   }
 
+  // The live plane hangs off the barrier hook (chained AFTER the
+  // ShardedTelemetry one so its counters are fresh when the snapshot is
+  // rendered): refresh per-shard epoch/lag gauges, then publish /metrics
+  // and /progress. No calendar events, no RNG — pure observer.
+  std::vector<obs::Gauge*> epoch_gauges;
+  std::vector<obs::Gauge*> lag_gauges;
+  if (live.any()) {
+    obs::MetricRegistry& registry = telemetry->registry();
+    live.start(registry, run.num_shards() + 1);
+    run.set_profiler(live.core());
+    for (std::size_t k = 0; k < run.num_shards(); ++k) {
+      const obs::Labels labels{{"shard", std::to_string(k)}};
+      epoch_gauges.push_back(
+          &registry.gauge("ecocloud_shard_epoch_wall_seconds", labels,
+                          "Wall seconds the shard spent on the last epoch"));
+      lag_gauges.push_back(&registry.gauge(
+          "ecocloud_shard_barrier_lag_seconds", labels,
+          "How long the shard waited for the slowest one at the last barrier"));
+    }
+    auto prev = std::move(run.on_barrier);
+    run.on_barrier = [&run, &live, &epoch_gauges, &lag_gauges,
+                      prev = std::move(prev)](sim::SimTime t) {
+      if (prev) prev(t);
+      std::uint64_t events = 0;
+      std::vector<obs::ShardProgress> progress;
+      progress.reserve(run.num_shards());
+      for (std::size_t k = 0; k < run.num_shards(); ++k) {
+        obs::ShardProgress sp;
+        sp.shard = static_cast<int>(k);
+        sp.epoch_wall_s = run.last_epoch_wall_s()[k];
+        sp.barrier_lag_s = run.last_barrier_lag_s()[k];
+        sp.events = run.shard(k).simulator().executed_events();
+        events += sp.events;
+        epoch_gauges[k]->set(sp.epoch_wall_s);
+        lag_gauges[k]->set(sp.barrier_lag_s);
+        progress.push_back(sp);
+      }
+      live.set_shards(std::move(progress));
+      live.publish(t, events);
+    };
+    std::uint64_t start_events = 0;
+    for (std::size_t k = 0; k < run.num_shards(); ++k) {
+      start_events += run.shard(k).simulator().executed_events();
+    }
+    live.begin(run.shard(0).simulator().now(), run.config().horizon_s,
+               start_events);
+  }
+
   run.run();
   const par::ParStats& s = run.stats();
   const sim::SimTime horizon = run.config().horizon_s;
   if (telemetry) telemetry->finalize(horizon);
+  live.finish(horizon, s.executed_events);
 
   double vm_seconds = 0.0;
   double overload_vm_seconds = 0.0;
@@ -658,8 +861,9 @@ int run_daily(Options& options) {
   }
   const auto csv_path = options.get("csv");
   const auto events_path = options.get("events");
+  LivePlane live(options);
   Robustness robustness(options, config.run);
-  CliTelemetry telemetry(options);
+  CliTelemetry telemetry(options, live);
   options.reject_unknown();
 
   for (const auto& path : {csv_path, events_path}) {
@@ -685,12 +889,16 @@ int run_daily(Options& options) {
                   [&daily](ckpt::CheckpointManager& manager) {
                     daily.register_checkpoint(manager);
                   });
-  if (robustness.launch(daily.simulator())) {
+  const bool resumed_run = robustness.launch(daily.simulator());
+  live.begin(daily.simulator().now(), config.horizon_s,
+             daily.simulator().executed_events());
+  if (resumed_run) {
     daily.run_resumed();
   } else {
     daily.run();
   }
   robustness.finish();
+  live.finish(daily.simulator().now(), daily.simulator().executed_events());
   telemetry.finish(daily.simulator().now());
 
   const auto& d = daily.datacenter();
@@ -760,8 +968,9 @@ int run_daily(Options& options) {
 int run_consolidation(Options& options) {
   auto config = load_config(options, scenario::load_consolidation_config);
   const auto csv_path = options.get("csv");
+  LivePlane live(options);
   Robustness robustness(options, config.run);
-  CliTelemetry telemetry(options);
+  CliTelemetry telemetry(options, live);
   options.reject_unknown();
 
   if (csv_path) require_writable(*csv_path);
@@ -778,12 +987,16 @@ int run_consolidation(Options& options) {
                   [&cons](ckpt::CheckpointManager& manager) {
                     cons.register_checkpoint(manager);
                   });
-  if (robustness.launch(cons.simulator())) {
+  const bool resumed_run = robustness.launch(cons.simulator());
+  live.begin(cons.simulator().now(), config.horizon_s,
+             cons.simulator().executed_events());
+  if (resumed_run) {
     cons.run_resumed();
   } else {
     cons.run();
   }
   robustness.finish();
+  live.finish(cons.simulator().now(), cons.simulator().executed_events());
   telemetry.finish(cons.simulator().now());
   const auto& d = cons.datacenter();
   std::printf("final: %zu active / %zu hibernated; arrivals=%llu departures=%llu "

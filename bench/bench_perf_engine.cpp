@@ -37,11 +37,13 @@
 #include <chrono>
 #include <cstdlib>
 #include <new>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ecocloud/par/sharded_runner.hpp"
+#include "ecocloud/util/phase_profiler.hpp"
 
 // Heap-allocation counter: the engine claims "no allocation per event", so
 // the bench counts global operator new calls around each run. Replacing
@@ -67,6 +69,32 @@ namespace {
 
 using namespace ecocloud;
 
+// --profile: wrap each run in the phase profiler and report the per-phase
+// wall-time split plus the profiler's self-measured overhead ratio, which
+// the CI perf-smoke leg holds to the <= 2% budget.
+bool g_profile = false;
+
+struct ProfileResult {
+  bool enabled = false;
+  double overhead_ratio = 0.0;
+  double phase_seconds[util::kNumPhases] = {};
+  std::uint64_t phase_calls[util::kNumPhases] = {};
+};
+
+ProfileResult profile_result(const util::PhaseProfiler& profiler,
+                             double wall_s) {
+  ProfileResult out;
+  out.enabled = true;
+  out.overhead_ratio =
+      wall_s > 0.0 ? profiler.overhead_seconds() / wall_s : 0.0;
+  for (std::size_t p = 0; p < util::kNumPhases; ++p) {
+    const util::PhaseStats st = profiler.total(static_cast<util::Phase>(p));
+    out.phase_seconds[p] = st.estimated_ns() * 1e-9;
+    out.phase_calls[p] = st.calls;
+  }
+  return out;
+}
+
 struct EngineRun {
   std::string name;
   std::string mode = "single";  // "single" | "sharded"
@@ -83,6 +111,7 @@ struct EngineRun {
   std::uint64_t migrations = 0;
   std::uint64_t cross_shard_migrations = 0;
   double energy_kwh = 0.0;
+  ProfileResult profile;
 };
 
 void print_row(const EngineRun& r) {
@@ -103,16 +132,23 @@ EngineRun run_scenario_config(const char* name, scenario::DailyConfig config,
 
   scenario::DailyScenario daily(std::move(config));
 
+  std::optional<util::PhaseProfiler> profiler;
+  if (g_profile) profiler.emplace(1);
+
   const std::uint64_t allocs_before =
       g_allocation_count.load(std::memory_order_relaxed);
   const auto start = std::chrono::steady_clock::now();
-  daily.run();
+  {
+    util::DomainScope scope(profiler ? &profiler->domain(0) : nullptr);
+    daily.run();
+  }
   const auto stop = std::chrono::steady_clock::now();
   out.allocations =
       g_allocation_count.load(std::memory_order_relaxed) - allocs_before;
 
   out.events = daily.simulator().executed_events();
   out.wall_s = std::chrono::duration<double>(stop - start).count();
+  if (profiler) out.profile = profile_result(*profiler, out.wall_s);
   out.events_per_sec =
       out.wall_s > 0.0 ? static_cast<double>(out.events) / out.wall_s : 0.0;
   out.peak_rss_mb = bench::peak_rss_mb();
@@ -162,6 +198,12 @@ EngineRun run_sharded_scenario_config(const char* name,
 
   par::ShardedDailyRun run(config, {.shards = shards, .threads = threads});
 
+  std::optional<util::PhaseProfiler> profiler;
+  if (g_profile) {
+    profiler.emplace(shards + 1);
+    run.set_profiler(&*profiler);
+  }
+
   const std::uint64_t allocs_before =
       g_allocation_count.load(std::memory_order_relaxed);
   const auto start = std::chrono::steady_clock::now();
@@ -172,6 +214,7 @@ EngineRun run_sharded_scenario_config(const char* name,
 
   out.events = run.stats().executed_events;
   out.wall_s = std::chrono::duration<double>(stop - start).count();
+  if (profiler) out.profile = profile_result(*profiler, out.wall_s);
   out.events_per_sec =
       out.wall_s > 0.0 ? static_cast<double>(out.events) / out.wall_s : 0.0;
   out.peak_rss_mb = bench::peak_rss_mb();
@@ -219,8 +262,7 @@ void write_json(const std::string& path, const std::vector<EngineRun>& runs) {
                  "      \"allocations_per_event\": %.4f,\n"
                  "      \"migrations\": %llu,\n"
                  "      \"cross_shard_migrations\": %llu,\n"
-                 "      \"energy_kwh\": %.3f\n"
-                 "    }%s\n",
+                 "      \"energy_kwh\": %.3f%s\n",
                  r.name.c_str(), r.mode.c_str(), r.shards, r.threads,
                  r.servers, r.vms, r.sim_hours,
                  static_cast<unsigned long long>(r.events), r.wall_s,
@@ -232,7 +274,24 @@ void write_json(const std::string& path, const std::vector<EngineRun>& runs) {
                      : 0.0,
                  static_cast<unsigned long long>(r.migrations),
                  static_cast<unsigned long long>(r.cross_shard_migrations),
-                 r.energy_kwh, i + 1 < runs.size() ? "," : "");
+                 r.energy_kwh, r.profile.enabled ? "," : "");
+    if (r.profile.enabled) {
+      std::fprintf(f,
+                   "      \"profile\": {\n"
+                   "        \"overhead_ratio\": %.6f,\n"
+                   "        \"phases\": {\n",
+                   r.profile.overhead_ratio);
+      for (std::size_t p = 0; p < util::kNumPhases; ++p) {
+        std::fprintf(
+            f, "          \"%s\": {\"seconds\": %.6f, \"calls\": %llu}%s\n",
+            util::to_string(static_cast<util::Phase>(p)),
+            r.profile.phase_seconds[p],
+            static_cast<unsigned long long>(r.profile.phase_calls[p]),
+            p + 1 < util::kNumPhases ? "," : "");
+      }
+      std::fprintf(f, "        }\n      }\n");
+    }
+    std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -272,6 +331,8 @@ int main(int argc, char** argv) {
           std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--threads" && i + 1 < argc) {
       thread_counts = parse_size_list(argv[++i]);
+    } else if (arg == "--profile") {
+      g_profile = true;
     } else if (arg == "--series-only") {
       // Accepted for CI uniformity with the other benches: the series *is*
       // the measurement here, so there is nothing to skip.
@@ -282,7 +343,7 @@ int main(int argc, char** argv) {
           "[--scenario paper|scaleup|sharded|scaleup16k|planet100k|"
           "planet1m|ci|all]\n"
           "                         [--shards K] [--threads N1,N2,...] "
-          "[--out PATH]\n");
+          "[--profile] [--out PATH]\n");
       return 2;
     }
   }

@@ -5,6 +5,7 @@
 
 #include "ecocloud/ckpt/snapshot_io.hpp"
 #include "ecocloud/sim/event_tag.hpp"
+#include "ecocloud/util/phase_profiler.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::ckpt {
@@ -135,6 +136,7 @@ void CheckpointManager::collect(Snapshot& snapshot, const std::string& prefix) {
 }
 
 void CheckpointManager::save(const std::string& path) {
+  util::ScopedPhase profile(util::Phase::kCheckpointWrite);
   const auto t0 = std::chrono::steady_clock::now();
 
   Snapshot snapshot;

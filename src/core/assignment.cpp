@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ecocloud/util/phase_profiler.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::core {
@@ -40,6 +41,7 @@ AssignmentResult AssignmentProcedure::invite(const dc::DataCenter& datacenter,
                                              double vm_ram_mb, double ta_override,
                                              dc::ServerId exclude,
                                              const std::vector<dc::ServerId>* subset) const {
+  util::ScopedPhase profile(util::Phase::kInviteSampling);
   util::require(vm_demand_mhz >= 0.0, "AssignmentProcedure::invite: negative demand");
 
   const AssignmentFunction fa =

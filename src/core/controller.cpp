@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "ecocloud/util/snapshot.hpp"
+#include "ecocloud/util/phase_profiler.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::core {
@@ -288,6 +289,7 @@ void EcoCloudController::force_activate(dc::ServerId server, bool with_grace) {
 }
 
 void EcoCloudController::monitor_server(dc::ServerId s) {
+  util::ScopedPhase profile(util::Phase::kMonitorSweep);
   const sim::SimTime now = sim_.now();
   bool fired = false;
   auto plan = migration_.check(dc_, s, now, &fired);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ecocloud/util/snapshot.hpp"
+#include "ecocloud/util/phase_profiler.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::core {
@@ -83,6 +84,7 @@ sim::Simulator::Callback TraceDriver::rebuild_event(const sim::EventTag& tag) {
 }
 
 void TraceDriver::tick() {
+  util::ScopedPhase profile(util::Phase::kTraceAdvance);
   const sim::SimTime now = sim_.now();
   if (traces_ != nullptr) {
     const std::size_t step = traces_->step_at(now);

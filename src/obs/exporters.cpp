@@ -161,7 +161,13 @@ void write_json(const MetricRegistry& registry, std::ostream& out) {
         case MetricType::kHistogram: {
           const Histogram& h = *inst.histogram;
           text += "\"count\": " + std::to_string(h.count());
-          text += ", \"sum\": " + format_double(h.sum());
+          text += ", \"sum\": ";
+          if (std::isfinite(h.sum())) {
+            text += format_double(h.sum());
+          } else {
+            // JSON has no NaN/Inf literal; quote the token like gauges do.
+            append_json_string(text, format_double(h.sum()));
+          }
           text += ", \"buckets\": [";
           for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
             if (i > 0) text += ", ";

@@ -1,0 +1,194 @@
+#include "ecocloud/obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ecocloud::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kReadTimeoutMs = 2000;
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string make_response(int status, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body,
+                          const char* extra_header = nullptr) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (extra_header != nullptr) {
+    out += extra_header;
+    out += "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(const SnapshotHub& hub, std::uint16_t port)
+    : hub_(hub) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("HttpServer: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: cannot bind 127.0.0.1:" +
+                             std::to_string(port) + ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: listen() failed: " + err);
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: pipe() failed");
+  }
+
+  thread_ = std::thread([this] { serve(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void HttpServer::serve() {
+  while (!stopping_.load()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || stopping_.load()) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::handle_connection(int client_fd) {
+  // Read until the end of the request head, with a cap and a timeout so
+  // a stuck client cannot wedge the (serial) server loop.
+  std::string request;
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{client_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kReadTimeoutMs);
+    if (ready <= 0) break;
+    char buf[1024];
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  const std::size_t line_end = request.find("\r\n");
+  std::string method, target, version;
+  if (line_end != std::string::npos) {
+    const std::string line = request.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos && line.find(' ', sp2 + 1) == std::string::npos) {
+      method = line.substr(0, sp1);
+      target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      version = line.substr(sp2 + 1);
+    }
+  }
+  if (method.empty() || target.empty() ||
+      version.rfind("HTTP/", 0) != 0) {
+    send_all(client_fd, make_response(400, "Bad Request", "text/plain",
+                                      "bad request\n"));
+    return;
+  }
+  if (method != "GET") {
+    send_all(client_fd,
+             make_response(405, "Method Not Allowed", "text/plain",
+                           "method not allowed\n", "Allow: GET"));
+    return;
+  }
+
+  // Strip any query string; the routes take no parameters.
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  if (target == "/metrics") {
+    send_all(client_fd,
+             make_response(200, "OK",
+                           "text/plain; version=0.0.4; charset=utf-8",
+                           hub_.metrics()));
+  } else if (target == "/progress") {
+    send_all(client_fd,
+             make_response(200, "OK", "application/json", hub_.progress()));
+  } else if (target == "/healthz") {
+    send_all(client_fd, make_response(200, "OK", "text/plain", "ok\n"));
+  } else {
+    send_all(client_fd,
+             make_response(404, "Not Found", "text/plain", "not found\n"));
+  }
+}
+
+}  // namespace ecocloud::obs

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file http_server.hpp
+/// \brief Minimal embedded HTTP server for live metric/progress scrapes.
+///
+/// Design: the simulation thread never talks to sockets and the HTTP
+/// thread never touches simulation state. Instead the sim thread renders
+/// its exports (Prometheus text, progress JSON) into strings at safe
+/// points (the periodic flush event, the sharded barrier) and publishes
+/// them into a SnapshotHub; the server thread serves only those cached
+/// strings under the hub mutex. A scrape can therefore never block or
+/// perturb the run — the plane stays a pure observer.
+///
+/// Scope: GET-only, Connection: close, serial request handling on one
+/// thread. That is deliberate — the consumers are `curl` and a
+/// Prometheus scraper at seconds cadence, not a web tier.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ecocloud::obs {
+
+/// Thread-safe mailbox of the latest rendered exports.
+class SnapshotHub {
+ public:
+  void publish_metrics(std::string prometheus_text) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_ = std::move(prometheus_text);
+  }
+
+  void publish_progress(std::string json) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    progress_ = std::move(json);
+  }
+
+  [[nodiscard]] std::string metrics() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_;
+  }
+
+  [[nodiscard]] std::string progress() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return progress_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::string metrics_;
+  std::string progress_ = "{}\n";
+};
+
+/// Blocking-accept HTTP server on its own thread, bound to 127.0.0.1.
+///
+/// Routes: GET /metrics (Prometheus text), GET /progress (JSON),
+/// GET /healthz ("ok"). Anything else: 404; non-GET: 405; requests that
+/// are not parseable HTTP: 400.
+///
+/// Throws std::runtime_error from the constructor when the port cannot
+/// be bound (already in use, no permission). Pass port 0 to bind an
+/// ephemeral port and read it back via port().
+class HttpServer {
+ public:
+  HttpServer(const SnapshotHub& hub, std::uint16_t port);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The actually bound port (== constructor arg unless that was 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stop accepting and join the server thread (idempotent; the
+  /// destructor calls it).
+  void stop();
+
+ private:
+  void serve();
+  void handle_connection(int client_fd);
+
+  const SnapshotHub& hub_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe to break out of poll()
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace ecocloud::obs

@@ -119,6 +119,14 @@ class Instrumentation {
   /// telemetry-off bit-identity holds exactly (not just modulo seq).
   void flush_now(sim::SimTime now);
 
+  /// Extra work to run at the end of every flush (periodic event or
+  /// manual flush_now): the live observability plane publishes its
+  /// /metrics and /progress snapshots here. Survives checkpoint resume —
+  /// the rebuilt flush callback goes through flush_now too.
+  void set_flush_hook(std::function<void(sim::SimTime)> hook) {
+    flush_hook_ = std::move(hook);
+  }
+
   /// Close open trace spans (server states, in-flight migrations) at
   /// \p end and flush the logger. Call once, after the run.
   void finalize(sim::SimTime end);
@@ -143,6 +151,7 @@ class Instrumentation {
   Logger& logger_;
   ChromeTraceWriter* trace_;
   ShardContext shard_;
+  std::function<void(sim::SimTime)> flush_hook_;
 
   const dc::DataCenter* dc_ = nullptr;
 

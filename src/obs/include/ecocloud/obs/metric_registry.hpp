@@ -73,11 +73,21 @@ class Gauge {
 
 /// Fixed-bucket histogram: observations are classified into the first
 /// bucket whose upper bound is >= the value, Prometheus-style (an implicit
-/// +Inf bucket catches the rest). Bounds are fixed at registration, so
-/// observe() is a binary search plus two adds — no allocation, ever.
+/// +Inf bucket catches the rest). Bounds are fixed at registration and
+/// must all be finite (a +Inf bound would duplicate the implicit bucket in
+/// the exposition). observe() is a binary search plus two adds — no
+/// allocation, ever.
 class Histogram {
  public:
+  /// Non-finite observations (NaN, ±Inf) land in the +Inf bucket and are
+  /// excluded from sum() so the exposition stays parseable.
   void observe(double value);
+
+  /// Overwrite the bucket counts and sum wholesale (count() becomes the
+  /// bucket total). For mirroring an externally aggregated histogram —
+  /// e.g. the phase profiler's — into the registry at publish time.
+  /// \p bucket_counts must have upper_bounds().size() + 1 entries.
+  void reset_to(const std::vector<std::uint64_t>& bucket_counts, double sum);
 
   /// Finite upper bounds, strictly increasing (the +Inf bucket is implied).
   [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }

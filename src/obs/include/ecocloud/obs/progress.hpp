@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file progress.hpp
+/// \brief Run-progress telemetry: events/s, ETA, RSS, per-shard lag.
+///
+/// ProgressTracker converts (sim-time, events-executed) samples taken at
+/// safe points into a JSON document for the /progress endpoint and an
+/// optional human-readable stderr ticker. It reads only values handed to
+/// it — never simulation state — so it cannot perturb a run.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ecocloud::obs {
+
+/// VmRSS from /proc/self/status, in MiB (0.0 when unavailable).
+[[nodiscard]] double current_rss_mb();
+/// VmHWM (peak RSS) from /proc/self/status, in MiB (0.0 when unavailable).
+[[nodiscard]] double peak_rss_mb();
+
+struct ShardProgress {
+  int shard = 0;
+  double epoch_wall_s = 0.0;   ///< wall time this shard spent on the last epoch
+  double barrier_lag_s = 0.0;  ///< slowest-shard wall time minus own
+  std::uint64_t events = 0;    ///< events executed so far
+};
+
+class ProgressTracker {
+ public:
+  /// Call once before the run starts; anchors wall-clock zero.
+  void begin(double sim_start_s, double horizon_s);
+
+  /// Feed the latest safe-point sample.
+  void update(double sim_now_s, std::uint64_t events);
+
+  /// Replace the per-shard rows (sharded runs only).
+  void set_shards(std::vector<ShardProgress> shards);
+
+  /// Render the current state as a JSON object (trailing newline).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Emit a one-line ticker to \p out if at least \p min_interval_s of
+  /// wall time passed since the last emission. Returns true when a line
+  /// was written.
+  bool maybe_tick(std::FILE* out, double min_interval_s = 1.0);
+
+  [[nodiscard]] double events_per_sec() const { return events_per_sec_; }
+  [[nodiscard]] double wall_seconds() const;
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+
+ private:
+  double sim_start_s_ = 0.0;
+  double horizon_s_ = 0.0;
+  double sim_now_s_ = 0.0;
+  std::uint64_t events_ = 0;
+  std::uint64_t wall_start_ns_ = 0;
+  std::uint64_t wall_now_ns_ = 0;
+
+  // Windowed rates: anchor advances only when the window is wide enough,
+  // so the reported rate smooths over at least a couple of wall seconds.
+  double events_per_sec_ = 0.0;
+  double sim_per_wall_ = 0.0;
+  std::uint64_t window_start_ns_ = 0;
+  std::uint64_t window_events_ = 0;
+  double window_sim_s_ = 0.0;
+
+  std::uint64_t last_tick_ns_ = 0;
+  std::vector<ShardProgress> shards_;
+};
+
+}  // namespace ecocloud::obs

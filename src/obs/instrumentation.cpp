@@ -566,6 +566,7 @@ sim::Simulator::Callback Instrumentation::make_flush_callback(
 void Instrumentation::flush_now(sim::SimTime now) {
   sample_trace_counters(now);
   logger_.flush();
+  if (flush_hook_) flush_hook_(now);
 }
 
 void Instrumentation::finalize(sim::SimTime end) {

@@ -1,6 +1,8 @@
 #include "ecocloud/obs/metric_registry.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 
 #include "ecocloud/util/validation.hpp"
 
@@ -12,6 +14,19 @@ bool valid_metric_name(const std::string& name) {
   if (name.empty()) return false;
   const auto head = [](char c) {
     return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin(), name.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+// Label names share the metric-name grammar minus ':' (reserved for
+// recording rules) per the Prometheus exposition format.
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
   };
   if (!head(name.front())) return false;
   return std::all_of(name.begin(), name.end(), [&](char c) {
@@ -40,14 +55,36 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
                         bounds_.end(),
                 "Histogram: bucket bounds must be strictly increasing");
+  util::require(
+      std::all_of(bounds_.begin(), bounds_.end(),
+                  [](double b) { return std::isfinite(b); }),
+      "Histogram: bucket bounds must be finite (+Inf bucket is implicit)");
   counts_.assign(bounds_.size() + 1, 0);
 }
 
 void Histogram::observe(double value) {
+  if (!std::isfinite(value)) {
+    // NaN would otherwise land in the first bucket (lower_bound semantics)
+    // and poison sum_; route it to the overflow bucket and keep the sum
+    // finite so the exposition stays parseable.
+    ++counts_.back();
+    ++count_;
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += value;
+}
+
+void Histogram::reset_to(const std::vector<std::uint64_t>& bucket_counts,
+                         double sum) {
+  util::require(bucket_counts.size() == counts_.size(),
+                "Histogram::reset_to: bucket count mismatch");
+  counts_ = bucket_counts;
+  count_ = std::accumulate(counts_.begin(), counts_.end(),
+                           std::uint64_t{0});
+  sum_ = sum;
 }
 
 MetricRegistry::Family& MetricRegistry::family(const std::string& name,
@@ -73,6 +110,15 @@ MetricRegistry::Family& MetricRegistry::family(const std::string& name,
 }
 
 MetricRegistry::Instance& MetricRegistry::instance(Family& fam, Labels labels) {
+  for (const auto& [key, value] : labels) {
+    util::require(valid_label_name(key),
+                  "MetricRegistry: invalid label name '" + key + "' on '" +
+                      fam.name + "'");
+    util::require(fam.type != MetricType::kHistogram || key != "le",
+                  "MetricRegistry: label 'le' is reserved on histogram '" +
+                      fam.name + "'");
+    (void)value;
+  }
   labels = normalized(std::move(labels));
   for (auto& inst : fam.instances) {
     if (inst.labels == labels) return inst;

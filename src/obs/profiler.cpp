@@ -1,0 +1,113 @@
+#include "ecocloud/obs/profiler.hpp"
+
+#include <cinttypes>
+
+#include "ecocloud/obs/chrome_trace.hpp"
+
+namespace ecocloud::obs {
+
+namespace {
+
+using util::Phase;
+using util::kNumPhases;
+
+Labels phase_labels(const util::PhaseProfiler& core, std::size_t domain,
+                    Phase phase) {
+  Labels labels{{"phase", util::to_string(phase)}};
+  if (core.num_domains() > 1) {
+    labels.emplace_back("domain", core.domain_name(domain));
+  }
+  return labels;
+}
+
+}  // namespace
+
+Profiler::Profiler(util::PhaseProfiler& core, MetricRegistry& registry)
+    : core_(core), registry_(registry) {
+  for (std::size_t d = 0; d < core_.num_domains(); ++d) {
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      const auto phase = static_cast<Phase>(p);
+      const Labels labels = phase_labels(core_, d, phase);
+      registry_.counter_fn(
+          "ecocloud_profile_phase_calls_total",
+          [this, d, phase] { return core_.domain(d).stats(phase).calls; },
+          labels, "Scope entries per profiled phase");
+      registry_.counter_fn(
+          "ecocloud_profile_phase_ns_total",
+          [this, d, phase] {
+            return static_cast<std::uint64_t>(
+                core_.domain(d).stats(phase).estimated_ns());
+          },
+          labels,
+          "Estimated wall nanoseconds per phase (stride-scaled)");
+      duration_hists_.push_back(&registry_.histogram(
+          "ecocloud_profile_phase_duration_seconds",
+          util::phase_histogram_bounds_s(), labels,
+          "Per-call phase durations (timed subsample)"));
+    }
+  }
+  registry_.gauge_fn(
+      "ecocloud_profile_overhead_ratio",
+      [this] { return overhead_ratio(); }, {},
+      "Estimated profiler self-cost over run wall time");
+}
+
+void Profiler::publish(double run_wall_seconds) {
+  run_wall_seconds_ = run_wall_seconds;
+  if (!registry_.enabled()) return;
+  std::size_t idx = 0;
+  for (std::size_t d = 0; d < core_.num_domains(); ++d) {
+    for (std::size_t p = 0; p < kNumPhases; ++p, ++idx) {
+      const auto phase = static_cast<Phase>(p);
+      const auto& dom = core_.domain(d);
+      duration_hists_[idx]->reset_to(
+          dom.duration_buckets(phase),
+          static_cast<double>(dom.stats(phase).timed_ns) * 1e-9);
+    }
+  }
+}
+
+void Profiler::emit_counter_track(ChromeTraceWriter& trace,
+                                  double sim_now_s) {
+  std::vector<ChromeTraceWriter::Arg> values;
+  values.reserve(kNumPhases);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    values.emplace_back(util::to_string(phase),
+                        core_.total(phase).estimated_ns() * 1e-6);
+  }
+  trace.counter("profile_phase_ms", sim_now_s,
+                ChromeTraceWriter::kCountersPid, std::move(values));
+}
+
+double Profiler::overhead_ratio() const {
+  if (run_wall_seconds_ <= 0.0) return 0.0;
+  return core_.overhead_seconds() / run_wall_seconds_;
+}
+
+void Profiler::print_summary(std::FILE* out) const {
+  std::fprintf(out, "[profile] phase breakdown (stride-scaled estimates):\n");
+  double total_ns = 0.0;
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    total_ns += core_.total(static_cast<Phase>(p)).estimated_ns();
+  }
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    const util::PhaseStats st = core_.total(phase);
+    if (st.calls == 0) continue;
+    const double est_s = st.estimated_ns() * 1e-9;
+    const double share =
+        total_ns > 0.0 ? 100.0 * st.estimated_ns() / total_ns : 0.0;
+    std::fprintf(out,
+                 "[profile]   %-16s %10.3fs  %5.1f%%  %12" PRIu64
+                 " calls (%" PRIu64 " timed)\n",
+                 util::to_string(phase), est_s, share, st.calls,
+                 st.timed_calls);
+  }
+  std::fprintf(out,
+               "[profile] estimated overhead: %.4fs (%.2f%% of %.2fs wall)\n",
+               core_.overhead_seconds(), 100.0 * overhead_ratio(),
+               run_wall_seconds_);
+}
+
+}  // namespace ecocloud::obs

@@ -1,0 +1,159 @@
+#include "ecocloud/obs/progress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "ecocloud/util/phase_profiler.hpp"  // monotonic_ns
+
+namespace ecocloud::obs {
+
+namespace {
+
+double status_field_mb(const char* key) {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0.0;
+  std::string line;
+  const std::size_t key_len = std::strlen(key);
+  while (std::getline(in, line)) {
+    if (line.compare(0, key_len, key) != 0) continue;
+    // "VmRSS:   123456 kB"
+    std::istringstream fields(line.substr(key_len));
+    double kb = 0.0;
+    fields >> kb;
+    return kb / 1024.0;
+  }
+  return 0.0;
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+/// Minimum window width before the rate anchor advances; keeps the
+/// reported events/s smoothed over recent history instead of one tick.
+constexpr std::uint64_t kWindowNs = 2'000'000'000ULL;
+
+}  // namespace
+
+double current_rss_mb() { return status_field_mb("VmRSS:"); }
+double peak_rss_mb() { return status_field_mb("VmHWM:"); }
+
+void ProgressTracker::begin(double sim_start_s, double horizon_s) {
+  sim_start_s_ = sim_start_s;
+  sim_now_s_ = sim_start_s;
+  horizon_s_ = horizon_s;
+  wall_start_ns_ = util::monotonic_ns();
+  wall_now_ns_ = wall_start_ns_;
+  window_start_ns_ = wall_start_ns_;
+  window_events_ = 0;
+  window_sim_s_ = sim_start_s;
+}
+
+void ProgressTracker::update(double sim_now_s, std::uint64_t events) {
+  sim_now_s_ = sim_now_s;
+  events_ = events;
+  wall_now_ns_ = util::monotonic_ns();
+
+  const std::uint64_t span_ns = wall_now_ns_ - window_start_ns_;
+  if (span_ns > 0) {
+    const double span_s = static_cast<double>(span_ns) * 1e-9;
+    events_per_sec_ =
+        static_cast<double>(events - window_events_) / span_s;
+    sim_per_wall_ = (sim_now_s - window_sim_s_) / span_s;
+  }
+  if (span_ns >= kWindowNs) {
+    window_start_ns_ = wall_now_ns_;
+    window_events_ = events;
+    window_sim_s_ = sim_now_s;
+  }
+}
+
+void ProgressTracker::set_shards(std::vector<ShardProgress> shards) {
+  shards_ = std::move(shards);
+}
+
+double ProgressTracker::wall_seconds() const {
+  return static_cast<double>(wall_now_ns_ - wall_start_ns_) * 1e-9;
+}
+
+std::string ProgressTracker::to_json() const {
+  const double span = horizon_s_ - sim_start_s_;
+  const double done = sim_now_s_ - sim_start_s_;
+  const double percent =
+      span > 0.0 ? std::min(100.0, 100.0 * done / span) : 0.0;
+  const double remaining_sim = std::max(0.0, horizon_s_ - sim_now_s_);
+  const double eta_wall_s =
+      sim_per_wall_ > 0.0 ? remaining_sim / sim_per_wall_ : 0.0;
+
+  std::string out = "{";
+  out += "\"sim_time_s\": ";
+  append_number(out, sim_now_s_);
+  out += ", \"sim_start_s\": ";
+  append_number(out, sim_start_s_);
+  out += ", \"horizon_s\": ";
+  append_number(out, horizon_s_);
+  out += ", \"percent\": ";
+  append_number(out, percent);
+  out += ", \"wall_time_s\": ";
+  append_number(out, wall_seconds());
+  out += ", \"events\": " + std::to_string(events_);
+  out += ", \"events_per_sec\": ";
+  append_number(out, events_per_sec_);
+  out += ", \"sim_seconds_per_wall_second\": ";
+  append_number(out, sim_per_wall_);
+  out += ", \"eta_wall_s\": ";
+  append_number(out, eta_wall_s);
+  out += ", \"rss_mb\": ";
+  append_number(out, current_rss_mb());
+  out += ", \"vm_hwm_mb\": ";
+  append_number(out, peak_rss_mb());
+  out += ", \"shards\": [";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i != 0) out += ", ";
+    const ShardProgress& s = shards_[i];
+    out += "{\"shard\": " + std::to_string(s.shard);
+    out += ", \"epoch_wall_s\": ";
+    append_number(out, s.epoch_wall_s);
+    out += ", \"barrier_lag_s\": ";
+    append_number(out, s.barrier_lag_s);
+    out += ", \"events\": " + std::to_string(s.events) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool ProgressTracker::maybe_tick(std::FILE* out, double min_interval_s) {
+  const std::uint64_t now = util::monotonic_ns();
+  const auto min_ns =
+      static_cast<std::uint64_t>(min_interval_s * 1e9);
+  if (last_tick_ns_ != 0 && now - last_tick_ns_ < min_ns) return false;
+  last_tick_ns_ = now;
+
+  const double span = horizon_s_ - sim_start_s_;
+  const double done = sim_now_s_ - sim_start_s_;
+  const double percent =
+      span > 0.0 ? std::min(100.0, 100.0 * done / span) : 0.0;
+  const double remaining_sim = std::max(0.0, horizon_s_ - sim_now_s_);
+  const double eta_wall_s =
+      sim_per_wall_ > 0.0 ? remaining_sim / sim_per_wall_ : 0.0;
+
+  std::fprintf(out,
+               "[progress] t=%.0fs/%.0fs (%.1f%%) %llu events"
+               " %.3g ev/s eta %.0fs rss %.0fMB\n",
+               sim_now_s_, horizon_s_, percent,
+               static_cast<unsigned long long>(events_), events_per_sec_,
+               eta_wall_s, current_rss_mb());
+  std::fflush(out);
+  return true;
+}
+
+}  // namespace ecocloud::obs

@@ -34,6 +34,7 @@
 #include "ecocloud/par/shard.hpp"
 #include "ecocloud/scenario/scenario.hpp"
 #include "ecocloud/trace/trace_set.hpp"
+#include "ecocloud/util/phase_profiler.hpp"
 #include "ecocloud/util/thread_pool.hpp"
 
 namespace ecocloud::ckpt {
@@ -124,6 +125,23 @@ class ShardedDailyRun {
   /// Called after every successful snapshot write with the path.
   std::function<void(const std::string&)> on_checkpoint;
 
+  /// Attach a phase profiler with K+1 domains: domain k receives shard
+  /// k's samples (installed on whichever worker runs the shard's epoch),
+  /// domain K the coordinator's (hand-off, checkpoint writes, and the
+  /// per-shard barrier lag). Pure observer — attach/detach freely.
+  void set_profiler(util::PhaseProfiler* profiler);
+
+  /// Wall seconds each shard spent on the most recent epoch, and how far
+  /// behind the slowest shard each one finished (max epoch wall minus
+  /// own). Measured every epoch regardless of profiling; read them from
+  /// the on_barrier hook.
+  [[nodiscard]] const std::vector<double>& last_epoch_wall_s() const {
+    return last_epoch_wall_s_;
+  }
+  [[nodiscard]] const std::vector<double>& last_barrier_lag_s() const {
+    return last_barrier_lag_s_;
+  }
+
   [[nodiscard]] const ParStats& stats() const { return stats_; }
   [[nodiscard]] double total_energy_kwh() const {
     return stats_.energy_joules / 3.6e6;
@@ -199,6 +217,10 @@ class ShardedDailyRun {
   /// taken.
   sim::SimTime t_ = 0.0;
   bool warmup_done_ = false;
+
+  util::PhaseProfiler* profiler_ = nullptr;
+  std::vector<double> last_epoch_wall_s_;
+  std::vector<double> last_barrier_lag_s_;
 
   ParStats stats_;
   bool ran_ = false;

@@ -73,7 +73,20 @@ std::string ShardedDailyRun::config_digest() const {
   return digest;
 }
 
+void ShardedDailyRun::set_profiler(util::PhaseProfiler* profiler) {
+  if (profiler != nullptr) {
+    util::require(profiler->num_domains() == shards_.size() + 1,
+                  "ShardedDailyRun::set_profiler: expected K+1 domains");
+    for (std::size_t k = 0; k < shards_.size(); ++k) {
+      profiler->set_domain_name(k, "shard" + std::to_string(k));
+    }
+    profiler->set_domain_name(shards_.size(), "coordinator");
+  }
+  profiler_ = profiler;
+}
+
 void ShardedDailyRun::save_snapshot(const std::string& path) {
+  util::ScopedPhase profile(util::Phase::kCheckpointWrite);
   ensure_managers();
   ckpt::Snapshot snapshot;
   {
@@ -256,6 +269,23 @@ void ShardedDailyRun::run() {
   // continues.
   const sim::SimTime horizon = config_.horizon_s;
   const sim::SimTime warmup = config_.warmup_s;
+  last_epoch_wall_s_.assign(K, 0.0);
+  last_barrier_lag_s_.assign(K, 0.0);
+  // Coordinator-side samples (hand-off, checkpoints, barrier lag) go to
+  // the profiler's extra domain; without a profiler this re-installs the
+  // thread's current domain, a no-op.
+  util::DomainScope coordinator_scope(
+      profiler_ != nullptr ? &profiler_->domain(K) : util::current_domain());
+  // Each worker writes only its own shard's slot; the pool join makes the
+  // writes visible to the coordinator before it reads them.
+  const auto run_shard_epoch = [&](std::size_t k, sim::SimTime until) {
+    util::DomainScope scope(profiler_ != nullptr ? &profiler_->domain(k)
+                                                 : util::current_domain());
+    const std::uint64_t t0 = util::monotonic_ns();
+    shards_[k]->run_until(until);
+    last_epoch_wall_s_[k] =
+        static_cast<double>(util::monotonic_ns() - t0) * 1e-9;
+  };
   while (t_ < horizon) {
     sim::SimTime next = t_ + par_.sync_interval_s;
     if (!warmup_done_ && warmup > t_) next = std::min(next, warmup);
@@ -273,11 +303,22 @@ void ShardedDailyRun::run() {
                       "ShardedDailyRun: epoch_order must return a "
                       "permutation of the shard indices");
         seen[k] = 1;
-        shards_[k]->run_until(next);
+        run_shard_epoch(k, next);
       }
     } else {
       pool_->parallel_for(0, K,
-                          [&](std::size_t k) { shards_[k]->run_until(next); });
+                          [&](std::size_t k) { run_shard_epoch(k, next); });
+    }
+    const double slowest = *std::max_element(last_epoch_wall_s_.begin(),
+                                             last_epoch_wall_s_.end());
+    for (std::size_t k = 0; k < K; ++k) {
+      last_barrier_lag_s_[k] = slowest - last_epoch_wall_s_[k];
+      if (profiler_ != nullptr) {
+        // Attributed to the shard that sat idle, not to the coordinator.
+        profiler_->domain(k).add(
+            util::Phase::kBarrierWait,
+            static_cast<std::uint64_t>(last_barrier_lag_s_[k] * 1e9));
+      }
     }
 
     if (!warmup_done_ && next >= warmup) {
@@ -285,7 +326,10 @@ void ShardedDailyRun::run() {
       last_energy_.assign(last_energy_.size(), 0.0);
       warmup_done_ = true;
     }
-    barrier_handoff(next);
+    {
+      util::ScopedPhase profile(util::Phase::kHandoff);
+      barrier_handoff(next);
+    }
     ++stats_.barriers;
     t_ = next;
     at_barrier();

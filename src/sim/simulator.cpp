@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ecocloud/util/phase_profiler.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::sim {
@@ -214,9 +215,12 @@ void Simulator::execute_next(int source) {
   }
   const std::uint32_t previous = executing_slot_;
   executing_slot_ = slot;
-  // Chunked storage keeps &rec stable even when the callback schedules new
-  // events and the slab grows.
-  rec.fn();
+  {
+    // Chunked storage keeps &rec stable even when the callback schedules new
+    // events and the slab grows.
+    util::ScopedPhase profile(util::Phase::kCalendarOps);
+    rec.fn();
+  }
   executing_slot_ = previous;
   // Release once the last queued entry is gone — unless an outer frame is
   // still executing this very record (re-entrant run() from the callback).

@@ -1,0 +1,256 @@
+#pragma once
+
+/// \file phase_profiler.hpp
+/// \brief In-process phase profiler: RAII scoped timers over named phases.
+///
+/// The profiler answers "where is the wall time going" for a running
+/// simulation without perturbing it: nothing here draws randomness,
+/// schedules events, or touches simulation state, so a profiled run
+/// executes the exact same event sequence as a bare one.
+///
+/// Layering: the instrumented sites live in sim/core/ckpt/par, which must
+/// not depend on obs (obs depends on them). The accounting core therefore
+/// lives here in util — the base layer everyone links — while the export
+/// facade (registry metrics, Chrome counter tracks, folded-stacks dump)
+/// is obs::Profiler.
+///
+/// Cost model: attribution is opt-in per thread through a thread-local
+/// domain pointer. With no domain installed a ScopedPhase is one TLS load
+/// and a predictable branch — the disabled-mode "zero cost" the tests pin.
+/// With a domain installed, *hot* phases (calendar ops, monitor sweeps,
+/// invitation sampling — called per event) are strided: every call bumps
+/// a counter, but only every Nth call runs the clock and touches the rest
+/// of the bookkeeping, and totals are scaled estimates
+/// (timed_ns * calls / timed_calls). Cool phases (trace advance, barrier
+/// wait, hand-off, checkpoint write — per epoch) are always timed. The
+/// stride decrement is deterministic, so profiled runs stay reproducible
+/// and the self-measured overhead is stable across hosts.
+///
+/// The nesting path (folded()) is maintained by TIMED scopes only, so the
+/// untimed fast path stays two memory ops. An inner timed scope whose
+/// enclosing scope was not timed records a truncated path; in practice
+/// hot phases entered once per event decrement in lockstep, so full paths
+/// dominate the folded output anyway.
+///
+/// Threading: a PhaseDomain is single-writer — owned by whichever thread
+/// has it installed as its current domain. The sharded engine gives every
+/// shard its own domain (installed for the duration of the shard's epoch;
+/// the pool join at the barrier provides the happens-before for the
+/// coordinator's reads), plus one domain for the coordinator itself.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ecocloud::util {
+
+/// The named phases wall time is attributed to. Hot phases (per-event
+/// cadence) come first; kTraceAdvance onward run at epoch/period cadence
+/// and are always timed.
+enum class Phase : std::uint8_t {
+  kCalendarOps = 0,    ///< event-callback execution in sim::Simulator
+  kMonitorSweep = 1,   ///< per-server monitor trials (controller hot path)
+  kInviteSampling = 2, ///< invitation subset sampling + volunteer replies
+  kTraceAdvance = 3,   ///< TraceDriver::tick demand sweep over all VMs
+  kBarrierWait = 4,    ///< idle wall time waiting for the slowest shard
+  kHandoff = 5,        ///< serial cross-shard migration hand-off
+  kCheckpointWrite = 6 ///< snapshot serialization + file write
+};
+
+inline constexpr std::size_t kNumPhases = 7;
+
+[[nodiscard]] const char* to_string(Phase phase);
+
+/// First phase that is always timed (stride 1); everything before it uses
+/// the hot stride.
+inline constexpr std::size_t kFirstCoolPhase =
+    static_cast<std::size_t>(Phase::kTraceAdvance);
+
+struct PhaseStats {
+  /// Scope entries, timed or not. Attributed in bulk when a stride window
+  /// closes (the untimed fast path is a bare decrement), so up to
+  /// hot_stride - 1 in-progress calls are not yet included.
+  std::uint64_t calls = 0;
+  std::uint64_t timed_calls = 0;  ///< entries that ran the clock
+  std::uint64_t timed_ns = 0;     ///< wall ns across the timed entries
+
+  /// Stride-scaled estimate of the phase's total wall time.
+  [[nodiscard]] double estimated_ns() const {
+    if (timed_calls == 0) return 0.0;
+    return static_cast<double>(timed_ns) * static_cast<double>(calls) /
+           static_cast<double>(timed_calls);
+  }
+};
+
+/// Monotonic clock used by the profiler (steady_clock, ns).
+[[nodiscard]] std::uint64_t monotonic_ns();
+
+/// Upper bounds (seconds) of the per-phase duration histograms, shared so
+/// the export layer can mirror them into registry histograms.
+[[nodiscard]] const std::vector<double>& phase_histogram_bounds_s();
+
+/// One attribution domain: per-phase totals, per-call-duration histograms,
+/// and a folded-stack map over the scope nesting. Single-writer.
+class PhaseDomain {
+ public:
+  /// \p hot_stride: time every Nth call of the hot phases (>= 1).
+  explicit PhaseDomain(std::uint32_t hot_stride = 256);
+
+  /// Raw attribution for sites measured externally (barrier lag computed
+  /// at the join, hand-off timed around the serial loop): always "timed",
+  /// recorded at the phase's root path.
+  void add(Phase phase, std::uint64_t ns, std::uint64_t calls = 1);
+
+  [[nodiscard]] const PhaseStats& stats(Phase phase) const {
+    return stats_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Per-call duration histogram of the timed entries: one count per
+  /// phase_histogram_bounds_s() bucket plus the +Inf tail.
+  [[nodiscard]] const std::vector<std::uint64_t>& duration_buckets(
+      Phase phase) const {
+    return hist_[static_cast<std::size_t>(phase)];
+  }
+
+  struct PathStats {
+    std::uint64_t timed_ns = 0;
+    std::uint64_t timed_calls = 0;
+  };
+
+  /// Folded scope paths: key packs the nesting as 4-bit (phase + 1)
+  /// nibbles, innermost in the low nibble. Values cover timed entries of
+  /// the innermost scope only (scale by the leaf's calls/timed_calls for
+  /// an estimate).
+  [[nodiscard]] const std::unordered_map<std::uint64_t, PathStats>& folded()
+      const {
+    return folded_;
+  }
+
+  [[nodiscard]] std::uint32_t hot_stride() const { return hot_stride_; }
+
+ private:
+  friend class ScopedPhase;
+
+  void record(Phase phase, std::uint64_t ns, std::uint64_t path);
+  void record_histogram_only(Phase phase, std::uint64_t ns);
+
+  std::uint32_t hot_stride_;
+  std::uint64_t path_ = 0;  ///< active scope nesting (see folded())
+  std::array<PhaseStats, kNumPhases> stats_{};
+  std::array<std::uint32_t, kNumPhases> until_timed_{};
+  /// Length of the stride window until_timed_ counts down (1 for the
+  /// first window so short runs still sample, hot_stride_ after).
+  std::array<std::uint32_t, kNumPhases> window_{};
+  std::array<std::vector<std::uint64_t>, kNumPhases> hist_{};
+  std::unordered_map<std::uint64_t, PathStats> folded_;
+};
+
+/// Install \p domain as this thread's attribution target (nullptr
+/// disables). The caller owns the domain and must keep it single-writer.
+void set_current_domain(PhaseDomain* domain);
+[[nodiscard]] PhaseDomain* current_domain();
+
+/// RAII scope: attributes the enclosed wall time to \p phase on the
+/// calling thread's current domain. With no domain installed this is one
+/// TLS load and a branch. Scopes nest (the path lands in folded()).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase phase) : domain_(current_domain()) {
+    if (domain_ == nullptr) return;
+    const auto i = static_cast<std::size_t>(phase);
+    // Untimed fast exit: this decrement is the ENTIRE per-call cost on
+    // the hot phases — the 2% overhead budget rides on it staying a
+    // single read-modify-write. Calls are attributed in bulk below, when
+    // the window that just elapsed closes.
+    if (--domain_->until_timed_[i] != 0) return;
+    const std::uint32_t next =
+        i < kFirstCoolPhase ? domain_->hot_stride_ : 1;
+    domain_->stats_[i].calls += domain_->window_[i];
+    domain_->window_[i] = next;
+    domain_->until_timed_[i] = next;
+    timed_ = true;
+    phase_ = phase;
+    saved_path_ = domain_->path_;
+    domain_->path_ =
+        (saved_path_ << 4) | (static_cast<std::uint64_t>(phase) + 1);
+    start_ns_ = monotonic_ns();
+  }
+
+  ~ScopedPhase() {
+    if (!timed_) return;
+    domain_->record(phase_, monotonic_ns() - start_ns_, domain_->path_);
+    domain_->path_ = saved_path_;
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseDomain* domain_;
+  Phase phase_ = Phase::kCalendarOps;
+  bool timed_ = false;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t saved_path_ = 0;
+};
+
+/// Scoped installation of a domain as the current thread's target,
+/// restoring the previous one on exit (the shard-worker pattern).
+class DomainScope {
+ public:
+  explicit DomainScope(PhaseDomain* domain) : previous_(current_domain()) {
+    set_current_domain(domain);
+  }
+  ~DomainScope() { set_current_domain(previous_); }
+  DomainScope(const DomainScope&) = delete;
+  DomainScope& operator=(const DomainScope&) = delete;
+
+ private:
+  PhaseDomain* previous_;
+};
+
+/// A set of domains (one per shard + one coordinator, or a single "main")
+/// with merged views, the folded-stacks dump, and the self-measured
+/// overhead estimate the CI budget is enforced against.
+class PhaseProfiler {
+ public:
+  explicit PhaseProfiler(std::size_t num_domains = 1,
+                         std::uint32_t hot_stride = 256);
+
+  [[nodiscard]] std::size_t num_domains() const { return domains_.size(); }
+  [[nodiscard]] PhaseDomain& domain(std::size_t i) { return *domains_[i]; }
+  [[nodiscard]] const PhaseDomain& domain(std::size_t i) const {
+    return *domains_[i];
+  }
+
+  /// Display name of a domain ("main", "shard3", "coordinator").
+  void set_domain_name(std::size_t i, std::string name);
+  [[nodiscard]] const std::string& domain_name(std::size_t i) const {
+    return names_[i];
+  }
+
+  /// Per-phase stats summed across domains.
+  [[nodiscard]] PhaseStats total(Phase phase) const;
+
+  /// Estimated profiler self-cost: calibrated per-call costs (measured at
+  /// construction on this host) times the observed call counts. This is
+  /// what the <= 2% CI budget checks — wall-clock A/B on shared runners is
+  /// too noisy to gate on.
+  [[nodiscard]] double overhead_seconds() const;
+
+  /// Flamegraph-ready folded stacks: one "domain;phaseA;phaseB <µs>" line
+  /// per path, values stride-scaled to estimated self time.
+  void write_folded(std::ostream& out) const;
+
+ private:
+  std::vector<std::unique_ptr<PhaseDomain>> domains_;
+  std::vector<std::string> names_;
+  double baseline_call_cost_ns_ = 0.0;
+  double timed_call_cost_ns_ = 0.0;
+  double untimed_call_cost_ns_ = 0.0;
+};
+
+}  // namespace ecocloud::util

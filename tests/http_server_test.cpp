@@ -1,0 +1,175 @@
+// Tests for the embedded observability HTTP server: endpoint routing,
+// error handling, ephemeral-port binding, bind conflicts, and concurrent
+// scrapes racing snapshot publication.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ecocloud/obs/http_server.hpp"
+
+using namespace ecocloud;
+
+namespace {
+
+/// Send \p raw to 127.0.0.1:\p port and return everything the server
+/// writes until it closes the connection.
+std::string http_roundtrip(std::uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "connect to port " << port;
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& target) {
+  return http_roundtrip(port,
+                        "GET " + target + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+/// Body of a response (everything after the blank line).
+std::string body_of(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : response.substr(pos + 4);
+}
+
+}  // namespace
+
+TEST(HttpServer, HealthzAlwaysAnswers) {
+  obs::SnapshotHub hub;
+  obs::HttpServer server(hub, /*port=*/0);
+  const std::string response = get(server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_EQ(body_of(response), "ok\n");
+}
+
+TEST(HttpServer, ServesPublishedMetricsAndProgress) {
+  obs::SnapshotHub hub;
+  hub.publish_metrics("# HELP ecocloud_up up\necocloud_up 1\n");
+  hub.publish_progress("{\"sim_time_s\":42}\n");
+  obs::HttpServer server(hub, 0);
+
+  const std::string metrics = get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_EQ(body_of(metrics), "# HELP ecocloud_up up\necocloud_up 1\n");
+
+  const std::string progress = get(server.port(), "/progress");
+  EXPECT_NE(progress.find("application/json"), std::string::npos);
+  EXPECT_EQ(body_of(progress), "{\"sim_time_s\":42}\n");
+}
+
+TEST(HttpServer, ProgressDefaultsToEmptyObject) {
+  obs::SnapshotHub hub;
+  obs::HttpServer server(hub, 0);
+  EXPECT_EQ(body_of(get(server.port(), "/progress")), "{}\n");
+}
+
+TEST(HttpServer, QueryStringIsIgnoredForRouting) {
+  obs::SnapshotHub hub;
+  obs::HttpServer server(hub, 0);
+  const std::string response = get(server.port(), "/healthz?verbose=1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+}
+
+TEST(HttpServer, UnknownPathIs404) {
+  obs::SnapshotHub hub;
+  obs::HttpServer server(hub, 0);
+  EXPECT_NE(get(server.port(), "/nope").find("404"), std::string::npos);
+}
+
+TEST(HttpServer, NonGetIs405WithAllowHeader) {
+  obs::SnapshotHub hub;
+  obs::HttpServer server(hub, 0);
+  const std::string response = http_roundtrip(
+      server.port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("405"), std::string::npos) << response;
+  EXPECT_NE(response.find("Allow: GET"), std::string::npos) << response;
+}
+
+TEST(HttpServer, GarbageRequestIs400) {
+  obs::SnapshotHub hub;
+  obs::HttpServer server(hub, 0);
+  const std::string response =
+      http_roundtrip(server.port(), "go away\r\n\r\n");
+  EXPECT_NE(response.find("400"), std::string::npos) << response;
+}
+
+TEST(HttpServer, EphemeralPortIsReported) {
+  obs::SnapshotHub hub;
+  obs::HttpServer server(hub, 0);
+  EXPECT_GT(server.port(), 0);
+  // A second ephemeral server coexists on its own port.
+  obs::HttpServer other(hub, 0);
+  EXPECT_GT(other.port(), 0);
+  EXPECT_NE(server.port(), other.port());
+}
+
+TEST(HttpServer, BindConflictThrows) {
+  obs::SnapshotHub hub;
+  obs::HttpServer server(hub, 0);
+  EXPECT_THROW(obs::HttpServer(hub, server.port()), std::runtime_error);
+}
+
+TEST(HttpServer, StopIsIdempotent) {
+  obs::SnapshotHub hub;
+  obs::HttpServer server(hub, 0);
+  server.stop();
+  server.stop();
+}
+
+TEST(HttpServer, ConcurrentScrapesWhilePublishing) {
+  obs::SnapshotHub hub;
+  hub.publish_metrics("ecocloud_epoch 0\n");
+  obs::HttpServer server(hub, 0);
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([port, &failed] {
+      for (int i = 0; i < 25; ++i) {
+        const std::string response = get(port, "/metrics");
+        // Every scrape sees a complete, well-formed snapshot — never a
+        // torn one — because the hub swaps whole strings under a mutex.
+        if (response.find("200 OK") == std::string::npos ||
+            body_of(response).find("ecocloud_epoch ") == std::string::npos) {
+          failed = true;
+        }
+      }
+    });
+  }
+  for (int epoch = 1; epoch <= 50; ++epoch) {
+    hub.publish_metrics("ecocloud_epoch " + std::to_string(epoch) + "\n");
+  }
+  for (auto& thread : scrapers) thread.join();
+  EXPECT_FALSE(failed);
+}

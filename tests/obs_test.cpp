@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "ecocloud/core/probability.hpp"
 #include "ecocloud/metrics/event_log.hpp"
@@ -453,4 +456,100 @@ TEST(ObsRegression, EventStreamBitIdenticalWithTelemetry) {
   // that is the one permitted difference.
   EXPECT_GT(instr_run.simulator().executed_events(),
             bare.simulator().executed_events());
+}
+
+// ---------------------------------------------------- exporter hardening
+
+TEST(MetricRegistry, InvalidLabelNamesRejected) {
+  obs::MetricRegistry registry;
+  EXPECT_THROW(registry.counter("ecocloud_bad_total", {{"1digit", "v"}}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter("ecocloud_bad_total", {{"has:colon", "v"}}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter("ecocloud_bad_total", {{"", "v"}}),
+               std::invalid_argument);
+  // Values, unlike names, are free-form (the exporter escapes them).
+  registry.counter("ecocloud_ok_total", {{"_ok", "anything: goes\n"}});
+}
+
+TEST(MetricRegistry, LeLabelReservedOnHistograms) {
+  obs::MetricRegistry registry;
+  EXPECT_THROW(
+      registry.histogram("ecocloud_h_seconds", {1.0}, {{"le", "0.5"}}),
+      std::invalid_argument);
+  // "le" stays usable on non-histogram families.
+  registry.counter("ecocloud_le_total", {{"le", "x"}});
+}
+
+TEST(MetricRegistry, NonFiniteHistogramBoundsRejected) {
+  obs::MetricRegistry registry;
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(registry.histogram("ecocloud_h1_seconds", {1.0, inf}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      registry.histogram("ecocloud_h2_seconds",
+                         {std::numeric_limits<double>::quiet_NaN()}),
+      std::invalid_argument);
+}
+
+TEST(MetricRegistry, NonFiniteObservationsLandInInfBucketOnly) {
+  obs::MetricRegistry registry;
+  obs::Histogram& h = registry.histogram("ecocloud_h_seconds", {1.0});
+  h.observe(0.5);
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);  // non-finite values excluded from sum
+  const auto& counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(MetricRegistry, HistogramResetToMirrorsExternalCounts) {
+  obs::MetricRegistry registry;
+  obs::Histogram& h = registry.histogram("ecocloud_h_seconds", {1.0, 5.0});
+  h.observe(0.3);
+  h.reset_to({4, 2, 1}, 12.5);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.5);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{4, 2, 1}));
+  EXPECT_THROW(h.reset_to({1, 2}, 0.0), std::invalid_argument);  // wrong size
+}
+
+TEST(PrometheusExporter, HistogramExpositionIsCumulativeWithInfBucket) {
+  obs::MetricRegistry registry;
+  obs::Histogram& h =
+      registry.histogram("ecocloud_lat_seconds", {1.0, 5.0}, {{"op", "x"}});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(99.0);
+  std::ostringstream out;
+  obs::write_prometheus(registry, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ecocloud_lat_seconds_bucket{op=\"x\",le=\"1\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ecocloud_lat_seconds_bucket{op=\"x\",le=\"5\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ecocloud_lat_seconds_bucket{op=\"x\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ecocloud_lat_seconds_count{op=\"x\"} 3"),
+            std::string::npos);
+  // The +Inf bucket equals _count — the consistency scrapers assert on.
+  EXPECT_NE(text.find("ecocloud_lat_seconds_sum{op=\"x\"} 102.5"),
+            std::string::npos);
+}
+
+TEST(JsonExporter, NonFiniteHistogramSumStaysValidJson) {
+  obs::MetricRegistry registry;
+  obs::Histogram& h = registry.histogram("ecocloud_h_seconds", {1.0});
+  h.reset_to({0, 0}, std::numeric_limits<double>::quiet_NaN());
+  std::ostringstream out;
+  obs::write_json(registry, out);
+  const std::string text = out.str();
+  // A bare NaN token would break every JSON parser; it must be quoted.
+  EXPECT_EQ(text.find("\"sum\": nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("\"sum\": -nan"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"sum\": \""), std::string::npos) << text;
 }

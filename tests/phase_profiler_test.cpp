@@ -1,0 +1,270 @@
+// Tests for the phase profiler: stride sampling math, nesting/folded
+// paths, disabled-mode no-op, the raw add() entry point, and the export
+// facade that mirrors the accounting into the metric registry.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "ecocloud/obs/exporters.hpp"
+#include "ecocloud/obs/metric_registry.hpp"
+#include "ecocloud/obs/profiler.hpp"
+#include "ecocloud/util/phase_profiler.hpp"
+
+using namespace ecocloud;
+using util::Phase;
+using util::PhaseDomain;
+using util::PhaseProfiler;
+using util::ScopedPhase;
+
+namespace {
+
+/// Enter (and immediately exit) a phase scope N times on the current
+/// domain.
+void pulse(Phase phase, int n) {
+  for (int i = 0; i < n; ++i) {
+    ScopedPhase scope(phase);
+  }
+}
+
+}  // namespace
+
+TEST(PhaseProfiler, DisabledModeTouchesNothing) {
+  PhaseDomain domain(/*hot_stride=*/1);
+  // No domain installed: scopes must not attribute anywhere.
+  util::DomainScope off(nullptr);
+  pulse(Phase::kCalendarOps, 100);
+  pulse(Phase::kTraceAdvance, 100);
+  for (std::size_t p = 0; p < util::kNumPhases; ++p) {
+    const auto& st = domain.stats(static_cast<Phase>(p));
+    EXPECT_EQ(st.calls, 0u);
+    EXPECT_EQ(st.timed_calls, 0u);
+    EXPECT_EQ(st.timed_ns, 0u);
+  }
+  EXPECT_TRUE(domain.folded().empty());
+}
+
+TEST(PhaseProfiler, HotStrideTimesFirstThenEveryNth) {
+  PhaseDomain domain(/*hot_stride=*/4);
+  util::DomainScope install(&domain);
+  // Calls 1, 5, 9, 13 run the clock: first call, then every 4th.
+  pulse(Phase::kMonitorSweep, 13);
+  const auto& st = domain.stats(Phase::kMonitorSweep);
+  EXPECT_EQ(st.timed_calls, 4u);
+  // Calls are attributed in bulk when a window closes; call 13 closed the
+  // third full window, so the count is exact here.
+  EXPECT_EQ(st.calls, 13u);
+  EXPECT_GT(st.timed_ns, 0u);
+}
+
+TEST(PhaseProfiler, InProgressWindowNotYetCounted) {
+  PhaseDomain domain(/*hot_stride=*/4);
+  util::DomainScope install(&domain);
+  pulse(Phase::kMonitorSweep, 15);  // calls 14 and 15 sit in an open window
+  const auto& st = domain.stats(Phase::kMonitorSweep);
+  EXPECT_EQ(st.timed_calls, 4u);
+  EXPECT_EQ(st.calls, 13u);
+}
+
+TEST(PhaseProfiler, CoolPhasesAlwaysTimed) {
+  PhaseDomain domain(/*hot_stride=*/64);
+  util::DomainScope install(&domain);
+  pulse(Phase::kTraceAdvance, 10);
+  pulse(Phase::kCheckpointWrite, 3);
+  EXPECT_EQ(domain.stats(Phase::kTraceAdvance).timed_calls, 10u);
+  EXPECT_EQ(domain.stats(Phase::kTraceAdvance).calls, 10u);
+  EXPECT_EQ(domain.stats(Phase::kCheckpointWrite).timed_calls, 3u);
+}
+
+TEST(PhaseProfiler, EstimatedNsScalesByStride) {
+  util::PhaseStats st;
+  st.calls = 1000;
+  st.timed_calls = 10;
+  st.timed_ns = 500;
+  EXPECT_DOUBLE_EQ(st.estimated_ns(), 50000.0);
+  util::PhaseStats empty;
+  EXPECT_DOUBLE_EQ(empty.estimated_ns(), 0.0);
+}
+
+TEST(PhaseProfiler, NestedScopesRecordFoldedPaths) {
+  PhaseDomain domain(/*hot_stride=*/1);  // every call timed: full paths
+  util::DomainScope install(&domain);
+  {
+    ScopedPhase outer(Phase::kCalendarOps);
+    {
+      ScopedPhase mid(Phase::kMonitorSweep);
+      ScopedPhase inner(Phase::kInviteSampling);
+    }
+  }
+  // Path nibbles pack (phase + 1), innermost in the low nibble.
+  const std::uint64_t calendar = 0x1;
+  const std::uint64_t monitor = (0x1 << 4) | 0x2;
+  const std::uint64_t invite = (0x1 << 8) | (0x2 << 4) | 0x3;
+  ASSERT_TRUE(domain.folded().count(calendar));
+  ASSERT_TRUE(domain.folded().count(monitor));
+  ASSERT_TRUE(domain.folded().count(invite));
+  EXPECT_EQ(domain.folded().at(invite).timed_calls, 1u);
+}
+
+TEST(PhaseProfiler, ReentrantSamePhaseNests) {
+  PhaseDomain domain(/*hot_stride=*/1);
+  util::DomainScope install(&domain);
+  {
+    ScopedPhase outer(Phase::kCalendarOps);
+    ScopedPhase inner(Phase::kCalendarOps);  // re-entrant event execution
+  }
+  EXPECT_EQ(domain.stats(Phase::kCalendarOps).timed_calls, 2u);
+  const std::uint64_t nested = (0x1 << 4) | 0x1;
+  ASSERT_TRUE(domain.folded().count(nested));
+  EXPECT_EQ(domain.folded().at(nested).timed_calls, 1u);
+}
+
+TEST(PhaseProfiler, AddAttributesExternallyMeasuredTime) {
+  PhaseDomain domain;
+  domain.add(Phase::kBarrierWait, 2'000'000);  // 2 ms of measured lag
+  const auto& st = domain.stats(Phase::kBarrierWait);
+  EXPECT_EQ(st.calls, 1u);
+  EXPECT_EQ(st.timed_calls, 1u);
+  EXPECT_EQ(st.timed_ns, 2'000'000u);
+  // Lands in the histogram bucket covering 2 ms (bounds ... 1e-3, 5e-3 ...).
+  const auto& bounds = util::phase_histogram_bounds_s();
+  const auto& buckets = domain.duration_buckets(Phase::kBarrierWait);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    total += buckets[i];
+    if (buckets[i] == 1) {
+      ASSERT_LT(i, bounds.size());
+      EXPECT_GE(bounds[i], 2e-3);
+    }
+  }
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(PhaseProfiler, DomainScopeRestoresPrevious) {
+  PhaseDomain a;
+  PhaseDomain b;
+  util::DomainScope outer(&a);
+  EXPECT_EQ(util::current_domain(), &a);
+  {
+    util::DomainScope inner(&b);
+    EXPECT_EQ(util::current_domain(), &b);
+  }
+  EXPECT_EQ(util::current_domain(), &a);
+}
+
+TEST(PhaseProfiler, WriteFoldedEmitsFlamegraphLines) {
+  PhaseProfiler profiler(/*num_domains=*/1, /*hot_stride=*/1);
+  {
+    util::DomainScope install(&profiler.domain(0));
+    for (int i = 0; i < 50; ++i) {
+      ScopedPhase outer(Phase::kCalendarOps);
+      ScopedPhase inner(Phase::kMonitorSweep);
+      // Burn enough time that the folded micros round above zero.
+      volatile double sink = 0.0;
+      for (int j = 0; j < 2000; ++j) sink = sink + static_cast<double>(j);
+    }
+  }
+  std::ostringstream out;
+  profiler.write_folded(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("main;calendar_ops;monitor_sweep "), std::string::npos);
+  // Every line is "path <integer>".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+  }
+}
+
+TEST(PhaseProfiler, OverheadModelIsFiniteAndSmall) {
+  PhaseProfiler profiler;
+  {
+    util::DomainScope install(&profiler.domain(0));
+    pulse(Phase::kCalendarOps, 10000);
+  }
+  const double seconds = profiler.overhead_seconds();
+  EXPECT_GE(seconds, 0.0);
+  // 10k untimed-dominated scopes cost microseconds, not milliseconds.
+  EXPECT_LT(seconds, 0.01);
+}
+
+TEST(PhaseProfiler, MultiDomainTotalsSum) {
+  PhaseProfiler profiler(/*num_domains=*/3, /*hot_stride=*/1);
+  profiler.set_domain_name(0, "shard0");
+  profiler.set_domain_name(2, "coordinator");
+  for (std::size_t d = 0; d < 3; ++d) {
+    util::DomainScope install(&profiler.domain(d));
+    pulse(Phase::kHandoff, 2);
+  }
+  EXPECT_EQ(profiler.total(Phase::kHandoff).timed_calls, 6u);
+  EXPECT_EQ(profiler.domain_name(0), "shard0");
+  EXPECT_EQ(profiler.domain_name(1), "domain1");
+  EXPECT_EQ(profiler.domain_name(2), "coordinator");
+}
+
+// ------------------------------------------------------- obs::Profiler
+
+TEST(ObsProfiler, PublishMirrorsIntoRegistry) {
+  PhaseProfiler core(/*num_domains=*/1, /*hot_stride=*/1);
+  obs::MetricRegistry registry;
+  obs::Profiler profiler(core, registry);
+  {
+    util::DomainScope install(&core.domain(0));
+    pulse(Phase::kMonitorSweep, 7);
+  }
+  profiler.publish(/*run_wall_seconds=*/10.0);
+
+  std::ostringstream out;
+  obs::write_prometheus(registry, out);
+  const std::string text = out.str();
+  EXPECT_NE(
+      text.find(
+          "ecocloud_profile_phase_calls_total{phase=\"monitor_sweep\"} 7"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ecocloud_profile_phase_duration_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("ecocloud_profile_overhead_ratio"), std::string::npos);
+}
+
+TEST(ObsProfiler, MultiDomainSeriesCarryDomainLabel) {
+  PhaseProfiler core(/*num_domains=*/2, /*hot_stride=*/1);
+  core.set_domain_name(0, "shard0");
+  core.set_domain_name(1, "coordinator");
+  obs::MetricRegistry registry;
+  obs::Profiler profiler(core, registry);
+  {
+    util::DomainScope install(&core.domain(1));
+    pulse(Phase::kCheckpointWrite, 1);
+  }
+  profiler.publish(1.0);
+  std::ostringstream out;
+  obs::write_prometheus(registry, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("domain=\"coordinator\""), std::string::npos) << text;
+  EXPECT_NE(text.find("domain=\"shard0\""), std::string::npos) << text;
+}
+
+TEST(ObsProfiler, RepeatedPublishReportsLatestNotAccumulated) {
+  PhaseProfiler core(/*num_domains=*/1, /*hot_stride=*/1);
+  obs::MetricRegistry registry;
+  obs::Profiler profiler(core, registry);
+  {
+    util::DomainScope install(&core.domain(0));
+    pulse(Phase::kTraceAdvance, 4);
+  }
+  profiler.publish(1.0);
+  profiler.publish(2.0);  // histograms are reset_to-mirrored, not re-observed
+  std::ostringstream out;
+  obs::write_prometheus(registry, out);
+  const std::string text = out.str();
+  EXPECT_NE(
+      text.find(
+          "ecocloud_profile_phase_duration_seconds_count"
+          "{phase=\"trace_advance\"} 4"),
+      std::string::npos)
+      << text;
+}

@@ -10,6 +10,9 @@ Checks, with no third-party dependencies:
     keys for its phase, complete events have non-negative durations, and
     the counter/metadata events are well-formed (Perfetto accepts this).
   * JSONL log: every line is a JSON object with ts_sim/level/component/msg.
+  * /progress snapshot: the live plane's run-progress JSON carries the
+    documented numeric fields and a well-formed per-shard list.
+  * Folded stacks: every line is "domain;phase[;phase...] <micros>".
 
 Exit status 0 on success; prints the first failure and exits 1 otherwise.
 """
@@ -188,14 +191,65 @@ def validate_log(path):
     print(f"{path}: OK ({n} records)")
 
 
+def validate_progress(path):
+    """/progress snapshot: the run-progress JSON the live plane serves."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not doc:
+        fail(f"{path}: progress document empty (endpoint never published?)")
+    numeric = ("sim_time_s", "sim_start_s", "horizon_s", "percent",
+               "wall_time_s", "events_per_sec", "sim_seconds_per_wall_second",
+               "eta_wall_s", "rss_mb", "vm_hwm_mb")
+    for key in numeric:
+        if not isinstance(doc.get(key), (int, float)):
+            fail(f"{path}: missing or non-numeric {key!r}")
+    if not isinstance(doc.get("events"), int) or doc["events"] < 0:
+        fail(f"{path}: missing or negative 'events'")
+    if not 0.0 <= doc["percent"] <= 100.0:
+        fail(f"{path}: percent out of range: {doc['percent']}")
+    if doc["rss_mb"] <= 0:
+        fail(f"{path}: implausible rss_mb {doc['rss_mb']}")
+    shards = doc.get("shards")
+    if not isinstance(shards, list):
+        fail(f"{path}: missing 'shards' list")
+    for s in shards:
+        for key in ("epoch_wall_s", "barrier_lag_s"):
+            if not isinstance(s.get(key), (int, float)):
+                fail(f"{path}: shard entry missing {key!r}: {s}")
+        if not isinstance(s.get("shard"), int) or not isinstance(s.get("events"), int):
+            fail(f"{path}: shard entry missing shard/events ints: {s}")
+    print(f"{path}: OK (progress at {doc['percent']:.1f}%, "
+          f"{len(shards)} shards)")
+
+
+def validate_folded(path):
+    """Folded-stacks dump: 'domain;phase[;phase...] <positive integer>'."""
+    n = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            m = re.match(r"^([^ ;]+(?:;[^ ;]+)+) (\d+)$", line)
+            if not m or int(m.group(2)) == 0:
+                fail(f"{path}:{lineno}: bad folded line: {line!r}")
+            n += 1
+    if n == 0:
+        fail(f"{path}: no folded stacks")
+    print(f"{path}: OK ({n} folded stacks)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", help="Prometheus text exposition file")
     parser.add_argument("--metrics-json", help="JSON metrics snapshot")
     parser.add_argument("--trace", help="Chrome trace-event JSON file")
     parser.add_argument("--log", help="JSONL structured log file")
+    parser.add_argument("--progress", help="/progress JSON snapshot")
+    parser.add_argument("--folded", help="folded-stacks profile dump")
     args = parser.parse_args()
-    if not any([args.metrics, args.metrics_json, args.trace, args.log]):
+    if not any([args.metrics, args.metrics_json, args.trace, args.log,
+                args.progress, args.folded]):
         parser.error("nothing to validate")
     if args.metrics:
         validate_prometheus(args.metrics)
@@ -205,6 +259,10 @@ def main():
         validate_trace(args.trace)
     if args.log:
         validate_log(args.log)
+    if args.progress:
+        validate_progress(args.progress)
+    if args.folded:
+        validate_folded(args.folded)
     print("telemetry outputs valid")
 
 
