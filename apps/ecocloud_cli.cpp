@@ -2,6 +2,7 @@
 //
 //   ecocloud_cli run-daily [--config FILE] [--csv FILE]
 //   ecocloud_cli run-consolidation [--config FILE] [--csv FILE]
+//   ecocloud_cli serve [--port P] [--workers W] [--data-dir DIR]
 //   ecocloud_cli gen-traces --out DIR [--vms N] [--hours H] [--seed S]
 //   ecocloud_cli functions [--ta X] [--p X] [--tl X] [--th X]
 //                          [--alpha X] [--beta X]
@@ -13,7 +14,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,6 +47,7 @@
 #include "ecocloud/par/sharded_runner.hpp"
 #include "ecocloud/par/sharded_telemetry.hpp"
 #include "ecocloud/scenario/config_io.hpp"
+#include "ecocloud/srv/server.hpp"
 #include "ecocloud/trace/planetlab_io.hpp"
 #include "ecocloud/util/csv.hpp"
 #include "ecocloud/util/exit_codes.hpp"
@@ -555,6 +559,21 @@ int usage() {
       "  run-consolidation  assignment-only experiment (paper Sec. IV)\n"
       "    --config FILE, --csv FILE, telemetry and robustness options as\n"
       "    above\n"
+      "  serve              campaign server: accept scenario submissions over\n"
+      "                     HTTP and run them to completion (crash-tolerant;\n"
+      "                     see DESIGN.md Sec. 16)\n"
+      "    --port P         API port (default 0 = ephemeral, printed at start)\n"
+      "    --workers N      concurrent campaign executions (default 2)\n"
+      "    --queue-capacity N  queued submissions before 429 (default 8)\n"
+      "    --data-dir DIR   journal/checkpoints/event logs (default campaigns)\n"
+      "    --slice S        sim-seconds per slice between safe points (1800)\n"
+      "    --checkpoint-every-slices N  periodic durability cadence (4)\n"
+      "    --rss-high-mb M  checkpoint+pause the largest campaign above M MB\n"
+      "    --rss-low-mb M   resume paused campaigns below M MB (0.9*high)\n"
+      "    --retry-after S  Retry-After header on 429 responses (5)\n"
+      "                     SIGTERM drains: admission stops (503), in-flight\n"
+      "                     campaigns checkpoint at the next safe point, the\n"
+      "                     journal is flushed, exit code 0\n"
       "  gen-traces         write a synthetic PlanetLab-format trace directory\n"
       "    --out DIR [--vms N] [--hours H] [--seed S]\n"
       "  functions          print f_a / f_l / f_h tables\n"
@@ -1049,6 +1068,63 @@ int functions(Options& options) {
   return 0;
 }
 
+/// SIGTERM/SIGINT flag for the `serve` loop. A plain flag (no locks, no
+/// allocation) is all a signal handler may touch; the main thread polls
+/// it and runs the actual drain protocol in normal context.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_signal_handler(int) { g_serve_stop = 1; }
+
+int serve(Options& options) {
+  srv::ServerConfig config;
+  const double port = options.get_double("port", 0.0);
+  util::require(port >= 0.0 && port <= 65535.0 && port == std::floor(port),
+                "--port wants a TCP port (0..65535; 0 picks an ephemeral one)");
+  config.port = static_cast<std::uint16_t>(port);
+  const double workers = options.get_double("workers", 2.0);
+  util::require(workers >= 1.0 && workers == std::floor(workers),
+                "--workers wants a positive integer");
+  config.workers = static_cast<std::size_t>(workers);
+  const double capacity = options.get_double("queue-capacity", 8.0);
+  util::require(capacity >= 1.0 && capacity == std::floor(capacity),
+                "--queue-capacity wants a positive integer");
+  config.queue_capacity = static_cast<std::size_t>(capacity);
+  if (const auto dir = options.get("data-dir")) config.data_dir = *dir;
+  config.slice_s = options.get_double("slice", config.slice_s);
+  util::require(config.slice_s > 0.0,
+                "--slice wants a positive number of sim seconds");
+  config.checkpoint_every_slices = static_cast<std::size_t>(options.get_double(
+      "checkpoint-every-slices",
+      static_cast<double>(config.checkpoint_every_slices)));
+  config.rss_high_mb = options.get_double("rss-high-mb", 0.0);
+  config.rss_low_mb = options.get_double("rss-low-mb", 0.0);
+  config.retry_after_s =
+      static_cast<int>(options.get_double("retry-after", 5.0));
+  options.reject_unknown();
+
+  srv::CampaignServer server(std::move(config));
+  server.start();
+  std::printf("campaign server listening on http://127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  if (server.recovered_campaigns() > 0) {
+    std::printf("journal replay: %zu campaigns recovered\n",
+                server.recovered_campaigns());
+  }
+  std::printf("POST /campaigns to submit; SIGTERM drains and exits 0\n");
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("drain: admission stopped, checkpointing in-flight campaigns\n");
+  std::fflush(stdout);
+  server.drain();
+  std::printf("campaign server drained cleanly\n");
+  return util::exit_code::kSuccess;
+}
+
 int help_config() {
   std::puts(
       "daily config keys (key = value, '#' comments, defaults = paper):\n"
@@ -1090,6 +1166,7 @@ int main(int argc, char** argv) {
     Options options(argc, argv, 2);
     if (command == "run-daily") return run_daily(options);
     if (command == "run-consolidation") return run_consolidation(options);
+    if (command == "serve") return serve(options);
     if (command == "gen-traces") return gen_traces(options);
     if (command == "functions") return functions(options);
     if (command == "help-config") return help_config();

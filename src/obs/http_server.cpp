@@ -7,7 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -15,8 +19,24 @@ namespace ecocloud::obs {
 
 namespace {
 
-constexpr std::size_t kMaxRequestBytes = 8192;
-constexpr int kReadTimeoutMs = 2000;
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
 
 void send_all(int fd, const std::string& data) {
   std::size_t sent = 0;
@@ -31,32 +51,124 @@ void send_all(int fd, const std::string& data) {
   }
 }
 
-std::string make_response(int status, const char* reason,
-                          const std::string& content_type,
-                          const std::string& body,
-                          const char* extra_header = nullptr) {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
-                    "\r\n";
-  out += "Content-Type: " + content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  if (extra_header != nullptr) {
-    out += extra_header;
+std::string serialize(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    reason_phrase(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  for (const auto& header : resp.extra_headers) {
+    out += header;
     out += "\r\n";
   }
   out += "Connection: close\r\n\r\n";
-  out += body;
+  out += resp.body;
   return out;
+}
+
+/// Case-insensitive lookup of a header value in the raw request head
+/// (everything before the blank line). Returns empty string when absent.
+std::string header_value(const std::string& head, const std::string& name) {
+  std::size_t pos = head.find("\r\n");
+  while (pos != std::string::npos) {
+    const std::size_t line_start = pos + 2;
+    const std::size_t line_end = head.find("\r\n", line_start);
+    const std::string line =
+        head.substr(line_start, line_end == std::string::npos
+                                    ? std::string::npos
+                                    : line_end - line_start);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos && colon == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t v = colon + 1;
+        while (v < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[v]))) {
+          ++v;
+        }
+        std::size_t e = line.size();
+        while (e > v && std::isspace(static_cast<unsigned char>(line[e - 1]))) {
+          --e;
+        }
+        return line.substr(v, e - v);
+      }
+    }
+    pos = line_end;
+  }
+  return {};
+}
+
+/// The observer-mode routing table, expressed as a handler so both modes
+/// share one connection layer.
+HttpHandler make_hub_handler(const SnapshotHub& hub) {
+  return [&hub](const HttpRequest& req) -> HttpResponse {
+    if (req.method != "GET") {
+      HttpResponse resp = HttpResponse::text(405, "method not allowed\n");
+      resp.extra_headers.push_back("Allow: GET");
+      return resp;
+    }
+    if (req.target == "/metrics") {
+      HttpResponse resp;
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = hub.metrics();
+      return resp;
+    }
+    if (req.target == "/progress") {
+      return HttpResponse::json(200, hub.progress());
+    }
+    if (req.target == "/healthz") {
+      return HttpResponse::text(200, "ok\n");
+    }
+    return HttpResponse::text(404, "not found\n");
+  };
 }
 
 }  // namespace
 
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.content_type = "text/plain";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.content_type = "application/json";
+  resp.body = std::move(body);
+  return resp;
+}
+
 HttpServer::HttpServer(const SnapshotHub& hub, std::uint16_t port)
-    : hub_(hub) {
+    : handler_(make_hub_handler(hub)) {
+  bind_and_start(port);
+}
+
+HttpServer::HttpServer(HttpHandler handler, std::uint16_t port,
+                       HttpLimits limits)
+    : handler_(std::move(handler)), limits_(limits) {
+  if (!handler_) {
+    throw std::runtime_error("HttpServer: null handler");
+  }
+  bind_and_start(port);
+}
+
+void HttpServer::bind_and_start(std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("HttpServer: socket() failed: " +
                              std::string(std::strerror(errno)));
   }
+  // Drain-and-restart must be able to rebind immediately; without this the
+  // old socket's TIME_WAIT blocks the new process for minutes.
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -130,18 +242,56 @@ void HttpServer::serve() {
 }
 
 void HttpServer::handle_connection(int client_fd) {
-  // Read until the end of the request head, with a cap and a timeout so
-  // a stuck client cannot wedge the (serial) server loop.
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(limits_.connection_deadline_ms);
+
+  // Every recv is bounded by min(read_timeout, time left until the total
+  // deadline), so a client dripping one byte per poll interval still gets
+  // cut off — that is the slow-loris defense the per-recv timeout alone
+  // does not provide.
+  const auto poll_budget_ms = [&]() -> int {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    if (left <= 0) return -1;
+    return static_cast<int>(
+        std::min<long long>(left, limits_.read_timeout_ms));
+  };
+
+  // Phase 1: read until the end of the request head.
   std::string request;
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  bool timed_out = false;
+  std::size_t head_end = std::string::npos;
+  while (true) {
+    head_end = request.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (request.size() >= limits_.max_head_bytes) {
+      send_all(client_fd,
+               serialize(HttpResponse::text(413, "request head too large\n")));
+      return;
+    }
+    const int budget = poll_budget_ms();
+    if (budget < 0) {
+      timed_out = true;
+      break;
+    }
     pollfd pfd{client_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kReadTimeoutMs);
-    if (ready <= 0) break;
+    const int ready = ::poll(&pfd, 1, budget);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) {
+      timed_out = true;
+      break;
+    }
     char buf[1024];
     const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n <= 0) break;  // peer closed or error: fall through to parse
     request.append(buf, static_cast<std::size_t>(n));
+  }
+  if (timed_out && head_end == std::string::npos) {
+    send_all(client_fd,
+             serialize(HttpResponse::text(408, "request timeout\n")));
+    return;
   }
 
   // Request line: METHOD SP target SP HTTP/x.y
@@ -152,43 +302,87 @@ void HttpServer::handle_connection(int client_fd) {
     const std::size_t sp1 = line.find(' ');
     const std::size_t sp2 =
         sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
-    if (sp2 != std::string::npos && line.find(' ', sp2 + 1) == std::string::npos) {
+    if (sp2 != std::string::npos &&
+        line.find(' ', sp2 + 1) == std::string::npos) {
       method = line.substr(0, sp1);
       target = line.substr(sp1 + 1, sp2 - sp1 - 1);
       version = line.substr(sp2 + 1);
     }
   }
-  if (method.empty() || target.empty() ||
-      version.rfind("HTTP/", 0) != 0) {
-    send_all(client_fd, make_response(400, "Bad Request", "text/plain",
-                                      "bad request\n"));
-    return;
-  }
-  if (method != "GET") {
+  if (method.empty() || target.empty() || version.rfind("HTTP/", 0) != 0 ||
+      head_end == std::string::npos) {
     send_all(client_fd,
-             make_response(405, "Method Not Allowed", "text/plain",
-                           "method not allowed\n", "Allow: GET"));
+             serialize(HttpResponse::text(400, "bad request\n")));
     return;
   }
 
-  // Strip any query string; the routes take no parameters.
+  // Phase 2: read the declared body, if any, under the hard cap.
+  const std::string head = request.substr(0, head_end + 2);
+  std::string body = request.substr(head_end + 4);
+  const std::string length_str = header_value(head, "Content-Length");
+  std::size_t content_length = 0;
+  if (!length_str.empty()) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(length_str.c_str(), &end, 10);
+    if (errno != 0 || end == length_str.c_str() || *end != '\0') {
+      send_all(client_fd,
+               serialize(HttpResponse::text(400, "bad content-length\n")));
+      return;
+    }
+    content_length = static_cast<std::size_t>(parsed);
+  }
+  if (content_length > limits_.max_body_bytes) {
+    send_all(client_fd,
+             serialize(HttpResponse::text(413, "request body too large\n")));
+    return;
+  }
+  while (body.size() < content_length) {
+    const int budget = poll_budget_ms();
+    if (budget < 0) {
+      send_all(client_fd,
+               serialize(HttpResponse::text(408, "request timeout\n")));
+      return;
+    }
+    pollfd pfd{client_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, budget);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) {
+      send_all(client_fd,
+               serialize(HttpResponse::text(408, "request timeout\n")));
+      return;
+    }
+    char buf[4096];
+    const std::size_t want =
+        std::min(sizeof(buf), content_length - body.size());
+    const ssize_t n = ::recv(client_fd, buf, want, 0);
+    if (n <= 0) {
+      send_all(client_fd,
+               serialize(HttpResponse::text(400, "truncated body\n")));
+      return;
+    }
+    body.append(buf, static_cast<std::size_t>(n));
+  }
+  body.resize(std::min(body.size(), content_length));
+
+  HttpRequest req;
+  req.method = std::move(method);
   const std::size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
-
-  if (target == "/metrics") {
-    send_all(client_fd,
-             make_response(200, "OK",
-                           "text/plain; version=0.0.4; charset=utf-8",
-                           hub_.metrics()));
-  } else if (target == "/progress") {
-    send_all(client_fd,
-             make_response(200, "OK", "application/json", hub_.progress()));
-  } else if (target == "/healthz") {
-    send_all(client_fd, make_response(200, "OK", "text/plain", "ok\n"));
-  } else {
-    send_all(client_fd,
-             make_response(404, "Not Found", "text/plain", "not found\n"));
+  if (query != std::string::npos) {
+    req.query = target.substr(query + 1);
+    target.resize(query);
   }
+  req.target = std::move(target);
+  req.body = std::move(body);
+
+  HttpResponse resp;
+  try {
+    resp = handler_(req);
+  } catch (const std::exception& ex) {
+    resp = HttpResponse::text(500, std::string("internal error: ") +
+                                       ex.what() + "\n");
+  }
+  send_all(client_fd, serialize(resp));
 }
 
 }  // namespace ecocloud::obs

@@ -1,25 +1,38 @@
 #pragma once
 
 /// \file http_server.hpp
-/// \brief Minimal embedded HTTP server for live metric/progress scrapes.
+/// \brief Minimal embedded HTTP server: live scrapes and the campaign API.
 ///
-/// Design: the simulation thread never talks to sockets and the HTTP
-/// thread never touches simulation state. Instead the sim thread renders
-/// its exports (Prometheus text, progress JSON) into strings at safe
-/// points (the periodic flush event, the sharded barrier) and publishes
-/// them into a SnapshotHub; the server thread serves only those cached
-/// strings under the hub mutex. A scrape can therefore never block or
-/// perturb the run — the plane stays a pure observer.
+/// Two operating modes share one socket loop:
 ///
-/// Scope: GET-only, Connection: close, serial request handling on one
-/// thread. That is deliberate — the consumers are `curl` and a
-/// Prometheus scraper at seconds cadence, not a web tier.
+///  * **Observer mode** (the original PR-8 plane): the simulation thread
+///    renders its exports (Prometheus text, progress JSON) into strings at
+///    safe points and publishes them into a SnapshotHub; the server thread
+///    serves only those cached strings under the hub mutex. A scrape can
+///    never block or perturb the run.
+///  * **Handler mode** (the campaign server): the caller supplies an
+///    HttpHandler that receives parsed requests — including POST bodies —
+///    and returns a response. The handler runs on the server thread; the
+///    campaign control plane guards its own state with its own mutex.
+///
+/// The connection layer owns everything a hostile or broken client could
+/// break: a per-connection *total* deadline (not just a per-recv timeout)
+/// so a slow-loris drip cannot wedge the serial accept loop (408), a hard
+/// cap on the request head and on the declared Content-Length (413), and
+/// SO_REUSEADDR on the listening socket so a drain-and-restart cycle never
+/// hits a TIME_WAIT bind conflict.
+///
+/// Scope: Connection: close, serial request handling on one thread. That
+/// is deliberate — the consumers are `curl`, a Prometheus scraper, and a
+/// handful of campaign submissions, not a web tier.
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace ecocloud::obs {
 
@@ -52,18 +65,61 @@ class SnapshotHub {
   std::string progress_ = "{}\n";
 };
 
+/// One parsed request as handed to an HttpHandler. The body is complete
+/// (Content-Length fully read) and within the configured cap.
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", "DELETE", ...
+  std::string target;  ///< Path with the query string stripped.
+  std::string query;   ///< Raw query string after '?', possibly empty.
+  std::string body;    ///< Request body, empty unless Content-Length > 0.
+};
+
+/// Response returned by an HttpHandler; serialized with Connection: close
+/// and an exact Content-Length.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+  /// Extra header lines without CRLF, e.g. "Retry-After: 5".
+  std::vector<std::string> extra_headers;
+
+  [[nodiscard]] static HttpResponse text(int status, std::string body);
+  [[nodiscard]] static HttpResponse json(int status, std::string body);
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Hard limits of the connection layer. Violations are answered with 408
+/// (deadline exceeded before a full request arrived) or 413 (head or
+/// declared body larger than the cap); the connection is then closed.
+struct HttpLimits {
+  std::size_t max_head_bytes = 8192;
+  std::size_t max_body_bytes = 1 << 20;  ///< 1 MiB
+  /// Per-poll recv timeout; bounded by what remains of the deadline.
+  int read_timeout_ms = 2000;
+  /// Total wall budget for receiving one complete request.
+  int connection_deadline_ms = 5000;
+};
+
 /// Blocking-accept HTTP server on its own thread, bound to 127.0.0.1.
 ///
-/// Routes: GET /metrics (Prometheus text), GET /progress (JSON),
-/// GET /healthz ("ok"). Anything else: 404; non-GET: 405; requests that
-/// are not parseable HTTP: 400.
+/// Observer mode routes: GET /metrics (Prometheus text), GET /progress
+/// (JSON), GET /healthz ("ok"). Anything else: 404; non-GET: 405;
+/// requests that are not parseable HTTP: 400. Handler mode forwards every
+/// well-formed request to the handler instead.
 ///
 /// Throws std::runtime_error from the constructor when the port cannot
 /// be bound (already in use, no permission). Pass port 0 to bind an
 /// ephemeral port and read it back via port().
 class HttpServer {
  public:
+  /// Observer mode: serve cached hub snapshots, GET only.
   HttpServer(const SnapshotHub& hub, std::uint16_t port);
+
+  /// Handler mode: parse requests (with bodies) and dispatch to \p handler
+  /// on the server thread.
+  HttpServer(HttpHandler handler, std::uint16_t port, HttpLimits limits = {});
+
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -77,10 +133,12 @@ class HttpServer {
   void stop();
 
  private:
+  void bind_and_start(std::uint16_t port);
   void serve();
   void handle_connection(int client_fd);
 
-  const SnapshotHub& hub_;
+  HttpHandler handler_;
+  HttpLimits limits_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< self-pipe to break out of poll()

@@ -132,7 +132,8 @@ class DailyScenario {
                 Algorithm algorithm = Algorithm::kEcoCloud,
                 baseline::CentralizedParams centralized_params = {});
 
-  /// Deploy all VMs at t=0 and simulate the full horizon.
+  /// Deploy all VMs at t=0 and simulate the full horizon. Equivalent to
+  /// start() + run_slice(horizon) + finish().
   void run();
 
   /// Finish the horizon of a run restored from a snapshot. Deployment and
@@ -140,6 +141,25 @@ class DailyScenario {
   /// with the snapshot — and the warmup reset still happens if the
   /// snapshot predates it.
   void run_resumed();
+
+  /// Setup phase of run() without advancing simulation time: boot the
+  /// static fleet if applicable, start fault hooks, create and deploy
+  /// every VM, start the drivers and the collector. The campaign server
+  /// uses start() + repeated run_slice() so it can checkpoint, pause, or
+  /// evict a campaign between slices.
+  void start();
+
+  /// Advance the simulation to min(\p until, horizon), performing the
+  /// warmup accounting reset when the slice crosses warmup_s. Slicing is
+  /// invisible to the event stream: nothing samples the clock between
+  /// events, so N slices execute the identical event sequence as one
+  /// run_until(horizon). Returns true once the horizon has been reached.
+  bool run_slice(sim::SimTime until);
+
+  /// Post-horizon bookkeeping: advance idle-interval accounting to the
+  /// horizon and finalize fault statistics. Call exactly once, after
+  /// run_slice() has returned true.
+  void finish();
 
   /// Register this scenario's state sections and calendar-event owners
   /// (controller, trace driver, collector, faults, scenario flags) plus

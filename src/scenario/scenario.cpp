@@ -164,7 +164,7 @@ void DailyScenario::init(const baseline::CentralizedParams& centralized_params) 
   }
 }
 
-void DailyScenario::run() {
+void DailyScenario::start() {
   if (algorithm_ == Algorithm::kStatic) {
     // No consolidation: the whole fleet runs and VMs are spread
     // round-robin, as in a data center without any placement policy.
@@ -197,30 +197,36 @@ void DailyScenario::run() {
   if (eco_) eco_->start();
   if (central_) central_->start();
   collector_->start();
+}
 
-  if (config_.warmup_s > 0.0) {
+bool DailyScenario::run_slice(sim::SimTime until) {
+  const sim::SimTime target = std::min(until, config_.horizon_s);
+  if (config_.warmup_s > 0.0 && !warmup_done_ &&
+      target >= config_.warmup_s) {
     sim_.run_until(config_.warmup_s);
     dc_->reset_accounting(sim_.now());
     collector_->rebase();
     if (eco_) eco_->reset_counters();
     warmup_done_ = true;
   }
-  sim_.run_until(config_.horizon_s);
+  sim_.run_until(target);
+  return target >= config_.horizon_s;
+}
+
+void DailyScenario::finish() {
   dc_->advance_to(config_.horizon_s);
   if (injector_) injector_->finalize(config_.horizon_s);
 }
 
+void DailyScenario::run() {
+  start();
+  run_slice(config_.horizon_s);
+  finish();
+}
+
 void DailyScenario::run_resumed() {
-  if (config_.warmup_s > 0.0 && !warmup_done_) {
-    sim_.run_until(config_.warmup_s);
-    dc_->reset_accounting(sim_.now());
-    collector_->rebase();
-    if (eco_) eco_->reset_counters();
-    warmup_done_ = true;
-  }
-  sim_.run_until(config_.horizon_s);
-  dc_->advance_to(config_.horizon_s);
-  if (injector_) injector_->finalize(config_.horizon_s);
+  run_slice(config_.horizon_s);
+  finish();
 }
 
 const trace::TraceSet& DailyScenario::traces() const {

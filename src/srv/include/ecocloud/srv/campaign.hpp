@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file campaign.hpp
+/// \brief Campaign lifecycle: states, quotas, the per-campaign watchdog,
+/// and submission parsing (DESIGN.md Sec. 16).
+///
+/// A campaign is one accepted scenario submission. Its state machine:
+///
+///     queued ──► running ──► done | failed
+///        ▲          │
+///        │          ├──► paused   (drain / memory pressure; auto-requeued)
+///        │          └──► evicted  (quota exceeded; resumable on request)
+///        ├──────────┴──── cancelled (DELETE, from any non-terminal state)
+///        └── paused / evicted re-enter queued
+///
+/// done/failed/cancelled are terminal. paused and evicted both mean "the
+/// campaign was checkpointed at a safe point and can continue
+/// bit-identically"; they differ in who resumes them — the server resumes
+/// paused campaigns on its own (pressure cleared, restart after drain),
+/// while an evicted campaign burned through a client-declared budget and
+/// waits for an explicit resume request, which opens a fresh budget
+/// window. Nothing is ever killed silently: every exit from `running`
+/// lands in a state a client can observe and act on.
+
+#include <cstdint>
+#include <string>
+
+#include "ecocloud/scenario/scenario.hpp"
+
+namespace ecocloud::srv {
+
+/// Snapshot-stable numeric values (they appear in the journal): append
+/// only, never renumber.
+enum class CampaignState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kPaused = 2,
+  kEvicted = 3,
+  kDone = 4,
+  kFailed = 5,
+  kCancelled = 6,
+};
+
+[[nodiscard]] const char* to_string(CampaignState state);
+
+/// done, failed, or cancelled: the campaign will never run again.
+[[nodiscard]] bool is_terminal(CampaignState state);
+
+/// Budgets declared at submit time; 0 means unlimited. Budgets bound one
+/// *budget window* — submit-to-eviction or resume-to-eviction — not the
+/// campaign's lifetime, so an explicit resume grants a fresh window.
+struct CampaignQuota {
+  double wall_budget_s = 0.0;       ///< wall-clock seconds of execution
+  std::uint64_t event_budget = 0;   ///< simulation events executed
+  double rss_budget_mb = 0.0;       ///< process RSS high-water while running
+};
+
+/// Resources consumed in the current budget window.
+struct CampaignUsage {
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  double max_rss_mb = 0.0;
+};
+
+/// Per-campaign quota ledger, fed at every slice boundary. The watchdog
+/// never interrupts a slice: enforcement happens at safe points, which is
+/// what makes "evicted" a checkpointable state rather than a kill.
+class Watchdog {
+ public:
+  Watchdog() = default;
+  explicit Watchdog(CampaignQuota quota) : quota_(quota) {}
+
+  /// Open a fresh budget window: usage resets, \p events_base is the
+  /// simulator's executed-event count at the window start (non-zero when
+  /// resuming from a checkpoint).
+  void begin_window(std::uint64_t events_base) {
+    usage_ = {};
+    events_base_ = events_base;
+  }
+
+  /// Record one finished slice: \p slice_wall_s of wall time, the
+  /// simulator's absolute \p executed_events, and current process RSS.
+  void record(double slice_wall_s, std::uint64_t executed_events,
+              double rss_mb) {
+    usage_.wall_s += slice_wall_s;
+    usage_.events = executed_events > events_base_
+                        ? executed_events - events_base_
+                        : 0;
+    if (rss_mb > usage_.max_rss_mb) usage_.max_rss_mb = rss_mb;
+  }
+
+  /// Human-readable description of the first exceeded budget, or empty
+  /// when the campaign is within quota.
+  [[nodiscard]] std::string violation() const;
+
+  [[nodiscard]] const CampaignQuota& quota() const { return quota_; }
+  [[nodiscard]] const CampaignUsage& usage() const { return usage_; }
+  void set_quota(CampaignQuota quota) { quota_ = quota; }
+
+ private:
+  CampaignQuota quota_;
+  CampaignUsage usage_;
+  std::uint64_t events_base_ = 0;
+};
+
+/// A parsed, validated submission. config_text is the submitted body with
+/// every campaign.* line blanked to a comment **in place** (line numbers
+/// preserved, so config errors reported later still point at the client's
+/// own line numbers); it is what the journal stores and what the scenario
+/// is rebuilt from on every (re)start.
+struct CampaignSpec {
+  std::string client = "default";
+  std::string idem_key;  ///< optional client idempotency key
+  CampaignQuota quota;
+  std::string config_text;
+  scenario::DailyConfig config;
+};
+
+/// Parse a POST /campaigns body: `campaign.*` keys (client, key,
+/// wall_budget_s, event_budget, rss_budget_mb — either `campaign.`-
+/// prefixed or under a `[campaign]` section) configure the lease; the
+/// remaining lines must form a valid daily-scenario config. Throws
+/// std::invalid_argument with the line-numbered KeyValueConfig message on
+/// any malformed input. The scenario's RunControl is cleared: the server
+/// owns checkpointing and auditing, clients cannot schedule their own.
+[[nodiscard]] CampaignSpec parse_submission(const std::string& body);
+
+}  // namespace ecocloud::srv

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file journal.hpp
+/// \brief Append-only fsync'd submission journal (DESIGN.md Sec. 16).
+///
+/// The campaign server's source of truth for "which campaigns were ever
+/// accepted and where did each one get to". Two record types:
+///
+///  * **submit** — a campaign was admitted: id, client, idempotency key,
+///    quota, and the full config text. Written (and fsync'd) before the
+///    202 response leaves the server, so an accepted campaign is durable
+///    by the time the client learns its id.
+///  * **state** — a durable state transition: paused, evicted, done,
+///    failed, cancelled, or re-queued. `running` is deliberately never
+///    journaled — a crash mid-run must replay as "was queued/paused,
+///    restart or resume it", never as a phantom in-flight campaign.
+///
+/// On-disk format: each record is framed as
+///
+///     u32 magic 'ECJL' | u32 payload_len | u32 crc32(payload) | payload
+///
+/// with the payload serialized by util::BinWriter. Appends are a single
+/// write(2) followed by fsync(2). Recovery reads the longest valid prefix
+/// and truncates the file to it: a SIGKILL mid-append leaves a torn tail,
+/// which is detected by the length/CRC checks and discarded — the record
+/// being written was by definition not yet acknowledged. Any corruption
+/// *before* the tail also stops the replay there; the journal never
+/// resynchronizes past a bad frame, because record boundaries after it
+/// are untrustworthy.
+///
+/// The journal is a log, not a database: state is reconstructed by
+/// replaying every record in order (last state per id wins). Compaction
+/// is not needed at campaign-server scale and is deliberately absent.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ecocloud/srv/campaign.hpp"
+
+namespace ecocloud::srv {
+
+enum class JournalRecordType : std::uint8_t {
+  kSubmit = 1,
+  kState = 2,
+};
+
+/// One replayed record; fields beyond `type` and `campaign_id` are
+/// meaningful per type (submit: client/idem_key/quota/config_text,
+/// state: state/detail).
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kSubmit;
+  std::uint64_t campaign_id = 0;
+  // kSubmit
+  std::string client;
+  std::string idem_key;
+  CampaignQuota quota;
+  std::string config_text;
+  // kState
+  CampaignState state = CampaignState::kQueued;
+  std::string detail;
+};
+
+class SubmissionJournal {
+ public:
+  /// Opens (creating if absent) \p path, replays the longest valid prefix,
+  /// truncates any torn tail, and positions for appending. Throws
+  /// std::runtime_error on I/O failure (not on torn/corrupt records —
+  /// those are survivable and merely end the replay).
+  explicit SubmissionJournal(std::string path);
+  ~SubmissionJournal();
+
+  SubmissionJournal(const SubmissionJournal&) = delete;
+  SubmissionJournal& operator=(const SubmissionJournal&) = delete;
+
+  /// The records recovered at open time, in append order.
+  [[nodiscard]] const std::vector<JournalRecord>& recovered() const {
+    return recovered_;
+  }
+
+  /// Bytes of torn/corrupt tail discarded at open time (0 on a clean
+  /// journal).
+  [[nodiscard]] std::size_t truncated_bytes() const { return truncated_bytes_; }
+
+  /// Append one record and fsync. Throws std::runtime_error on I/O
+  /// failure — the caller must not acknowledge the campaign if this
+  /// throws.
+  void append(const JournalRecord& record);
+
+  void append_submit(std::uint64_t id, const std::string& client,
+                     const std::string& idem_key, const CampaignQuota& quota,
+                     const std::string& config_text);
+  void append_state(std::uint64_t id, CampaignState state,
+                    const std::string& detail = {});
+
+  /// fsync without appending (drain's final flush).
+  void flush();
+
+  /// Close the fd early (the destructor also closes). Idempotent.
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Parse every valid record out of raw journal \p bytes; stops at the
+  /// first bad frame and reports how many bytes were valid. Exposed for
+  /// tests and offline inspection.
+  [[nodiscard]] static std::vector<JournalRecord> parse(
+      const std::string& bytes, std::size_t* valid_bytes = nullptr);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::vector<JournalRecord> recovered_;
+  std::size_t truncated_bytes_ = 0;
+};
+
+}  // namespace ecocloud::srv

@@ -1,0 +1,229 @@
+#include "ecocloud/srv/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "ecocloud/ckpt/snapshot_io.hpp"
+#include "ecocloud/util/binio.hpp"
+
+namespace ecocloud::srv {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4C4A4345;  // "ECJL" little-endian
+/// Upper bound on a single record (a submit carries a config file; 16 MiB
+/// is orders of magnitude above any real one). A length field beyond this
+/// is treated as corruption, not as a request to allocate.
+constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+
+std::string serialize_payload(const JournalRecord& record) {
+  util::BinWriter w;
+  w.u8(static_cast<std::uint8_t>(record.type));
+  w.u64(record.campaign_id);
+  switch (record.type) {
+    case JournalRecordType::kSubmit:
+      w.str(record.client);
+      w.str(record.idem_key);
+      w.f64(record.quota.wall_budget_s);
+      w.u64(record.quota.event_budget);
+      w.f64(record.quota.rss_budget_mb);
+      w.str(record.config_text);
+      break;
+    case JournalRecordType::kState:
+      w.u8(static_cast<std::uint8_t>(record.state));
+      w.str(record.detail);
+      break;
+  }
+  return w.take();
+}
+
+JournalRecord parse_payload(const std::string& payload) {
+  util::BinReader r(payload);
+  JournalRecord record;
+  const std::uint8_t type = r.u8();
+  record.campaign_id = r.u64();
+  switch (type) {
+    case static_cast<std::uint8_t>(JournalRecordType::kSubmit):
+      record.type = JournalRecordType::kSubmit;
+      record.client = r.str();
+      record.idem_key = r.str();
+      record.quota.wall_budget_s = r.f64();
+      record.quota.event_budget = r.u64();
+      record.quota.rss_budget_mb = r.f64();
+      record.config_text = r.str();
+      break;
+    case static_cast<std::uint8_t>(JournalRecordType::kState): {
+      record.type = JournalRecordType::kState;
+      const std::uint8_t state = r.u8();
+      if (state > static_cast<std::uint8_t>(CampaignState::kCancelled)) {
+        throw std::runtime_error("journal: unknown campaign state");
+      }
+      record.state = static_cast<CampaignState>(state);
+      record.detail = r.str();
+      break;
+    }
+    default:
+      throw std::runtime_error("journal: unknown record type");
+  }
+  return record;
+}
+
+std::uint32_t read_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+void write_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+std::vector<JournalRecord> SubmissionJournal::parse(const std::string& bytes,
+                                                    std::size_t* valid_bytes) {
+  std::vector<JournalRecord> records;
+  std::size_t pos = 0;
+  while (bytes.size() - pos >= 12) {
+    const char* frame = bytes.data() + pos;
+    if (read_u32le(frame) != kFrameMagic) break;
+    const std::uint32_t length = read_u32le(frame + 4);
+    const std::uint32_t crc = read_u32le(frame + 8);
+    if (length > kMaxPayloadBytes) break;
+    if (bytes.size() - pos - 12 < length) break;  // torn tail
+    const std::string payload(frame + 12, length);
+    if (ckpt::crc32(payload.data(), payload.size()) != crc) break;
+    try {
+      records.push_back(parse_payload(payload));
+    } catch (const std::exception&) {
+      break;  // structurally invalid payload: stop, don't resync
+    }
+    pos += 12 + length;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = pos;
+  return records;
+}
+
+SubmissionJournal::SubmissionJournal(std::string path)
+    : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("journal: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("journal: cannot read " + path_ + ": " + err);
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::size_t valid = 0;
+  recovered_ = parse(bytes, &valid);
+  truncated_bytes_ = bytes.size() - valid;
+  if (truncated_bytes_ > 0) {
+    // A torn tail is the expected signature of a crash mid-append; the
+    // record was never acknowledged, so discarding it is correct. New
+    // appends must start at the valid prefix, not after the garbage.
+    if (::ftruncate(fd_, static_cast<off_t>(valid)) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("journal: cannot truncate torn tail of " +
+                               path_ + ": " + err);
+    }
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("journal: cannot seek " + path_ + ": " + err);
+  }
+}
+
+SubmissionJournal::~SubmissionJournal() { close(); }
+
+void SubmissionJournal::close() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void SubmissionJournal::append(const JournalRecord& record) {
+  if (fd_ < 0) {
+    throw std::runtime_error("journal: append after close");
+  }
+  const std::string payload = serialize_payload(record);
+  std::string frame;
+  frame.reserve(12 + payload.size());
+  write_u32le(frame, kFrameMagic);
+  write_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  write_u32le(frame, ckpt::crc32(payload.data(), payload.size()));
+  frame += payload;
+
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("journal: write to " + path_ + " failed: " +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    throw std::runtime_error("journal: fsync of " + path_ + " failed: " +
+                             std::strerror(errno));
+  }
+}
+
+void SubmissionJournal::append_submit(std::uint64_t id,
+                                      const std::string& client,
+                                      const std::string& idem_key,
+                                      const CampaignQuota& quota,
+                                      const std::string& config_text) {
+  JournalRecord record;
+  record.type = JournalRecordType::kSubmit;
+  record.campaign_id = id;
+  record.client = client;
+  record.idem_key = idem_key;
+  record.quota = quota;
+  record.config_text = config_text;
+  append(record);
+}
+
+void SubmissionJournal::append_state(std::uint64_t id, CampaignState state,
+                                     const std::string& detail) {
+  JournalRecord record;
+  record.type = JournalRecordType::kState;
+  record.campaign_id = id;
+  record.state = state;
+  record.detail = detail;
+  append(record);
+}
+
+void SubmissionJournal::flush() {
+  if (fd_ >= 0) ::fsync(fd_);
+}
+
+}  // namespace ecocloud::srv

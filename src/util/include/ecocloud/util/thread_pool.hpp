@@ -27,8 +27,20 @@ class ThreadPool {
   /// at least 1).
   explicit ThreadPool(std::size_t num_threads = 0);
 
-  /// Drains the queue and joins workers.
+  /// Calls stop(): drains the queue and joins workers.
   ~ThreadPool();
+
+  /// Begin shutdown: new submit() calls are rejected from this point on,
+  /// every task already queued still runs to completion (no task loss),
+  /// and all workers are joined before stop() returns. Idempotent and safe
+  /// to call from several threads — later callers block until the first
+  /// one's join finishes, so "stop() returned" always means "no worker is
+  /// running". The daemon shutdown path relies on this ordering: reject
+  /// first, drain deterministically, then tear down.
+  void stop();
+
+  /// True once stop() has begun (submit() will throw).
+  [[nodiscard]] bool stopping() const;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -74,9 +86,12 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  /// Serializes the join phase of concurrent stop() callers.
+  std::mutex join_mutex_;
+  bool joined_ = false;
 };
 
 }  // namespace ecocloud::util

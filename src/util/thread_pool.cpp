@@ -14,15 +14,27 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
+  // The join phase is serialized so a second stop() caller blocks until
+  // the first one has fully drained the pool, instead of racing join().
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (joined_) return;
   for (auto& worker : workers_) {
     worker.join();
   }
+  joined_ = true;
+}
+
+bool ThreadPool::stopping() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
 }
 
 void ThreadPool::worker_loop() {

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "ecocloud/util/csv.hpp"
 #include "ecocloud/util/math.hpp"
@@ -412,4 +416,56 @@ TEST(Rng, SplitmixIsDeterministic) {
   std::uint64_t a = 5, b = 5;
   EXPECT_EQ(util::splitmix64(a), util::splitmix64(b));
   EXPECT_EQ(a, b);  // state advanced identically
+}
+
+TEST(ThreadPool, StopDrainsQueuedWorkBeforeJoining) {
+  // More tasks than workers, each slow enough that most are still queued
+  // when stop() begins: shutdown must run every queued task, not drop it.
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    pool.stop();
+    EXPECT_EQ(ran.load(), 64);  // stop() returned => everything ran
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      (void)pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor calls stop()
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  util::ThreadPool pool(2);
+  pool.stop();
+  EXPECT_TRUE(pool.stopping());
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, StopIsIdempotentAndSafeFromManyThreads) {
+  util::ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    (void)pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&pool] { pool.stop(); });
+  }
+  for (auto& t : stoppers) t.join();
+  // Every stop() caller returned only after the drain + join completed.
+  EXPECT_EQ(ran.load(), 16);
+  pool.stop();  // and once more, for good measure
 }

@@ -222,6 +222,108 @@ def validate_progress(path):
           f"{len(shards)} shards)")
 
 
+CAMPAIGN_STATES = {"queued": 0, "running": 1, "paused": 2, "evicted": 3,
+                   "done": 4, "failed": 5, "cancelled": 6}
+
+
+def read_samples(path):
+    """name -> [(label_map, value)] from a Prometheus exposition file."""
+    samples = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            m = SAMPLE.match(line)
+            if not m:
+                continue
+            name, _, labels, value_text = m.groups()
+            label_map = {lm.group(1): lm.group(2)
+                         for lm in LABEL_PAIR.finditer(labels or "")}
+            samples.setdefault(name, []).append(
+                (label_map, parse_number(value_text)))
+    return samples
+
+
+def validate_campaigns(path, metrics_path=None):
+    """Campaign-list JSON (GET /campaigns) from the campaign server, and —
+    when the server's /metrics scrape is also given — the per-campaign
+    labeled gauges cross-checked against it."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc.get("draining"), bool):
+        fail(f"{path}: missing boolean 'draining'")
+    for key in ("queued", "running"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            fail(f"{path}: missing or negative {key!r}")
+    campaigns = doc.get("campaigns")
+    if not isinstance(campaigns, list) or not campaigns:
+        fail(f"{path}: missing or empty 'campaigns' array")
+    states = {}
+    for c in campaigns:
+        where = f"{path}: campaign {c.get('id')!r}"
+        if not isinstance(c.get("id"), int) or c["id"] <= 0:
+            fail(f"{where}: bad id")
+        if not isinstance(c.get("client"), str) or not c["client"]:
+            fail(f"{where}: missing client")
+        if c.get("state") not in CAMPAIGN_STATES:
+            fail(f"{where}: bad state {c.get('state')!r}")
+        for key in ("sim_time_s", "horizon_s", "percent"):
+            if not isinstance(c.get(key), (int, float)):
+                fail(f"{where}: missing or non-numeric {key!r}")
+        if not 0.0 <= c["percent"] <= 100.0:
+            fail(f"{where}: percent out of range: {c['percent']}")
+        if not isinstance(c.get("events_executed"), int) or c["events_executed"] < 0:
+            fail(f"{where}: missing or negative events_executed")
+        for block, keys in (("usage", ("wall_s", "events", "max_rss_mb")),
+                            ("quota", ("wall_budget_s", "event_budget",
+                                       "rss_budget_mb"))):
+            sub = c.get(block)
+            if not isinstance(sub, dict):
+                fail(f"{where}: missing {block!r} object")
+            for key in keys:
+                if not isinstance(sub.get(key), (int, float)):
+                    fail(f"{where}: {block} missing {key!r}")
+        if not isinstance(c.get("has_checkpoint"), bool):
+            fail(f"{where}: missing boolean has_checkpoint")
+        if c["state"] == "done" and not c.get("events_path"):
+            fail(f"{where}: done campaign without events_path")
+        if c["state"] in ("evicted", "failed") and not c.get("detail"):
+            fail(f"{where}: {c['state']} campaign without detail")
+        states[c["id"]] = c["state"]
+
+    if metrics_path:
+        samples = read_samples(metrics_path)
+        by_id = {}
+        for label_map, value in samples.get("ecocloud_campaign_state", []):
+            if "campaign" in label_map:
+                by_id[label_map["campaign"]] = value
+        for cid, state in states.items():
+            if str(cid) not in by_id:
+                fail(f"{metrics_path}: no ecocloud_campaign_state sample "
+                     f"for campaign {cid}")
+            # The JSON and the scrape are captured back to back, so settled
+            # (terminal/evicted) campaigns must agree exactly.
+            if state in ("done", "failed", "cancelled", "evicted"):
+                got = by_id[str(cid)]
+                if got != CAMPAIGN_STATES[state]:
+                    fail(f"{metrics_path}: campaign {cid} state gauge {got} "
+                         f"!= {state} ({CAMPAIGN_STATES[state]})")
+            for gauge in ("ecocloud_campaign_sim_time_seconds",
+                          "ecocloud_campaign_events_executed"):
+                if not any(lm.get("campaign") == str(cid)
+                           for lm, _ in samples.get(gauge, [])):
+                    fail(f"{metrics_path}: no {gauge} sample for campaign {cid}")
+        for family in ("ecocloud_server_submissions_total",
+                       "ecocloud_server_campaigns"):
+            if family not in samples:
+                fail(f"{metrics_path}: missing {family}")
+        print(f"{metrics_path}: OK (labeled metrics for "
+              f"{len(states)} campaigns)")
+    print(f"{path}: OK ({len(campaigns)} campaigns, "
+          f"states {sorted(set(states.values()))})")
+
+
 def validate_folded(path):
     """Folded-stacks dump: 'domain;phase[;phase...] <positive integer>'."""
     n = 0
@@ -247,9 +349,12 @@ def main():
     parser.add_argument("--log", help="JSONL structured log file")
     parser.add_argument("--progress", help="/progress JSON snapshot")
     parser.add_argument("--folded", help="folded-stacks profile dump")
+    parser.add_argument("--campaigns",
+                        help="campaign-list JSON from GET /campaigns "
+                             "(cross-checked against --metrics when given)")
     args = parser.parse_args()
     if not any([args.metrics, args.metrics_json, args.trace, args.log,
-                args.progress, args.folded]):
+                args.progress, args.folded, args.campaigns]):
         parser.error("nothing to validate")
     if args.metrics:
         validate_prometheus(args.metrics)
@@ -263,6 +368,8 @@ def main():
         validate_progress(args.progress)
     if args.folded:
         validate_folded(args.folded)
+    if args.campaigns:
+        validate_campaigns(args.campaigns, args.metrics)
     print("telemetry outputs valid")
 
 
