@@ -15,20 +15,23 @@
 //   scaleup16k — 40x the paper: 16,000 servers / 240,000 VMs / 48 h, run
 //                both single-threaded and sharded.
 //   planet100k — 100,000 servers / 1.5M VMs on a short horizon, run single
-//                (streaming traces) and sharded (materialized); both rows
-//                use the O(1) sampler with invite_group_size = 64.
+//                and sharded, both on streaming traces; both rows use the
+//                O(1) sampler with invite_group_size = 64.
 //   planet1m   — 1,000,000 servers / 15M VMs, streaming traces, single
-//                only (the sharded engine materializes a shared TraceSet).
+//                only (one row is enough to track the per-event hot path;
+//                the sharded engine streams too — see planet100k).
 //   ci         — reduced smoke: 100 servers / 1,500 VMs / 6 h (CI runners).
 //
 // Output: one JSON object per run (events, wall seconds, events/sec,
 // peak RSS, heap allocations, execution mode/shards/threads) written to
 // --out (default BENCH_engine.json). The file also records
-// host_hardware_threads: sharded-mode wall times are only meaningful
-// relative to that number — on a single-core host every thread count
+// host_hardware_threads — sharded-mode wall times are only meaningful
+// relative to that number; on a single-core host every thread count
 // serializes onto the same core and the matrix degenerates to overhead
-// measurement. CI fails on crash or malformed JSON only — never on wall
-// time.
+// measurement — plus host_cpu_model and the monitor kernel the dispatcher
+// picked ("avx2"/"scalar"), without which throughput rows are not
+// comparable across hosts. CI fails on crash or malformed JSON only —
+// never on wall time.
 
 #include "bench_common.hpp"
 
@@ -36,12 +39,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ecocloud/dc/monitor_kernel.hpp"
 #include "ecocloud/par/sharded_runner.hpp"
 #include "ecocloud/util/phase_profiler.hpp"
 
@@ -71,8 +76,16 @@ using namespace ecocloud;
 
 // --profile: wrap each run in the phase profiler and report the per-phase
 // wall-time split plus the profiler's self-measured overhead ratio, which
-// the CI perf-smoke leg holds to the <= 2% budget.
+// the CI perf-smoke leg holds to the <= 3% budget.
 bool g_profile = false;
+
+// --repeat N: run every row N times and keep the fastest attempt. Wall
+// clocks on shared hosts carry tens of percent of neighbor noise that
+// only ever ADDS time, so the minimum is the defensible throughput
+// figure — the same reasoning behind the CI overhead budget's min-of-3.
+// Every attempt still prints its CSV row; only the best lands in the
+// JSON.
+unsigned g_repeat = 1;
 
 struct ProfileResult {
   bool enabled = false;
@@ -93,6 +106,31 @@ ProfileResult profile_result(const util::PhaseProfiler& profiler,
     out.phase_calls[p] = st.calls;
   }
   return out;
+}
+
+/// "model name" from /proc/cpuinfo — throughput rows are meaningless
+/// across hosts without it. "unknown" off Linux or in stripped containers.
+std::string host_cpu_model() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (!f) return "unknown";
+  std::string model = "unknown";
+  char line[512];
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    if (const char* colon = std::strchr(line, ':')) {
+      model.assign(colon + 1);
+      while (!model.empty() && (model.front() == ' ' || model.front() == '\t'))
+        model.erase(model.begin());
+      while (!model.empty() && (model.back() == '\n' || model.back() == '\r' ||
+                                model.back() == ' '))
+        model.pop_back();
+      for (char& c : model)
+        if (c == '"' || c == '\\') c = '\'';  // keep the JSON trivially valid
+    }
+    break;
+  }
+  std::fclose(f);
+  return model;
 }
 
 struct EngineRun {
@@ -122,8 +160,8 @@ void print_row(const EngineRun& r) {
               static_cast<unsigned long long>(r.allocations));
 }
 
-EngineRun run_scenario_config(const char* name, scenario::DailyConfig config,
-                              double hours) {
+EngineRun run_scenario_config_once(const char* name,
+                                   scenario::DailyConfig config, double hours) {
   EngineRun out;
   out.name = name;
   out.servers = config.fleet.num_servers;
@@ -158,6 +196,17 @@ EngineRun run_scenario_config(const char* name, scenario::DailyConfig config,
   return out;
 }
 
+EngineRun run_scenario_config(const char* name,
+                              const scenario::DailyConfig& config,
+                              double hours) {
+  EngineRun best = run_scenario_config_once(name, config, hours);
+  for (unsigned i = 1; i < g_repeat; ++i) {
+    EngineRun next = run_scenario_config_once(name, config, hours);
+    if (next.wall_s < best.wall_s) best = next;
+  }
+  return best;
+}
+
 EngineRun run_scenario(const char* name, std::size_t servers, std::size_t vms,
                        double hours) {
   return run_scenario_config(name, bench::scaled_daily_config(servers, vms, hours),
@@ -169,9 +218,8 @@ EngineRun run_scenario(const char* name, std::size_t servers, std::size_t vms,
 // these rows into a measurement of that known quadratic — so the planet
 // rows run the O(1) sampler with a bounded invite group (DESIGN.md §14).
 // Streaming traces replace the materialized VMs x steps matrix with an
-// O(VMs) cursor bank; the sharded engine still shares one materialized
-// TraceSet, so its planet row keeps streaming off and relies on the short
-// horizon to bound the matrix.
+// O(VMs) cursor bank; in sharded mode each shard owns the bank of its own
+// rows (DESIGN.md §17), so both planet rows stream.
 scenario::DailyConfig planet_daily_config(std::size_t servers, std::size_t vms,
                                           double hours, double warmup_hours,
                                           bool streaming) {
@@ -183,10 +231,10 @@ scenario::DailyConfig planet_daily_config(std::size_t servers, std::size_t vms,
   return config;
 }
 
-EngineRun run_sharded_scenario_config(const char* name,
-                                      const scenario::DailyConfig& config,
-                                      double hours, std::size_t shards,
-                                      std::size_t threads) {
+EngineRun run_sharded_scenario_config_once(const char* name,
+                                           const scenario::DailyConfig& config,
+                                           double hours, std::size_t shards,
+                                           std::size_t threads) {
   EngineRun out;
   out.name = name;
   out.mode = "sharded";
@@ -225,6 +273,20 @@ EngineRun run_sharded_scenario_config(const char* name,
   return out;
 }
 
+EngineRun run_sharded_scenario_config(const char* name,
+                                      const scenario::DailyConfig& config,
+                                      double hours, std::size_t shards,
+                                      std::size_t threads) {
+  EngineRun best =
+      run_sharded_scenario_config_once(name, config, hours, shards, threads);
+  for (unsigned i = 1; i < g_repeat; ++i) {
+    EngineRun next =
+        run_sharded_scenario_config_once(name, config, hours, shards, threads);
+    if (next.wall_s < best.wall_s) best = next;
+  }
+  return best;
+}
+
 EngineRun run_sharded_scenario(const char* name, std::size_t servers,
                                std::size_t vms, double hours,
                                std::size_t shards, std::size_t threads) {
@@ -241,8 +303,12 @@ void write_json(const std::string& path, const std::vector<EngineRun>& runs) {
   }
   std::fprintf(f,
                "{\n  \"benchmark\": \"engine_throughput\",\n"
-               "  \"host_hardware_threads\": %u,\n  \"runs\": [\n",
-               std::thread::hardware_concurrency());
+               "  \"host_hardware_threads\": %u,\n"
+               "  \"host_cpu_model\": \"%s\",\n"
+               "  \"monitor_kernel\": \"%s\",\n"
+               "  \"repeat\": %u,\n  \"runs\": [\n",
+               std::thread::hardware_concurrency(), host_cpu_model().c_str(),
+               dc::monitor_kernel_name(), g_repeat);
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const EngineRun& r = runs[i];
     std::fprintf(f,
@@ -333,6 +399,10 @@ int main(int argc, char** argv) {
       thread_counts = parse_size_list(argv[++i]);
     } else if (arg == "--profile") {
       g_profile = true;
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      g_repeat = static_cast<unsigned>(
+          std::strtoul(argv[++i], nullptr, 10));
+      if (g_repeat == 0) g_repeat = 1;
     } else if (arg == "--series-only") {
       // Accepted for CI uniformity with the other benches: the series *is*
       // the measurement here, so there is nothing to skip.
@@ -343,7 +413,7 @@ int main(int argc, char** argv) {
           "[--scenario paper|scaleup|sharded|scaleup16k|planet100k|"
           "planet1m|ci|all]\n"
           "                         [--shards K] [--threads N1,N2,...] "
-          "[--profile] [--out PATH]\n");
+          "[--profile] [--repeat N] [--out PATH]\n");
       return 2;
     }
   }
@@ -388,7 +458,7 @@ int main(int argc, char** argv) {
         3.0));
     runs.push_back(run_sharded_scenario_config(
         "planet_100k",
-        planet_daily_config(100'000, 1'500'000, 3.0, 1.0, /*streaming=*/false),
+        planet_daily_config(100'000, 1'500'000, 3.0, 1.0, /*streaming=*/true),
         3.0, shards, thread_counts.back()));
   }
   if (which == "planet1m" || which == "all") {

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "ecocloud/dc/monitor_kernel.hpp"
 #include "ecocloud/util/snapshot.hpp"
 #include "ecocloud/util/phase_profiler.hpp"
 #include "ecocloud/util/validation.hpp"
@@ -202,6 +203,7 @@ void EcoCloudController::queue_vm(dc::ServerId booting_server, dc::VmId vm) {
 }
 
 void EcoCloudController::on_boot_finished(dc::ServerId s) {
+  util::ScopedPhase profile(util::Phase::kVmLifecycle);
   const sim::SimTime now = sim_.now();
 
   if (faults_ && faults_->boot_fails && faults_->boot_fails(s)) {
@@ -288,11 +290,68 @@ void EcoCloudController::force_activate(dc::ServerId server, bool with_grace) {
   }
 }
 
+void EcoCloudController::refresh_monitor_row(dc::ServerId s) {
+  // Scalar reference kernel for the single row — bit-identical to the
+  // batch sweep by construction — then the same out-migration patch the
+  // full rebuild applies.
+  dc::monitor_classify_scalar(dc_.servers_soa(), s, s + 1, params_.tl,
+                              params_.th, monitor_u_.data(),
+                              monitor_cls_.data());
+  const dc::Server server = dc_.server(s);
+  if (server.migrating_out_count() != 0 &&
+      monitor_cls_[s] != static_cast<std::uint8_t>(dc::MonitorClass::kSkip)) {
+    const double u = MigrationProcedure::effective_utilization(dc_, server);
+    monitor_u_[s] = u;
+    monitor_cls_[s] = static_cast<std::uint8_t>(
+        1u + (u < params_.tl ? 1u : 0u) + (u > params_.th ? 2u : 0u));
+  }
+}
+
+void EcoCloudController::drain_monitor_journal() {
+  const std::size_t n = dc_.num_servers();
+  const bool full = dc_.monitor_all_dirty() || monitor_cls_.size() != n;
+  if (!full && dc_.monitor_dirty_ids().empty()) return;
+  util::ScopedPhase profile(util::Phase::kMonitorBatch);
+  if (full) {
+    const dc::ServerSoA& soa = dc_.servers_soa();
+    monitor_u_.resize(n);
+    monitor_cls_.resize(n);
+    dc::monitor_classify(soa, 0, n, params_.tl, params_.th, monitor_u_.data(),
+                         monitor_cls_.data());
+    // The kernel's demand/capacity shortcut is exact except where VMs are
+    // migrating out; patch those rows with the full evaluator (cheap:
+    // out-migrations are rare and short-lived, and the scan below is a
+    // straight read of one integer column).
+    const std::uint32_t* out = soa.migrating_out_count.data();
+    for (std::size_t s = 0; s < n; ++s) {
+      if (out[s] != 0) refresh_monitor_row(static_cast<dc::ServerId>(s));
+    }
+  } else {
+    for (dc::ServerId s : dc_.monitor_dirty_ids()) refresh_monitor_row(s);
+  }
+  dc_.clear_monitor_dirty();
+}
+
 void EcoCloudController::monitor_server(dc::ServerId s) {
   util::ScopedPhase profile(util::Phase::kMonitorSweep);
+  drain_monitor_journal();
+  // The cached class byte encodes exactly the RNG-free part of
+  // MigrationProcedure::check: skip (!active || empty) and in-band ticks
+  // return without drawing, so the Bernoulli stream only advances for the
+  // same servers — in the same id order — as the per-server slow path did.
+  const auto cls = static_cast<dc::MonitorClass>(monitor_cls_[s]);
+  if (cls == dc::MonitorClass::kSkip || cls == dc::MonitorClass::kInBand) {
+    return;
+  }
   const sim::SimTime now = sim_.now();
+  const dc::Server server = dc_.server(s);
+  // Grace and cooldown windows are pure time comparisons; they are read
+  // fresh here (never cached) so their setters need no journal hook.
+  if (server.in_grace(now)) return;
+  if (now < server.migration_cooldown_until()) return;
+  const bool is_high = cls == dc::MonitorClass::kHigh;
   bool fired = false;
-  auto plan = migration_.check(dc_, s, now, &fired);
+  auto plan = migration_.trial(dc_, s, now, monitor_u_[s], is_high, &fired);
   if (fired) {
     dc_.server_mutable(s).set_migration_cooldown_until(now +
                                                        params_.migration_cooldown_s);
@@ -302,49 +361,56 @@ void EcoCloudController::monitor_server(dc::ServerId s) {
   } else if (fired && events_.on_migration_stranded) {
     // Trial fired but produced no plan: nothing movable, or no volunteer
     // for a low migration.
-    const double u =
-        MigrationProcedure::effective_utilization(dc_, dc_.server(s));
-    events_.on_migration_stranded(now, s, u > params_.th);
+    events_.on_migration_stranded(now, s, is_high);
   }
 }
 
-void EcoCloudController::execute_plan(const MigrationPlan& plan, dc::ServerId source) {
+void EcoCloudController::execute_plan(const MigrationPlan& first_plan,
+                                      dc::ServerId source) {
   const sim::SimTime now = sim_.now();
 
-  if (plan.dest) {
-    start_migration(plan.vm, *plan.dest, plan.is_high,
-                    now + migration_duration(plan.vm, source, *plan.dest));
-  } else if (plan.wake && plan.is_high) {
-    // Prefer a server that is already booting (load ramps overload many
-    // servers at once; one wake can absorb several sheddings). Otherwise
-    // wake a fresh one. Either way the migration completes only after the
-    // destination finished booting (+1 s keeps event order unambiguous).
-    const dc::Vm& vm = dc_.vm(plan.vm);
-    std::optional<dc::ServerId> dest = booting_with_room(vm.demand_mhz);
-    if (!dest) {
-      dest = wake_one_server();
+  // Footnote-3 rechecks chain: each plan whose largest-VM migration does
+  // not clear the threshold immediately runs another trial. The chain
+  // length is bounded only by the number of hosted VMs, so it iterates
+  // instead of recursing (a planet-scale server hosting thousands of VMs
+  // must not grow the call stack per migrated VM).
+  MigrationPlan plan = first_plan;
+  for (;;) {
+    if (plan.dest) {
+      start_migration(plan.vm, *plan.dest, plan.is_high,
+                      now + migration_duration(plan.vm, source, *plan.dest));
+    } else if (plan.wake && plan.is_high) {
+      // Prefer a server that is already booting (load ramps overload many
+      // servers at once; one wake can absorb several sheddings). Otherwise
+      // wake a fresh one. Either way the migration completes only after the
+      // destination finished booting (+1 s keeps event order unambiguous).
+      const dc::Vm& vm = dc_.vm(plan.vm);
+      std::optional<dc::ServerId> dest = booting_with_room(vm.demand_mhz);
+      if (!dest) {
+        dest = wake_one_server();
+        if (dest) {
+          dc_.server_mutable(*dest).set_grace_until(now + params_.boot_time_s +
+                                                    params_.grace_period_s);
+        }
+      }
       if (dest) {
-        dc_.server_mutable(*dest).set_grace_until(now + params_.boot_time_s +
-                                                  params_.grace_period_s);
+        const sim::SimTime boot_done = boot_queues_[*dest].finish_at;
+        const sim::SimTime complete_at = std::max(
+            now + migration_duration(plan.vm, source, *dest), boot_done + 1.0);
+        start_migration(plan.vm, *dest, plan.is_high, complete_at);
+      } else if (events_.on_migration_stranded) {
+        // With no hibernated server left the overload must be ridden out.
+        events_.on_migration_stranded(now, source, /*is_high=*/true);
       }
     }
-    if (dest) {
-      const sim::SimTime boot_done = boot_queues_[*dest].finish_at;
-      const sim::SimTime complete_at = std::max(
-          now + migration_duration(plan.vm, source, *dest), boot_done + 1.0);
-      start_migration(plan.vm, *dest, plan.is_high, complete_at);
-    } else if (events_.on_migration_stranded) {
-      // With no hibernated server left the overload must be ridden out.
-      events_.on_migration_stranded(now, source, /*is_high=*/true);
-    }
-  }
 
-  if (plan.recheck_suggested) {
-    // Footnote 3: the largest VM alone does not clear the threshold, so the
-    // server immediately runs another trial for a further migration.
+    if (!plan.recheck_suggested) return;
+    // The recheck deliberately does not apply the migration cooldown: the
+    // follow-up trial belongs to the same monitor tick.
     bool fired = false;
     auto next = migration_.check(dc_, source, now, &fired);
-    if (next) execute_plan(*next, source);
+    if (!next) return;
+    plan = *next;
   }
 }
 

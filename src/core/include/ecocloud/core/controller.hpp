@@ -199,6 +199,13 @@ class EcoCloudController {
 
  private:
   void monitor_server(dc::ServerId s);
+  /// Rebuild the stale part of the monitor classification cache from the
+  /// DataCenter's dirty journal (all-dirty -> one columnar kernel sweep,
+  /// otherwise per-id scalar refreshes). Attributed to Phase::kMonitorBatch.
+  void drain_monitor_journal();
+  /// Recompute one server's cached u_eff + class byte (scalar reference
+  /// kernel, then the out-migration patch — bit-identical to the batch).
+  void refresh_monitor_row(dc::ServerId s);
   void execute_plan(const MigrationPlan& plan, dc::ServerId source);
   /// Wall time a live migration takes: the fixed latency plus, with a
   /// topology attached, the RAM transfer over the available bandwidth.
@@ -280,6 +287,15 @@ class EcoCloudController {
   void open_boot_erase(dc::ServerId s);
   /// Re-derive open/closed for \p s from its committed-vs-Ta ratio.
   void open_boot_update(dc::ServerId s);
+
+  // --- Batched monitor cache (DESIGN.md §17) ---
+  // Per-server fast-path effective utilization and MonitorClass byte,
+  // rebuilt lazily from the DataCenter's monitor dirty journal at the top
+  // of each monitor tick. Derived state: deliberately not checkpointed —
+  // restore leaves the journal all-dirty, so the first tick after a resume
+  // rebuilds the cache from the restored columns.
+  std::vector<double> monitor_u_;
+  std::vector<std::uint8_t> monitor_cls_;
 
   const FaultHooks* faults_ = nullptr;
   std::function<void(dc::VmId)> orphan_handler_;

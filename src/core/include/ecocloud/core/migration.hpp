@@ -62,6 +62,18 @@ class MigrationProcedure {
                                                    sim::SimTime now,
                                                    bool* trial_fired = nullptr);
 
+  /// The tail of check() once the early-outs have passed and \p u_eff is
+  /// known to be out of band: run the Bernoulli trial (f_h when \p is_high,
+  /// f_l otherwise), record the tally, and on success build the plan. The
+  /// batched monitor path (EcoCloudController) calls this directly with its
+  /// cached classification; check() delegates here, so RNG draw order and
+  /// tallies are identical on both paths.
+  [[nodiscard]] std::optional<MigrationPlan> trial(const dc::DataCenter& datacenter,
+                                                   dc::ServerId server_id,
+                                                   sim::SimTime now, double u_eff,
+                                                   bool is_high,
+                                                   bool* trial_fired = nullptr);
+
   /// Effective utilization used for migration decisions: hosted demand
   /// minus VMs already migrating out, over capacity, clamped to [0,1].
   [[nodiscard]] static double effective_utilization(const dc::DataCenter& datacenter,

@@ -44,20 +44,33 @@ std::optional<MigrationPlan> MigrationProcedure::check(
   const double u_eff = effective_utilization(datacenter, server);
 
   if (u_eff > params_.th) {
+    return trial(datacenter, server_id, now, u_eff, /*is_high=*/true,
+                 trial_fired);
+  }
+  if (u_eff < params_.tl) {
+    return trial(datacenter, server_id, now, u_eff, /*is_high=*/false,
+                 trial_fired);
+  }
+  return std::nullopt;
+}
+
+std::optional<MigrationPlan> MigrationProcedure::trial(
+    const dc::DataCenter& datacenter, dc::ServerId server_id, sim::SimTime now,
+    double u_eff, bool is_high, bool* trial_fired) {
+  if (trial_fired) *trial_fired = false;
+  const dc::Server& server = datacenter.server(server_id);
+  if (is_high) {
     const bool fired = rng_.bernoulli(fh_(u_eff));
     fh_tally_.record(fired);
     if (!fired) return std::nullopt;
     if (trial_fired) *trial_fired = true;
     return plan_high(datacenter, server, now, u_eff);
   }
-  if (u_eff < params_.tl) {
-    const bool fired = rng_.bernoulli(fl_(u_eff));
-    fl_tally_.record(fired);
-    if (!fired) return std::nullopt;
-    if (trial_fired) *trial_fired = true;
-    return plan_low(datacenter, server, now);
-  }
-  return std::nullopt;
+  const bool fired = rng_.bernoulli(fl_(u_eff));
+  fl_tally_.record(fired);
+  if (!fired) return std::nullopt;
+  if (trial_fired) *trial_fired = true;
+  return plan_low(datacenter, server, now);
 }
 
 std::optional<MigrationPlan> MigrationProcedure::plan_high(

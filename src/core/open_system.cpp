@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "ecocloud/util/phase_profiler.hpp"
 #include "ecocloud/util/snapshot.hpp"
 #include "ecocloud/util/validation.hpp"
 
@@ -40,6 +41,7 @@ void OpenSystemDriver::schedule_departure(dc::VmId vm) {
 }
 
 void OpenSystemDriver::on_departure(dc::VmId vm) {
+  util::ScopedPhase profile(util::Phase::kVmLifecycle);
   controller_.depart_vm(vm);
   trace_driver_.unmap_vm(vm);
   if (estimator_) estimator_->record_departure(sim_.now(), population_);
@@ -48,6 +50,7 @@ void OpenSystemDriver::on_departure(dc::VmId vm) {
 }
 
 void OpenSystemDriver::seed_initial_population(std::size_t count) {
+  util::ScopedPhase profile(util::Phase::kVmLifecycle);
   const sim::SimTime now = sim_.now();
   // Borrow the live index: place_vm never transitions server state, so the
   // reference stays valid for the whole seeding loop.
@@ -76,6 +79,7 @@ void OpenSystemDriver::schedule_next_arrival() {
 }
 
 void OpenSystemDriver::on_arrival() {
+  util::ScopedPhase profile(util::Phase::kVmLifecycle);
   const dc::VmId vm = spawn_vm();
   ++total_arrivals_;
   if (estimator_) estimator_->record_arrival(sim_.now());

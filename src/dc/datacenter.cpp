@@ -13,6 +13,7 @@ DataCenter::DataCenter(PowerModel power_model) : power_model_(power_model) {}
 ServerId DataCenter::add_server(unsigned num_cores, double core_mhz, double ram_mb) {
   const Server srv = servers_.add(num_cores, core_mhz, ram_mb);
   const ServerId id = srv.id();
+  monitor_dirty_flag_.push_back(0);
   // Ids are handed out in increasing order, so the hibernated membership
   // set starts out sorted (and the cached sorted view with it).
   auto& hibernated = state_members_[static_cast<std::size_t>(ServerState::kHibernated)];
@@ -99,7 +100,31 @@ void DataCenter::reset_accounting(sim::SimTime t) {
   max_inflight_ = inflight_;
 }
 
+void DataCenter::mark_monitor_dirty(ServerId s) {
+  if (monitor_all_dirty_ || monitor_dirty_flag_[s]) return;
+  monitor_dirty_flag_[s] = 1;
+  monitor_dirty_ids_.push_back(s);
+  // Past ~1/8 of the fleet an incremental drain stops paying for itself —
+  // collapse to one branch-light full rebuild.
+  if (monitor_dirty_ids_.size() * 8 >= servers_.size()) {
+    mark_all_monitor_dirty();
+  }
+}
+
+void DataCenter::mark_all_monitor_dirty() {
+  monitor_all_dirty_ = true;
+  for (ServerId s : monitor_dirty_ids_) monitor_dirty_flag_[s] = 0;
+  monitor_dirty_ids_.clear();
+}
+
+void DataCenter::clear_monitor_dirty() {
+  monitor_all_dirty_ = false;
+  for (ServerId s : monitor_dirty_ids_) monitor_dirty_flag_[s] = 0;
+  monitor_dirty_ids_.clear();
+}
+
 void DataCenter::refresh_server(sim::SimTime t, ServerId s) {
+  mark_monitor_dirty(s);
   const Server srv = Server(servers_, s);
 
   const double new_power = power_model_.power_w(srv);
@@ -210,6 +235,9 @@ void DataCenter::begin_migration(sim::SimTime t, VmId v, ServerId dest) {
   vms_.reserved_at_dest_mhz[v] = vms_.demand_mhz[v];
   target.add_reservation(vms_.reserved_at_dest_mhz[v]);
   Server(servers_, vms_.host[v]).add_migrating_out();
+  // No refresh_server here (power/overload are demand-driven), but the
+  // outbound count changes the source's effective utilization.
+  mark_monitor_dirty(vms_.host[v]);
   ++inflight_;
   max_inflight_ = std::max(max_inflight_, inflight_);
 }
@@ -249,6 +277,7 @@ void DataCenter::cancel_migration(sim::SimTime t, VmId v) {
   Server(servers_, vms_.migrating_to[v])
       .remove_reservation(vms_.reserved_at_dest_mhz[v]);
   Server(servers_, vms_.host[v]).remove_migrating_out();
+  mark_monitor_dirty(vms_.host[v]);
   vms_.reserved_at_dest_mhz[v] = 0.0;
   vms_.migrating_to[v] = kNoServer;
   --inflight_;
@@ -485,6 +514,7 @@ void DataCenter::load_state(util::BinReader& r) {
     }
   }
   sorted_dirty_.fill(true);
+  mark_all_monitor_dirty();
   placed_vm_count_ = static_cast<std::size_t>(r.u64());
   total_capacity_mhz_ = r.f64();
   total_demand_mhz_ = r.f64();
@@ -543,6 +573,11 @@ std::vector<std::string> DataCenter::audit_invariants(double tolerance) const {
       demand_sum += vms_.demand_mhz[v];
       ram_sum += vms_.ram_mb[v];
       if (vms_.migrating_to[v] != kNoServer) ++migrating_out;
+    }
+    if (srv.vm_count() != srv.vms().size()) {
+      complain("server " + std::to_string(srv.id()) + " vm_count column " +
+               std::to_string(srv.vm_count()) + " != hosted list size " +
+               std::to_string(srv.vms().size()));
     }
     hosted_total += srv.vm_count();
     demand_total_recomputed += srv.demand_mhz();
@@ -674,6 +709,19 @@ std::vector<std::string> DataCenter::audit_invariants(double tolerance) const {
 
 std::size_t DataCenter::heal_caches() {
   std::size_t healed = 0;
+  mark_all_monitor_dirty();
+
+  // The vm_count column is pure mirror state; resync it first so the
+  // aggregate healing below reads the truth.
+  bool vm_count_changed = false;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const auto n = static_cast<std::uint32_t>(servers_.vms[s].size());
+    if (servers_.vm_count[s] != n) {
+      servers_.vm_count[s] = n;
+      vm_count_changed = true;
+    }
+  }
+  if (vm_count_changed) ++healed;
 
   // Rebuild the dense membership sets when they disagree with the state
   // column *as sets* (healing re-derives membership in ascending id order —

@@ -119,6 +119,10 @@ class DataCenter {
   [[nodiscard]] ServerRange servers() const {
     return ServerRange(const_cast<ServerSoA*>(&servers_));
   }
+  /// Raw column storage of the fleet, read-only: the batched monitor
+  /// kernel (monitor_kernel.hpp) sweeps these columns directly instead of
+  /// going through one Server view per row.
+  [[nodiscard]] const ServerSoA& servers_soa() const { return servers_; }
   [[nodiscard]] const PowerModel& power_model() const { return power_model_; }
 
   // O(1) column reads for the hot paths (trace ticks, migration checks).
@@ -309,6 +313,29 @@ class DataCenter {
   /// the `heal` audit action's repair step, not a no-op.
   std::size_t heal_caches();
 
+  // --- Monitor dirty journal ------------------------------------------------
+  //
+  // The batched monitor kernel (core::EcoCloudController) caches a per-server
+  // classification of the monitor-relevant state: power state, hosted-VM
+  // count, demand, and migrating-out count. DataCenter records which servers
+  // changed any of those since the controller last drained, so the cache is
+  // refreshed incrementally instead of recomputed fleet-wide per event.
+  // Grace/cooldown stamps are deliberately NOT journaled: the controller
+  // reads them from the columns at fire time. Once the journal grows past
+  // ~1/8 of the fleet it collapses to "everything dirty", which the drain
+  // turns into one vectorizable full rebuild.
+
+  /// True when the journal overflowed (or state was bulk-replaced by
+  /// load_state/heal_caches) and the whole fleet must be re-classified.
+  [[nodiscard]] bool monitor_all_dirty() const { return monitor_all_dirty_; }
+  /// Ids marked dirty since the last clear; meaningless while
+  /// monitor_all_dirty() is true. Unordered, duplicate-free.
+  [[nodiscard]] const std::vector<ServerId>& monitor_dirty_ids() const {
+    return monitor_dirty_ids_;
+  }
+  /// Reset the journal after a drain (controller only).
+  void clear_monitor_dirty();
+
  private:
   /// Refresh cached per-server contributions (power, overloaded VM count)
   /// after server \p s changed; updates overload episode tracking at time t.
@@ -317,6 +344,11 @@ class DataCenter {
   /// Move \p s between dense state sets: swap-erase from \p from, append to
   /// \p to, O(1); invalidates the sorted views of both states.
   void move_server_state(ServerId s, ServerState from, ServerState to);
+
+  /// Journal a monitor-relevant change on server \p s (see the public
+  /// journal accessors). O(1); collapses to all-dirty past the threshold.
+  void mark_monitor_dirty(ServerId s);
+  void mark_all_monitor_dirty();
 
   PowerModel power_model_;
   ServerSoA servers_;
@@ -362,6 +394,12 @@ class DataCenter {
   std::uint64_t repairs_ = 0;
   std::size_t inflight_ = 0;
   std::size_t max_inflight_ = 0;
+
+  // Monitor dirty journal (not checkpointed: restore marks everything
+  // dirty, so the first drain rebuilds the classification from scratch).
+  std::vector<std::uint8_t> monitor_dirty_flag_;
+  std::vector<ServerId> monitor_dirty_ids_;
+  bool monitor_all_dirty_ = true;
 };
 
 }  // namespace ecocloud::dc

@@ -59,6 +59,11 @@ struct ServerSoA {
   std::vector<sim::SimTime> grace_until;
   std::vector<sim::SimTime> migration_cooldown_until;
   std::vector<std::vector<VmId>> vms;
+  /// Mirror of vms[id].size() as a dense integer column so fleet-wide
+  /// emptiness checks (the batched monitor kernel) never chase the
+  /// per-server vector headers. Derivable state: snapshots do not carry
+  /// it; Server::load_state resets it from the restored VM list.
+  std::vector<std::uint32_t> vm_count;
 
   [[nodiscard]] std::size_t size() const { return state.size(); }
 
@@ -124,8 +129,8 @@ class Server {
 
   /// Hosted VM ids (unordered).
   [[nodiscard]] const std::vector<VmId>& vms() const { return soa_->vms[id_]; }
-  [[nodiscard]] std::size_t vm_count() const { return soa_->vms[id_].size(); }
-  [[nodiscard]] bool empty() const { return soa_->vms[id_].empty(); }
+  [[nodiscard]] std::size_t vm_count() const { return soa_->vm_count[id_]; }
+  [[nodiscard]] bool empty() const { return soa_->vm_count[id_] == 0; }
 
   /// End of the post-boot grace period during which the server accepts all
   /// assignment invitations unconditionally (paper Sec. IV); -inf when none.

@@ -1,0 +1,67 @@
+#include "ecocloud/dc/monitor_kernel.hpp"
+
+#include <cstdlib>
+
+#include "ecocloud/dc/server.hpp"
+
+namespace ecocloud::dc {
+
+#if defined(ECOCLOUD_HAVE_AVX2_KERNEL)
+namespace detail {
+// Defined in monitor_kernel_avx2.cpp, compiled with -mavx2 (and nothing
+// else: no -mfma, so no contraction can creep into the shared loop body).
+void classify_avx2(const std::uint8_t* state, const std::uint32_t* vm_count,
+                   const double* demand_mhz, const double* capacity_mhz,
+                   std::size_t begin, std::size_t end, double tl, double th,
+                   double* u_eff, std::uint8_t* cls);
+}  // namespace detail
+#endif
+
+namespace {
+
+using ClassifyFn = void (*)(const std::uint8_t*, const std::uint32_t*,
+                            const double*, const double*, std::size_t,
+                            std::size_t, double, double, double*,
+                            std::uint8_t*);
+
+struct Dispatch {
+  ClassifyFn fn;
+  const char* name;
+};
+
+Dispatch resolve_kernel() {
+  if (std::getenv("ECOCLOUD_FORCE_SCALAR_KERNEL") != nullptr) {
+    return {&detail::classify_loop, "scalar"};
+  }
+#if defined(ECOCLOUD_HAVE_AVX2_KERNEL)
+  if (__builtin_cpu_supports("avx2")) {
+    return {&detail::classify_avx2, "avx2"};
+  }
+#endif
+  return {&detail::classify_loop, "scalar"};
+}
+
+const Dispatch& kernel() {
+  static const Dispatch dispatch = resolve_kernel();
+  return dispatch;
+}
+
+}  // namespace
+
+void monitor_classify(const ServerSoA& soa, std::size_t begin, std::size_t end,
+                      double tl, double th, double* u_eff, std::uint8_t* cls) {
+  kernel().fn(soa.state.data(), soa.vm_count.data(), soa.demand_mhz.data(),
+              soa.capacity_mhz.data(), begin, end, tl, th, u_eff, cls);
+}
+
+void monitor_classify_scalar(const ServerSoA& soa, std::size_t begin,
+                             std::size_t end, double tl, double th,
+                             double* u_eff, std::uint8_t* cls) {
+  detail::classify_loop(soa.state.data(), soa.vm_count.data(),
+                        soa.demand_mhz.data(), soa.capacity_mhz.data(), begin,
+                        end, tl, th, u_eff, cls);
+}
+
+const char* monitor_kernel_name() { return kernel().name; }
+
+}  // namespace ecocloud::dc

@@ -1,0 +1,24 @@
+// AVX2 translation unit of the monitor classification kernel. This file is
+// added to the build only on x86-64 (src/dc/CMakeLists.txt) and compiled
+// with exactly -mavx2 on top of the project flags — deliberately not -mfma,
+// so the compiler cannot contract the shared loop body into fused ops that
+// would round differently from the scalar build. The loop itself lives in
+// monitor_kernel.hpp; this TU only instantiates it under the wider ISA.
+
+#include "ecocloud/dc/monitor_kernel.hpp"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+namespace ecocloud::dc::detail {
+
+void classify_avx2(const std::uint8_t* state, const std::uint32_t* vm_count,
+                   const double* demand_mhz, const double* capacity_mhz,
+                   std::size_t begin, std::size_t end, double tl, double th,
+                   double* u_eff, std::uint8_t* cls) {
+  classify_loop(state, vm_count, demand_mhz, capacity_mhz, begin, end, tl, th,
+                u_eff, cls);
+}
+
+}  // namespace ecocloud::dc::detail
+
+#endif

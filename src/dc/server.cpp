@@ -36,6 +36,7 @@ Server ServerSoA::add(unsigned cores, double mhz, double ram_mb) {
   grace_until.push_back(-1.0);
   migration_cooldown_until.push_back(-1.0);
   vms.emplace_back();
+  vm_count.push_back(0);
   return Server(*this, id);
 }
 
@@ -51,6 +52,7 @@ double Server::granted_fraction() const {
 
 void Server::host_vm(VmId vm, double demand, double ram) {
   soa_->vms[id_].push_back(vm);
+  ++soa_->vm_count[id_];
   soa_->demand_mhz[id_] += demand;
   soa_->ram_used_mb[id_] += ram;
 }
@@ -61,6 +63,7 @@ void Server::unhost_vm(VmId vm, double demand, double ram) {
   util::ensure(it != hosted.end(), "Server::unhost_vm: VM not hosted here");
   *it = hosted.back();
   hosted.pop_back();
+  --soa_->vm_count[id_];
   double& load = soa_->demand_mhz[id_];
   double& ram_used = soa_->ram_used_mb[id_];
   load -= demand;
@@ -116,6 +119,7 @@ void Server::load_state(util::BinReader& r) {
   for (std::uint64_t i = 0; i < n; ++i) {
     hosted.push_back(static_cast<VmId>(r.u64()));
   }
+  soa_->vm_count[id_] = static_cast<std::uint32_t>(n);
   soa_->grace_until[id_] = r.f64();
   soa_->migration_cooldown_until[id_] = r.f64();
 }

@@ -7,10 +7,16 @@
 /// A shard owns everything the single-threaded engine owns — slab event
 /// calendar (sim::Simulator), datacenter subset, trace driver, ecoCloud
 /// controller with its own RNG streams, metrics collector, event-log
-/// segment — and shares exactly one thing with its siblings: the immutable
-/// TraceSet (read-only, so thread-safe). Between epoch barriers a shard
-/// never touches another shard's state; everything cross-shard goes
-/// through the coordinator (sharded_runner), which runs serially.
+/// segment — and its workload source is one of two (DESIGN.md §14/§17):
+///  * materialized: all shards share one immutable TraceSet (read-only,
+///    so thread-safe);
+///  * streaming: each shard OWNS the trace::StreamingTraces cursor bank
+///    of its trace rows (ShardPlan::shard_of_trace partitioning) and
+///    advances it privately — O(VMs/K) memory per shard, no sharing.
+/// Between epoch barriers a shard never touches another shard's state;
+/// everything cross-shard goes through the coordinator (sharded_runner),
+/// which runs serially — including adopt_trace_row, which copies a
+/// handed-off VM's cursor from its owner bank into the destination bank.
 ///
 /// RNG partitioning: shard k draws from Rng(seed ^ k * golden).split(1),
 /// mirroring DailyScenario's Rng(seed).split(1) — the XOR term vanishes
@@ -30,6 +36,7 @@
 #include "ecocloud/par/partition.hpp"
 #include "ecocloud/scenario/scenario.hpp"
 #include "ecocloud/sim/simulator.hpp"
+#include "ecocloud/trace/streaming_traces.hpp"
 #include "ecocloud/trace/trace_set.hpp"
 #include "ecocloud/util/binio.hpp"
 
@@ -50,8 +57,17 @@ struct MigrationWish {
 
 class Shard {
  public:
+  /// Materialized-mode shard: drives its VMs from the shared read-only
+  /// \p traces, which must outlive the shard.
   Shard(const scenario::DailyConfig& config, const ShardPlan& plan,
         std::size_t shard_id, const trace::TraceSet& traces);
+
+  /// Streaming-mode shard: takes ownership of \p bank, this shard's slice
+  /// of a StreamingTraces::generate_partitioned run (bank k for shard k —
+  /// the partition rule and ShardPlan::shard_of_trace agree by
+  /// construction).
+  Shard(const scenario::DailyConfig& config, const ShardPlan& plan,
+        std::size_t shard_id, trace::StreamingTraces bank);
 
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
@@ -118,6 +134,12 @@ class Shard {
   /// normal departure path (which also re-evaluates hibernation).
   void release_vm(dc::VmId vm);
 
+  /// Streaming mode only: copy global trace row \p trace_index from
+  /// \p home's bank into this shard's bank so deploy/accept_transfer can
+  /// drive it here. No-op when already resident; serial coordinator code
+  /// only, at a barrier (both banks at the same step).
+  void adopt_trace_row(std::size_t trace_index, const Shard& home);
+
   /// Drain the wishes recorded since the previous barrier.
   [[nodiscard]] std::vector<MigrationWish> take_wishes();
 
@@ -148,11 +170,24 @@ class Shard {
   [[nodiscard]] const faults::FaultInjector* fault_injector() const {
     return injector_.get();
   }
+  /// The owned cursor bank of a streaming-mode shard; null when the shard
+  /// reads from a shared materialized TraceSet.
+  [[nodiscard]] const trace::StreamingTraces* streaming_bank() const {
+    return streaming_.get();
+  }
 
  private:
+  /// Shared construction once the trace source is set: fleet, driver,
+  /// controller, collector, faults — mirroring DailyScenario exactly.
+  void init(const scenario::DailyConfig& config);
+  /// RAM footprint of a global trace row, whichever source backs us.
+  [[nodiscard]] double trace_ram_mb(std::size_t trace_index) const;
+
   const ShardPlan& plan_;
   std::size_t id_;
-  const trace::TraceSet& traces_;
+  /// Exactly one of the two sources is set.
+  const trace::TraceSet* traces_ = nullptr;
+  std::unique_ptr<trace::StreamingTraces> streaming_;
 
   sim::Simulator sim_;
   std::unique_ptr<dc::DataCenter> dc_;

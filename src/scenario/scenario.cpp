@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "ecocloud/ckpt/checkpoint.hpp"
+#include "ecocloud/util/phase_profiler.hpp"
 #include "ecocloud/util/validation.hpp"
 
 namespace ecocloud::scenario {
@@ -179,17 +180,24 @@ void DailyScenario::start() {
   if (injector_) injector_->start();
 
   // Create all VMs with their t=0 demand and deploy them; the controllers
-  // wake servers and queue VMs as boots complete.
-  for (std::size_t i = 0; i < config_.num_vms; ++i) {
-    const double ram_mb = streaming_ ? streaming_->ram_mb(i) : traces_->ram_mb(i);
-    const dc::VmId vm = dc_->create_vm(0.0, ram_mb);
-    trace_driver_->map_vm(i, vm);
-    if (eco_) {
-      eco_->deploy_vm(vm);
-    } else if (central_) {
-      central_->deploy_vm(vm);
-    } else {
-      dc_->place_vm(0.0, vm, static_cast<dc::ServerId>(i % dc_->num_servers()));
+  // wake servers and queue VMs as boots complete. At planet scale this
+  // wave is tens of seconds of wall time, so it carries its own phase —
+  // one span, always timed, never mistaken for steady-state event cost.
+  {
+    util::ScopedPhase profile(util::Phase::kVmLifecycle);
+    for (std::size_t i = 0; i < config_.num_vms; ++i) {
+      const double ram_mb =
+          streaming_ ? streaming_->ram_mb(i) : traces_->ram_mb(i);
+      const dc::VmId vm = dc_->create_vm(0.0, ram_mb);
+      trace_driver_->map_vm(i, vm);
+      if (eco_) {
+        eco_->deploy_vm(vm);
+      } else if (central_) {
+        central_->deploy_vm(vm);
+      } else {
+        dc_->place_vm(0.0, vm,
+                      static_cast<dc::ServerId>(i % dc_->num_servers()));
+      }
     }
   }
 

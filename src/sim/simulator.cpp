@@ -181,46 +181,52 @@ void Simulator::execute_next(int source) {
   const std::uint32_t slot = entry_slot(entry);
   Record& rec = record(slot);
   now_ = entry.time;
-  rec.fired = true;
-  ++executed_;
-  ++(from_heap ? stats_.fired_from_heap : stats_.fired_from_ring);
-  ++(rec.period > 0.0 ? stats_.fired_periodic : stats_.fired_one_shot);
-  if (rec.period > 0.0) {
-    // Re-arm the chain BEFORE invoking the callback so the handle stays
-    // pending during it and cancel() from inside stops the chain (the
-    // already-queued next occurrence is lazily dropped). The queue_refs
-    // -1/+1 of pop + re-arm cancels out.
-    rec.fired = false;
-    const QueueEntry next{now_ + rec.period, (next_seq_++ << kSlotBits) | slot};
-    if (!from_heap) {
-      PeriodRing& ring = rings_[static_cast<std::size_t>(source)];
-      ring_pop(ring);
-      ring_push(ring, next);
-    } else if (PeriodRing* ring = ring_for(rec.period)) {
-      // First occurrence fired from the heap (phase offsets are not
-      // monotone); every later one cycles through the period's ring.
-      pop_top();
-      ring_push(*ring, next);
+  {
+    // The scope covers the calendar bookkeeping only — the callback body
+    // is attributed to its own phase (monitor sweep, trace advance, ...),
+    // never here. Keeping the callback out keeps calendar_ops' per-call
+    // durations homogeneous, which is what makes the stride-scaled
+    // estimate trustworthy: one multi-second trace tick sampled inside a
+    // per-event span would be extrapolated by the whole stride.
+    util::ScopedPhase profile(util::Phase::kCalendarOps);
+    rec.fired = true;
+    ++executed_;
+    ++(from_heap ? stats_.fired_from_heap : stats_.fired_from_ring);
+    ++(rec.period > 0.0 ? stats_.fired_periodic : stats_.fired_one_shot);
+    if (rec.period > 0.0) {
+      // Re-arm the chain BEFORE invoking the callback so the handle stays
+      // pending during it and cancel() from inside stops the chain (the
+      // already-queued next occurrence is lazily dropped). The queue_refs
+      // -1/+1 of pop + re-arm cancels out.
+      rec.fired = false;
+      const QueueEntry next{now_ + rec.period, (next_seq_++ << kSlotBits) | slot};
+      if (!from_heap) {
+        PeriodRing& ring = rings_[static_cast<std::size_t>(source)];
+        ring_pop(ring);
+        ring_push(ring, next);
+      } else if (PeriodRing* ring = ring_for(rec.period)) {
+        // First occurrence fired from the heap (phase offsets are not
+        // monotone); every later one cycles through the period's ring.
+        pop_top();
+        ring_push(*ring, next);
+      } else {
+        heap_.front() = next;  // re-arm in place: one sift, not pop + push
+        sift_down(0);
+      }
     } else {
-      heap_.front() = next;  // re-arm in place: one sift, not pop + push
-      sift_down(0);
-    }
-  } else {
-    --rec.queue_refs;
-    if (from_heap) {
-      pop_top();
-    } else {
-      ring_pop(rings_[static_cast<std::size_t>(source)]);
+      --rec.queue_refs;
+      if (from_heap) {
+        pop_top();
+      } else {
+        ring_pop(rings_[static_cast<std::size_t>(source)]);
+      }
     }
   }
   const std::uint32_t previous = executing_slot_;
   executing_slot_ = slot;
-  {
-    // Chunked storage keeps &rec stable even when the callback schedules new
-    // events and the slab grows.
-    util::ScopedPhase profile(util::Phase::kCalendarOps);
-    rec.fn();
-  }
+  // Chunked storage keeps &rec stable even when the callback schedules new
+  // events and the slab grows.
+  rec.fn();
   executing_slot_ = previous;
   // Release once the last queued entry is gone — unless an outer frame is
   // still executing this very record (re-entrant run() from the callback).

@@ -27,8 +27,20 @@
 /// After a checkpoint restore the bank starts over at step 0 and the first
 /// advance_to fast-forwards deterministically; no cursor state needs to be
 /// part of the snapshot.
+///
+/// Sharding (DESIGN.md §17): generate_partitioned() cuts the generation
+/// stream into K banks, bank k owning the rows congruent to k modulo K —
+/// the same row->shard rule as par::ShardPlan::shard_of_trace — while
+/// consuming the shared RNG in exactly generate()'s order, so K banks
+/// advanced in lockstep produce the same samples as one bank. Rows are
+/// addressed by their GLOBAL index everywhere; a bank can additionally
+/// adopt_row() a copy of a sibling bank's row (cross-shard VM hand-off),
+/// after which it advances the copy itself. A row's state at step T is a
+/// pure function of its captured cursor and T, so copies never diverge
+/// from the original.
 
 #include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "ecocloud/sim/time.hpp"
@@ -48,18 +60,43 @@ class StreamingTraces {
                                   std::size_t num_vms, std::size_t num_steps,
                                   util::Rng& rng);
 
-  [[nodiscard]] std::size_t num_vms() const { return averages_.size(); }
+  /// generate(), cut into \p num_banks banks: bank k holds the cursors of
+  /// the rows congruent to k modulo num_banks. One pass over the shared
+  /// RNG in exactly generate()'s draw order, so the union of the banks is
+  /// bit-identical to a single generate() bank (and to TraceSet). Every
+  /// accessor keeps taking GLOBAL row indices.
+  static std::vector<StreamingTraces> generate_partitioned(
+      const WorkloadModel& model, std::size_t num_vms, std::size_t num_steps,
+      util::Rng& rng, std::size_t num_banks);
+
+  /// Total rows of the generation run, NOT the resident count: partitioned
+  /// banks answer for the whole row space so global indices validate
+  /// uniformly (accessing a non-resident row still throws).
+  [[nodiscard]] std::size_t num_vms() const { return total_vms_; }
+
+  /// True when row \p v is resident here: owned by this bank's stride
+  /// class, or previously copied in with adopt_row().
+  [[nodiscard]] bool has_row(std::size_t v) const;
+
+  /// Copy row \p v from \p home into this bank so it can be driven (and
+  /// advanced) locally. No-op when already resident. Both banks must sit
+  /// at the same current step — at that instant the copy is exact, and it
+  /// stays exact afterwards because each row evolves from its own private
+  /// cursor. Draws no shared randomness.
+  void adopt_row(std::size_t v, const StreamingTraces& home);
   [[nodiscard]] std::size_t num_steps() const { return num_steps_; }
   [[nodiscard]] sim::SimTime sample_period_s() const { return sample_period_s_; }
   [[nodiscard]] double reference_mhz() const { return reference_mhz_; }
 
   /// Average utilization (percent) drawn for VM \p v.
   [[nodiscard]] double average_percent(std::size_t v) const {
-    return averages_.at(v);
+    return averages_.at(slot(v));
   }
 
   /// RAM footprint of VM \p v (MB).
-  [[nodiscard]] double ram_mb(std::size_t v) const { return ram_mb_.at(v); }
+  [[nodiscard]] double ram_mb(std::size_t v) const {
+    return ram_mb_.at(slot(v));
+  }
 
   /// Step index active at simulation time \p t (floor(t / period)).
   [[nodiscard]] std::size_t step_at(sim::SimTime t) const;
@@ -74,7 +111,7 @@ class StreamingTraces {
   /// Punctual utilization (percent) of VM \p v at the current step —
   /// bit-identical to TraceSet::percent_at(v, current_step()).
   [[nodiscard]] double percent_current(std::size_t v) const {
-    return static_cast<double>(values_.at(v));
+    return static_cast<double>(values_.at(slot(v)));
   }
 
   /// Demand (MHz) of VM \p v at the current step.
@@ -84,6 +121,21 @@ class StreamingTraces {
 
  private:
   StreamingTraces() = default;
+
+  /// Storage index of global row \p v. Owned rows live at v / stride_;
+  /// adopted rows are found through foreign_. Throws (with the shard
+  /// hand-off contract spelled out) for rows resident elsewhere.
+  [[nodiscard]] std::size_t slot(std::size_t v) const;
+
+  /// Bank partitioning: this bank owns the rows with v % stride_ ==
+  /// offset_ of total_vms_ global rows (stride 1 = the unpartitioned
+  /// single bank of generate()).
+  std::size_t stride_ = 1;
+  std::size_t offset_ = 0;
+  std::size_t total_vms_ = 0;
+  /// Adopted rows: global index -> storage slot appended past the owned
+  /// block. Grows by at most one per distinct handed-off row.
+  std::unordered_map<std::size_t, std::size_t> foreign_;
 
   std::size_t num_steps_ = 0;
   std::size_t current_step_ = 0;

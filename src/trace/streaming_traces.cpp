@@ -23,6 +23,7 @@ StreamingTraces StreamingTraces::generate(const WorkloadModel& model,
   set.dev_base_ = config.dev_base;
   set.dev_slope_ = config.dev_slope;
   set.diurnal_ = config.diurnal;
+  set.total_vms_ = num_vms;
   set.averages_.reserve(num_vms);
   set.ram_mb_.reserve(num_vms);
   set.dev_.reserve(num_vms);
@@ -61,6 +62,107 @@ StreamingTraces StreamingTraces::generate(const WorkloadModel& model,
     set.values_.push_back(static_cast<float>(std::clamp(base + dev0, 0.0, 100.0)));
   }
   return set;
+}
+
+std::vector<StreamingTraces> StreamingTraces::generate_partitioned(
+    const WorkloadModel& model, std::size_t num_vms, std::size_t num_steps,
+    util::Rng& rng, std::size_t num_banks) {
+  util::require(num_banks > 0,
+                "StreamingTraces::generate_partitioned: num_banks must be > 0");
+  util::require(num_vms > 0,
+                "StreamingTraces::generate_partitioned: num_vms must be > 0");
+  util::require(num_steps > 0,
+                "StreamingTraces::generate_partitioned: num_steps must be > 0");
+  const WorkloadConfig& config = model.config();
+
+  std::vector<StreamingTraces> banks;
+  banks.reserve(num_banks);
+  for (std::size_t k = 0; k < num_banks; ++k) {
+    StreamingTraces bank;
+    bank.num_steps_ = num_steps;
+    bank.sample_period_s_ = config.sample_period_s;
+    bank.reference_mhz_ = config.reference_mhz;
+    bank.ar1_rho_ = config.ar1_rho;
+    bank.dev_base_ = config.dev_base;
+    bank.dev_slope_ = config.dev_slope;
+    bank.diurnal_ = config.diurnal;
+    bank.stride_ = num_banks;
+    bank.offset_ = k;
+    bank.total_vms_ = num_vms;
+    const std::size_t owned =
+        num_vms / num_banks + (k < num_vms % num_banks ? 1 : 0);
+    bank.averages_.reserve(owned);
+    bank.ram_mb_.reserve(owned);
+    bank.dev_.reserve(owned);
+    bank.values_.reserve(owned);
+    bank.cursors_.reserve(owned);
+    banks.push_back(std::move(bank));
+  }
+
+  const double rho = config.ar1_rho;
+  const double stationary_to_innovation = std::sqrt(1.0 - rho * rho);
+
+  // One pass over the shared stream in generate()'s exact draw order; only
+  // the bank each row's columns land in differs. Row v is stored at slot
+  // v / num_banks of bank v % num_banks, so the per-bank append order is
+  // the global row order restricted to the bank — slot() stays arithmetic.
+  for (std::size_t v = 0; v < num_vms; ++v) {
+    StreamingTraces& bank = banks[v % num_banks];
+    const double avg = model.sample_average_percent(rng);
+    bank.averages_.push_back(avg);
+    bank.ram_mb_.push_back(model.sample_ram_mb(rng));
+
+    const double sigma = config.dev_base + config.dev_slope * avg;
+    const double innovation_scale = sigma * stationary_to_innovation;
+
+    bank.cursors_.push_back(rng);
+    (void)rng.normal(0.0, sigma);
+    for (std::size_t k = 0; k < num_steps; ++k) {
+      (void)rng.normal(0.0, innovation_scale);
+    }
+
+    const double dev0 = bank.cursors_.back().normal(0.0, sigma);
+    bank.dev_.push_back(dev0);
+    const double base = avg * bank.diurnal_.value(0.0);
+    bank.values_.push_back(
+        static_cast<float>(std::clamp(base + dev0, 0.0, 100.0)));
+  }
+  return banks;
+}
+
+std::size_t StreamingTraces::slot(std::size_t v) const {
+  if (stride_ == 1) return v;
+  if (v % stride_ == offset_) return v / stride_;
+  const auto it = foreign_.find(v);
+  util::require(it != foreign_.end(),
+                "StreamingTraces: trace row is resident in another bank — "
+                "adopt_row it before driving it from this shard");
+  return it->second;
+}
+
+bool StreamingTraces::has_row(std::size_t v) const {
+  if (v >= total_vms_) return false;
+  if (stride_ == 1) return true;
+  return v % stride_ == offset_ || foreign_.find(v) != foreign_.end();
+}
+
+void StreamingTraces::adopt_row(std::size_t v, const StreamingTraces& home) {
+  if (has_row(v)) return;
+  util::require(v < total_vms_,
+                "StreamingTraces::adopt_row: row index out of range");
+  util::require(home.has_row(v),
+                "StreamingTraces::adopt_row: source bank does not hold the row");
+  util::require(home.current_step_ == current_step_,
+                "StreamingTraces::adopt_row: banks sit at different steps — "
+                "adoption is only exact at a barrier, where every bank has "
+                "advanced to the same sample");
+  const std::size_t s = home.slot(v);
+  foreign_.emplace(v, averages_.size());
+  averages_.push_back(home.averages_[s]);
+  ram_mb_.push_back(home.ram_mb_[s]);
+  dev_.push_back(home.dev_[s]);
+  values_.push_back(home.values_[s]);
+  cursors_.push_back(home.cursors_[s]);
 }
 
 std::size_t StreamingTraces::step_at(sim::SimTime t) const {

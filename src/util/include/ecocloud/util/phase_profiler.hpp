@@ -21,10 +21,19 @@
 /// invitation sampling — called per event) are strided: every call bumps
 /// a counter, but only every Nth call runs the clock and touches the rest
 /// of the bookkeeping, and totals are scaled estimates
-/// (timed_ns * calls / timed_calls). Cool phases (trace advance, barrier
-/// wait, hand-off, checkpoint write — per epoch) are always timed. The
-/// stride decrement is deterministic, so profiled runs stay reproducible
-/// and the self-measured overhead is stable across hosts.
+/// (timed_ns * calls / timed_calls). Cool phases (VM lifecycle, trace
+/// advance, barrier wait, hand-off, checkpoint write — per wave/epoch)
+/// are always timed. The stride decrement is deterministic, so profiled
+/// runs stay reproducible and the self-measured overhead is stable across
+/// hosts.
+///
+/// Two guards keep the scaled estimates honest. Every recorded span has
+/// the calibrated empty-span cost (the clock pair's own measured
+/// duration) subtracted, so a 50 ns body is not reported as a 100 ns one
+/// across two hundred million calls. And a hot-phase span that crosses
+/// kOutlierSpanNs is attributed at face value rather than extrapolated:
+/// tail events are real wall time but not representative of the unsampled
+/// calls the stride stands in for.
 ///
 /// The nesting path (folded()) is maintained by TIMED scopes only, so the
 /// untimed fast path stays two memory ops. An inner timed scope whose
@@ -49,26 +58,32 @@
 namespace ecocloud::util {
 
 /// The named phases wall time is attributed to. Hot phases (per-event
-/// cadence) come first; kTraceAdvance onward run at epoch/period cadence
+/// cadence) come first; kVmLifecycle onward run at wave/epoch cadence
 /// and are always timed.
 enum class Phase : std::uint8_t {
-  kCalendarOps = 0,    ///< event-callback execution in sim::Simulator
+  kCalendarOps = 0,    ///< calendar bookkeeping per event (pop, re-arm, sift)
   kMonitorSweep = 1,   ///< per-server monitor trials (controller hot path)
   kInviteSampling = 2, ///< invitation subset sampling + volunteer replies
-  kTraceAdvance = 3,   ///< TraceDriver::tick demand sweep over all VMs
-  kBarrierWait = 4,    ///< idle wall time waiting for the slowest shard
-  kHandoff = 5,        ///< serial cross-shard migration hand-off
-  kCheckpointWrite = 6 ///< snapshot serialization + file write
+  kVmLifecycle = 3,    ///< VM deploy waves, boot-queue drains, departures
+  kTraceAdvance = 4,   ///< TraceDriver::tick demand sweep over all VMs
+  kBarrierWait = 5,    ///< idle wall time waiting for the slowest shard
+  kHandoff = 6,        ///< serial cross-shard migration hand-off
+  kCheckpointWrite = 7, ///< snapshot serialization + file write
+  kMonitorBatch = 8    ///< columnar monitor classification rebuild
 };
 
-inline constexpr std::size_t kNumPhases = 7;
+inline constexpr std::size_t kNumPhases = 9;
 
 [[nodiscard]] const char* to_string(Phase phase);
 
 /// First phase that is always timed (stride 1); everything before it uses
-/// the hot stride.
+/// the hot stride. kVmLifecycle is deliberately cool despite firing per
+/// boot/arrival event: its spans range from microsecond boot-queue drains
+/// to a multi-second initial deploy wave, and a duration population that
+/// heterogeneous cannot be stride-sampled honestly (one sampled wave would
+/// be scaled by the whole stride).
 inline constexpr std::size_t kFirstCoolPhase =
-    static_cast<std::size_t>(Phase::kTraceAdvance);
+    static_cast<std::size_t>(Phase::kVmLifecycle);
 
 struct PhaseStats {
   /// Scope entries, timed or not. Attributed in bulk when a stride window
@@ -77,17 +92,36 @@ struct PhaseStats {
   std::uint64_t calls = 0;
   std::uint64_t timed_calls = 0;  ///< entries that ran the clock
   std::uint64_t timed_ns = 0;     ///< wall ns across the timed entries
+  /// Timed entries whose duration crossed the outlier bound (also counted
+  /// in timed_calls/timed_ns). A hot-phase span that long is a tail event
+  /// — a monitor tick that happened to drain a full journal rebuild, say —
+  /// and multiplying it by the stride would swamp the estimate, so
+  /// estimated_ns() takes outliers at face value and extrapolates only
+  /// from the typical spans.
+  std::uint64_t outlier_calls = 0;
+  std::uint64_t outlier_ns = 0;
 
-  /// Stride-scaled estimate of the phase's total wall time.
+  /// Stride-scaled estimate of the phase's total wall time: typical timed
+  /// spans scaled by calls/timed, plus outlier spans at face value.
   [[nodiscard]] double estimated_ns() const {
-    if (timed_calls == 0) return 0.0;
-    return static_cast<double>(timed_ns) * static_cast<double>(calls) /
-           static_cast<double>(timed_calls);
+    const std::uint64_t typical_calls = timed_calls - outlier_calls;
+    const std::uint64_t typical_ns = timed_ns - outlier_ns;
+    if (typical_calls == 0) return static_cast<double>(timed_ns);
+    return static_cast<double>(outlier_ns) +
+           static_cast<double>(typical_ns) *
+               static_cast<double>(calls - outlier_calls) /
+               static_cast<double>(typical_calls);
   }
 };
 
 /// Monotonic clock used by the profiler (steady_clock, ns).
 [[nodiscard]] std::uint64_t monotonic_ns();
+
+/// Hot-phase spans at least this long are attributed at face value
+/// instead of being stride-extrapolated (see PhaseStats::outlier_calls).
+/// Per-event spans sit in the tens-to-hundreds of nanoseconds; a
+/// millisecond is three orders of magnitude past any typical call.
+inline constexpr std::uint64_t kOutlierSpanNs = 1'000'000;
 
 /// Upper bounds (seconds) of the per-phase duration histograms, shared so
 /// the export layer can mirror them into registry histograms.
@@ -132,6 +166,14 @@ class PhaseDomain {
 
   [[nodiscard]] std::uint32_t hot_stride() const { return hot_stride_; }
 
+  /// Calibrated duration of an empty span (the clock-pair cost a timed
+  /// scope measures on itself); subtracted from every recorded span so
+  /// stride-scaled estimates do not inflate by the clock price times the
+  /// call count. PhaseProfiler sets this on the domains it owns; bare
+  /// domains (unit tests) keep 0 and record raw durations.
+  void set_span_bias_ns(std::uint64_t ns) { span_bias_ns_ = ns; }
+  [[nodiscard]] std::uint64_t span_bias_ns() const { return span_bias_ns_; }
+
  private:
   friend class ScopedPhase;
 
@@ -139,6 +181,7 @@ class PhaseDomain {
   void record_histogram_only(Phase phase, std::uint64_t ns);
 
   std::uint32_t hot_stride_;
+  std::uint64_t span_bias_ns_ = 0;
   std::uint64_t path_ = 0;  ///< active scope nesting (see folded())
   std::array<PhaseStats, kNumPhases> stats_{};
   std::array<std::uint32_t, kNumPhases> until_timed_{};

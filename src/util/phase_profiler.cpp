@@ -29,10 +29,12 @@ const char* to_string(Phase phase) {
     case Phase::kCalendarOps: return "calendar_ops";
     case Phase::kMonitorSweep: return "monitor_sweep";
     case Phase::kInviteSampling: return "invite_sampling";
+    case Phase::kVmLifecycle: return "vm_lifecycle";
     case Phase::kTraceAdvance: return "trace_advance";
     case Phase::kBarrierWait: return "barrier_wait";
     case Phase::kHandoff: return "handoff";
     case Phase::kCheckpointWrite: return "checkpoint_write";
+    case Phase::kMonitorBatch: return "monitor_batch";
   }
   return "unknown";
 }
@@ -78,9 +80,17 @@ void PhaseDomain::add(Phase phase, std::uint64_t ns, std::uint64_t calls) {
 }
 
 void PhaseDomain::record(Phase phase, std::uint64_t ns, std::uint64_t path) {
+  // Strip the clock pair's own measured duration so the stride-scaled
+  // estimate reflects the body, not the instrument.
+  ns = ns > span_bias_ns_ ? ns - span_bias_ns_ : 0;
   auto& st = stats_[static_cast<std::size_t>(phase)];
   ++st.timed_calls;
   st.timed_ns += ns;
+  if (static_cast<std::size_t>(phase) < kFirstCoolPhase &&
+      ns >= kOutlierSpanNs) {
+    ++st.outlier_calls;
+    st.outlier_ns += ns;
+  }
   record_histogram_only(phase, ns);
   auto& slot = folded_[path];
   slot.timed_ns += ns;
@@ -156,6 +166,19 @@ PhaseProfiler::PhaseProfiler(std::size_t num_domains,
            }) - baseline_call_cost_ns_);
   // DomainScope restores the previous domain when `install` goes out of
   // scope, undoing the set_current_domain above as well.
+
+  // Span bias: the smallest duration a clock pair measures on itself. A
+  // timed span includes roughly this much instrument time on top of the
+  // body; the minimum over many pairs is the clean-floor value (noise
+  // only ever inflates a sample). Every owned domain subtracts it from
+  // recorded spans so estimates track the body alone.
+  std::uint64_t bias = ~std::uint64_t{0};
+  for (int b = 0; b < kBatches * kIters; ++b) {
+    const std::uint64_t t0 = monotonic_ns();
+    const std::uint64_t t1 = monotonic_ns();
+    bias = std::min(bias, t1 - t0);
+  }
+  for (auto& d : domains_) d->set_span_bias_ns(bias);
 }
 
 void PhaseProfiler::set_domain_name(std::size_t i, std::string name) {
@@ -169,6 +192,8 @@ PhaseStats PhaseProfiler::total(Phase phase) const {
     out.calls += st.calls;
     out.timed_calls += st.timed_calls;
     out.timed_ns += st.timed_ns;
+    out.outlier_calls += st.outlier_calls;
+    out.outlier_ns += st.outlier_ns;
   }
   return out;
 }

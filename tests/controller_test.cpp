@@ -522,3 +522,54 @@ TEST(Controller, BootQueueCountsInboundMigrationReservations) {
         << "server " << server.id();
   }
 }
+
+TEST(Controller, RecheckShedsMultipleVmsInOneMonitorTick) {
+  // Footnote-3 regression for the iterative execute_plan loop: when every
+  // hosted VM's share is below share_needed, plan_high falls back to the
+  // largest VM and suggests a recheck, and the chain must keep shedding
+  // within the SAME monitor tick until the trial stops firing. A server
+  // clamped at u = 1.0 fires with certainty (f_h(1.0) = 1), so the number
+  // of same-instant migration starts is deterministic.
+  Fixture f;
+  const auto hot = f.add_server();  // 6 cores = 12000 MHz
+  f.add_server();                   // sleepers: the wake path absorbs the
+  f.add_server();                   // shed VMs without any volunteer draw
+  f.params.monitor_period_s = 5.0;
+  // The firing trial sets the cooldown BEFORE execute_plan runs, and the
+  // recheck's MigrationProcedure::check reads it — with the default 60 s
+  // cooldown the chain stops after one migration by design. Zeroing it
+  // isolates the recheck loop itself.
+  f.params.migration_cooldown_s = 0.0;
+  f.build();
+  f.controller->force_activate(hot);
+
+  // 30 x 500 MHz on 12000 MHz: demand 15000, u clamps to 1.0. Each share
+  // is 500/12000 ~ 0.042 < share_needed = 1 - Th = 0.05, so every round
+  // takes the footnote-3 path. u stays >= 1.0 (certain fire) until six
+  // migrations are in flight: at least seven same-tick starts.
+  for (int i = 0; i < 30; ++i) {
+    const auto vm = f.datacenter.create_vm(500.0);
+    f.datacenter.place_vm(0.0, vm, hot);
+  }
+  ASSERT_DOUBLE_EQ(f.datacenter.server(hot).utilization(), 1.0);
+
+  std::vector<sim::SimTime> starts;
+  f.controller->events().on_migration_start =
+      [&](sim::SimTime t, dc::VmId, bool is_high) {
+        EXPECT_TRUE(is_high);
+        starts.push_back(t);
+      };
+  f.controller->start();
+  f.simulator.run_until(60.0);
+
+  ASSERT_FALSE(starts.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < starts.size();) {
+    std::size_t j = i;
+    while (j < starts.size() && starts[j] == starts[i]) ++j;
+    best = std::max(best, j - i);
+    i = j;
+  }
+  EXPECT_GE(best, 7u);
+  EXPECT_GE(f.controller->wake_ups(), 1u);
+}

@@ -1,0 +1,131 @@
+// Lockstep property test for the columnar monitor kernel (DESIGN.md §17):
+// on randomized fleets the dispatched kernel (AVX2 where the host has it)
+// must match the portable scalar reference bit for bit — the u_eff doubles
+// AND the class bytes. The header argues the two builds are identical by
+// construction (divide/compare/select only, no FMA contraction); this test
+// enforces it, and the engine_regression_forced_scalar ctest leg replays
+// the golden pins with ECOCLOUD_FORCE_SCALAR_KERNEL=1 for the same reason.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ecocloud/dc/monitor_kernel.hpp"
+#include "ecocloud/dc/server.hpp"
+#include "ecocloud/util/rng.hpp"
+
+namespace dc = ecocloud::dc;
+using ecocloud::util::Rng;
+
+namespace {
+
+constexpr std::uint8_t kHibernated = 0;
+constexpr std::uint8_t kBooting = 1;
+constexpr std::uint8_t kActive = 2;
+constexpr std::uint8_t kFailed = 3;
+
+/// A random fleet exercising every class: mixed state bytes (the kernel
+/// must map everything but active to kSkip), empty and loaded servers,
+/// and demands straddling 0, Tl·C, Th·C, C, and beyond (the upper clamp).
+dc::ServerSoA random_fleet(Rng& rng, std::size_t n, double tl, double th) {
+  dc::ServerSoA soa;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double capacity = 4000.0 * static_cast<double>(1 + rng.index(4));
+    double demand = 0.0;
+    switch (rng.index(6)) {
+      case 0: demand = 0.0; break;
+      case 1: demand = tl * capacity; break;  // exactly on the low edge
+      case 2: demand = th * capacity; break;  // exactly on the high edge
+      case 3: demand = rng.uniform(0.0, capacity); break;
+      case 4: demand = capacity; break;
+      default: demand = rng.uniform(capacity, 2.0 * capacity); break;
+    }
+    const std::uint8_t states[] = {kHibernated, kBooting, kActive, kActive,
+                                   kActive, kFailed};
+    soa.state.push_back(states[rng.index(6)]);
+    soa.vm_count.push_back(static_cast<std::uint32_t>(rng.index(3)));
+    soa.demand_mhz.push_back(demand);
+    soa.capacity_mhz.push_back(capacity);
+  }
+  return soa;
+}
+
+}  // namespace
+
+TEST(MonitorKernel, ReportsARealKernelName) {
+  const std::string name = dc::monitor_kernel_name();
+  EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
+}
+
+TEST(MonitorKernel, DispatchMatchesScalarReferenceBitForBit) {
+  Rng rng(20260807);
+  for (int round = 0; round < 64; ++round) {
+    const double tl = rng.uniform(0.05, 0.6);
+    const double th = rng.uniform(tl + 0.05, 0.99);
+    // Sizes around the SIMD width force every tail-handling path.
+    const std::size_t n = 1 + rng.index(133);
+    const dc::ServerSoA soa = random_fleet(rng, n, tl, th);
+
+    // Sub-ranges too: the controller dispatches per dirty range, so the
+    // kernels must agree at arbitrary unaligned [begin, end).
+    const std::size_t begin = rng.index(n);
+    const std::size_t end = begin + 1 + rng.index(n - begin);
+
+    std::vector<double> u_fast(n, -1.0);
+    std::vector<double> u_ref(n, -1.0);
+    std::vector<std::uint8_t> c_fast(n, 255);
+    std::vector<std::uint8_t> c_ref(n, 255);
+    dc::monitor_classify(soa, begin, end, tl, th, u_fast.data(), c_fast.data());
+    dc::monitor_classify_scalar(soa, begin, end, tl, th, u_ref.data(),
+                                c_ref.data());
+
+    // memcmp, not ==: bit-for-bit is the contract the golden event-stream
+    // pins rest on, and it also proves neither kernel wrote outside the
+    // requested range (the sentinel values still match there).
+    ASSERT_EQ(std::memcmp(u_fast.data(), u_ref.data(), n * sizeof(double)), 0)
+        << "round " << round << " n=" << n << " [" << begin << "," << end
+        << ")";
+    ASSERT_EQ(std::memcmp(c_fast.data(), c_ref.data(), n), 0)
+        << "round " << round << " n=" << n << " [" << begin << "," << end
+        << ")";
+  }
+}
+
+TEST(MonitorKernel, ClassifiesBandEdgesAndDeadServersExactly) {
+  const double tl = 0.5;
+  const double th = 0.95;
+  dc::ServerSoA soa;
+  const auto add = [&](std::uint8_t state, std::uint32_t vms, double demand) {
+    soa.state.push_back(state);
+    soa.vm_count.push_back(vms);
+    soa.demand_mhz.push_back(demand);
+    soa.capacity_mhz.push_back(10000.0);
+  };
+  add(kActive, 1, 5000.0);       // u == Tl: in band (strict inequality)
+  add(kActive, 1, 9500.0);       // u == Th: in band
+  add(kActive, 1, 4999.0);       // u < Tl
+  add(kActive, 1, 9501.0);       // u > Th
+  add(kActive, 1, 20000.0);      // clamps to u == 1.0, high
+  add(kActive, 0, 9999.0);       // hosts nothing: skip despite the demand
+  add(kHibernated, 1, 9999.0);   // not active: skip
+  add(kBooting, 1, 9999.0);      // not active: skip
+  add(kFailed, 1, 9999.0);       // not active: skip
+
+  std::vector<double> u(soa.size());
+  std::vector<std::uint8_t> cls(soa.size());
+  dc::monitor_classify(soa, 0, soa.size(), tl, th, u.data(), cls.data());
+
+  using dc::MonitorClass;
+  const MonitorClass expected[] = {
+      MonitorClass::kInBand, MonitorClass::kInBand, MonitorClass::kLow,
+      MonitorClass::kHigh,   MonitorClass::kHigh,   MonitorClass::kSkip,
+      MonitorClass::kSkip,   MonitorClass::kSkip,   MonitorClass::kSkip};
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    EXPECT_EQ(cls[i], static_cast<std::uint8_t>(expected[i])) << "server " << i;
+  }
+  EXPECT_EQ(u[0], 0.5);
+  EXPECT_EQ(u[1], 0.95);
+  EXPECT_EQ(u[4], 1.0);  // upper clamp
+}

@@ -613,3 +613,161 @@ TEST(EventMerge, CsvMatchesEventLogFormat) {
   EXPECT_NE(csv.find(",-1,3,"), std::string::npos);  // kNoVm -> -1
   EXPECT_NE(csv.find(",42,1,1"), std::string::npos);
 }
+
+// ---------------------------------------------- per-shard streaming banks
+
+TEST(ShardedDailyRun, StreamingBanksMatchMaterializedSharded) {
+  // The tentpole equivalence (DESIGN.md §17): a sharded run driven from
+  // per-shard streaming cursor banks is bit-identical to the same run
+  // driven from the shared materialized TraceSet. small_config at K=4
+  // produces cross-shard hand-offs, so the adoption path (copying a row's
+  // cursor from its owner bank at a barrier) is genuinely exercised.
+  const auto config = small_config();
+  par::ShardedDailyRun materialized(config, {.shards = 4, .threads = 2});
+  materialized.run();
+  ASSERT_GT(materialized.stats().cross_shard_migrations, 0u);
+
+  auto streaming_config = config;
+  streaming_config.streaming_traces = true;
+  par::ShardedDailyRun streaming(streaming_config, {.shards = 4, .threads = 2});
+  for (std::size_t k = 0; k < streaming.num_shards(); ++k) {
+    // streaming_traces is honored — never silently downgraded to a
+    // materialized TraceSet behind the operator's back.
+    ASSERT_NE(streaming.shard(k).streaming_bank(), nullptr);
+  }
+  streaming.run();
+
+  EXPECT_EQ(events_csv(streaming), events_csv(materialized));
+  EXPECT_EQ(streaming.stats().energy_joules,
+            materialized.stats().energy_joules);
+  EXPECT_EQ(streaming.stats().cross_shard_migrations,
+            materialized.stats().cross_shard_migrations);
+  expect_samples_identical(streaming.merged_samples(),
+                           materialized.merged_samples());
+}
+
+TEST(ShardedDailyRun, StreamingSingleShardMatchesSingleThreadedStreaming) {
+  auto config = small_config();
+  config.streaming_traces = true;
+
+  scenario::DailyScenario reference(config);
+  metrics::EventLog reference_log;
+  reference_log.attach(*reference.ecocloud());
+  reference.run();
+
+  par::ShardedDailyRun sharded(config, {.shards = 1, .threads = 1});
+  ASSERT_NE(sharded.shard(0).streaming_bank(), nullptr);
+  sharded.run();
+
+  std::ostringstream reference_csv;
+  reference_log.write_csv(reference_csv);
+  EXPECT_EQ(events_csv(sharded), reference_csv.str());
+  EXPECT_EQ(sharded.stats().energy_joules,
+            reference.datacenter().energy_joules());
+  expect_samples_identical(sharded.merged_samples(),
+                           reference.collector().samples());
+}
+
+TEST(ShardedDailyRun, FaultedStreamingMatchesFaultedMaterialized) {
+  // Crash/repair churn plus redeploys on top of the cursor banks: the
+  // fault draws live on RNG stream 7, trace generation on the shared
+  // stream, so the trajectories must still agree byte for byte.
+  const auto config = faulted_config();
+  par::ShardedDailyRun materialized(config, {.shards = 4, .threads = 2});
+  materialized.run();
+
+  auto streaming_config = config;
+  streaming_config.streaming_traces = true;
+  par::ShardedDailyRun streaming(streaming_config, {.shards = 4, .threads = 2});
+  streaming.run();
+
+  EXPECT_EQ(events_csv(streaming), events_csv(materialized));
+  EXPECT_EQ(streaming.stats().energy_joules,
+            materialized.stats().energy_joules);
+  expect_samples_identical(streaming.merged_samples(),
+                           materialized.merged_samples());
+}
+
+TEST(ShardedDailyRun, StreamingCheckpointResumeReplaysExactly) {
+  // Restore path: banks regenerate at step 0, fast-forward to the snapshot
+  // barrier, and the coordinator re-adopts every cross-shard row from its
+  // owner bank before the run continues.
+  auto config = small_config();
+  config.streaming_traces = true;
+
+  par::ShardedDailyRun reference(config, {.shards = 4, .threads = 2});
+  reference.run();
+  // The resume below is only a real test if rows cross shards.
+  ASSERT_GT(reference.stats().cross_shard_migrations, 0u);
+
+  auto ckpt_config = config;
+  ckpt_config.run.checkpoint_out = temp_path("stream.ckpt");
+  ckpt_config.run.checkpoint_every_s = 1800.0;
+  const std::string first_snapshot = temp_path("stream_first.ckpt");
+  const std::string late_snapshot = temp_path("stream_late.ckpt");
+  par::ShardedDailyRun checkpointed(ckpt_config, {.shards = 4, .threads = 2});
+  std::size_t snapshots = 0;
+  checkpointed.on_checkpoint = [&](const std::string& path) {
+    // Keep the first snapshot (few adopted rows) and the latest one (many).
+    std::ofstream out(snapshots == 0 ? first_snapshot : late_snapshot,
+                      std::ios::binary);
+    out << slurp(path);
+    ++snapshots;
+  };
+  checkpointed.run();
+  ASSERT_GT(snapshots, 1u);
+  EXPECT_EQ(events_csv(checkpointed), events_csv(reference));
+
+  for (const std::string& snapshot : {first_snapshot, late_snapshot}) {
+    par::ShardedDailyRun resumed(config, {.shards = 4, .threads = 1});
+    resumed.restore_snapshot(snapshot);
+    ASSERT_TRUE(resumed.resumed());
+    resumed.run();
+    EXPECT_EQ(events_csv(resumed), events_csv(reference));
+    EXPECT_EQ(resumed.stats().energy_joules, reference.stats().energy_joules);
+    expect_samples_identical(resumed.merged_samples(),
+                             reference.merged_samples());
+  }
+
+  std::remove(first_snapshot.c_str());
+  std::remove(late_snapshot.c_str());
+  std::remove(ckpt_config.run.checkpoint_out.c_str());
+}
+
+TEST(ShardedDailyRun, ShardedSnapshotsArePortableAcrossTraceMemoryModes) {
+  // Mirror of the single-threaded cross-mode test (ckpt_test): a snapshot
+  // written by a materialized K=2 run restores into a streaming K=2 run —
+  // the banks carry no snapshot state and streaming_traces is deliberately
+  // not in the digest.
+  const auto config = small_config();
+  par::ShardedDailyRun reference(config, {.shards = 2, .threads = 2});
+  reference.run();
+
+  auto ckpt_config = config;
+  ckpt_config.run.checkpoint_out = temp_path("xmode_shard.ckpt");
+  ckpt_config.run.checkpoint_every_s = 1800.0;
+  const std::string snapshot = temp_path("xmode_shard_first.ckpt");
+  par::ShardedDailyRun checkpointed(ckpt_config, {.shards = 2, .threads = 2});
+  bool captured = false;
+  checkpointed.on_checkpoint = [&](const std::string& path) {
+    if (!captured) {
+      captured = true;
+      std::ofstream out(snapshot, std::ios::binary);
+      out << slurp(path);
+    }
+  };
+  checkpointed.run();
+  ASSERT_TRUE(captured);
+
+  auto streaming_config = config;
+  streaming_config.streaming_traces = true;
+  par::ShardedDailyRun resumed(streaming_config, {.shards = 2, .threads = 1});
+  resumed.restore_snapshot(snapshot);
+  ASSERT_TRUE(resumed.resumed());
+  resumed.run();
+  EXPECT_EQ(events_csv(resumed), events_csv(reference));
+  EXPECT_EQ(resumed.stats().energy_joules, reference.stats().energy_joules);
+
+  std::remove(snapshot.c_str());
+  std::remove(ckpt_config.run.checkpoint_out.c_str());
+}

@@ -1,14 +1,16 @@
 // Planet-tier smoke: a 100,000-server fleet on a very short horizon,
 // exercising the whole planet-scale configuration at once — SoA fleet
 // state at 10^5 servers, the O(1) fast sampler with bounded invitation
-// groups, and the streaming trace cursor bank — in a single run that is
-// cheap enough for every ctest invocation. CI's ASan/UBSan matrix leg
-// runs this under the sanitizers, which is the point: the planet bench
-// rows only ever run in Release, so this test is where address errors
-// in the large-fleet paths would surface.
+// groups, the batched monitor kernel, and the streaming trace cursor
+// banks (single-calendar AND per-shard) — in runs cheap enough for every
+// ctest invocation. CI's ASan/UBSan matrix leg runs these under the
+// sanitizers, which is the point: the planet bench rows only ever run in
+// Release, so this test is where address errors in the large-fleet paths
+// would surface.
 
 #include <gtest/gtest.h>
 
+#include "ecocloud/par/sharded_runner.hpp"
 #include "ecocloud/scenario/scenario.hpp"
 
 namespace {
@@ -42,6 +44,28 @@ TEST(PlanetSmoke, HundredThousandServerShortHorizonRunsClean) {
   const auto violations = d.audit_invariants(1e-6);
   EXPECT_TRUE(violations.empty())
       << "first violation: " << (violations.empty() ? "" : violations[0]);
+}
+
+// The sharded planet path on per-shard streaming banks (DESIGN.md §17):
+// partitioned bank generation, per-shard cursor advance, and barrier
+// adoption all at 10^5 servers, under whatever sanitizer the build
+// carries. The banks must actually be in use — streaming_traces is
+// honored, never silently downgraded to a materialized TraceSet.
+TEST(PlanetSmoke, ShardedStreamingBanksRunClean) {
+  ecocloud::par::ShardedDailyRun run(planet_smoke_config(),
+                                     {.shards = 8, .threads = 4});
+  for (std::size_t k = 0; k < run.num_shards(); ++k) {
+    ASSERT_NE(run.shard(k).streaming_bank(), nullptr) << "shard " << k;
+  }
+  run.run();
+  EXPECT_GT(run.stats().energy_joules, 0.0);
+  EXPECT_GT(run.stats().barriers, 0u);
+  for (std::size_t k = 0; k < run.num_shards(); ++k) {
+    const auto violations = run.shard(k).datacenter().audit_invariants(1e-6);
+    EXPECT_TRUE(violations.empty())
+        << "shard " << k << " first violation: "
+        << (violations.empty() ? "" : violations[0]);
+  }
 }
 
 // Determinism holds at this scale too: same config, same stream.

@@ -416,3 +416,79 @@ TEST(StreamingTraces, GenerateValidation) {
   EXPECT_THROW(trace::StreamingTraces::generate(model, 3, 0, rng),
                std::invalid_argument);
 }
+
+TEST(StreamingTraces, PartitionedBanksMatchMonolithicGeneration) {
+  trace::WorkloadConfig config;
+  trace::WorkloadModel model(config);
+  constexpr std::size_t kVms = 41;  // not divisible by K: uneven banks
+  constexpr std::size_t kSteps = 60;
+  constexpr std::size_t kBanks = 4;
+
+  Rng rng_a(4242);
+  Rng rng_b(4242);
+  trace::StreamingTraces whole =
+      trace::StreamingTraces::generate(model, kVms, kSteps, rng_a);
+  std::vector<trace::StreamingTraces> banks =
+      trace::StreamingTraces::generate_partitioned(model, kVms, kSteps, rng_b,
+                                                   kBanks);
+  ASSERT_EQ(banks.size(), kBanks);
+  // Both generators must consume the shared stream identically, or the
+  // controller/fault draws downstream of trace generation would diverge
+  // between a sharded streaming run and every other mode.
+  EXPECT_EQ(rng_a(), rng_b());
+
+  for (std::size_t v = 0; v < kVms; ++v) {
+    trace::StreamingTraces& bank = banks[v % kBanks];
+    // num_vms() stays GLOBAL (the TraceDriver validates global indices);
+    // residency is per bank, following ShardPlan::shard_of_trace's rule.
+    ASSERT_EQ(bank.num_vms(), kVms);
+    ASSERT_TRUE(bank.has_row(v));
+    EXPECT_FALSE(banks[(v + 1) % kBanks].has_row(v));
+    ASSERT_EQ(bank.average_percent(v), whole.average_percent(v)) << "vm " << v;
+    ASSERT_EQ(bank.ram_mb(v), whole.ram_mb(v)) << "vm " << v;
+  }
+  for (const std::size_t step : {std::size_t{1}, std::size_t{17}, kSteps - 1}) {
+    whole.advance_to(step);
+    for (auto& bank : banks) bank.advance_to(step);
+    for (std::size_t v = 0; v < kVms; ++v) {
+      ASSERT_EQ(banks[v % kBanks].percent_current(v), whole.percent_current(v))
+          << "vm " << v << " step " << step;
+    }
+  }
+}
+
+TEST(StreamingTraces, AdoptedRowTracksItsHomeBankExactly) {
+  trace::WorkloadConfig config;
+  trace::WorkloadModel model(config);
+  Rng rng_a(99);
+  Rng rng_b(99);
+  trace::StreamingTraces whole =
+      trace::StreamingTraces::generate(model, 10, 40, rng_a);
+  std::vector<trace::StreamingTraces> banks =
+      trace::StreamingTraces::generate_partitioned(model, 10, 40, rng_b, 2);
+
+  // Row 3 lives in bank 1; bank 0 cannot drive it before adoption.
+  EXPECT_THROW((void)banks[0].percent_current(3), std::invalid_argument);
+  EXPECT_THROW(banks[0].adopt_row(99, banks[1]), std::invalid_argument);
+
+  // Adoption is only exact when both banks sit at the same step.
+  banks[1].advance_to(5);
+  EXPECT_THROW(banks[0].adopt_row(3, banks[1]), std::invalid_argument);
+  banks[0].advance_to(5);
+  banks[0].adopt_row(3, banks[1]);
+  ASSERT_TRUE(banks[0].has_row(3));
+  banks[0].adopt_row(3, banks[1]);  // idempotent no-op
+
+  whole.advance_to(5);
+  ASSERT_EQ(banks[0].percent_current(3), whole.percent_current(3));
+  // The copy advances independently of its home bank yet reproduces the
+  // row bit for bit at every later step — the property the cross-shard
+  // hand-off relies on.
+  for (std::size_t step = 6; step < 40; ++step) {
+    whole.advance_to(step);
+    banks[0].advance_to(step);
+    banks[1].advance_to(step);
+    ASSERT_EQ(banks[0].percent_current(3), whole.percent_current(3)) << step;
+    ASSERT_EQ(banks[1].percent_current(3), whole.percent_current(3)) << step;
+  }
+}
